@@ -1,0 +1,232 @@
+//! Radial halo density profiles and NFW fits.
+//!
+//! The HACC program's cluster science (the paper cites a "high-statistics
+//! study of galaxy cluster halo profiles" among its Roadrunner results)
+//! needs stacked radial profiles of FOF halos and Navarro–Frenk–White
+//! fits; this module provides both.
+
+/// A binned spherical density profile around a halo center.
+#[derive(Debug, Clone)]
+pub struct HaloProfile {
+    /// Geometric bin-center radii (same units as input positions).
+    pub r: Vec<f64>,
+    /// Number density per shell (particles per unit volume).
+    pub density: Vec<f64>,
+    /// Particles per shell.
+    pub count: Vec<u64>,
+}
+
+impl HaloProfile {
+    /// Measure the profile of particles around `center` out to `r_max`
+    /// using `bins` logarithmic shells starting at `r_min` (periodic box
+    /// of side `box_len`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure(
+        xs: &[f32],
+        ys: &[f32],
+        zs: &[f32],
+        center: [f64; 3],
+        box_len: f64,
+        r_min: f64,
+        r_max: f64,
+        bins: usize,
+    ) -> Self {
+        assert!(bins >= 2 && r_min > 0.0 && r_max > r_min);
+        let log_lo = r_min.ln();
+        let dlog = (r_max.ln() - log_lo) / bins as f64;
+        let half = 0.5 * box_len;
+        let mut count = vec![0u64; bins];
+        for i in 0..xs.len() {
+            let mut d2 = 0.0f64;
+            for (p, c) in [
+                (xs[i] as f64, center[0]),
+                (ys[i] as f64, center[1]),
+                (zs[i] as f64, center[2]),
+            ] {
+                let mut d = p - c;
+                if d > half {
+                    d -= box_len;
+                }
+                if d < -half {
+                    d += box_len;
+                }
+                d2 += d * d;
+            }
+            let r = d2.sqrt();
+            if r < r_min || r >= r_max {
+                continue;
+            }
+            let b = ((r.ln() - log_lo) / dlog) as usize;
+            count[b.min(bins - 1)] += 1;
+        }
+        let mut out = HaloProfile {
+            r: Vec::with_capacity(bins),
+            density: Vec::with_capacity(bins),
+            count,
+        };
+        for b in 0..bins {
+            let r0 = (log_lo + b as f64 * dlog).exp();
+            let r1 = (log_lo + (b + 1) as f64 * dlog).exp();
+            let vol = 4.0 / 3.0 * std::f64::consts::PI * (r1.powi(3) - r0.powi(3));
+            out.r.push((r0 * r1).sqrt());
+            out.density.push(out.count[b] as f64 / vol);
+        }
+        out
+    }
+
+    /// Fit an NFW profile `ρ(r) = ρ₀ / [(r/r_s)(1 + r/r_s)²]` by
+    /// least squares in log density over non-empty bins. Returns
+    /// `(rho0, r_s, rms log residual)`.
+    pub fn fit_nfw(&self) -> (f64, f64, f64) {
+        let pts: Vec<(f64, f64)> = self
+            .r
+            .iter()
+            .zip(&self.density)
+            .filter(|&(_, &d)| d > 0.0)
+            .map(|(&r, &d)| (r, d.ln()))
+            .collect();
+        assert!(pts.len() >= 3, "too few populated bins for an NFW fit");
+        let r_lo = pts.first().expect("pts").0;
+        let r_hi = pts.last().expect("pts").0;
+        // Grid search over r_s (log-spaced), analytic ρ₀ at each r_s.
+        let mut best = (0.0, r_lo, f64::INFINITY);
+        for i in 0..160 {
+            let rs = r_lo * (r_hi * 4.0 / r_lo).powf(i as f64 / 159.0);
+            // ln ρ = ln ρ₀ + ln shape; least squares ⇒ ln ρ₀ = mean residual.
+            let shapes: Vec<f64> = pts
+                .iter()
+                .map(|&(r, _)| {
+                    let x = r / rs;
+                    -(x.ln() + 2.0 * (1.0 + x).ln())
+                })
+                .collect();
+            let ln_rho0 = pts
+                .iter()
+                .zip(&shapes)
+                .map(|(&(_, ld), &s)| ld - s)
+                .sum::<f64>()
+                / pts.len() as f64;
+            let ss: f64 = pts
+                .iter()
+                .zip(&shapes)
+                .map(|(&(_, ld), &s)| (ld - s - ln_rho0).powi(2))
+                .sum();
+            let rms = (ss / pts.len() as f64).sqrt();
+            if rms < best.2 {
+                best = (ln_rho0.exp(), rs, rms);
+            }
+        }
+        best
+    }
+
+    /// Enclosed particle count within radius `r` (sums whole shells).
+    pub fn enclosed(&self, r: f64) -> u64 {
+        self.r
+            .iter()
+            .zip(&self.count)
+            .filter(|&(&rb, _)| rb <= r)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sample particles from an NFW profile by inverse-transform-ish
+    /// rejection sampling (deterministic).
+    fn nfw_cloud(rs: f64, n: usize, r_max: f64) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let mut s = 987654321u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s as f64 / u64::MAX as f64
+        };
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut zs = Vec::new();
+        let rho = |r: f64| 1.0 / ((r / rs) * (1.0 + r / rs).powi(2));
+        let f_max = rho(0.01 * rs) * (0.01 * rs) * (0.01 * rs);
+        while xs.len() < n {
+            let r = next() * r_max;
+            // p(r) ∝ r² ρ(r)
+            let p = rho(r.max(1e-6)) * r * r;
+            if next() * f_max * 4.0 > p {
+                continue;
+            }
+            let u = 2.0 * next() - 1.0;
+            let phi = 2.0 * std::f64::consts::PI * next();
+            let q = (1.0 - u * u).sqrt();
+            xs.push((32.0 + r * q * phi.cos()) as f32);
+            ys.push((32.0 + r * q * phi.sin()) as f32);
+            zs.push((32.0 + r * u) as f32);
+        }
+        (xs, ys, zs)
+    }
+
+    #[test]
+    fn uniform_cloud_flat_profile() {
+        // Particles uniform in a ball: density ~ constant across shells.
+        let mut s = 5u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s as f64 / u64::MAX as f64
+        };
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut zs = Vec::new();
+        while xs.len() < 20000 {
+            let (a, b, c) = (next() * 2.0 - 1.0, next() * 2.0 - 1.0, next() * 2.0 - 1.0);
+            if a * a + b * b + c * c > 1.0 {
+                continue;
+            }
+            xs.push((32.0 + 5.0 * a) as f32);
+            ys.push((32.0 + 5.0 * b) as f32);
+            zs.push((32.0 + 5.0 * c) as f32);
+        }
+        let p = HaloProfile::measure(&xs, &ys, &zs, [32.0; 3], 64.0, 1.0, 5.0, 6);
+        let mean = p.density.iter().sum::<f64>() / p.density.len() as f64;
+        for (r, d) in p.r.iter().zip(&p.density) {
+            assert!((d / mean - 1.0).abs() < 0.25, "r={r}: {d} vs mean {mean}");
+        }
+    }
+
+    #[test]
+    fn nfw_fit_recovers_scale_radius() {
+        let rs = 2.0;
+        let (xs, ys, zs) = nfw_cloud(rs, 30000, 12.0);
+        let p = HaloProfile::measure(&xs, &ys, &zs, [32.0; 3], 64.0, 0.3, 10.0, 12);
+        let (rho0, rs_fit, rms) = p.fit_nfw();
+        assert!(rho0 > 0.0);
+        assert!(rms < 0.3, "poor fit, rms {rms}");
+        assert!(
+            (rs_fit / rs - 1.0).abs() < 0.5,
+            "rs fit {rs_fit} vs truth {rs}"
+        );
+    }
+
+    #[test]
+    fn profile_counts_total() {
+        let (xs, ys, zs) = nfw_cloud(1.5, 5000, 8.0);
+        let p = HaloProfile::measure(&xs, &ys, &zs, [32.0; 3], 64.0, 0.1, 10.0, 10);
+        let total: u64 = p.count.iter().sum();
+        assert!(total > 4500, "lost particles: {total}");
+        assert_eq!(p.enclosed(10.0), total);
+        assert!(p.enclosed(1.0) < total);
+    }
+
+    #[test]
+    fn periodic_center_near_edge() {
+        // A cloud centered at the box corner must still profile correctly.
+        let xs = vec![0.5f32, 63.5, 0.2, 63.8];
+        let ys = vec![0.0f32; 4];
+        let zs = vec![0.0f32; 4];
+        let p = HaloProfile::measure(&xs, &ys, &zs, [0.0, 0.0, 0.0], 64.0, 0.05, 2.0, 4);
+        let total: u64 = p.count.iter().sum();
+        assert_eq!(total, 4, "periodic wrap missed particles");
+    }
+}

@@ -1,0 +1,76 @@
+//! Criterion benchmarks of the FFT stack: 1-D plans (radix mix vs
+//! Bluestein), serial 3-D transforms, and one Poisson-solve composition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hacc_fft::{Complex64, Fft1d, Fft3};
+use hacc_pm::{PmSolver, SpectralParams};
+
+fn signal(n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|i| Complex64::new(((i * 37) % 101) as f64 / 50.0 - 1.0, 0.0))
+        .collect()
+}
+
+fn bench_fft1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft1d");
+    // Power of two, mixed radix, and prime (Bluestein) sizes.
+    for &n in &[256usize, 240, 251, 1024, 1000] {
+        let plan = Fft1d::new(n);
+        let data = signal(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            let mut scratch = plan.make_scratch();
+            b.iter_batched(
+                || data.clone(),
+                |mut d| {
+                    plan.forward(&mut d, &mut scratch);
+                    d
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft3");
+    for &n in &[32usize, 48] {
+        let plan = Fft3::new_cubic(n);
+        let data = signal(n * n * n);
+        group.throughput(Throughput::Elements((n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| {
+                    plan.forward(&mut d);
+                    d
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_poisson(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poisson_solve");
+    group.sample_size(10);
+    for &n in &[32usize, 48] {
+        let solver = PmSolver::new(n, n as f64, SpectralParams::default());
+        let src: Vec<f64> = (0..n * n * n)
+            .map(|i| ((i * 13) % 29) as f64 / 14.5 - 1.0)
+            .collect();
+        group.bench_with_input(BenchmarkId::new("forces", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(solver.solve_forces(&src)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fft1d, bench_fft3, bench_poisson
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benchmark of one full SKS long-range step (the unit behind
+//! all of Tables II/III): TreePM vs P3M vs PM-only on the same state.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hacc_bench::reference_power;
+use hacc_core::{SimConfig, Simulation, SolverKind};
+use hacc_cosmo::Cosmology;
+
+fn bench_step(c: &mut Criterion) {
+    let power = reference_power();
+    let np = 16usize;
+    let box_len = 64.0;
+    let ics = hacc_ics::zeldovich(np, box_len, &power, 0.3, 1);
+    let mut group = c.benchmark_group("full_step");
+    group.sample_size(10);
+    for solver in [SolverKind::PmOnly, SolverKind::TreePm, SolverKind::P3m] {
+        let cfg = SimConfig {
+            cosmology: Cosmology::lcdm(),
+            box_len,
+            ng: 2 * np,
+            a_init: 0.3,
+            a_final: 0.5,
+            steps: 4,
+            subcycles: 3,
+            solver,
+            ..SimConfig::small_lcdm()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("solver", format!("{solver:?}")),
+            &solver,
+            |b, _| {
+                b.iter_batched(
+                    || Simulation::from_ics(cfg, &ics),
+                    |mut sim| {
+                        sim.step(0.31);
+                        sim
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_step
+}
+criterion_main!(benches);

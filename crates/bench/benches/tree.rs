@@ -1,0 +1,61 @@
+//! Criterion benchmarks of the RCB tree: build (3-phase SoA partition)
+//! and force evaluation, across leaf sizes — the "fat leaf" trade-off of
+//! Section III (walk minimization vs kernel work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hacc_short::{ForceKernel, P3mSolver, RcbTree, TreeParams};
+
+fn particles(np: usize, side: f32) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
+    let mut s = 7u64;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s as f64 / u64::MAX as f64) as f32 * side
+    };
+    let xs: Vec<f32> = (0..np).map(|_| next()).collect();
+    let ys: Vec<f32> = (0..np).map(|_| next()).collect();
+    let zs: Vec<f32> = (0..np).map(|_| next()).collect();
+    (xs, ys, zs, vec![1.0; np])
+}
+
+fn bench_tree(c: &mut Criterion) {
+    let np = 20_000usize;
+    let side = 32.0f32;
+    let (xs, ys, zs, m) = particles(np, side);
+    let kernel = ForceKernel::newtonian(3.0, 1e-5);
+
+    let mut group = c.benchmark_group("rcb_tree");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(np as u64));
+    for &leaf in &[16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("build", leaf), &leaf, |b, &leaf| {
+            b.iter(|| {
+                std::hint::black_box(RcbTree::build(
+                    &xs,
+                    &ys,
+                    &zs,
+                    &m,
+                    TreeParams { leaf_size: leaf },
+                ))
+            })
+        });
+        let tree = RcbTree::build(&xs, &ys, &zs, &m, TreeParams { leaf_size: leaf });
+        group.bench_with_input(BenchmarkId::new("forces", leaf), &leaf, |b, _| {
+            b.iter(|| std::hint::black_box(tree.forces(&kernel)))
+        });
+    }
+    // P3M comparison point.
+    let p3m = P3mSolver::new(kernel, side);
+    group.bench_function("p3m_forces", |b| {
+        b.iter(|| std::hint::black_box(p3m.forces(&xs, &ys, &zs, &m)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tree
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Ablation: CIC + spectral filter vs higher-order (TSC) deposition.
+//!
+//! Section II argues the Eq. 5 filter suppresses CIC anisotropy noise
+//! "without requiring complex and inflexible higher-order spatial
+//! particle deposition methods". This binary puts numbers on that choice
+//! by measuring the directional scatter of the PM pair force for three
+//! configurations:
+//!
+//! 1. CIC deposit + Eq. 5 filter (the paper's design),
+//! 2. CIC deposit, no filter (the raw noise the filter removes),
+//! 3. TSC deposit, no filter (the "higher-order deposition" alternative).
+//!
+//! If the paper's argument holds, (1) should be competitive with (3)
+//! while keeping the cheaper 8-point deposit.
+
+use hacc_bench::print_table;
+use hacc_pm::{deposit_cic, deposit_tsc, interpolate_cic, PmSolver, SpectralParams};
+
+fn main() {
+    println!("Deposit-order ablation: CIC+filter vs raw CIC vs TSC");
+    let n = 32usize;
+    let filtered = SpectralParams::default();
+    let unfiltered = SpectralParams {
+        sigma: 0.0,
+        ns: 0,
+        ..SpectralParams::default()
+    };
+
+    let radii = [1.5f64, 2.0, 3.0];
+    let configs: Vec<(&str, SpectralParams, bool)> = vec![
+        ("CIC + Eq.5 filter (paper)", filtered, false),
+        ("CIC, no filter", unfiltered, false),
+        ("TSC, no filter", unfiltered, true),
+    ];
+    let mut rows = Vec::new();
+    for (name, params, tsc) in &configs {
+        let solver = PmSolver::new(n, n as f64, *params);
+        let mut row = vec![name.to_string()];
+        for &r in &radii {
+            row.push(format!("{:.2}", 100.0 * scatter(&solver, r, *tsc)));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Directional scatter of the PM pair force (std/mean %), by separation [cells]",
+        &["deposit + kernel", "r=1.5", "r=2", "r=3"],
+        &rows,
+    );
+    println!(
+        "\npaper claim (§II): the spectral filter reduces CIC anisotropy noise by\n\
+         over an order of magnitude, doing the work of higher-order deposition\n\
+         while keeping the cheap 8-point CIC gather/scatter."
+    );
+}
+
+/// std/mean of the radial PM force over orientations at separation `r`.
+fn scatter(solver: &PmSolver, r: f64, tsc: bool) -> f64 {
+    let n = solver.n();
+    let mut rng = 0x1234_5678u64;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng as f64 / u64::MAX as f64
+    };
+    let mut samples = Vec::new();
+    for _ in 0..4 {
+        let sx = (n as f64 * (0.3 + 0.4 * next())) as f32;
+        let sy = (n as f64 * (0.3 + 0.4 * next())) as f32;
+        let sz = (n as f64 * (0.3 + 0.4 * next())) as f32;
+        let mut src = vec![0.0; n * n * n];
+        if tsc {
+            deposit_tsc(&mut src, n, &[sx], &[sy], &[sz], 1.0);
+        } else {
+            deposit_cic(&mut src, n, &[sx], &[sy], &[sz], 1.0);
+        }
+        let f = solver.solve_forces(&src);
+        for _ in 0..24 {
+            let u = 2.0 * next() - 1.0;
+            let phi = 2.0 * std::f64::consts::PI * next();
+            let q = (1.0 - u * u).sqrt();
+            let (dx, dy, dz) = (q * phi.cos(), q * phi.sin(), u);
+            let px = sx + (r * dx) as f32;
+            let py = sy + (r * dy) as f32;
+            let pz = sz + (r * dz) as f32;
+            let fx = interpolate_cic(&f[0], n, &[px], &[py], &[pz])[0] as f64;
+            let fy = interpolate_cic(&f[1], n, &[px], &[py], &[pz])[0] as f64;
+            let fz = interpolate_cic(&f[2], n, &[px], &[py], &[pz])[0] as f64;
+            samples.push(-(fx * dx + fy * dy + fz * dz));
+        }
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
+    var.sqrt() / mean.abs().max(1e-30)
+}

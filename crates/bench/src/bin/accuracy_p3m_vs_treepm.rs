@@ -1,0 +1,63 @@
+//! Section II accuracy claim: "the P³M and the PPTreePM versions agree
+//! to within 0.1% for the nonlinear power spectrum test in the code
+//! comparison suite."
+//!
+//! We evolve the same initial conditions with both short-range solvers
+//! and compare the measured nonlinear P(k) bin by bin.
+
+use hacc_analysis::PowerSpectrum;
+use hacc_bench::{print_table, reference_power};
+use hacc_core::{SimConfig, Simulation, SolverKind};
+use hacc_cosmo::Cosmology;
+
+fn main() {
+    println!("P3M vs PPTreePM nonlinear power spectrum comparison");
+    let np = 24usize;
+    let box_len = 96.0;
+    let power = reference_power();
+    let cfg = |solver| SimConfig {
+        cosmology: Cosmology::lcdm(),
+        box_len,
+        ng: 2 * np,
+        a_init: 0.2,
+        a_final: 0.5,
+        steps: 10,
+        subcycles: 3,
+        solver,
+        spectral: hacc_pm::SpectralParams::default(),
+        tree: hacc_short::TreeParams::default(),
+        rcut_cells: 3.0,
+    };
+    let ics = hacc_ics::zeldovich(np, box_len, &power, 0.2, 555);
+
+    let run = |solver: SolverKind| -> PowerSpectrum {
+        let mut sim = Simulation::from_ics(cfg(solver), &ics);
+        sim.run(|_, _| {});
+        let (x, y, z) = sim.positions();
+        PowerSpectrum::measure(x, y, z, box_len, 48, 16)
+    };
+    let ps_tree = run(SolverKind::TreePm);
+    let ps_p3m = run(SolverKind::P3m);
+
+    let mut rows = Vec::new();
+    let mut max_dev: f64 = 0.0;
+    for ((k, pt), pp) in ps_tree.k.iter().zip(&ps_tree.p).zip(&ps_p3m.p) {
+        let dev = (pt / pp - 1.0).abs();
+        max_dev = max_dev.max(dev);
+        rows.push(vec![
+            format!("{k:.3}"),
+            format!("{pt:.4e}"),
+            format!("{pp:.4e}"),
+            format!("{:.4}", 100.0 * dev),
+        ]);
+    }
+    print_table(
+        "Nonlinear P(k) at z = 1 from identical ICs",
+        &["k [h/Mpc]", "TreePM", "P3M", "|diff| %"],
+        &rows,
+    );
+    println!(
+        "\nmax deviation: {:.4}%  (paper: P3M and PPTreePM agree to within 0.1%)",
+        100.0 * max_dev
+    );
+}

@@ -1,0 +1,92 @@
+//! Fig. 10 reproduction: evolution of the matter fluctuation power
+//! spectrum.
+//!
+//! The paper's science test run (10240³ particles, (9.14 Gpc)³, Mira 16
+//! racks) stores P(k) at snapshots from z = 5.5 to z = 0: low-k modes
+//! grow linearly (P ∝ D²) while high-k power grows much faster as
+//! structure goes nonlinear. Our laptop-scale run reproduces exactly that
+//! shape; the linear-theory column gives the low-k check.
+
+use hacc_bench::{print_table, reference_power, run_science_sim, FIG10_REDSHIFTS};
+use hacc_analysis::PowerSpectrum;
+use hacc_core::SolverKind;
+
+fn main() {
+    println!("Fig. 10: dark matter power spectrum evolution");
+    let np = 24;
+    let box_len = 96.0;
+    let power = reference_power();
+
+    let mut spectra: Vec<(f64, PowerSpectrum)> = Vec::new();
+    let sim = run_science_sim(
+        np,
+        box_len,
+        18,
+        SolverKind::TreePm,
+        &FIG10_REDSHIFTS,
+        |z, s| {
+            let (x, y, zz) = s.positions();
+            let ps = PowerSpectrum::measure(x, y, zz, box_len, 48, 20);
+            spectra.push((z, ps));
+        },
+    );
+    let _ = sim;
+
+    // Table: log10 k vs log10 P per snapshot (the paper's axes).
+    let mut rows = Vec::new();
+    let ks: Vec<f64> = spectra
+        .first()
+        .map(|(_, ps)| ps.k.clone())
+        .unwrap_or_default();
+    for (i, k) in ks.iter().enumerate() {
+        let mut row = vec![format!("{:.2}", k.log10())];
+        for (_, ps) in &spectra {
+            row.push(format!("{:.2}", ps.p[i].max(1e-10).log10()));
+        }
+        // Linear theory at z = 0 for reference.
+        row.push(format!("{:.2}", power.p_of_k(*k).log10()));
+        rows.push(row);
+    }
+    let mut header = vec!["log10 k".to_string()];
+    for (z, _) in &spectra {
+        header.push(format!("z={z:.1}"));
+    }
+    header.push("lin z=0".into());
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print_table(
+        "log10 P(k) [Mpc/h]^3 per snapshot (columns ordered early → late)",
+        &header_refs,
+        &rows,
+    );
+
+    // Shape checks the paper's figure encodes.
+    if spectra.len() >= 2 {
+        let (z_first, first) = &spectra[0];
+        let (z_last, last) = &spectra[spectra.len() - 1];
+        let a_first = 1.0 / (1.0 + z_first);
+        let a_last = 1.0 / (1.0 + z_last);
+        let g = power.growth();
+        let lin_growth = (g.d_of_a(a_last) / g.d_of_a(a_first)).powi(2);
+        let k_lo = first.k[1];
+        let lo_growth = last.at(k_lo) / first.at(k_lo);
+        // Probe the nonlinear regime *below* the particle Nyquist —
+        // beyond it the early-time measurement is lattice/alias noise.
+        let k_part_ny = std::f64::consts::PI * np as f64 / box_len;
+        let k_hi = 0.65 * k_part_ny;
+        let hi_growth = last.at(k_hi) / first.at(k_hi);
+        println!(
+            "\nlow-k growth  P(z={z_last:.1})/P(z={z_first:.1}) at k={k_lo:.3}: {lo_growth:.1} \
+             (linear theory: {lin_growth:.1})"
+        );
+        println!(
+            "high-k growth at k={k_hi:.3}: {hi_growth:.1}  — nonlinear enhancement factor \
+             {:.1}x over linear",
+            hi_growth / lin_growth
+        );
+        println!(
+            "\npaper reference: 'At small wavenumbers, the evolution is linear, but at\n\
+             large wavenumbers it is highly nonlinear, and cannot be obtained by any\n\
+             method other than direct simulation.'"
+        );
+    }
+}

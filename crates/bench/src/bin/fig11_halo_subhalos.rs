@@ -1,0 +1,118 @@
+//! Fig. 11 reproduction: a massive halo and its subhalos.
+//!
+//! The paper visualizes a ~10¹⁵ M_sun halo with its subhalos colored
+//! individually, each hosting one or more galaxies. We run the science
+//! box to z = 0, find FOF halos at b = 0.2, split the most massive one
+//! into subhalos at a shorter linking length, and print the catalog the
+//! figure would be rendered from — plus the mass function against the
+//! Sheth–Tormen comparator.
+
+use hacc_analysis::{FofFinder, MassFunctionEstimate};
+use hacc_bench::{print_table, reference_power, run_science_sim};
+use hacc_core::SolverKind;
+use hacc_cosmo::MassFunction;
+
+fn main() {
+    println!("Fig. 11: halo and subhalo catalog");
+    let np = 24usize;
+    let box_len = 96.0;
+    let sim = run_science_sim(np, box_len, 18, SolverKind::TreePm, &[], |_, _| {});
+    let (x, y, z) = sim.positions();
+    let (vx, vy, vz) = sim.momenta();
+
+    let finder = FofFinder::with_linking_param(box_len, np, 0.2, 20);
+    let halos = finder.find_with_velocities(x, y, z, Some((vx, vy, vz)));
+    let particle_mass = sim.config().particle_mass(sim.len());
+    println!(
+        "\nfound {} halos (≥20 particles); particle mass {:.2e} M_sun/h",
+        halos.len(),
+        particle_mass
+    );
+
+    let rows: Vec<Vec<String>> = halos
+        .iter()
+        .take(10)
+        .enumerate()
+        .map(|(i, h)| {
+            vec![
+                i.to_string(),
+                h.count().to_string(),
+                format!("{:.2e}", h.count() as f64 * particle_mass),
+                format!(
+                    "({:.1}, {:.1}, {:.1})",
+                    h.center[0], h.center[1], h.center[2]
+                ),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ten most massive halos",
+        &["rank", "particles", "mass [Msun/h]", "center [Mpc/h]"],
+        &rows,
+    );
+
+    if let Some(big) = halos.first() {
+        let subs = finder.subhalos(big, x, y, z, 0.5, 5);
+        if subs.len() <= 1 {
+            println!(
+                "\n(sub-structure unresolved: the most massive halo holds only {} particles\n\
+                 at this laptop-scale mass resolution — the paper's 10^15 M_sun halo has\n\
+                 ~10^5; the splitting machinery is exercised by the unit tests instead.)",
+                big.count()
+            );
+        }
+        let rows: Vec<Vec<String>> = subs
+            .iter()
+            .take(10)
+            .enumerate()
+            .map(|(i, s)| {
+                vec![
+                    i.to_string(),
+                    s.count().to_string(),
+                    format!("{:.2e}", s.count() as f64 * particle_mass),
+                    format!(
+                        "({:.1}, {:.1}, {:.1})",
+                        s.center[0], s.center[1], s.center[2]
+                    ),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!(
+                "Subhalos of the most massive halo ({} particles, b_sub = 0.08)",
+                big.count()
+            ),
+            &["sub", "particles", "mass [Msun/h]", "center [Mpc/h]"],
+            &rows,
+        );
+        println!(
+            "\npaper reference: 'The main halo (red) is in a relatively relaxed\n\
+             configuration; it will host a bright central galaxy as well as tens of\n\
+             dimmer galaxies. Each sub-halo, depending on its mass, can host one or\n\
+             more galaxies.'"
+        );
+    }
+
+    // Mass function vs Sheth–Tormen.
+    let est = MassFunctionEstimate::from_catalog(&halos, particle_mass, box_len.powi(3), 6);
+    let power = reference_power();
+    let rows: Vec<Vec<String>> = est
+        .mass
+        .iter()
+        .zip(est.dn_dlnm.iter().zip(&est.count))
+        .map(|(m, (dn, c))| {
+            let st = MassFunction::ShethTormen.dn_dlnm(&power, *m, 1.0);
+            vec![
+                format!("{m:.2e}"),
+                format!("{dn:.2e}"),
+                format!("{st:.2e}"),
+                c.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "FOF mass function vs Sheth–Tormen at z = 0",
+        &["M [Msun/h]", "measured dn/dlnM", "Sheth-Tormen", "halos"],
+        &rows,
+    );
+}

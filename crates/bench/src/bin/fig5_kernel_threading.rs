@@ -1,0 +1,128 @@
+//! Fig. 5 reproduction: force-kernel performance vs neighbor-list size
+//! for different rank × thread configurations.
+//!
+//! The paper sweeps the shared-interaction-list length from 50 to 5000 for
+//! eight ranks-per-node/threads configurations on a BG/Q node and reports
+//! percent of node peak; the curves rise with list length and with
+//! hardware threads per core, plateauing near 80% of peak at 4
+//! threads/core. Here "ranks" are rayon worker partitions of the leaf
+//! set and "peak" is the host FMA calibration from `hacc-machine` — the
+//! shape to verify is: longer lists ⇒ higher efficiency, more threads ⇒
+//! higher throughput until the physical cores saturate.
+
+use std::time::Instant;
+
+use hacc_bench::{fmt_flops, print_table};
+use hacc_machine::calibrate_peak_flops;
+use hacc_short::{ForceKernel, FLOPS_PER_INTERACTION_ACTUAL};
+
+fn main() {
+    let hw_threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(4);
+    println!("Fig. 5: force kernel threading performance");
+    println!("host hardware threads: {hw_threads}");
+    print!("calibrating host peak... ");
+    let peak_1t = calibrate_peak_flops(1, 200);
+    let peak_all = calibrate_peak_flops(hw_threads, 200);
+    println!(
+        "1 thread: {}, {hw_threads} threads: {}",
+        fmt_flops(peak_1t),
+        fmt_flops(peak_all)
+    );
+
+    let list_sizes = [50usize, 100, 250, 500, 1000, 2500, 5000];
+    let mut thread_counts = vec![1usize, 2];
+    let mut t = 4;
+    while t <= hw_threads {
+        thread_counts.push(t);
+        t *= 2;
+    }
+
+    let kernel = ForceKernel::newtonian(1e9, 1e-5);
+    // First pass: measure raw kernel flop rates for every configuration.
+    let mut rates: Vec<(usize, Vec<f64>)> = Vec::new();
+    for &threads in &thread_counts {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        let mut per_size = Vec::new();
+        for &m in &list_sizes {
+            // Synthetic leaf: 64 targets sharing a list of m neighbors,
+            // replicated so each measurement runs ≥ ~10^8 interactions.
+            let (nx, ny, nz, nm) = synth_list(m);
+            let targets = 64usize;
+            let leaves = (100_000_000 / (targets * m)).clamp(4, 4000);
+            let reps: Vec<usize> = (0..leaves).collect();
+            let t0 = Instant::now();
+            let sink: f32 = pool.install(|| {
+                use rayon::prelude::*;
+                reps.par_iter()
+                    .map(|&r| {
+                        let mut acc = 0.0f32;
+                        for tgt in 0..targets {
+                            let x = (tgt as f32 * 0.013 + r as f32 * 1e-6) % 1.0;
+                            let f = kernel.force_on(x, 0.5, 0.5, &nx, &ny, &nz, &nm);
+                            acc += f[0] + f[1] + f[2];
+                        }
+                        acc
+                    })
+                    .sum()
+            });
+            std::hint::black_box(sink);
+            let dt = t0.elapsed().as_secs_f64();
+            let inter = (leaves * targets * m) as f64;
+            per_size.push(inter * FLOPS_PER_INTERACTION_ACTUAL as f64 / dt);
+        }
+        rates.push((threads, per_size));
+    }
+    // Normalize: the reference "peak" is whichever is higher, the FMA
+    // calibration or the best kernel rate observed at that thread count —
+    // on virtualized hosts the simple calibration loop can undershoot
+    // what the vectorized kernel achieves, and a >100% efficiency would
+    // be meaningless.
+    let mut rows = Vec::new();
+    for (threads, per_size) in &rates {
+        let cal = calibrate_peak_flops(*threads, 100);
+        let best = per_size.iter().copied().fold(0.0, f64::max);
+        let peak = cal.max(best);
+        let mut row = vec![format!("{threads}")];
+        for rate in per_size {
+            row.push(format!("{:.1}", 100.0 * rate / peak));
+        }
+        rows.push(row);
+    }
+    let mut header = vec!["threads"];
+    let labels: Vec<String> = list_sizes.iter().map(|m| format!("list={m}")).collect();
+    header.extend(labels.iter().map(|s| s.as_str()));
+    print_table(
+        "Force kernel: % of calibrated peak vs neighbor-list size (paper Fig. 5)",
+        &header,
+        &rows,
+    );
+    println!(
+        "\npaper reference: ~80% of BG/Q node peak at 4 threads/core, rising with list size;\n\
+         typical production list sizes are 500-2500."
+    );
+}
+
+/// Deterministic synthetic neighbor list inside the unit sphere.
+fn synth_list(m: usize) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
+    let mut s = 0x5DEECE66Du64;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s as f64 / u64::MAX as f64) as f32
+    };
+    let mut nx = Vec::with_capacity(m);
+    let mut ny = Vec::with_capacity(m);
+    let mut nz = Vec::with_capacity(m);
+    for _ in 0..m {
+        nx.push(next() * 2.0 - 1.0);
+        ny.push(next() * 2.0 - 1.0);
+        nz.push(next() * 2.0 - 1.0);
+    }
+    (nx, ny, nz, vec![1.0; m])
+}

@@ -1,0 +1,77 @@
+//! Fig. 9 reproduction: time evolution of structure formation.
+//!
+//! The paper shows density zoom frames at decreasing redshift: the
+//! particle distribution transitions from essentially uniform to
+//! extremely clustered, with the local density contrast growing by about
+//! five orders of magnitude — while the wall-clock per step stays
+//! roughly constant. We emit the same series as density-slice statistics
+//! plus PGM frames under `out/fig9/`, and print the per-step wall-clock
+//! to verify its flatness.
+
+use hacc_analysis::{density_contrast_stats, DensitySlice};
+use hacc_bench::{print_table, run_science_sim, FIG10_REDSHIFTS};
+use hacc_core::SolverKind;
+
+fn main() {
+    println!("Fig. 9: structure growth frames (density slices)");
+    let np = 24;
+    let box_len = 96.0;
+    let out_dir = std::path::Path::new("out/fig9");
+    std::fs::create_dir_all(out_dir).expect("create output dir");
+
+    let mut rows = Vec::new();
+    let sim = run_science_sim(
+        np,
+        box_len,
+        18,
+        SolverKind::TreePm,
+        &FIG10_REDSHIFTS,
+        |z, s| {
+            let (x, y, zz) = s.positions();
+            let (dmax, drms, empty) = density_contrast_stats(x, y, zz, box_len, 64);
+            let slice = DensitySlice::project(
+                x,
+                y,
+                zz,
+                box_len,
+                (0.0, box_len / 8.0),
+                (0.0, 0.0, box_len),
+                256,
+            );
+            let path = out_dir.join(format!("frame_z{z:.1}.pgm"));
+            slice.write_pgm(&path).expect("write frame");
+            rows.push(vec![
+                format!("{z:.1}"),
+                format!("{dmax:.1}"),
+                format!("{drms:.3}"),
+                format!("{:.1}", 100.0 * empty),
+                path.display().to_string(),
+            ]);
+        },
+    );
+
+    print_table(
+        "Density contrast growth across snapshots (64³ measurement mesh)",
+        &["z", "max δ", "rms δ", "empty cells %", "frame"],
+        &rows,
+    );
+
+    // Wall-clock flatness across steps (the paper: "the wall-clock per
+    // time step does not change much over the entire simulation").
+    let times: Vec<f64> = sim
+        .stats
+        .steps
+        .iter()
+        .map(|s| s.total().as_secs_f64())
+        .collect();
+    let early: f64 = times[..times.len() / 3].iter().sum::<f64>() / (times.len() / 3) as f64;
+    let late: f64 =
+        times[2 * times.len() / 3..].iter().sum::<f64>() / (times.len() - 2 * times.len() / 3) as f64;
+    println!(
+        "\nwall-clock per step: early mean {:.3}s, late mean {:.3}s (ratio {:.2}) — \n\
+         clustering grows the neighbor lists but fat-leaf trees keep the cost bounded.",
+        early,
+        late,
+        late / early
+    );
+}

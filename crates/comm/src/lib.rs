@@ -1,0 +1,674 @@
+//! Threads-as-ranks mini-MPI.
+//!
+//! The paper runs HACC with up to 1,572,864 MPI ranks on the BG/Q. No such
+//! machine (nor mature Rust MPI bindings) is available here, so this crate
+//! provides the substrate the rest of the reproduction runs on: a set of
+//! *simulated ranks*, one OS thread each, exchanging typed messages through
+//! shared in-process mailboxes.
+//!
+//! The API deliberately mirrors the small subset of MPI that HACC needs —
+//! point-to-point send/recv, barrier, broadcast, (all)reduce, (all)gather,
+//! `alltoallv`, and communicator `split` (used by the pencil FFT for its row
+//! and column transposes). Every byte sent is accounted per rank so the
+//! machine model (crates/machine) can translate measured traffic into
+//! paper-scale network estimates.
+//!
+//! Messages are buffered: `send` never blocks, `recv` blocks until a
+//! matching `(context, source, tag)` message arrives. Matching is exact
+//! (no wildcards), which keeps the semantics deterministic.
+
+pub mod stats;
+pub mod topology;
+
+pub use stats::TrafficStats;
+pub use topology::{dims_create, CartComm};
+
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Mailbox key: (communicator context, global source rank, user tag).
+type Key = (u64, usize, u64);
+
+/// One rank's incoming mailbox.
+#[derive(Default)]
+struct Mailbox {
+    queues: Mutex<HashMap<Key, VecDeque<Box<dyn Any + Send>>>>,
+    signal: Condvar,
+}
+
+/// State shared by every rank of a [`Machine`].
+struct Shared {
+    boxes: Vec<Mailbox>,
+    bytes_sent: Vec<AtomicU64>,
+    msgs_sent: Vec<AtomicU64>,
+    /// Set when any rank panics so ranks blocked in `recv` abort instead
+    /// of waiting forever on messages that will never come.
+    poisoned: AtomicBool,
+}
+
+/// A virtual parallel machine: `n` ranks running as threads in this process.
+pub struct Machine {
+    ranks: usize,
+}
+
+impl Machine {
+    /// Create a machine with `ranks` simulated ranks.
+    pub fn new(ranks: usize) -> Self {
+        assert!(ranks > 0, "need at least one rank");
+        Machine { ranks }
+    }
+
+    /// Run `f` on every rank concurrently; returns the per-rank results in
+    /// rank order together with the traffic statistics of the run.
+    pub fn run<T, F>(&self, f: F) -> (Vec<T>, TrafficStats)
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Sync,
+    {
+        let shared = Arc::new(Shared {
+            boxes: (0..self.ranks).map(|_| Mailbox::default()).collect(),
+            bytes_sent: (0..self.ranks).map(|_| AtomicU64::new(0)).collect(),
+            msgs_sent: (0..self.ranks).map(|_| AtomicU64::new(0)).collect(),
+            poisoned: AtomicBool::new(false),
+        });
+        let next_context = Arc::new(AtomicU64::new(1));
+        let mut results: Vec<Option<T>> = (0..self.ranks).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.ranks);
+            for (rank, slot) in results.iter_mut().enumerate() {
+                let shared = Arc::clone(&shared);
+                let next_context = Arc::clone(&next_context);
+                let f = &f;
+                let ranks = self.ranks;
+                handles.push(scope.spawn(move || {
+                    let shared_for_poison = Arc::clone(&shared);
+                    let comm = Comm {
+                        shared,
+                        context: 0,
+                        next_context,
+                        rank,
+                        group: (0..ranks).collect::<Vec<_>>().into(),
+                    };
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm)));
+                    match result {
+                        Ok(v) => *slot = Some(v),
+                        Err(payload) => {
+                            // Wake every blocked receiver so the machine
+                            // shuts down instead of deadlocking.
+                            shared_for_poison.poisoned.store(true, Ordering::SeqCst);
+                            for mbox in shared_for_poison.boxes.iter() {
+                                let _guard = mbox.queues.lock();
+                                mbox.signal.notify_all();
+                            }
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                }));
+            }
+            let mut first_panic = None;
+            for h in handles {
+                if let Err(p) = h.join() {
+                    first_panic.get_or_insert(p);
+                }
+            }
+            if let Some(p) = first_panic {
+                // Re-raise with a recognizable prefix for should_panic tests.
+                if let Some(s) = p
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                {
+                    panic!("rank thread panicked: {s}");
+                }
+                panic!("rank thread panicked");
+            }
+        });
+        let stats = TrafficStats {
+            bytes_sent: shared
+                .bytes_sent
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            msgs_sent: shared
+                .msgs_sent
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+        };
+        (
+            results
+                .into_iter()
+                .map(|r| r.expect("rank produced result"))
+                .collect(),
+            stats,
+        )
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+}
+
+/// A communicator handle owned by one rank.
+///
+/// Each rank's collectives must be called by all ranks of the communicator
+/// in the same order (as with MPI).
+pub struct Comm {
+    shared: Arc<Shared>,
+    /// Communicator context id — isolates traffic of split communicators.
+    context: u64,
+    /// Shared counter used to derive fresh context ids deterministically.
+    next_context: Arc<AtomicU64>,
+    /// This rank's index *within this communicator*.
+    rank: usize,
+    /// Map from communicator rank to global rank.
+    group: Arc<[usize]>,
+}
+
+impl Comm {
+    /// This rank's index in the communicator.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+
+    fn global(&self, rank: usize) -> usize {
+        self.group[rank]
+    }
+
+    /// Send `data` to communicator rank `dst` with `tag`. Buffered —
+    /// returns immediately.
+    pub fn send<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+        let me = self.global(self.rank);
+        let bytes = std::mem::size_of::<T>() as u64 * data.len() as u64;
+        self.shared.bytes_sent[me].fetch_add(bytes, Ordering::Relaxed);
+        self.shared.msgs_sent[me].fetch_add(1, Ordering::Relaxed);
+        let mbox = &self.shared.boxes[self.global(dst)];
+        let key = (self.context, me, tag);
+        mbox.queues
+            .lock()
+            .entry(key)
+            .or_default()
+            .push_back(Box::new(data));
+        mbox.signal.notify_all();
+    }
+
+    /// Receive a message previously sent by communicator rank `src` with
+    /// `tag`. Blocks until available. Panics if the payload type differs
+    /// from what was sent (a programming error, as in MPI).
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
+        let mbox = &self.shared.boxes[self.global(self.rank)];
+        let key = (self.context, self.global(src), tag);
+        let mut queues = mbox.queues.lock();
+        loop {
+            if let Some(q) = queues.get_mut(&key) {
+                if let Some(boxed) = q.pop_front() {
+                    return *boxed
+                        .downcast::<Vec<T>>()
+                        .expect("recv: payload type mismatch");
+                }
+            }
+            if self.shared.poisoned.load(Ordering::SeqCst) {
+                panic!("machine poisoned: another rank panicked");
+            }
+            mbox.signal.wait(&mut queues);
+        }
+    }
+
+    /// Exchange with a partner: send then receive (safe because sends are
+    /// buffered).
+    pub fn sendrecv<T: Send + 'static>(&self, peer: usize, tag: u64, data: Vec<T>) -> Vec<T> {
+        self.send(peer, tag, data);
+        self.recv(peer, tag)
+    }
+
+    /// Dissemination barrier (log₂ P rounds of token exchange).
+    pub fn barrier(&self) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        let mut step = 1usize;
+        let mut round = 0u64;
+        while step < p {
+            let dst = (self.rank + step) % p;
+            let src = (self.rank + p - step) % p;
+            self.send::<u8>(dst, TAG_BARRIER + round, Vec::new());
+            let _ = self.recv::<u8>(src, TAG_BARRIER + round);
+            step <<= 1;
+            round += 1;
+        }
+    }
+
+    /// Broadcast from `root` to every rank via a binomial tree; returns the
+    /// data on all ranks. Non-root ranks pass `None`.
+    pub fn broadcast<T: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        data: Option<Vec<T>>,
+    ) -> Vec<T> {
+        let p = self.size();
+        let rel = (self.rank + p - root) % p;
+        let buf = if rel == 0 {
+            data.expect("broadcast: root must supply data")
+        } else {
+            // The sender is rel with its highest set bit cleared.
+            let hsb = usize::BITS - 1 - rel.leading_zeros();
+            let src_rel = rel & !(1usize << hsb);
+            let src = (src_rel + root) % p;
+            self.recv::<T>(src, TAG_BCAST)
+        };
+        // Forward to children: rel + bit for bits above rel's highest bit.
+        let start_bit = if rel == 0 {
+            0
+        } else {
+            (usize::BITS - rel.leading_zeros()) as usize
+        };
+        let mut bit = 1usize << start_bit;
+        while rel + bit < p {
+            let dst = (rel + bit + root) % p;
+            self.send(dst, TAG_BCAST, buf.clone());
+            bit <<= 1;
+        }
+        buf
+    }
+
+    /// Reduce element-wise with `op` to `root`; non-roots get `None`.
+    pub fn reduce<T, F>(&self, root: usize, mut data: Vec<T>, op: F) -> Option<Vec<T>>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let p = self.size();
+        let rel = (self.rank + p - root) % p;
+        let mut mask = 1usize;
+        while mask < p {
+            if rel & mask != 0 {
+                let dst_rel = rel & !mask;
+                let dst = (dst_rel + root) % p;
+                self.send(dst, TAG_REDUCE, data);
+                return None;
+            }
+            let src_rel = rel | mask;
+            if src_rel < p {
+                let src = (src_rel + root) % p;
+                let other = self.recv::<T>(src, TAG_REDUCE);
+                assert_eq!(other.len(), data.len(), "reduce: length mismatch");
+                for (a, b) in data.iter_mut().zip(other.iter()) {
+                    *a = op(a, b);
+                }
+            }
+            mask <<= 1;
+        }
+        Some(data)
+    }
+
+    /// Allreduce: reduce to rank 0 then broadcast.
+    pub fn allreduce<T, F>(&self, data: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let reduced = self.reduce(0, data, op);
+        self.broadcast(0, reduced)
+    }
+
+    /// Allreduce a single f64 sum.
+    pub fn allreduce_sum(&self, x: f64) -> f64 {
+        self.allreduce(vec![x], |a, b| a + b)[0]
+    }
+
+    /// Allreduce a single f64 max.
+    pub fn allreduce_max(&self, x: f64) -> f64 {
+        self.allreduce(vec![x], |a, b| a.max(*b))[0]
+    }
+
+    /// Gather variable-length contributions to `root` (rank order);
+    /// non-roots get `None`.
+    pub fn gather<T: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        data: Vec<T>,
+    ) -> Option<Vec<Vec<T>>> {
+        if self.rank != root {
+            self.send(root, TAG_GATHER, data);
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.size());
+        for r in 0..self.size() {
+            if r == root {
+                out.push(data.clone());
+            } else {
+                out.push(self.recv::<T>(r, TAG_GATHER));
+            }
+        }
+        Some(out)
+    }
+
+    /// Allgather: every rank receives every rank's contribution (rank order).
+    pub fn allgather<T: Clone + Send + 'static>(&self, data: Vec<T>) -> Vec<Vec<T>> {
+        // Ring allgather: p-1 shifts.
+        let p = self.size();
+        let mut out: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
+        out[self.rank] = Some(data.clone());
+        let mut cur = data;
+        for step in 0..p.saturating_sub(1) {
+            let dst = (self.rank + 1) % p;
+            let src = (self.rank + p - 1) % p;
+            self.send(dst, TAG_AGATHER + step as u64, cur);
+            cur = self.recv::<T>(src, TAG_AGATHER + step as u64);
+            let origin = (self.rank + p - 1 - step) % p;
+            out[origin] = Some(cur.clone());
+        }
+        out.into_iter().map(|v| v.expect("allgather slot")).collect()
+    }
+
+    /// Personalized all-to-all: `sends[r]` goes to rank `r`; returns the
+    /// vector received from each rank (in rank order).
+    pub fn alltoallv<T: Send + 'static>(&self, mut sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        let p = self.size();
+        assert_eq!(sends.len(), p, "alltoallv: need one send buffer per rank");
+        let mut recvs: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
+        recvs[self.rank] = Some(std::mem::take(&mut sends[self.rank]));
+        // Rotated pairwise schedule — each step pairs disjoint rank pairs,
+        // which avoids the communication hot spots the paper warns about in
+        // the pencil-FFT transposes.
+        for step in 1..p {
+            let dst = (self.rank + step) % p;
+            let src = (self.rank + p - step) % p;
+            self.send(dst, TAG_A2A + step as u64, std::mem::take(&mut sends[dst]));
+            recvs[src] = Some(self.recv::<T>(src, TAG_A2A + step as u64));
+        }
+        recvs.into_iter().map(|r| r.expect("alltoallv slot")).collect()
+    }
+
+    /// Split into sub-communicators by `color`; ranks with equal color form
+    /// one communicator, ordered by `key` (ties broken by parent rank).
+    /// Must be called collectively.
+    pub fn split(&self, color: u64, key: u64) -> Comm {
+        let info = self.allgather(vec![(color, key, self.rank)]);
+        let mut mine: Vec<(u64, usize)> = info
+            .iter()
+            .map(|v| v[0])
+            .filter(|&(c, _, _)| c == color)
+            .map(|(_, k, r)| (k, r))
+            .collect();
+        mine.sort_unstable();
+        let group: Vec<usize> = mine.iter().map(|&(_, r)| self.global(r)).collect();
+        let new_rank = group
+            .iter()
+            .position(|&g| g == self.global(self.rank))
+            .expect("split: own rank in group");
+        let base = self.bump_context_base();
+        Comm {
+            shared: Arc::clone(&self.shared),
+            context: base.wrapping_mul(1_000_003).wrapping_add(color + 1),
+            next_context: Arc::clone(&self.next_context),
+            rank: new_rank,
+            group: group.into(),
+        }
+    }
+
+    /// All ranks of this communicator agree on a fresh context base.
+    fn bump_context_base(&self) -> u64 {
+        let base = if self.rank == 0 {
+            Some(vec![self.next_context.fetch_add(1, Ordering::Relaxed)])
+        } else {
+            None
+        };
+        self.broadcast(0, base)[0]
+    }
+
+    /// Duplicate this communicator with a fresh context (no cross-talk with
+    /// the original).
+    pub fn duplicate(&self) -> Comm {
+        let base = self.bump_context_base();
+        Comm {
+            shared: Arc::clone(&self.shared),
+            context: base.wrapping_mul(999_983).wrapping_add(7),
+            next_context: Arc::clone(&self.next_context),
+            rank: self.rank,
+            group: Arc::clone(&self.group),
+        }
+    }
+}
+
+const TAG_BARRIER: u64 = u64::MAX - 1_000_000;
+const TAG_BCAST: u64 = u64::MAX - 2_000_000;
+const TAG_REDUCE: u64 = u64::MAX - 3_000_000;
+const TAG_GATHER: u64 = u64::MAX - 4_000_000;
+const TAG_AGATHER: u64 = u64::MAX - 5_000_000;
+const TAG_A2A: u64 = u64::MAX - 6_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_machine_runs() {
+        let (res, _) = Machine::new(1).run(|c| {
+            c.barrier();
+            c.rank()
+        });
+        assert_eq!(res, vec![0]);
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let (res, stats) = Machine::new(2).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 7, vec![1.0f64, 2.0, 3.0]);
+                0.0
+            } else {
+                c.recv::<f64>(0, 7).iter().sum()
+            }
+        });
+        assert_eq!(res[1], 6.0);
+        assert_eq!(stats.bytes_sent[0], 24);
+    }
+
+    #[test]
+    fn messages_with_same_tag_preserve_order() {
+        let (res, _) = Machine::new(2).run(|c| {
+            if c.rank() == 0 {
+                for i in 0..10 {
+                    c.send(1, 3, vec![i as i64]);
+                }
+                vec![]
+            } else {
+                (0..10).map(|_| c.recv::<i64>(0, 3)[0]).collect()
+            }
+        });
+        assert_eq!(res[1], (0..10).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn barrier_many_ranks() {
+        for p in [2, 3, 5, 8] {
+            let (res, _) = Machine::new(p).run(|c| {
+                for _ in 0..5 {
+                    c.barrier();
+                }
+                c.rank()
+            });
+            assert_eq!(res.len(), p);
+        }
+    }
+
+    #[test]
+    fn broadcast_all_roots_all_sizes() {
+        for p in [1, 2, 3, 4, 7, 8] {
+            for root in 0..p {
+                let (res, _) = Machine::new(p).run(|c| {
+                    let data = if c.rank() == root {
+                        Some(vec![42u32, root as u32])
+                    } else {
+                        None
+                    };
+                    c.broadcast(root, data)
+                });
+                for r in res {
+                    assert_eq!(r, vec![42, root as u32]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sum_various_sizes() {
+        for p in [1, 2, 3, 6, 8] {
+            let (res, _) =
+                Machine::new(p).run(|c| c.reduce(0, vec![c.rank() as u64, 1], |a, b| a + b));
+            let expect: u64 = (0..p as u64).sum();
+            assert_eq!(res[0], Some(vec![expect, p as u64]));
+            for r in &res[1..] {
+                assert!(r.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_nonzero_root() {
+        let (res, _) = Machine::new(5).run(|c| c.reduce(3, vec![1.0f64], |a, b| a + b));
+        assert_eq!(res[3], Some(vec![5.0]));
+        assert!(res[0].is_none());
+    }
+
+    #[test]
+    fn allreduce_max_and_sum() {
+        let (res, _) = Machine::new(5).run(|c| {
+            let s = c.allreduce_sum(c.rank() as f64);
+            let m = c.allreduce_max(c.rank() as f64);
+            (s, m)
+        });
+        for (s, m) in res {
+            assert_eq!(s, 10.0);
+            assert_eq!(m, 4.0);
+        }
+    }
+
+    #[test]
+    fn gather_and_allgather() {
+        let (res, _) = Machine::new(4).run(|c| {
+            let g = c.allgather(vec![c.rank() as u8; c.rank() + 1]);
+            g.iter().map(|v| v.len()).collect::<Vec<_>>()
+        });
+        for r in res {
+            assert_eq!(r, vec![1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn alltoallv_power_of_two_and_odd() {
+        for p in [2, 4, 3, 5] {
+            let (res, _) = Machine::new(p).run(move |c| {
+                let sends: Vec<Vec<u64>> = (0..p)
+                    .map(|dst| vec![(c.rank() * 100 + dst) as u64])
+                    .collect();
+                let recvs = c.alltoallv(sends);
+                recvs
+                    .iter()
+                    .enumerate()
+                    .all(|(src, v)| v == &vec![(src * 100 + c.rank()) as u64])
+            });
+            assert!(res.iter().all(|&ok| ok), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn alltoallv_variable_lengths_conserve_elements() {
+        let p = 4;
+        let (res, _) = Machine::new(p).run(move |c| {
+            let sends: Vec<Vec<u32>> = (0..p)
+                .map(|dst| vec![c.rank() as u32; (c.rank() + dst) % 3])
+                .collect();
+            let sent: usize = sends.iter().map(Vec::len).sum();
+            let recvs = c.alltoallv(sends);
+            let got: usize = recvs.iter().map(Vec::len).sum();
+            (sent, got)
+        });
+        let total_sent: usize = res.iter().map(|&(s, _)| s).sum();
+        let total_got: usize = res.iter().map(|&(_, g)| g).sum();
+        assert_eq!(total_sent, total_got);
+    }
+
+    #[test]
+    fn split_rows_and_columns() {
+        let (res, _) = Machine::new(6).run(|c| {
+            let row = c.rank() / 3;
+            let col = c.rank() % 3;
+            let row_comm = c.split(row as u64, col as u64);
+            let col_comm = c.split(col as u64, row as u64);
+            let s = row_comm.allreduce_sum(col as f64);
+            let t = col_comm.allreduce_sum(row as f64);
+            (row_comm.size(), col_comm.size(), s, t)
+        });
+        for (rs, cs, s, t) in res {
+            assert_eq!((rs, cs), (3, 2));
+            assert_eq!(s, 3.0);
+            assert_eq!(t, 1.0);
+        }
+    }
+
+    #[test]
+    fn split_then_collectives_do_not_cross_talk() {
+        let (res, _) = Machine::new(4).run(|c| {
+            let half = c.split((c.rank() / 2) as u64, c.rank() as u64);
+            let a = c.allreduce_sum(1.0);
+            let b = half.allreduce_sum(1.0);
+            (a, b)
+        });
+        for (a, b) in res {
+            assert_eq!((a, b), (4.0, 2.0));
+        }
+    }
+
+    #[test]
+    fn duplicate_isolated() {
+        let (res, _) = Machine::new(3).run(|c| {
+            let d = c.duplicate();
+            d.send((c.rank() + 1) % 3, 5, vec![c.rank() as u32]);
+            let got = d.recv::<u32>((c.rank() + 2) % 3, 5);
+            got[0] as usize
+        });
+        assert_eq!(res, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn traffic_stats_accumulate() {
+        let (_, stats) = Machine::new(2).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 1, vec![0u8; 100]);
+                c.send(1, 2, vec![0u64; 10]);
+            } else {
+                let _ = c.recv::<u8>(0, 1);
+                let _ = c.recv::<u64>(0, 2);
+            }
+        });
+        assert_eq!(stats.bytes_sent[0], 180);
+        assert_eq!(stats.msgs_sent[0], 2);
+        assert_eq!(stats.total_bytes(), 180);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn recv_wrong_type_panics() {
+        let _ = Machine::new(2).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 0, vec![1.0f32]);
+            } else {
+                let _ = c.recv::<f64>(0, 0);
+            }
+        });
+    }
+}

@@ -1,0 +1,80 @@
+//! Per-rank traffic accounting for the machine model.
+
+/// Communication traffic observed during one [`crate::Machine::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Bytes sent by each rank (payload only).
+    pub bytes_sent: Vec<u64>,
+    /// Number of messages sent by each rank.
+    pub msgs_sent: Vec<u64>,
+}
+
+impl TrafficStats {
+    /// Total payload bytes moved during the run.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent.iter().sum()
+    }
+
+    /// Total message count during the run.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs_sent.iter().sum()
+    }
+
+    /// Maximum bytes sent by any single rank — the communication critical
+    /// path under a symmetric network assumption.
+    pub fn max_rank_bytes(&self) -> u64 {
+        self.bytes_sent.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean bytes per rank.
+    pub fn mean_rank_bytes(&self) -> f64 {
+        if self.bytes_sent.is_empty() {
+            0.0
+        } else {
+            self.total_bytes() as f64 / self.bytes_sent.len() as f64
+        }
+    }
+
+    /// Load imbalance of the communication volume: max/mean (1.0 = perfect).
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean_rank_bytes();
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.max_rank_bytes() as f64 / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let s = TrafficStats {
+            bytes_sent: vec![100, 300],
+            msgs_sent: vec![1, 3],
+        };
+        assert_eq!(s.total_bytes(), 400);
+        assert_eq!(s.total_msgs(), 4);
+        assert_eq!(s.max_rank_bytes(), 300);
+        assert_eq!(s.mean_rank_bytes(), 200.0);
+        assert_eq!(s.imbalance(), 1.5);
+    }
+
+    #[test]
+    fn empty_and_zero() {
+        let s = TrafficStats {
+            bytes_sent: vec![],
+            msgs_sent: vec![],
+        };
+        assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.imbalance(), 1.0);
+        let z = TrafficStats {
+            bytes_sent: vec![0, 0],
+            msgs_sent: vec![0, 0],
+        };
+        assert_eq!(z.imbalance(), 1.0);
+    }
+}

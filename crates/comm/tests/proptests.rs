@@ -1,0 +1,88 @@
+//! Property-based tests of the mini-MPI collectives.
+
+use hacc_comm::Machine;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// alltoallv conserves every element exactly, for arbitrary rank
+    /// counts and message sizes.
+    #[test]
+    fn alltoallv_is_a_permutation_of_payloads(
+        ranks in 1usize..7,
+        sizes in prop::collection::vec(0usize..20, 0..49),
+    ) {
+        let (res, _) = Machine::new(ranks).run(|c| {
+            let me = c.rank();
+            let sends: Vec<Vec<u64>> = (0..c.size())
+                .map(|dst| {
+                    let n = sizes.get(me * c.size() + dst).copied().unwrap_or(1);
+                    (0..n).map(|i| (me * 1_000_000 + dst * 1_000 + i) as u64).collect()
+                })
+                .collect();
+            let expected_from: Vec<Vec<u64>> = (0..c.size())
+                .map(|src| {
+                    let n = sizes.get(src * c.size() + me).copied().unwrap_or(1);
+                    (0..n).map(|i| (src * 1_000_000 + me * 1_000 + i) as u64).collect()
+                })
+                .collect();
+            let got = c.alltoallv(sends);
+            got == expected_from
+        });
+        prop_assert!(res.iter().all(|&ok| ok));
+    }
+
+    /// allreduce(sum) equals the serial sum independent of rank count.
+    #[test]
+    fn allreduce_sum_correct(ranks in 1usize..9, values in prop::collection::vec(-100.0f64..100.0, 9)) {
+        let vals = values.clone();
+        let (res, _) = Machine::new(ranks).run(|c| {
+            c.allreduce_sum(vals[c.rank() % vals.len()])
+        });
+        let want: f64 = (0..ranks).map(|r| values[r % values.len()]).sum();
+        for r in res {
+            prop_assert!((r - want).abs() < 1e-9);
+        }
+    }
+
+    /// broadcast delivers identical payloads to every rank for any root.
+    #[test]
+    fn broadcast_delivers_everywhere(
+        ranks in 1usize..9,
+        root_seed in any::<usize>(),
+        payload in prop::collection::vec(any::<u32>(), 0..64),
+    ) {
+        let root = root_seed % ranks;
+        let data = payload.clone();
+        let (res, _) = Machine::new(ranks).run(move |c| {
+            let send = if c.rank() == root { Some(data.clone()) } else { None };
+            c.broadcast(root, send)
+        });
+        for r in res {
+            prop_assert_eq!(&r, &payload);
+        }
+    }
+
+    /// split partitions ranks: sub-communicator sizes sum to the total
+    /// and collectives inside each color behave.
+    #[test]
+    fn split_partitions(ranks in 2usize..9, colors in prop::collection::vec(0u64..3, 9)) {
+        let cols = colors.clone();
+        let (res, _) = Machine::new(ranks).run(move |c| {
+            let color = cols[c.rank() % cols.len()];
+            let sub = c.split(color, c.rank() as u64);
+            let members = c
+                .allgather(vec![color])
+                .iter()
+                .filter(|v| v[0] == color)
+                .count();
+            let sub_sum = sub.allreduce_sum(1.0) as usize;
+            (members, sub.size(), sub_sum)
+        });
+        for (members, size, sum) in res {
+            prop_assert_eq!(members, size);
+            prop_assert_eq!(size, sum);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! The HACC framework driver: force composition and time stepping.
+//!
+//! Assembles the substrates into the full code of the paper:
+//!
+//! * long/medium-range forces from the spectrally filtered PM solver
+//!   (`hacc-pm`), common to all "architectures";
+//! * short/close-range forces from an architecture-tunable local solver
+//!   (`hacc-short`): RCB tree ("PPTreePM", the BG/Q path) or direct
+//!   particle–particle ("P3M", the Roadrunner path) — or PM-only for
+//!   smooth-field tests;
+//! * the 2nd-order split-operator symplectic stepper of paper Eq. 6,
+//!   `M_full = M_lr(t/2) (M_sr(t/nc))^nc M_lr(t/2)`, sub-cycling the
+//!   short-range SKS (stream–kick–stream) maps inside long-range kicks
+//!   while the slowly varying long-range force stays frozen;
+//! * mixed precision exactly as in the paper: particles and short-range
+//!   arithmetic in f32, the spectral path in f64.
+//!
+//! Units: positions in Mpc/h; momenta `p = a²·dx/dt` with time in `1/H0`;
+//! `∇²φ̂ = δ` solved by the PM layer, kicks scaled by `(3/2)·Ωm` and the
+//! exact expansion-history integrals from `hacc-cosmo`.
+
+pub mod config;
+pub mod dist;
+pub mod sim;
+pub mod stats;
+
+pub use config::{SimConfig, SolverKind};
+pub use dist::DistSimulation;
+pub use sim::Simulation;
+pub use stats::{RunStats, StepBreakdown};

@@ -1,0 +1,134 @@
+//! Per-step and cumulative performance accounting.
+//!
+//! Section III reports the full-code time split at the 16 ranks × 4
+//! threads operating point — 80% force kernel, 10% tree walk, 5% FFT, 5%
+//! everything else — and the tables report flops from counted kernel
+//! interactions. This module collects the same quantities.
+
+use std::time::Duration;
+
+/// Timing breakdown of one long-range step (all sub-cycles included).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepBreakdown {
+    /// Force kernel time (interaction loops).
+    pub kernel: Duration,
+    /// Tree walk (interaction-list gathering) time.
+    pub walk: Duration,
+    /// Tree build (partitioning) time.
+    pub build: Duration,
+    /// Spectral solver time (FFTs + k-space kernels).
+    pub fft: Duration,
+    /// CIC deposit + interpolation time.
+    pub cic: Duration,
+    /// Stream/kick updates and bookkeeping.
+    pub other: Duration,
+    /// Particle–particle interactions evaluated.
+    pub interactions: u64,
+}
+
+impl StepBreakdown {
+    /// Total wall-clock of the step.
+    pub fn total(&self) -> Duration {
+        self.kernel + self.walk + self.build + self.fft + self.cic + self.other
+    }
+
+    /// Fraction of time in the force kernel.
+    pub fn kernel_fraction(&self) -> f64 {
+        let t = self.total().as_secs_f64();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.kernel.as_secs_f64() / t
+        }
+    }
+
+    /// Kernel flops following the paper's 42-flops-per-interaction
+    /// accounting.
+    pub fn flops(&self) -> f64 {
+        self.interactions as f64 * hacc_short::FLOPS_PER_INTERACTION as f64
+    }
+
+    /// Accumulate another breakdown.
+    pub fn add(&mut self, o: &StepBreakdown) {
+        self.kernel += o.kernel;
+        self.walk += o.walk;
+        self.build += o.build;
+        self.fft += o.fft;
+        self.cic += o.cic;
+        self.other += o.other;
+        self.interactions += o.interactions;
+    }
+}
+
+/// Cumulative statistics over a run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Per-step breakdowns in execution order.
+    pub steps: Vec<StepBreakdown>,
+}
+
+impl RunStats {
+    /// Sum over all steps.
+    pub fn total(&self) -> StepBreakdown {
+        let mut acc = StepBreakdown::default();
+        for s in &self.steps {
+            acc.add(s);
+        }
+        acc
+    }
+
+    /// Seconds per sub-step per particle — the paper's headline metric
+    /// (Fig. 7 red curve), given the particle count and sub-cycles.
+    pub fn time_per_substep_per_particle(&self, particles: usize, subcycles: usize) -> f64 {
+        let t = self.total().total().as_secs_f64();
+        let substeps = self.steps.len() * subcycles;
+        if substeps == 0 || particles == 0 {
+            0.0
+        } else {
+            t / substeps as f64 / particles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_totals_and_fractions() {
+        let b = StepBreakdown {
+            kernel: Duration::from_millis(80),
+            walk: Duration::from_millis(10),
+            build: Duration::from_millis(2),
+            fft: Duration::from_millis(5),
+            cic: Duration::from_millis(2),
+            other: Duration::from_millis(1),
+            interactions: 1000,
+        };
+        assert_eq!(b.total(), Duration::from_millis(100));
+        assert!((b.kernel_fraction() - 0.8).abs() < 1e-9);
+        assert_eq!(b.flops(), 42_000.0);
+    }
+
+    #[test]
+    fn run_stats_accumulate() {
+        let mut r = RunStats::default();
+        for _ in 0..4 {
+            r.steps.push(StepBreakdown {
+                kernel: Duration::from_millis(10),
+                interactions: 5,
+                ..Default::default()
+            });
+        }
+        assert_eq!(r.total().interactions, 20);
+        let tpp = r.time_per_substep_per_particle(10, 2);
+        assert!((tpp - 0.04 / 8.0 / 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_safe() {
+        let r = RunStats::default();
+        assert_eq!(r.time_per_substep_per_particle(0, 0), 0.0);
+        assert_eq!(StepBreakdown::default().kernel_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! FLRW background cosmology.
+//!
+//! The expansion history enters the N-body problem in two places (paper
+//! Eqs. 1–4): the scale factor `a(t)` multiplying the Poisson source, and the
+//! kick/drift time integrals of the symplectic stepper. We parameterize dark
+//! energy with the CPL form `w(a) = w0 + wa(1 - a)` so the "dark energy model
+//! space" campaigns of Section V can be expressed directly.
+
+use crate::quad::integrate;
+
+/// Dark energy equation of state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DarkEnergy {
+    /// Cosmological constant, `w = -1`.
+    Lambda,
+    /// Constant equation of state `w`.
+    ConstantW(f64),
+    /// CPL parameterization `w(a) = w0 + wa (1 - a)`.
+    W0Wa { w0: f64, wa: f64 },
+}
+
+impl DarkEnergy {
+    /// Density evolution factor `rho_de(a)/rho_de(1)`.
+    ///
+    /// For CPL this has the closed form
+    /// `a^{-3(1+w0+wa)} · exp(-3 wa (1-a))`.
+    pub fn density_factor(&self, a: f64) -> f64 {
+        match *self {
+            DarkEnergy::Lambda => 1.0,
+            DarkEnergy::ConstantW(w) => a.powf(-3.0 * (1.0 + w)),
+            DarkEnergy::W0Wa { w0, wa } => {
+                a.powf(-3.0 * (1.0 + w0 + wa)) * (-3.0 * wa * (1.0 - a)).exp()
+            }
+        }
+    }
+
+    /// Equation of state at scale factor `a`.
+    pub fn w(&self, a: f64) -> f64 {
+        match *self {
+            DarkEnergy::Lambda => -1.0,
+            DarkEnergy::ConstantW(w) => w,
+            DarkEnergy::W0Wa { w0, wa } => w0 + wa * (1.0 - a),
+        }
+    }
+}
+
+/// An FLRW cosmological model.
+///
+/// All rates are expressed relative to `H0`, so a caller using time unit
+/// `1/H0` can use [`Cosmology::e_of_a`] directly as `H(a)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Cosmology {
+    /// Total matter density parameter (CDM + baryons) today.
+    pub omega_m: f64,
+    /// Baryon density parameter today (only used by transfer functions).
+    pub omega_b: f64,
+    /// Dark energy density parameter today.
+    pub omega_de: f64,
+    /// Curvature density parameter, fixed by closure: `1 - Ωm - Ωde`.
+    pub omega_k: f64,
+    /// Dimensionless Hubble parameter, `H0 = 100 h` km/s/Mpc.
+    pub h: f64,
+    /// Scalar spectral index of the primordial power spectrum.
+    pub n_s: f64,
+    /// Power spectrum normalization: rms linear fluctuation in 8 Mpc/h
+    /// spheres at z = 0.
+    pub sigma8: f64,
+    /// Dark energy model.
+    pub de: DarkEnergy,
+}
+
+impl Cosmology {
+    /// The WMAP-7-like ΛCDM model used for HACC science runs of this era.
+    pub fn lcdm() -> Self {
+        Cosmology {
+            omega_m: 0.265,
+            omega_b: 0.0448,
+            omega_de: 0.735,
+            omega_k: 0.0,
+            h: 0.71,
+            n_s: 0.963,
+            sigma8: 0.8,
+            de: DarkEnergy::Lambda,
+        }
+    }
+
+    /// Einstein–de Sitter model (Ωm = 1). Useful for tests because the growth
+    /// factor is exactly `D(a) = a` and `H(a) = H0 a^{-3/2}`.
+    pub fn eds() -> Self {
+        Cosmology {
+            omega_m: 1.0,
+            omega_b: 0.05,
+            omega_de: 0.0,
+            omega_k: 0.0,
+            h: 0.7,
+            n_s: 1.0,
+            sigma8: 0.8,
+            de: DarkEnergy::Lambda,
+        }
+    }
+
+    /// A wCDM variant of [`Cosmology::lcdm`] with constant `w`.
+    pub fn wcdm(w: f64) -> Self {
+        Cosmology {
+            de: DarkEnergy::ConstantW(w),
+            ..Self::lcdm()
+        }
+    }
+
+    /// Dimensionless expansion rate `E(a) = H(a)/H0`.
+    pub fn e_of_a(&self, a: f64) -> f64 {
+        self.e2_of_a(a).sqrt()
+    }
+
+    /// `E²(a)` — cheaper when the square root is not needed.
+    pub fn e2_of_a(&self, a: f64) -> f64 {
+        debug_assert!(a > 0.0, "scale factor must be positive");
+        let a2 = a * a;
+        self.omega_m / (a2 * a) + self.omega_k / a2 + self.omega_de * self.de.density_factor(a)
+    }
+
+    /// Matter density parameter at scale factor `a`:
+    /// `Ωm(a) = Ωm a⁻³ / E²(a)`.
+    pub fn omega_m_of_a(&self, a: f64) -> f64 {
+        self.omega_m / (a * a * a) / self.e2_of_a(a)
+    }
+
+    /// Redshift ↔ scale factor conversions.
+    pub fn a_of_z(z: f64) -> f64 {
+        1.0 / (1.0 + z)
+    }
+
+    /// Scale factor to redshift.
+    pub fn z_of_a(a: f64) -> f64 {
+        1.0 / a - 1.0
+    }
+
+    /// Kick factor: `∫_{a0}^{a1} da / (a² E(a))` (time unit `1/H0`).
+    ///
+    /// In comoving coordinates with canonical momentum `p = a² ẋ` the
+    /// velocity update over a long-range "kick" multiplies the acceleration
+    /// by this integral (paper Eq. 6 kick maps).
+    pub fn kick_factor(&self, a0: f64, a1: f64) -> f64 {
+        integrate(|a| 1.0 / (a * a * self.e_of_a(a)), a0, a1, 1e-12)
+    }
+
+    /// Drift factor: `∫_{a0}^{a1} da / (a³ E(a))` (time unit `1/H0`).
+    ///
+    /// Position update factor for the stream map with `p = a² ẋ`.
+    pub fn drift_factor(&self, a0: f64, a1: f64) -> f64 {
+        integrate(|a| 1.0 / (a * a * a * self.e_of_a(a)), a0, a1, 1e-12)
+    }
+
+    /// Cosmic time between scale factors in units of `1/H0`:
+    /// `∫ da / (a E(a))`.
+    pub fn time_between(&self, a0: f64, a1: f64) -> f64 {
+        integrate(|a| 1.0 / (a * self.e_of_a(a)), a0, a1, 1e-12)
+    }
+
+    /// Comoving distance to scale factor `a` in Mpc/h:
+    /// `(c/H0) ∫_a^1 da' / (a'² E(a'))` with `c/H0 = 2997.92458 Mpc/h`.
+    pub fn comoving_distance(&self, a: f64) -> f64 {
+        2997.92458 * integrate(|x| 1.0 / (x * x * self.e_of_a(x)), a, 1.0, 1e-10)
+    }
+
+    /// Poisson source prefactor in code units: the paper's
+    /// `4πG a² Ωm ρc δ` becomes `(3/2) Ωm H0² δ / a` for the comoving
+    /// potential; this returns `(3/2) Ωm` (the `H0²/a` is applied by the
+    /// stepper which knows the current epoch).
+    pub fn poisson_prefactor(&self) -> f64 {
+        1.5 * self.omega_m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcdm_is_flat_and_normalized_today() {
+        let c = Cosmology::lcdm();
+        assert!((c.omega_m + c.omega_k + c.omega_de - 1.0).abs() < 1e-12);
+        assert!((c.e_of_a(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eds_expansion_rate_closed_form() {
+        let c = Cosmology::eds();
+        for &a in &[0.1, 0.25, 0.5, 1.0] {
+            assert!((c.e_of_a(a) - a.powf(-1.5)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matter_dominates_early() {
+        let c = Cosmology::lcdm();
+        assert!(c.omega_m_of_a(0.01) > 0.999);
+        assert!((c.omega_m_of_a(1.0) - c.omega_m).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_density_constant_and_w_density_grows_backward() {
+        assert_eq!(DarkEnergy::Lambda.density_factor(0.5), 1.0);
+        // w > -1 (quintessence-like) means the density was higher in the past.
+        let de = DarkEnergy::ConstantW(-0.8);
+        assert!(de.density_factor(0.5) > 1.0);
+        // CPL with wa = 0 reduces to constant w.
+        let cpl = DarkEnergy::W0Wa { w0: -0.8, wa: 0.0 };
+        assert!((cpl.density_factor(0.5) - de.density_factor(0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpl_w_interpolates() {
+        let de = DarkEnergy::W0Wa { w0: -1.0, wa: 0.5 };
+        assert!((de.w(1.0) + 1.0).abs() < 1e-12);
+        assert!((de.w(0.5) - (-1.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eds_kick_drift_closed_forms() {
+        // EdS: E = a^{-3/2}; kick = ∫ a^{-1/2} da = 2(√a1-√a0);
+        // drift = ∫ a^{-3/2} da = 2(1/√a0 - 1/√a1).
+        let c = Cosmology::eds();
+        let (a0, a1) = (0.25, 1.0);
+        let kick = c.kick_factor(a0, a1);
+        let drift = c.drift_factor(a0, a1);
+        assert!((kick - 2.0 * (1.0 - 0.5)).abs() < 1e-10, "kick {kick}");
+        assert!((drift - 2.0 * (2.0 - 1.0)).abs() < 1e-10, "drift {drift}");
+    }
+
+    #[test]
+    fn eds_age_is_two_thirds_hubble() {
+        let c = Cosmology::eds();
+        let age = c.time_between(1e-8, 1.0);
+        assert!((age - 2.0 / 3.0).abs() < 1e-4, "age {age}");
+    }
+
+    #[test]
+    fn kick_drift_additive_over_subintervals() {
+        let c = Cosmology::lcdm();
+        let whole = c.kick_factor(0.2, 1.0);
+        let parts = c.kick_factor(0.2, 0.6) + c.kick_factor(0.6, 1.0);
+        assert!((whole - parts).abs() < 1e-10);
+    }
+
+    #[test]
+    fn comoving_distance_monotone_in_redshift() {
+        let c = Cosmology::lcdm();
+        let d1 = c.comoving_distance(Cosmology::a_of_z(1.0));
+        let d2 = c.comoving_distance(Cosmology::a_of_z(2.0));
+        assert!(d2 > d1 && d1 > 0.0);
+        // z=1 comoving distance in this flat LCDM is ~2300-2500 Mpc/h.
+        assert!(d1 > 2000.0 && d1 < 2700.0, "d1 = {d1}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Linear growth factor `D(a)` and growth rate `f = dlnD/dlna`.
+//!
+//! Zel'dovich initial conditions (crates/ics) need `D` and `dD/dt` at the
+//! starting redshift, and the Fig. 10 experiment compares the simulated
+//! low-k power spectrum against linear-theory growth `P(k, a) ∝ D²(a)`.
+//!
+//! We integrate the standard linear perturbation ODE in `ln a`,
+//!
+//! ```text
+//! D'' + (2 + dlnE/dlna) D' - (3/2) Ωm(a) D = 0,   ' = d/dlna
+//! ```
+//!
+//! from deep in matter domination where `D = a` is exact, and normalize to
+//! `D(a=1) = 1`.
+
+use crate::background::Cosmology;
+use crate::quad::rk4_2;
+
+/// Tabulated linear growth factor for one cosmology.
+#[derive(Debug, Clone)]
+pub struct GrowthFactor {
+    cosmo: Cosmology,
+    /// `ln a` sample points (uniform).
+    lna: Vec<f64>,
+    /// Unnormalized `D` at the sample points.
+    d: Vec<f64>,
+    /// `dD/dlna` at the sample points.
+    dprime: Vec<f64>,
+    /// Normalization so `D(1) = 1`.
+    norm: f64,
+}
+
+impl GrowthFactor {
+    /// Build the growth table for `cosmo`, valid for `a ∈ [1e-3, 1]`.
+    pub fn new(cosmo: &Cosmology) -> Self {
+        const A_START: f64 = 1e-4;
+        const N: usize = 800;
+        let lna0 = A_START.ln();
+        let lna1 = 0.0f64;
+        let h = (lna1 - lna0) / (N - 1) as f64;
+
+        let rhs = |lna: f64, y: [f64; 2]| -> [f64; 2] {
+            let a = lna.exp();
+            let e2 = cosmo.e2_of_a(a);
+            // dlnE/dlna = (a/2E²) dE²/da computed analytically via finite
+            // ratio of the density terms: differentiate E² term by term.
+            let da = a * 1e-6;
+            let dln_e = (cosmo.e2_of_a(a + da).ln() - cosmo.e2_of_a(a - da).ln()) / (2.0 * da) * a
+                / 2.0;
+            let om_a = cosmo.omega_m / (a * a * a) / e2;
+            [y[1], -(2.0 + dln_e) * y[1] + 1.5 * om_a * y[0]]
+        };
+
+        // Matter-domination initial condition: D = a, D' = a.
+        let mut lna = Vec::with_capacity(N);
+        let mut d = Vec::with_capacity(N);
+        let mut dprime = Vec::with_capacity(N);
+        let mut state = [A_START, A_START];
+        lna.push(lna0);
+        d.push(state[0]);
+        dprime.push(state[1]);
+        for i in 1..N {
+            let x0 = lna0 + (i - 1) as f64 * h;
+            let x1 = lna0 + i as f64 * h;
+            state = rk4_2(rhs, x0, x1, state, 8);
+            lna.push(x1);
+            d.push(state[0]);
+            dprime.push(state[1]);
+        }
+        let norm = *d.last().expect("non-empty growth table");
+        GrowthFactor {
+            cosmo: *cosmo,
+            lna,
+            d,
+            dprime,
+            norm,
+        }
+    }
+
+    fn interp(&self, table: &[f64], a: f64) -> f64 {
+        let x = a.ln();
+        let lna0 = self.lna[0];
+        let h = self.lna[1] - self.lna[0];
+        let pos = (x - lna0) / h;
+        if pos <= 0.0 {
+            // Matter domination: extrapolate D ∝ a.
+            return table[0] * (a / self.lna[0].exp());
+        }
+        let i = (pos as usize).min(self.lna.len() - 2);
+        let t = pos - i as f64;
+        table[i] * (1.0 - t) + table[i + 1] * t
+    }
+
+    /// Growth factor normalized to `D(a=1) = 1`.
+    pub fn d_of_a(&self, a: f64) -> f64 {
+        self.interp(&self.d, a) / self.norm
+    }
+
+    /// Logarithmic growth rate `f(a) = dlnD/dlna`.
+    pub fn f_of_a(&self, a: f64) -> f64 {
+        self.interp(&self.dprime, a) / self.interp(&self.d, a)
+    }
+
+    /// `dD/dt` in units of `H0` (so velocity = `dD/dt · ψ` comes out in the
+    /// driver's `1/H0` time unit): `Ḋ = D f H(a) = D f E(a)` in those units.
+    pub fn d_dot(&self, a: f64) -> f64 {
+        self.d_of_a(a) * self.f_of_a(a) * self.cosmo.e_of_a(a)
+    }
+
+    /// The cosmology this table was built for.
+    pub fn cosmology(&self) -> &Cosmology {
+        &self.cosmo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eds_growth_is_scale_factor() {
+        let g = GrowthFactor::new(&Cosmology::eds());
+        for &a in &[0.01, 0.1, 0.3, 0.5, 1.0] {
+            let d = g.d_of_a(a);
+            assert!((d - a).abs() < 2e-4 * a.max(0.05), "D({a}) = {d}");
+        }
+    }
+
+    #[test]
+    fn eds_growth_rate_is_unity() {
+        let g = GrowthFactor::new(&Cosmology::eds());
+        for &a in &[0.05, 0.2, 1.0] {
+            assert!((g.f_of_a(a) - 1.0).abs() < 1e-3, "f({a}) = {}", g.f_of_a(a));
+        }
+    }
+
+    #[test]
+    fn lcdm_growth_suppressed_late() {
+        let g = GrowthFactor::new(&Cosmology::lcdm());
+        // D normalized to 1 today, and growth slower than EdS at late times:
+        // D(0.5) > 0.5 (since growth has been suppressed since a~0.5).
+        assert!((g.d_of_a(1.0) - 1.0).abs() < 1e-12);
+        let d_half = g.d_of_a(0.5);
+        assert!(d_half > 0.5 && d_half < 0.75, "D(0.5) = {d_half}");
+        // Known value for this cosmology: f(1) ≈ Ωm(1)^0.55 ≈ 0.48.
+        let f1 = g.f_of_a(1.0);
+        let fit = g.cosmology().omega_m_of_a(1.0).powf(0.55);
+        assert!((f1 - fit).abs() < 0.02, "f(1) = {f1}, fit {fit}");
+    }
+
+    #[test]
+    fn growth_monotone_increasing() {
+        let g = GrowthFactor::new(&Cosmology::lcdm());
+        let mut prev = 0.0;
+        for i in 1..=100 {
+            let a = i as f64 / 100.0;
+            let d = g.d_of_a(a);
+            assert!(d > prev, "D not monotone at a = {a}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn wcdm_growth_differs_from_lcdm() {
+        let gl = GrowthFactor::new(&Cosmology::lcdm());
+        let gw = GrowthFactor::new(&Cosmology::wcdm(-0.7));
+        // Different dark energy ⇒ measurably different normalized history.
+        assert!((gl.d_of_a(0.5) - gw.d_of_a(0.5)).abs() > 1e-3);
+    }
+
+    #[test]
+    fn d_dot_positive_and_matches_product() {
+        let g = GrowthFactor::new(&Cosmology::lcdm());
+        let a = 0.5;
+        let expect = g.d_of_a(a) * g.f_of_a(a) * g.cosmology().e_of_a(a);
+        assert!((g.d_dot(a) - expect).abs() < 1e-12);
+        assert!(g.d_dot(a) > 0.0);
+    }
+}

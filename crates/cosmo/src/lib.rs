@@ -1,0 +1,29 @@
+//! Cosmology substrate for the HACC reproduction.
+//!
+//! Everything the N-body framework needs from background cosmology:
+//! the FLRW expansion history (including `w0`–`wa` dark energy, matching the
+//! paper's focus on dark-energy model space), linear growth factors, transfer
+//! functions and linear power spectra for initial conditions, the exact
+//! kick/drift time integrals used by the symplectic stepper, and analytic
+//! halo mass functions (Press–Schechter, Sheth–Tormen) used as comparators
+//! for the Fig. 11 / mass-function experiments.
+//!
+//! Units: `h⁻¹ Mpc` for lengths and `H0 = 100 h km/s/Mpc`; we work with the
+//! dimensionless expansion rate `E(a) = H(a)/H0` throughout and the driver
+//! chooses its time unit as `1/H0`.
+
+pub mod background;
+pub mod growth;
+pub mod massfn;
+pub mod power;
+pub mod quad;
+pub mod transfer;
+
+pub use background::{Cosmology, DarkEnergy};
+pub use growth::GrowthFactor;
+pub use massfn::{press_schechter, sheth_tormen, MassFunction};
+pub use power::LinearPower;
+pub use transfer::Transfer;
+
+/// Critical density today in units of `h² M_sun / Mpc³`.
+pub const RHO_CRIT_H2_MSUN_MPC3: f64 = 2.775e11;

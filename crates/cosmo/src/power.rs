@@ -1,0 +1,173 @@
+//! Linear matter power spectrum, σ8 normalization, and variance integrals.
+
+use crate::background::Cosmology;
+use crate::growth::GrowthFactor;
+use crate::quad::integrate;
+use crate::transfer::Transfer;
+
+/// σ8-normalized linear matter power spectrum `P(k, z)` in `(Mpc/h)³`,
+/// with `k` in `h/Mpc`.
+#[derive(Debug, Clone)]
+pub struct LinearPower {
+    cosmo: Cosmology,
+    transfer: Transfer,
+    growth: GrowthFactor,
+    /// Amplitude fixed by σ8.
+    amplitude: f64,
+}
+
+impl LinearPower {
+    /// Construct and normalize to the cosmology's σ8.
+    pub fn new(cosmo: &Cosmology, transfer: Transfer) -> Self {
+        let growth = GrowthFactor::new(cosmo);
+        let mut lp = LinearPower {
+            cosmo: *cosmo,
+            transfer,
+            growth,
+            amplitude: 1.0,
+        };
+        let raw_sigma8_sq = lp.sigma_r_squared(8.0, 1.0);
+        lp.amplitude = cosmo.sigma8 * cosmo.sigma8 / raw_sigma8_sq;
+        lp
+    }
+
+    /// Unnormalized shape `k^{n_s} T²(k)`.
+    fn shape(&self, k: f64) -> f64 {
+        let t = self.transfer.evaluate(&self.cosmo, k);
+        k.powf(self.cosmo.n_s) * t * t
+    }
+
+    /// `P(k)` today (z = 0).
+    pub fn p_of_k(&self, k: f64) -> f64 {
+        self.amplitude * self.shape(k)
+    }
+
+    /// `P(k, a) = D²(a) P(k)`.
+    pub fn p_of_k_a(&self, k: f64, a: f64) -> f64 {
+        let d = self.growth.d_of_a(a);
+        d * d * self.p_of_k(k)
+    }
+
+    /// Dimensionless power `Δ²(k) = k³ P(k) / 2π²` at z = 0.
+    pub fn delta2(&self, k: f64) -> f64 {
+        k * k * k * self.p_of_k(k) / (2.0 * std::f64::consts::PI * std::f64::consts::PI)
+    }
+
+    /// Variance of the linear field smoothed with a top-hat of radius `r`
+    /// Mpc/h at scale factor `a` (σ²(R); σ8² = this at r = 8, a = 1).
+    pub fn sigma_r_squared(&self, r: f64, a: f64) -> f64 {
+        let d = self.growth.d_of_a(a);
+        let integrand = |lnk: f64| {
+            let k = lnk.exp();
+            let w = tophat_window(k * r);
+            // dk integral in ln k: k³ P W² / 2π² dlnk
+            k * k * k * self.amplitude * self.shape(k) * w * w
+                / (2.0 * std::f64::consts::PI * std::f64::consts::PI)
+        };
+        // P(k) falls like k^{n-4} at high k: integrate over a generous range.
+        d * d * integrate(integrand, (1e-5f64).ln(), (50.0f64).ln(), 1e-10)
+    }
+
+    /// rms fluctuation in spheres of radius `r` at scale factor `a`.
+    pub fn sigma_r(&self, r: f64, a: f64) -> f64 {
+        self.sigma_r_squared(r, a).sqrt()
+    }
+
+    /// σ(M): rms fluctuation for the Lagrangian radius of mass `M` (M_sun/h).
+    pub fn sigma_m(&self, m: f64, a: f64) -> f64 {
+        self.sigma_r(self.lagrangian_radius(m), a)
+    }
+
+    /// Lagrangian (comoving) radius in Mpc/h enclosing mass `m` (M_sun/h)
+    /// at the mean matter density.
+    pub fn lagrangian_radius(&self, m: f64) -> f64 {
+        let rho_m = crate::RHO_CRIT_H2_MSUN_MPC3 * self.cosmo.omega_m;
+        (3.0 * m / (4.0 * std::f64::consts::PI * rho_m)).cbrt()
+    }
+
+    /// Growth table used for time evolution.
+    pub fn growth(&self) -> &GrowthFactor {
+        &self.growth
+    }
+
+    /// The underlying cosmology.
+    pub fn cosmology(&self) -> &Cosmology {
+        &self.cosmo
+    }
+}
+
+/// Fourier transform of the spherical top-hat window.
+fn tophat_window(x: f64) -> f64 {
+    if x < 1e-4 {
+        // Series expansion to avoid catastrophic cancellation.
+        1.0 - x * x / 10.0
+    } else {
+        3.0 * (x.sin() - x * x.cos()) / (x * x * x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma8_normalization_holds() {
+        let p = LinearPower::new(&Cosmology::lcdm(), Transfer::EisensteinHuNoWiggle);
+        let s8 = p.sigma_r(8.0, 1.0);
+        assert!((s8 - 0.8).abs() < 1e-4, "sigma8 = {s8}");
+    }
+
+    #[test]
+    fn power_scales_with_growth_squared() {
+        let p = LinearPower::new(&Cosmology::lcdm(), Transfer::Bbks);
+        let k = 0.1;
+        let ratio = p.p_of_k_a(k, 0.5) / p.p_of_k(k);
+        let d = p.growth().d_of_a(0.5);
+        assert!((ratio - d * d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lcdm_power_peak_near_k_002() {
+        // The matter power spectrum turns over around k ~ 0.01-0.03 h/Mpc.
+        let p = LinearPower::new(&Cosmology::lcdm(), Transfer::EisensteinHuNoWiggle);
+        let mut best_k = 0.0;
+        let mut best = 0.0;
+        for i in 0..200 {
+            let k = 1e-4 * (10f64).powf(i as f64 / 50.0);
+            if p.p_of_k(k) > best {
+                best = p.p_of_k(k);
+                best_k = k;
+            }
+        }
+        assert!(best_k > 0.005 && best_k < 0.05, "peak at {best_k}");
+    }
+
+    #[test]
+    fn sigma_decreases_with_radius() {
+        let p = LinearPower::new(&Cosmology::lcdm(), Transfer::Bbks);
+        assert!(p.sigma_r(1.0, 1.0) > p.sigma_r(8.0, 1.0));
+        assert!(p.sigma_r(8.0, 1.0) > p.sigma_r(30.0, 1.0));
+    }
+
+    #[test]
+    fn sigma_m_cluster_scale_below_unity() {
+        // 1e15 Msun/h clusters are rare: sigma(M) < delta_c there.
+        let p = LinearPower::new(&Cosmology::lcdm(), Transfer::EisensteinHuNoWiggle);
+        let s = p.sigma_m(1e15, 1.0);
+        assert!(s < 1.686 && s > 0.3, "sigma(1e15) = {s}");
+    }
+
+    #[test]
+    fn tophat_window_limits() {
+        assert!((tophat_window(1e-6) - 1.0).abs() < 1e-9);
+        assert!(tophat_window(10.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn lagrangian_radius_scales_cbrt() {
+        let p = LinearPower::new(&Cosmology::lcdm(), Transfer::Bbks);
+        let r1 = p.lagrangian_radius(1e13);
+        let r8 = p.lagrangian_radius(8e13);
+        assert!((r8 / r1 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,158 @@
+//! Small self-contained quadrature and root-finding helpers.
+//!
+//! The cosmology layer needs accurate one-dimensional integrals (kick/drift
+//! factors, growth integrals, comoving distances) without pulling in an
+//! external numerics dependency. Adaptive Simpson with a strict budget is
+//! plenty for the smooth integrands that appear here.
+
+/// Adaptive Simpson quadrature of `f` on `[a, b]` to absolute tolerance `tol`.
+///
+/// Panics if `a > b` is not handled by the caller; returns a signed integral
+/// (swapping bounds flips the sign, as usual).
+pub fn integrate<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> f64 {
+    if a == b {
+        return 0.0;
+    }
+    if a > b {
+        return -integrate(f, b, a, tol);
+    }
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    adaptive(&f, a, b, fa, fb, fm, simpson(a, b, fa, fm, fb), tol, 50)
+}
+
+fn simpson(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adaptive<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fb: f64,
+    fm: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+) -> f64 {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = simpson(a, m, fa, flm, fm);
+    let right = simpson(m, b, fm, frm, fb);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * tol {
+        left + right + delta / 15.0
+    } else {
+        adaptive(f, a, m, fa, fm, flm, left, 0.5 * tol, depth - 1)
+            + adaptive(f, m, b, fm, fb, frm, right, 0.5 * tol, depth - 1)
+    }
+}
+
+/// Bisection root find of `f` on a bracketing interval `[a, b]`.
+///
+/// Returns the midpoint of the final bracket after `iters` halvings.
+pub fn bisect<F: Fn(f64) -> f64>(f: F, mut a: f64, mut b: f64, iters: u32) -> f64 {
+    let mut fa = f(a);
+    assert!(
+        (fa <= 0.0) != (f(b) <= 0.0),
+        "bisect: interval does not bracket a root"
+    );
+    for _ in 0..iters {
+        let m = 0.5 * (a + b);
+        let fmid = f(m);
+        if (fmid <= 0.0) == (fa <= 0.0) {
+            a = m;
+            fa = fmid;
+        } else {
+            b = m;
+        }
+    }
+    0.5 * (a + b)
+}
+
+/// Fourth-order Runge–Kutta integration of `dy/dx = f(x, y)` for a 2-vector
+/// state, from `x0` to `x1` in `steps` fixed steps. Returns the final state.
+pub fn rk4_2<F: Fn(f64, [f64; 2]) -> [f64; 2]>(
+    f: F,
+    x0: f64,
+    x1: f64,
+    y0: [f64; 2],
+    steps: usize,
+) -> [f64; 2] {
+    let h = (x1 - x0) / steps as f64;
+    let mut y = y0;
+    let mut x = x0;
+    let add = |a: [f64; 2], b: [f64; 2], s: f64| [a[0] + s * b[0], a[1] + s * b[1]];
+    for _ in 0..steps {
+        let k1 = f(x, y);
+        let k2 = f(x + 0.5 * h, add(y, k1, 0.5 * h));
+        let k3 = f(x + 0.5 * h, add(y, k2, 0.5 * h));
+        let k4 = f(x + h, add(y, k3, h));
+        y[0] += h / 6.0 * (k1[0] + 2.0 * k2[0] + 2.0 * k3[0] + k4[0]);
+        y[1] += h / 6.0 * (k1[1] + 2.0 * k2[1] + 2.0 * k3[1] + k4[1]);
+        x += h;
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simpson_integrates_polynomials_exactly() {
+        // Simpson is exact through cubic terms.
+        let got = integrate(|x| 3.0 * x * x, 0.0, 2.0, 1e-12);
+        assert!((got - 8.0).abs() < 1e-10, "got {got}");
+    }
+
+    #[test]
+    fn simpson_handles_reversed_bounds() {
+        let got = integrate(|x| x, 1.0, 0.0, 1e-12);
+        assert!((got + 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn simpson_converges_on_oscillatory_integrand() {
+        let got = integrate(|x| x.sin(), 0.0, std::f64::consts::PI, 1e-12);
+        assert!((got - 2.0).abs() < 1e-9, "got {got}");
+    }
+
+    #[test]
+    fn simpson_zero_width() {
+        assert_eq!(integrate(|x| x * x, 3.0, 3.0, 1e-12), 0.0);
+    }
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 80);
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bracket")]
+    fn bisect_rejects_non_bracketing() {
+        bisect(|x| x * x + 1.0, -1.0, 1.0, 10);
+    }
+
+    #[test]
+    fn rk4_solves_harmonic_oscillator() {
+        // y'' = -y  ==>  state (y, y'), y(0)=1, y'(0)=0, y(pi) = -1.
+        let y = rk4_2(
+            |_, s| [s[1], -s[0]],
+            0.0,
+            std::f64::consts::PI,
+            [1.0, 0.0],
+            2000,
+        );
+        assert!((y[0] + 1.0).abs() < 1e-8, "y = {y:?}");
+        assert!(y[1].abs() < 1e-8);
+    }
+}

@@ -1,0 +1,248 @@
+//! Matter transfer functions.
+//!
+//! The initial-conditions generator needs a linear power spectrum
+//! `P(k) ∝ k^{n_s} T²(k)`. We provide the classic BBKS fit, the
+//! Eisenstein–Hu "no-wiggle" form (accurate shape including the baryon
+//! suppression, without acoustic oscillations), and a pure power law for
+//! controlled convergence tests.
+
+use crate::background::Cosmology;
+
+/// Transfer function choices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Transfer {
+    /// Bardeen–Bond–Kaiser–Szalay (1986) CDM fit with the Sugiyama (1995)
+    /// baryon correction to the shape parameter Γ.
+    Bbks,
+    /// Eisenstein & Hu (1998) zero-baryon / no-wiggle fitting form.
+    EisensteinHuNoWiggle,
+    /// Eisenstein & Hu (1998) full fitting form including the baryon
+    /// acoustic oscillations — needed for BAO science (the paper's BOSS
+    /// prediction runs on Roadrunner used exactly this regime).
+    EisensteinHu,
+    /// `T(k) = 1`: pure power-law spectrum `P ∝ k^{n_s}`.
+    PowerLaw,
+}
+
+impl Transfer {
+    /// Evaluate `T(k)` for wavenumber `k` in h/Mpc.
+    pub fn evaluate(&self, cosmo: &Cosmology, k: f64) -> f64 {
+        debug_assert!(k >= 0.0);
+        if k == 0.0 {
+            return 1.0;
+        }
+        match self {
+            Transfer::PowerLaw => 1.0,
+            Transfer::Bbks => bbks(cosmo, k),
+            Transfer::EisensteinHuNoWiggle => eh_nowiggle(cosmo, k),
+            Transfer::EisensteinHu => eh_full(cosmo, k),
+        }
+    }
+}
+
+/// Eisenstein & Hu (1998) full transfer function with baryon acoustic
+/// oscillations (their Section 2; equation numbers below refer to the
+/// paper). CDM and baryon pieces are density-weighted.
+fn eh_full(cosmo: &Cosmology, k_hmpc: f64) -> f64 {
+    let om = cosmo.omega_m;
+    let ob = cosmo.omega_b;
+    let h = cosmo.h;
+    let omh2 = om * h * h;
+    let obh2 = ob * h * h;
+    let fb = ob / om;
+    let fc = 1.0 - fb;
+    let theta = 2.728 / 2.7;
+    let t2 = theta * theta;
+    // k in Mpc^-1 (not h/Mpc) for the EH formulas.
+    let k = k_hmpc * h;
+
+    // Redshifts of equality and drag epoch (Eqs. 2-4).
+    let z_eq = 2.50e4 * omh2 / (t2 * t2);
+    let k_eq = 7.46e-2 * omh2 / t2; // Mpc^-1
+    let b1 = 0.313 * omh2.powf(-0.419) * (1.0 + 0.607 * omh2.powf(0.674));
+    let b2 = 0.238 * omh2.powf(0.223);
+    let z_d = 1291.0 * omh2.powf(0.251) / (1.0 + 0.659 * omh2.powf(0.828))
+        * (1.0 + b1 * obh2.powf(b2));
+
+    // Baryon-to-photon momentum ratio (Eq. 5).
+    let r_of = |z: f64| 31.5 * obh2 / (t2 * t2) * (1000.0 / z);
+    let r_d = r_of(z_d);
+    let r_eq = r_of(z_eq);
+
+    // Sound horizon (Eq. 6), Mpc.
+    let s = 2.0 / (3.0 * k_eq) * (6.0 / r_eq).sqrt()
+        * (((1.0 + r_d).sqrt() + (r_d + r_eq).sqrt()) / (1.0 + r_eq.sqrt())).ln();
+    // Silk damping scale (Eq. 7).
+    let k_silk = 1.6 * obh2.powf(0.52) * omh2.powf(0.73) * (1.0 + (10.4 * omh2).powf(-0.95));
+
+    let q = k / (13.41 * k_eq); // Eq. 10
+
+    // CDM piece (Eqs. 9-12, 17-20).
+    let a1 = (46.9 * omh2).powf(0.670) * (1.0 + (32.1 * omh2).powf(-0.532));
+    let a2 = (12.0 * omh2).powf(0.424) * (1.0 + (45.0 * omh2).powf(-0.582));
+    let alpha_c = a1.powf(-fb) * a2.powf(-fb * fb * fb);
+    let bb1 = 0.944 / (1.0 + (458.0 * omh2).powf(-0.708));
+    let bb2 = (0.395 * omh2).powf(-0.0266);
+    let beta_c = 1.0 / (1.0 + bb1 * (fc.powf(bb2) - 1.0));
+
+    let t0 = |q: f64, alpha: f64, beta: f64| -> f64 {
+        let c = 14.2 / alpha + 386.0 / (1.0 + 69.9 * q.powf(1.08));
+        let l = (std::f64::consts::E + 1.8 * beta * q).ln();
+        l / (l + c * q * q)
+    };
+    let f = 1.0 / (1.0 + (k * s / 5.4).powi(4));
+    let tc = f * t0(q, 1.0, beta_c) + (1.0 - f) * t0(q, alpha_c, beta_c);
+
+    // Baryon piece (Eqs. 13-15, 21-24).
+    let y = (1.0 + z_eq) / (1.0 + z_d);
+    let gy = y
+        * (-6.0 * (1.0 + y).sqrt()
+            + (2.0 + 3.0 * y) * (((1.0 + y).sqrt() + 1.0) / ((1.0 + y).sqrt() - 1.0)).ln());
+    let alpha_b = 2.07 * k_eq * s * (1.0 + r_d).powf(-0.75) * gy;
+    let beta_b = 0.5 + fb + (3.0 - 2.0 * fb) * ((17.2 * omh2) * (17.2 * omh2) + 1.0).sqrt();
+    let beta_node = 8.41 * omh2.powf(0.435);
+    let s_tilde = s / (1.0 + (beta_node / (k * s)).powi(3)).cbrt();
+    let j0 = |x: f64| if x.abs() < 1e-8 { 1.0 } else { x.sin() / x };
+    let tb = (t0(q, 1.0, 1.0) / (1.0 + (k * s / 5.2) * (k * s / 5.2))
+        + alpha_b / (1.0 + (beta_b / (k * s)).powi(3)) * (-(k / k_silk).powf(1.4)).exp())
+        * j0(k * s_tilde);
+
+    fb * tb + fc * tc
+}
+
+/// BBKS transfer function with Sugiyama-corrected shape parameter.
+fn bbks(cosmo: &Cosmology, k: f64) -> f64 {
+    let gamma = cosmo.omega_m
+        * cosmo.h
+        * (-cosmo.omega_b * (1.0 + (2.0 * cosmo.h).sqrt() / cosmo.omega_m)).exp();
+    let q = k / gamma;
+    let a = 1.0 + 3.89 * q;
+    let b = (16.1 * q) * (16.1 * q);
+    let c = (5.46 * q).powi(3);
+    let d = (6.71 * q).powi(4);
+    (1.0 + 2.34 * q).ln() / (2.34 * q) * (a + b + c + d).powf(-0.25)
+}
+
+/// Eisenstein & Hu (1998) no-wiggle transfer function (their Eqs. 26–31).
+fn eh_nowiggle(cosmo: &Cosmology, k: f64) -> f64 {
+    let om = cosmo.omega_m;
+    let ob = cosmo.omega_b;
+    let h = cosmo.h;
+    let omh2 = om * h * h;
+    let obh2 = ob * h * h;
+    let theta = 2.728 / 2.7; // CMB temperature in units of 2.7 K
+    let fb = ob / om;
+
+    // Sound horizon fit (EH98 Eq. 26), Mpc.
+    let s = 44.5 * (9.83 / omh2).ln() / (1.0 + 10.0 * obh2.powf(0.75)).sqrt();
+    // alpha_Gamma (Eq. 31).
+    let ag = 1.0 - 0.328 * (431.0 * omh2).ln() * fb + 0.38 * (22.3 * omh2).ln() * fb * fb;
+    // Effective shape (Eq. 30); k in h/Mpc so k*s uses s in Mpc times h.
+    let ks = k * s * h;
+    let gamma_eff = om * h * (ag + (1.0 - ag) / (1.0 + (0.43 * ks).powi(4)));
+    let q = k * theta * theta / gamma_eff;
+    // Eqs. 28–29.
+    let l0 = (2.0 * std::f64::consts::E + 1.8 * q).ln();
+    let c0 = 14.2 + 731.0 / (1.0 + 62.5 * q);
+    l0 / (l0 + c0 * q * q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_tends_to_one_at_large_scales() {
+        let c = Cosmology::lcdm();
+        for t in [Transfer::Bbks, Transfer::EisensteinHuNoWiggle] {
+            let v = t.evaluate(&c, 1e-5);
+            assert!((v - 1.0).abs() < 0.02, "{t:?} T(1e-5) = {v}");
+        }
+        assert_eq!(Transfer::Bbks.evaluate(&c, 0.0), 1.0);
+    }
+
+    #[test]
+    fn transfer_monotone_decreasing() {
+        let c = Cosmology::lcdm();
+        for t in [Transfer::Bbks, Transfer::EisensteinHuNoWiggle] {
+            let mut prev = f64::INFINITY;
+            for i in 0..60 {
+                let k = 1e-4 * (10f64).powf(i as f64 / 10.0);
+                let v = t.evaluate(&c, k);
+                assert!(v < prev && v > 0.0, "{t:?} not monotone at k={k}");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn small_scale_suppression_strong() {
+        let c = Cosmology::lcdm();
+        // At k = 10 h/Mpc the transfer function is heavily suppressed.
+        assert!(Transfer::Bbks.evaluate(&c, 10.0) < 5e-3);
+        assert!(Transfer::EisensteinHuNoWiggle.evaluate(&c, 10.0) < 5e-3);
+    }
+
+    #[test]
+    fn bbks_and_eh_agree_within_factor_two() {
+        // Two independent fits to the same physics: same ballpark shape.
+        let c = Cosmology::lcdm();
+        for &k in &[0.01, 0.1, 1.0] {
+            let b = Transfer::Bbks.evaluate(&c, k);
+            let e = Transfer::EisensteinHuNoWiggle.evaluate(&c, k);
+            let ratio = b / e;
+            assert!(ratio > 0.5 && ratio < 2.0, "k={k}: bbks={b}, eh={e}");
+        }
+    }
+
+    #[test]
+    fn eh_full_has_wiggles_around_nowiggle() {
+        // The full EH transfer oscillates around the no-wiggle version in
+        // the BAO band (k ~ 0.05-0.3 h/Mpc): the ratio crosses 1 several
+        // times and stays within ~10%.
+        let c = Cosmology::lcdm();
+        let mut crossings = 0;
+        let mut prev_sign = 0i32;
+        for i in 0..200 {
+            let k = 0.03 + 0.3 * i as f64 / 200.0;
+            let full = Transfer::EisensteinHu.evaluate(&c, k);
+            let nw = Transfer::EisensteinHuNoWiggle.evaluate(&c, k);
+            let ratio = full / nw;
+            assert!((ratio - 1.0).abs() < 0.25, "k={k}: ratio {ratio}");
+            let sign = if ratio > 1.0 { 1 } else { -1 };
+            if prev_sign != 0 && sign != prev_sign {
+                crossings += 1;
+            }
+            prev_sign = sign;
+        }
+        assert!(crossings >= 3, "only {crossings} BAO crossings found");
+    }
+
+    #[test]
+    fn eh_full_matches_nowiggle_at_extremes() {
+        let c = Cosmology::lcdm();
+        for &k in &[1e-4, 20.0] {
+            let full = Transfer::EisensteinHu.evaluate(&c, k);
+            let nw = Transfer::EisensteinHuNoWiggle.evaluate(&c, k);
+            let ratio = full / nw;
+            assert!(ratio > 0.5 && ratio < 2.0, "k={k}: {ratio}");
+        }
+    }
+
+    #[test]
+    fn more_baryons_more_suppression() {
+        let lo_b = Cosmology {
+            omega_b: 0.02,
+            ..Cosmology::lcdm()
+        };
+        let hi_b = Cosmology {
+            omega_b: 0.08,
+            ..Cosmology::lcdm()
+        };
+        let k = 0.2;
+        assert!(
+            Transfer::EisensteinHuNoWiggle.evaluate(&hi_b, k)
+                < Transfer::EisensteinHuNoWiggle.evaluate(&lo_b, k)
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Minimal double-precision complex type.
+//!
+//! `#[repr(C)]` layout (re, im) so slices can cross the mini-MPI boundary
+//! as plain data.
+
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Construct from rectangular components.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Zero.
+    pub const ZERO: Complex64 = Complex64::new(0.0, 0.0);
+    /// One.
+    pub const ONE: Complex64 = Complex64::new(1.0, 0.0);
+    /// The imaginary unit.
+    pub const I: Complex64 = Complex64::new(0.0, 1.0);
+
+    /// `exp(i·theta)` on the unit circle.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex64::new(c, s)
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiply by a real scalar.
+    #[inline(always)]
+    pub fn scale(self, s: f64) -> Self {
+        Complex64::new(self.re * s, self.im * s)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn add(self, o: Complex64) -> Complex64 {
+        Complex64::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn sub(self, o: Complex64) -> Complex64 {
+        Complex64::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, o: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline(always)]
+    fn add_assign(&mut self, o: Complex64) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline(always)]
+    fn sub_assign(&mut self, o: Complex64) {
+        self.re -= o.re;
+        self.im -= o.im;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, o: Complex64) {
+        *self = *self * o;
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline(always)]
+    fn from(re: f64) -> Self {
+        Complex64::new(re, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(-3.0, 0.5);
+        assert_eq!(a + b - b, a);
+        assert_eq!(a * Complex64::ONE, a);
+        assert_eq!(a * Complex64::ZERO, Complex64::ZERO);
+        assert_eq!(-a + a, Complex64::ZERO);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Complex64::I * Complex64::I, Complex64::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = Complex64::new(3.0, 4.0);
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        assert_eq!((a * a.conj()).re, 25.0);
+        assert_eq!((a * a.conj()).im, 0.0);
+    }
+
+    #[test]
+    fn cis_unit_circle() {
+        let q = Complex64::cis(std::f64::consts::FRAC_PI_2);
+        assert!((q.re).abs() < 1e-15);
+        assert!((q.im - 1.0).abs() < 1e-15);
+        let full = Complex64::cis(2.0 * std::f64::consts::PI);
+        assert!((full.re - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mul_matches_expanded_form() {
+        let a = Complex64::new(1.5, -2.0);
+        let b = Complex64::new(0.25, 3.0);
+        let c = a * b;
+        assert!((c.re - (1.5 * 0.25 - (-2.0) * 3.0)).abs() < 1e-15);
+        assert!((c.im - (1.5 * 3.0 + (-2.0) * 0.25)).abs() < 1e-15);
+    }
+}

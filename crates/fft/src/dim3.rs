@@ -1,0 +1,297 @@
+//! Serial (shared-memory) 3-D complex FFT.
+//!
+//! Row-major `[nx][ny][nz]` layout (`z` fastest). Lines along each axis are
+//! transformed with the 1-D plan; the y and x passes gather strided lines
+//! into contiguous buffers (the same data-movement trade the paper's
+//! transpose-based distributed FFT makes, in miniature). Rayon parallelizes
+//! across independent lines.
+
+use crate::complex::Complex64;
+use crate::plan::Fft1d;
+use rayon::prelude::*;
+
+/// 3-D FFT plan for an `nx × ny × nz` grid.
+#[derive(Debug, Clone)]
+pub struct Fft3 {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    plan_x: Fft1d,
+    plan_y: Fft1d,
+    plan_z: Fft1d,
+}
+
+impl Fft3 {
+    /// Plan for a cubic `n³` grid.
+    pub fn new_cubic(n: usize) -> Self {
+        Self::new(n, n, n)
+    }
+
+    /// Plan for a general `nx × ny × nz` grid.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        Fft3 {
+            nx,
+            ny,
+            nz,
+            plan_x: Fft1d::new(nx),
+            plan_y: Fft1d::new(ny),
+            plan_z: Fft1d::new(nz),
+        }
+    }
+
+    /// Grid dimensions `(nx, ny, nz)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Total number of grid points.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// True only for a degenerate empty grid.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Unnormalized forward transform in place.
+    pub fn forward(&self, data: &mut [Complex64]) {
+        self.transform(data, false);
+    }
+
+    /// Normalized backward transform in place (divides by `nx·ny·nz`).
+    pub fn backward(&self, data: &mut [Complex64]) {
+        self.transform(data, true);
+        let inv = 1.0 / self.len() as f64;
+        data.par_iter_mut().for_each(|v| *v = v.scale(inv));
+    }
+
+    fn transform(&self, data: &mut [Complex64], inverse: bool) {
+        assert_eq!(data.len(), self.len(), "grid size mismatch");
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+
+        // Pass 1: z lines are contiguous.
+        data.par_chunks_mut(nz).for_each_init(
+            || self.plan_z.make_scratch(),
+            |scratch, line| {
+                if inverse {
+                    // Unnormalized inverse at this stage; single global
+                    // rescale happens in `backward`.
+                    conj_in(line);
+                    self.plan_z.forward(line, scratch);
+                    conj_in(line);
+                } else {
+                    self.plan_z.forward(line, scratch);
+                }
+            },
+        );
+
+        // Pass 2: y lines, strided by nz within each x-plane.
+        data.par_chunks_mut(ny * nz).for_each_init(
+            || (self.plan_y.make_scratch(), vec![Complex64::ZERO; ny]),
+            |(scratch, line), plane| {
+                for iz in 0..nz {
+                    for iy in 0..ny {
+                        line[iy] = plane[iy * nz + iz];
+                    }
+                    if inverse {
+                        conj_in(line);
+                        self.plan_y.forward(line, scratch);
+                        conj_in(line);
+                    } else {
+                        self.plan_y.forward(line, scratch);
+                    }
+                    for iy in 0..ny {
+                        plane[iy * nz + iz] = line[iy];
+                    }
+                }
+            },
+        );
+
+        // Pass 3: x lines, strided by ny*nz. Parallelize over y so each task
+        // works on disjoint (y, z) columns; uses raw indexing through a
+        // shared pointer wrapper kept sound by the disjointness of columns.
+        let plane_stride = ny * nz;
+        let ptr = SyncPtr(data.as_mut_ptr());
+        (0..ny).into_par_iter().for_each_init(
+            || (self.plan_x.make_scratch(), vec![Complex64::ZERO; nx]),
+            |(scratch, line), iy| {
+                let base = ptr;
+                for iz in 0..nz {
+                    let off = iy * nz + iz;
+                    for ix in 0..nx {
+                        // SAFETY: distinct iy tasks touch disjoint offsets.
+                        line[ix] = unsafe { *base.0.add(ix * plane_stride + off) };
+                    }
+                    if inverse {
+                        conj_in(line);
+                        self.plan_x.forward(line, scratch);
+                        conj_in(line);
+                    } else {
+                        self.plan_x.forward(line, scratch);
+                    }
+                    for ix in 0..nx {
+                        unsafe { *base.0.add(ix * plane_stride + off) = line[ix] };
+                    }
+                }
+            },
+        );
+    }
+}
+
+fn conj_in(line: &mut [Complex64]) {
+    for v in line.iter_mut() {
+        *v = v.conj();
+    }
+}
+
+/// Pointer wrapper asserting cross-thread use is sound (columns disjoint).
+#[derive(Clone, Copy)]
+struct SyncPtr(*mut Complex64);
+unsafe impl Send for SyncPtr {}
+unsafe impl Sync for SyncPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wavenumber::k_index;
+
+    fn rand_grid(n: usize, seed: u64) -> Vec<Complex64> {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) - 0.5
+        };
+        (0..n).map(|_| Complex64::new(next(), next())).collect()
+    }
+
+    /// Brute-force 3-D DFT for tiny grids.
+    fn dft3(x: &[Complex64], n: usize) -> Vec<Complex64> {
+        let mut out = vec![Complex64::ZERO; n * n * n];
+        for kx in 0..n {
+            for ky in 0..n {
+                for kz in 0..n {
+                    let mut acc = Complex64::ZERO;
+                    for jx in 0..n {
+                        for jy in 0..n {
+                            for jz in 0..n {
+                                let phase = -2.0 * std::f64::consts::PI
+                                    * ((kx * jx + ky * jy + kz * jz) % n) as f64
+                                    / n as f64;
+                                acc += x[(jx * n + jy) * n + jz] * Complex64::cis(phase);
+                            }
+                        }
+                    }
+                    out[(kx * n + ky) * n + kz] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_brute_force_small() {
+        for n in [2, 3, 4] {
+            let plan = Fft3::new_cubic(n);
+            let sig = rand_grid(n * n * n, 7);
+            let mut data = sig.clone();
+            plan.forward(&mut data);
+            let want = dft3(&sig, n);
+            let err = data
+                .iter()
+                .zip(&want)
+                .map(|(a, b)| (*a - *b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-9, "n = {n}, err = {err}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_cubic_and_rectangular() {
+        for (nx, ny, nz) in [(8, 8, 8), (4, 6, 10), (16, 8, 4), (5, 5, 5)] {
+            let plan = Fft3::new(nx, ny, nz);
+            let sig = rand_grid(nx * ny * nz, 99);
+            let mut data = sig.clone();
+            plan.forward(&mut data);
+            plan.backward(&mut data);
+            let err = data
+                .iter()
+                .zip(&sig)
+                .map(|(a, b)| (*a - *b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-10, "dims {nx}x{ny}x{nz}: err {err}");
+        }
+    }
+
+    #[test]
+    fn plane_wave_lands_in_one_bin() {
+        let n = 8;
+        let plan = Fft3::new_cubic(n);
+        let (mx, my, mz) = (2usize, 5usize, 1usize);
+        let mut data: Vec<Complex64> = Vec::with_capacity(n * n * n);
+        for jx in 0..n {
+            for jy in 0..n {
+                for jz in 0..n {
+                    let phase = 2.0 * std::f64::consts::PI
+                        * ((mx * jx + my * jy + mz * jz) % n) as f64
+                        / n as f64;
+                    data.push(Complex64::cis(phase));
+                }
+            }
+        }
+        plan.forward(&mut data);
+        for kx in 0..n {
+            for ky in 0..n {
+                for kz in 0..n {
+                    let v = data[(kx * n + ky) * n + kz];
+                    let expect = if (kx, ky, kz) == (mx, my, mz) {
+                        (n * n * n) as f64
+                    } else {
+                        0.0
+                    };
+                    assert!(
+                        (v.re - expect).abs() < 1e-8 && v.im.abs() < 1e-8,
+                        "bin ({kx},{ky},{kz})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn real_input_has_hermitian_spectrum() {
+        let n = 6;
+        let plan = Fft3::new_cubic(n);
+        let mut data: Vec<Complex64> = rand_grid(n * n * n, 3)
+            .into_iter()
+            .map(|c| Complex64::new(c.re, 0.0))
+            .collect();
+        plan.forward(&mut data);
+        // X[-k] = conj(X[k]).
+        for kx in 0..n {
+            for ky in 0..n {
+                for kz in 0..n {
+                    let neg = |i: usize| (n - i) % n;
+                    let a = data[(kx * n + ky) * n + kz];
+                    let b = data[(neg(kx) * n + neg(ky)) * n + neg(kz)];
+                    assert!((a - b.conj()).abs() < 1e-9);
+                }
+            }
+        }
+        // Suppress unused import warning in this test module.
+        let _ = k_index(0, 2);
+    }
+
+    #[test]
+    fn dc_bin_is_sum() {
+        let n = 4;
+        let plan = Fft3::new_cubic(n);
+        let sig = rand_grid(n * n * n, 17);
+        let sum: Complex64 = sig.iter().fold(Complex64::ZERO, |a, &b| a + b);
+        let mut data = sig;
+        plan.forward(&mut data);
+        assert!((data[0] - sum).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,35 @@
+//! From-scratch FFTs for the HACC reproduction.
+//!
+//! The paper stresses that HACC's "performance and flexibility are not
+//! dependent on vendor-supplied or other high-performance libraries"; its
+//! 3-D parallel FFT couples high performance with a small memory footprint.
+//! This crate mirrors that: a plan-based mixed-radix (2/3/4/5, arbitrary
+//! factors, Bluestein for large primes) complex 1-D FFT, a cache-aware
+//! serial 3-D transform, and two distributed decompositions over
+//! [`hacc_comm`]:
+//!
+//! * **slab** — 1-D x-split, the original Roadrunner-era decomposition,
+//!   limited to `ranks ≤ N`;
+//! * **pencil** — 2-D (x,y)-split with interleaved transpose / 1-D FFT
+//!   steps over row and column sub-communicators, supporting
+//!   `ranks ≤ N²` (the BG/P–BG/Q decomposition of Section IV.A).
+//!
+//! Conventions: forward transform is unnormalized
+//! (`X[k] = Σ x[j]·exp(-2πi jk/N)`); `backward` divides by `N` so a
+//! round-trip is the identity.
+
+pub mod complex;
+pub mod dim3;
+pub mod pencil;
+pub mod plan;
+pub mod slab;
+pub mod wavenumber;
+
+pub use complex::Complex64;
+pub use dim3::Fft3;
+pub use pencil::PencilFft;
+pub use plan::Fft1d;
+pub use slab::SlabFft;
+pub use wavenumber::{k_index, k_of_index};
+pub mod layout;
+pub use layout::{block_ranges, DistFft3, Layout3};

@@ -1,0 +1,454 @@
+//! Pencil-decomposed distributed 3-D FFT.
+//!
+//! The scalable FFT of Section IV.A: data partitioned across a 2-D
+//! `P1 × P2` process grid (`ranks ≤ N²`), with the transform composed of
+//! interleaved transposition and sequential 1-D FFT steps where "each
+//! transposition only involves a subset of all tasks" — here the row and
+//! column sub-communicators obtained by `Comm::split`.
+//!
+//! Layout sequence (forward):
+//!
+//! ```text
+//! z-pencils [lx][ly][N]  --z FFT-->  --row transpose-->
+//! y-pencils [lx][N][lz]  --y FFT-->  --column transpose-->
+//! x-pencils [N][ly'][lz] --x FFT-->  k-space (x-pencil layout)
+//! ```
+//!
+//! Note the two different y splittings: over `P2` in real space and over
+//! `P1` in k space.
+
+use hacc_comm::{dims_create, Comm};
+
+use crate::complex::Complex64;
+use crate::layout::{block_ranges, DistFft3, Layout3};
+use crate::plan::Fft1d;
+
+/// Pencil FFT bound to a communicator arranged as a `P1 × P2` grid.
+pub struct PencilFft<'a> {
+    comm: &'a Comm,
+    row_comm: Comm,
+    col_comm: Comm,
+    n: usize,
+    p1: usize,
+    p2: usize,
+    /// x ranges over P1.
+    x1: Vec<(usize, usize)>,
+    /// y ranges over P2 (real space).
+    y2: Vec<(usize, usize)>,
+    /// y ranges over P1 (k space).
+    y1: Vec<(usize, usize)>,
+    /// z ranges over P2.
+    z2: Vec<(usize, usize)>,
+    plan: Fft1d,
+}
+
+impl<'a> PencilFft<'a> {
+    /// Create a pencil FFT of global side `n`; the process grid is chosen
+    /// by [`dims_create`]. Requires both grid dimensions ≤ `n`.
+    pub fn new(comm: &'a Comm, n: usize) -> Self {
+        let d = dims_create(comm.size(), 2);
+        Self::with_grid(comm, n, d[0], d[1])
+    }
+
+    /// Create with an explicit `p1 × p2` process grid (`p1·p2 = ranks`).
+    pub fn with_grid(comm: &'a Comm, n: usize, p1: usize, p2: usize) -> Self {
+        assert_eq!(p1 * p2, comm.size(), "process grid must cover all ranks");
+        assert!(
+            p1 <= n && p2 <= n,
+            "pencil decomposition requires grid dims ({p1},{p2}) <= N ({n})"
+        );
+        let my_p1 = comm.rank() / p2;
+        let my_p2 = comm.rank() % p2;
+        let row_comm = comm.split(my_p1 as u64, my_p2 as u64);
+        let col_comm = comm.split(my_p2 as u64, my_p1 as u64);
+        PencilFft {
+            comm,
+            row_comm,
+            col_comm,
+            n,
+            p1: my_p1,
+            p2: my_p2,
+            x1: block_ranges(n, p1),
+            y2: block_ranges(n, p2),
+            y1: block_ranges(n, p1),
+            z2: block_ranges(n, p2),
+            plan: Fft1d::new(n),
+        }
+    }
+
+    fn lx(&self) -> usize {
+        self.x1[self.p1].1
+    }
+    fn ly2(&self) -> usize {
+        self.y2[self.p2].1
+    }
+    fn ly1(&self) -> usize {
+        self.y1[self.p1].1
+    }
+    fn lz2(&self) -> usize {
+        self.z2[self.p2].1
+    }
+
+    fn run_line(&self, line: &mut [Complex64], scratch: &mut [Complex64], inverse: bool) {
+        if inverse {
+            for v in line.iter_mut() {
+                *v = v.conj();
+            }
+            self.plan.forward(line, scratch);
+            for v in line.iter_mut() {
+                *v = v.conj();
+            }
+        } else {
+            self.plan.forward(line, scratch);
+        }
+    }
+
+    /// z-line FFTs in the z-pencil layout (contiguous lines).
+    fn fft_z(&self, data: &mut [Complex64], inverse: bool) {
+        let mut scratch = self.plan.make_scratch();
+        for line in data.chunks_mut(self.n) {
+            self.run_line(line, &mut scratch, inverse);
+        }
+    }
+
+    /// y-line FFTs in the y-pencil layout `[lx][n][lz]` (stride lz).
+    fn fft_y(&self, data: &mut [Complex64], inverse: bool) {
+        let (n, lx, lz) = (self.n, self.lx(), self.lz2());
+        let mut scratch = self.plan.make_scratch();
+        let mut line = vec![Complex64::ZERO; n];
+        for ixl in 0..lx {
+            let block = &mut data[ixl * n * lz..(ixl + 1) * n * lz];
+            for izl in 0..lz {
+                for iy in 0..n {
+                    line[iy] = block[iy * lz + izl];
+                }
+                self.run_line(&mut line, &mut scratch, inverse);
+                for iy in 0..n {
+                    block[iy * lz + izl] = line[iy];
+                }
+            }
+        }
+    }
+
+    /// x-line FFTs in the x-pencil layout `[n][ly'][lz]` (stride ly'·lz).
+    fn fft_x(&self, data: &mut [Complex64], inverse: bool) {
+        let (n, ly, lz) = (self.n, self.ly1(), self.lz2());
+        let mut scratch = self.plan.make_scratch();
+        let mut line = vec![Complex64::ZERO; n];
+        let stride = ly * lz;
+        for iyl in 0..ly {
+            for izl in 0..lz {
+                let off = iyl * lz + izl;
+                for ix in 0..n {
+                    line[ix] = data[ix * stride + off];
+                }
+                self.run_line(&mut line, &mut scratch, inverse);
+                for ix in 0..n {
+                    data[ix * stride + off] = line[ix];
+                }
+            }
+        }
+    }
+
+    /// Row transpose: z-pencils `[lx][ly2][n]` → y-pencils `[lx][n][lz2]`.
+    fn z_to_y(&self, data: &[Complex64]) -> Vec<Complex64> {
+        let (n, lx, ly) = (self.n, self.lx(), self.ly2());
+        let sends: Vec<Vec<Complex64>> = self
+            .z2
+            .iter()
+            .map(|&(z0, lzq)| {
+                let mut buf = Vec::with_capacity(lx * ly * lzq);
+                for ixl in 0..lx {
+                    for iyl in 0..ly {
+                        let row = (ixl * ly + iyl) * n + z0;
+                        buf.extend_from_slice(&data[row..row + lzq]);
+                    }
+                }
+                buf
+            })
+            .collect();
+        let recvs = self.row_comm.alltoallv(sends);
+        let lz = self.lz2();
+        let mut out = vec![Complex64::ZERO; lx * n * lz];
+        for (q, buf) in recvs.iter().enumerate() {
+            let (y0, lyq) = self.y2[q];
+            let mut it = buf.iter();
+            for ixl in 0..lx {
+                for iyl in 0..lyq {
+                    let dst = (ixl * n + y0 + iyl) * lz;
+                    for v in out[dst..dst + lz].iter_mut() {
+                        *v = *it.next().expect("z_to_y payload");
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`PencilFft::z_to_y`].
+    fn y_to_z(&self, data: &[Complex64]) -> Vec<Complex64> {
+        let (n, lx, lz) = (self.n, self.lx(), self.lz2());
+        let sends: Vec<Vec<Complex64>> = self
+            .y2
+            .iter()
+            .map(|&(y0, lyq)| {
+                let mut buf = Vec::with_capacity(lx * lyq * lz);
+                for ixl in 0..lx {
+                    for iyl in 0..lyq {
+                        let row = (ixl * n + y0 + iyl) * lz;
+                        buf.extend_from_slice(&data[row..row + lz]);
+                    }
+                }
+                buf
+            })
+            .collect();
+        let recvs = self.row_comm.alltoallv(sends);
+        let ly = self.ly2();
+        let mut out = vec![Complex64::ZERO; lx * ly * n];
+        for (q, buf) in recvs.iter().enumerate() {
+            let (z0, lzq) = self.z2[q];
+            let mut it = buf.iter();
+            for ixl in 0..lx {
+                for iyl in 0..ly {
+                    let dst = (ixl * ly + iyl) * n + z0;
+                    for v in out[dst..dst + lzq].iter_mut() {
+                        *v = *it.next().expect("y_to_z payload");
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Column transpose: y-pencils `[lx][n][lz2]` → x-pencils `[n][ly1][lz2]`.
+    fn y_to_x(&self, data: &[Complex64]) -> Vec<Complex64> {
+        let (n, lx, lz) = (self.n, self.lx(), self.lz2());
+        let sends: Vec<Vec<Complex64>> = self
+            .y1
+            .iter()
+            .map(|&(y0, lyq)| {
+                let mut buf = Vec::with_capacity(lx * lyq * lz);
+                for ixl in 0..lx {
+                    for iyl in 0..lyq {
+                        let row = (ixl * n + y0 + iyl) * lz;
+                        buf.extend_from_slice(&data[row..row + lz]);
+                    }
+                }
+                buf
+            })
+            .collect();
+        let recvs = self.col_comm.alltoallv(sends);
+        let ly = self.ly1();
+        let mut out = vec![Complex64::ZERO; n * ly * lz];
+        for (q, buf) in recvs.iter().enumerate() {
+            let (x0, lxq) = self.x1[q];
+            let mut it = buf.iter();
+            for ixl in 0..lxq {
+                for iyl in 0..ly {
+                    let dst = ((x0 + ixl) * ly + iyl) * lz;
+                    for v in out[dst..dst + lz].iter_mut() {
+                        *v = *it.next().expect("y_to_x payload");
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`PencilFft::y_to_x`].
+    fn x_to_y(&self, data: &[Complex64]) -> Vec<Complex64> {
+        let (n, ly, lz) = (self.n, self.ly1(), self.lz2());
+        let sends: Vec<Vec<Complex64>> = self
+            .x1
+            .iter()
+            .map(|&(x0, lxq)| {
+                let mut buf = Vec::with_capacity(lxq * ly * lz);
+                for ixl in 0..lxq {
+                    for iyl in 0..ly {
+                        let row = ((x0 + ixl) * ly + iyl) * lz;
+                        buf.extend_from_slice(&data[row..row + lz]);
+                    }
+                }
+                buf
+            })
+            .collect();
+        let recvs = self.col_comm.alltoallv(sends);
+        let lx = self.lx();
+        let mut out = vec![Complex64::ZERO; lx * n * lz];
+        for (q, buf) in recvs.iter().enumerate() {
+            let (y0, lyq) = self.y1[q];
+            let mut it = buf.iter();
+            for ixl in 0..lx {
+                for iyl in 0..lyq {
+                    let dst = (ixl * n + y0 + iyl) * lz;
+                    for v in out[dst..dst + lz].iter_mut() {
+                        *v = *it.next().expect("x_to_y payload");
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl DistFft3 for PencilFft<'_> {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn real_layout(&self) -> Layout3 {
+        Layout3 {
+            n: self.n,
+            origin: [self.x1[self.p1].0, self.y2[self.p2].0, 0],
+            size: [self.lx(), self.ly2(), self.n],
+        }
+    }
+
+    fn k_layout(&self) -> Layout3 {
+        Layout3 {
+            n: self.n,
+            origin: [0, self.y1[self.p1].0, self.z2[self.p2].0],
+            size: [self.n, self.ly1(), self.lz2()],
+        }
+    }
+
+    fn forward(&self, mut data: Vec<Complex64>) -> Vec<Complex64> {
+        assert_eq!(data.len(), self.real_layout().len());
+        self.fft_z(&mut data, false);
+        let mut y = self.z_to_y(&data);
+        self.fft_y(&mut y, false);
+        let mut x = self.y_to_x(&y);
+        self.fft_x(&mut x, false);
+        x
+    }
+
+    fn backward(&self, mut data: Vec<Complex64>) -> Vec<Complex64> {
+        assert_eq!(data.len(), self.k_layout().len());
+        self.fft_x(&mut data, true);
+        let mut y = self.x_to_y(&data);
+        self.fft_y(&mut y, true);
+        let mut z = self.y_to_z(&y);
+        self.fft_z(&mut z, true);
+        let inv = 1.0 / (self.n * self.n * self.n) as f64;
+        for v in z.iter_mut() {
+            *v = v.scale(inv);
+        }
+        z
+    }
+
+    fn comm(&self) -> &Comm {
+        self.comm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim3::Fft3;
+    use hacc_comm::Machine;
+
+    fn rand_grid(len: usize, seed: u64) -> Vec<Complex64> {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) - 0.5
+        };
+        (0..len).map(|_| Complex64::new(next(), next())).collect()
+    }
+
+    fn check(n: usize, p1: usize, p2: usize) {
+        let global = rand_grid(n * n * n, 1000 + n as u64);
+        let mut want = global.clone();
+        Fft3::new_cubic(n).forward(&mut want);
+
+        let globals = global.clone();
+        let (results, _) = Machine::new(p1 * p2).run(move |comm| {
+            let fft = PencilFft::with_grid(&comm, n, p1, p2);
+            let rl = fft.real_layout();
+            let mut local = vec![Complex64::ZERO; rl.len()];
+            for (i, v) in local.iter_mut().enumerate() {
+                let g = rl.global_coords(i);
+                *v = globals[(g[0] * n + g[1]) * n + g[2]];
+            }
+            let k = fft.forward(local);
+            (fft.k_layout(), k)
+        });
+        for (lay, k) in &results {
+            for (i, v) in k.iter().enumerate() {
+                let g = lay.global_coords(i);
+                let w = want[(g[0] * n + g[1]) * n + g[2]];
+                assert!(
+                    (*v - w).abs() < 1e-8,
+                    "n={n} grid {p1}x{p2} at {g:?}: {v:?} vs {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank() {
+        check(6, 1, 1);
+    }
+
+    #[test]
+    fn row_only_and_col_only() {
+        check(8, 1, 4);
+        check(8, 4, 1);
+    }
+
+    #[test]
+    fn square_grids() {
+        check(8, 2, 2);
+        check(12, 3, 3);
+    }
+
+    #[test]
+    fn rectangular_grid_uneven_sizes() {
+        check(10, 2, 3);
+        check(9, 3, 2);
+    }
+
+    #[test]
+    fn more_ranks_than_n_allowed() {
+        // 4x4 = 16 ranks on a 6³ grid: beyond slab's limit but fine here
+        // as long as each grid dim ≤ n.
+        check(6, 4, 4);
+    }
+
+    #[test]
+    fn roundtrip_distributed() {
+        let n = 8;
+        let (ok, _) = Machine::new(6).run(|comm| {
+            let fft = PencilFft::with_grid(&comm, n, 3, 2);
+            let orig = rand_grid(fft.real_layout().len(), 5 + comm.rank() as u64);
+            let k = fft.forward(orig.clone());
+            assert_eq!(k.len(), fft.k_layout().len());
+            let back = fft.backward(k);
+            back.iter()
+                .zip(&orig)
+                .all(|(a, b)| (*a - *b).abs() < 1e-10)
+        });
+        assert!(ok.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn k_layouts_tile_the_cube() {
+        let n = 8;
+        let (lays, _) = Machine::new(4).run(|comm| {
+            let fft = PencilFft::with_grid(&comm, n, 2, 2);
+            fft.k_layout()
+        });
+        let total: usize = lays.iter().map(|l| l.len()).sum();
+        assert_eq!(total, n * n * n);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn oversized_grid_dim_rejected() {
+        let (_, _) = Machine::new(8).run(|comm| {
+            let _ = PencilFft::with_grid(&comm, 4, 8, 1);
+        });
+    }
+}

@@ -1,0 +1,63 @@
+//! Wavenumber bookkeeping for FFT grids.
+
+/// Signed integer wavenumber for FFT bin `i` of an `n`-point transform:
+/// `0, 1, …, n/2, -(n-1)/2, …, -1` (the usual fftfreq convention).
+#[inline]
+pub fn k_index(i: usize, n: usize) -> i64 {
+    debug_assert!(i < n);
+    if i <= n / 2 {
+        i as i64
+    } else {
+        i as i64 - n as i64
+    }
+}
+
+/// Physical wavenumber of bin `i` for a periodic domain of length `l`:
+/// `k = 2π·k_index/l`.
+#[inline]
+pub fn k_of_index(i: usize, n: usize, l: f64) -> f64 {
+    2.0 * std::f64::consts::PI * k_index(i, n) as f64 / l
+}
+
+/// Squared magnitude of the wavevector for bins `(i, j, k)` of an `n³`
+/// grid with box length `l`.
+#[inline]
+pub fn k_squared(idx: [usize; 3], n: usize, l: f64) -> f64 {
+    let kx = k_of_index(idx[0], n, l);
+    let ky = k_of_index(idx[1], n, l);
+    let kz = k_of_index(idx[2], n, l);
+    kx * kx + ky * ky + kz * kz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_index_even_grid() {
+        let n = 8;
+        let got: Vec<i64> = (0..n).map(|i| k_index(i, n)).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, -3, -2, -1]);
+    }
+
+    #[test]
+    fn k_index_odd_grid() {
+        let n = 5;
+        let got: Vec<i64> = (0..n).map(|i| k_index(i, n)).collect();
+        assert_eq!(got, vec![0, 1, 2, -2, -1]);
+    }
+
+    #[test]
+    fn physical_k_fundamental() {
+        let k1 = k_of_index(1, 64, 100.0);
+        assert!((k1 - 2.0 * std::f64::consts::PI / 100.0).abs() < 1e-15);
+        assert_eq!(k_of_index(0, 64, 100.0), 0.0);
+    }
+
+    #[test]
+    fn k_squared_symmetric() {
+        let n = 16;
+        // bin n-1 is k = -1; same |k|² as bin 1.
+        assert!((k_squared([1, 0, 0], n, 1.0) - k_squared([n - 1, 0, 0], n, 1.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the FFT stack.
+
+use hacc_comm::Machine;
+use hacc_fft::{block_ranges, Complex64, DistFft3, Fft1d, Fft3, PencilFft, SlabFft};
+use proptest::prelude::*;
+
+fn signal(n: usize, seed: u64) -> Vec<Complex64> {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s as f64 / u64::MAX as f64) - 0.5
+    };
+    (0..n).map(|_| Complex64::new(next(), next())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Time-shift ↔ phase-ramp duality: shifting the input circularly by
+    /// m multiplies bin k by exp(-2πi·mk/n).
+    #[test]
+    fn shift_theorem(n in 2usize..96, m_seed in any::<usize>(), seed in any::<u64>()) {
+        let m = m_seed % n;
+        let plan = Fft1d::new(n);
+        let x = signal(n, seed);
+        let mut fx = x.clone();
+        let mut scratch = plan.make_scratch();
+        plan.forward(&mut fx, &mut scratch);
+        let shifted: Vec<Complex64> = (0..n).map(|i| x[(i + m) % n]).collect();
+        let mut fs = shifted;
+        plan.forward(&mut fs, &mut scratch);
+        for k in 0..n {
+            let phase = Complex64::cis(2.0 * std::f64::consts::PI * (k * m % n) as f64 / n as f64);
+            let want = fx[k] * phase;
+            prop_assert!((fs[k] - want).abs() < 1e-8 * (1.0 + want.abs()));
+        }
+    }
+
+    /// Conjugation symmetry: F(conj(x))[k] = conj(F(x)[-k]).
+    #[test]
+    fn conjugation_symmetry(n in 2usize..80, seed in any::<u64>()) {
+        let plan = Fft1d::new(n);
+        let x = signal(n, seed);
+        let mut fx = x.clone();
+        let mut scratch = plan.make_scratch();
+        plan.forward(&mut fx, &mut scratch);
+        let mut fc: Vec<Complex64> = x.iter().map(|v| v.conj()).collect();
+        plan.forward(&mut fc, &mut scratch);
+        for k in 0..n {
+            let want = fx[(n - k) % n].conj();
+            prop_assert!((fc[k] - want).abs() < 1e-8 * (1.0 + want.abs()));
+        }
+    }
+
+    /// block_ranges is a contiguous exact cover for any (n, p).
+    #[test]
+    fn block_ranges_cover(n in 1usize..500, p in 1usize..33) {
+        let r = block_ranges(n, p);
+        prop_assert_eq!(r.len(), p);
+        let mut next = 0;
+        for &(s, l) in &r {
+            prop_assert_eq!(s, next);
+            next += l;
+        }
+        prop_assert_eq!(next, n);
+    }
+
+    /// Distributed transforms agree with the serial 3-D FFT for random
+    /// grid sizes and rank counts.
+    #[test]
+    fn distributed_matches_serial(n in 4usize..11, ranks in 1usize..7, pencil in any::<bool>(), seed in any::<u64>()) {
+        // Slab needs ranks ≤ n; pencil needs each process-grid dim ≤ n
+        // (dims_create can produce [ranks, 1] for prime rank counts).
+        prop_assume!(ranks <= n);
+        let field = signal(n * n * n, seed);
+        let mut want = field.clone();
+        Fft3::new_cubic(n).forward(&mut want);
+        let f = field.clone();
+        let (res, _) = Machine::new(ranks).run(move |comm| {
+            let check = |fft: &dyn DistFft3| {
+                let rl = fft.real_layout();
+                let mut local = vec![Complex64::ZERO; rl.len()];
+                for (i, v) in local.iter_mut().enumerate() {
+                    let g = rl.global_coords(i);
+                    *v = f[(g[0] * n + g[1]) * n + g[2]];
+                }
+                (fft.k_layout(), fft.forward(local))
+            };
+            if pencil {
+                check(&PencilFft::new(&comm, n))
+            } else {
+                check(&SlabFft::new(&comm, n))
+            }
+        });
+        for (kl, data) in &res {
+            for (i, v) in data.iter().enumerate() {
+                let g = kl.global_coords(i);
+                let w = want[(g[0] * n + g[1]) * n + g[2]];
+                prop_assert!((*v - w).abs() < 1e-7 * (1.0 + w.abs()));
+            }
+        }
+    }
+}

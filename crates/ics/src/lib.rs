@@ -1,0 +1,608 @@
+//! Initial conditions: Gaussian random fields and the Zel'dovich
+//! approximation.
+//!
+//! HACC science runs start from a realization of the linear matter power
+//! spectrum at high redshift (the paper's test run starts at z = 25,
+//! production at z ≈ 200) with particles displaced from a uniform grid by
+//! the Zel'dovich approximation. The pipeline here:
+//!
+//! 1. draw a unit white-noise field on the `n³` grid (deterministic from a
+//!    seed), FFT it — Hermitian symmetry comes for free;
+//! 2. scale each mode by `√(P(k)·n³/V)` to obtain `δ₀(k)` (the *linear*
+//!    field normalized to z = 0);
+//! 3. displacement field `ψ₀(k) = i·(k/k²)·δ₀(k)` so `δ₀ = -∇·ψ₀`;
+//! 4. particles: `x = q + D(a)·ψ₀(q)`, momentum `p = a²·Ḋ(a)·ψ₀(q)` in
+//!    box-length/`1/H0` units, matching the driver's kick/drift maps.
+
+use hacc_cosmo::LinearPower;
+use hacc_fft::{k_of_index, Complex64, Fft3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A particle realization ready for the simulation driver.
+#[derive(Debug, Clone)]
+pub struct IcsRealization {
+    /// Grid/particle count per side.
+    pub n: usize,
+    /// Box side in Mpc/h.
+    pub box_len: f64,
+    /// Starting scale factor.
+    pub a_init: f64,
+    /// Positions, Mpc/h, wrapped into `[0, box_len)`.
+    pub x: Vec<f32>,
+    /// Position y.
+    pub y: Vec<f32>,
+    /// Position z.
+    pub z: Vec<f32>,
+    /// Momenta `p = a²ẋ` in (Mpc/h)·H0.
+    pub vx: Vec<f32>,
+    /// Momentum y.
+    pub vy: Vec<f32>,
+    /// Momentum z.
+    pub vz: Vec<f32>,
+    /// Linear density contrast at `a_init` (diagnostics/tests).
+    pub delta: Vec<f64>,
+    /// rms Zel'dovich displacement at `a_init`, Mpc/h.
+    pub rms_displacement: f64,
+}
+
+impl IcsRealization {
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when empty (never, for valid construction).
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+}
+
+/// Generate a Zel'dovich realization with one particle per grid cell.
+///
+/// `n` is both the IC grid and particle count per side (`n³` particles).
+/// Deterministic in `seed`.
+pub fn zeldovich(
+    n: usize,
+    box_len: f64,
+    power: &LinearPower,
+    a_init: f64,
+    seed: u64,
+) -> IcsRealization {
+    assert!(n >= 2 && box_len > 0.0 && a_init > 0.0 && a_init <= 1.0);
+    let fft = Fft3::new_cubic(n);
+    let volume = box_len * box_len * box_len;
+    let n3 = n * n * n;
+
+    // 1. White noise field, unit variance, deterministic.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut field: Vec<Complex64> = (0..n3)
+        .map(|_| Complex64::new(gaussian(&mut rng), 0.0))
+        .collect();
+    fft.forward(&mut field);
+
+    // 2. Scale to δ₀(k): ⟨|W(k)|²⟩ = n³, want ⟨|δ(k)|²⟩ = n⁶ P(k)/V.
+    let delta_k: Vec<Complex64> = {
+        let mut d = field;
+        for ix in 0..n {
+            for iy in 0..n {
+                for iz in 0..n {
+                    let idx = (ix * n + iy) * n + iz;
+                    let k2 = k_sq([ix, iy, iz], n, box_len);
+                    let scale = if k2 == 0.0 {
+                        0.0
+                    } else {
+                        (power.p_of_k(k2.sqrt()) * n3 as f64 / volume).sqrt()
+                    };
+                    d[idx] = d[idx].scale(scale);
+                }
+            }
+        }
+        d
+    };
+
+    // Diagnostics: δ at a_init in real space.
+    let growth = power.growth();
+    let d_a = growth.d_of_a(a_init);
+    let mut delta_real = delta_k.clone();
+    fft.backward(&mut delta_real);
+    let delta: Vec<f64> = delta_real.iter().map(|c| c.re * d_a).collect();
+
+    // 3. Displacement components ψ₀_c(k) = i k_c/k² δ₀(k).
+    let mut psi = [Vec::new(), Vec::new(), Vec::new()];
+    for (c, slot) in psi.iter_mut().enumerate() {
+        let mut comp = delta_k.clone();
+        for ix in 0..n {
+            for iy in 0..n {
+                for iz in 0..n {
+                    let idx = (ix * n + iy) * n + iz;
+                    let kvec = [
+                        k_of_index(ix, n, box_len),
+                        k_of_index(iy, n, box_len),
+                        k_of_index(iz, n, box_len),
+                    ];
+                    let k2 = kvec[0] * kvec[0] + kvec[1] * kvec[1] + kvec[2] * kvec[2];
+                    comp[idx] = if k2 == 0.0 {
+                        Complex64::ZERO
+                    } else {
+                        // i·k_c/k² δ.
+                        Complex64::new(0.0, kvec[c] / k2) * comp[idx]
+                    };
+                }
+            }
+        }
+        fft.backward(&mut comp);
+        *slot = comp.iter().map(|v| v.re).collect::<Vec<f64>>();
+    }
+
+    // 4. Displace particles from the uniform grid.
+    let d_dot = growth.d_dot(a_init);
+    let p_factor = a_init * a_init * d_dot;
+    let cell = box_len / n as f64;
+    let mut out = IcsRealization {
+        n,
+        box_len,
+        a_init,
+        x: Vec::with_capacity(n3),
+        y: Vec::with_capacity(n3),
+        z: Vec::with_capacity(n3),
+        vx: Vec::with_capacity(n3),
+        vy: Vec::with_capacity(n3),
+        vz: Vec::with_capacity(n3),
+        delta,
+        rms_displacement: 0.0,
+    };
+    let mut disp2 = 0.0f64;
+    let wrap = |v: f64| -> f64 {
+        let w = v - (v / box_len).floor() * box_len;
+        if w >= box_len {
+            0.0
+        } else {
+            w
+        }
+    };
+    for ix in 0..n {
+        for iy in 0..n {
+            for iz in 0..n {
+                let idx = (ix * n + iy) * n + iz;
+                let q = [
+                    (ix as f64 + 0.5) * cell,
+                    (iy as f64 + 0.5) * cell,
+                    (iz as f64 + 0.5) * cell,
+                ];
+                let d = [psi[0][idx] * d_a, psi[1][idx] * d_a, psi[2][idx] * d_a];
+                disp2 += d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                out.x.push(wrap(q[0] + d[0]) as f32);
+                out.y.push(wrap(q[1] + d[1]) as f32);
+                out.z.push(wrap(q[2] + d[2]) as f32);
+                out.vx.push((psi[0][idx] * p_factor) as f32);
+                out.vy.push((psi[1][idx] * p_factor) as f32);
+                out.vz.push((psi[2][idx] * p_factor) as f32);
+            }
+        }
+    }
+    out.rms_displacement = (disp2 / n3 as f64).sqrt();
+    out
+}
+
+/// Generate a second-order Lagrangian perturbation theory (2LPT)
+/// realization.
+///
+/// Zel'dovich (1LPT) starts develop transients that decay only as `1/a`;
+/// production codes therefore add the second-order displacement
+///
+/// ```text
+/// ∇²φ⁽²⁾ = Σ_{i<j} [ φ,ii φ,jj − (φ,ij)² ],   x = q + D ψ⁽¹⁾ + D₂ ψ⁽²⁾
+/// ```
+///
+/// with `D₂ ≈ -3/7 · D² · Ωm(a)^(-1/143)` and momenta carrying the
+/// corresponding `f₂ ≈ 2 Ωm^(6/11)` growth rate. All second derivatives
+/// of the first-order potential are computed spectrally.
+pub fn zeldovich_2lpt(
+    n: usize,
+    box_len: f64,
+    power: &LinearPower,
+    a_init: f64,
+    seed: u64,
+) -> IcsRealization {
+    assert!(n >= 2 && box_len > 0.0 && a_init > 0.0 && a_init <= 1.0);
+    let fft = Fft3::new_cubic(n);
+    let volume = box_len * box_len * box_len;
+    let n3 = n * n * n;
+
+    // First-order δ₀(k), identical pipeline (and seed convention) to
+    // `zeldovich` so the two can be compared mode by mode.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut field: Vec<Complex64> = (0..n3)
+        .map(|_| Complex64::new(gaussian(&mut rng), 0.0))
+        .collect();
+    fft.forward(&mut field);
+    let mut delta_k = field;
+    for ix in 0..n {
+        for iy in 0..n {
+            for iz in 0..n {
+                let idx = (ix * n + iy) * n + iz;
+                let k2 = k_sq([ix, iy, iz], n, box_len);
+                let scale = if k2 == 0.0 {
+                    0.0
+                } else {
+                    (power.p_of_k(k2.sqrt()) * n3 as f64 / volume).sqrt()
+                };
+                delta_k[idx] = delta_k[idx].scale(scale);
+            }
+        }
+    }
+
+    let kvec = |i: usize| k_of_index(i, n, box_len);
+
+    // Second derivatives φ,ij of the first-order potential
+    // (φ(k) = -δ(k)/k²  ⇒  φ,ij(k) = k_i k_j δ(k)/k²).
+    let second = |ci: usize, cj: usize| -> Vec<f64> {
+        let mut comp = delta_k.clone();
+        for ix in 0..n {
+            for iy in 0..n {
+                for iz in 0..n {
+                    let idx = (ix * n + iy) * n + iz;
+                    let kv = [kvec(ix), kvec(iy), kvec(iz)];
+                    let k2 = kv[0] * kv[0] + kv[1] * kv[1] + kv[2] * kv[2];
+                    comp[idx] = if k2 == 0.0 {
+                        Complex64::ZERO
+                    } else {
+                        comp[idx].scale(kv[ci] * kv[cj] / k2)
+                    };
+                }
+            }
+        }
+        fft.backward(&mut comp);
+        comp.iter().map(|v| v.re).collect()
+    };
+    let pxx = second(0, 0);
+    let pyy = second(1, 1);
+    let pzz = second(2, 2);
+    let pxy = second(0, 1);
+    let pxz = second(0, 2);
+    let pyz = second(1, 2);
+
+    // Source of the second-order potential.
+    let mut src2: Vec<Complex64> = (0..n3)
+        .map(|i| {
+            let s = pxx[i] * pyy[i] + pxx[i] * pzz[i] + pyy[i] * pzz[i]
+                - pxy[i] * pxy[i]
+                - pxz[i] * pxz[i]
+                - pyz[i] * pyz[i];
+            Complex64::new(s, 0.0)
+        })
+        .collect();
+    fft.forward(&mut src2);
+
+    // ψ⁽²⁾(k) = i k/k² · δ⁽²⁾(k) where δ⁽²⁾ = src2 (already the RHS of
+    // the Poisson-like equation for φ⁽²⁾ whose gradient is ψ⁽²⁾).
+    let displacement = |dk: &[Complex64], c: usize| -> Vec<f64> {
+        let mut comp = dk.to_vec();
+        for ix in 0..n {
+            for iy in 0..n {
+                for iz in 0..n {
+                    let idx = (ix * n + iy) * n + iz;
+                    let kv = [kvec(ix), kvec(iy), kvec(iz)];
+                    let k2 = kv[0] * kv[0] + kv[1] * kv[1] + kv[2] * kv[2];
+                    comp[idx] = if k2 == 0.0 {
+                        Complex64::ZERO
+                    } else {
+                        Complex64::new(0.0, kv[c] / k2) * comp[idx]
+                    };
+                }
+            }
+        }
+        fft.backward(&mut comp);
+        comp.iter().map(|v| v.re).collect()
+    };
+    let psi1: [Vec<f64>; 3] = [
+        displacement(&delta_k, 0),
+        displacement(&delta_k, 1),
+        displacement(&delta_k, 2),
+    ];
+    let psi2: [Vec<f64>; 3] = [
+        displacement(&src2, 0),
+        displacement(&src2, 1),
+        displacement(&src2, 2),
+    ];
+
+    // Growth factors: D, Ḋ from the table; the standard 2LPT fits for D₂.
+    let growth = power.growth();
+    let cosmo = power.cosmology();
+    let d = growth.d_of_a(a_init);
+    let om_a = cosmo.omega_m_of_a(a_init);
+    let d2 = -3.0 / 7.0 * d * d * om_a.powf(-1.0 / 143.0);
+    let e = cosmo.e_of_a(a_init);
+    let f1 = growth.f_of_a(a_init);
+    let f2 = 2.0 * om_a.powf(6.0 / 11.0);
+    let p1_factor = a_init * a_init * d * f1 * e;
+    let p2_factor = a_init * a_init * d2 * f2 * e;
+
+    let cell = box_len / n as f64;
+    let mut out = IcsRealization {
+        n,
+        box_len,
+        a_init,
+        x: Vec::with_capacity(n3),
+        y: Vec::with_capacity(n3),
+        z: Vec::with_capacity(n3),
+        vx: Vec::with_capacity(n3),
+        vy: Vec::with_capacity(n3),
+        vz: Vec::with_capacity(n3),
+        delta: {
+            let mut dr = delta_k.clone();
+            fft.backward(&mut dr);
+            dr.iter().map(|c| c.re * d).collect()
+        },
+        rms_displacement: 0.0,
+    };
+    let wrap = |v: f64| -> f64 {
+        let w = v - (v / box_len).floor() * box_len;
+        if w >= box_len {
+            0.0
+        } else {
+            w
+        }
+    };
+    let mut disp2 = 0.0;
+    for ix in 0..n {
+        for iy in 0..n {
+            for iz in 0..n {
+                let idx = (ix * n + iy) * n + iz;
+                let q = [
+                    (ix as f64 + 0.5) * cell,
+                    (iy as f64 + 0.5) * cell,
+                    (iz as f64 + 0.5) * cell,
+                ];
+                let mut pos = [0.0; 3];
+                let mut mom = [0.0; 3];
+                for c in 0..3 {
+                    let dsp = d * psi1[c][idx] + d2 * psi2[c][idx];
+                    disp2 += dsp * dsp;
+                    pos[c] = wrap(q[c] + dsp);
+                    mom[c] = p1_factor * psi1[c][idx] + p2_factor * psi2[c][idx];
+                }
+                out.x.push(pos[0] as f32);
+                out.y.push(pos[1] as f32);
+                out.z.push(pos[2] as f32);
+                out.vx.push(mom[0] as f32);
+                out.vy.push(mom[1] as f32);
+                out.vz.push(mom[2] as f32);
+            }
+        }
+    }
+    out.rms_displacement = (disp2 / n3 as f64).sqrt();
+    out
+}
+
+/// Regular (undisplaced) grid load — useful for force tests and as a
+/// "cold" start.
+pub fn uniform_grid(n: usize, box_len: f64) -> IcsRealization {
+    let cell = box_len / n as f64;
+    let n3 = n * n * n;
+    let mut out = IcsRealization {
+        n,
+        box_len,
+        a_init: 1.0,
+        x: Vec::with_capacity(n3),
+        y: Vec::with_capacity(n3),
+        z: Vec::with_capacity(n3),
+        vx: vec![0.0; n3],
+        vy: vec![0.0; n3],
+        vz: vec![0.0; n3],
+        delta: vec![0.0; n3],
+        rms_displacement: 0.0,
+    };
+    for ix in 0..n {
+        for iy in 0..n {
+            for iz in 0..n {
+                out.x.push(((ix as f64 + 0.5) * cell) as f32);
+                out.y.push(((iy as f64 + 0.5) * cell) as f32);
+                out.z.push(((iz as f64 + 0.5) * cell) as f32);
+            }
+        }
+    }
+    out
+}
+
+fn k_sq(idx: [usize; 3], n: usize, l: f64) -> f64 {
+    let kx = k_of_index(idx[0], n, l);
+    let ky = k_of_index(idx[1], n, l);
+    let kz = k_of_index(idx[2], n, l);
+    kx * kx + ky * ky + kz * kz
+}
+
+/// Standard normal via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-300);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hacc_cosmo::{Cosmology, Transfer};
+
+    fn power() -> LinearPower {
+        LinearPower::new(&Cosmology::lcdm(), Transfer::EisensteinHuNoWiggle)
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let p = power();
+        let a = zeldovich(8, 100.0, &p, 0.05, 42);
+        let b = zeldovich(8, 100.0, &p, 0.05, 42);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.vz, b.vz);
+        let c = zeldovich(8, 100.0, &p, 0.05, 43);
+        assert_ne!(a.x, c.x);
+    }
+
+    #[test]
+    fn particle_count_and_bounds() {
+        let p = power();
+        let ics = zeldovich(16, 200.0, &p, 0.04, 1);
+        assert_eq!(ics.len(), 16 * 16 * 16);
+        for &v in ics.x.iter().chain(&ics.y).chain(&ics.z) {
+            assert!((0.0..200.0).contains(&(v as f64)), "position {v}");
+        }
+    }
+
+    #[test]
+    fn delta_field_has_linear_amplitude() {
+        // The rms of δ at a_init should be near D(a)·σ(grid smoothing) —
+        // just check it is small, positive, and grows with a.
+        let p = power();
+        let early = zeldovich(16, 400.0, &p, 0.02, 9);
+        let later = zeldovich(16, 400.0, &p, 0.2, 9);
+        let rms = |d: &[f64]| (d.iter().map(|v| v * v).sum::<f64>() / d.len() as f64).sqrt();
+        let r_early = rms(&early.delta);
+        let r_late = rms(&later.delta);
+        assert!(r_early > 0.0 && r_early < 0.3, "rms {r_early}");
+        let growth_ratio = p.growth().d_of_a(0.2) / p.growth().d_of_a(0.02);
+        assert!(
+            (r_late / r_early - growth_ratio).abs() < 0.01 * growth_ratio,
+            "{} vs {growth_ratio}",
+            r_late / r_early
+        );
+    }
+
+    #[test]
+    fn delta_field_has_zero_mean() {
+        let p = power();
+        let ics = zeldovich(16, 300.0, &p, 0.05, 3);
+        let mean: f64 = ics.delta.iter().sum::<f64>() / ics.delta.len() as f64;
+        assert!(mean.abs() < 1e-10, "mean {mean}");
+    }
+
+    #[test]
+    fn displacements_small_at_high_z() {
+        // At z = 25 (a ≈ 0.038), rms displacement ≪ mean inter-particle
+        // spacing for a production-like configuration.
+        let p = power();
+        let ics = zeldovich(16, 128.0, &p, 1.0 / 26.0, 5);
+        let spacing = 128.0 / 16.0;
+        assert!(
+            ics.rms_displacement < 0.5 * spacing,
+            "rms displacement {} vs spacing {spacing}",
+            ics.rms_displacement
+        );
+        assert!(ics.rms_displacement > 0.0);
+    }
+
+    #[test]
+    fn momenta_scale_with_p_factor() {
+        // Same seed, different epoch: momentum ratio = (a²Ḋ) ratio.
+        let p = power();
+        let a1 = zeldovich(8, 100.0, &p, 0.05, 77);
+        let a2 = zeldovich(8, 100.0, &p, 0.1, 77);
+        let g = p.growth();
+        let f1 = 0.05f64.powi(2) * g.d_dot(0.05);
+        let f2 = 0.1f64.powi(2) * g.d_dot(0.1);
+        let want = (f2 / f1) as f32;
+        for i in (0..a1.len()).step_by(97) {
+            if a1.vx[i].abs() > 1e-6 {
+                let r = a2.vx[i] / a1.vx[i];
+                assert!((r - want).abs() < 0.02 * want.abs(), "{r} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn continuity_relation_velocity_displacement() {
+        // Zel'dovich: momentum ∝ displacement per particle
+        // (p = a²Ḋψ, Δx = Dψ): check proportionality constant.
+        let p = power();
+        let a = 0.08;
+        let ics = zeldovich(8, 100.0, &p, a, 11);
+        let grid = uniform_grid(8, 100.0);
+        let g = p.growth();
+        let c = (a * a * g.d_dot(a) / g.d_of_a(a)) as f32;
+        for i in 0..ics.len() {
+            let mut dx = ics.x[i] - grid.x[i];
+            // Undo periodic wrapping.
+            if dx > 50.0 {
+                dx -= 100.0;
+            }
+            if dx < -50.0 {
+                dx += 100.0;
+            }
+            let want = c * dx;
+            assert!(
+                (ics.vx[i] - want).abs() < 5e-3 * want.abs().max(0.05),
+                "i={i}: {} vs {want}",
+                ics.vx[i]
+            );
+        }
+    }
+
+    #[test]
+    fn two_lpt_close_to_zeldovich_at_high_z() {
+        // The 2LPT correction scales as D² — tiny at early times.
+        let p = power();
+        let a = 0.02;
+        let z1 = zeldovich(12, 150.0, &p, a, 8);
+        let z2 = zeldovich_2lpt(12, 150.0, &p, a, 8);
+        let mut max_d = 0.0f32;
+        let l = 150.0f32;
+        for i in 0..z1.len() {
+            let mut d = (z1.x[i] - z2.x[i]).abs();
+            d = d.min(l - d);
+            max_d = max_d.max(d);
+        }
+        // Displacements at a=0.02 are ~0.1 Mpc/h; the 2nd-order piece is
+        // suppressed by another factor D·(3/7) ≈ 0.01.
+        assert!(max_d < 0.05, "max 1LPT vs 2LPT diff {max_d}");
+        assert!(max_d > 0.0, "2LPT identical to 1LPT — correction missing");
+    }
+
+    #[test]
+    fn two_lpt_correction_grows_with_d_squared() {
+        let p = power();
+        let seed = 4;
+        let diff_at = |a: f64| -> f64 {
+            let z1 = zeldovich(12, 150.0, &p, a, seed);
+            let z2 = zeldovich_2lpt(12, 150.0, &p, a, seed);
+            let l = 150.0f32;
+            (0..z1.len())
+                .map(|i| {
+                    let mut d = (z1.x[i] - z2.x[i]).abs();
+                    d = d.min(l - d);
+                    (d * d) as f64
+                })
+                .sum::<f64>()
+                .sqrt()
+        };
+        let d_early = diff_at(0.05);
+        let d_late = diff_at(0.2);
+        let g = p.growth();
+        let want = (g.d_of_a(0.2) / g.d_of_a(0.05)).powi(2);
+        let got = d_late / d_early;
+        assert!(
+            (got / want - 1.0).abs() < 0.15,
+            "2LPT correction growth {got}, D² ratio {want}"
+        );
+    }
+
+    #[test]
+    fn two_lpt_deterministic_and_in_box() {
+        let p = power();
+        let a = zeldovich_2lpt(8, 100.0, &p, 0.1, 5);
+        let b = zeldovich_2lpt(8, 100.0, &p, 0.1, 5);
+        assert_eq!(a.x, b.x);
+        for &v in a.x.iter().chain(&a.y).chain(&a.z) {
+            assert!((0.0..100.0).contains(&(v as f64)));
+        }
+        assert!(a.vx.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn uniform_grid_is_uniform() {
+        let g = uniform_grid(4, 8.0);
+        assert_eq!(g.len(), 64);
+        assert_eq!(g.x[0], 1.0);
+        assert!(g.vx.iter().all(|&v| v == 0.0));
+    }
+}

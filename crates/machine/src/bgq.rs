@@ -1,0 +1,145 @@
+//! Blue Gene/Q hardware parameters (Section III of the paper).
+
+/// Per-node hardware description of the BG/Q Compute chip (BQC).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BgqNode {
+    /// User-visible cores per node (the 17th core handles OS interrupts).
+    pub cores: usize,
+    /// Hardware threads per core.
+    pub threads_per_core: usize,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// FMA issue width per cycle (QPX: 4 FMAs = 8 flops per cycle... the
+    /// paper counts 4 FMAs/cycle ⇒ 12.8 GFlops/core at 1.6 GHz).
+    pub fma_per_cycle: usize,
+    /// DDR3 memory per node in bytes.
+    pub memory_bytes: u64,
+    /// Torus links per node.
+    pub torus_links: usize,
+    /// Peak network bandwidth per node, all links, bytes/s (40 GB/s).
+    pub link_bandwidth_total: f64,
+    /// Measured sustainable memory bandwidth in bytes/cycle (paper: 18).
+    pub mem_bytes_per_cycle: f64,
+}
+
+/// The BQC node as described in Section III.
+pub const BGQ_NODE: BgqNode = BgqNode {
+    cores: 16,
+    threads_per_core: 4,
+    clock_hz: 1.6e9,
+    fma_per_cycle: 4,
+    memory_bytes: 16 * (1 << 30),
+    torus_links: 10,
+    link_bandwidth_total: 40.0e9,
+    mem_bytes_per_cycle: 18.0,
+};
+
+impl BgqNode {
+    /// Peak flops per core (FMA counts as 2 flops):
+    /// 1.6 GHz · 4 FMA · 2 = 12.8 GFlops.
+    pub fn peak_flops_per_core(&self) -> f64 {
+        self.clock_hz * self.fma_per_cycle as f64 * 2.0
+    }
+
+    /// Peak flops per node (204.8 GFlops).
+    pub fn peak_flops(&self) -> f64 {
+        self.peak_flops_per_core() * self.cores as f64
+    }
+}
+
+/// A BG/Q partition (some number of racks / nodes).
+#[derive(Debug, Clone, Copy)]
+pub struct BgqPartition {
+    /// Number of compute nodes (1024 per rack).
+    pub nodes: usize,
+    /// MPI ranks per node (paper operating point: 16 ranks × 4 threads).
+    pub ranks_per_node: usize,
+}
+
+impl BgqPartition {
+    /// Partition with a whole number of racks at the paper's 16 ranks/node.
+    pub fn racks(racks: usize) -> Self {
+        BgqPartition {
+            nodes: racks * 1024,
+            ranks_per_node: 16,
+        }
+    }
+
+    /// Partition sized by total core count (16 cores/node).
+    pub fn with_cores(cores: usize) -> Self {
+        assert!(cores % BGQ_NODE.cores == 0, "cores must fill whole nodes");
+        BgqPartition {
+            nodes: cores / BGQ_NODE.cores,
+            ranks_per_node: 16,
+        }
+    }
+
+    /// Total user cores.
+    pub fn cores(&self) -> usize {
+        self.nodes * BGQ_NODE.cores
+    }
+
+    /// Total MPI ranks.
+    pub fn ranks(&self) -> usize {
+        self.nodes * self.ranks_per_node
+    }
+
+    /// Aggregate peak in flops/s.
+    pub fn peak_flops(&self) -> f64 {
+        self.nodes as f64 * BGQ_NODE.peak_flops()
+    }
+
+    /// 5-D torus bisection bandwidth estimate in bytes/s.
+    ///
+    /// A 5-D torus of `N` nodes has a bisection of roughly
+    /// `2 · N^(4/5)` links (two directions across the cut of the longest
+    /// dimension); each node drives `link_bandwidth_total/torus_links`
+    /// per link.
+    pub fn bisection_bandwidth(&self) -> f64 {
+        let per_link = BGQ_NODE.link_bandwidth_total / BGQ_NODE.torus_links as f64;
+        2.0 * (self.nodes as f64).powf(0.8) * per_link
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_and_node_peak_match_paper() {
+        assert!((BGQ_NODE.peak_flops_per_core() - 12.8e9).abs() < 1e3);
+        assert!((BGQ_NODE.peak_flops() - 204.8e9).abs() < 1e4);
+    }
+
+    #[test]
+    fn sequoia_96_racks() {
+        let p = BgqPartition::racks(96);
+        assert_eq!(p.cores(), 1_572_864);
+        assert_eq!(p.ranks(), 1_572_864);
+        // 96 racks peak ≈ 20.1 PFlops (13.94 PF = 69.2% of it).
+        let pf = p.peak_flops() / 1e15;
+        assert!((pf - 20.13).abs() < 0.05, "{pf}");
+        assert!((13.94 / pf - 0.692).abs() < 0.01);
+    }
+
+    #[test]
+    fn with_cores_consistency() {
+        let p = BgqPartition::with_cores(2048);
+        assert_eq!(p.nodes, 128);
+        assert_eq!(p.cores(), 2048);
+    }
+
+    #[test]
+    fn bisection_grows_sublinearly() {
+        let small = BgqPartition::racks(1).bisection_bandwidth();
+        let big = BgqPartition::racks(16).bisection_bandwidth();
+        let ratio = big / small;
+        assert!(ratio > 8.0 && ratio < 16.0, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "whole nodes")]
+    fn partial_node_rejected() {
+        let _ = BgqPartition::with_cores(100);
+    }
+}

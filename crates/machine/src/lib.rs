@@ -1,0 +1,23 @@
+//! BG/Q machine description and analytic performance model.
+//!
+//! The paper's headline numbers (Tables I–III, Figs. 6–8) are measured on
+//! IBM Blue Gene/Q partitions up to 96 racks / 1,572,864 cores. That
+//! hardware is simulated here: this crate encodes the BQC chip and torus
+//! parameters from Section III and provides an α–β style performance model
+//! that converts *measured* algorithmic quantities from our small-scale
+//! simulated runs (flops per particle per substep, communication volume
+//! per rank, kernel efficiency) into predicted wall-clock and PFlops at
+//! arbitrary paper-scale partition sizes.
+//!
+//! The model is used by the bench harness to print paper-scale rows next
+//! to the locally measured ones; it reproduces the *shape* of the paper's
+//! scaling (flat weak scaling, near-ideal strong scaling with an overload
+//! penalty at extreme rank counts), not vendor-certified absolute numbers.
+
+pub mod bgq;
+pub mod model;
+pub mod peak;
+
+pub use bgq::{BgqPartition, BGQ_NODE};
+pub use model::{FftModel, FullCodeModel, ScalingRow};
+pub use peak::calibrate_peak_flops;

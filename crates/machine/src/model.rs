@@ -1,0 +1,256 @@
+//! Analytic scaling models for the paper-scale extrapolation columns.
+
+use crate::bgq::{BgqPartition, BGQ_NODE};
+
+/// One row of a predicted scaling table.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingRow {
+    /// Total cores used.
+    pub cores: usize,
+    /// Total particles (full-code tables) or grid points (FFT tables).
+    pub problem_size: f64,
+    /// Predicted wall-clock seconds per substep (or per transform).
+    pub time: f64,
+    /// Sustained flops/s.
+    pub flops_rate: f64,
+    /// Fraction of partition peak.
+    pub peak_fraction: f64,
+}
+
+impl ScalingRow {
+    /// Time per substep per particle in seconds.
+    pub fn time_per_particle(&self) -> f64 {
+        self.time / self.problem_size
+    }
+}
+
+/// α–β model for the distributed pencil FFT (Table I / Fig. 6).
+///
+/// One 3-D transform of size `n³` does `5·n³·log₂(n³)` flops of 1-D FFT
+/// work plus two full-volume transposes (forward; the Poisson solve does
+/// four transforms total). Parameters are calibrated so the 1024³ / 256
+/// rank entry of Table I is matched within a factor ~2; the *scaling* with
+/// ranks and grid size then follows from the model structure.
+#[derive(Debug, Clone, Copy)]
+pub struct FftModel {
+    /// Fraction of peak the serial 1-D FFT passes sustain (FFTs are
+    /// memory-bound; a few percent of peak is typical).
+    pub fft_efficiency: f64,
+    /// Per-message latency in seconds.
+    pub alpha: f64,
+    /// Effective per-node injection bandwidth during an all-to-all,
+    /// bytes/s (well below the 40 GB/s link peak due to contention).
+    pub beta_node: f64,
+}
+
+impl Default for FftModel {
+    fn default() -> Self {
+        FftModel {
+            fft_efficiency: 0.04,
+            alpha: 2.5e-6,
+            beta_node: 1.8e9,
+        }
+    }
+}
+
+impl FftModel {
+    /// Predict the wall-clock of one forward `n³` complex-f64 transform on
+    /// `ranks` ranks of a BG/Q partition with `rpn` ranks per node.
+    pub fn transform_time(&self, n: usize, ranks: usize, rpn: usize) -> ScalingRow {
+        let nodes = ranks.div_ceil(rpn);
+        let n3 = (n as f64).powi(3);
+        let flops = 5.0 * n3 * (n3.log2());
+        let compute =
+            flops / (nodes as f64 * BGQ_NODE.peak_flops() * self.fft_efficiency);
+        // Two transpose rounds; each moves the full 16-byte-complex volume,
+        // split across nodes. Messages: each rank exchanges with the ~√P
+        // members of its row / column communicator.
+        let bytes_per_node = 2.0 * n3 * 16.0 / nodes as f64;
+        let sqrt_p = (ranks as f64).sqrt().max(1.0);
+        let msgs = 2.0 * sqrt_p;
+        let comm = self.alpha * msgs + bytes_per_node / self.beta_node;
+        let time = compute + comm;
+        ScalingRow {
+            cores: nodes * BGQ_NODE.cores,
+            problem_size: n3,
+            time,
+            flops_rate: flops / time,
+            peak_fraction: flops / time / (nodes as f64 * BGQ_NODE.peak_flops()),
+        }
+    }
+}
+
+/// Full-code model (Tables II–III, Figs. 7–8).
+///
+/// The substep cost is dominated by the short-range force kernel (80% of
+/// the time at the paper's operating point), plus tree walk/build, CIC and
+/// FFT; communication enters through the spectral solve and overload
+/// refresh. All algorithmic inputs are *measured* in the simulated runs
+/// and passed in; the model maps them onto BG/Q partitions.
+#[derive(Debug, Clone, Copy)]
+pub struct FullCodeModel {
+    /// Average flops per particle per substep (measured; depends on
+    /// clustering and neighbor-list sizes).
+    pub flops_per_particle: f64,
+    /// Fraction of peak the force kernel sustains (paper: ~0.80 at 4
+    /// threads/core with the fsel-vectorized kernel).
+    pub kernel_efficiency: f64,
+    /// Fraction of substep time spent in the kernel (paper: 0.80).
+    pub kernel_time_fraction: f64,
+    /// Overloading memory/compute overhead factor (≥ 1; grows when the
+    /// per-rank volume shrinks toward the overload width — the strong
+    /// scaling "abuse" penalty of Fig. 8).
+    pub overload_factor: f64,
+    /// Bytes communicated per particle per substep (spectral solve +
+    /// refresh; measured from traffic counters).
+    pub comm_bytes_per_particle: f64,
+}
+
+impl FullCodeModel {
+    /// Reference inputs matching the paper's reported operating point.
+    pub fn paper_reference() -> Self {
+        FullCodeModel {
+            // Calibrated so 2M particles/core on 96 racks reproduces the
+            // measured 13.94 PFlops at 0.0596 ns/particle/substep:
+            // flops/particle = 13.94e15 * 5.96e-11 ≈ 8.3e5.
+            flops_per_particle: 8.3e5,
+            kernel_efficiency: 0.80,
+            kernel_time_fraction: 0.80,
+            overload_factor: 1.0,
+            comm_bytes_per_particle: 20.0,
+        }
+    }
+
+    /// Predict one substep on `part` with `particles` total tracer
+    /// particles.
+    pub fn substep(&self, part: &BgqPartition, particles: f64) -> ScalingRow {
+        let total_flops = self.flops_per_particle * particles * self.overload_factor;
+        // Kernel time at kernel_efficiency of peak; everything else scales
+        // with it through the measured time fraction.
+        let kernel_time = total_flops / (part.peak_flops() * self.kernel_efficiency);
+        let compute_time = kernel_time / self.kernel_time_fraction;
+        // Communication: per-node volume against injection bandwidth, plus
+        // a bisection term for the global transposes.
+        let bytes = self.comm_bytes_per_particle * particles;
+        let inj = bytes / part.nodes as f64 / 2.0e9;
+        let bis = bytes / part.bisection_bandwidth();
+        let time = compute_time + inj.max(bis);
+        // Hardware counters count *all* executed flops — including the
+        // redundant work in overloaded regions — which is why the paper's
+        // strong-scaling %peak stays in the 60s even as time/substep
+        // degrades at thin slabs.
+        let sustained = total_flops / time;
+        ScalingRow {
+            cores: part.cores(),
+            problem_size: particles,
+            time,
+            flops_rate: sustained,
+            peak_fraction: sustained / part.peak_flops(),
+        }
+    }
+
+    /// Strong-scaling overload penalty: when the per-rank box edge shrinks
+    /// to a few overload widths, replicated volume grows as
+    /// `(1 + 2·w/edge)³`.
+    pub fn overload_penalty(box_edge_cells: f64, overload_cells: f64) -> f64 {
+        let f = 1.0 + 2.0 * overload_cells / box_edge_cells;
+        f * f * f
+    }
+
+    /// Estimated memory per rank in bytes for `ppr` particles per rank at
+    /// one particle per PM cell (the Table II "Memory [MB/rank]" column,
+    /// ~350–420 MB at 2M particles/rank).
+    ///
+    /// Accounting per particle: SoA store (position + velocity f32 ×6,
+    /// id u64 = 32 B) × overload replication; acceleration staging
+    /// (3×f32); tree nodes + permutation (~24 B at fat-leaf sizes);
+    /// gathered neighbor-list buffers (~16 B amortized); and the grid
+    /// side at 1 particle/cell: density + 3 force components in f64
+    /// (32 B) plus complex FFT working set with transpose staging
+    /// (~64 B).
+    pub fn memory_per_rank(&self, ppr: f64) -> f64 {
+        let particle = 32.0 * (1.0 + 0.10 * (self.overload_factor)).min(2.0);
+        let accel = 12.0;
+        let tree = 24.0;
+        let lists = 16.0;
+        let grids = 32.0 + 64.0;
+        ppr * (particle + accel + tree + lists + grids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_weak_scaling_endpoint() {
+        // 96 racks, 3.6 trillion particles: expect ~13.9 PFlops, ~69% peak,
+        // ~0.06 ns per particle per substep.
+        let m = FullCodeModel::paper_reference();
+        let part = BgqPartition::racks(96);
+        let row = m.substep(&part, 15360f64.powi(3));
+        let pf = row.flops_rate / 1e15;
+        assert!((pf - 13.94).abs() < 1.5, "PFlops {pf}");
+        assert!(row.peak_fraction > 0.6 && row.peak_fraction < 0.75);
+        let tpp = row.time_per_particle();
+        assert!(tpp > 4e-11 && tpp < 8e-11, "tpp {tpp}");
+    }
+
+    #[test]
+    fn weak_scaling_flat() {
+        // Same particles/core ⇒ time per particle scales ~1/cores; time per
+        // substep stays flat.
+        let m = FullCodeModel::paper_reference();
+        let per_core = 2.0e6;
+        let mut prev_time = None;
+        for racks in [1, 4, 16, 96] {
+            let part = BgqPartition::racks(racks);
+            let row = m.substep(&part, per_core * part.cores() as f64);
+            if let Some(p) = prev_time {
+                let ratio: f64 = row.time / p;
+                assert!((ratio - 1.0f64).abs() < 0.1, "ratio {ratio}");
+            }
+            prev_time = Some(row.time);
+        }
+    }
+
+    #[test]
+    fn memory_per_rank_matches_table2_scale() {
+        // Table II: ~350-420 MB/rank at 2M particles/rank.
+        let m = FullCodeModel::paper_reference();
+        let mb = m.memory_per_rank(2.0e6) / 1e6;
+        assert!(mb > 300.0 && mb < 450.0, "memory/rank {mb} MB");
+    }
+
+    #[test]
+    fn strong_scaling_overload_penalty_grows() {
+        let p1 = FullCodeModel::overload_penalty(32.0, 4.0);
+        let p2 = FullCodeModel::overload_penalty(8.0, 4.0);
+        assert!(p2 > p1 && p1 > 1.0);
+        assert!((FullCodeModel::overload_penalty(1e9, 4.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fft_model_strong_scaling_close_to_ideal() {
+        // Table I top block: 1024³ from 256 to 8192 ranks speeds up by
+        // ~28x (2.731s → 0.098s). Our model should show large speedup too.
+        let m = FftModel::default();
+        let t256 = m.transform_time(1024, 256, 8).time;
+        let t8192 = m.transform_time(1024, 8192, 8).time;
+        let speedup = t256 / t8192;
+        assert!(speedup > 10.0 && speedup < 40.0, "speedup {speedup}");
+        // Absolute scale within a factor ~3 of the paper's 2.731 s.
+        assert!(t256 > 0.9 && t256 < 8.0, "t256 {t256}");
+    }
+
+    #[test]
+    fn fft_model_weak_scaling_stable() {
+        // Table I middle block: ~160³ per rank, 16384 → 262144 ranks:
+        // times stay within a small factor (5.2s → 7.2s in the paper).
+        let m = FftModel::default();
+        let t1 = m.transform_time(4096, 16384, 8).time;
+        let t2 = m.transform_time(9216, 262144, 8).time;
+        let ratio = t2 / t1;
+        assert!(ratio > 0.5 && ratio < 3.0, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Host peak-flops calibration.
+//!
+//! Fig. 5 reports the force kernel as a *percentage of node peak*. To frame
+//! our measurements the same way we need the host's achievable peak; this
+//! module measures it with a saturating chain of independent FMAs — the
+//! same kind of upper bound the paper derives from QPX issue rates.
+
+use std::time::Instant;
+
+/// Measure achievable single-precision flops/s using `threads` OS threads,
+/// each running independent FMA chains for roughly `millis` milliseconds.
+///
+/// Returns flops per second (an FMA counts as 2 flops).
+pub fn calibrate_peak_flops(threads: usize, millis: u64) -> f64 {
+    assert!(threads > 0);
+    let iters_guess: u64 = 4_000_000;
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut total_flops = 0.0f64;
+                let mut elapsed = 0.0f64;
+                let mut iters = iters_guess;
+                while elapsed * 1e3 < millis as f64 {
+                    let start = Instant::now();
+                    let acc = fma_burst(iters, 1.0 + t as f32 * 1e-7);
+                    elapsed += start.elapsed().as_secs_f64();
+                    // 8 lanes × 4 chains × 2 flops per FMA per iteration.
+                    total_flops += iters as f64 * 8.0 * 4.0 * 2.0;
+                    std::hint::black_box(acc);
+                    iters = iters.saturating_mul(2);
+                }
+                total_flops / elapsed
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("calibration thread"))
+        .sum()
+}
+
+/// A burst of `iters` iterations over four interleaved 8-lane FMA
+/// chains (32 independent accumulators — enough to hide FMA latency and
+/// keep the auto-vectorizer on wide registers, matching what the force
+/// kernel's inner loop achieves).
+#[inline(never)]
+fn fma_burst(iters: u64, seed: f32) -> f32 {
+    let mut a = [seed; 8];
+    let mut b = [seed * 0.5 + 0.1; 8];
+    let mut e = [seed * 0.25 + 0.2; 8];
+    let mut g = [seed * 0.125 + 0.3; 8];
+    let c = [0.999_9f32; 8];
+    let d = [1.000_1f32; 8];
+    for _ in 0..iters {
+        for i in 0..8 {
+            a[i] = a[i].mul_add(c[i], 1e-9);
+        }
+        for i in 0..8 {
+            b[i] = b[i].mul_add(d[i], -1e-9);
+        }
+        for i in 0..8 {
+            e[i] = e[i].mul_add(c[i], 2e-9);
+        }
+        for i in 0..8 {
+            g[i] = g[i].mul_add(d[i], -2e-9);
+        }
+    }
+    a.iter().sum::<f32>() + b.iter().sum::<f32>() + e.iter().sum::<f32>() + g.iter().sum::<f32>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_returns_plausible_rate() {
+        let f = calibrate_peak_flops(1, 30);
+        // Any machine this runs on does between 100 MFlops and 1 TFlops
+        // per core with this scalar-fallback kernel.
+        assert!(f > 1e8 && f < 1e12, "calibrated {f} flops/s");
+    }
+
+    #[test]
+    fn more_threads_not_slower() {
+        let f1 = calibrate_peak_flops(1, 30);
+        let f2 = calibrate_peak_flops(2, 30);
+        assert!(f2 > 0.8 * f1, "1t {f1}, 2t {f2}");
+    }
+}

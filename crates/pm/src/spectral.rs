@@ -1,0 +1,209 @@
+//! Spectral kernels of the HACC Poisson solve.
+//!
+//! * the isotropizing filter of paper Eq. 5:
+//!   `exp(-k²σ²/4) · Π_i sinc(k_iΔ/2)^{n_s}` with nominal σ = 0.8 grid
+//!   cells and n_s = 3 — knocks down CIC anisotropy noise by over an
+//!   order of magnitude and lets short/long forces match at 3 grid cells;
+//! * the 6th-order periodic influence function (spectral representation of
+//!   the inverse Laplacian) built from the sin-expansion
+//!   `k²_eff = (2/Δ)² Σ_i [sin²x + sin⁴x/3 + (8/45)sin⁶x]`, `x = k_iΔ/2`,
+//!   which matches `k²` through O(x⁶);
+//! * 4th-order Super-Lanczos spectral differencing for the potential
+//!   gradient: `D(k) = i·(8 sin kΔ − sin 2kΔ)/(6Δ)` per component.
+
+use hacc_fft::wavenumber::k_of_index;
+
+/// Tunable parameters of the spectral solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralParams {
+    /// Gaussian filter scale in grid cells (paper nominal: 0.8).
+    pub sigma: f64,
+    /// sinc-power of the de-aliasing filter (paper nominal: 3).
+    pub ns: i32,
+    /// Use the 6th-order influence function (false ⇒ naive `-1/k²`).
+    pub sixth_order_influence: bool,
+    /// Use 4th-order Super-Lanczos differencing (false ⇒ exact spectral
+    /// `i·k` gradient).
+    pub super_lanczos_gradient: bool,
+}
+
+impl Default for SpectralParams {
+    fn default() -> Self {
+        SpectralParams {
+            sigma: 0.8,
+            ns: 3,
+            sixth_order_influence: true,
+            super_lanczos_gradient: true,
+        }
+    }
+}
+
+/// `sinc(x) = sin(x)/x` with the series limit at small `x`.
+#[inline]
+pub fn sinc(x: f64) -> f64 {
+    if x.abs() < 1e-6 {
+        1.0 - x * x / 6.0
+    } else {
+        x.sin() / x
+    }
+}
+
+impl SpectralParams {
+    /// Spectral filter S(k) of Eq. 5 for grid indices `idx` on an `n³`
+    /// grid with cell size `delta` (box length `L = n·delta`).
+    pub fn filter(&self, idx: [usize; 3], n: usize, delta: f64) -> f64 {
+        let l = n as f64 * delta;
+        let mut k2 = 0.0;
+        let mut sinc_pow = 1.0;
+        for &i in idx.iter() {
+            let k = k_of_index(i, n, l);
+            k2 += k * k;
+            sinc_pow *= sinc(0.5 * k * delta).powi(self.ns);
+        }
+        // σ is in grid cells; convert to length via Δ.
+        let s = self.sigma * delta;
+        (-k2 * s * s / 4.0).exp() * sinc_pow
+    }
+
+    /// Influence function G(k): the spectral inverse Laplacian, negative
+    /// definite, with G(0) = 0 (mean-field gauge). Solving
+    /// `φ(k) = G(k)·ρ(k)` realizes `∇²φ = ρ`.
+    pub fn influence(&self, idx: [usize; 3], n: usize, delta: f64) -> f64 {
+        if idx.iter().all(|&i| i == 0) {
+            return 0.0;
+        }
+        let l = n as f64 * delta;
+        let k2_eff = if self.sixth_order_influence {
+            let mut acc = 0.0;
+            for &i in idx.iter() {
+                let k = k_of_index(i, n, l);
+                let s = (0.5 * k * delta).sin();
+                let s2 = s * s;
+                acc += s2 * (1.0 + s2 / 3.0 + 8.0 / 45.0 * s2 * s2);
+            }
+            acc * 4.0 / (delta * delta)
+        } else {
+            let mut acc = 0.0;
+            for &i in idx.iter() {
+                let k = k_of_index(i, n, l);
+                acc += k * k;
+            }
+            acc
+        };
+        -1.0 / k2_eff
+    }
+
+    /// Gradient operator D(k) for one component: the transform multiplies
+    /// by `i·D`, so this returns the real factor `D` (units 1/length).
+    pub fn gradient(&self, i: usize, n: usize, delta: f64) -> f64 {
+        let l = n as f64 * delta;
+        let k = k_of_index(i, n, l);
+        if self.super_lanczos_gradient {
+            // 4th-order Super-Lanczos: (8 sin kΔ − sin 2kΔ) / (6Δ).
+            (8.0 * (k * delta).sin() - (2.0 * k * delta).sin()) / (6.0 * delta)
+        } else {
+            k
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 64;
+    const DELTA: f64 = 1.0;
+
+    #[test]
+    fn filter_is_unity_at_dc_and_small_at_nyquist() {
+        let p = SpectralParams::default();
+        assert!((p.filter([0, 0, 0], N, DELTA) - 1.0).abs() < 1e-12);
+        let f_nyq = p.filter([N / 2, N / 2, N / 2], N, DELTA);
+        assert!(f_nyq < 0.05, "filter at Nyquist = {f_nyq}");
+    }
+
+    #[test]
+    fn filter_monotone_along_axis() {
+        let p = SpectralParams::default();
+        let mut prev = f64::INFINITY;
+        for i in 0..=N / 2 {
+            let f = p.filter([i, 0, 0], N, DELTA);
+            assert!(f <= prev + 1e-12);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn influence_matches_continuum_at_low_k() {
+        // 6th-order: G(k) → -1/k² with error O(k⁶·Δ⁶) relative O(k⁴Δ⁴)... —
+        // at the fundamental mode the two agree to better than 1e-5.
+        let p = SpectralParams::default();
+        let g = p.influence([1, 0, 0], N, DELTA);
+        let k = 2.0 * std::f64::consts::PI / (N as f64 * DELTA);
+        let cont = -1.0 / (k * k);
+        assert!(((g - cont) / cont).abs() < 1e-5, "g {g}, cont {cont}");
+    }
+
+    #[test]
+    fn sixth_order_beats_second_order_sin_approx() {
+        // Compare error at a mid-range k against the plain CIC-style
+        // sin²-only approximation.
+        let p = SpectralParams::default();
+        let idx = [6, 0, 0];
+        let l = N as f64 * DELTA;
+        let k = k_of_index(6, N, l);
+        let cont = -1.0 / (k * k);
+        let g6 = p.influence(idx, N, DELTA);
+        // 2nd-order: k_eff² = (2/Δ)² sin²(kΔ/2).
+        let s = (0.5 * k * DELTA).sin();
+        let g2 = -1.0 / (4.0 / (DELTA * DELTA) * s * s);
+        let e6 = ((g6 - cont) / cont).abs();
+        let e2 = ((g2 - cont) / cont).abs();
+        assert!(e6 < e2 * 1e-2, "e6 {e6} not ≪ e2 {e2}");
+    }
+
+    #[test]
+    fn influence_negative_definite_and_zero_at_dc() {
+        let p = SpectralParams::default();
+        assert_eq!(p.influence([0, 0, 0], N, DELTA), 0.0);
+        for idx in [[1, 2, 3], [0, 0, 1], [N / 2, 0, 0], [5, 5, 5]] {
+            assert!(p.influence(idx, N, DELTA) < 0.0, "{idx:?}");
+        }
+    }
+
+    #[test]
+    fn gradient_matches_k_at_low_k_and_is_odd() {
+        let p = SpectralParams::default();
+        let l = N as f64 * DELTA;
+        let k1 = k_of_index(1, N, l);
+        let d1 = p.gradient(1, N, DELTA);
+        assert!(((d1 - k1) / k1).abs() < 1e-4, "d1 {d1}, k1 {k1}");
+        // Oddness: bin n-1 is -k1.
+        let dm1 = p.gradient(N - 1, N, DELTA);
+        assert!((dm1 + d1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn super_lanczos_fourth_order_convergence() {
+        // Error at fixed physical k should drop ~16x when the grid doubles.
+        let p = SpectralParams::default();
+        let l = 64.0;
+        let err = |n: usize| {
+            let delta = l / n as f64;
+            // Fixed mode index relative to box: k = 2π·4/l.
+            let k = k_of_index(4, n, l);
+            (p.gradient(4, n, delta) - k).abs() / k
+        };
+        let e1 = err(32);
+        let e2 = err(64);
+        let order = (e1 / e2).log2();
+        assert!(order > 3.5 && order < 4.5, "observed order {order}");
+    }
+
+    #[test]
+    fn sinc_limits() {
+        assert!((sinc(0.0) - 1.0).abs() < 1e-15);
+        assert!((sinc(1e-8) - 1.0).abs() < 1e-15);
+        assert!((sinc(std::f64::consts::PI)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,228 @@
+//! Multiple RCB trees per rank — the paper's Section VI improvement:
+//! "we will improve (nodal) load balancing by using multiple trees at
+//! each rank, enabling an improved threading of the tree-build."
+//!
+//! The local volume is sliced along its longest axis into sub-domains;
+//! each slice gets its own tree built *in parallel* over the particles it
+//! owns plus ghosts within the force cutoff (so every interaction partner
+//! is present locally, exactly like overloading one level down). Forces
+//! are evaluated per slice and scattered back for owner particles only.
+
+use rayon::prelude::*;
+
+use crate::kernel::ForceKernel;
+use crate::tree::{RcbTree, TreeParams};
+
+/// A forest of independently built RCB trees over one particle set.
+pub struct TreeForest {
+    slices: Vec<Slice>,
+    np: usize,
+}
+
+struct Slice {
+    tree: RcbTree,
+    /// Original indices of the owner particles (tree-local order: the
+    /// first `owners.len()` particles in the slice's input arrays).
+    owners: Vec<u32>,
+    owner_count: usize,
+}
+
+impl TreeForest {
+    /// Build `n_trees` trees over particles sliced along the longest
+    /// extent, each including ghosts within `rcut` of its slab.
+    pub fn build(
+        xs: &[f32],
+        ys: &[f32],
+        zs: &[f32],
+        mass: &[f32],
+        params: TreeParams,
+        n_trees: usize,
+        rcut: f32,
+    ) -> Self {
+        let np = xs.len();
+        assert!(n_trees >= 1);
+        if np == 0 || n_trees == 1 {
+            let tree = RcbTree::build(xs, ys, zs, mass, params);
+            return TreeForest {
+                slices: vec![Slice {
+                    tree,
+                    owners: (0..np as u32).collect(),
+                    owner_count: np,
+                }],
+                np,
+            };
+        }
+        // Longest-extent axis.
+        let extent = |v: &[f32]| -> (f32, f32) {
+            v.iter()
+                .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &x| {
+                    (lo.min(x), hi.max(x))
+                })
+        };
+        let (lox, hix) = extent(xs);
+        let (loy, hiy) = extent(ys);
+        let (loz, hiz) = extent(zs);
+        let spans = [hix - lox, hiy - loy, hiz - loz];
+        let axis = (0..3)
+            .max_by(|&a, &b| spans[a].total_cmp(&spans[b]))
+            .expect("axes");
+        let coord: &[f32] = match axis {
+            0 => xs,
+            1 => ys,
+            _ => zs,
+        };
+        let lo = [lox, loy, loz][axis];
+        let width = spans[axis].max(1e-30) / n_trees as f32;
+        assert!(
+            width > rcut,
+            "slices thinner than the cutoff: width {width}, rcut {rcut}"
+        );
+
+        // Assign owners and ghosts per slice.
+        let mut owner_idx: Vec<Vec<u32>> = vec![Vec::new(); n_trees];
+        let mut ghost_idx: Vec<Vec<u32>> = vec![Vec::new(); n_trees];
+        for (p, &c) in coord.iter().enumerate() {
+            let s = (((c - lo) / width) as usize).min(n_trees - 1);
+            owner_idx[s].push(p as u32);
+            // Ghost into neighbors when within rcut of a slice face
+            // (non-periodic: the caller's overloading already handled the
+            // domain boundary).
+            if s > 0 && c - (lo + s as f32 * width) < rcut {
+                ghost_idx[s - 1].push(p as u32);
+            }
+            if s + 1 < n_trees && (lo + (s + 1) as f32 * width) - c <= rcut {
+                ghost_idx[s + 1].push(p as u32);
+            }
+        }
+
+        // Parallel tree build — the threading win the paper is after.
+        let slices: Vec<Slice> = owner_idx
+            .into_par_iter()
+            .zip(ghost_idx)
+            .map(|(owners, ghosts)| {
+                let gather = |idx: &[u32], src: &[f32]| -> Vec<f32> {
+                    idx.iter().map(|&i| src[i as usize]).collect()
+                };
+                let all: Vec<u32> = owners.iter().chain(ghosts.iter()).copied().collect();
+                let sx = gather(&all, xs);
+                let sy = gather(&all, ys);
+                let sz = gather(&all, zs);
+                let sm = gather(&all, mass);
+                let owner_count = owners.len();
+                Slice {
+                    tree: RcbTree::build(&sx, &sy, &sz, &sm, params),
+                    owners,
+                    owner_count,
+                }
+            })
+            .collect();
+        TreeForest { slices, np }
+    }
+
+    /// Number of trees.
+    pub fn tree_count(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Evaluate forces for all (owner) particles; returns forces in the
+    /// original ordering plus the interaction count.
+    pub fn forces(&self, kernel: &ForceKernel) -> ([Vec<f32>; 3], u64) {
+        let per_slice: Vec<([Vec<f32>; 3], u64)> = self
+            .slices
+            .par_iter()
+            .map(|s| s.tree.forces(kernel))
+            .collect();
+        let mut fx = vec![0.0f32; self.np];
+        let mut fy = vec![0.0f32; self.np];
+        let mut fz = vec![0.0f32; self.np];
+        let mut inter = 0u64;
+        for (s, (f, i)) in self.slices.iter().zip(per_slice) {
+            inter += i;
+            for (local, &orig) in s.owners.iter().enumerate() {
+                debug_assert!(local < s.owner_count);
+                fx[orig as usize] = f[0][local];
+                fy[orig as usize] = f[1][local];
+                fz[orig as usize] = f[2][local];
+            }
+        }
+        ([fx, fy, fz], inter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_particles(np: usize, side: f32, seed: u64) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) as f32 * side
+        };
+        let xs: Vec<f32> = (0..np).map(|_| next()).collect();
+        let ys: Vec<f32> = (0..np).map(|_| next()).collect();
+        let zs: Vec<f32> = (0..np).map(|_| next()).collect();
+        (xs, ys, zs, vec![1.0; np])
+    }
+
+    #[test]
+    fn forest_matches_single_tree() {
+        let (xs, ys, zs, m) = rand_particles(2000, 20.0, 3);
+        let kernel = ForceKernel::newtonian(2.0, 1e-4);
+        let single = RcbTree::build(&xs, &ys, &zs, &m, TreeParams { leaf_size: 32 });
+        let (want, _) = single.forces(&kernel);
+        for n_trees in [2usize, 4] {
+            let forest = TreeForest::build(
+                &xs,
+                &ys,
+                &zs,
+                &m,
+                TreeParams { leaf_size: 32 },
+                n_trees,
+                2.0,
+            );
+            assert_eq!(forest.tree_count(), n_trees);
+            let (got, _) = forest.forces(&kernel);
+            for c in 0..3 {
+                for p in 0..xs.len() {
+                    let scale = want[c][p].abs().max(1e-2);
+                    assert!(
+                        (got[c][p] - want[c][p]).abs() < 2e-3 * scale,
+                        "trees={n_trees} c={c} p={p}: {} vs {}",
+                        got[c][p],
+                        want[c][p]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_tree_forest_is_plain_tree() {
+        let (xs, ys, zs, m) = rand_particles(300, 10.0, 7);
+        let kernel = ForceKernel::newtonian(2.0, 1e-4);
+        let forest = TreeForest::build(&xs, &ys, &zs, &m, TreeParams::default(), 1, 2.0);
+        let single = RcbTree::build(&xs, &ys, &zs, &m, TreeParams::default());
+        let (a, _) = forest.forces(&kernel);
+        let (b, _) = single.forces(&kernel);
+        assert_eq!(a[0], b[0]);
+    }
+
+    #[test]
+    fn empty_forest() {
+        let kernel = ForceKernel::newtonian(1.0, 1e-4);
+        let forest = TreeForest::build(&[], &[], &[], &[], TreeParams::default(), 4, 1.0);
+        let (f, i) = forest.forces(&kernel);
+        assert_eq!(i, 0);
+        assert!(f[0].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "thinner than the cutoff")]
+    fn oversliced_rejected() {
+        let (xs, ys, zs, m) = rand_particles(100, 4.0, 5);
+        let _ = TreeForest::build(&xs, &ys, &zs, &m, TreeParams::default(), 8, 2.0);
+    }
+}

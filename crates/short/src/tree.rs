@@ -1,0 +1,537 @@
+//! Recursive coordinate bisection (RCB) tree.
+//!
+//! The BG/Q short-range solver of Section III, built on two principles the
+//! paper calls out:
+//!
+//! * **Spatial locality** — the tree is built by recursively splitting the
+//!   particle set at the center-of-mass coordinate perpendicular to the
+//!   longest box side, *partitioning the SoA buffers so each subtree
+//!   occupies disjoint contiguous memory*. The partition runs in the
+//!   paper's three phases: (1) scan the split coordinate recording swaps,
+//!   (2) apply the recorded swaps to the position arrays, (3) apply them
+//!   to the remaining arrays (mass, permutation) — letting the hardware
+//!   prefetcher hide latency.
+//! * **Walk minimization** — "fat" leaves keep tens to hundreds of
+//!   particles; one *shared interaction list* is gathered per leaf
+//!   (contiguous SoA) and handed to the vectorized force kernel, trading
+//!   slow pointer-chasing walks for fast kernel flops.
+//!
+//! Forces have finite range `r_cut` (everything longer-range belongs to
+//! the PM solver), so interaction lists are exact: all particles in leaves
+//! intersecting the target leaf's bounding box inflated by `r_cut`.
+
+use rayon::prelude::*;
+
+use crate::kernel::ForceKernel;
+
+/// Tree tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeParams {
+    /// Maximum particles per leaf (paper: up to ~hundreds; default 128).
+    pub leaf_size: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { leaf_size: 128 }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Start index into the (permuted) particle arrays.
+    start: usize,
+    /// One past the last particle.
+    end: usize,
+    /// Axis-aligned bounding box of the particles.
+    lo: [f32; 3],
+    hi: [f32; 3],
+    /// Children indices; `usize::MAX` marks a leaf.
+    left: usize,
+    right: usize,
+}
+
+impl Node {
+    fn is_leaf(&self) -> bool {
+        self.left == usize::MAX
+    }
+}
+
+/// An RCB tree over a rank-local particle set (no periodic wrapping — the
+/// overloading scheme guarantees all interaction partners are present
+/// locally; for serial full-box use, callers append ghost images).
+pub struct RcbTree {
+    nodes: Vec<Node>,
+    /// Permuted SoA particle data.
+    xs: Vec<f32>,
+    ys: Vec<f32>,
+    zs: Vec<f32>,
+    mass: Vec<f32>,
+    /// `perm[i]` = original index of permuted slot `i`.
+    perm: Vec<u32>,
+    leaves: Vec<usize>,
+    params: TreeParams,
+}
+
+impl RcbTree {
+    /// Build the tree (copies the particle data into tree-local SoA
+    /// buffers, then partitions them in place).
+    pub fn build(
+        xs: &[f32],
+        ys: &[f32],
+        zs: &[f32],
+        mass: &[f32],
+        params: TreeParams,
+    ) -> Self {
+        let np = xs.len();
+        assert!(ys.len() == np && zs.len() == np && mass.len() == np);
+        let mut tree = RcbTree {
+            nodes: Vec::new(),
+            xs: xs.to_vec(),
+            ys: ys.to_vec(),
+            zs: zs.to_vec(),
+            mass: mass.to_vec(),
+            perm: (0..np as u32).collect(),
+            leaves: Vec::new(),
+            params,
+        };
+        if np > 0 {
+            let root = tree.make_node(0, np);
+            tree.split(root);
+        }
+        tree
+    }
+
+    /// Number of tree nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// The permutation from tree order to original order.
+    pub fn permutation(&self) -> &[u32] {
+        &self.perm
+    }
+
+    fn make_node(&mut self, start: usize, end: usize) -> usize {
+        let mut lo = [f32::INFINITY; 3];
+        let mut hi = [f32::NEG_INFINITY; 3];
+        for i in start..end {
+            let p = [self.xs[i], self.ys[i], self.zs[i]];
+            for c in 0..3 {
+                lo[c] = lo[c].min(p[c]);
+                hi[c] = hi[c].max(p[c]);
+            }
+        }
+        self.nodes.push(Node {
+            start,
+            end,
+            lo,
+            hi,
+            left: usize::MAX,
+            right: usize::MAX,
+        });
+        self.nodes.len() - 1
+    }
+
+    fn split(&mut self, node: usize) {
+        let (start, end) = (self.nodes[node].start, self.nodes[node].end);
+        if end - start <= self.params.leaf_size {
+            self.leaves.push(node);
+            return;
+        }
+        // Longest side of the bounding box.
+        let (lo, hi) = (self.nodes[node].lo, self.nodes[node].hi);
+        let axis = (0..3)
+            .max_by(|&a, &b| (hi[a] - lo[a]).total_cmp(&(hi[b] - lo[b])))
+            .expect("three axes");
+        // Center-of-mass coordinate along the split axis.
+        let coord: &[f32] = match axis {
+            0 => &self.xs,
+            1 => &self.ys,
+            _ => &self.zs,
+        };
+        let mut msum = 0.0f64;
+        let mut wsum = 0.0f64;
+        for i in start..end {
+            msum += self.mass[i] as f64;
+            wsum += (self.mass[i] * coord[i]) as f64;
+        }
+        let pivot = (wsum / msum) as f32;
+
+        let mid = self.partition(start, end, axis, pivot);
+        // Degenerate split (all particles on one side — e.g. identical
+        // coordinates): fall back to a median split by index.
+        let mid = if mid == start || mid == end {
+            (start + end) / 2
+        } else {
+            mid
+        };
+        let left = self.make_node(start, mid);
+        let right = self.make_node(mid, end);
+        self.nodes[node].left = left;
+        self.nodes[node].right = right;
+        self.split(left);
+        self.split(right);
+    }
+
+    /// Three-phase SoA partition around `pivot` on `axis`; returns the
+    /// split point. Phase 1 records swaps scanning only the split
+    /// coordinate; phases 2 and 3 replay them over the other arrays.
+    fn partition(&mut self, start: usize, end: usize, axis: usize, pivot: f32) -> usize {
+        let coord: &mut Vec<f32> = match axis {
+            0 => &mut self.xs,
+            1 => &mut self.ys,
+            _ => &mut self.zs,
+        };
+        // Phase 1: two-pointer scan over the split coordinate, recording
+        // the swap pairs and applying them to the scanned array itself.
+        let mut swaps: Vec<(u32, u32)> = Vec::new();
+        let mut i = start;
+        let mut j = end;
+        loop {
+            while i < j && coord[i] < pivot {
+                i += 1;
+            }
+            while i < j && coord[j - 1] >= pivot {
+                j -= 1;
+            }
+            if i + 1 >= j {
+                break;
+            }
+            coord.swap(i, j - 1);
+            swaps.push((i as u32, (j - 1) as u32));
+            i += 1;
+            j -= 1;
+        }
+        let mid = i;
+        // Phase 2: replay on the remaining position arrays.
+        for c in 0..3usize {
+            if c == axis {
+                continue;
+            }
+            let arr: &mut Vec<f32> = match c {
+                0 => &mut self.xs,
+                1 => &mut self.ys,
+                _ => &mut self.zs,
+            };
+            for &(a, b) in &swaps {
+                arr.swap(a as usize, b as usize);
+            }
+        }
+        // Phase 3: replay on mass and permutation.
+        for &(a, b) in &swaps {
+            self.mass.swap(a as usize, b as usize);
+            self.perm.swap(a as usize, b as usize);
+        }
+        mid
+    }
+
+    /// Squared distance between a point's box and a node's bounding box.
+    fn box_dist2(lo_a: &[f32; 3], hi_a: &[f32; 3], lo_b: &[f32; 3], hi_b: &[f32; 3]) -> f32 {
+        let mut d2 = 0.0f32;
+        for c in 0..3 {
+            let d = if hi_a[c] < lo_b[c] {
+                lo_b[c] - hi_a[c]
+            } else if hi_b[c] < lo_a[c] {
+                lo_a[c] - hi_b[c]
+            } else {
+                0.0
+            };
+            d2 += d * d;
+        }
+        d2
+    }
+
+    /// Gather the shared interaction list for a leaf: every particle in a
+    /// leaf whose box is within `r_cut` of this leaf's box.
+    fn gather_neighbors(
+        &self,
+        leaf: usize,
+        rcut2: f32,
+        nx: &mut Vec<f32>,
+        ny: &mut Vec<f32>,
+        nz: &mut Vec<f32>,
+        nm: &mut Vec<f32>,
+    ) {
+        nx.clear();
+        ny.clear();
+        nz.clear();
+        nm.clear();
+        let (tlo, thi) = (self.nodes[leaf].lo, self.nodes[leaf].hi);
+        // Iterative walk with an explicit stack ("walk minimization": the
+        // walk only prunes boxes; all fine-grained work happens in the
+        // kernel afterwards).
+        let mut stack = vec![0usize];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n];
+            if Self::box_dist2(&tlo, &thi, &node.lo, &node.hi) > rcut2 {
+                continue;
+            }
+            if node.is_leaf() {
+                nx.extend_from_slice(&self.xs[node.start..node.end]);
+                ny.extend_from_slice(&self.ys[node.start..node.end]);
+                nz.extend_from_slice(&self.zs[node.start..node.end]);
+                nm.extend_from_slice(&self.mass[node.start..node.end]);
+            } else {
+                stack.push(node.left);
+                stack.push(node.right);
+            }
+        }
+    }
+
+    /// Evaluate short-range forces for every particle.
+    ///
+    /// Returns forces *in the original input ordering* plus the total
+    /// interaction count (for the flops accounting of Figs. 5/7).
+    pub fn forces(&self, kernel: &ForceKernel) -> ([Vec<f32>; 3], u64) {
+        let (f, inter, _, _) = self.forces_timed(kernel);
+        (f, inter)
+    }
+
+    /// Like [`RcbTree::forces`] but also reports aggregate walk
+    /// (interaction-list gathering) and kernel time across workers — the
+    /// 80%/10% split of the paper's Section III timing budget.
+    pub fn forces_timed(
+        &self,
+        kernel: &ForceKernel,
+    ) -> ([Vec<f32>; 3], u64, std::time::Duration, std::time::Duration) {
+        let np = self.xs.len();
+        let per_leaf: Vec<(usize, Vec<[f32; 3]>, u64, u64, u64)> = self
+            .leaves
+            .par_iter()
+            .map_init(
+                || (Vec::new(), Vec::new(), Vec::new(), Vec::new()),
+                |(nx, ny, nz, nm), &leaf| {
+                    let node = &self.nodes[leaf];
+                    let t0 = std::time::Instant::now();
+                    self.gather_neighbors(leaf, kernel.rcut2, nx, ny, nz, nm);
+                    let walk_ns = t0.elapsed().as_nanos() as u64;
+                    let t1 = std::time::Instant::now();
+                    let mut out = Vec::with_capacity(node.end - node.start);
+                    let mut inter = 0u64;
+                    for t in node.start..node.end {
+                        let f = kernel.force_on(
+                            self.xs[t],
+                            self.ys[t],
+                            self.zs[t],
+                            nx,
+                            ny,
+                            nz,
+                            nm,
+                        );
+                        inter += nx.len() as u64;
+                        out.push(f);
+                    }
+                    let kernel_ns = t1.elapsed().as_nanos() as u64;
+                    (leaf, out, inter, walk_ns, kernel_ns)
+                },
+            )
+            .collect();
+        let mut fx = vec![0.0f32; np];
+        let mut fy = vec![0.0f32; np];
+        let mut fz = vec![0.0f32; np];
+        let mut total = 0u64;
+        let mut walk_ns = 0u64;
+        let mut kernel_ns = 0u64;
+        for (leaf, chunk, inter, w, k) in per_leaf {
+            total += inter;
+            walk_ns += w;
+            kernel_ns += k;
+            let start = self.nodes[leaf].start;
+            for (o, f) in chunk.into_iter().enumerate() {
+                let orig = self.perm[start + o] as usize;
+                fx[orig] = f[0];
+                fy[orig] = f[1];
+                fz[orig] = f[2];
+            }
+        }
+        (
+            [fx, fy, fz],
+            total,
+            std::time::Duration::from_nanos(walk_ns),
+            std::time::Duration::from_nanos(kernel_ns),
+        )
+    }
+
+    /// Mean shared-interaction-list length over leaves (the x-axis of
+    /// Fig. 5).
+    pub fn mean_neighbor_list_len(&self, rcut2: f32) -> f64 {
+        let mut total = 0usize;
+        let (mut nx, mut ny, mut nz, mut nm) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        for &leaf in &self.leaves {
+            self.gather_neighbors(leaf, rcut2, &mut nx, &mut ny, &mut nz, &mut nm);
+            total += nx.len();
+        }
+        total as f64 / self.leaves.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_particles(np: usize, side: f32, seed: u64) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) as f32 * side
+        };
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut zs = Vec::new();
+        for _ in 0..np {
+            xs.push(next());
+            ys.push(next());
+            zs.push(next());
+        }
+        (xs, ys, zs, vec![1.0; np])
+    }
+
+    /// Brute force without periodicity (the tree is non-periodic).
+    fn brute(
+        kernel: &ForceKernel,
+        xs: &[f32],
+        ys: &[f32],
+        zs: &[f32],
+        m: &[f32],
+    ) -> [Vec<f32>; 3] {
+        let np = xs.len();
+        let mut f = [vec![0.0f32; np], vec![0.0f32; np], vec![0.0f32; np]];
+        for t in 0..np {
+            for q in 0..np {
+                let dx = xs[q] - xs[t];
+                let dy = ys[q] - ys[t];
+                let dz = zs[q] - zs[t];
+                let s = dx * dx + dy * dy + dz * dz;
+                let w = m[q] * kernel.factor(s);
+                f[0][t] += dx * w;
+                f[1][t] += dy * w;
+                f[2][t] += dz * w;
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn partition_is_a_permutation() {
+        let (xs, ys, zs, m) = rand_particles(1000, 10.0, 3);
+        let tree = RcbTree::build(&xs, &ys, &zs, &m, TreeParams { leaf_size: 16 });
+        let mut seen = vec![false; 1000];
+        for &p in tree.permutation() {
+            assert!(!seen[p as usize], "duplicate {p}");
+            seen[p as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+        // Permuted data matches originals.
+        for i in 0..1000 {
+            let orig = tree.perm[i] as usize;
+            assert_eq!(tree.xs[i], xs[orig]);
+            assert_eq!(tree.ys[i], ys[orig]);
+            assert_eq!(tree.zs[i], zs[orig]);
+        }
+    }
+
+    #[test]
+    fn leaves_respect_size_bound_and_cover_all() {
+        let (xs, ys, zs, m) = rand_particles(500, 8.0, 7);
+        let params = TreeParams { leaf_size: 32 };
+        let tree = RcbTree::build(&xs, &ys, &zs, &m, params);
+        let mut covered = 0;
+        for &l in &tree.leaves {
+            let n = &tree.nodes[l];
+            assert!(n.end - n.start <= 32);
+            covered += n.end - n.start;
+        }
+        assert_eq!(covered, 500);
+    }
+
+    #[test]
+    fn forces_match_brute_force() {
+        let kernel = ForceKernel::newtonian(2.0, 1e-4);
+        let (xs, ys, zs, m) = rand_particles(400, 10.0, 11);
+        let tree = RcbTree::build(&xs, &ys, &zs, &m, TreeParams { leaf_size: 24 });
+        let (f, inter) = tree.forces(&kernel);
+        assert!(inter > 0);
+        let want = brute(&kernel, &xs, &ys, &zs, &m);
+        for c in 0..3 {
+            for p in 0..xs.len() {
+                let scale = want[c][p].abs().max(1e-2);
+                assert!(
+                    (f[c][p] - want[c][p]).abs() < 2e-3 * scale,
+                    "c={c} p={p}: {} vs {}",
+                    f[c][p],
+                    want[c][p]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fat_leaves_reduce_node_count() {
+        let (xs, ys, zs, m) = rand_particles(2000, 16.0, 13);
+        let fat = RcbTree::build(&xs, &ys, &zs, &m, TreeParams { leaf_size: 256 });
+        let thin = RcbTree::build(&xs, &ys, &zs, &m, TreeParams { leaf_size: 8 });
+        assert!(fat.node_count() * 4 < thin.node_count());
+    }
+
+    #[test]
+    fn identical_positions_do_not_hang() {
+        // Degenerate input: everything at one point; the median fallback
+        // must terminate the recursion.
+        let xs = vec![1.0f32; 300];
+        let tree = RcbTree::build(&xs, &xs, &xs, &vec![1.0; 300], TreeParams { leaf_size: 8 });
+        assert!(tree.leaf_count() >= 300 / 8);
+        let kernel = ForceKernel::newtonian(1.0, 1e-4);
+        let (f, _) = tree.forces(&kernel);
+        // All self-interactions masked: zero forces.
+        assert!(f[0].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn empty_and_single_particle() {
+        let kernel = ForceKernel::newtonian(1.0, 1e-4);
+        let empty = RcbTree::build(&[], &[], &[], &[], TreeParams::default());
+        let (f, i) = empty.forces(&kernel);
+        assert_eq!(i, 0);
+        assert!(f[0].is_empty());
+        let one = RcbTree::build(&[1.0], &[2.0], &[3.0], &[1.0], TreeParams::default());
+        let (f1, _) = one.forces(&kernel);
+        assert_eq!(f1[0][0], 0.0);
+    }
+
+    #[test]
+    fn cutoff_limits_interactions() {
+        // Two distant clusters: no cross-cluster interactions.
+        let mut xs = vec![0.0f32; 50];
+        xs.extend(vec![100.0f32; 50]);
+        let ys = vec![0.0f32; 100];
+        let zs = vec![0.0f32; 100];
+        let m = vec![1.0f32; 100];
+        // Spread each cluster slightly so forces are nonzero within.
+        let mut xs2 = xs.clone();
+        for (i, v) in xs2.iter_mut().enumerate() {
+            *v += (i % 50) as f32 * 0.01;
+        }
+        let tree = RcbTree::build(&xs2, &ys, &zs, &m, TreeParams { leaf_size: 16 });
+        let kernel = ForceKernel::newtonian(2.0, 1e-5);
+        let (_, inter) = tree.forces(&kernel);
+        // Each cluster of 50 interacts only internally: ≤ 50·50 each.
+        assert!(inter <= 2 * 50 * 50, "interactions {inter}");
+    }
+
+    #[test]
+    fn mean_neighbor_list_scales_with_cutoff() {
+        let (xs, ys, zs, m) = rand_particles(3000, 10.0, 23);
+        let tree = RcbTree::build(&xs, &ys, &zs, &m, TreeParams { leaf_size: 32 });
+        let small = tree.mean_neighbor_list_len(1.0);
+        let large = tree.mean_neighbor_list_len(9.0);
+        assert!(large > small, "small {small}, large {large}");
+    }
+}

@@ -1,0 +1,93 @@
+//! Cluster cosmology workflow (paper Section V, Fig. 11): evolve a box to
+//! z = 0, find FOF halos, split the most massive one into subhalos, and
+//! compare the measured mass function with Sheth–Tormen.
+//!
+//! ```text
+//! cargo run --release --example cluster_finder
+//! ```
+
+use hacc::analysis::{FofFinder, MassFunctionEstimate};
+use hacc::core::{SimConfig, Simulation, SolverKind};
+use hacc::cosmo::{Cosmology, LinearPower, MassFunction, Transfer};
+
+fn main() {
+    let cosmo = Cosmology::lcdm();
+    let power = LinearPower::new(&cosmo, Transfer::EisensteinHuNoWiggle);
+    let np = 24usize;
+    let box_len = 96.0;
+    let cfg = SimConfig {
+        cosmology: cosmo,
+        box_len,
+        ng: 2 * np,
+        a_init: 0.1,
+        a_final: 1.0,
+        steps: 16,
+        subcycles: 3,
+        solver: SolverKind::TreePm,
+        ..SimConfig::small_lcdm()
+    };
+    let ics = hacc::ics::zeldovich(np, box_len, &power, cfg.a_init, 777);
+    let mut sim = Simulation::from_ics(cfg, &ics);
+    println!("evolving {} particles to z = 0...", sim.len());
+    sim.run(|_, _| {});
+
+    let (x, y, z) = sim.positions();
+    let finder = FofFinder::with_linking_param(box_len, np, 0.2, 10);
+    let halos = finder.find(x, y, z);
+    let pmass = cfg.particle_mass(sim.len());
+    println!(
+        "\n{} halos with ≥10 particles (particle mass {:.2e} M_sun/h)",
+        halos.len(),
+        pmass
+    );
+    for (i, h) in halos.iter().take(5).enumerate() {
+        println!(
+            "  #{i}: {:>5} particles, M = {:.2e} M_sun/h at ({:.1}, {:.1}, {:.1})",
+            h.count(),
+            h.count() as f64 * pmass,
+            h.center[0],
+            h.center[1],
+            h.center[2]
+        );
+    }
+
+    if let Some(big) = halos.first() {
+        let subs = finder.subhalos(big, x, y, z, 0.4, 5);
+        println!(
+            "\nmost massive halo hosts {} subhalos at b_sub = 0.08:",
+            subs.len()
+        );
+        for (i, s) in subs.iter().take(8).enumerate() {
+            println!("  sub {i}: {} particles", s.count());
+        }
+    }
+
+    // Radial profile + NFW fit of the most massive halo (the cluster
+    // profile science HACC ran on Roadrunner).
+    if let Some(big) = halos.first() {
+        if big.count() >= 100 {
+            let profile = hacc::analysis::HaloProfile::measure(
+                x,
+                y,
+                z,
+                big.center,
+                box_len,
+                0.2,
+                6.0,
+                10,
+            );
+            let (rho0, rs, rms) = profile.fit_nfw();
+            println!(
+                "\nNFW fit of halo #0: r_s = {rs:.2} Mpc/h, ρ0 = {rho0:.2e} (log-rms {rms:.2})"
+            );
+        }
+    }
+
+    let est = MassFunctionEstimate::from_catalog(&halos, pmass, box_len.powi(3), 5);
+    println!("\nmass function vs Sheth–Tormen:");
+    println!("{:>12} {:>14} {:>14}", "M [Msun/h]", "measured", "S-T");
+    for (m, dn) in est.mass.iter().zip(&est.dn_dlnm) {
+        let st = MassFunction::ShethTormen.dn_dlnm(&power, *m, 1.0);
+        println!("{m:>12.2e} {dn:>14.3e} {st:>14.3e}");
+    }
+}

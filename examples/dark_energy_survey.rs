@@ -1,0 +1,66 @@
+//! Dark-energy model comparison — the science program the paper builds
+//! HACC for: "systematically study dark energy model space at extreme
+//! scales and ... deliver quantitative predictions" (Section V).
+//!
+//! Runs matched ΛCDM and wCDM (w = -0.8) simulations from the same random
+//! phases and reports the fractional difference in the nonlinear power
+//! spectrum at z = 0 — the kind of signature a survey like LSST would
+//! hunt for.
+//!
+//! ```text
+//! cargo run --release --example dark_energy_survey
+//! ```
+
+use hacc::analysis::PowerSpectrum;
+use hacc::core::{SimConfig, Simulation, SolverKind};
+use hacc::cosmo::{Cosmology, LinearPower, Transfer};
+
+fn main() {
+    let np = 20usize;
+    let box_len = 100.0;
+    let run = |cosmo: Cosmology| -> PowerSpectrum {
+        let power = LinearPower::new(&cosmo, Transfer::EisensteinHuNoWiggle);
+        let cfg = SimConfig {
+            cosmology: cosmo,
+            box_len,
+            ng: 2 * np,
+            a_init: 0.1,
+            a_final: 1.0,
+            steps: 14,
+            subcycles: 3,
+            solver: SolverKind::TreePm,
+            ..SimConfig::small_lcdm()
+        };
+        // Same seed ⇒ same random phases: the comparison isolates the
+        // dark-energy response, not cosmic variance.
+        let ics = hacc::ics::zeldovich(np, box_len, &power, cfg.a_init, 4242);
+        let mut sim = Simulation::from_ics(cfg, &ics);
+        sim.run(|_, _| {});
+        let (x, y, z) = sim.positions();
+        PowerSpectrum::measure(x, y, z, box_len, 40, 12)
+    };
+
+    println!("running ΛCDM...");
+    let lcdm = run(Cosmology::lcdm());
+    println!("running wCDM (w = -0.8)...");
+    let wcdm = run(Cosmology::wcdm(-0.8));
+
+    println!("\nnonlinear P(k) response to dark energy at z = 0:");
+    println!("{:>10} {:>12} {:>12} {:>9}", "k [h/Mpc]", "ΛCDM", "wCDM", "ratio");
+    for ((k, pl), pw) in lcdm.k.iter().zip(&lcdm.p).zip(&wcdm.p) {
+        println!("{k:>10.3} {pl:>12.2} {pw:>12.2} {:>9.3}", pw / pl);
+    }
+
+    // Linear-theory expectation of the suppression.
+    let gl = LinearPower::new(&Cosmology::lcdm(), Transfer::EisensteinHuNoWiggle);
+    let gw = LinearPower::new(&Cosmology::wcdm(-0.8), Transfer::EisensteinHuNoWiggle);
+    // Both are σ8-normalized today, so the z = 0 linear ratio is shape-
+    // identical; the nonlinear difference comes from the growth history.
+    let d_ratio = gw.growth().d_of_a(0.5) / gl.growth().d_of_a(0.5);
+    println!(
+        "\nlinear growth at a = 0.5 differs by {:.1}% between the models —\n\
+         the nonlinear k-dependent response above is what simulations add\n\
+         beyond linear theory.",
+        100.0 * (d_ratio - 1.0)
+    );
+}

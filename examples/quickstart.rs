@@ -1,0 +1,73 @@
+//! Quickstart: evolve a small ΛCDM box and print summary statistics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hacc::core::{SimConfig, Simulation, SolverKind};
+use hacc::cosmo::{Cosmology, LinearPower, Transfer};
+
+fn main() {
+    // 1. Pick a cosmology and build the σ8-normalized linear power
+    //    spectrum used for initial conditions.
+    let cosmo = Cosmology::lcdm();
+    let power = LinearPower::new(&cosmo, Transfer::EisensteinHuNoWiggle);
+
+    // 2. Generate Zel'dovich initial conditions: 16³ particles in a
+    //    64 Mpc/h box starting at z = 9.
+    let np = 16;
+    let box_len = 64.0;
+    let a_init = 0.1;
+    let ics = hacc::ics::zeldovich(np, box_len, &power, a_init, 42);
+    println!(
+        "ICs: {} particles, rms Zel'dovich displacement {:.2} Mpc/h",
+        ics.len(),
+        ics.rms_displacement
+    );
+
+    // 3. Configure the full HACC-style solver: spectral PM long-range +
+    //    RCB-tree short-range ("PPTreePM"), SKS sub-cycled stepping.
+    let cfg = SimConfig {
+        cosmology: cosmo,
+        box_len,
+        ng: 2 * np,
+        a_init,
+        a_final: 1.0,
+        steps: 12,
+        subcycles: 3,
+        solver: SolverKind::TreePm,
+        ..SimConfig::small_lcdm()
+    };
+    let mut sim = Simulation::from_ics(cfg, &ics);
+    println!(
+        "grid-force fit: rms residual {:.2e}, norm {:.4} (1/4π = {:.4})",
+        sim.grid_fit().rms_residual,
+        sim.grid_fit().norm,
+        1.0 / (4.0 * std::f64::consts::PI)
+    );
+
+    // 4. Run to z = 0, logging each step.
+    sim.run(|a, s| {
+        let brk = s.stats.steps.last().expect("step recorded");
+        println!(
+            "  a = {a:.3} (z = {:.2})  step took {:>8.1} ms, {:>11} interactions",
+            1.0 / a - 1.0,
+            brk.total().as_secs_f64() * 1e3,
+            brk.interactions
+        );
+    });
+
+    // 5. Summarize.
+    let tot = sim.stats.total();
+    println!(
+        "\ndone: {} steps, {:.2e} pair interactions, kernel fraction {:.0}%",
+        sim.stats.steps.len(),
+        tot.interactions as f64,
+        100.0 * tot.kernel_fraction()
+    );
+    println!(
+        "time per substep per particle: {:.2e} s",
+        sim.stats
+            .time_per_substep_per_particle(sim.len(), cfg.subcycles)
+    );
+}

@@ -1,0 +1,78 @@
+//! Snapshot I/O workflow: run a simulation, write checksummed
+//! sub-sampled snapshots at several redshifts (the paper stored "a
+//! subset of the particles and the mass fluctuation power spectrum at 10
+//! intermediate snapshots"), read them back, and analyze offline.
+//!
+//! ```text
+//! cargo run --release --example snapshot_pipeline
+//! ```
+
+use hacc::analysis::PowerSpectrum;
+use hacc::core::{SimConfig, Simulation, SolverKind};
+use hacc::cosmo::{Cosmology, LinearPower, Transfer};
+use hacc::genio::Snapshot;
+
+fn main() {
+    let cosmo = Cosmology::lcdm();
+    let power = LinearPower::new(&cosmo, Transfer::EisensteinHuNoWiggle);
+    let np = 20usize;
+    let box_len = 80.0;
+    let cfg = SimConfig {
+        cosmology: cosmo,
+        box_len,
+        ng: 2 * np,
+        a_init: 0.1,
+        a_final: 1.0,
+        steps: 12,
+        subcycles: 3,
+        solver: SolverKind::TreePm,
+        ..SimConfig::small_lcdm()
+    };
+    let ics = hacc::ics::zeldovich(np, box_len, &power, cfg.a_init, 31);
+    let mut sim = Simulation::from_ics(cfg, &ics);
+
+    let out_dir = std::path::PathBuf::from("out/snapshots");
+    std::fs::create_dir_all(&out_dir).expect("create snapshot dir");
+    let ids: Vec<u64> = (0..sim.len() as u64).collect();
+
+    // Write a full snapshot plus a 1-in-8 subsample at a few epochs.
+    let snapshot_as = [0.25, 0.5, 1.0];
+    let mut written = Vec::new();
+    sim.run(|a, s| {
+        if let Some(&target) = snapshot_as.iter().find(|&&t| (a - t).abs() < 0.02) {
+            let (x, y, z) = s.positions();
+            let (vx, vy, vz) = s.momenta();
+            let snap =
+                Snapshot::from_particles(box_len, a, x, y, z, vx, vy, vz, Some(&ids));
+            let path = out_dir.join(format!("snap_a{target:.2}.gio"));
+            snap.subsample(8).write_file(&path).expect("write snapshot");
+            println!(
+                "a = {a:.3}: wrote {} ({} of {} particles, {} bytes)",
+                path.display(),
+                snap.subsample(8).len(),
+                snap.len(),
+                std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0)
+            );
+            written.push(path);
+        }
+    });
+
+    // Offline pass: read back and measure P(k) per snapshot.
+    println!("\noffline analysis of the stored snapshots:");
+    for path in &written {
+        let snap = Snapshot::read_file(path).expect("snapshot readable and uncorrupted");
+        let x = &snap.f32_fields["x"];
+        let y = &snap.f32_fields["y"];
+        let z = &snap.f32_fields["z"];
+        let ps = PowerSpectrum::measure(x, y, z, snap.box_len, 20, 8);
+        println!(
+            "  {}: a = {:.2}, {} particles, P(k≈0.2) = {:.1} (shot noise {:.1})",
+            path.display(),
+            snap.a,
+            snap.len(),
+            ps.at(0.2),
+            PowerSpectrum::shot_noise(snap.box_len, snap.len())
+        );
+    }
+    println!("\n(sub-sampled spectra sit on top of shot noise — exactly why the paper\n stored P(k) from the full particle load in situ, alongside the subset.)");
+}

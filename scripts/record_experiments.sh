@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Re-run every paper-reproduction binary and capture its output under
+# out/experiments/, then append the recorded results to EXPERIMENTS.md.
+# Usage: scripts/record_experiments.sh [--skip-run]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BINS=(
+  fig5_kernel_threading fig6_poisson_weak_scaling table1_fft_scaling
+  table2_weak_scaling table3_strong_scaling fig9_structure_evolution
+  fig10_power_spectrum fig2_dynamic_range fig11_halo_subhalos
+  accuracy_p3m_vs_treepm timing_breakdown ablation_spectral
+  ablation_leaf_size ablation_deposit_order ablation_subcycles
+)
+
+mkdir -p out/experiments
+if [[ "${1:-}" != "--skip-run" ]]; then
+  cargo build --release -p hacc-bench --bins
+  for b in "${BINS[@]}"; do
+    echo "== $b"
+    ./target/release/"$b" | tee "out/experiments/$b.txt"
+  done
+fi
+
+# Append/update the recorded block in EXPERIMENTS.md.
+python3 - <<'EOF'
+import re, pathlib
+doc = pathlib.Path("EXPERIMENTS.md").read_text()
+marker = "<!-- recorded-output -->"
+head, _, _ = doc.partition(marker)
+parts = [head.rstrip() + "\n\n" + marker + "\n"]
+for f in sorted(pathlib.Path("out/experiments").glob("*.txt")):
+    parts.append(f"\n### `{f.stem}`\n\n```text\n{f.read_text().rstrip()}\n```\n")
+pathlib.Path("EXPERIMENTS.md").write_text("".join(parts))
+print("EXPERIMENTS.md updated")
+EOF

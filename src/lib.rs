@@ -1,0 +1,12 @@
+//! Facade crate re-exporting the HACC reproduction public API.
+pub use hacc_analysis as analysis;
+pub use hacc_comm as comm;
+pub use hacc_core as core;
+pub use hacc_cosmo as cosmo;
+pub use hacc_domain as domain;
+pub use hacc_fft as fft;
+pub use hacc_genio as genio;
+pub use hacc_ics as ics;
+pub use hacc_machine as machine;
+pub use hacc_pm as pm;
+pub use hacc_short as short;

@@ -1,0 +1,138 @@
+//! Cross-crate integration tests for the distributed substrates: the
+//! threads-as-ranks machine, distributed FFT/Poisson stack, and the
+//! overloaded domain driver must reproduce the serial results.
+
+use hacc::comm::Machine;
+use hacc::core::{DistSimulation, SimConfig, Simulation, SolverKind};
+use hacc::cosmo::{Cosmology, LinearPower, Transfer};
+use hacc::fft::{Complex64, DistFft3, Fft3, PencilFft, SlabFft};
+
+fn rand_field(len: usize, seed: u64) -> Vec<f64> {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s as f64 / u64::MAX as f64) - 0.5
+    };
+    (0..len).map(|_| next()).collect()
+}
+
+/// Slab and pencil FFTs agree with the serial transform on the same data
+/// — the core guarantee behind Fig. 6 / Table I.
+#[test]
+fn distributed_ffts_match_serial() {
+    let n = 12;
+    let field = rand_field(n * n * n, 77);
+    let mut want: Vec<Complex64> = field.iter().map(|&v| Complex64::new(v, 0.0)).collect();
+    Fft3::new_cubic(n).forward(&mut want);
+
+    for (ranks, pencil) in [(3usize, false), (4, true), (6, true)] {
+        let f = field.clone();
+        let (res, _) = Machine::new(ranks).run(move |comm| {
+            let check = |fft: &dyn DistFft3| -> (hacc::fft::Layout3, Vec<Complex64>) {
+                let rl = fft.real_layout();
+                let mut local = vec![Complex64::ZERO; rl.len()];
+                for (i, v) in local.iter_mut().enumerate() {
+                    let g = rl.global_coords(i);
+                    *v = Complex64::new(f[(g[0] * n + g[1]) * n + g[2]], 0.0);
+                }
+                (fft.k_layout(), fft.forward(local))
+            };
+            if pencil {
+                check(&PencilFft::new(&comm, n))
+            } else {
+                check(&SlabFft::new(&comm, n))
+            }
+        });
+        for (kl, data) in &res {
+            for (i, v) in data.iter().enumerate() {
+                let g = kl.global_coords(i);
+                let w = want[(g[0] * n + g[1]) * n + g[2]];
+                assert!(
+                    (*v - w).abs() < 1e-8,
+                    "ranks={ranks} pencil={pencil} {g:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The distributed overloaded driver reproduces the serial driver's
+/// trajectory (the Table II/III workhorse).
+#[test]
+fn distributed_driver_tracks_serial() {
+    let power = LinearPower::new(&Cosmology::lcdm(), Transfer::EisensteinHuNoWiggle);
+    let np = 16usize;
+    let cfg = SimConfig {
+        cosmology: Cosmology::lcdm(),
+        box_len: 64.0,
+        ng: 32,
+        a_init: 0.25,
+        a_final: 0.3,
+        steps: 2,
+        subcycles: 2,
+        solver: SolverKind::TreePm,
+        ..SimConfig::small_lcdm()
+    };
+    let ics = hacc::ics::zeldovich(np, 64.0, &power, cfg.a_init, 2024);
+
+    let mut serial = Simulation::from_ics(cfg, &ics);
+    serial.run(|_, _| {});
+    let (sx, sy, sz) = serial.positions();
+
+    let ics2 = ics.clone();
+    let (res, stats) = Machine::new(4).run(move |comm| {
+        let mut sim = DistSimulation::new(&comm, cfg, &ics2);
+        for &a in &cfg.step_edges()[1..] {
+            sim.step(a);
+        }
+        sim.gather_positions()
+    });
+    // Real communication happened.
+    assert!(stats.total_bytes() > 0);
+    let gathered = res[0].as_ref().expect("rank 0");
+    assert_eq!(gathered.len(), ics.len());
+    let l = 64.0f32;
+    for &(id, p) in gathered {
+        let i = id as usize;
+        for (got, want) in [(p[0], sx[i]), (p[1], sy[i]), (p[2], sz[i])] {
+            let mut d = (got - want).abs();
+            d = d.min(l - d);
+            assert!(d < 0.05, "id {id}: {got} vs {want}");
+        }
+    }
+}
+
+/// Overload bookkeeping invariants across repeated refreshes during a run.
+#[test]
+fn distributed_particle_conservation() {
+    let power = LinearPower::new(&Cosmology::lcdm(), Transfer::EisensteinHuNoWiggle);
+    let cfg = SimConfig {
+        cosmology: Cosmology::lcdm(),
+        box_len: 64.0,
+        ng: 32,
+        a_init: 0.3,
+        a_final: 0.36,
+        steps: 3,
+        subcycles: 2,
+        solver: SolverKind::PmOnly,
+        ..SimConfig::small_lcdm()
+    };
+    let ics = hacc::ics::zeldovich(16, 64.0, &power, cfg.a_init, 5);
+    let total = ics.len();
+    let (res, _) = Machine::new(2).run(move |comm| {
+        let mut sim = DistSimulation::new(&comm, cfg, &ics);
+        let mut counts = Vec::new();
+        for &a in &cfg.step_edges()[1..] {
+            sim.step(a);
+            counts.push(sim.global_count());
+        }
+        counts
+    });
+    for counts in res {
+        for c in counts {
+            assert_eq!(c, total);
+        }
+    }
+}
