@@ -129,13 +129,13 @@ impl CorrelationFunction {
             xi: Vec::with_capacity(bins),
             pairs: counts.clone(),
         };
-        for b in 0..bins {
+        for (b, &n_pairs) in counts.iter().enumerate() {
             let r0 = b as f64 * dr;
             let r1 = (b + 1) as f64 * dr;
             let shell = 4.0 / 3.0 * std::f64::consts::PI * (r1.powi(3) - r0.powi(3));
             let expected = np as f64 * nbar * shell;
             out.r.push(0.5 * (r0 + r1));
-            out.xi.push(counts[b] as f64 / expected - 1.0);
+            out.xi.push(n_pairs as f64 / expected - 1.0);
         }
         out
     }

@@ -174,7 +174,7 @@ impl FofFinder {
             .filter(|g| g.len() >= self.min_members)
             .map(|members| self.summarize(members, xs, ys, zs, vel))
             .collect();
-        halos.sort_by(|a, b| b.count().cmp(&a.count()));
+        halos.sort_by_key(|h| std::cmp::Reverse(h.count()));
         halos
     }
 
@@ -378,7 +378,7 @@ mod tests {
         assert_eq!(halos[0].count(), 80);
         // Center should sit near the seam (x ≈ 0 or ≈ 64).
         let cx = halos[0].center[0];
-        assert!(cx < 1.5 || cx > 62.5, "center x = {cx}");
+        assert!(!(1.5..=62.5).contains(&cx), "center x = {cx}");
     }
 
     #[test]

@@ -54,11 +54,11 @@ impl MassFunctionEstimate {
             dn_dlnm: Vec::new(),
             count: Vec::new(),
         };
-        for b in 0..bins {
-            if count[b] > 0 {
+        for (b, &n) in count.iter().enumerate() {
+            if n > 0 {
                 out.mass.push((lo + (b as f64 + 0.5) * dln).exp());
-                out.dn_dlnm.push(count[b] as f64 / volume / dln);
-                out.count.push(count[b]);
+                out.dn_dlnm.push(n as f64 / volume / dln);
+                out.count.push(n);
             }
         }
         out

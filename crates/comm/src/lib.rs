@@ -13,31 +13,217 @@
 //! machine model (crates/machine) can translate measured traffic into
 //! paper-scale network estimates.
 //!
+//! # Reliable transport and fault injection
+//!
+//! Every point-to-point message carries a per-`(context, src, tag)` sequence
+//! number. The receiving mailbox delivers payloads strictly in sequence
+//! order, buffering early arrivals and discarding retransmissions, so the
+//! user-visible semantics are exactly the buffered-ordered channel the rest
+//! of the code assumes — even when a [`FaultPlan`] injects duplicated or
+//! delayed messages underneath. A *dropped* message leaves a permanent gap
+//! in the sequence space; a receiver blocked on it fails with a diagnostic
+//! [`CommError::Timeout`] naming the expected `(context, src, tag)` (via
+//! [`Comm::recv_timeout`] or the machine-wide watchdog) instead of hanging.
+//!
 //! Messages are buffered: `send` never blocks, `recv` blocks until a
 //! matching `(context, source, tag)` message arrives. Matching is exact
 //! (no wildcards), which keeps the semantics deterministic.
 
+pub mod fault;
 pub mod stats;
 pub mod topology;
 
+pub use fault::{FaultAction, FaultPlan, FaultStats, SlowRank};
 pub use stats::TrafficStats;
 pub use topology::{dims_create, CartComm};
 
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
-use std::collections::HashMap;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Mailbox key: (communicator context, global source rank, user tag).
 type Key = (u64, usize, u64);
 
+/// A payload in flight. `None` marks an injected retransmission ghost:
+/// it carries the duplicate's sequence number (so the receiver's dedup
+/// path is exercised) without requiring `T: Clone`.
+type Payload = Option<Box<dyn Any + Send>>;
+
+/// Errors surfaced by the communication layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// No matching message arrived in time. Names the exact mailbox slot
+    /// being waited on so a lost message is diagnosable, not a hang.
+    Timeout {
+        /// Communicator context id.
+        context: u64,
+        /// Source rank (communicator-local).
+        src: usize,
+        /// User tag.
+        tag: u64,
+        /// How long the receiver waited.
+        waited: Duration,
+        /// Transport-level detail (sequence gap, buffered count).
+        detail: String,
+    },
+    /// Another rank panicked while this one was blocked.
+    Poisoned,
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout {
+                context,
+                src,
+                tag,
+                waited,
+                detail,
+            } => write!(
+                f,
+                "comm timeout after {waited:?}: no message for \
+                 (context={context}, src={src}, tag={tag}); {detail}"
+            ),
+            CommError::Poisoned => write!(f, "machine poisoned: another rank panicked"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Error from a whole-machine run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// A rank's closure panicked (including injected kills and watchdog
+    /// timeouts); the machine was shut down.
+    RankPanicked {
+        /// Global rank that failed first.
+        rank: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// Transport-level state of one rank's incoming mailbox.
+#[derive(Default)]
+struct MailState {
+    /// In-order payloads, ready for `recv`.
+    ready: HashMap<Key, VecDeque<Box<dyn Any + Send>>>,
+    /// Early arrivals parked until the sequence gap closes.
+    reorder: HashMap<Key, BTreeMap<u64, Payload>>,
+    /// Next sequence number a sender will stamp on this key (senders
+    /// update it while holding this mailbox's lock).
+    send_seq: HashMap<Key, u64>,
+    /// Next sequence number the receiver will release for this key.
+    recv_seq: HashMap<Key, u64>,
+}
+
+impl MailState {
+    /// Transport delivery: release in-sequence payloads, buffer early
+    /// ones, discard retransmissions. Returns whether anything became
+    /// ready.
+    fn deliver(&mut self, ctrs: &FaultCounters, key: Key, seq: u64, payload: Payload) -> bool {
+        let expected = *self.recv_seq.entry(key).or_insert(0);
+        if seq < expected {
+            ctrs.dup_discarded.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        if seq > expected {
+            ctrs.reordered.fetch_add(1, Ordering::Relaxed);
+            // First arrival wins: a ghost must never displace a buffered
+            // real payload with the same sequence number.
+            self.reorder
+                .entry(key)
+                .or_default()
+                .entry(seq)
+                .or_insert(payload);
+            return false;
+        }
+        let mut next = expected + 1;
+        let mut any_ready = false;
+        if let Some(p) = payload {
+            self.ready.entry(key).or_default().push_back(p);
+            any_ready = true;
+        }
+        if let Some(parked) = self.reorder.get_mut(&key) {
+            while let Some(slot) = parked.remove(&next) {
+                if let Some(p) = slot {
+                    self.ready.entry(key).or_default().push_back(p);
+                    any_ready = true;
+                }
+                next += 1;
+            }
+        }
+        self.recv_seq.insert(key, next);
+        any_ready
+    }
+
+    /// Human-readable transport diagnosis for a timed-out key.
+    fn diagnose(&self, key: &Key) -> String {
+        let expected = self.recv_seq.get(key).copied().unwrap_or(0);
+        let parked = self.reorder.get(key).map(BTreeMap::len).unwrap_or(0);
+        if parked > 0 {
+            format!(
+                "transport gap: waiting for seq #{expected}, {parked} later \
+                 message(s) buffered behind it (a message was lost)"
+            )
+        } else {
+            format!("no traffic pending (waiting for seq #{expected})")
+        }
+    }
+}
+
 /// One rank's incoming mailbox.
 #[derive(Default)]
 struct Mailbox {
-    queues: Mutex<HashMap<Key, VecDeque<Box<dyn Any + Send>>>>,
+    state: Mutex<MailState>,
     signal: Condvar,
+}
+
+/// Fault-event counters (machine-wide).
+#[derive(Default)]
+struct FaultCounters {
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    delayed: AtomicU64,
+    dup_discarded: AtomicU64,
+    reordered: AtomicU64,
+}
+
+impl FaultCounters {
+    fn snapshot(&self) -> FaultStats {
+        FaultStats {
+            dropped: self.dropped.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+            dup_discarded: self.dup_discarded.load(Ordering::Relaxed),
+            reordered: self.reordered.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A message held back by delay injection, waiting to be flushed after
+/// later traffic.
+struct Held {
+    dst: usize,
+    key: Key,
+    seq: u64,
+    payload: Box<dyn Any + Send>,
 }
 
 /// State shared by every rank of a [`Machine`].
@@ -48,23 +234,85 @@ struct Shared {
     /// Set when any rank panics so ranks blocked in `recv` abort instead
     /// of waiting forever on messages that will never come.
     poisoned: AtomicBool,
+    /// Fault-injection plan (inactive by default).
+    plan: FaultPlan,
+    /// Machine-wide recv watchdog: plain `recv` fails diagnostically
+    /// after this long instead of blocking forever.
+    watchdog: Option<Duration>,
+    counters: FaultCounters,
+    /// Per-global-rank delayed messages awaiting out-of-order delivery.
+    holdback: Vec<Mutex<Vec<Held>>>,
+}
+
+impl Shared {
+    /// Deliver every message the injector held back for `rank`. Called
+    /// after newer traffic was enqueued (creating the reordering the
+    /// injection wants), before the rank blocks, and when it finishes.
+    fn flush_holdback(&self, rank: usize) {
+        let held = std::mem::take(&mut *self.holdback[rank].lock());
+        for m in held {
+            let mbox = &self.boxes[m.dst];
+            let mut st = mbox.state.lock();
+            st.deliver(&self.counters, m.key, m.seq, Some(m.payload));
+            drop(st);
+            mbox.signal.notify_all();
+        }
+    }
 }
 
 /// A virtual parallel machine: `n` ranks running as threads in this process.
 pub struct Machine {
     ranks: usize,
+    plan: FaultPlan,
+    watchdog: Option<Duration>,
 }
 
 impl Machine {
     /// Create a machine with `ranks` simulated ranks.
     pub fn new(ranks: usize) -> Self {
         assert!(ranks > 0, "need at least one rank");
-        Machine { ranks }
+        Machine {
+            ranks,
+            plan: FaultPlan::none(),
+            watchdog: None,
+        }
+    }
+
+    /// Inject faults according to `plan` (see [`FaultPlan`]).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Fail any `recv` that waits longer than `timeout` with a diagnostic
+    /// [`CommError::Timeout`] panic (which poisons the machine) instead of
+    /// blocking forever. Essential when drops are injected.
+    pub fn with_watchdog(mut self, timeout: Duration) -> Self {
+        self.watchdog = Some(timeout);
+        self
     }
 
     /// Run `f` on every rank concurrently; returns the per-rank results in
     /// rank order together with the traffic statistics of the run.
+    ///
+    /// Panics if any rank panics (with the `rank thread panicked:` prefix);
+    /// use [`Machine::try_run`] to handle failures as values.
     pub fn run<T, F>(&self, f: F) -> (Vec<T>, TrafficStats)
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Sync,
+    {
+        match self.try_run(f) {
+            Ok(out) => out,
+            Err(MachineError::RankPanicked { message, .. }) => {
+                panic!("rank thread panicked: {message}")
+            }
+        }
+    }
+
+    /// Run `f` on every rank concurrently, reporting a rank failure as an
+    /// error instead of panicking — the entry point recovery drivers use.
+    pub fn try_run<T, F>(&self, f: F) -> Result<(Vec<T>, TrafficStats), MachineError>
     where
         T: Send,
         F: Fn(Comm) -> T + Sync,
@@ -74,18 +322,23 @@ impl Machine {
             bytes_sent: (0..self.ranks).map(|_| AtomicU64::new(0)).collect(),
             msgs_sent: (0..self.ranks).map(|_| AtomicU64::new(0)).collect(),
             poisoned: AtomicBool::new(false),
+            plan: self.plan.clone(),
+            watchdog: self.watchdog,
+            counters: FaultCounters::default(),
+            holdback: (0..self.ranks).map(|_| Mutex::new(Vec::new())).collect(),
         });
         let next_context = Arc::new(AtomicU64::new(1));
+        let first_failure: Mutex<Option<(usize, String)>> = Mutex::new(None);
         let mut results: Vec<Option<T>> = (0..self.ranks).map(|_| None).collect();
         std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(self.ranks);
             for (rank, slot) in results.iter_mut().enumerate() {
                 let shared = Arc::clone(&shared);
                 let next_context = Arc::clone(&next_context);
                 let f = &f;
+                let first_failure = &first_failure;
                 let ranks = self.ranks;
-                handles.push(scope.spawn(move || {
-                    let shared_for_poison = Arc::clone(&shared);
+                scope.spawn(move || {
+                    let shared_outer = Arc::clone(&shared);
                     let comm = Comm {
                         shared,
                         context: 0,
@@ -96,38 +349,34 @@ impl Machine {
                     let result =
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm)));
                     match result {
-                        Ok(v) => *slot = Some(v),
+                        Ok(v) => {
+                            // Drain any delay-injected messages this rank
+                            // still holds so peers are not starved.
+                            shared_outer.flush_holdback(rank);
+                            *slot = Some(v);
+                        }
                         Err(payload) => {
+                            // `&*payload`: deref past the Box so downcasts
+                            // see the payload, not the Box (which is itself
+                            // `Any` and would shadow it via unsize coercion).
+                            first_failure
+                                .lock()
+                                .get_or_insert_with(|| (rank, panic_message(&*payload)));
                             // Wake every blocked receiver so the machine
                             // shuts down instead of deadlocking.
-                            shared_for_poison.poisoned.store(true, Ordering::SeqCst);
-                            for mbox in shared_for_poison.boxes.iter() {
-                                let _guard = mbox.queues.lock();
+                            shared_outer.poisoned.store(true, Ordering::SeqCst);
+                            for mbox in shared_outer.boxes.iter() {
+                                let _guard = mbox.state.lock();
                                 mbox.signal.notify_all();
                             }
-                            std::panic::resume_unwind(payload);
                         }
                     }
-                }));
-            }
-            let mut first_panic = None;
-            for h in handles {
-                if let Err(p) = h.join() {
-                    first_panic.get_or_insert(p);
-                }
-            }
-            if let Some(p) = first_panic {
-                // Re-raise with a recognizable prefix for should_panic tests.
-                if let Some(s) = p
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| p.downcast_ref::<String>().cloned())
-                {
-                    panic!("rank thread panicked: {s}");
-                }
-                panic!("rank thread panicked");
+                });
             }
         });
+        if let Some((rank, message)) = first_failure.into_inner() {
+            return Err(MachineError::RankPanicked { rank, message });
+        }
         let stats = TrafficStats {
             bytes_sent: shared
                 .bytes_sent
@@ -139,20 +388,35 @@ impl Machine {
                 .iter()
                 .map(|a| a.load(Ordering::Relaxed))
                 .collect(),
+            faults: shared.counters.snapshot(),
         };
-        (
+        Ok((
             results
                 .into_iter()
                 .map(|r| r.expect("rank produced result"))
                 .collect(),
             stats,
-        )
+        ))
     }
 
     /// Number of ranks.
     pub fn ranks(&self) -> usize {
         self.ranks
     }
+}
+
+/// Stringify a panic payload for diagnostics.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .or_else(|| {
+            payload
+                .downcast_ref::<CommError>()
+                .map(|e| e.to_string())
+        })
+        .unwrap_or_else(|| "<non-string panic payload>".to_string())
 }
 
 /// A communicator handle owned by one rank.
@@ -186,42 +450,153 @@ impl Comm {
         self.group[rank]
     }
 
+    /// Fault-injection hook for step-structured drivers: call at the top
+    /// of simulation step `step`. If the machine's [`FaultPlan`] schedules
+    /// a kill for this rank at this step, the rank dies here (once).
+    pub fn begin_step(&self, step: u64) {
+        let me = self.global(self.rank);
+        if self.shared.plan.should_kill(me, step) {
+            panic!("fault injected: rank {me} killed at step {step}");
+        }
+    }
+
     /// Send `data` to communicator rank `dst` with `tag`. Buffered —
     /// returns immediately.
     pub fn send<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
         let me = self.global(self.rank);
+        let dst_global = self.global(dst);
         let bytes = std::mem::size_of::<T>() as u64 * data.len() as u64;
         self.shared.bytes_sent[me].fetch_add(bytes, Ordering::Relaxed);
         self.shared.msgs_sent[me].fetch_add(1, Ordering::Relaxed);
-        let mbox = &self.shared.boxes[self.global(dst)];
+        let plan = &self.shared.plan;
+        if let Some(slow) = plan.slow() {
+            if slow.rank == me {
+                std::thread::sleep(slow.per_send);
+            }
+        }
         let key = (self.context, me, tag);
-        mbox.queues
-            .lock()
-            .entry(key)
-            .or_default()
-            .push_back(Box::new(data));
-        mbox.signal.notify_all();
+        let mbox = &self.shared.boxes[dst_global];
+        let mut st = mbox.state.lock();
+        let seq = {
+            let s = st.send_seq.entry(key).or_insert(0);
+            let seq = *s;
+            *s += 1;
+            seq
+        };
+        let action = if plan.is_active() {
+            plan.action(self.context, me, dst_global, tag, seq)
+        } else {
+            FaultAction::None
+        };
+        let ctrs = &self.shared.counters;
+        match action {
+            FaultAction::None => {
+                st.deliver(ctrs, key, seq, Some(Box::new(data)));
+                drop(st);
+                mbox.signal.notify_all();
+            }
+            FaultAction::Drop => {
+                // The sequence number is consumed: the receiver sees a
+                // permanent gap and its watchdog names this message.
+                ctrs.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultAction::Duplicate => {
+                ctrs.duplicated.fetch_add(1, Ordering::Relaxed);
+                // Retransmission re-sends the payload bytes.
+                self.shared.bytes_sent[me].fetch_add(bytes, Ordering::Relaxed);
+                self.shared.msgs_sent[me].fetch_add(1, Ordering::Relaxed);
+                st.deliver(ctrs, key, seq, Some(Box::new(data)));
+                // The ghost carries only the duplicate sequence number;
+                // the receiver's dedup discards it by seq alone.
+                st.deliver(ctrs, key, seq, None);
+                drop(st);
+                mbox.signal.notify_all();
+            }
+            FaultAction::Delay => {
+                ctrs.delayed.fetch_add(1, Ordering::Relaxed);
+                drop(st);
+                self.shared.holdback[me].lock().push(Held {
+                    dst: dst_global,
+                    key,
+                    seq,
+                    payload: Box::new(data),
+                });
+                return; // flushed after later traffic
+            }
+        }
+        // Any message held back earlier is now "later" than the traffic
+        // just enqueued — deliver it out of order.
+        self.shared.flush_holdback(me);
     }
 
     /// Receive a message previously sent by communicator rank `src` with
-    /// `tag`. Blocks until available. Panics if the payload type differs
-    /// from what was sent (a programming error, as in MPI).
+    /// `tag`. Blocks until available — or, when the machine has a
+    /// watchdog, panics with a diagnostic [`CommError::Timeout`] after the
+    /// watchdog duration. Panics if the payload type differs from what was
+    /// sent (a programming error, as in MPI).
     pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
-        let mbox = &self.shared.boxes[self.global(self.rank)];
+        match self.recv_impl(src, tag, self.shared.watchdog) {
+            Ok(v) => v,
+            Err(e @ CommError::Timeout { .. }) => panic!("{e}"),
+            Err(CommError::Poisoned) => panic!("machine poisoned: another rank panicked"),
+        }
+    }
+
+    /// Receive with an explicit deadline: a lost or missing message
+    /// surfaces as [`CommError::Timeout`] naming the awaited
+    /// `(context, src, tag)` instead of blocking forever.
+    pub fn recv_timeout<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Vec<T>, CommError> {
+        self.recv_impl(src, tag, Some(timeout))
+    }
+
+    fn recv_impl<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+        timeout: Option<Duration>,
+    ) -> Result<Vec<T>, CommError> {
+        let me = self.global(self.rank);
+        // A message this rank delayed may be the very one a peer needs
+        // before it can send us anything — flush before blocking.
+        self.shared.flush_holdback(me);
+        let mbox = &self.shared.boxes[me];
         let key = (self.context, self.global(src), tag);
-        let mut queues = mbox.queues.lock();
+        let start = Instant::now();
+        let deadline = timeout.map(|t| start + t);
+        let mut st = mbox.state.lock();
         loop {
-            if let Some(q) = queues.get_mut(&key) {
+            if let Some(q) = st.ready.get_mut(&key) {
                 if let Some(boxed) = q.pop_front() {
-                    return *boxed
+                    return Ok(*boxed
                         .downcast::<Vec<T>>()
-                        .expect("recv: payload type mismatch");
+                        .expect("recv: payload type mismatch"));
                 }
             }
             if self.shared.poisoned.load(Ordering::SeqCst) {
-                panic!("machine poisoned: another rank panicked");
+                return Err(CommError::Poisoned);
             }
-            mbox.signal.wait(&mut queues);
+            match deadline {
+                None => mbox.signal.wait(&mut st),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        let detail = st.diagnose(&key);
+                        return Err(CommError::Timeout {
+                            context: self.context,
+                            src,
+                            tag,
+                            waited: now - start,
+                            detail,
+                        });
+                    }
+                    let _ = mbox.signal.wait_for(&mut st, d - now);
+                }
+            }
         }
     }
 
@@ -658,6 +1033,7 @@ mod tests {
         assert_eq!(stats.bytes_sent[0], 180);
         assert_eq!(stats.msgs_sent[0], 2);
         assert_eq!(stats.total_bytes(), 180);
+        assert_eq!(stats.faults, FaultStats::default());
     }
 
     #[test]
@@ -670,5 +1046,209 @@ mod tests {
                 let _ = c.recv::<f64>(0, 0);
             }
         });
+    }
+
+    // ---- fault-tolerance layer ----------------------------------------
+
+    #[test]
+    fn try_run_reports_first_panic_as_error() {
+        let err = Machine::new(3)
+            .try_run(|c| {
+                if c.rank() == 1 {
+                    panic!("boom on rank 1");
+                }
+                c.barrier();
+            })
+            .unwrap_err();
+        let MachineError::RankPanicked { rank, message } = err;
+        assert_eq!(rank, 1);
+        assert!(message.contains("boom on rank 1"), "got: {message}");
+    }
+
+    /// Ranks blocked inside a collective must wake and abort when another
+    /// rank panics — the machine shuts down instead of hanging.
+    #[test]
+    fn poisoned_shutdown_wakes_blocked_collectives() {
+        for p in [2, 4, 5] {
+            let err = Machine::new(p)
+                .try_run(|c| {
+                    if c.rank() == 0 {
+                        // Give peers time to block inside the barrier.
+                        std::thread::sleep(Duration::from_millis(20));
+                        panic!("injected failure");
+                    }
+                    // These ranks block forever without rank 0.
+                    c.barrier();
+                    c.allreduce_sum(1.0)
+                })
+                .unwrap_err();
+            let MachineError::RankPanicked { rank, message } = err;
+            assert_eq!(rank, 0, "p = {p}");
+            assert!(message.contains("injected failure"), "p = {p}: {message}");
+        }
+    }
+
+    #[test]
+    fn delayed_messages_are_reordered_transparently() {
+        let plan = FaultPlan::seeded(11).delay_prob(1.0);
+        let (res, stats) = Machine::new(2).with_faults(plan).run(|c| {
+            if c.rank() == 0 {
+                for i in 0..20 {
+                    c.send(1, 4, vec![i as u32]);
+                }
+                vec![]
+            } else {
+                (0..20).map(|_| c.recv::<u32>(0, 4)[0]).collect()
+            }
+        });
+        assert_eq!(res[1], (0..20).collect::<Vec<u32>>());
+        assert!(stats.faults.delayed > 0);
+    }
+
+    #[test]
+    fn duplicated_messages_are_discarded_transparently() {
+        let plan = FaultPlan::seeded(5).dup_prob(1.0);
+        let (res, stats) = Machine::new(2).with_faults(plan).run(|c| {
+            if c.rank() == 0 {
+                for i in 0..10 {
+                    c.send(1, 9, vec![i as u64]);
+                }
+                vec![]
+            } else {
+                (0..10).map(|_| c.recv::<u64>(0, 9)[0]).collect()
+            }
+        });
+        assert_eq!(res[1], (0..10).collect::<Vec<u64>>());
+        assert_eq!(stats.faults.duplicated, 10);
+        assert_eq!(stats.faults.dup_discarded, 10);
+    }
+
+    /// Satellite: alltoallv under injected delay + duplication must give
+    /// results identical to a fault-free run.
+    #[test]
+    fn alltoallv_identical_under_delay_and_duplication() {
+        let run = |plan: FaultPlan| {
+            let p = 5;
+            let (res, _) = Machine::new(p).with_faults(plan).run(move |c| {
+                let mut out = Vec::new();
+                for round in 0..3u64 {
+                    let sends: Vec<Vec<u64>> = (0..p)
+                        .map(|dst| {
+                            (0..(c.rank() + dst) % 4)
+                                .map(|i| round * 1000 + (c.rank() * 10 + dst) as u64 + i as u64)
+                                .collect()
+                        })
+                        .collect();
+                    out.push(c.alltoallv(sends));
+                }
+                out
+            });
+            res
+        };
+        let clean = run(FaultPlan::none());
+        let faulty = run(FaultPlan::seeded(77).delay_prob(0.4).dup_prob(0.4));
+        assert_eq!(clean, faulty);
+    }
+
+    /// Satellite: split + sub-communicator collectives under injected
+    /// delay + duplication must give results identical to a fault-free run.
+    #[test]
+    fn split_identical_under_delay_and_duplication() {
+        let run = |plan: FaultPlan| {
+            let (res, _) = Machine::new(6).with_faults(plan).run(|c| {
+                let row = c.rank() / 3;
+                let col = c.rank() % 3;
+                let row_comm = c.split(row as u64, col as u64);
+                let col_comm = c.split(col as u64, row as u64);
+                let s = row_comm.allreduce_sum((col + 1) as f64);
+                let t = col_comm.allreduce_sum((row + 1) as f64);
+                let g = row_comm.allgather(vec![c.rank() as u32]);
+                (s, t, g)
+            });
+            res
+        };
+        let clean = run(FaultPlan::none());
+        let faulty = run(FaultPlan::seeded(123).delay_prob(0.5).dup_prob(0.3));
+        assert_eq!(clean, faulty);
+    }
+
+    /// A dropped message surfaces as a diagnostic timeout naming the
+    /// awaited (context, src, tag) — not a hang.
+    #[test]
+    fn dropped_message_yields_diagnostic_timeout() {
+        let plan = FaultPlan::seeded(3).drop_prob(1.0);
+        let (res, stats) = Machine::new(2).with_faults(plan).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 42, vec![7u8]);
+                Ok(vec![])
+            } else {
+                c.recv_timeout::<u8>(0, 42, Duration::from_millis(50))
+            }
+        });
+        assert!(stats.faults.dropped >= 1);
+        let err = res[1].clone().unwrap_err();
+        match &err {
+            CommError::Timeout {
+                context, src, tag, ..
+            } => {
+                assert_eq!((*context, *src, *tag), (0, 0, 42));
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("context=0") && msg.contains("src=0") && msg.contains("tag=42"));
+    }
+
+    /// With a machine watchdog, a drop inside a collective aborts the whole
+    /// run with a diagnostic error instead of deadlocking.
+    #[test]
+    fn watchdog_turns_lost_collective_message_into_error() {
+        let plan = FaultPlan::seeded(8).drop_prob(1.0);
+        let err = Machine::new(4)
+            .with_faults(plan)
+            .with_watchdog(Duration::from_millis(100))
+            .try_run(|c| c.allreduce_sum(c.rank() as f64))
+            .unwrap_err();
+        let MachineError::RankPanicked { message, .. } = err;
+        assert!(message.contains("comm timeout"), "got: {message}");
+        assert!(message.contains("context="), "got: {message}");
+    }
+
+    #[test]
+    fn kill_at_step_fires_once() {
+        let plan = FaultPlan::seeded(0).kill_rank_at_step(1, 3);
+        let machine = Machine::new(2).with_faults(plan);
+        let err = machine
+            .try_run(|c| {
+                for step in 0..5u64 {
+                    c.begin_step(step);
+                    c.barrier();
+                }
+            })
+            .unwrap_err();
+        let MachineError::RankPanicked { rank, message } = err;
+        assert_eq!(rank, 1);
+        assert!(message.contains("killed at step 3"), "got: {message}");
+        // The latch is spent: the same machine re-runs cleanly (recovery).
+        let (res, _) = machine
+            .try_run(|c| {
+                for step in 0..5u64 {
+                    c.begin_step(step);
+                    c.barrier();
+                }
+                c.rank()
+            })
+            .expect("retry succeeds");
+        assert_eq!(res, vec![0, 1]);
+    }
+
+    #[test]
+    fn slow_rank_does_not_change_results() {
+        let clean = Machine::new(3).run(|c| c.allreduce_sum(c.rank() as f64)).0;
+        let slowed = Machine::new(3)
+            .with_faults(FaultPlan::seeded(1).slow_rank(1, Duration::from_micros(200)))
+            .run(|c| c.allreduce_sum(c.rank() as f64))
+            .0;
+        assert_eq!(clean, slowed);
     }
 }

@@ -1,5 +1,7 @@
 //! Per-rank traffic accounting for the machine model.
 
+use crate::FaultStats;
+
 /// Communication traffic observed during one [`crate::Machine::run`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TrafficStats {
@@ -7,6 +9,9 @@ pub struct TrafficStats {
     pub bytes_sent: Vec<u64>,
     /// Number of messages sent by each rank.
     pub msgs_sent: Vec<u64>,
+    /// Fault-injection events observed during the run (all zero for a
+    /// clean run).
+    pub faults: FaultStats,
 }
 
 impl TrafficStats {
@@ -55,6 +60,7 @@ mod tests {
         let s = TrafficStats {
             bytes_sent: vec![100, 300],
             msgs_sent: vec![1, 3],
+            faults: FaultStats::default(),
         };
         assert_eq!(s.total_bytes(), 400);
         assert_eq!(s.total_msgs(), 4);
@@ -68,12 +74,14 @@ mod tests {
         let s = TrafficStats {
             bytes_sent: vec![],
             msgs_sent: vec![],
+            faults: FaultStats::default(),
         };
         assert_eq!(s.total_bytes(), 0);
         assert_eq!(s.imbalance(), 1.0);
         let z = TrafficStats {
             bytes_sent: vec![0, 0],
             msgs_sent: vec![0, 0],
+            faults: FaultStats::default(),
         };
         assert_eq!(z.imbalance(), 1.0);
     }

@@ -19,7 +19,7 @@ pub fn dims_create(n: usize, ndims: usize) -> Vec<usize> {
     let mut factors = Vec::new();
     let mut f = 2;
     while f * f <= rem {
-        while rem % f == 0 {
+        while rem.is_multiple_of(f) {
             factors.push(f);
             rem /= f;
         }

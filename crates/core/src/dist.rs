@@ -94,9 +94,60 @@ impl<'a> DistSimulation<'a> {
         sim
     }
 
+    /// Rebuild one rank's view from checkpointed state: the active
+    /// particles exactly as they were (order and bits), scale factor
+    /// restored. No refresh is performed here — `step()` refreshes
+    /// first, exactly as it would have in the uninterrupted run, so the
+    /// resumed trajectory is bit-identical. Collective only in the sense
+    /// that every rank must call it with consistent `cfg`.
+    pub(crate) fn from_checkpoint_state(
+        comm: &'a Comm,
+        cfg: SimConfig,
+        a: f64,
+        parts: Particles,
+    ) -> Self {
+        let p = comm.size();
+        assert_eq!(cfg.ng % p, 0, "ng must be divisible by rank count");
+        let w_cells = cfg.rcut_cells + 1.5;
+        let lx = cfg.ng / p;
+        assert!(
+            (lx as f64) > w_cells + 1.0,
+            "slab too thin: {lx} cells vs overload {w_cells}"
+        );
+        let delta = cfg.box_len / cfg.ng as f64;
+        let decomp = Decomposition::new([p, 1, 1], cfg.box_len, w_cells * delta);
+        let fit = crate::sim::cached_grid_fit(cfg.spectral, cfg.rcut_cells);
+        let kernel = ForceKernel::new(
+            fit.coeffs_f32(),
+            cfg.rcut_cells as f32,
+            fit.epsilon as f32,
+        );
+        DistSimulation {
+            comm,
+            cfg,
+            decomp,
+            fit,
+            kernel,
+            parts,
+            a,
+            stats: RunStats::default(),
+            w_cells,
+        }
+    }
+
     /// Local particle store (active prefix + passive replicas).
     pub fn particles(&self) -> &Particles {
         &self.parts
+    }
+
+    /// The driver configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The communicator this rank runs on.
+    pub fn comm(&self) -> &'a Comm {
+        self.comm
     }
 
     /// Global particle count (collective).
@@ -288,6 +339,7 @@ impl<'a> DistSimulation<'a> {
 
     fn kick(&mut self, accel: &[Vec<f32>; 3], factor: f64) {
         let k = (1.5 * self.cfg.cosmology.omega_m * factor) as f32;
+        #[allow(clippy::needless_range_loop)] // four parallel SoA arrays
         for i in 0..self.parts.len() {
             self.parts.vx[i] += k * accel[0][i];
             self.parts.vy[i] += k * accel[1][i];

@@ -18,13 +18,22 @@
 //! Units: positions in Mpc/h; momenta `p = a²·dx/dt` with time in `1/H0`;
 //! `∇²φ̂ = δ` solved by the PM layer, kicks scaled by `(3/2)·Ωm` and the
 //! exact expansion-history integrals from `hacc-cosmo`.
+//!
+//! Long runs get fault tolerance from two layers on top of the stepper:
+//! [`checkpoint`] (per-rank restart records through the CRC-validated
+//! snapshot format) and [`resilient`] (a recovery driver that checkpoints
+//! every K steps and restarts failed attempts from the last good set).
 
+pub mod checkpoint;
 pub mod config;
 pub mod dist;
+pub mod resilient;
 pub mod sim;
 pub mod stats;
 
+pub use checkpoint::{config_fingerprint, CheckpointError};
 pub use config::{SimConfig, SolverKind};
 pub use dist::DistSimulation;
+pub use resilient::{run_resilient, RecoveryEvent, ResilienceConfig, ResilienceError, ResilientRun};
 pub use sim::Simulation;
 pub use stats::{RunStats, StepBreakdown};

@@ -1,0 +1,291 @@
+//! Fault-tolerant recovery driver: run to completion through failures.
+//!
+//! Ties the three fault-tolerance layers together the way a production
+//! HACC campaign does:
+//!
+//! 1. the stepper checkpoints every K long-range steps through
+//!    [`crate::checkpoint`] (one CRC-validated file per rank);
+//! 2. the simulated machine reports a dead rank as a value
+//!    ([`Machine::try_run`]) instead of tearing the process down;
+//! 3. [`run_resilient`] catches the failure, backs off, and relaunches —
+//!    the new attempt restores itself from the newest checkpoint set
+//!    every rank can validate and replays only the lost steps.
+//!
+//! Because a restored attempt is bit-identical to the uninterrupted
+//! trajectory (see [`crate::checkpoint`]), the final state after any
+//! number of mid-run failures equals the failure-free result exactly.
+//! The driver records a [`RecoveryEvent`] timeline so a run can report
+//! what it survived.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use hacc_comm::{FaultPlan, Machine, MachineError};
+
+use crate::checkpoint::{complete_sets, CheckpointError};
+use crate::config::SimConfig;
+use crate::dist::DistSimulation;
+
+/// Policy knobs for [`run_resilient`].
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Ranks of the simulated machine.
+    pub ranks: usize,
+    /// Write a checkpoint set every this many completed steps (the final
+    /// step is always checkpointed).
+    pub checkpoint_every: u64,
+    /// Relaunch attempts after the first, before giving up.
+    pub max_retries: u32,
+    /// Pause before the first relaunch.
+    pub backoff: Duration,
+    /// Multiplier applied to the pause after every failure.
+    pub backoff_factor: f64,
+    /// Per-receive watchdog for the relaunched machines; a lost message
+    /// then surfaces as a diagnostic timeout instead of a hang.
+    pub watchdog: Option<Duration>,
+    /// Directory holding the checkpoint sets.
+    pub dir: PathBuf,
+}
+
+impl ResilienceConfig {
+    /// Sensible defaults: checkpoint every 2 steps, 3 retries, 10 ms
+    /// initial backoff doubling per failure, no watchdog.
+    pub fn new(ranks: usize, dir: impl Into<PathBuf>) -> Self {
+        ResilienceConfig {
+            ranks,
+            checkpoint_every: 2,
+            max_retries: 3,
+            backoff: Duration::from_millis(10),
+            backoff_factor: 2.0,
+            watchdog: None,
+            dir: dir.into(),
+        }
+    }
+
+    fn pause_before_attempt(&self, attempt: u32) -> Duration {
+        // attempt 2 waits `backoff`, attempt 3 waits `backoff·factor`, …
+        let exp = attempt.saturating_sub(2);
+        self.backoff.mul_f64(self.backoff_factor.powi(exp as i32))
+    }
+}
+
+/// One entry of the recovery timeline.
+#[derive(Debug, Clone)]
+pub enum RecoveryEvent {
+    /// An attempt launched, cold (`resume_step: None`) or restored from
+    /// a checkpoint taken after `resume_step` completed steps.
+    AttemptStarted {
+        /// 1-based attempt number.
+        attempt: u32,
+        /// Steps already completed in the newest complete checkpoint set.
+        resume_step: Option<u64>,
+    },
+    /// An attempt died: `rank` failed with `message`.
+    Failure {
+        /// Attempt that failed.
+        attempt: u32,
+        /// First rank reported failed.
+        rank: usize,
+        /// Its panic message (injected kill, comm timeout, …).
+        message: String,
+    },
+    /// The driver slept before relaunching.
+    BackedOff {
+        /// Attempt about to launch after the pause.
+        attempt: u32,
+        /// Pause length (exponential in the failure count).
+        pause: Duration,
+    },
+    /// An attempt ran to the end of the schedule.
+    Completed {
+        /// The successful attempt.
+        attempt: u32,
+        /// Total completed steps.
+        final_step: u64,
+    },
+}
+
+impl fmt::Display for RecoveryEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryEvent::AttemptStarted {
+                attempt,
+                resume_step: None,
+            } => write!(f, "attempt {attempt}: cold start"),
+            RecoveryEvent::AttemptStarted {
+                attempt,
+                resume_step: Some(s),
+            } => write!(f, "attempt {attempt}: restored from checkpoint at step {s}"),
+            RecoveryEvent::Failure {
+                attempt,
+                rank,
+                message,
+            } => write!(f, "attempt {attempt}: rank {rank} failed: {message}"),
+            RecoveryEvent::BackedOff { attempt, pause } => {
+                write!(f, "backing off {pause:?} before attempt {attempt}")
+            }
+            RecoveryEvent::Completed {
+                attempt,
+                final_step,
+            } => write!(f, "attempt {attempt}: completed step {final_step}"),
+        }
+    }
+}
+
+/// The outcome of a successful resilient run.
+#[derive(Debug)]
+pub struct ResilientRun {
+    /// Everything that happened, in order.
+    pub timeline: Vec<RecoveryEvent>,
+    /// Attempts launched (1 = no failures).
+    pub attempts: u32,
+    /// Completed long-range steps.
+    pub final_step: u64,
+    /// Final `(id, position)` of every particle, gathered to rank 0 and
+    /// sorted by id — bit-exact w.r.t. an uninterrupted run.
+    pub positions: Vec<(u64, [f32; 3])>,
+}
+
+/// Terminal failure of [`run_resilient`].
+#[derive(Debug)]
+pub enum ResilienceError {
+    /// Every attempt failed; carries the timeline for post-mortems.
+    RetriesExhausted {
+        /// Attempts launched.
+        attempts: u32,
+        /// Last failure message.
+        last: String,
+        /// Full event history.
+        timeline: Vec<RecoveryEvent>,
+    },
+}
+
+impl fmt::Display for ResilienceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResilienceError::RetriesExhausted { attempts, last, .. } => {
+                write!(f, "all {attempts} attempts failed; last failure: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResilienceError {}
+
+/// Run `cfg`'s full schedule on a simulated machine under `plan`,
+/// surviving injected failures by checkpoint/restart.
+///
+/// Each attempt resumes from the newest valid checkpoint set in
+/// `rc.dir` (cold-starting from `ics` when none exists), checkpoints
+/// every `rc.checkpoint_every` steps, and announces each step to the
+/// fault plan via [`hacc_comm::Comm::begin_step`] so step-targeted kills
+/// fire. A failed attempt costs an exponentially growing pause; after
+/// `rc.max_retries` relaunches the driver gives up and returns the
+/// timeline for diagnosis.
+pub fn run_resilient(
+    cfg: SimConfig,
+    ics: &hacc_ics::IcsRealization,
+    rc: &ResilienceConfig,
+    plan: FaultPlan,
+) -> Result<ResilientRun, ResilienceError> {
+    let mut timeline = Vec::new();
+    let mut attempt = 1u32;
+    loop {
+        timeline.push(RecoveryEvent::AttemptStarted {
+            attempt,
+            resume_step: complete_sets(&rc.dir, rc.ranks).last().copied(),
+        });
+        let mut machine = Machine::new(rc.ranks).with_faults(plan.clone());
+        if let Some(w) = rc.watchdog {
+            machine = machine.with_watchdog(w);
+        }
+        let result = machine.try_run(|comm| {
+            let (mut sim, done) = match DistSimulation::resume_from(&comm, cfg, &rc.dir) {
+                Ok(resumed) => resumed,
+                Err(CheckpointError::NoCheckpoint) => (DistSimulation::new(&comm, cfg, ics), 0),
+                Err(e) => panic!("checkpoint restore failed: {e}"),
+            };
+            let edges = cfg.step_edges();
+            for k in done as usize..cfg.steps {
+                let step = (k + 1) as u64;
+                comm.begin_step(step);
+                sim.step(edges[k + 1]);
+                if step.is_multiple_of(rc.checkpoint_every) || step == cfg.steps as u64 {
+                    if let Err(e) = sim.checkpoint_to(&rc.dir, step) {
+                        panic!("checkpoint write failed at step {step}: {e}");
+                    }
+                }
+            }
+            sim.gather_positions()
+        });
+        match result {
+            Ok((mut per_rank, _stats)) => {
+                let positions = per_rank
+                    .iter_mut()
+                    .find_map(Option::take)
+                    .expect("rank 0 gathered positions");
+                timeline.push(RecoveryEvent::Completed {
+                    attempt,
+                    final_step: cfg.steps as u64,
+                });
+                return Ok(ResilientRun {
+                    timeline,
+                    attempts: attempt,
+                    final_step: cfg.steps as u64,
+                    positions,
+                });
+            }
+            Err(MachineError::RankPanicked { rank, message }) => {
+                timeline.push(RecoveryEvent::Failure {
+                    attempt,
+                    rank,
+                    message: message.clone(),
+                });
+                if attempt > rc.max_retries {
+                    return Err(ResilienceError::RetriesExhausted {
+                        attempts: attempt,
+                        last: message,
+                        timeline,
+                    });
+                }
+                attempt += 1;
+                let pause = rc.pause_before_attempt(attempt);
+                timeline.push(RecoveryEvent::BackedOff { attempt, pause });
+                std::thread::sleep(pause);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let mut rc = ResilienceConfig::new(2, "/tmp/unused");
+        rc.backoff = Duration::from_millis(8);
+        rc.backoff_factor = 2.0;
+        assert_eq!(rc.pause_before_attempt(2), Duration::from_millis(8));
+        assert_eq!(rc.pause_before_attempt(3), Duration::from_millis(16));
+        assert_eq!(rc.pause_before_attempt(4), Duration::from_millis(32));
+    }
+
+    #[test]
+    fn events_render_readably() {
+        let e = RecoveryEvent::Failure {
+            attempt: 2,
+            rank: 1,
+            message: "fault injected: rank 1 killed at step 3".into(),
+        };
+        let s = format!("{e}");
+        assert!(s.contains("attempt 2"));
+        assert!(s.contains("rank 1"));
+        let c = RecoveryEvent::AttemptStarted {
+            attempt: 1,
+            resume_step: None,
+        };
+        assert!(format!("{c}").contains("cold start"));
+    }
+}

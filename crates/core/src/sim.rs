@@ -90,6 +90,51 @@ impl Simulation {
         }
     }
 
+    /// Rebuild a simulation from checkpointed state (positions, momenta,
+    /// scale factor). The long-range cache is left empty: the next step
+    /// recomputes it from bit-identical positions, producing a
+    /// bit-identical force, so a resumed run matches an uninterrupted
+    /// one exactly.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_state(
+        cfg: SimConfig,
+        a: f64,
+        x: Vec<f32>,
+        y: Vec<f32>,
+        z: Vec<f32>,
+        vx: Vec<f32>,
+        vy: Vec<f32>,
+        vz: Vec<f32>,
+    ) -> Self {
+        let n = x.len();
+        assert!(
+            [&y, &z, &vx, &vy, &vz].iter().all(|c| c.len() == n),
+            "checkpoint columns must share one length"
+        );
+        let pm = PmSolver::new(cfg.ng, cfg.box_len, cfg.spectral);
+        let fit = crate::sim::cached_grid_fit(cfg.spectral, cfg.rcut_cells);
+        let kernel = ForceKernel::new(
+            fit.coeffs_f32(),
+            cfg.rcut_cells as f32,
+            fit.epsilon as f32,
+        );
+        Simulation {
+            cfg,
+            pm,
+            fit,
+            kernel,
+            a,
+            x,
+            y,
+            z,
+            vx,
+            vy,
+            vz,
+            lr_cache: None,
+            stats: RunStats::default(),
+        }
+    }
+
     /// Number of particles.
     pub fn len(&self) -> usize {
         self.x.len()
@@ -211,6 +256,7 @@ impl Simulation {
 
     fn kick(&mut self, accel: &[Vec<f32>; 3], factor: f64) {
         let k = (1.5 * self.cfg.cosmology.omega_m * factor) as f32;
+        #[allow(clippy::needless_range_loop)] // four parallel SoA arrays
         for i in 0..self.len() {
             self.vx[i] += k * accel[0][i];
             self.vy[i] += k * accel[1][i];

@@ -119,9 +119,9 @@ impl Fft3 {
                 let base = ptr;
                 for iz in 0..nz {
                     let off = iy * nz + iz;
-                    for ix in 0..nx {
+                    for (ix, lv) in line.iter_mut().enumerate() {
                         // SAFETY: distinct iy tasks touch disjoint offsets.
-                        line[ix] = unsafe { *base.0.add(ix * plane_stride + off) };
+                        *lv = unsafe { *base.0.add(ix * plane_stride + off) };
                     }
                     if inverse {
                         conj_in(line);
@@ -130,8 +130,8 @@ impl Fft3 {
                     } else {
                         self.plan_x.forward(line, scratch);
                     }
-                    for ix in 0..nx {
-                        unsafe { *base.0.add(ix * plane_stride + off) = line[ix] };
+                    for (ix, lv) in line.iter().enumerate() {
+                        unsafe { *base.0.add(ix * plane_stride + off) = *lv };
                     }
                 }
             },

@@ -219,7 +219,7 @@ impl Bluestein {
         }
         self.inner.forward(a, inner_scratch);
         for (av, bv) in a.iter_mut().zip(self.b_hat.iter()) {
-            *av = *av * *bv;
+            *av *= *bv;
         }
         self.inner.backward(a, inner_scratch);
         for k in 0..n {
@@ -232,12 +232,12 @@ impl Bluestein {
 /// (pairs of 2s) for fewer recursion levels.
 fn factorize(mut n: usize) -> Vec<usize> {
     let mut out = Vec::new();
-    while n % 4 == 0 {
+    while n.is_multiple_of(4) {
         out.push(4);
         n /= 4;
     }
     for f in [2usize, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31] {
-        while n % f == 0 {
+        while n.is_multiple_of(f) {
             out.push(f);
             n /= f;
         }

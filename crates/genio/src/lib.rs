@@ -9,10 +9,17 @@
 //!
 //! * a fixed little-endian header (magic, version, particle count, box
 //!   size, scale factor);
+//! * a CRC-protected metadata section of named `u64`/`f64` scalars
+//!   (format v2) — checkpoint/restart stores the step index, rank
+//!   geometry, and config fingerprint here;
 //! * any number of named field blocks (`f32` or `u64` SoA columns), each
 //!   protected by a CRC-32 so corruption is detected at read time;
 //! * writer-side sub-sampling (every k-th particle) for cheap science
 //!   snapshots.
+//!
+//! Readers accept both v1 (no metadata section) and v2 files. Parsing
+//! never panics on malformed input: every length is bounds- and
+//! overflow-checked and every failure is a [`GenioError`].
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::collections::BTreeMap;
@@ -20,7 +27,8 @@ use std::io::{Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"HGIO";
-const VERSION: u32 = 1;
+/// Current write version. v1 files (no metadata section) remain readable.
+const VERSION: u32 = 2;
 
 /// A particle snapshot: metadata plus named SoA columns.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -34,6 +42,11 @@ pub struct Snapshot {
     pub f32_fields: BTreeMap<String, Vec<f32>>,
     /// Named `u64` columns (ids, …).
     pub u64_fields: BTreeMap<String, Vec<u64>>,
+    /// Named scalar metadata, integer-valued (step index, rank, …).
+    /// Serialized in the v2 CRC-protected metadata section.
+    pub meta_u64: BTreeMap<String, u64>,
+    /// Named scalar metadata, real-valued.
+    pub meta_f64: BTreeMap<String, f64>,
 }
 
 /// Errors arising while reading a snapshot.
@@ -147,6 +160,22 @@ impl Snapshot {
         buf.put_f64_le(self.box_len);
         buf.put_f64_le(self.a);
         buf.put_u32_le((self.f32_fields.len() + self.u64_fields.len()) as u32);
+        // v2 metadata section, CRC-protected as a unit.
+        let meta_start = buf.len();
+        buf.put_u32_le(self.meta_u64.len() as u32);
+        for (name, &v) in &self.meta_u64 {
+            buf.put_u16_le(name.len() as u16);
+            buf.put_slice(name.as_bytes());
+            buf.put_u64_le(v);
+        }
+        buf.put_u32_le(self.meta_f64.len() as u32);
+        for (name, &v) in &self.meta_f64 {
+            buf.put_u16_le(name.len() as u16);
+            buf.put_slice(name.as_bytes());
+            buf.put_f64_le(v);
+        }
+        let meta_crc = crc32(&buf[meta_start..]);
+        buf.put_u32_le(meta_crc);
         for (name, col) in &self.f32_fields {
             put_block(&mut buf, name, 0, col.len(), |b| {
                 for &v in col {
@@ -164,17 +193,25 @@ impl Snapshot {
         buf.freeze()
     }
 
-    /// Parse from bytes, verifying every block checksum.
+    /// Parse from bytes, verifying every block checksum. Never panics on
+    /// malformed input: truncation, length overflow, and corruption all
+    /// come back as [`GenioError`].
     pub fn from_bytes(mut data: &[u8]) -> Result<Snapshot, GenioError> {
-        if data.len() < 36 || &data[..4] != MAGIC {
+        if data.len() < 4 || &data[..4] != MAGIC {
             return Err(GenioError::Format("bad magic".into()));
+        }
+        if data.len() < 36 {
+            return Err(GenioError::Format("truncated header".into()));
         }
         data.advance(4);
         let version = data.get_u32_le();
-        if version != VERSION {
+        if version != 1 && version != VERSION {
             return Err(GenioError::Format(format!("unsupported version {version}")));
         }
-        let n = data.get_u64_le() as usize;
+        let n64 = data.get_u64_le();
+        let n: usize = n64
+            .try_into()
+            .map_err(|_| GenioError::Format(format!("particle count {n64} overflows")))?;
         let box_len = data.get_f64_le();
         let a = data.get_f64_le();
         let nfields = data.get_u32_le();
@@ -183,14 +220,18 @@ impl Snapshot {
             a,
             ..Default::default()
         };
+        if version >= 2 {
+            read_metadata(&mut data, &mut out)?;
+        }
+        let expect_f32 = n.checked_mul(4);
+        let expect_u64 = n.checked_mul(8);
         for _ in 0..nfields {
             let (name, dtype, payload) = get_block(&mut data)?;
             match dtype {
                 0 => {
-                    if payload.len() != n * 4 {
+                    if Some(payload.len()) != expect_f32 {
                         return Err(GenioError::Format(format!(
-                            "field '{name}': expected {} bytes, got {}",
-                            n * 4,
+                            "field '{name}': expected {n} f32 elements, got {} bytes",
                             payload.len()
                         )));
                     }
@@ -202,7 +243,7 @@ impl Snapshot {
                     out.f32_fields.insert(name, col);
                 }
                 1 => {
-                    if payload.len() != n * 8 {
+                    if Some(payload.len()) != expect_u64 {
                         return Err(GenioError::Format(format!("field '{name}': bad length")));
                     }
                     let mut col = Vec::with_capacity(n);
@@ -245,20 +286,75 @@ fn put_block(buf: &mut BytesMut, name: &str, dtype: u8, count: usize, fill: impl
     buf.put_u32_le(crc);
 }
 
-fn get_block<'a>(data: &mut &'a [u8]) -> Result<(String, u8, &'a [u8]), GenioError> {
+/// Read a length-prefixed name (u16 length + bytes), bounds-checked.
+fn get_name(data: &mut &[u8]) -> Result<String, GenioError> {
     if data.remaining() < 2 {
-        return Err(GenioError::Format("truncated block header".into()));
+        return Err(GenioError::Format("truncated name length".into()));
     }
     let name_len = data.get_u16_le() as usize;
-    if data.remaining() < name_len + 9 {
-        return Err(GenioError::Format("truncated block".into()));
+    if data.remaining() < name_len {
+        return Err(GenioError::Format("truncated name".into()));
     }
     let name = String::from_utf8(data[..name_len].to_vec())
-        .map_err(|_| GenioError::Format("field name not utf-8".into()))?;
+        .map_err(|_| GenioError::Format("name not utf-8".into()))?;
     data.advance(name_len);
+    Ok(name)
+}
+
+/// Parse the v2 metadata section into `out`, verifying its CRC.
+fn read_metadata(data: &mut &[u8], out: &mut Snapshot) -> Result<(), GenioError> {
+    let section = *data;
+    if data.remaining() < 4 {
+        return Err(GenioError::Format("truncated metadata".into()));
+    }
+    let n_u64 = data.get_u32_le();
+    for _ in 0..n_u64 {
+        let name = get_name(data)?;
+        if data.remaining() < 8 {
+            return Err(GenioError::Format("truncated metadata value".into()));
+        }
+        out.meta_u64.insert(name, data.get_u64_le());
+    }
+    if data.remaining() < 4 {
+        return Err(GenioError::Format("truncated metadata".into()));
+    }
+    let n_f64 = data.get_u32_le();
+    for _ in 0..n_f64 {
+        let name = get_name(data)?;
+        if data.remaining() < 8 {
+            return Err(GenioError::Format("truncated metadata value".into()));
+        }
+        out.meta_f64.insert(name, data.get_f64_le());
+    }
+    let consumed = section.len() - data.len();
+    if data.remaining() < 4 {
+        return Err(GenioError::Format("truncated metadata crc".into()));
+    }
+    let crc_stored = data.get_u32_le();
+    if crc32(&section[..consumed]) != crc_stored {
+        return Err(GenioError::Corrupt {
+            field: "<metadata>".into(),
+        });
+    }
+    Ok(())
+}
+
+fn get_block<'a>(data: &mut &'a [u8]) -> Result<(String, u8, &'a [u8]), GenioError> {
+    let name = get_name(data)?;
+    if data.remaining() < 9 {
+        return Err(GenioError::Format("truncated block header".into()));
+    }
     let dtype = data.get_u8();
-    let len = data.get_u64_le() as usize;
-    if data.remaining() < len + 4 {
+    let len64 = data.get_u64_le();
+    let len: usize = len64
+        .try_into()
+        .map_err(|_| GenioError::Format(format!("block length {len64} overflows")))?;
+    // `len + 4` (payload + CRC) must fit in what's left — checked so a
+    // corrupted length can neither overflow nor over-read.
+    let need = len
+        .checked_add(4)
+        .ok_or_else(|| GenioError::Format(format!("block length {len} overflows")))?;
+    if data.remaining() < need {
         return Err(GenioError::Format("truncated payload".into()));
     }
     let payload = &data[..len];
@@ -373,6 +469,81 @@ mod tests {
         assert_eq!(sub.box_len, snap.box_len);
         // Stride 1 is the identity.
         assert_eq!(snap.subsample(1), snap);
+    }
+
+    #[test]
+    fn metadata_roundtrips() {
+        let mut snap = sample(20);
+        snap.meta_u64.insert("step".into(), 17);
+        snap.meta_u64.insert("rank".into(), 3);
+        snap.meta_f64.insert("a_next".into(), 0.625);
+        let back = Snapshot::from_bytes(&snap.to_bytes()).expect("parse");
+        assert_eq!(back, snap);
+        assert_eq!(back.meta_u64["step"], 17);
+        assert_eq!(back.meta_f64["a_next"], 0.625);
+    }
+
+    #[test]
+    fn v1_files_still_parse() {
+        // Hand-build a v1 file: header + blocks, no metadata section.
+        let snap = sample(8);
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(1); // v1
+        buf.put_u64_le(8);
+        buf.put_f64_le(snap.box_len);
+        buf.put_f64_le(snap.a);
+        buf.put_u32_le((snap.f32_fields.len() + snap.u64_fields.len()) as u32);
+        for (name, col) in &snap.f32_fields {
+            put_block(&mut buf, name, 0, col.len(), |b| {
+                for &v in col {
+                    b.put_f32_le(v);
+                }
+            });
+        }
+        for (name, col) in &snap.u64_fields {
+            put_block(&mut buf, name, 1, col.len(), |b| {
+                for &v in col {
+                    b.put_u64_le(v);
+                }
+            });
+        }
+        let back = Snapshot::from_bytes(&buf).expect("v1 parse");
+        assert_eq!(back, snap);
+        assert!(back.meta_u64.is_empty());
+    }
+
+    #[test]
+    fn metadata_corruption_detected() {
+        let mut snap = sample(4);
+        snap.meta_u64.insert("step".into(), 9);
+        let mut bytes = snap.to_bytes().to_vec();
+        // The metadata section starts right after the 36-byte header;
+        // flip a byte of the stored step value.
+        bytes[44] ^= 0x01;
+        match Snapshot::from_bytes(&bytes) {
+            Err(GenioError::Corrupt { field }) => assert_eq!(field, "<metadata>"),
+            other => panic!("metadata corruption not detected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absurd_lengths_rejected_not_panicking() {
+        // Header claiming u64::MAX particles must error, not overflow.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(1);
+        buf.put_u64_le(u64::MAX);
+        buf.put_f64_le(1.0);
+        buf.put_f64_le(0.5);
+        buf.put_u32_le(1);
+        // Block with an absurd length prefix.
+        buf.put_u16_le(1);
+        buf.put_slice(b"x");
+        buf.put_u8(0);
+        buf.put_u64_le(u64::MAX - 1);
+        buf.put_u32_le(0);
+        assert!(Snapshot::from_bytes(&buf).is_err());
     }
 
     #[test]

@@ -80,4 +80,39 @@ proptest! {
         flipped[p] ^= 1 << bit;
         prop_assert_ne!(crc32(&data), crc32(&flipped));
     }
+
+    /// Truncating a round-tripped snapshot at ANY byte offset must yield
+    /// a `GenioError`, never a panic and never a silently shorter parse.
+    #[test]
+    fn truncation_anywhere_errors_not_panics(n in 0usize..80, cut_seed in any::<usize>()) {
+        let f: Vec<f32> = (0..n).map(|i| i as f32 * 0.25).collect();
+        let ids: Vec<u64> = (0..n as u64).collect();
+        let mut snap = Snapshot::from_particles(32.0, 0.8, &f, &f, &f, &f, &f, &f, Some(&ids));
+        snap.meta_u64.insert("step".into(), 5);
+        snap.meta_f64.insert("a_next".into(), 0.9);
+        let bytes = snap.to_bytes();
+        let cut = cut_seed % bytes.len();
+        prop_assert!(
+            Snapshot::from_bytes(&bytes[..cut]).is_err(),
+            "truncation at {} of {} accepted", cut, bytes.len()
+        );
+    }
+
+    /// Flipping any single byte anywhere in the file (header, metadata,
+    /// block framing, payload) must never panic; if it parses, the result
+    /// must differ from the original.
+    #[test]
+    fn byte_flip_anywhere_never_panics(n in 1usize..60, pos_seed in any::<usize>(), bit in 0u8..8) {
+        let f: Vec<f32> = (0..n).map(|i| i as f32 + 0.5).collect();
+        let ids: Vec<u64> = (0..n as u64).collect();
+        let mut snap = Snapshot::from_particles(16.0, 0.4, &f, &f, &f, &f, &f, &f, Some(&ids));
+        snap.meta_u64.insert("rank".into(), 1);
+        let mut bytes = snap.to_bytes().to_vec();
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        match Snapshot::from_bytes(&bytes) {
+            Err(_) => {}
+            Ok(parsed) => prop_assert_ne!(parsed, snap, "flip at {} silently accepted", pos),
+        }
+    }
 }

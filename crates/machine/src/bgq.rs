@@ -67,7 +67,7 @@ impl BgqPartition {
 
     /// Partition sized by total core count (16 cores/node).
     pub fn with_cores(cores: usize) -> Self {
-        assert!(cores % BGQ_NODE.cores == 0, "cores must fill whole nodes");
+        assert!(cores.is_multiple_of(BGQ_NODE.cores), "cores must fill whole nodes");
         BgqPartition {
             nodes: cores / BGQ_NODE.cores,
             ranks_per_node: 16,

@@ -17,7 +17,9 @@
 pub mod bgq;
 pub mod model;
 pub mod peak;
+pub mod resilience;
 
 pub use bgq::{BgqPartition, BGQ_NODE};
 pub use model::{FftModel, FullCodeModel, ScalingRow};
 pub use peak::calibrate_peak_flops;
+pub use resilience::CheckpointModel;

@@ -235,6 +235,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // (ix*n + iy)*n + iz with ix = 1
     fn particle_at_cell_center_fills_one_cell() {
         let n = 4;
         let mut grid = vec![0.0; n * n * n];
@@ -244,6 +245,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // (ix*n + iy)*n + iz with ix = 1
     fn half_cell_offset_splits_evenly() {
         let n = 4;
         let mut grid = vec![0.0; n * n * n];

@@ -55,7 +55,7 @@ impl<'a, F: DistFft3 + ?Sized> DistPoisson<'a, F> {
             let mut comp = k_data.clone();
             for (i, v) in comp.iter_mut().enumerate() {
                 let g = kl.global_coords(i);
-                *v = *v * Complex64::new(0.0, -p.gradient(g[c], n, d));
+                *v *= Complex64::new(0.0, -p.gradient(g[c], n, d));
             }
             let real = self.fft.backward(comp);
             *slot = real.iter().map(|v| v.re).collect();

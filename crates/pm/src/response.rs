@@ -212,14 +212,15 @@ fn polyfit5_weighted(pts: &[(f64, f64, f64)]) -> [f64; 6] {
         a.swap(col, piv);
         let d = a[col][col];
         assert!(d.abs() > 1e-30, "singular normal equations");
-        for j in col..7 {
-            a[col][j] /= d;
+        for v in a[col][col..7].iter_mut() {
+            *v /= d;
         }
         for row in 0..6 {
             if row != col {
                 let f = a[row][col];
-                for j in col..7 {
-                    a[row][j] -= f * a[col][j];
+                let pivot = a[col];
+                for (v, pv) in a[row][col..7].iter_mut().zip(&pivot[col..7]) {
+                    *v -= f * pv;
                 }
             }
         }

@@ -87,6 +87,7 @@ impl ForceKernel {
     /// dot product for `s`, reciprocal-sqrt cube, Horner poly5, select,
     /// and 3 accumulation FMAs.
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     pub fn force_on(
         &self,
         tx: f32,
@@ -122,6 +123,7 @@ impl ForceKernel {
     /// remainder. Bit-identical accumulation order is *not* guaranteed
     /// versus `force_on`, but results agree to f32 rounding.
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     pub fn force_on_blocked(
         &self,
         tx: f32,

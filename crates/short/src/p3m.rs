@@ -65,7 +65,9 @@ impl P3mSolver {
             bins[self.cell_of(xs[p], ys[p], zs[p])].push(p as u32);
         }
         let half = 0.5 * self.box_len;
-        let result: Vec<(Vec<(u32, [f32; 3])>, u64)> = (0..bins.len())
+        // Per cell: (particle index, force) pairs plus interaction count.
+        type CellForces = (Vec<(u32, [f32; 3])>, u64);
+        let result: Vec<CellForces> = (0..bins.len())
             .into_par_iter()
             .map(|cell| {
                 let targets = &bins[cell];
@@ -284,10 +286,10 @@ mod tests {
         let solver = P3mSolver::new(kernel, 20.0);
         let (xs, ys, zs, m) = rand_particles(500, 20.0, 33);
         let (f, _) = solver.forces(&xs, &ys, &zs, &m);
-        for c in 0..3 {
-            let sum: f64 = f[c].iter().map(|&v| v as f64).sum();
+        for (c, comp) in f.iter().enumerate() {
+            let sum: f64 = comp.iter().map(|&v| v as f64).sum();
             // f32 accumulation: tolerance scales with the force magnitudes.
-            let mag: f64 = f[c].iter().map(|&v| v.abs() as f64).sum();
+            let mag: f64 = comp.iter().map(|&v| v.abs() as f64).sum();
             assert!(sum.abs() < 1e-4 * mag.max(1.0), "c={c}: sum {sum}");
         }
     }

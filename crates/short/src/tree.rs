@@ -157,9 +157,9 @@ impl RcbTree {
         };
         let mut msum = 0.0f64;
         let mut wsum = 0.0f64;
-        for i in start..end {
-            msum += self.mass[i] as f64;
-            wsum += (self.mass[i] * coord[i]) as f64;
+        for (m, x) in self.mass[start..end].iter().zip(&coord[start..end]) {
+            msum += *m as f64;
+            wsum += (m * x) as f64;
         }
         let pivot = (wsum / msum) as f32;
 
@@ -301,7 +301,10 @@ impl RcbTree {
         kernel: &ForceKernel,
     ) -> ([Vec<f32>; 3], u64, std::time::Duration, std::time::Duration) {
         let np = self.xs.len();
-        let per_leaf: Vec<(usize, Vec<[f32; 3]>, u64, u64, u64)> = self
+        // Per leaf: (first particle index, forces, interactions, walk ns,
+        // kernel ns).
+        type LeafForces = (usize, Vec<[f32; 3]>, u64, u64, u64);
+        let per_leaf: Vec<LeafForces> = self
             .leaves
             .par_iter()
             .map_init(

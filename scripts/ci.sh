@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full CI gate: release build, the complete workspace test suite, and
+# lint-clean clippy. Run locally before pushing; .github/workflows/ci.yml
+# runs the same three steps.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> CI gate passed"

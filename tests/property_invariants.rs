@@ -136,9 +136,9 @@ proptest! {
         let tree = RcbTree::build(&xs, &ys, &zs, &m, TreeParams { leaf_size: 16 });
         let kernel = ForceKernel::newtonian(3.0, 1e-4);
         let (f, _) = tree.forces(&kernel);
-        for c in 0..3 {
-            let sum: f64 = f[c].iter().map(|&v| v as f64).sum();
-            let mag: f64 = f[c].iter().map(|&v| v.abs() as f64).sum::<f64>().max(1e-6);
+        for (c, comp) in f.iter().enumerate() {
+            let sum: f64 = comp.iter().map(|&v| v as f64).sum();
+            let mag: f64 = comp.iter().map(|&v| v.abs() as f64).sum::<f64>().max(1e-6);
             prop_assert!(sum.abs() < 1e-3 * mag.max(1.0), "component {} sum {}", c, sum);
         }
     }

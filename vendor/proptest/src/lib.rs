@@ -1,0 +1,396 @@
+//! Stand-in for `proptest` (offline builds; see `vendor/README.md`).
+//!
+//! Implements the subset this workspace's property tests use: the
+//! `proptest!` macro with `arg in strategy` bindings, range / `any` /
+//! tuple / `prop::collection::vec` strategies, `ProptestConfig`, and the
+//! `prop_assert*` macros. Cases are generated from a deterministic RNG
+//! seeded per test (name hash), so failures reproduce across runs. No
+//! shrinking — a failing case panics with the generated inputs printed.
+
+use std::ops::Range;
+
+/// Deterministic xorshift* generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed | 1,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A value generator. `sample` must be total for every rng state.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                ((rng.next_u64() as u128 % span) as i128 + self.start as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.sample(rng),
+            self.1.sample(rng),
+            self.2.sample(rng),
+            self.3.sample(rng),
+        )
+    }
+}
+
+/// `any::<T>()` — uniform over the full domain of `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: AnySample>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub trait AnySample: Sized + std::fmt::Debug {
+    fn sample_any(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! any_int {
+    ($($t:ty),*) => {$(
+        impl AnySample for $t {
+            fn sample_any(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl AnySample for bool {
+    fn sample_any(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl AnySample for f64 {
+    fn sample_any(rng: &mut TestRng) -> f64 {
+        // Finite floats only (proptest's default also avoids NaN/inf).
+        f64::from_bits(rng.next_u64() & 0x7FEF_FFFF_FFFF_FFFF)
+            * if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 }
+    }
+}
+
+impl AnySample for f32 {
+    fn sample_any(rng: &mut TestRng) -> f32 {
+        f32::from_bits((rng.next_u64() as u32) & 0x7F7F_FFFF)
+            * if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 }
+    }
+}
+
+impl<T: AnySample> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::sample_any(rng)
+    }
+}
+
+/// Collection size specification: a fixed length or a range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            lo: r.start,
+            hi: r.end.max(r.start + 1),
+        }
+    }
+}
+
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo).max(1) as u64;
+            let n = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Run configuration: number of generated cases per property.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// FNV-1a over the test name: per-test deterministic seed.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+pub mod prelude {
+    pub use crate::collection as prop_collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestRng,
+    };
+
+    /// `prop::` namespace as the real crate exposes it.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Marker payload used by [`prop_assume!`] to reject a case; the
+/// `proptest!` runner catches it and skips the sample instead of
+/// failing the test.
+#[derive(Debug)]
+pub struct AssumeRejected;
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            ::std::panic::panic_any($crate::AssumeRejected);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            ::std::panic::panic_any($crate::AssumeRejected);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::TestRng::new($crate::seed_from_name(stringify!($name)));
+                for case in 0..config.cases {
+                    $(
+                        let $arg = $crate::Strategy::sample(&($strat), &mut rng);
+                    )*
+                    // Describe the case before the body runs: the body may
+                    // move the inputs into closures.
+                    let mut case_desc = String::new();
+                    $(
+                        case_desc.push_str(&format!(
+                            "  {} = {:?}\n",
+                            stringify!($arg),
+                            $arg
+                        ));
+                    )*
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $body
+                    }));
+                    if let Err(payload) = result {
+                        if payload.downcast_ref::<$crate::AssumeRejected>().is_some() {
+                            // prop_assume! rejected this sample — skip it.
+                            continue;
+                        }
+                        eprintln!(
+                            "proptest case {} of {} failed for inputs:\n{}",
+                            case + 1,
+                            stringify!($name),
+                            case_desc
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name ( $($arg in $strat),* ) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_in_bounds(n in 3usize..9, x in -1.0f64..1.0) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!((-1.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(0u32..100, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for x in v {
+                prop_assert!(x < 100);
+            }
+        }
+
+        #[test]
+        fn fixed_len_vec(v in prop::collection::vec(any::<u8>(), 9)) {
+            prop_assert_eq!(v.len(), 9);
+        }
+
+        #[test]
+        fn tuples_sample(t in (1usize..4, 1usize..4, 1usize..3)) {
+            prop_assert!(t.0 < 4 && t.1 < 4 && t.2 < 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::new(seed_from_name_test());
+        let mut b = TestRng::new(seed_from_name_test());
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    fn seed_from_name_test() -> u64 {
+        crate::seed_from_name("some_test")
+    }
+}

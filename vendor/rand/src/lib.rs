@@ -1,0 +1,331 @@
+//! Stand-in for `rand` 0.9 (offline builds; see `vendor/README.md`).
+//!
+//! Provides `rngs::StdRng` — **bit-compatible** with the real crate's
+//! `StdRng` (ChaCha12, seeded through `rand_core`'s PCG32-based
+//! `seed_from_u64`, words consumed with `BlockRng` semantics), so
+//! seed-sensitive results (initial conditions, test realizations,
+//! checkpoint fingerprints) are identical whether this stub or the real
+//! crate is linked. Also the `SeedableRng` / `RngCore` / `Rng` traits
+//! and uniform `random::<T>()` / `random_range` sampling for the
+//! primitive types in use.
+
+/// Core RNG interface.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let b = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&b[..chunk.len()]);
+        }
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly over their "standard" domain (`[0,1)` for
+/// floats, full range for integers).
+pub trait StandardSample {
+    fn sample_standard(rng: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample_standard(rng: &mut dyn FnMut() -> u64) -> f64 {
+        (rng() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard(rng: &mut dyn FnMut() -> u64) -> f32 {
+        (rng() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard(rng: &mut dyn FnMut() -> u64) -> u64 {
+        rng()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard(rng: &mut dyn FnMut() -> u64) -> u32 {
+        (rng() >> 32) as u32
+    }
+}
+
+impl StandardSample for usize {
+    fn sample_standard(rng: &mut dyn FnMut() -> u64) -> usize {
+        rng() as usize
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard(rng: &mut dyn FnMut() -> u64) -> bool {
+        rng() & 1 == 1
+    }
+}
+
+/// User-facing sampling methods (auto-implemented for every `RngCore`).
+pub trait Rng: RngCore {
+    fn random<T: StandardSample>(&mut self) -> T {
+        let mut f = || self.next_u64();
+        T::sample_standard(&mut f)
+    }
+
+    /// Uniform sample from a half-open integer-or-float range.
+    fn random_range<T: RangeSample>(&mut self, range: std::ops::Range<T>) -> T {
+        let mut f = || self.next_u64();
+        T::sample_range(&range, &mut f)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Range sampling for `random_range`.
+pub trait RangeSample: Sized {
+    fn sample_range(range: &std::ops::Range<Self>, rng: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! int_range_sample {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample_range(range: &std::ops::Range<Self>, rng: &mut dyn FnMut() -> u64) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                let v = ((rng() as u128) % span) as i128 + range.start as i128;
+                v as $t
+            }
+        }
+    )*};
+}
+
+int_range_sample!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl RangeSample for f64 {
+    fn sample_range(range: &std::ops::Range<Self>, rng: &mut dyn FnMut() -> u64) -> f64 {
+        let u = f64::sample_standard(rng);
+        range.start + (range.end - range.start) * u
+    }
+}
+
+impl RangeSample for f32 {
+    fn sample_range(range: &std::ops::Range<Self>, rng: &mut dyn FnMut() -> u64) -> f32 {
+        let u = f32::sample_standard(rng);
+        range.start + (range.end - range.start) * u
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// ChaCha12 rounds, matching rand 0.9's `StdRng`.
+    const ROUNDS: usize = 12;
+    /// `rand_chacha` generates four 16-word blocks per refill; the
+    /// `BlockRng` index walks this 64-word buffer.
+    const BUF_WORDS: usize = 64;
+
+    /// Bit-compatible reimplementation of rand 0.9's `StdRng`
+    /// (`ChaCha12Rng` with stream 0), including `seed_from_u64`'s PCG32
+    /// seed expansion and `BlockRng`'s u32/u64 extraction order.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        key: [u32; 8],
+        /// Block counter of the *next* block to generate.
+        counter: u64,
+        buf: [u32; BUF_WORDS],
+        index: usize,
+    }
+
+    #[inline(always)]
+    fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    /// One ChaCha block (djb variant: 64-bit counter in words 12–13,
+    /// 64-bit stream id — always 0 for `StdRng` — in words 14–15).
+    fn chacha_block(key: &[u32; 8], counter: u64, rounds: usize) -> [u32; 16] {
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        state[4..12].copy_from_slice(key);
+        state[12] = counter as u32;
+        state[13] = (counter >> 32) as u32;
+        let mut w = state;
+        for _ in 0..rounds / 2 {
+            quarter_round(&mut w, 0, 4, 8, 12);
+            quarter_round(&mut w, 1, 5, 9, 13);
+            quarter_round(&mut w, 2, 6, 10, 14);
+            quarter_round(&mut w, 3, 7, 11, 15);
+            quarter_round(&mut w, 0, 5, 10, 15);
+            quarter_round(&mut w, 1, 6, 11, 12);
+            quarter_round(&mut w, 2, 7, 8, 13);
+            quarter_round(&mut w, 3, 4, 9, 14);
+        }
+        for (wi, si) in w.iter_mut().zip(state.iter()) {
+            *wi = wi.wrapping_add(*si);
+        }
+        w
+    }
+
+    impl StdRng {
+        /// Real-crate `SeedableRng::from_seed`: the 32 seed bytes become
+        /// the key as little-endian words.
+        pub fn from_seed(seed: [u8; 32]) -> Self {
+            let mut key = [0u32; 8];
+            for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            }
+            StdRng {
+                key,
+                counter: 0,
+                buf: [0; BUF_WORDS],
+                index: BUF_WORDS,
+            }
+        }
+
+        fn refill(&mut self) {
+            for blk in 0..BUF_WORDS / 16 {
+                let words = chacha_block(&self.key, self.counter, ROUNDS);
+                self.buf[blk * 16..blk * 16 + 16].copy_from_slice(&words);
+                self.counter = self.counter.wrapping_add(1);
+            }
+            self.index = 0;
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            // rand_core's seed_from_u64: a PCG32 stream fills the seed
+            // four bytes at a time (state advanced before each output).
+            const MUL: u64 = 6364136223846793005;
+            const INC: u64 = 11634580027462260723;
+            let mut seed = [0u8; 32];
+            for chunk in seed.chunks_exact_mut(4) {
+                state = state.wrapping_mul(MUL).wrapping_add(INC);
+                let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+                let rot = (state >> 59) as u32;
+                chunk.copy_from_slice(&xorshifted.rotate_right(rot).to_le_bytes());
+            }
+            StdRng::from_seed(seed)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= BUF_WORDS {
+                self.refill();
+            }
+            let w = self.buf[self.index];
+            self.index += 1;
+            w
+        }
+
+        // BlockRng::next_u64: two consecutive u32 words, low half first,
+        // with the real crate's buffer-boundary behavior.
+        fn next_u64(&mut self) -> u64 {
+            if self.index < BUF_WORDS - 1 {
+                let lo = self.buf[self.index] as u64;
+                let hi = self.buf[self.index + 1] as u64;
+                self.index += 2;
+                lo | (hi << 32)
+            } else if self.index >= BUF_WORDS {
+                self.refill();
+                self.index = 2;
+                self.buf[0] as u64 | ((self.buf[1] as u64) << 32)
+            } else {
+                let lo = self.buf[BUF_WORDS - 1] as u64;
+                self.refill();
+                self.index = 1;
+                lo | ((self.buf[0] as u64) << 32)
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod chacha_tests {
+        use super::*;
+
+        /// The ChaCha core against the classic 20-round known-answer
+        /// vector (zero key, zero nonce, block 0): keystream starts
+        /// `76 b8 e0 ad a0 f1 3d 90 40 5d 6a e5 53 86 bd 28`.
+        #[test]
+        fn chacha20_known_answer() {
+            let words = chacha_block(&[0u32; 8], 0, 20);
+            assert_eq!(words[0], 0xade0_b876);
+            assert_eq!(words[1], 0x903d_f1a0);
+            assert_eq!(words[2], 0xe56a_5d40);
+            assert_eq!(words[3], 0x28bd_8653);
+        }
+
+        /// u64 extraction is little-word-first and block-sequential.
+        #[test]
+        fn next_u64_word_order() {
+            let mut a = StdRng::from_seed([1u8; 32]);
+            let mut b = StdRng::from_seed([1u8; 32]);
+            let x = a.next_u64();
+            let lo = b.next_u32() as u64;
+            let hi = b.next_u32() as u64;
+            assert_eq!(x, lo | (hi << 32));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: f64 = rng.random();
+            assert!((0.0..1.0).contains(&v));
+            let w: f32 = rng.random();
+            assert!((0.0..1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn range_sampling_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.random_range(-2.0f64..5.0);
+            assert!((-2.0..5.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.random::<u64>(), b.random::<u64>());
+    }
+}

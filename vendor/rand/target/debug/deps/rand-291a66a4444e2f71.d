@@ -1,0 +1,5 @@
+/root/repo/vendor/rand/target/debug/deps/rand-291a66a4444e2f71.d: src/lib.rs
+
+/root/repo/vendor/rand/target/debug/deps/rand-291a66a4444e2f71: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,300 @@
+//! Serial stand-in for `rayon`, used when the real crate cannot be
+//! fetched (hermetic/offline builds). Wired in through the workspace's
+//! `[patch.crates-io]` table — see `vendor/README.md`.
+//!
+//! Every `par_*` entry point returns a [`SerIter`] wrapper around the
+//! corresponding sequential iterator. `SerIter` exposes the rayon-only
+//! combinators the codebase uses (`for_each_init`, `map_init`,
+//! rayon-style `reduce`) as inherent methods and forwards everything
+//! else through its `Iterator` impl, so call sites compile unchanged.
+//! Results are bit-identical to the parallel version wherever the
+//! parallel code was written to be deterministic (which this codebase
+//! requires for checkpoint/restart bit-exactness anyway).
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelSlice, ParallelSliceMut,
+    };
+}
+
+/// Serial replacement for rayon's parallel iterators.
+pub struct SerIter<I>(pub I);
+
+impl<I: Iterator> Iterator for SerIter<I> {
+    type Item = I::Item;
+    #[inline]
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I: Iterator> SerIter<I> {
+    /// rayon adapter: map (kept inherent so chained rayon-only calls
+    /// still see a `SerIter`).
+    #[inline]
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> SerIter<std::iter::Map<I, F>> {
+        SerIter(self.0.map(f))
+    }
+
+    #[inline]
+    pub fn enumerate(self) -> SerIter<std::iter::Enumerate<I>> {
+        SerIter(self.0.enumerate())
+    }
+
+    #[inline]
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> SerIter<std::iter::Filter<I, F>> {
+        SerIter(self.0.filter(f))
+    }
+
+    /// rayon's `zip` accepts anything that parallelizes; serially any
+    /// `IntoIterator` works.
+    #[inline]
+    pub fn zip<Z: IntoIterator>(self, other: Z) -> SerIter<std::iter::Zip<I, Z::IntoIter>> {
+        SerIter(self.0.zip(other))
+    }
+
+    #[inline]
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// rayon: per-worker state; serially one state for the whole loop.
+    #[inline]
+    pub fn for_each_init<T, INIT, F>(self, init: INIT, mut f: F)
+    where
+        INIT: FnMut() -> T,
+        F: FnMut(&mut T, I::Item),
+    {
+        let mut init = init;
+        let mut state = init();
+        for item in self.0 {
+            f(&mut state, item);
+        }
+    }
+
+    /// rayon: `map` with per-worker state.
+    #[inline]
+    pub fn map_init<T, B, INIT, F>(self, init: INIT, f: F) -> SerIter<MapInit<I, T, F>>
+    where
+        INIT: FnMut() -> T,
+        F: FnMut(&mut T, I::Item) -> B,
+    {
+        let mut init = init;
+        SerIter(MapInit {
+            iter: self.0,
+            state: init(),
+            f,
+        })
+    }
+
+    /// rayon-style reduce: identity + associative op.
+    #[inline]
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// rayon tuning knob — a no-op serially.
+    #[inline]
+    pub fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+
+    #[inline]
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    #[inline]
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+}
+
+/// Iterator produced by [`SerIter::map_init`].
+pub struct MapInit<I, T, F> {
+    iter: I,
+    state: T,
+    f: F,
+}
+
+impl<I: Iterator, T, B, F: FnMut(&mut T, I::Item) -> B> Iterator for MapInit<I, T, F> {
+    type Item = B;
+    #[inline]
+    fn next(&mut self) -> Option<B> {
+        let item = self.iter.next()?;
+        Some((self.f)(&mut self.state, item))
+    }
+}
+
+/// `.par_iter()` on shared references.
+pub trait IntoParallelRefIterator<'a> {
+    type SerialIter: Iterator;
+    fn par_iter(&'a self) -> SerIter<Self::SerialIter>;
+}
+
+impl<'a, T: 'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator<Item = &'a T>,
+{
+    type SerialIter = <&'a C as IntoIterator>::IntoIter;
+    fn par_iter(&'a self) -> SerIter<Self::SerialIter> {
+        SerIter(self.into_iter())
+    }
+}
+
+/// `.par_iter_mut()` on unique references.
+pub trait IntoParallelRefMutIterator<'a> {
+    type SerialIter: Iterator;
+    fn par_iter_mut(&'a mut self) -> SerIter<Self::SerialIter>;
+}
+
+impl<'a, T: 'a, C: ?Sized + 'a> IntoParallelRefMutIterator<'a> for C
+where
+    &'a mut C: IntoIterator<Item = &'a mut T>,
+{
+    type SerialIter = <&'a mut C as IntoIterator>::IntoIter;
+    fn par_iter_mut(&'a mut self) -> SerIter<Self::SerialIter> {
+        SerIter(self.into_iter())
+    }
+}
+
+/// `.into_par_iter()` on owned collections and ranges.
+pub trait IntoParallelIterator {
+    type SerialIter: Iterator;
+    fn into_par_iter(self) -> SerIter<Self::SerialIter>;
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C {
+    type SerialIter = C::IntoIter;
+    fn into_par_iter(self) -> SerIter<C::IntoIter> {
+        SerIter(self.into_iter())
+    }
+}
+
+/// `.par_chunks{,_mut}()` on slices.
+pub trait ParallelSlice<T> {
+    fn par_chunks(&self, size: usize) -> SerIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> SerIter<std::slice::Chunks<'_, T>> {
+        SerIter(self.chunks(size))
+    }
+}
+
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, size: usize) -> SerIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> SerIter<std::slice::ChunksMut<'_, T>> {
+        SerIter(self.chunks_mut(size))
+    }
+}
+
+/// Serial thread-pool stand-ins: `install` just runs the closure.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.max(1),
+        })
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serial rayon stub cannot fail to build")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Number of "worker threads" — serially always 1.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// rayon::join — serially: run both in order.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_serial() {
+        let v = vec![1, 2, 3, 4];
+        let s: i32 = v.par_iter().map(|&x| x * 2).sum();
+        assert_eq!(s, 20);
+    }
+
+    #[test]
+    fn for_each_init_runs_all() {
+        let mut out = vec![0usize; 4];
+        out.par_chunks_mut(2).for_each_init(
+            || 7usize,
+            |state, chunk| {
+                for v in chunk {
+                    *v = *state;
+                }
+            },
+        );
+        assert_eq!(out, vec![7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn map_init_and_reduce() {
+        let total = (0..5usize)
+            .into_par_iter()
+            .map_init(|| 10usize, |base, i| *base + i)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 60);
+    }
+}
