@@ -17,6 +17,23 @@ use hacc_machine::calibrate_peak_flops;
 use hacc_short::{ForceKernel, FLOPS_PER_INTERACTION_ACTUAL};
 
 fn main() {
+    let mut json_path: Option<String> = None;
+    let mut quick = false;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--json" => {
+                json_path = Some(argv.get(i + 1).expect("missing value after --json").clone());
+                i += 2;
+            }
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
     let hw_threads = std::thread::available_parallelism()
         .map(|v| v.get())
         .unwrap_or(4);
@@ -31,8 +48,14 @@ fn main() {
         fmt_flops(peak_all)
     );
 
-    let list_sizes = [50usize, 100, 250, 500, 1000, 2500, 5000];
-    let mut thread_counts = vec![1usize, 2];
+    // --quick: a reduced sweep for CI / composite benchmark runs.
+    let list_sizes: Vec<usize> = if quick {
+        vec![100, 500, 2500]
+    } else {
+        vec![50, 100, 250, 500, 1000, 2500, 5000]
+    };
+    let budget = if quick { 10_000_000 } else { 100_000_000 };
+    let mut thread_counts = if quick { vec![1usize] } else { vec![1usize, 2] };
     let mut t = 4;
     while t <= hw_threads {
         thread_counts.push(t);
@@ -53,7 +76,7 @@ fn main() {
             // replicated so each measurement runs ≥ ~10^8 interactions.
             let (nx, ny, nz, nm) = synth_list(m);
             let targets = 64usize;
-            let leaves = (100_000_000 / (targets * m)).clamp(4, 4000);
+            let leaves = (budget / (targets * m)).clamp(4, 4000);
             let reps: Vec<usize> = (0..leaves).collect();
             let t0 = Instant::now();
             let sink: f32 = pool.install(|| {
@@ -83,15 +106,20 @@ fn main() {
     // what the vectorized kernel achieves, and a >100% efficiency would
     // be meaningless.
     let mut rows = Vec::new();
+    let mut pct_curves: Vec<(usize, Vec<f64>)> = Vec::new();
     for (threads, per_size) in &rates {
         let cal = calibrate_peak_flops(*threads, 100);
         let best = per_size.iter().copied().fold(0.0, f64::max);
         let peak = cal.max(best);
         let mut row = vec![format!("{threads}")];
+        let mut pcts = Vec::new();
         for rate in per_size {
-            row.push(format!("{:.1}", 100.0 * rate / peak));
+            let pct = 100.0 * rate / peak;
+            row.push(format!("{pct:.1}"));
+            pcts.push(pct);
         }
         rows.push(row);
+        pct_curves.push((*threads, pcts));
     }
     let mut header = vec!["threads"];
     let labels: Vec<String> = list_sizes.iter().map(|m| format!("list={m}")).collect();
@@ -105,6 +133,38 @@ fn main() {
         "\npaper reference: ~80% of BG/Q node peak at 4 threads/core, rising with list size;\n\
          typical production list sizes are 500-2500."
     );
+
+    if let Some(path) = &json_path {
+        let sizes = list_sizes
+            .iter()
+            .map(|m| m.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let curves = pct_curves
+            .iter()
+            .map(|(threads, pcts)| {
+                let vals = pcts
+                    .iter()
+                    .map(|p| format!("{p:.2}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "    {{ \"threads\": {threads}, \"pct_of_peak\": [{vals}] }}"
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let json = format!(
+            "{{\n  \"bench\": \"fig5_kernel_threading\",\n  \"hw_threads\": {hw_threads},\n  \
+             \"peak_flops_1t\": {peak_1t:.3e},\n  \"peak_flops_all\": {peak_all:.3e},\n  \
+             \"list_sizes\": [{sizes}],\n  \"curves\": [\n{curves}\n  ]\n}}"
+        );
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir).expect("create json dir");
+        }
+        std::fs::write(path, format!("{json}\n")).expect("write json");
+        println!("wrote {path}");
+    }
 }
 
 /// Deterministic synthetic neighbor list inside the unit sphere.

@@ -1,0 +1,128 @@
+//! End-to-end PM-step benchmark: the long-range half of the time stepper
+//! (CIC deposit → spectral force solve → CIC interpolation → kicks/drifts)
+//! on a production-shaped problem, `np³` particles on an `ng³` grid.
+//!
+//! This is the number the r2c half-spectrum pipeline is judged against:
+//! `scripts/bench.sh` records the output fragment into `BENCH_pr2.json`
+//! next to the pre-change baseline. Run with `--json PATH` to emit the
+//! machine-readable fragment.
+
+use std::time::Instant;
+
+use hacc_bench::{print_table, reference_power};
+use hacc_core::{SimConfig, Simulation, SolverKind};
+use hacc_cosmo::Cosmology;
+
+struct Args {
+    ng: usize,
+    np: usize,
+    warm: usize,
+    steps: usize,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        ng: 128,
+        np: 64,
+        warm: 1,
+        steps: 4,
+        json: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let need = |i: usize| {
+            argv.get(i + 1)
+                .unwrap_or_else(|| panic!("missing value after {}", argv[i]))
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--ng" => out.ng = need(i).parse().expect("--ng"),
+            "--np" => out.np = need(i).parse().expect("--np"),
+            "--warm" => out.warm = need(i).parse().expect("--warm"),
+            "--steps" => out.steps = need(i).parse().expect("--steps"),
+            "--json" => out.json = Some(need(i)),
+            other => panic!("unknown argument {other}"),
+        }
+        i += 2;
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let (ng, np) = (args.ng, args.np);
+    let box_len = 2.0 * ng as f64; // 2 Mpc/h cells, paper-like loading
+    println!("PM step benchmark: {np}^3 particles, {ng}^3 grid, PM-only stepping");
+
+    let cfg = SimConfig {
+        cosmology: Cosmology::lcdm(),
+        box_len,
+        ng,
+        a_init: 0.2,
+        a_final: 1.0,
+        steps: args.warm + args.steps,
+        subcycles: 1,
+        solver: SolverKind::PmOnly,
+        spectral: hacc_pm::SpectralParams::default(),
+        tree: hacc_short::TreeParams::default(),
+        rcut_cells: 3.0,
+    };
+    let power = reference_power();
+    let ics = hacc_ics::zeldovich(np, box_len, &power, cfg.a_init, 20120931);
+    let mut sim = Simulation::from_ics(cfg, &ics);
+
+    let mut a = 0.2f64;
+    let mut times_ms: Vec<f64> = Vec::new();
+    for s in 0..args.warm + args.steps {
+        a *= 1.04;
+        let t0 = Instant::now();
+        sim.step(a);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        if s >= args.warm {
+            times_ms.push(ms);
+        }
+    }
+
+    let n = times_ms.len().max(1);
+    let mut sorted = times_ms.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median = sorted[n / 2];
+    let min = sorted.first().copied().unwrap_or(0.0);
+    let mean = times_ms.iter().sum::<f64>() / n as f64;
+    let measured = &sim.stats.steps[args.warm..];
+    let fft_ms =
+        measured.iter().map(|b| b.fft.as_secs_f64()).sum::<f64>() * 1e3 / n as f64;
+    let cic_ms =
+        measured.iter().map(|b| b.cic.as_secs_f64()).sum::<f64>() * 1e3 / n as f64;
+
+    let rows = vec![
+        vec!["step (median)".into(), format!("{median:.1}")],
+        vec!["step (min)".into(), format!("{min:.1}")],
+        vec!["step (mean)".into(), format!("{mean:.1}")],
+        vec!["FFT / spectral".into(), format!("{fft_ms:.1}")],
+        vec!["CIC deposit+interp".into(), format!("{cic_ms:.1}")],
+    ];
+    print_table(
+        &format!("PM step, {} measured steps [ms]", n),
+        &["phase", "ms"],
+        &rows,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"pm_step\",\n  \"ng\": {ng},\n  \"np\": {np_total},\n  \
+         \"measured_steps\": {n},\n  \"step_ms_median\": {median:.3},\n  \
+         \"step_ms_min\": {min:.3},\n  \"step_ms_mean\": {mean:.3},\n  \
+         \"fft_ms_per_step\": {fft_ms:.3},\n  \"cic_ms_per_step\": {cic_ms:.3}\n}}",
+        np_total = np * np * np,
+    );
+    println!("\n{json}");
+    if let Some(path) = &args.json {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir).expect("create json dir");
+        }
+        std::fs::write(path, format!("{json}\n")).expect("write json");
+        println!("wrote {path}");
+    }
+}

@@ -14,6 +14,18 @@ use hacc_core::{SimConfig, Simulation, SolverKind};
 use hacc_cosmo::Cosmology;
 
 fn main() {
+    let mut json_path: Option<String> = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--json" => {
+                json_path = Some(argv.get(i + 1).expect("missing value after --json").clone());
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
     println!("Full-code timing breakdown (paper: 80% kernel / 10% walk / 5% FFT / 5% rest)");
     let np = 24usize;
     let box_len = 64.0; // dense loading → long neighbor lists, kernel-bound
@@ -51,11 +63,36 @@ fn main() {
         &["phase", "% of time", "paper %"],
         &rows,
     );
+    let tsp = sim
+        .stats
+        .time_per_substep_per_particle(sim.len(), sim.config().subcycles);
     println!(
         "\ninteractions: {:.3e}, kernel flops: {:.3e}, time/substep/particle: {:.2e} s",
         tot.interactions as f64,
         tot.flops(),
-        sim.stats
-            .time_per_substep_per_particle(sim.len(), sim.config().subcycles)
+        tsp
     );
+    if let Some(path) = &json_path {
+        let p = |d: std::time::Duration| 100.0 * d.as_secs_f64() / t;
+        let json = format!(
+            "{{\n  \"bench\": \"timing_breakdown\",\n  \"steps\": {},\n  \
+             \"total_s\": {t:.3},\n  \"kernel_pct\": {:.2},\n  \"walk_pct\": {:.2},\n  \
+             \"fft_pct\": {:.2},\n  \"build_pct\": {:.2},\n  \"cic_pct\": {:.2},\n  \
+             \"other_pct\": {:.2},\n  \"interactions\": {},\n  \
+             \"time_per_substep_per_particle_s\": {tsp:.6e}\n}}",
+            sim.stats.steps.len(),
+            p(tot.kernel),
+            p(tot.walk),
+            p(tot.fft),
+            p(tot.build),
+            p(tot.cic),
+            p(tot.other),
+            tot.interactions,
+        );
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir).expect("create json dir");
+        }
+        std::fs::write(path, format!("{json}\n")).expect("write json");
+        println!("wrote {path}");
+    }
 }

@@ -2,8 +2,11 @@
 
 use std::time::Instant;
 
-use hacc_pm::{deposit_cic_par, interpolate_cic, GridForceFit, PmSolver};
-use hacc_short::{ForceKernel, P3mSolver, RcbTree};
+use hacc_pm::{
+    deposit_cic_par, deposit_cic_par_with, interpolate_cic, interpolate_cic_into, CicScratch,
+    GridForceFit, PmSolver,
+};
+use hacc_short::{ForceKernel, P3mSolver, RcbTree, TreeScratch};
 
 use crate::config::{SimConfig, SolverKind};
 use crate::stats::{RunStats, StepBreakdown};
@@ -37,6 +40,33 @@ pub(crate) fn cached_grid_fit(
     fit
 }
 
+/// Reusable per-step working memory. Every buffer a timestep needs lives
+/// here (or in the solver-owned pools), so a steady-state [`Simulation::step`]
+/// performs zero heap allocations: the first step sizes everything, later
+/// steps only overwrite.
+#[derive(Default)]
+struct StepScratch {
+    /// Positions in PM grid units.
+    gx: Vec<f32>,
+    gy: Vec<f32>,
+    gz: Vec<f32>,
+    /// Density / per-component force grids for the PM solve.
+    grid: Vec<f64>,
+    fgrids: [Vec<f64>; 3],
+    /// CIC counting-sort bins.
+    cic: CicScratch,
+    /// Persistent RCB tree plus its build/walk scratch (TreePm path).
+    tree: Option<RcbTree>,
+    tscratch: TreeScratch,
+    /// Ghost-augmented positions and unit masses for the tree build.
+    ax: Vec<f32>,
+    ay: Vec<f32>,
+    az: Vec<f32>,
+    mass: Vec<f32>,
+    /// Short-range force accumulators (ghost-padded length on the tree path).
+    sr: [Vec<f32>; 3],
+}
+
 /// A running N-body simulation.
 pub struct Simulation {
     cfg: SimConfig,
@@ -55,6 +85,11 @@ pub struct Simulation {
     /// Cached long-range acceleration from the end of the previous step
     /// (positions unchanged since, so it is exact for the next half-kick).
     lr_cache: Option<[Vec<f32>; 3]>,
+    /// The second set of long-range buffers: `lr_cache` and `lr_spare`
+    /// alternate (A/B) so the end-of-step solve never allocates.
+    lr_spare: [Vec<f32>; 3],
+    /// Reusable per-step working memory.
+    scratch: StepScratch,
     /// Statistics.
     pub stats: RunStats,
 }
@@ -86,6 +121,8 @@ impl Simulation {
             vy: ics.vy.clone(),
             vz: ics.vz.clone(),
             lr_cache: None,
+            lr_spare: Default::default(),
+            scratch: StepScratch::default(),
             stats: RunStats::default(),
         }
     }
@@ -131,6 +168,8 @@ impl Simulation {
             vy,
             vz,
             lr_cache: None,
+            lr_spare: Default::default(),
+            scratch: StepScratch::default(),
             stats: RunStats::default(),
         }
     }
@@ -254,13 +293,97 @@ impl Simulation {
         f
     }
 
-    fn kick(&mut self, accel: &[Vec<f32>; 3], factor: f64) {
-        let k = (1.5 * self.cfg.cosmology.omega_m * factor) as f32;
-        #[allow(clippy::needless_range_loop)] // four parallel SoA arrays
-        for i in 0..self.len() {
-            self.vx[i] += k * accel[0][i];
-            self.vy[i] += k * accel[1][i];
-            self.vz[i] += k * accel[2][i];
+    /// Allocation-free variant of [`Self::pm_accel`]: grids, CIC bins and
+    /// spectra come from `self.scratch` / the solver workspace, the
+    /// per-particle result lands in `out` (resized once, then reused).
+    fn pm_accel_into(&mut self, brk: &mut StepBreakdown, out: &mut [Vec<f32>; 3]) {
+        let ng = self.cfg.ng;
+        let nbar = self.nbar();
+        let s = (ng as f64 / self.cfg.box_len) as f32;
+        let sc = &mut self.scratch;
+        fill_scaled(&self.x, s, &mut sc.gx);
+        fill_scaled(&self.y, s, &mut sc.gy);
+        fill_scaled(&self.z, s, &mut sc.gz);
+
+        let t0 = Instant::now();
+        sc.grid.clear();
+        sc.grid.resize(ng * ng * ng, 0.0);
+        deposit_cic_par_with(&mut sc.grid, ng, &sc.gx, &sc.gy, &sc.gz, 1.0, &mut sc.cic);
+        for v in sc.grid.iter_mut() {
+            *v = *v / nbar - 1.0;
+        }
+        brk.cic += t0.elapsed();
+
+        let t1 = Instant::now();
+        self.pm.solve_forces_into(&sc.grid, &mut sc.fgrids);
+        brk.fft += t1.elapsed();
+
+        let t2 = Instant::now();
+        for (slot, fg) in out.iter_mut().zip(sc.fgrids.iter()) {
+            interpolate_cic_into(fg, ng, &sc.gx, &sc.gy, &sc.gz, slot);
+        }
+        brk.cic += t2.elapsed();
+    }
+
+    /// Allocation-free variant of [`Self::short_accel`] for the tree path:
+    /// the tree is rebuilt in place, ghost/mass/force buffers persist in
+    /// `self.scratch`, and the scaled result is left in `self.scratch.sr`
+    /// (first `self.len()` entries are the real particles).
+    fn short_accel_into(&mut self, brk: &mut StepBreakdown) {
+        let ng = self.cfg.ng;
+        let np = self.len();
+        let scale = (self.cfg.box_len / ng as f64 / self.nbar() * self.fit.norm) as f32;
+        let s = (ng as f64 / self.cfg.box_len) as f32;
+        let StepScratch {
+            gx,
+            gy,
+            gz,
+            tree,
+            tscratch,
+            ax,
+            ay,
+            az,
+            mass,
+            sr,
+            ..
+        } = &mut self.scratch;
+        fill_scaled(&self.x, s, gx);
+        fill_scaled(&self.y, s, gy);
+        fill_scaled(&self.z, s, gz);
+        match self.cfg.solver {
+            SolverKind::PmOnly => unreachable!("short_accel_into with PmOnly"),
+            SolverKind::P3m => {
+                // The chaining-mesh solver still returns fresh buffers; it
+                // is the alternate (GPU-archetype) path and not on the
+                // steady-state budget.
+                let t0 = Instant::now();
+                mass.clear();
+                mass.resize(np, 1.0);
+                let solver = P3mSolver::new(self.kernel, ng as f32);
+                let (f, inter) = solver.forces(gx, gy, gz, mass);
+                *sr = f;
+                brk.kernel += t0.elapsed();
+                brk.interactions += inter;
+            }
+            SolverKind::TreePm => {
+                let t0 = Instant::now();
+                let rcut = self.cfg.rcut_cells as f32;
+                with_ghosts_into(gx, gy, gz, ng as f32, rcut, ax, ay, az);
+                mass.clear();
+                mass.resize(ax.len(), 1.0);
+                let tree = tree.get_or_insert_with(|| RcbTree::new_empty(self.cfg.tree));
+                tree.rebuild(ax, ay, az, mass, tscratch);
+                brk.build += t0.elapsed();
+                let (inter, walk, kern) = tree.forces_into(&self.kernel, tscratch, sr);
+                brk.walk += walk;
+                brk.kernel += kern;
+                brk.interactions += inter;
+            }
+        }
+        for c in sr.iter_mut() {
+            for v in c[..np].iter_mut() {
+                *v *= scale;
+            }
         }
     }
 
@@ -297,11 +420,27 @@ impl Simulation {
         // evaluation when available — positions have not changed).
         let lr = match self.lr_cache.take() {
             Some(f) => f,
-            None => self.pm_accel(&mut brk),
+            None => {
+                let mut f = std::mem::take(&mut self.lr_spare);
+                self.pm_accel_into(&mut brk, &mut f);
+                f
+            }
         };
         let t_other = Instant::now();
-        self.kick(&lr, cosmo.kick_factor(a0, am));
+        let k = (1.5 * cosmo.omega_m * cosmo.kick_factor(a0, am)) as f32;
+        apply_kick(
+            &mut self.vx,
+            &mut self.vy,
+            &mut self.vz,
+            &lr[0],
+            &lr[1],
+            &lr[2],
+            k,
+        );
         brk.other += t_other.elapsed();
+        // `lr` is done; park its buffers so the end-of-step solve below can
+        // reuse them next step (A/B alternation with `lr_cache`).
+        let mut lr2 = std::mem::replace(&mut self.lr_spare, lr);
 
         // Short-range SKS sub-cycles with the long-range force frozen.
         let nc = self.cfg.subcycles.max(1);
@@ -315,9 +454,20 @@ impl Simulation {
             self.drift(cosmo.drift_factor(b0, bm));
             brk.other += t0.elapsed();
             if self.cfg.solver != SolverKind::PmOnly {
-                let sr = self.short_accel(&mut brk);
+                self.short_accel_into(&mut brk);
                 let t1 = Instant::now();
-                self.kick(&sr, cosmo.kick_factor(b0, b1));
+                let np = self.x.len();
+                let k = (1.5 * cosmo.omega_m * cosmo.kick_factor(b0, b1)) as f32;
+                let sr = &self.scratch.sr;
+                apply_kick(
+                    &mut self.vx,
+                    &mut self.vy,
+                    &mut self.vz,
+                    &sr[0][..np],
+                    &sr[1][..np],
+                    &sr[2][..np],
+                    k,
+                );
                 brk.other += t1.elapsed();
             }
             let t2 = Instant::now();
@@ -327,9 +477,18 @@ impl Simulation {
 
         // Second long-range half kick at the new positions; cache it for
         // the next step.
-        let lr2 = self.pm_accel(&mut brk);
+        self.pm_accel_into(&mut brk, &mut lr2);
         let t3 = Instant::now();
-        self.kick(&lr2, cosmo.kick_factor(am, a1));
+        let k = (1.5 * cosmo.omega_m * cosmo.kick_factor(am, a1)) as f32;
+        apply_kick(
+            &mut self.vx,
+            &mut self.vy,
+            &mut self.vz,
+            &lr2[0],
+            &lr2[1],
+            &lr2[2],
+            k,
+        );
         brk.other += t3.elapsed();
         self.lr_cache = Some(lr2);
 
@@ -399,6 +558,88 @@ impl Simulation {
         }
         out
     }
+}
+
+/// `p += k·a` over three SoA components. A free function (rather than a
+/// method) so the caller can borrow the acceleration out of the step
+/// scratch while mutating the momenta — disjoint field borrows.
+#[allow(clippy::too_many_arguments)] // six parallel SoA arrays + factor
+fn apply_kick(
+    vx: &mut [f32],
+    vy: &mut [f32],
+    vz: &mut [f32],
+    ax: &[f32],
+    ay: &[f32],
+    az: &[f32],
+    k: f32,
+) {
+    #[allow(clippy::needless_range_loop)] // six parallel SoA arrays
+    for i in 0..vx.len() {
+        vx[i] += k * ax[i];
+        vy[i] += k * ay[i];
+        vz[i] += k * az[i];
+    }
+}
+
+/// `out = s·src` into a reused buffer (positions → grid units).
+fn fill_scaled(src: &[f32], s: f32, out: &mut Vec<f32>) {
+    out.clear();
+    out.extend(src.iter().map(|&v| v * s));
+}
+
+/// Allocation-free [`with_ghosts`]: appends the periodic images into the
+/// caller's reused buffers and returns the count of real particles.
+#[allow(clippy::too_many_arguments)] // three input + three output SoA arrays
+fn with_ghosts_into(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    l: f32,
+    rcut: f32,
+    ax: &mut Vec<f32>,
+    ay: &mut Vec<f32>,
+    az: &mut Vec<f32>,
+) -> usize {
+    let n = xs.len();
+    ax.clear();
+    ay.clear();
+    az.clear();
+    ax.extend_from_slice(xs);
+    ay.extend_from_slice(ys);
+    az.extend_from_slice(zs);
+    // Slot 0 is always the zero shift; slots 1.. are the ±l wraps.
+    let shifts = |v: f32, out: &mut [f32; 3]| -> usize {
+        out[0] = 0.0;
+        let mut c = 1;
+        if v < rcut {
+            out[c] = l;
+            c += 1;
+        }
+        if v > l - rcut {
+            out[c] = -l;
+            c += 1;
+        }
+        c
+    };
+    let (mut sx, mut sy, mut sz) = ([0.0f32; 3], [0.0f32; 3], [0.0f32; 3]);
+    for i in 0..n {
+        let cx = shifts(xs[i], &mut sx);
+        let cy = shifts(ys[i], &mut sy);
+        let cz = shifts(zs[i], &mut sz);
+        for (a, &dx) in sx[..cx].iter().enumerate() {
+            for (b, &dy) in sy[..cy].iter().enumerate() {
+                for (c, &dz) in sz[..cz].iter().enumerate() {
+                    if a == 0 && b == 0 && c == 0 {
+                        continue;
+                    }
+                    ax.push(xs[i] + dx);
+                    ay.push(ys[i] + dy);
+                    az.push(zs[i] + dz);
+                }
+            }
+        }
+    }
+    n
 }
 
 /// Append periodic ghost images of particles within `rcut` of the box
@@ -484,6 +725,23 @@ mod tests {
         assert_eq!(ax.len(), 8);
         assert_eq!(ay.len(), 8);
         assert_eq!(az.len(), 8);
+    }
+
+    #[test]
+    fn ghosts_into_matches_allocating_path() {
+        let xs = [5.0, 0.5, 9.9, 0.2];
+        let ys = [5.0, 5.0, 0.3, 0.1];
+        let zs = [5.0, 5.0, 9.8, 5.0];
+        let (ex, ey, ez, en) = with_ghosts(&xs, &ys, &zs, 10.0, 1.0);
+        let (mut ax, mut ay, mut az) = (Vec::new(), Vec::new(), Vec::new());
+        // Run twice through the same buffers: reuse must not change output.
+        for _ in 0..2 {
+            let n = with_ghosts_into(&xs, &ys, &zs, 10.0, 1.0, &mut ax, &mut ay, &mut az);
+            assert_eq!(n, en);
+            assert_eq!(ax, ex);
+            assert_eq!(ay, ey);
+            assert_eq!(az, ez);
+        }
     }
 
     #[test]

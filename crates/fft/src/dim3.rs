@@ -8,10 +8,14 @@
 
 use crate::complex::Complex64;
 use crate::plan::Fft1d;
+use crate::scratch::BufPool;
 use rayon::prelude::*;
 
 /// 3-D FFT plan for an `nx × ny × nz` grid.
-#[derive(Debug, Clone)]
+///
+/// Carries an internal [`BufPool`] so repeated transforms allocate no
+/// scratch after the first call.
+#[derive(Debug)]
 pub struct Fft3 {
     nx: usize,
     ny: usize,
@@ -19,6 +23,22 @@ pub struct Fft3 {
     plan_x: Fft1d,
     plan_y: Fft1d,
     plan_z: Fft1d,
+    pool: BufPool,
+}
+
+impl Clone for Fft3 {
+    fn clone(&self) -> Self {
+        // The scratch pool is transient state; a clone starts cold.
+        Fft3 {
+            nx: self.nx,
+            ny: self.ny,
+            nz: self.nz,
+            plan_x: self.plan_x.clone(),
+            plan_y: self.plan_y.clone(),
+            plan_z: self.plan_z.clone(),
+            pool: BufPool::new(),
+        }
+    }
 }
 
 impl Fft3 {
@@ -36,6 +56,7 @@ impl Fft3 {
             plan_x: Fft1d::new(nx),
             plan_y: Fft1d::new(ny),
             plan_z: Fft1d::new(nz),
+            pool: BufPool::new(),
         }
     }
 
@@ -68,75 +89,101 @@ impl Fft3 {
 
     fn transform(&self, data: &mut [Complex64], inverse: bool) {
         assert_eq!(data.len(), self.len(), "grid size mismatch");
-        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
-
-        // Pass 1: z lines are contiguous.
-        data.par_chunks_mut(nz).for_each_init(
-            || self.plan_z.make_scratch(),
-            |scratch, line| {
-                if inverse {
-                    // Unnormalized inverse at this stage; single global
-                    // rescale happens in `backward`.
-                    conj_in(line);
-                    self.plan_z.forward(line, scratch);
-                    conj_in(line);
-                } else {
-                    self.plan_z.forward(line, scratch);
-                }
-            },
-        );
-
-        // Pass 2: y lines, strided by nz within each x-plane.
-        data.par_chunks_mut(ny * nz).for_each_init(
-            || (self.plan_y.make_scratch(), vec![Complex64::ZERO; ny]),
-            |(scratch, line), plane| {
-                for iz in 0..nz {
-                    for iy in 0..ny {
-                        line[iy] = plane[iy * nz + iz];
-                    }
-                    if inverse {
-                        conj_in(line);
-                        self.plan_y.forward(line, scratch);
-                        conj_in(line);
-                    } else {
-                        self.plan_y.forward(line, scratch);
-                    }
-                    for iy in 0..ny {
-                        plane[iy * nz + iz] = line[iy];
-                    }
-                }
-            },
-        );
-
-        // Pass 3: x lines, strided by ny*nz. Parallelize over y so each task
-        // works on disjoint (y, z) columns; uses raw indexing through a
-        // shared pointer wrapper kept sound by the disjointness of columns.
-        let plane_stride = ny * nz;
-        let ptr = SyncPtr(data.as_mut_ptr());
-        (0..ny).into_par_iter().for_each_init(
-            || (self.plan_x.make_scratch(), vec![Complex64::ZERO; nx]),
-            |(scratch, line), iy| {
-                let base = ptr;
-                for iz in 0..nz {
-                    let off = iy * nz + iz;
-                    for (ix, lv) in line.iter_mut().enumerate() {
-                        // SAFETY: distinct iy tasks touch disjoint offsets.
-                        *lv = unsafe { *base.0.add(ix * plane_stride + off) };
-                    }
-                    if inverse {
-                        conj_in(line);
-                        self.plan_x.forward(line, scratch);
-                        conj_in(line);
-                    } else {
-                        self.plan_x.forward(line, scratch);
-                    }
-                    for (ix, lv) in line.iter().enumerate() {
-                        unsafe { *base.0.add(ix * plane_stride + off) = *lv };
-                    }
-                }
-            },
-        );
+        pass_z(&self.plan_z, data, self.nz, inverse, &self.pool);
+        pass_y(&self.plan_y, data, self.ny, self.nz, inverse, &self.pool);
+        pass_x(&self.plan_x, data, self.ny, self.nz, inverse, &self.pool);
     }
+}
+
+/// Run one 1-D line through the plan; `inverse` applies the unnormalized
+/// inverse via conjugation (any rescale is the caller's business).
+#[inline]
+pub(crate) fn run_line(
+    plan: &Fft1d,
+    line: &mut [Complex64],
+    scratch: &mut [Complex64],
+    inverse: bool,
+) {
+    if inverse {
+        conj_in(line);
+        plan.forward(line, scratch);
+        conj_in(line);
+    } else {
+        plan.forward(line, scratch);
+    }
+}
+
+/// Pass 1 of the 3-D transform: contiguous z lines of length `nz`.
+pub(crate) fn pass_z(
+    plan: &Fft1d,
+    data: &mut [Complex64],
+    nz: usize,
+    inverse: bool,
+    pool: &BufPool,
+) {
+    data.par_chunks_mut(nz).for_each_init(
+        || pool.lease(plan.scratch_len()),
+        |scratch, line| run_line(plan, line, scratch, inverse),
+    );
+}
+
+/// Pass 2: y lines of length `ny`, strided by the z-extent `nzc` within
+/// each x-plane (`nzc` is `nz` for c2c, `nz/2+1` for the half-spectrum).
+pub(crate) fn pass_y(
+    plan: &Fft1d,
+    data: &mut [Complex64],
+    ny: usize,
+    nzc: usize,
+    inverse: bool,
+    pool: &BufPool,
+) {
+    data.par_chunks_mut(ny * nzc).for_each_init(
+        || (pool.lease(plan.scratch_len()), pool.lease(ny)),
+        |(scratch, line), plane| {
+            for iz in 0..nzc {
+                for iy in 0..ny {
+                    line[iy] = plane[iy * nzc + iz];
+                }
+                run_line(plan, line, scratch, inverse);
+                for iy in 0..ny {
+                    plane[iy * nzc + iz] = line[iy];
+                }
+            }
+        },
+    );
+}
+
+/// Pass 3: x lines strided by `ny·nzc`. Parallelizes over y so each task
+/// works on disjoint (y, z) columns; uses raw indexing through a shared
+/// pointer wrapper kept sound by the disjointness of columns.
+pub(crate) fn pass_x(
+    plan: &Fft1d,
+    data: &mut [Complex64],
+    ny: usize,
+    nzc: usize,
+    inverse: bool,
+    pool: &BufPool,
+) {
+    let nx = plan.len();
+    let plane_stride = ny * nzc;
+    let ptr = SyncPtr(data.as_mut_ptr());
+    (0..ny).into_par_iter().for_each_init(
+        || (pool.lease(plan.scratch_len()), pool.lease(nx)),
+        |(scratch, line), iy| {
+            let base = ptr;
+            for iz in 0..nzc {
+                let off = iy * nzc + iz;
+                for (ix, lv) in line.iter_mut().enumerate() {
+                    // SAFETY: distinct iy tasks touch disjoint offsets.
+                    *lv = unsafe { *base.0.add(ix * plane_stride + off) };
+                }
+                run_line(plan, line, scratch, inverse);
+                for (ix, lv) in line.iter().enumerate() {
+                    unsafe { *base.0.add(ix * plane_stride + off) = *lv };
+                }
+            }
+        },
+    );
 }
 
 fn conj_in(line: &mut [Complex64]) {

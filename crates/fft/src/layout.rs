@@ -92,6 +92,29 @@ pub trait DistFft3 {
     fn comm(&self) -> &Comm;
 }
 
+/// A distributed real-to-complex 3-D FFT over the Hermitian
+/// half-spectrum: forward maps real-layout `f64` data to half-spectrum
+/// k-layout data (`nzh = n/2 + 1` retained z bins — `Layout3::size[2]`
+/// of the k layout is `nzh`-bounded while `n` stays the global real
+/// side).
+pub trait DistRealFft3 {
+    /// Global grid side.
+    fn n(&self) -> usize;
+    /// Retained z bins, `n/2 + 1`.
+    fn nzh(&self) -> usize;
+    /// Layout of real-space data on this rank.
+    fn real_layout(&self) -> Layout3;
+    /// Layout of half-spectrum data on this rank after `forward` (z
+    /// coordinates run over `0..nzh`).
+    fn k_layout(&self) -> Layout3;
+    /// Unnormalized forward r2c transform.
+    fn forward(&self, data: Vec<f64>) -> Vec<Complex64>;
+    /// Normalized inverse c2r transform.
+    fn backward(&self, data: Vec<Complex64>) -> Vec<f64>;
+    /// The communicator the transform runs on.
+    fn comm(&self) -> &Comm;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

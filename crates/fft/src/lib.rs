@@ -22,14 +22,18 @@ pub mod complex;
 pub mod dim3;
 pub mod pencil;
 pub mod plan;
+pub mod real;
+pub mod scratch;
 pub mod slab;
 pub mod wavenumber;
 
 pub use complex::Complex64;
 pub use dim3::Fft3;
-pub use pencil::PencilFft;
+pub use pencil::{PencilFft, RealPencilFft};
 pub use plan::Fft1d;
+pub use real::RealFft3;
+pub use scratch::BufPool;
 pub use slab::SlabFft;
 pub use wavenumber::{k_index, k_of_index};
 pub mod layout;
-pub use layout::{block_ranges, DistFft3, Layout3};
+pub use layout::{block_ranges, DistFft3, DistRealFft3, Layout3};

@@ -20,8 +20,9 @@
 use hacc_comm::{dims_create, Comm};
 
 use crate::complex::Complex64;
-use crate::layout::{block_ranges, DistFft3, Layout3};
+use crate::layout::{block_ranges, DistFft3, DistRealFft3, Layout3};
 use crate::plan::Fft1d;
+use crate::real::{c2r_lines, r2c_lines};
 
 /// Pencil FFT bound to a communicator arranged as a `P1 × P2` grid.
 pub struct PencilFft<'a> {
@@ -111,9 +112,10 @@ impl<'a> PencilFft<'a> {
         }
     }
 
-    /// y-line FFTs in the y-pencil layout `[lx][n][lz]` (stride lz).
-    fn fft_y(&self, data: &mut [Complex64], inverse: bool) {
-        let (n, lx, lz) = (self.n, self.lx(), self.lz2());
+    /// y-line FFTs in the y-pencil layout `[lx][n][lz]` (stride `lz` —
+    /// the local z extent, which differs between the c2c and r2c paths).
+    fn fft_y(&self, data: &mut [Complex64], lz: usize, inverse: bool) {
+        let (n, lx) = (self.n, self.lx());
         let mut scratch = self.plan.make_scratch();
         let mut line = vec![Complex64::ZERO; n];
         for ixl in 0..lx {
@@ -131,8 +133,8 @@ impl<'a> PencilFft<'a> {
     }
 
     /// x-line FFTs in the x-pencil layout `[n][ly'][lz]` (stride ly'·lz).
-    fn fft_x(&self, data: &mut [Complex64], inverse: bool) {
-        let (n, ly, lz) = (self.n, self.ly1(), self.lz2());
+    fn fft_x(&self, data: &mut [Complex64], lz: usize, inverse: bool) {
+        let (n, ly) = (self.n, self.ly1());
         let mut scratch = self.plan.make_scratch();
         let mut line = vec![Complex64::ZERO; n];
         let stride = ly * lz;
@@ -150,17 +152,23 @@ impl<'a> PencilFft<'a> {
         }
     }
 
-    /// Row transpose: z-pencils `[lx][ly2][n]` → y-pencils `[lx][n][lz2]`.
-    fn z_to_y(&self, data: &[Complex64]) -> Vec<Complex64> {
+    /// Row transpose: z-pencils `[lx][ly2][nz]` → y-pencils `[lx][n][lz]`,
+    /// where `nz` is the stored z extent (`n` for c2c, `nzh` for the
+    /// half-spectrum) and `z_ranges` its split over `P2`.
+    fn z_to_y(
+        &self,
+        data: &[Complex64],
+        nz: usize,
+        z_ranges: &[(usize, usize)],
+    ) -> Vec<Complex64> {
         let (n, lx, ly) = (self.n, self.lx(), self.ly2());
-        let sends: Vec<Vec<Complex64>> = self
-            .z2
+        let sends: Vec<Vec<Complex64>> = z_ranges
             .iter()
             .map(|&(z0, lzq)| {
                 let mut buf = Vec::with_capacity(lx * ly * lzq);
                 for ixl in 0..lx {
                     for iyl in 0..ly {
-                        let row = (ixl * ly + iyl) * n + z0;
+                        let row = (ixl * ly + iyl) * nz + z0;
                         buf.extend_from_slice(&data[row..row + lzq]);
                     }
                 }
@@ -168,7 +176,7 @@ impl<'a> PencilFft<'a> {
             })
             .collect();
         let recvs = self.row_comm.alltoallv(sends);
-        let lz = self.lz2();
+        let lz = z_ranges[self.p2].1;
         let mut out = vec![Complex64::ZERO; lx * n * lz];
         for (q, buf) in recvs.iter().enumerate() {
             let (y0, lyq) = self.y2[q];
@@ -186,8 +194,14 @@ impl<'a> PencilFft<'a> {
     }
 
     /// Inverse of [`PencilFft::z_to_y`].
-    fn y_to_z(&self, data: &[Complex64]) -> Vec<Complex64> {
-        let (n, lx, lz) = (self.n, self.lx(), self.lz2());
+    fn y_to_z(
+        &self,
+        data: &[Complex64],
+        nz: usize,
+        z_ranges: &[(usize, usize)],
+    ) -> Vec<Complex64> {
+        let (n, lx) = (self.n, self.lx());
+        let lz = z_ranges[self.p2].1;
         let sends: Vec<Vec<Complex64>> = self
             .y2
             .iter()
@@ -204,13 +218,13 @@ impl<'a> PencilFft<'a> {
             .collect();
         let recvs = self.row_comm.alltoallv(sends);
         let ly = self.ly2();
-        let mut out = vec![Complex64::ZERO; lx * ly * n];
+        let mut out = vec![Complex64::ZERO; lx * ly * nz];
         for (q, buf) in recvs.iter().enumerate() {
-            let (z0, lzq) = self.z2[q];
+            let (z0, lzq) = z_ranges[q];
             let mut it = buf.iter();
             for ixl in 0..lx {
                 for iyl in 0..ly {
-                    let dst = (ixl * ly + iyl) * n + z0;
+                    let dst = (ixl * ly + iyl) * nz + z0;
                     for v in out[dst..dst + lzq].iter_mut() {
                         *v = *it.next().expect("y_to_z payload");
                     }
@@ -220,9 +234,9 @@ impl<'a> PencilFft<'a> {
         out
     }
 
-    /// Column transpose: y-pencils `[lx][n][lz2]` → x-pencils `[n][ly1][lz2]`.
-    fn y_to_x(&self, data: &[Complex64]) -> Vec<Complex64> {
-        let (n, lx, lz) = (self.n, self.lx(), self.lz2());
+    /// Column transpose: y-pencils `[lx][n][lz]` → x-pencils `[n][ly1][lz]`.
+    fn y_to_x(&self, data: &[Complex64], lz: usize) -> Vec<Complex64> {
+        let (n, lx) = (self.n, self.lx());
         let sends: Vec<Vec<Complex64>> = self
             .y1
             .iter()
@@ -256,8 +270,8 @@ impl<'a> PencilFft<'a> {
     }
 
     /// Inverse of [`PencilFft::y_to_x`].
-    fn x_to_y(&self, data: &[Complex64]) -> Vec<Complex64> {
-        let (n, ly, lz) = (self.n, self.ly1(), self.lz2());
+    fn x_to_y(&self, data: &[Complex64], lz: usize) -> Vec<Complex64> {
+        let (n, ly) = (self.n, self.ly1());
         let sends: Vec<Vec<Complex64>> = self
             .x1
             .iter()
@@ -315,19 +329,19 @@ impl DistFft3 for PencilFft<'_> {
     fn forward(&self, mut data: Vec<Complex64>) -> Vec<Complex64> {
         assert_eq!(data.len(), self.real_layout().len());
         self.fft_z(&mut data, false);
-        let mut y = self.z_to_y(&data);
-        self.fft_y(&mut y, false);
-        let mut x = self.y_to_x(&y);
-        self.fft_x(&mut x, false);
+        let mut y = self.z_to_y(&data, self.n, &self.z2);
+        self.fft_y(&mut y, self.lz2(), false);
+        let mut x = self.y_to_x(&y, self.lz2());
+        self.fft_x(&mut x, self.lz2(), false);
         x
     }
 
     fn backward(&self, mut data: Vec<Complex64>) -> Vec<Complex64> {
         assert_eq!(data.len(), self.k_layout().len());
-        self.fft_x(&mut data, true);
-        let mut y = self.x_to_y(&data);
-        self.fft_y(&mut y, true);
-        let mut z = self.y_to_z(&y);
+        self.fft_x(&mut data, self.lz2(), true);
+        let mut y = self.x_to_y(&data, self.lz2());
+        self.fft_y(&mut y, self.lz2(), true);
+        let mut z = self.y_to_z(&y, self.n, &self.z2);
         self.fft_z(&mut z, true);
         let inv = 1.0 / (self.n * self.n * self.n) as f64;
         for v in z.iter_mut() {
@@ -338,6 +352,114 @@ impl DistFft3 for PencilFft<'_> {
 
     fn comm(&self) -> &Comm {
         self.comm
+    }
+}
+
+/// Real-to-complex pencil FFT over the Hermitian half-spectrum.
+///
+/// Reuses the complex pencil machinery with the z extent shrunk to
+/// `nzh = n/2 + 1` after the local r2c z pass: the row transpose, y/x
+/// line FFTs and column transpose all operate on `nzh`-deep pencils, so
+/// both the communication volume and the y/x FFT work drop by nearly
+/// half relative to the c2c path — the same saving the serial
+/// [`crate::real::RealFft3`] realizes.
+pub struct RealPencilFft<'a> {
+    inner: PencilFft<'a>,
+    nzh: usize,
+    /// Half-spectrum z ranges over P2.
+    zh2: Vec<(usize, usize)>,
+}
+
+impl<'a> RealPencilFft<'a> {
+    /// Create a real pencil FFT of global side `n`; the process grid is
+    /// chosen by [`dims_create`].
+    pub fn new(comm: &'a Comm, n: usize) -> Self {
+        let d = dims_create(comm.size(), 2);
+        Self::with_grid(comm, n, d[0], d[1])
+    }
+
+    /// Create with an explicit `p1 × p2` process grid (`p1·p2 = ranks`).
+    pub fn with_grid(comm: &'a Comm, n: usize, p1: usize, p2: usize) -> Self {
+        let nzh = n / 2 + 1;
+        assert!(
+            p2 <= nzh,
+            "real pencil decomposition requires P2 ({p2}) <= n/2+1 ({nzh})"
+        );
+        RealPencilFft {
+            inner: PencilFft::with_grid(comm, n, p1, p2),
+            nzh,
+            zh2: block_ranges(nzh, p2),
+        }
+    }
+
+    /// Local half-spectrum z extent.
+    fn lzh(&self) -> usize {
+        self.zh2[self.inner.p2].1
+    }
+}
+
+impl DistRealFft3 for RealPencilFft<'_> {
+    fn n(&self) -> usize {
+        self.inner.n
+    }
+
+    fn nzh(&self) -> usize {
+        self.nzh
+    }
+
+    fn real_layout(&self) -> Layout3 {
+        self.inner.real_layout()
+    }
+
+    fn k_layout(&self) -> Layout3 {
+        let f = &self.inner;
+        Layout3 {
+            n: f.n,
+            origin: [0, f.y1[f.p1].0, self.zh2[f.p2].0],
+            size: [f.n, f.ly1(), self.lzh()],
+        }
+    }
+
+    fn forward(&self, data: Vec<f64>) -> Vec<Complex64> {
+        let f = &self.inner;
+        assert_eq!(data.len(), self.real_layout().len());
+        let (n, nzh) = (f.n, self.nzh);
+        // Local r2c z pass: pair-packed real lines → half-spectrum rows.
+        let rows = f.lx() * f.ly2();
+        let mut spec = vec![Complex64::ZERO; rows * nzh];
+        let mut zbuf = vec![Complex64::ZERO; n];
+        let mut scratch = f.plan.make_scratch();
+        for (src, dst) in data.chunks(2 * n).zip(spec.chunks_mut(2 * nzh)) {
+            r2c_lines(&f.plan, src, dst, n, nzh, &mut zbuf, &mut scratch);
+        }
+        let mut y = f.z_to_y(&spec, nzh, &self.zh2);
+        f.fft_y(&mut y, self.lzh(), false);
+        let mut x = f.y_to_x(&y, self.lzh());
+        f.fft_x(&mut x, self.lzh(), false);
+        x
+    }
+
+    fn backward(&self, mut data: Vec<Complex64>) -> Vec<f64> {
+        let f = &self.inner;
+        assert_eq!(data.len(), self.k_layout().len());
+        f.fft_x(&mut data, self.lzh(), true);
+        let mut y = f.x_to_y(&data, self.lzh());
+        f.fft_y(&mut y, self.lzh(), true);
+        let spec = f.y_to_z(&y, self.nzh, &self.zh2);
+        let (n, nzh) = (f.n, self.nzh);
+        let rows = f.lx() * f.ly2();
+        let mut out = vec![0.0f64; rows * n];
+        let inv = 1.0 / (n * n * n) as f64;
+        let mut zbuf = vec![Complex64::ZERO; n];
+        let mut scratch = f.plan.make_scratch();
+        for (src, dst) in spec.chunks(2 * nzh).zip(out.chunks_mut(2 * n)) {
+            c2r_lines(&f.plan, src, dst, n, nzh, inv, &mut zbuf, &mut scratch);
+        }
+        out
+    }
+
+    fn comm(&self) -> &Comm {
+        self.inner.comm
     }
 }
 
@@ -449,6 +571,91 @@ mod tests {
     fn oversized_grid_dim_rejected() {
         let (_, _) = Machine::new(8).run(|comm| {
             let _ = PencilFft::with_grid(&comm, 4, 8, 1);
+        });
+    }
+
+    fn rand_real(len: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed | 1;
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s as f64 / u64::MAX as f64) - 0.5
+            })
+            .collect()
+    }
+
+    fn check_real(n: usize, p1: usize, p2: usize) {
+        use crate::real::RealFft3;
+        let nzh = n / 2 + 1;
+        let global = rand_real(n * n * n, 7000 + n as u64);
+        let mut want = vec![Complex64::ZERO; n * n * nzh];
+        RealFft3::new_cubic(n).forward(&global, &mut want);
+
+        let globals = global.clone();
+        let (results, _) = Machine::new(p1 * p2).run(move |comm| {
+            let fft = RealPencilFft::with_grid(&comm, n, p1, p2);
+            let rl = fft.real_layout();
+            let mut local = vec![0.0f64; rl.len()];
+            for (i, v) in local.iter_mut().enumerate() {
+                let g = rl.global_coords(i);
+                *v = globals[(g[0] * n + g[1]) * n + g[2]];
+            }
+            let k = fft.forward(local);
+            assert_eq!(k.len(), fft.k_layout().len());
+            (fft.k_layout(), k)
+        });
+        let total: usize = results.iter().map(|(l, _)| l.len()).sum();
+        assert_eq!(total, n * n * nzh, "half-spectrum tiles the k box");
+        for (lay, k) in &results {
+            for (i, v) in k.iter().enumerate() {
+                let g = lay.global_coords(i);
+                let w = want[(g[0] * n + g[1]) * nzh + g[2]];
+                assert!(
+                    (*v - w).abs() < 1e-8,
+                    "n={n} grid {p1}x{p2} at {g:?}: {v:?} vs {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn real_matches_serial_half_spectrum() {
+        check_real(8, 2, 2);
+        check_real(6, 1, 2);
+        check_real(8, 1, 4);
+    }
+
+    #[test]
+    fn real_matches_serial_non_power_of_two_and_odd() {
+        check_real(10, 2, 3);
+        check_real(9, 3, 2);
+        check_real(7, 2, 2);
+    }
+
+    #[test]
+    fn real_roundtrip_distributed() {
+        for (n, p1, p2) in [(8usize, 3usize, 2usize), (9, 2, 2), (12, 2, 3)] {
+            let (ok, _) = Machine::new(p1 * p2).run(move |comm| {
+                let fft = RealPencilFft::with_grid(&comm, n, p1, p2);
+                let orig = rand_real(fft.real_layout().len(), 31 + comm.rank() as u64);
+                let k = fft.forward(orig.clone());
+                let back = fft.backward(k);
+                back.iter()
+                    .zip(&orig)
+                    .all(|(a, b)| (*a - *b).abs() < 1e-12)
+            });
+            assert!(ok.iter().all(|&b| b), "roundtrip n={n} {p1}x{p2}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn real_pencil_rejects_p2_beyond_half_spectrum() {
+        // n=6 → nzh=4; P2=6 would leave ranks with no half-spectrum z bins.
+        let (_, _) = Machine::new(6).run(|comm| {
+            let _ = RealPencilFft::with_grid(&comm, 6, 1, 6);
         });
     }
 }

@@ -77,12 +77,18 @@ impl Fft1d {
     /// Allocate a scratch buffer suitable for [`Fft1d::forward`] /
     /// [`Fft1d::backward`] calls on this plan.
     pub fn make_scratch(&self) -> Vec<Complex64> {
+        vec![Complex64::ZERO; self.scratch_len()]
+    }
+
+    /// Required scratch length for this plan (lets callers lease from a
+    /// [`crate::scratch::BufPool`] instead of allocating).
+    pub fn scratch_len(&self) -> usize {
         let inner = self
             .bluestein
             .as_ref()
             .map(|b| 3 * b.inner.n)
             .unwrap_or(0);
-        vec![Complex64::ZERO; self.n.max(inner)]
+        self.n.max(inner)
     }
 
     /// Unnormalized forward transform, in place.

@@ -1,0 +1,338 @@
+//! Real-to-complex / complex-to-real 3-D FFT over the Hermitian
+//! half-spectrum.
+//!
+//! A real field's spectrum obeys `F(-k) = conj(F(k))`, so only the
+//! non-negative z frequencies need storing: the half-spectrum layout is
+//! `[nx][ny][nzh]` with `nzh = nz/2 + 1` (row-major, z fastest) — half
+//! the memory and roughly half the flops of a complex transform. This is
+//! the transform PMFAST-style memory-minimal PM solvers are built on and
+//! what the production HACC line uses to fit trillion-particle grids.
+//!
+//! The z pass uses the classic pair-packing trick, valid for any `nz`
+//! (odd or even): two real lines `a`, `b` are packed as `z = a + i·b`,
+//! transformed once, and untangled via
+//! `A[k] = (Z[k] + conj(Z[-k]))/2`, `B[k] = -i·(Z[k] - conj(Z[-k]))/2`.
+//! The y and x passes then run standard complex FFTs over the `nzh`
+//! retained columns, reusing the pass machinery of [`crate::dim3`].
+//!
+//! Scratch comes from an internal [`BufPool`]; repeated transforms on a
+//! warm plan perform zero heap allocations.
+
+use rayon::prelude::*;
+
+use crate::complex::Complex64;
+use crate::dim3::{pass_x, pass_y, run_line};
+use crate::plan::Fft1d;
+use crate::scratch::BufPool;
+
+/// Serial (shared-memory) r2c/c2r 3-D FFT plan.
+#[derive(Debug)]
+pub struct RealFft3 {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    nzh: usize,
+    plan_x: Fft1d,
+    plan_y: Fft1d,
+    plan_z: Fft1d,
+    pool: BufPool,
+}
+
+impl Clone for RealFft3 {
+    fn clone(&self) -> Self {
+        RealFft3 {
+            nx: self.nx,
+            ny: self.ny,
+            nz: self.nz,
+            nzh: self.nzh,
+            plan_x: self.plan_x.clone(),
+            plan_y: self.plan_y.clone(),
+            plan_z: self.plan_z.clone(),
+            pool: BufPool::new(),
+        }
+    }
+}
+
+impl RealFft3 {
+    /// Plan for a cubic `n³` grid.
+    pub fn new_cubic(n: usize) -> Self {
+        Self::new(n, n, n)
+    }
+
+    /// Plan for a general `nx × ny × nz` grid.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0);
+        RealFft3 {
+            nx,
+            ny,
+            nz,
+            nzh: nz / 2 + 1,
+            plan_x: Fft1d::new(nx),
+            plan_y: Fft1d::new(ny),
+            plan_z: Fft1d::new(nz),
+            pool: BufPool::new(),
+        }
+    }
+
+    /// Real-space dimensions `(nx, ny, nz)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Retained z bins of the half-spectrum, `nz/2 + 1`.
+    pub fn nzh(&self) -> usize {
+        self.nzh
+    }
+
+    /// Number of real grid points.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// True only for a degenerate empty grid.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of retained spectral coefficients, `nx·ny·nzh`.
+    pub fn spectrum_len(&self) -> usize {
+        self.nx * self.ny * self.nzh
+    }
+
+    /// Unnormalized forward r2c transform: `input` (real layout, length
+    /// [`RealFft3::len`]) is preserved; the half-spectrum is written to
+    /// `spec` (length [`RealFft3::spectrum_len`]).
+    pub fn forward(&self, input: &[f64], spec: &mut [Complex64]) {
+        assert_eq!(input.len(), self.len(), "real grid size mismatch");
+        assert_eq!(spec.len(), self.spectrum_len(), "spectrum size mismatch");
+        let (nz, nzh) = (self.nz, self.nzh);
+        // z pass: pair-packed real lines (the remainder chunk, present
+        // when nx·ny is odd, transforms a single line).
+        input
+            .par_chunks(2 * nz)
+            .zip(spec.par_chunks_mut(2 * nzh))
+            .for_each_init(
+                || {
+                    (
+                        self.pool.lease(nz),
+                        self.pool.lease(self.plan_z.scratch_len()),
+                    )
+                },
+                |(zbuf, scratch), (src, dst)| {
+                    r2c_lines(&self.plan_z, src, dst, nz, nzh, zbuf, scratch);
+                },
+            );
+        pass_y(&self.plan_y, spec, self.ny, nzh, false, &self.pool);
+        pass_x(&self.plan_x, spec, self.ny, nzh, false, &self.pool);
+    }
+
+    /// Normalized backward c2r transform (divides by `nx·ny·nz`): the
+    /// half-spectrum in `spec` is consumed (clobbered in place) and the
+    /// real field written to `out`.
+    ///
+    /// Bins whose implied mirror is stored (z index 0 and, for even `nz`,
+    /// the Nyquist plane) are treated as self-conjugate: only the values
+    /// present in `spec` contribute, exactly as if the full Hermitian
+    /// spectrum had been synthesized.
+    pub fn backward(&self, spec: &mut [Complex64], out: &mut [f64]) {
+        assert_eq!(spec.len(), self.spectrum_len(), "spectrum size mismatch");
+        assert_eq!(out.len(), self.len(), "real grid size mismatch");
+        let (nz, nzh) = (self.nz, self.nzh);
+        // Unnormalized inverse x and y passes on the half-spectrum.
+        pass_x(&self.plan_x, spec, self.ny, nzh, true, &self.pool);
+        pass_y(&self.plan_y, spec, self.ny, nzh, true, &self.pool);
+        // z pass: rebuild full conjugate-symmetric z lines in pairs and
+        // inverse-transform; single global normalization on the output.
+        let inv = 1.0 / self.len() as f64;
+        spec.par_chunks(2 * nzh)
+            .zip(out.par_chunks_mut(2 * nz))
+            .for_each_init(
+                || {
+                    (
+                        self.pool.lease(nz),
+                        self.pool.lease(self.plan_z.scratch_len()),
+                    )
+                },
+                |(zbuf, scratch), (src, dst)| {
+                    c2r_lines(&self.plan_z, src, dst, nz, nzh, inv, zbuf, scratch);
+                },
+            );
+    }
+}
+
+/// Forward-transform one pair of packed real z lines (or a single line if
+/// `src.len() == nz`) into half-spectrum rows. Shared by the serial and
+/// pencil r2c paths.
+pub(crate) fn r2c_lines(
+    plan_z: &Fft1d,
+    src: &[f64],
+    dst: &mut [Complex64],
+    nz: usize,
+    nzh: usize,
+    zbuf: &mut [Complex64],
+    scratch: &mut [Complex64],
+) {
+    if src.len() == 2 * nz {
+        // Pack a + i·b, transform once, untangle the two spectra.
+        let (a, b) = src.split_at(nz);
+        for k in 0..nz {
+            zbuf[k] = Complex64::new(a[k], b[k]);
+        }
+        plan_z.forward(zbuf, scratch);
+        let (da, db) = dst.split_at_mut(nzh);
+        for k in 0..nzh {
+            let zk = zbuf[k];
+            let zm = zbuf[(nz - k) % nz];
+            da[k] = Complex64::new(0.5 * (zk.re + zm.re), 0.5 * (zk.im - zm.im));
+            db[k] = Complex64::new(0.5 * (zk.im + zm.im), 0.5 * (zm.re - zk.re));
+        }
+    } else {
+        debug_assert_eq!(src.len(), nz);
+        for k in 0..nz {
+            zbuf[k] = Complex64::new(src[k], 0.0);
+        }
+        plan_z.forward(zbuf, scratch);
+        dst[..nzh].copy_from_slice(&zbuf[..nzh]);
+    }
+}
+
+/// Inverse of [`r2c_lines`]: synthesize the full conjugate-symmetric z
+/// line(s) from half-spectrum rows, inverse-transform, and write the real
+/// output scaled by `inv`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn c2r_lines(
+    plan_z: &Fft1d,
+    src: &[Complex64],
+    dst: &mut [f64],
+    nz: usize,
+    nzh: usize,
+    inv: f64,
+    zbuf: &mut [Complex64],
+    scratch: &mut [Complex64],
+) {
+    if dst.len() == 2 * nz {
+        let (a, b) = src.split_at(nzh);
+        for k in 0..nzh {
+            // A + i·B.
+            zbuf[k] = Complex64::new(a[k].re - b[k].im, a[k].im + b[k].re);
+        }
+        for k in nzh..nz {
+            // conj(A[nz-k]) + i·conj(B[nz-k]).
+            let am = a[nz - k];
+            let bm = b[nz - k];
+            zbuf[k] = Complex64::new(am.re + bm.im, bm.re - am.im);
+        }
+        run_line(plan_z, zbuf, scratch, true);
+        let (da, db) = dst.split_at_mut(nz);
+        for j in 0..nz {
+            da[j] = zbuf[j].re * inv;
+            db[j] = zbuf[j].im * inv;
+        }
+    } else {
+        debug_assert_eq!(dst.len(), nz);
+        zbuf[..nzh].copy_from_slice(&src[..nzh]);
+        for k in nzh..nz {
+            zbuf[k] = src[nz - k].conj();
+        }
+        run_line(plan_z, zbuf, scratch, true);
+        for (d, z) in dst.iter_mut().zip(zbuf.iter()) {
+            *d = z.re * inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim3::Fft3;
+
+    fn rand_real(len: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) - 0.5
+        };
+        (0..len).map(|_| next()).collect()
+    }
+
+    /// Full c2c spectrum of a real field, for cross-checking.
+    fn c2c_spectrum(field: &[f64], nx: usize, ny: usize, nz: usize) -> Vec<Complex64> {
+        let mut data: Vec<Complex64> =
+            field.iter().map(|&v| Complex64::new(v, 0.0)).collect();
+        Fft3::new(nx, ny, nz).forward(&mut data);
+        data
+    }
+
+    #[test]
+    fn half_spectrum_matches_c2c() {
+        for (nx, ny, nz) in [(4, 4, 4), (6, 5, 7), (3, 8, 9), (5, 5, 5), (2, 2, 2)] {
+            let field = rand_real(nx * ny * nz, 42 + (nx * ny * nz) as u64);
+            let want = c2c_spectrum(&field, nx, ny, nz);
+            let plan = RealFft3::new(nx, ny, nz);
+            let mut spec = vec![Complex64::ZERO; plan.spectrum_len()];
+            plan.forward(&field, &mut spec);
+            let nzh = plan.nzh();
+            let mut err: f64 = 0.0;
+            for ix in 0..nx {
+                for iy in 0..ny {
+                    for iz in 0..nzh {
+                        let got = spec[(ix * ny + iy) * nzh + iz];
+                        let w = want[(ix * ny + iy) * nz + iz];
+                        err = err.max((got - w).abs());
+                    }
+                }
+            }
+            assert!(err < 1e-10, "dims {nx}x{ny}x{nz}: err {err}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity_including_non_pow2() {
+        for (nx, ny, nz) in [(8, 8, 8), (6, 10, 15), (7, 7, 7), (12, 9, 5), (2, 3, 2)] {
+            let field = rand_real(nx * ny * nz, 7 + nz as u64);
+            let plan = RealFft3::new(nx, ny, nz);
+            let mut spec = vec![Complex64::ZERO; plan.spectrum_len()];
+            plan.forward(&field, &mut spec);
+            let mut back = vec![0.0f64; plan.len()];
+            plan.backward(&mut spec, &mut back);
+            let err = field
+                .iter()
+                .zip(&back)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-12, "dims {nx}x{ny}x{nz}: err {err}");
+        }
+    }
+
+    #[test]
+    fn repeated_transforms_reuse_pool() {
+        let plan = RealFft3::new_cubic(8);
+        let field = rand_real(512, 3);
+        let mut spec = vec![Complex64::ZERO; plan.spectrum_len()];
+        let mut out = vec![0.0f64; plan.len()];
+        plan.forward(&field, &mut spec);
+        plan.backward(&mut spec, &mut out);
+        let idle = plan.pool.idle();
+        assert!(idle > 0);
+        for _ in 0..3 {
+            plan.forward(&field, &mut spec);
+            plan.backward(&mut spec, &mut out);
+        }
+        // Steady state: the pool neither grows nor shrinks.
+        assert_eq!(plan.pool.idle(), idle);
+    }
+
+    #[test]
+    fn dc_bin_is_sum_and_real() {
+        let (nx, ny, nz) = (4, 3, 5);
+        let field = rand_real(nx * ny * nz, 11);
+        let plan = RealFft3::new(nx, ny, nz);
+        let mut spec = vec![Complex64::ZERO; plan.spectrum_len()];
+        plan.forward(&field, &mut spec);
+        let sum: f64 = field.iter().sum();
+        assert!((spec[0].re - sum).abs() < 1e-10);
+        assert!(spec[0].im.abs() < 1e-10);
+    }
+}

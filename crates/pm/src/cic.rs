@@ -50,33 +50,95 @@ pub fn deposit_cic(grid: &mut [f64], n: usize, xs: &[f32], ys: &[f32], zs: &[f32
     }
 }
 
+/// Reusable scratch for [`deposit_cic_par_with`]: the counting-sort
+/// arrays that group particle indices by x-bin, plus gather buffers for
+/// the odd-`n` wrap-around bin. Grown on first use, reused thereafter —
+/// a steady-state deposit performs no heap allocation.
+#[derive(Default)]
+pub struct CicScratch {
+    /// Bin start offsets (`n + 1` entries after prefix summation).
+    starts: Vec<u32>,
+    /// Per-bin write cursor during the scatter pass.
+    cursor: Vec<u32>,
+    /// Particle indices grouped by base x-cell (flat, `np` entries).
+    order: Vec<u32>,
+    wrap_x: Vec<f32>,
+    wrap_y: Vec<f32>,
+    wrap_z: Vec<f32>,
+}
+
 /// Parallel CIC deposit.
 ///
-/// Particles are binned by x-cell; bins are then processed in two colored
-/// passes (even x, odd x) so concurrently processed bins write disjoint
-/// pairs of x-planes. A special serial path handles `n < 4`, where the
-/// coloring argument breaks down.
+/// Particles are grouped by base x-cell with a counting sort into a flat
+/// index array; bins are then processed in two colored passes (even x,
+/// odd x) so concurrently processed bins write disjoint pairs of
+/// x-planes. A special serial path handles `n < 4`, where the coloring
+/// argument breaks down.
 pub fn deposit_cic_par(grid: &mut [f64], n: usize, xs: &[f32], ys: &[f32], zs: &[f32], mass: f64) {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<CicScratch> =
+            std::cell::RefCell::new(CicScratch::default());
+    }
+    SCRATCH.with(|s| deposit_cic_par_with(grid, n, xs, ys, zs, mass, &mut s.borrow_mut()));
+}
+
+/// [`deposit_cic_par`] with caller-owned scratch (allocation-free once
+/// the scratch buffers are warm).
+pub fn deposit_cic_par_with(
+    grid: &mut [f64],
+    n: usize,
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    mass: f64,
+    scratch: &mut CicScratch,
+) {
     assert_eq!(grid.len(), n * n * n);
+    assert!(xs.len() == ys.len() && ys.len() == zs.len());
     if n < 4 || xs.len() < 4096 {
         deposit_cic(grid, n, xs, ys, zs, mass);
         return;
     }
-    // Bin particle indices by base x-cell.
-    let mut bins: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let np = xs.len();
+    // Counting sort by base x-cell: starts/cursor/order replace the old
+    // per-call `Vec<Vec<u32>>` bin-of-vectors.
+    let CicScratch {
+        starts,
+        cursor,
+        order,
+        wrap_x,
+        wrap_y,
+        wrap_z,
+    } = scratch;
+    starts.clear();
+    starts.resize(n + 1, 0);
+    for &x in xs {
+        let (i, _) = cic_cell(x, n);
+        starts[i + 1] += 1;
+    }
+    for i in 0..n {
+        starts[i + 1] += starts[i];
+    }
+    cursor.clear();
+    cursor.extend_from_slice(&starts[..n]);
+    order.resize(np, 0);
     for (p, &x) in xs.iter().enumerate() {
         let (i, _) = cic_cell(x, n);
-        bins[i].push(p as u32);
+        order[cursor[i] as usize] = p as u32;
+        cursor[i] += 1;
     }
+    let starts = &starts[..];
+    let order = &order[..];
     let ptr = SyncF64Ptr(grid.as_mut_ptr());
     for parity in 0..2 {
-        bins.par_iter().enumerate().for_each(|(ix, bin)| {
+        (0..n).into_par_iter().for_each(|ix| {
             if ix % 2 != parity || (n % 2 == 1 && ix == n - 1) {
                 // Odd n: the wrap-around bin (writes planes n-1 and 0)
                 // aliases both colors; it is handled serially afterwards.
                 return;
             }
             let g = ptr;
+            let bin = &order[starts[ix] as usize..starts[ix + 1] as usize];
             for &p in bin {
                 let p = p as usize;
                 let (i, dx) = cic_cell(xs[p], n);
@@ -106,18 +168,21 @@ pub fn deposit_cic_par(grid: &mut [f64], n: usize, xs: &[f32], ys: &[f32], zs: &
                 }
             }
         });
-        if n % 2 == 1 {
-            // Odd n: the wrap-around bin aliases the first plane; handled
-            // by doing the last bin serially in the second pass instead.
-            if parity == 0 {
-                continue;
+        if n % 2 == 1 && parity == 1 {
+            // Odd n: the wrap-around bin aliases the first plane; deposit
+            // it serially, gathering into persistent scratch instead of
+            // allocating fresh per-call vectors.
+            let bin = &order[starts[n - 1] as usize..starts[n] as usize];
+            wrap_x.clear();
+            wrap_y.clear();
+            wrap_z.clear();
+            for &p in bin {
+                let p = p as usize;
+                wrap_x.push(xs[p]);
+                wrap_y.push(ys[p]);
+                wrap_z.push(zs[p]);
             }
-            let bin = &bins[n - 1];
-            let idx: Vec<usize> = bin.iter().map(|&p| p as usize).collect();
-            let bx: Vec<f32> = idx.iter().map(|&p| xs[p]).collect();
-            let by: Vec<f32> = idx.iter().map(|&p| ys[p]).collect();
-            let bz: Vec<f32> = idx.iter().map(|&p| zs[p]).collect();
-            deposit_cic(grid, n, &bx, &by, &bz, mass);
+            deposit_cic(grid, n, wrap_x, wrap_y, wrap_z, mass);
         }
     }
 }
@@ -172,11 +237,28 @@ pub fn deposit_tsc(grid: &mut [f64], n: usize, xs: &[f32], ys: &[f32], zs: &[f32
 
 /// Interpolate a grid field at particle positions (inverse CIC gather).
 pub fn interpolate_cic(grid: &[f64], n: usize, xs: &[f32], ys: &[f32], zs: &[f32]) -> Vec<f32> {
+    let mut out = Vec::new();
+    interpolate_cic_into(grid, n, xs, ys, zs, &mut out);
+    out
+}
+
+/// [`interpolate_cic`] into a caller-owned buffer (resized as needed; no
+/// allocation once warm).
+pub fn interpolate_cic_into(
+    grid: &[f64],
+    n: usize,
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    out: &mut Vec<f32>,
+) {
     assert_eq!(grid.len(), n * n * n);
-    xs.par_iter()
+    out.resize(xs.len(), 0.0);
+    out.par_iter_mut()
+        .zip(xs.par_iter())
         .zip(ys.par_iter())
         .zip(zs.par_iter())
-        .map(|((&x, &y), &z)| {
+        .for_each(|(((o, &x), &y), &z)| {
             let (i, dx) = cic_cell(x, n);
             let (j, dy) = cic_cell(y, n);
             let (k, dz) = cic_cell(z, n);
@@ -184,7 +266,7 @@ pub fn interpolate_cic(grid: &[f64], n: usize, xs: &[f32], ys: &[f32], zs: &[f32
             let j1 = (j + 1) % n;
             let k1 = (k + 1) % n;
             let (tx, ty, tz) = (1.0 - dx, 1.0 - dy, 1.0 - dz);
-            (grid[(i * n + j) * n + k] * tx * ty * tz
+            *o = (grid[(i * n + j) * n + k] * tx * ty * tz
                 + grid[(i * n + j) * n + k1] * tx * ty * dz
                 + grid[(i * n + j1) * n + k] * tx * dy * tz
                 + grid[(i * n + j1) * n + k1] * tx * dy * dz
@@ -192,8 +274,7 @@ pub fn interpolate_cic(grid: &[f64], n: usize, xs: &[f32], ys: &[f32], zs: &[f32
                 + grid[(i1 * n + j) * n + k1] * dx * ty * dz
                 + grid[(i1 * n + j1) * n + k] * dx * dy * tz
                 + grid[(i1 * n + j1) * n + k1] * dx * dy * dz) as f32
-        })
-        .collect()
+        });
 }
 
 #[derive(Clone, Copy)]
@@ -283,6 +364,43 @@ mod tests {
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0, f64::max);
             assert!(err < 1e-9, "n = {n}, err = {err}");
+        }
+    }
+
+    // Satellite: the parallel deposit must agree with the serial one per
+    // cell on odd grid sizes, where the wrap-around x-bin takes the
+    // serial fallback path (and must reuse scratch rather than allocate).
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+        #[test]
+        fn par_matches_serial_on_odd_grids(seed in proptest::prelude::any::<u64>(), pick in 0usize..3) {
+            let n = [5usize, 7, 33][pick];
+            // Above the 4096-particle threshold so the parallel path runs.
+            let (xs, ys, zs) = rand_positions(6000, n, seed);
+            let mut serial = vec![0.0; n * n * n];
+            deposit_cic(&mut serial, n, &xs, &ys, &zs, 1.0);
+            let mut scratch = CicScratch::default();
+            let mut par = vec![0.0; n * n * n];
+            deposit_cic_par_with(&mut par, n, &xs, &ys, &zs, 1.0, &mut scratch);
+            for (c, (a, b)) in serial.iter().zip(&par).enumerate() {
+                proptest::prop_assert!((a - b).abs() < 1e-12, "n={} cell {}: {} vs {}", n, c, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh() {
+        // Same scratch across grids of different size and particle count:
+        // results must be identical to fresh-scratch runs.
+        let mut scratch = CicScratch::default();
+        for (n, np, seed) in [(8usize, 5000usize, 1u64), (33, 6000, 2), (5, 4500, 3), (8, 4200, 4)]
+        {
+            let (xs, ys, zs) = rand_positions(np, n, seed);
+            let mut reused = vec![0.0; n * n * n];
+            deposit_cic_par_with(&mut reused, n, &xs, &ys, &zs, 1.0, &mut scratch);
+            let mut fresh = vec![0.0; n * n * n];
+            deposit_cic_par_with(&mut fresh, n, &xs, &ys, &zs, 1.0, &mut CicScratch::default());
+            assert_eq!(reused, fresh, "n={n} np={np}");
         }
     }
 

@@ -5,7 +5,7 @@
 //! same code runs on both decompositions. The weak-scaling studies of
 //! Fig. 6 and the full-code driver both build on this.
 
-use hacc_fft::{Complex64, DistFft3, Layout3};
+use hacc_fft::{Complex64, DistFft3, DistRealFft3, Layout3};
 
 use crate::spectral::SpectralParams;
 
@@ -85,12 +85,91 @@ impl<'a, F: DistFft3 + ?Sized> DistPoisson<'a, F> {
     }
 }
 
+/// Distributed Poisson solve over a real-to-complex transform
+/// ([`DistRealFft3`]): the half-spectrum analogue of [`DistPoisson`],
+/// with half the FFT flops and half the transpose traffic.
+pub struct DistRealPoisson<'a, F: DistRealFft3 + ?Sized> {
+    fft: &'a F,
+    params: SpectralParams,
+    delta: f64,
+}
+
+impl<'a, F: DistRealFft3 + ?Sized> DistRealPoisson<'a, F> {
+    /// Create a solver; `box_len` is the periodic box side.
+    pub fn new(fft: &'a F, box_len: f64, params: SpectralParams) -> Self {
+        DistRealPoisson {
+            fft,
+            params,
+            delta: box_len / fft.n() as f64,
+        }
+    }
+
+    /// Layout of the rank-local real-space block.
+    pub fn real_layout(&self) -> Layout3 {
+        self.fft.real_layout()
+    }
+
+    /// Gradient multiplier with the Nyquist index projected to zero so
+    /// the half-spectrum product stays Hermitian (see
+    /// [`crate::solver::PmSolver`] for the rationale).
+    fn grad(&self, i: usize, n: usize) -> f64 {
+        if n.is_multiple_of(2) && i == n / 2 {
+            0.0
+        } else {
+            self.params.gradient(i, n, self.delta)
+        }
+    }
+
+    /// Solve for the three force component grids from the local source
+    /// block (real layout in, real layout out). Cost: 1 r2c forward +
+    /// 3 c2r inverse distributed FFTs on the half-spectrum.
+    pub fn solve_forces(&self, source: &[f64]) -> [Vec<f64>; 3] {
+        let rl = self.fft.real_layout();
+        assert_eq!(source.len(), rl.len(), "source does not match layout");
+        let mut k_data = self.fft.forward(source.to_vec());
+        let kl = self.fft.k_layout();
+        let (n, d) = (self.fft.n(), self.delta);
+        let p = self.params;
+        for (i, v) in k_data.iter_mut().enumerate() {
+            let g = kl.global_coords(i);
+            let scale = p.influence(g, n, d) * p.filter(g, n, d);
+            *v = v.scale(scale);
+        }
+        let mut out: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for (c, slot) in out.iter_mut().enumerate() {
+            let mut comp = k_data.clone();
+            for (i, v) in comp.iter_mut().enumerate() {
+                let g = kl.global_coords(i);
+                *v *= Complex64::new(0.0, -self.grad(g[c], n));
+            }
+            *slot = self.fft.backward(comp);
+        }
+        out
+    }
+
+    /// Solve for the potential only (1 r2c forward + 1 c2r inverse).
+    pub fn solve_potential(&self, source: &[f64]) -> Vec<f64> {
+        let rl = self.fft.real_layout();
+        assert_eq!(source.len(), rl.len());
+        let mut k_data = self.fft.forward(source.to_vec());
+        let kl = self.fft.k_layout();
+        let (n, d) = (self.fft.n(), self.delta);
+        let p = self.params;
+        for (i, v) in k_data.iter_mut().enumerate() {
+            let g = kl.global_coords(i);
+            let scale = p.influence(g, n, d) * p.filter(g, n, d);
+            *v = v.scale(scale);
+        }
+        self.fft.backward(k_data)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::solver::PmSolver;
     use hacc_comm::Machine;
-    use hacc_fft::{PencilFft, SlabFft};
+    use hacc_fft::{PencilFft, RealPencilFft, SlabFft};
 
     fn rand_source(n: usize, seed: u64) -> Vec<f64> {
         let mut s = seed | 1;
@@ -157,6 +236,68 @@ mod tests {
     fn pencil_matches_serial() {
         check_against_serial(8, 4, true);
         check_against_serial(12, 6, true);
+    }
+
+    /// The distributed half-spectrum solve must equal the serial solver
+    /// (which itself is pinned to the c2c reference).
+    #[test]
+    fn real_pencil_matches_serial() {
+        for (n, ranks) in [(8usize, 4usize), (12, 6), (9, 4)] {
+            let source = rand_source(n, 5 * n as u64 + 1);
+            let serial = PmSolver::new(n, n as f64, SpectralParams::default());
+            let want = serial.solve_forces(&source);
+            let src = source.clone();
+            let (results, _) = Machine::new(ranks).run(move |comm| {
+                let fft = RealPencilFft::new(&comm, n);
+                let rl = fft.real_layout();
+                let mut local = vec![0.0; rl.len()];
+                for (i, v) in local.iter_mut().enumerate() {
+                    let g = rl.global_coords(i);
+                    *v = src[(g[0] * n + g[1]) * n + g[2]];
+                }
+                let solver = DistRealPoisson::new(&fft, n as f64, SpectralParams::default());
+                (rl, solver.solve_forces(&local))
+            });
+            for (rl, forces) in &results {
+                for c in 0..3 {
+                    for (i, v) in forces[c].iter().enumerate() {
+                        let g = rl.global_coords(i);
+                        let w = want[c][(g[0] * n + g[1]) * n + g[2]];
+                        assert!(
+                            (v - w).abs() < 1e-9,
+                            "n={n} ranks={ranks} c={c} {g:?}: {v} vs {w}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn real_pencil_potential_matches_serial() {
+        let n = 8;
+        let source = rand_source(n, 11);
+        let serial = PmSolver::new(n, n as f64, SpectralParams::default());
+        let want = serial.solve_potential(&source);
+        let src = source.clone();
+        let (results, _) = Machine::new(4).run(move |comm| {
+            let fft = RealPencilFft::new(&comm, n);
+            let rl = fft.real_layout();
+            let mut local = vec![0.0; rl.len()];
+            for (i, v) in local.iter_mut().enumerate() {
+                let g = rl.global_coords(i);
+                *v = src[(g[0] * n + g[1]) * n + g[2]];
+            }
+            let solver = DistRealPoisson::new(&fft, n as f64, SpectralParams::default());
+            (rl, solver.solve_potential(&local))
+        });
+        for (rl, phi) in &results {
+            for (i, v) in phi.iter().enumerate() {
+                let g = rl.global_coords(i);
+                let w = want[(g[0] * n + g[1]) * n + g[2]];
+                assert!((v - w).abs() < 1e-10);
+            }
+        }
     }
 
     #[test]

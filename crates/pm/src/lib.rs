@@ -17,8 +17,11 @@ pub mod response;
 pub mod solver;
 pub mod spectral;
 
-pub use cic::{deposit_cic, deposit_cic_par, deposit_tsc, interpolate_cic};
-pub use dist::DistPoisson;
+pub use cic::{
+    deposit_cic, deposit_cic_par, deposit_cic_par_with, deposit_tsc, interpolate_cic,
+    interpolate_cic_into, CicScratch,
+};
+pub use dist::{DistPoisson, DistRealPoisson};
 pub use response::GridForceFit;
 pub use solver::PmSolver;
 pub use spectral::SpectralParams;

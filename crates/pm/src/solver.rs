@@ -4,18 +4,49 @@
 //! field `F = -∇φ`, with all HACC kernels composed in k-space: the
 //! "Poisson-solve" costs one forward FFT, and each gradient component one
 //! independent inverse FFT (Section II).
+//!
+//! The production path works on the Hermitian half-spectrum
+//! (`n × n × (n/2+1)` bins) via [`RealFft3`]: the density is real, so
+//! one r2c forward plus three c2r inverses does the same job as the
+//! complex solve at roughly half the flops and memory traffic. The
+//! influence×filter and gradient kernels are precomputed into tables at
+//! construction, and a single shared spectrum feeds all three gradient
+//! components — no per-component clone of ρ(k). The complex-to-complex
+//! path is retained as [`PmSolver::solve_forces_c2c`] as a bit-level
+//! reference for regression tests.
 
-use hacc_fft::{Complex64, Fft3};
+use std::sync::Mutex;
+
+use hacc_fft::{Complex64, Fft3, RealFft3};
 use rayon::prelude::*;
 
 use crate::spectral::SpectralParams;
 
+/// Reusable spectral scratch: the shared filtered spectrum and the
+/// per-component gradient spectrum. Grown once, reused every solve.
+#[derive(Default)]
+struct PmWorkspace {
+    base: Vec<Complex64>,
+    comp: Vec<Complex64>,
+}
+
 /// A reusable spectral solver for a fixed grid.
 pub struct PmSolver {
     n: usize,
+    nzh: usize,
     box_len: f64,
     params: SpectralParams,
+    /// Complex reference path (kept for regression checks).
     fft: Fft3,
+    /// Production half-spectrum path.
+    rfft: RealFft3,
+    /// Influence×filter table over the half-spectrum, `n·n·nzh` entries
+    /// in the same row-major layout as the spectrum itself.
+    gs: Vec<f64>,
+    /// 1-D gradient multiplier table, one entry per global index. The
+    /// grid is cubic so all three components share it.
+    grad: Vec<f64>,
+    ws: Mutex<PmWorkspace>,
 }
 
 impl PmSolver {
@@ -23,11 +54,36 @@ impl PmSolver {
     /// `box_len` (any length units; forces come out in source·length).
     pub fn new(n: usize, box_len: f64, params: SpectralParams) -> Self {
         assert!(n > 1, "grid too small");
+        let nzh = n / 2 + 1;
+        let d = box_len / n as f64;
+        let mut gs = vec![0.0f64; n * n * nzh];
+        gs.par_chunks_mut(n * nzh).enumerate().for_each(|(ix, pl)| {
+            for iy in 0..n {
+                for iz in 0..nzh {
+                    let idx = [ix, iy, iz];
+                    pl[iy * nzh + iz] = params.influence(idx, n, d) * params.filter(idx, n, d);
+                }
+            }
+        });
+        let mut grad: Vec<f64> = (0..n).map(|i| params.gradient(i, n, d)).collect();
+        if n.is_multiple_of(2) {
+            // A Hermitian-consistent odd multiplier must vanish at the
+            // Nyquist index (k ≡ -k there). The c2c reference reaches the
+            // same answer implicitly: a nonzero D(n/2) makes the Nyquist
+            // plane of -i·D·φ purely anti-Hermitian, and truncating the
+            // inverse transform to `.re` discards exactly that plane.
+            grad[n / 2] = 0.0;
+        }
         PmSolver {
             n,
+            nzh,
             box_len,
             params,
             fft: Fft3::new_cubic(n),
+            rfft: RealFft3::new_cubic(n),
+            gs,
+            grad,
+            ws: Mutex::new(PmWorkspace::default()),
         }
     }
 
@@ -51,47 +107,96 @@ impl PmSolver {
         &self.params
     }
 
-    fn to_complex(&self, source: &[f64]) -> Vec<Complex64> {
-        assert_eq!(source.len(), self.n * self.n * self.n);
-        source.par_iter().map(|&v| Complex64::new(v, 0.0)).collect()
+    /// Multiply the half-spectrum by the influence×filter table.
+    fn apply_influence(&self, spec: &mut [Complex64]) {
+        spec.par_iter_mut()
+            .zip(self.gs.par_iter())
+            .for_each(|(v, &g)| *v = v.scale(g));
     }
 
-    /// Apply a complex-valued k-space kernel element-wise; `f` receives the
-    /// global grid indices of each mode.
-    fn apply_kernel<F>(&self, data: &mut [Complex64], f: F)
-    where
-        F: Fn([usize; 3]) -> Complex64 + Sync,
-    {
-        let n = self.n;
-        data.par_chunks_mut(n * n)
+    /// Write `comp = -i·D_axis·base` over the half-spectrum.
+    ///
+    /// With the gradient table zeroed at DC and Nyquist the multiplier
+    /// is an exactly odd function of its axis index, so the product
+    /// stays Hermitian and the c2r inverse loses nothing.
+    fn apply_gradient(&self, base: &[Complex64], comp: &mut [Complex64], axis: usize) {
+        let (n, nzh) = (self.n, self.nzh);
+        let grad = &self.grad;
+        comp.par_chunks_mut(n * nzh)
             .enumerate()
-            .for_each(|(ix, plane)| {
+            .for_each(|(ix, cp)| {
+                let bp = &base[ix * n * nzh..(ix + 1) * n * nzh];
                 for iy in 0..n {
-                    for iz in 0..n {
-                        let k = f([ix, iy, iz]);
-                        plane[iy * n + iz] *= k;
+                    let row = iy * nzh;
+                    if axis < 2 {
+                        let d = if axis == 0 { grad[ix] } else { grad[iy] };
+                        for iz in 0..nzh {
+                            let v = bp[row + iz];
+                            cp[row + iz] = Complex64::new(v.im * d, -v.re * d);
+                        }
+                    } else {
+                        for iz in 0..nzh {
+                            let d = grad[iz];
+                            let v = bp[row + iz];
+                            cp[row + iz] = Complex64::new(v.im * d, -v.re * d);
+                        }
                     }
                 }
             });
     }
 
-    /// Solve for the potential: `φ = FFT⁻¹[ G(k)·S(k)·FFT[source] ]`.
-    pub fn solve_potential(&self, source: &[f64]) -> Vec<f64> {
-        let mut rho = self.to_complex(source);
-        self.fft.forward(&mut rho);
-        let (n, d) = (self.n, self.delta());
-        let p = self.params;
-        self.apply_kernel(&mut rho, |idx| {
-            Complex64::new(p.influence(idx, n, d) * p.filter(idx, n, d), 0.0)
-        });
-        self.fft.backward(&mut rho);
-        rho.par_iter().map(|c| c.re).collect()
+    /// Solve for the potential: `φ = FFT⁻¹[ G(k)·S(k)·FFT[source] ]`,
+    /// writing into `out` (resized as needed, no allocation once warm).
+    pub fn solve_potential_into(&self, source: &[f64], out: &mut Vec<f64>) {
+        let mut ws = self.ws.lock().expect("pm workspace poisoned");
+        let base = &mut ws.base;
+        base.resize(self.rfft.spectrum_len(), Complex64::ZERO);
+        self.rfft.forward(source, base);
+        self.apply_influence(base);
+        out.resize(self.n * self.n * self.n, 0.0);
+        self.rfft.backward(base, out);
     }
 
-    /// Solve for the force field `F = -∇φ` where `∇²φ = source`.
+    /// Solve for the potential, returning a fresh grid.
+    pub fn solve_potential(&self, source: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.solve_potential_into(source, &mut out);
+        out
+    }
+
+    /// Solve for the force field `F = -∇φ` where `∇²φ = source`,
+    /// writing the three component grids into `out` (resized as needed;
+    /// allocation-free once the buffers are warm).
     ///
-    /// Returns the three component grids. Cost: 1 forward + 3 inverse FFTs.
+    /// Cost: 1 r2c forward + 3 c2r inverses on the half-spectrum. The
+    /// filtered spectrum is computed once and shared by all components.
+    pub fn solve_forces_into(&self, source: &[f64], out: &mut [Vec<f64>; 3]) {
+        let mut ws = self.ws.lock().expect("pm workspace poisoned");
+        let PmWorkspace { base, comp } = &mut *ws;
+        let slen = self.rfft.spectrum_len();
+        base.resize(slen, Complex64::ZERO);
+        comp.resize(slen, Complex64::ZERO);
+        self.rfft.forward(source, base);
+        self.apply_influence(base);
+        for (c, slot) in out.iter_mut().enumerate() {
+            slot.resize(self.n * self.n * self.n, 0.0);
+            // F_c(k) = -i·D_c(k)·φ(k).
+            self.apply_gradient(base, comp, c);
+            self.rfft.backward(comp, slot);
+        }
+    }
+
+    /// Solve for the force field, returning fresh component grids.
     pub fn solve_forces(&self, source: &[f64]) -> [Vec<f64>; 3] {
+        let mut out = [Vec::new(), Vec::new(), Vec::new()];
+        self.solve_forces_into(source, &mut out);
+        out
+    }
+
+    /// Complex-to-complex reference force solve (the original
+    /// implementation). Kept to pin the half-spectrum path: both must
+    /// agree to ≲1e-10 on any real source.
+    pub fn solve_forces_c2c(&self, source: &[f64]) -> [Vec<f64>; 3] {
         let mut rho = self.to_complex(source);
         self.fft.forward(&mut rho);
         let (n, d) = (self.n, self.delta());
@@ -112,6 +217,30 @@ impl PmSolver {
         }
         out
     }
+
+    fn to_complex(&self, source: &[f64]) -> Vec<Complex64> {
+        assert_eq!(source.len(), self.n * self.n * self.n);
+        source.par_iter().map(|&v| Complex64::new(v, 0.0)).collect()
+    }
+
+    /// Apply a complex-valued k-space kernel element-wise on the full
+    /// spectrum; `f` receives the global grid indices of each mode.
+    fn apply_kernel<F>(&self, data: &mut [Complex64], f: F)
+    where
+        F: Fn([usize; 3]) -> Complex64 + Sync,
+    {
+        let n = self.n;
+        data.par_chunks_mut(n * n)
+            .enumerate()
+            .for_each(|(ix, plane)| {
+                for iy in 0..n {
+                    for iz in 0..n {
+                        let k = f([ix, iy, iz]);
+                        plane[iy * n + iz] *= k;
+                    }
+                }
+            });
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +257,18 @@ mod tests {
             sixth_order_influence: false,
             super_lanczos_gradient: false,
         }
+    }
+
+    fn rand_density(n: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed | 1;
+        (0..n * n * n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s as f64 / u64::MAX as f64) - 0.5
+            })
+            .collect()
     }
 
     #[test]
@@ -214,6 +355,62 @@ mod tests {
         for c in &f {
             let sum: f64 = c.iter().sum();
             assert!(sum.abs() < 1e-8, "component sum {sum}");
+        }
+    }
+
+    /// The half-spectrum production path must reproduce the complex
+    /// reference solve on a random density field (tentpole regression).
+    #[test]
+    fn r2c_forces_match_c2c_reference_64() {
+        let n = 64;
+        let src = rand_density(n, 20120931);
+        for (params, tag) in [
+            (SpectralParams::default(), "default"),
+            (exact_params(), "exact"),
+        ] {
+            let solver = PmSolver::new(n, 130.0, params);
+            let fast = solver.solve_forces(&src);
+            let reference = solver.solve_forces_c2c(&src);
+            let mut max = 0.0f64;
+            for c in 0..3 {
+                for (a, b) in fast[c].iter().zip(&reference[c]) {
+                    max = max.max((a - b).abs());
+                }
+            }
+            assert!(max <= 1e-10, "{tag}: max abs diff {max:e}");
+        }
+    }
+
+    /// Same agreement requirement for odd grids, where no Nyquist plane
+    /// exists and the self-conjugate set is just the DC bin.
+    #[test]
+    fn r2c_forces_match_c2c_reference_odd_grid() {
+        let n = 9;
+        let src = rand_density(n, 77);
+        for params in [SpectralParams::default(), exact_params()] {
+            let solver = PmSolver::new(n, 9.0, params);
+            let fast = solver.solve_forces(&src);
+            let reference = solver.solve_forces_c2c(&src);
+            for c in 0..3 {
+                for (a, b) in fast[c].iter().zip(&reference[c]) {
+                    assert!((a - b).abs() <= 1e-10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_into_reuses_buffers_and_matches() {
+        let n = 12;
+        let solver = PmSolver::new(n, 24.0, SpectralParams::default());
+        let src = rand_density(n, 5);
+        let want = solver.solve_forces(&src);
+        let mut out = [Vec::new(), Vec::new(), Vec::new()];
+        // Two rounds into the same buffers; second must be identical.
+        solver.solve_forces_into(&src, &mut out);
+        solver.solve_forces_into(&src, &mut out);
+        for c in 0..3 {
+            assert_eq!(out[c], want[c]);
         }
     }
 

@@ -8,23 +8,67 @@
 //! is present locally, exactly like overloading one level down). Forces
 //! are evaluated per slice and scattered back for owner particles only.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use rayon::prelude::*;
 
 use crate::kernel::ForceKernel;
-use crate::tree::{RcbTree, TreeParams};
+use crate::tree::{RcbTree, TreeParams, TreeScratch};
 
 /// A forest of independently built RCB trees over one particle set.
+///
+/// Each slice carries its own tree scratch and gather buffers, so the
+/// parallel [`TreeForest::rebuild`] / [`TreeForest::forces_into`] cycle
+/// is allocation-free once warm.
 pub struct TreeForest {
     slices: Vec<Slice>,
     np: usize,
 }
 
+#[derive(Default)]
 struct Slice {
-    tree: RcbTree,
+    tree: Option<RcbTree>,
     /// Original indices of the owner particles (tree-local order: the
     /// first `owners.len()` particles in the slice's input arrays).
     owners: Vec<u32>,
+    /// Original indices of the ghost particles appended after owners.
+    ghosts: Vec<u32>,
     owner_count: usize,
+    scratch: TreeScratch,
+    sx: Vec<f32>,
+    sy: Vec<f32>,
+    sz: Vec<f32>,
+    sm: Vec<f32>,
+    fbuf: [Vec<f32>; 3],
+    inter: u64,
+}
+
+impl Slice {
+    fn gather_and_build(
+        &mut self,
+        xs: &[f32],
+        ys: &[f32],
+        zs: &[f32],
+        mass: &[f32],
+        params: TreeParams,
+    ) {
+        self.sx.clear();
+        self.sy.clear();
+        self.sz.clear();
+        self.sm.clear();
+        for &i in self.owners.iter().chain(self.ghosts.iter()) {
+            let i = i as usize;
+            self.sx.push(xs[i]);
+            self.sy.push(ys[i]);
+            self.sz.push(zs[i]);
+            self.sm.push(mass[i]);
+        }
+        self.owner_count = self.owners.len();
+        let tree = self
+            .tree
+            .get_or_insert_with(|| RcbTree::new_empty(params));
+        tree.rebuild(&self.sx, &self.sy, &self.sz, &self.sm, &mut self.scratch);
+    }
 }
 
 impl TreeForest {
@@ -39,18 +83,38 @@ impl TreeForest {
         n_trees: usize,
         rcut: f32,
     ) -> Self {
-        let np = xs.len();
         assert!(n_trees >= 1);
+        let mut forest = TreeForest {
+            slices: (0..n_trees).map(|_| Slice::default()).collect(),
+            np: 0,
+        };
+        forest.rebuild(xs, ys, zs, mass, params, rcut);
+        forest
+    }
+
+    /// Re-slice and rebuild every tree over a new particle set, reusing
+    /// all per-slice buffers. The slice count is fixed at construction.
+    pub fn rebuild(
+        &mut self,
+        xs: &[f32],
+        ys: &[f32],
+        zs: &[f32],
+        mass: &[f32],
+        params: TreeParams,
+        rcut: f32,
+    ) {
+        let np = xs.len();
+        let n_trees = self.slices.len();
+        self.np = np;
+        for s in self.slices.iter_mut() {
+            s.owners.clear();
+            s.ghosts.clear();
+        }
         if np == 0 || n_trees == 1 {
-            let tree = RcbTree::build(xs, ys, zs, mass, params);
-            return TreeForest {
-                slices: vec![Slice {
-                    tree,
-                    owners: (0..np as u32).collect(),
-                    owner_count: np,
-                }],
-                np,
-            };
+            let s = &mut self.slices[0];
+            s.owners.extend(0..np as u32);
+            s.gather_and_build(xs, ys, zs, mass, params);
+            return;
         }
         // Longest-extent axis.
         let extent = |v: &[f32]| -> (f32, f32) {
@@ -78,45 +142,26 @@ impl TreeForest {
             "slices thinner than the cutoff: width {width}, rcut {rcut}"
         );
 
-        // Assign owners and ghosts per slice.
-        let mut owner_idx: Vec<Vec<u32>> = vec![Vec::new(); n_trees];
-        let mut ghost_idx: Vec<Vec<u32>> = vec![Vec::new(); n_trees];
+        // Assign owners and ghosts per slice. A split borrow would not
+        // help here (two slices receive the same ghost), so index in.
         for (p, &c) in coord.iter().enumerate() {
             let s = (((c - lo) / width) as usize).min(n_trees - 1);
-            owner_idx[s].push(p as u32);
+            self.slices[s].owners.push(p as u32);
             // Ghost into neighbors when within rcut of a slice face
             // (non-periodic: the caller's overloading already handled the
             // domain boundary).
             if s > 0 && c - (lo + s as f32 * width) < rcut {
-                ghost_idx[s - 1].push(p as u32);
+                self.slices[s - 1].ghosts.push(p as u32);
             }
             if s + 1 < n_trees && (lo + (s + 1) as f32 * width) - c <= rcut {
-                ghost_idx[s + 1].push(p as u32);
+                self.slices[s + 1].ghosts.push(p as u32);
             }
         }
 
         // Parallel tree build — the threading win the paper is after.
-        let slices: Vec<Slice> = owner_idx
-            .into_par_iter()
-            .zip(ghost_idx)
-            .map(|(owners, ghosts)| {
-                let gather = |idx: &[u32], src: &[f32]| -> Vec<f32> {
-                    idx.iter().map(|&i| src[i as usize]).collect()
-                };
-                let all: Vec<u32> = owners.iter().chain(ghosts.iter()).copied().collect();
-                let sx = gather(&all, xs);
-                let sy = gather(&all, ys);
-                let sz = gather(&all, zs);
-                let sm = gather(&all, mass);
-                let owner_count = owners.len();
-                Slice {
-                    tree: RcbTree::build(&sx, &sy, &sz, &sm, params),
-                    owners,
-                    owner_count,
-                }
-            })
-            .collect();
-        TreeForest { slices, np }
+        self.slices
+            .par_iter_mut()
+            .for_each(|s| s.gather_and_build(xs, ys, zs, mass, params));
     }
 
     /// Number of trees.
@@ -126,26 +171,42 @@ impl TreeForest {
 
     /// Evaluate forces for all (owner) particles; returns forces in the
     /// original ordering plus the interaction count.
-    pub fn forces(&self, kernel: &ForceKernel) -> ([Vec<f32>; 3], u64) {
-        let per_slice: Vec<([Vec<f32>; 3], u64)> = self
-            .slices
-            .par_iter()
-            .map(|s| s.tree.forces(kernel))
-            .collect();
-        let mut fx = vec![0.0f32; self.np];
-        let mut fy = vec![0.0f32; self.np];
-        let mut fz = vec![0.0f32; self.np];
-        let mut inter = 0u64;
-        for (s, (f, i)) in self.slices.iter().zip(per_slice) {
-            inter += i;
+    pub fn forces(&mut self, kernel: &ForceKernel) -> ([Vec<f32>; 3], u64) {
+        let mut out = [Vec::new(), Vec::new(), Vec::new()];
+        let inter = self.forces_into(kernel, &mut out);
+        (out, inter)
+    }
+
+    /// Evaluate forces into caller-owned buffers, reusing per-slice
+    /// scratch (allocation-free once warm). Returns the interaction
+    /// count.
+    pub fn forces_into(&mut self, kernel: &ForceKernel, out: &mut [Vec<f32>; 3]) -> u64 {
+        let inter = AtomicU64::new(0);
+        self.slices.par_iter_mut().for_each(|s| {
+            let Slice {
+                tree,
+                scratch,
+                fbuf,
+                ..
+            } = s;
+            if let Some(tree) = tree {
+                let (i, _, _) = tree.forces_into(kernel, scratch, fbuf);
+                s.inter = i;
+                inter.fetch_add(i, Ordering::Relaxed);
+            }
+        });
+        for o in out.iter_mut() {
+            o.resize(self.np, 0.0);
+        }
+        for s in self.slices.iter() {
             for (local, &orig) in s.owners.iter().enumerate() {
                 debug_assert!(local < s.owner_count);
-                fx[orig as usize] = f[0][local];
-                fy[orig as usize] = f[1][local];
-                fz[orig as usize] = f[2][local];
+                for (o, f) in out.iter_mut().zip(s.fbuf.iter()) {
+                    o[orig as usize] = f[local];
+                }
             }
         }
-        ([fx, fy, fz], inter)
+        inter.load(Ordering::Relaxed)
     }
 }
 
@@ -174,7 +235,7 @@ mod tests {
         let single = RcbTree::build(&xs, &ys, &zs, &m, TreeParams { leaf_size: 32 });
         let (want, _) = single.forces(&kernel);
         for n_trees in [2usize, 4] {
-            let forest = TreeForest::build(
+            let mut forest = TreeForest::build(
                 &xs,
                 &ys,
                 &zs,
@@ -203,7 +264,7 @@ mod tests {
     fn single_tree_forest_is_plain_tree() {
         let (xs, ys, zs, m) = rand_particles(300, 10.0, 7);
         let kernel = ForceKernel::newtonian(2.0, 1e-4);
-        let forest = TreeForest::build(&xs, &ys, &zs, &m, TreeParams::default(), 1, 2.0);
+        let mut forest = TreeForest::build(&xs, &ys, &zs, &m, TreeParams::default(), 1, 2.0);
         let single = RcbTree::build(&xs, &ys, &zs, &m, TreeParams::default());
         let (a, _) = forest.forces(&kernel);
         let (b, _) = single.forces(&kernel);
@@ -213,7 +274,7 @@ mod tests {
     #[test]
     fn empty_forest() {
         let kernel = ForceKernel::newtonian(1.0, 1e-4);
-        let forest = TreeForest::build(&[], &[], &[], &[], TreeParams::default(), 4, 1.0);
+        let mut forest = TreeForest::build(&[], &[], &[], &[], TreeParams::default(), 4, 1.0);
         let (f, i) = forest.forces(&kernel);
         assert_eq!(i, 0);
         assert!(f[0].is_empty());

@@ -71,9 +71,8 @@ impl ForceKernel {
             .mul_add(s, c[0]);
         let f = inv3 - poly;
         // Branch-free cutoff and self-interaction guard (the fsel idiom):
-        // both conditions compile to selects, not branches.
-        let f = if s < self.rcut2 { f } else { 0.0 };
-        if s > 0.0 {
+        // one combined select instead of two chained ones.
+        if s > 0.0 && s < self.rcut2 {
             f
         } else {
             0.0
@@ -240,6 +239,21 @@ mod tests {
         assert_eq!(k.factor(9.0), 0.0);
         assert_eq!(k.factor(100.0), 0.0);
         assert!(k.factor(1.0) != 0.0);
+    }
+
+    /// The combined select must yield *exact* zeros (bit pattern +0.0) at
+    /// the self-interaction point and at/beyond the cutoff, for both
+    /// plain and fitted kernels.
+    #[test]
+    fn factor_exactly_zero_at_bounds() {
+        for k in [kernel(), ForceKernel::newtonian(3.0, 1e-6)] {
+            assert_eq!(k.factor(0.0).to_bits(), 0.0f32.to_bits(), "s = 0");
+            let rcut2 = 9.0f32;
+            assert_eq!(k.factor(rcut2).to_bits(), 0.0f32.to_bits(), "s = rcut²");
+            for s in [rcut2 + f32::EPSILON, 1.5 * rcut2, 1e6] {
+                assert_eq!(k.factor(s).to_bits(), 0.0f32.to_bits(), "s = {s}");
+            }
+        }
     }
 
     #[test]

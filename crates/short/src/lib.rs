@@ -23,4 +23,4 @@ pub mod tree;
 pub use forest::TreeForest;
 pub use kernel::{ForceKernel, FLOPS_PER_INTERACTION, FLOPS_PER_INTERACTION_ACTUAL};
 pub use p3m::P3mSolver;
-pub use tree::{RcbTree, TreeParams};
+pub use tree::{RcbTree, TreeParams, TreeScratch};

@@ -20,9 +20,68 @@
 //! the PM solver), so interaction lists are exact: all particles in leaves
 //! intersecting the target leaf's bounding box inflated by `r_cut`.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
 use rayon::prelude::*;
 
 use crate::kernel::ForceKernel;
+
+/// Per-worker gather buffers for one interaction-list walk.
+#[derive(Default)]
+struct Gather {
+    nx: Vec<f32>,
+    ny: Vec<f32>,
+    nz: Vec<f32>,
+    nm: Vec<f32>,
+    stack: Vec<usize>,
+}
+
+/// Pool of [`Gather`] buffers, leased per worker during a force pass and
+/// returned on drop, so repeated passes reuse the same allocations.
+#[derive(Default)]
+struct GatherPool {
+    bufs: Mutex<Vec<Gather>>,
+}
+
+impl GatherPool {
+    fn lease(&self) -> GatherLease<'_> {
+        let buf = self
+            .bufs
+            .lock()
+            .expect("gather pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        GatherLease { pool: self, buf }
+    }
+}
+
+struct GatherLease<'a> {
+    pool: &'a GatherPool,
+    buf: Gather,
+}
+
+impl Drop for GatherLease<'_> {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        self.pool.bufs.lock().expect("gather pool poisoned").push(buf);
+    }
+}
+
+/// Reusable scratch for [`RcbTree::rebuild`] and [`RcbTree::forces_into`]:
+/// partition swap records, per-worker gather buffers, and the tree-order
+/// force accumulators. Steady-state rebuild + force evaluation performs
+/// no heap allocation.
+#[derive(Default)]
+pub struct TreeScratch {
+    /// Swap pairs recorded by the three-phase partition.
+    swaps: Vec<(u32, u32)>,
+    /// Interaction-list gather buffers, one lease per worker.
+    pool: GatherPool,
+    /// Forces in tree (permuted) order, scattered to input order at the
+    /// end of a pass.
+    ftree: [Vec<f32>; 3],
+}
 
 /// Tree tuning parameters.
 #[derive(Debug, Clone, Copy)]
@@ -83,23 +142,54 @@ impl RcbTree {
         mass: &[f32],
         params: TreeParams,
     ) -> Self {
-        let np = xs.len();
-        assert!(ys.len() == np && zs.len() == np && mass.len() == np);
-        let mut tree = RcbTree {
+        let mut tree = Self::new_empty(params);
+        tree.rebuild(xs, ys, zs, mass, &mut TreeScratch::default());
+        tree
+    }
+
+    /// An empty tree ready for [`RcbTree::rebuild`].
+    pub fn new_empty(params: TreeParams) -> Self {
+        RcbTree {
             nodes: Vec::new(),
-            xs: xs.to_vec(),
-            ys: ys.to_vec(),
-            zs: zs.to_vec(),
-            mass: mass.to_vec(),
-            perm: (0..np as u32).collect(),
+            xs: Vec::new(),
+            ys: Vec::new(),
+            zs: Vec::new(),
+            mass: Vec::new(),
+            perm: Vec::new(),
             leaves: Vec::new(),
             params,
-        };
-        if np > 0 {
-            let root = tree.make_node(0, np);
-            tree.split(root);
         }
-        tree
+    }
+
+    /// Rebuild the tree over a new particle set, reusing every internal
+    /// buffer (and the partition scratch) — allocation-free once the
+    /// capacities are warm.
+    pub fn rebuild(
+        &mut self,
+        xs: &[f32],
+        ys: &[f32],
+        zs: &[f32],
+        mass: &[f32],
+        scratch: &mut TreeScratch,
+    ) {
+        let np = xs.len();
+        assert!(ys.len() == np && zs.len() == np && mass.len() == np);
+        self.nodes.clear();
+        self.leaves.clear();
+        self.xs.clear();
+        self.xs.extend_from_slice(xs);
+        self.ys.clear();
+        self.ys.extend_from_slice(ys);
+        self.zs.clear();
+        self.zs.extend_from_slice(zs);
+        self.mass.clear();
+        self.mass.extend_from_slice(mass);
+        self.perm.clear();
+        self.perm.extend(0..np as u32);
+        if np > 0 {
+            let root = self.make_node(0, np);
+            self.split(root, &mut scratch.swaps);
+        }
     }
 
     /// Number of tree nodes.
@@ -138,7 +228,7 @@ impl RcbTree {
         self.nodes.len() - 1
     }
 
-    fn split(&mut self, node: usize) {
+    fn split(&mut self, node: usize, swaps: &mut Vec<(u32, u32)>) {
         let (start, end) = (self.nodes[node].start, self.nodes[node].end);
         if end - start <= self.params.leaf_size {
             self.leaves.push(node);
@@ -163,7 +253,7 @@ impl RcbTree {
         }
         let pivot = (wsum / msum) as f32;
 
-        let mid = self.partition(start, end, axis, pivot);
+        let mid = self.partition(start, end, axis, pivot, swaps);
         // Degenerate split (all particles on one side — e.g. identical
         // coordinates): fall back to a median split by index.
         let mid = if mid == start || mid == end {
@@ -175,14 +265,21 @@ impl RcbTree {
         let right = self.make_node(mid, end);
         self.nodes[node].left = left;
         self.nodes[node].right = right;
-        self.split(left);
-        self.split(right);
+        self.split(left, swaps);
+        self.split(right, swaps);
     }
 
     /// Three-phase SoA partition around `pivot` on `axis`; returns the
     /// split point. Phase 1 records swaps scanning only the split
     /// coordinate; phases 2 and 3 replay them over the other arrays.
-    fn partition(&mut self, start: usize, end: usize, axis: usize, pivot: f32) -> usize {
+    fn partition(
+        &mut self,
+        start: usize,
+        end: usize,
+        axis: usize,
+        pivot: f32,
+        swaps: &mut Vec<(u32, u32)>,
+    ) -> usize {
         let coord: &mut Vec<f32> = match axis {
             0 => &mut self.xs,
             1 => &mut self.ys,
@@ -190,7 +287,7 @@ impl RcbTree {
         };
         // Phase 1: two-pointer scan over the split coordinate, recording
         // the swap pairs and applying them to the scanned array itself.
-        let mut swaps: Vec<(u32, u32)> = Vec::new();
+        swaps.clear();
         let mut i = start;
         let mut j = end;
         loop {
@@ -219,12 +316,12 @@ impl RcbTree {
                 1 => &mut self.ys,
                 _ => &mut self.zs,
             };
-            for &(a, b) in &swaps {
+            for &(a, b) in swaps.iter() {
                 arr.swap(a as usize, b as usize);
             }
         }
         // Phase 3: replay on mass and permutation.
-        for &(a, b) in &swaps {
+        for &(a, b) in swaps.iter() {
             self.mass.swap(a as usize, b as usize);
             self.perm.swap(a as usize, b as usize);
         }
@@ -249,15 +346,14 @@ impl RcbTree {
 
     /// Gather the shared interaction list for a leaf: every particle in a
     /// leaf whose box is within `r_cut` of this leaf's box.
-    fn gather_neighbors(
-        &self,
-        leaf: usize,
-        rcut2: f32,
-        nx: &mut Vec<f32>,
-        ny: &mut Vec<f32>,
-        nz: &mut Vec<f32>,
-        nm: &mut Vec<f32>,
-    ) {
+    fn gather_neighbors(&self, leaf: usize, rcut2: f32, g: &mut Gather) {
+        let Gather {
+            nx,
+            ny,
+            nz,
+            nm,
+            stack,
+        } = g;
         nx.clear();
         ny.clear();
         nz.clear();
@@ -266,7 +362,8 @@ impl RcbTree {
         // Iterative walk with an explicit stack ("walk minimization": the
         // walk only prunes boxes; all fine-grained work happens in the
         // kernel afterwards).
-        let mut stack = vec![0usize];
+        stack.clear();
+        stack.push(0);
         while let Some(n) = stack.pop() {
             let node = &self.nodes[n];
             if Self::box_dist2(&tlo, &thi, &node.lo, &node.hi) > rcut2 {
@@ -300,64 +397,80 @@ impl RcbTree {
         &self,
         kernel: &ForceKernel,
     ) -> ([Vec<f32>; 3], u64, std::time::Duration, std::time::Duration) {
+        let mut scratch = TreeScratch::default();
+        let mut out = [Vec::new(), Vec::new(), Vec::new()];
+        let (inter, walk, kern) = self.forces_into(kernel, &mut scratch, &mut out);
+        (out, inter, walk, kern)
+    }
+
+    /// Evaluate short-range forces into caller-owned buffers, reusing
+    /// `scratch` — allocation-free once everything is warm. Forces land
+    /// in the original input ordering; returns (interaction count, walk
+    /// time, kernel time).
+    pub fn forces_into(
+        &self,
+        kernel: &ForceKernel,
+        scratch: &mut TreeScratch,
+        out: &mut [Vec<f32>; 3],
+    ) -> (u64, std::time::Duration, std::time::Duration) {
         let np = self.xs.len();
-        // Per leaf: (first particle index, forces, interactions, walk ns,
-        // kernel ns).
-        type LeafForces = (usize, Vec<[f32; 3]>, u64, u64, u64);
-        let per_leaf: Vec<LeafForces> = self
-            .leaves
-            .par_iter()
-            .map_init(
-                || (Vec::new(), Vec::new(), Vec::new(), Vec::new()),
-                |(nx, ny, nz, nm), &leaf| {
-                    let node = &self.nodes[leaf];
-                    let t0 = std::time::Instant::now();
-                    self.gather_neighbors(leaf, kernel.rcut2, nx, ny, nz, nm);
-                    let walk_ns = t0.elapsed().as_nanos() as u64;
-                    let t1 = std::time::Instant::now();
-                    let mut out = Vec::with_capacity(node.end - node.start);
-                    let mut inter = 0u64;
-                    for t in node.start..node.end {
-                        let f = kernel.force_on(
-                            self.xs[t],
-                            self.ys[t],
-                            self.zs[t],
-                            nx,
-                            ny,
-                            nz,
-                            nm,
-                        );
-                        inter += nx.len() as u64;
-                        out.push(f);
+        let TreeScratch { pool, ftree, .. } = scratch;
+        for f in ftree.iter_mut() {
+            f.resize(np, 0.0);
+        }
+        let inter = AtomicU64::new(0);
+        let walk_ns = AtomicU64::new(0);
+        let kernel_ns = AtomicU64::new(0);
+        // Each leaf owns the disjoint tree-order range [start, end), so
+        // concurrent leaves write disjoint slices of the accumulators.
+        let fp = [
+            SyncF32Ptr(ftree[0].as_mut_ptr()),
+            SyncF32Ptr(ftree[1].as_mut_ptr()),
+            SyncF32Ptr(ftree[2].as_mut_ptr()),
+        ];
+        self.leaves.par_iter().for_each_init(
+            || pool.lease(),
+            |lease, &leaf| {
+                let g = &mut lease.buf;
+                let node = &self.nodes[leaf];
+                let t0 = std::time::Instant::now();
+                self.gather_neighbors(leaf, kernel.rcut2, g);
+                walk_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                let t1 = std::time::Instant::now();
+                let mut count = 0u64;
+                for t in node.start..node.end {
+                    let f = kernel.force_on(
+                        self.xs[t],
+                        self.ys[t],
+                        self.zs[t],
+                        &g.nx,
+                        &g.ny,
+                        &g.nz,
+                        &g.nm,
+                    );
+                    count += g.nx.len() as u64;
+                    // SAFETY: distinct leaves cover disjoint [start, end).
+                    unsafe {
+                        *fp[0].0.add(t) = f[0];
+                        *fp[1].0.add(t) = f[1];
+                        *fp[2].0.add(t) = f[2];
                     }
-                    let kernel_ns = t1.elapsed().as_nanos() as u64;
-                    (leaf, out, inter, walk_ns, kernel_ns)
-                },
-            )
-            .collect();
-        let mut fx = vec![0.0f32; np];
-        let mut fy = vec![0.0f32; np];
-        let mut fz = vec![0.0f32; np];
-        let mut total = 0u64;
-        let mut walk_ns = 0u64;
-        let mut kernel_ns = 0u64;
-        for (leaf, chunk, inter, w, k) in per_leaf {
-            total += inter;
-            walk_ns += w;
-            kernel_ns += k;
-            let start = self.nodes[leaf].start;
-            for (o, f) in chunk.into_iter().enumerate() {
-                let orig = self.perm[start + o] as usize;
-                fx[orig] = f[0];
-                fy[orig] = f[1];
-                fz[orig] = f[2];
+                }
+                kernel_ns.fetch_add(t1.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                inter.fetch_add(count, Ordering::Relaxed);
+            },
+        );
+        // Scatter from tree order back to the original input ordering.
+        for c in 0..3 {
+            out[c].resize(np, 0.0);
+            for (i, &orig) in self.perm.iter().enumerate() {
+                out[c][orig as usize] = ftree[c][i];
             }
         }
         (
-            [fx, fy, fz],
-            total,
-            std::time::Duration::from_nanos(walk_ns),
-            std::time::Duration::from_nanos(kernel_ns),
+            inter.load(Ordering::Relaxed),
+            std::time::Duration::from_nanos(walk_ns.load(Ordering::Relaxed)),
+            std::time::Duration::from_nanos(kernel_ns.load(Ordering::Relaxed)),
         )
     }
 
@@ -365,14 +478,21 @@ impl RcbTree {
     /// Fig. 5).
     pub fn mean_neighbor_list_len(&self, rcut2: f32) -> f64 {
         let mut total = 0usize;
-        let (mut nx, mut ny, mut nz, mut nm) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let mut g = Gather::default();
         for &leaf in &self.leaves {
-            self.gather_neighbors(leaf, rcut2, &mut nx, &mut ny, &mut nz, &mut nm);
-            total += nx.len();
+            self.gather_neighbors(leaf, rcut2, &mut g);
+            total += g.nx.len();
         }
         total as f64 / self.leaves.len().max(1) as f64
     }
 }
+
+/// Pointer wrapper asserting cross-thread use is sound (leaf ranges are
+/// disjoint).
+#[derive(Clone, Copy)]
+struct SyncF32Ptr(*mut f32);
+unsafe impl Send for SyncF32Ptr {}
+unsafe impl Sync for SyncF32Ptr {}
 
 #[cfg(test)]
 mod tests {
@@ -527,6 +647,27 @@ mod tests {
         let (_, inter) = tree.forces(&kernel);
         // Each cluster of 50 interacts only internally: ≤ 50·50 each.
         assert!(inter <= 2 * 50 * 50, "interactions {inter}");
+    }
+
+    #[test]
+    fn rebuild_reuses_buffers_and_matches_build() {
+        let kernel = ForceKernel::newtonian(2.0, 1e-4);
+        let mut scratch = TreeScratch::default();
+        let mut tree = RcbTree::new_empty(TreeParams { leaf_size: 24 });
+        let mut out = [Vec::new(), Vec::new(), Vec::new()];
+        // Rebuild across particle sets of varying size; each pass must
+        // match a from-scratch build + forces exactly.
+        for (np, seed) in [(400usize, 11u64), (700, 21), (300, 31)] {
+            let (xs, ys, zs, m) = rand_particles(np, 10.0, seed);
+            tree.rebuild(&xs, &ys, &zs, &m, &mut scratch);
+            let (inter, _, _) = tree.forces_into(&kernel, &mut scratch, &mut out);
+            let fresh = RcbTree::build(&xs, &ys, &zs, &m, TreeParams { leaf_size: 24 });
+            let (want, winter) = fresh.forces(&kernel);
+            assert_eq!(inter, winter, "np={np}");
+            for c in 0..3 {
+                assert_eq!(out[c], want[c], "np={np} c={c}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Composite performance gate for the PM pipeline. Runs the end-to-end PM
+# step benchmark plus the timing-breakdown and kernel-threading probes,
+# and assembles the machine-readable summary out/bench/BENCH_pr2.json:
+#
+#   {
+#     "baseline": <pre-r2c pm_step fragment (committed)>,
+#     "current":  <pm_step fragment measured now>,
+#     "speedup_median": <baseline/current step time>,
+#     "timing_breakdown": {...},
+#     "kernel_threading": {...}
+#   }
+#
+# The committed baseline (out/bench/pm_step_baseline.json) was recorded on
+# the complex-to-complex solver before the half-spectrum rework; the gate
+# asserts the current build beats it by at least MIN_SPEEDUP (default 1.3).
+#
+# Usage: scripts/bench.sh [--quick]
+#   --quick  shrink the kernel-threading sweep (CI-friendly)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=""
+if [[ "${1:-}" == "--quick" ]]; then
+  QUICK="--quick"
+fi
+MIN_SPEEDUP="${MIN_SPEEDUP:-1.3}"
+OUT=out/bench
+BASELINE="$OUT/pm_step_baseline.json"
+mkdir -p "$OUT"
+
+echo "==> cargo build --release -p hacc-bench"
+cargo build --release -p hacc-bench
+
+echo "==> pm_step (end-to-end PM timestep, 128^3 grid)"
+./target/release/pm_step --json "$OUT/pm_step_current.json"
+
+echo "==> timing_breakdown (full TreePM phase split)"
+./target/release/timing_breakdown --json "$OUT/timing_breakdown.json"
+
+echo "==> fig5_kernel_threading ${QUICK}"
+# shellcheck disable=SC2086
+./target/release/fig5_kernel_threading $QUICK --json "$OUT/fig5_kernel_threading.json"
+
+base_median=$(sed -n 's/.*"step_ms_median": \([0-9.]*\).*/\1/p' "$BASELINE")
+cur_median=$(sed -n 's/.*"step_ms_median": \([0-9.]*\).*/\1/p' "$OUT/pm_step_current.json")
+speedup=$(awk -v b="$base_median" -v c="$cur_median" 'BEGIN { printf "%.3f", b / c }')
+
+{
+  echo '{'
+  echo '  "baseline":'
+  sed 's/^/  /' "$BASELINE" | sed '$ s/$/,/'
+  echo '  "current":'
+  sed 's/^/  /' "$OUT/pm_step_current.json" | sed '$ s/$/,/'
+  echo "  \"speedup_median\": $speedup,"
+  echo '  "timing_breakdown":'
+  sed 's/^/  /' "$OUT/timing_breakdown.json" | sed '$ s/$/,/'
+  echo '  "kernel_threading":'
+  sed 's/^/  /' "$OUT/fig5_kernel_threading.json"
+  echo '}'
+} > "$OUT/BENCH_pr2.json"
+
+echo "==> wrote $OUT/BENCH_pr2.json"
+echo "    baseline step: ${base_median} ms, current step: ${cur_median} ms, speedup: ${speedup}x"
+
+awk -v s="$speedup" -v m="$MIN_SPEEDUP" 'BEGIN { exit !(s >= m) }' || {
+  echo "FAIL: speedup ${speedup}x is below the required ${MIN_SPEEDUP}x" >&2
+  exit 1
+}
+echo "==> PASS: speedup ${speedup}x >= ${MIN_SPEEDUP}x"

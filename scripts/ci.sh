@@ -14,4 +14,7 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo bench --no-run"
+cargo bench --no-run
+
 echo "==> CI gate passed"
