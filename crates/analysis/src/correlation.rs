@@ -27,6 +27,7 @@ pub struct CorrelationFunction {
 impl CorrelationFunction {
     /// Measure ξ(r) for separations in `(0, r_max]` with `bins` linear
     /// shells, on a periodic box of side `box_len`.
+    #[must_use] 
     pub fn measure(
         xs: &[f32],
         ys: &[f32],
@@ -41,7 +42,7 @@ impl CorrelationFunction {
         let cell_of = |x: f32, y: f32, z: f32| -> usize {
             let w = |v: f32| -> usize {
                 let m = nc as f64;
-                let c = ((v as f64 / box_len) * m).floor();
+                let c = ((f64::from(v) / box_len) * m).floor();
                 let c = if c < 0.0 { c + m } else { c };
                 (c as usize).min(nc - 1)
             };
@@ -101,7 +102,7 @@ impl CorrelationFunction {
                                     let ddz = mi(zs[a] - zs[b]);
                                     let s = ddx * ddx + ddy * ddy + ddz * ddz;
                                     if s < r_max2 && s > 0.0 {
-                                        let r = (s as f64).sqrt();
+                                        let r = f64::from(s).sqrt();
                                         let bin = ((r / dr) as usize).min(bins - 1);
                                         local[bin] += 1;
                                     }

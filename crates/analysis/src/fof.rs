@@ -24,6 +24,7 @@ pub struct Halo {
 
 impl Halo {
     /// Member count (mass in particle units).
+    #[must_use] 
     pub fn count(&self) -> usize {
         self.members.len()
     }
@@ -43,6 +44,7 @@ pub struct FofFinder {
 impl FofFinder {
     /// Standard configuration: linking parameter `b` (e.g. 0.2) for
     /// `np_side³` particles in a `box_len` box.
+    #[must_use] 
     pub fn with_linking_param(box_len: f64, np_side: usize, b: f64, min_members: usize) -> Self {
         FofFinder {
             box_len,
@@ -52,12 +54,14 @@ impl FofFinder {
     }
 
     /// Run the finder; returns halos sorted by descending member count.
+    #[must_use] 
     pub fn find(&self, xs: &[f32], ys: &[f32], zs: &[f32]) -> Vec<Halo> {
         self.find_with_velocities(xs, ys, zs, None)
     }
 
     /// Run the finder and attach mean velocities from the optional
     /// velocity arrays.
+    #[must_use] 
     pub fn find_with_velocities(
         &self,
         xs: &[f32],
@@ -78,7 +82,7 @@ impl FofFinder {
         let cell_of = |x: f32, y: f32, z: f32| -> (usize, usize, usize) {
             let w = |v: f32| -> usize {
                 let m = nc as f64;
-                let c = ((v as f64 / l) * m).floor();
+                let c = ((f64::from(v) / l) * m).floor();
                 let c = if c < 0.0 { c + m } else { c };
                 (c as usize).min(nc - 1)
             };
@@ -189,12 +193,12 @@ impl FofFinder {
     ) -> Halo {
         let l = self.box_len;
         let r = members[0] as usize;
-        let refp = [xs[r] as f64, ys[r] as f64, zs[r] as f64];
+        let refp = [f64::from(xs[r]), f64::from(ys[r]), f64::from(zs[r])];
         let mut acc = [0.0f64; 3];
         let mut vacc = [0.0f64; 3];
         for &m in &members {
             let m = m as usize;
-            let p = [xs[m] as f64, ys[m] as f64, zs[m] as f64];
+            let p = [f64::from(xs[m]), f64::from(ys[m]), f64::from(zs[m])];
             for c in 0..3 {
                 // Unwrap relative to the reference member.
                 let mut d = p[c] - refp[c];
@@ -207,9 +211,9 @@ impl FofFinder {
                 acc[c] += d;
             }
             if let Some((vx, vy, vz)) = vel {
-                vacc[0] += vx[m] as f64;
-                vacc[1] += vy[m] as f64;
-                vacc[2] += vz[m] as f64;
+                vacc[0] += f64::from(vx[m]);
+                vacc[1] += f64::from(vy[m]);
+                vacc[2] += f64::from(vz[m]);
             }
         }
         let n = members.len() as f64;
@@ -229,6 +233,7 @@ impl FofFinder {
     ///
     /// `sub_fraction` scales the parent linking length (e.g. 0.4 turns
     /// `b = 0.2` into an effective `b = 0.08`).
+    #[must_use] 
     pub fn subhalos(
         &self,
         halo: &Halo,

@@ -65,6 +65,7 @@ impl MassFunctionEstimate {
     }
 
     /// Cumulative abundance above mass `m` (per volume).
+    #[must_use] 
     pub fn n_above(&self, m: f64, volume_weighted_counts: f64) -> f64 {
         let total: u64 = self
             .mass

@@ -26,6 +26,7 @@ impl PowerSpectrum {
     ///
     /// `mesh` is the FFT mesh per side (sets the maximum `k ≈ π·mesh/L`);
     /// `bins` the number of linear k-shells up to the Nyquist frequency.
+    #[must_use] 
     pub fn measure(
         xs: &[f32],
         ys: &[f32],
@@ -41,9 +42,9 @@ impl PowerSpectrum {
 
         // Density contrast on the mesh (positions → grid units).
         let to_grid = mesh as f64 / box_len;
-        let gx: Vec<f32> = xs.iter().map(|&v| (v as f64 * to_grid) as f32).collect();
-        let gy: Vec<f32> = ys.iter().map(|&v| (v as f64 * to_grid) as f32).collect();
-        let gz: Vec<f32> = zs.iter().map(|&v| (v as f64 * to_grid) as f32).collect();
+        let gx: Vec<f32> = xs.iter().map(|&v| (f64::from(v) * to_grid) as f32).collect();
+        let gy: Vec<f32> = ys.iter().map(|&v| (f64::from(v) * to_grid) as f32).collect();
+        let gz: Vec<f32> = zs.iter().map(|&v| (f64::from(v) * to_grid) as f32).collect();
         let mut grid = vec![0.0f64; n3];
         deposit_cic_par(&mut grid, mesh, &gx, &gy, &gz, 1.0);
         let mean = np as f64 / n3 as f64;
@@ -104,12 +105,14 @@ impl PowerSpectrum {
     }
 
     /// Shot-noise level `V/N` for `n_particles`.
+    #[must_use] 
     pub fn shot_noise(box_len: f64, n_particles: usize) -> f64 {
         box_len.powi(3) / n_particles as f64
     }
 
     /// Interpolate the measured spectrum at wavenumber `k` (linear in the
     /// bin table; clamps outside).
+    #[must_use] 
     pub fn at(&self, k: f64) -> f64 {
         if self.k.is_empty() {
             return 0.0;
@@ -155,7 +158,7 @@ mod tests {
         let k0 = 2.0 * std::f64::consts::PI / l * 2.0; // mode 2
         let amp = 0.5;
         for x in g.x.iter_mut() {
-            *x += (amp * (k0 * *x as f64).sin()) as f32;
+            *x += (amp * (k0 * f64::from(*x)).sin()) as f32;
         }
         let ps = PowerSpectrum::measure(&g.x, &g.y, &g.z, l, 16, 16);
         // δ ≈ -dψ/dx = -amp·k0·cos(k0 x): P at mode 2 = (amp·k0)²/2·V/...
@@ -198,7 +201,7 @@ mod tests {
             }
         }
         assert!(checked >= 3, "too few bins checked");
-        let mean_ratio = (log_ratio_sum / checked as f64).exp();
+        let mean_ratio = (log_ratio_sum / f64::from(checked)).exp();
         // Cosmic variance on a handful of modes: allow 30%.
         assert!(
             (mean_ratio - 1.0).abs() < 0.3,

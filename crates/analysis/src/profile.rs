@@ -21,6 +21,7 @@ impl HaloProfile {
     /// using `bins` logarithmic shells starting at `r_min` (periodic box
     /// of side `box_len`).
     #[allow(clippy::too_many_arguments)]
+    #[must_use] 
     pub fn measure(
         xs: &[f32],
         ys: &[f32],
@@ -39,9 +40,9 @@ impl HaloProfile {
         for i in 0..xs.len() {
             let mut d2 = 0.0f64;
             for (p, c) in [
-                (xs[i] as f64, center[0]),
-                (ys[i] as f64, center[1]),
-                (zs[i] as f64, center[2]),
+                (f64::from(xs[i]), center[0]),
+                (f64::from(ys[i]), center[1]),
+                (f64::from(zs[i]), center[2]),
             ] {
                 let mut d = p - c;
                 if d > half {
@@ -77,6 +78,7 @@ impl HaloProfile {
     /// Fit an NFW profile `ρ(r) = ρ₀ / [(r/r_s)(1 + r/r_s)²]` by
     /// least squares in log density over non-empty bins. Returns
     /// `(rho0, r_s, rms log residual)`.
+    #[must_use] 
     pub fn fit_nfw(&self) -> (f64, f64, f64) {
         let pts: Vec<(f64, f64)> = self
             .r
@@ -91,7 +93,7 @@ impl HaloProfile {
         // Grid search over r_s (log-spaced), analytic ρ₀ at each r_s.
         let mut best = (0.0, r_lo, f64::INFINITY);
         for i in 0..160 {
-            let rs = r_lo * (r_hi * 4.0 / r_lo).powf(i as f64 / 159.0);
+            let rs = r_lo * (r_hi * 4.0 / r_lo).powf(f64::from(i) / 159.0);
             // ln ρ = ln ρ₀ + ln shape; least squares ⇒ ln ρ₀ = mean residual.
             let shapes: Vec<f64> = pts
                 .iter()
@@ -120,6 +122,7 @@ impl HaloProfile {
     }
 
     /// Enclosed particle count within radius `r` (sums whole shells).
+    #[must_use] 
     pub fn enclosed(&self, r: f64) -> u64 {
         self.r
             .iter()

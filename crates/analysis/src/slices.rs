@@ -22,6 +22,7 @@ impl DensitySlice {
     /// Project particles with `z ∈ [z0, z1)` onto an `res × res` map of
     /// the sub-window `(x0, y0) .. (x0+extent, y0+extent)` (periodic).
     #[allow(clippy::too_many_arguments)]
+    #[must_use] 
     pub fn project(
         xs: &[f32],
         ys: &[f32],
@@ -36,13 +37,13 @@ impl DensitySlice {
         let mut pixels = vec![0.0f64; res * res];
         let scale = res as f64 / ext;
         for i in 0..xs.len() {
-            let z = zs[i] as f64;
+            let z = f64::from(zs[i]);
             if z < z_range.0 || z >= z_range.1 {
                 continue;
             }
             // Position relative to the window, periodic-aware.
             let rel = |v: f32, o: f64| -> f64 {
-                let mut d = v as f64 - o;
+                let mut d = f64::from(v) - o;
                 d -= (d / box_len).floor() * box_len;
                 d
             };
@@ -68,11 +69,13 @@ impl DensitySlice {
     }
 
     /// Mean pixel value.
+    #[must_use] 
     pub fn mean(&self) -> f64 {
         self.pixels.iter().sum::<f64>() / self.pixels.len() as f64
     }
 
     /// Maximum density contrast `max/mean` (∞-safe: 0 when empty).
+    #[must_use] 
     pub fn max_contrast(&self) -> f64 {
         let m = self.mean();
         if m == 0.0 {
@@ -145,6 +148,7 @@ fn colormap(t: f64) -> [u8; 3] {
 
 /// 3-D density-contrast statistics on a grid: returns
 /// `(max δ, rms δ, fraction of empty cells)`.
+#[must_use] 
 pub fn density_contrast_stats(
     xs: &[f32],
     ys: &[f32],
@@ -153,9 +157,9 @@ pub fn density_contrast_stats(
     mesh: usize,
 ) -> (f64, f64, f64) {
     let to_grid = mesh as f64 / box_len;
-    let gx: Vec<f32> = xs.iter().map(|&v| (v as f64 * to_grid) as f32).collect();
-    let gy: Vec<f32> = ys.iter().map(|&v| (v as f64 * to_grid) as f32).collect();
-    let gz: Vec<f32> = zs.iter().map(|&v| (v as f64 * to_grid) as f32).collect();
+    let gx: Vec<f32> = xs.iter().map(|&v| (f64::from(v) * to_grid) as f32).collect();
+    let gy: Vec<f32> = ys.iter().map(|&v| (f64::from(v) * to_grid) as f32).collect();
+    let gz: Vec<f32> = zs.iter().map(|&v| (f64::from(v) * to_grid) as f32).collect();
     let mut grid = vec![0.0f64; mesh * mesh * mesh];
     deposit_cic_par(&mut grid, mesh, &gx, &gy, &gz, 1.0);
     let mean = xs.len() as f64 / grid.len() as f64;
@@ -179,6 +183,7 @@ pub fn density_contrast_stats(
 
 /// Nested zoom levels: density contrast of progressively smaller windows
 /// centered on the densest region (the Fig. 2 "zoom-in" series).
+#[must_use] 
 pub fn zoom_series(
     xs: &[f32],
     ys: &[f32],

@@ -29,18 +29,18 @@ fn bench_cic(c: &mut Criterion) {
             let mut grid = vec![0.0f64; n * n * n];
             deposit_cic(&mut grid, n, &xs, &ys, &zs, 1.0);
             std::hint::black_box(grid)
-        })
+        });
     });
     group.bench_function(BenchmarkId::new("deposit_parallel", np), |b| {
         b.iter(|| {
             let mut grid = vec![0.0f64; n * n * n];
             deposit_cic_par(&mut grid, n, &xs, &ys, &zs, 1.0);
             std::hint::black_box(grid)
-        })
+        });
     });
     let grid = vec![1.0f64; n * n * n];
     group.bench_function(BenchmarkId::new("interpolate", np), |b| {
-        b.iter(|| std::hint::black_box(interpolate_cic(&grid, n, &xs, &ys, &zs)))
+        b.iter(|| std::hint::black_box(interpolate_cic(&grid, n, &xs, &ys, &zs)));
     });
     group.finish();
 }

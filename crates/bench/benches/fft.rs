@@ -27,7 +27,7 @@ fn bench_fft1d(c: &mut Criterion) {
                     d
                 },
                 criterion::BatchSize::SmallInput,
-            )
+            );
         });
     }
     group.finish();
@@ -47,7 +47,7 @@ fn bench_fft3(c: &mut Criterion) {
                     d
                 },
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
     }
     group.finish();
@@ -62,7 +62,7 @@ fn bench_poisson(c: &mut Criterion) {
             .map(|i| ((i * 13) % 29) as f64 / 14.5 - 1.0)
             .collect();
         group.bench_with_input(BenchmarkId::new("forces", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(solver.solve_forces(&src)))
+            b.iter(|| std::hint::black_box(solver.solve_forces(&src)));
         });
     }
     group.finish();

@@ -44,7 +44,7 @@ fn bench_kernel(c: &mut Criterion) {
                     acc += f[0] + f[1] + f[2];
                 }
                 std::hint::black_box(acc)
-            })
+            });
         });
     }
     group.finish();

@@ -36,7 +36,7 @@ fn bench_step(c: &mut Criterion) {
                         sim
                     },
                     criterion::BatchSize::LargeInput,
-                )
+                );
             },
         );
     }

@@ -38,17 +38,17 @@ fn bench_tree(c: &mut Criterion) {
                     &m,
                     TreeParams { leaf_size: leaf },
                 ))
-            })
+            });
         });
         let tree = RcbTree::build(&xs, &ys, &zs, &m, TreeParams { leaf_size: leaf });
         group.bench_with_input(BenchmarkId::new("forces", leaf), &leaf, |b, _| {
-            b.iter(|| std::hint::black_box(tree.forces(&kernel)))
+            b.iter(|| std::hint::black_box(tree.forces(&kernel)));
         });
     }
     // P3M comparison point.
     let p3m = P3mSolver::new(kernel, side);
     group.bench_function("p3m_forces", |b| {
-        b.iter(|| std::hint::black_box(p3m.forces(&xs, &ys, &zs, &m)))
+        b.iter(|| std::hint::black_box(p3m.forces(&xs, &ys, &zs, &m)));
     });
     group.finish();
 }

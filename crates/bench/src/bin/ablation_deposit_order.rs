@@ -83,9 +83,9 @@ fn scatter(solver: &PmSolver, r: f64, tsc: bool) -> f64 {
             let px = sx + (r * dx) as f32;
             let py = sy + (r * dy) as f32;
             let pz = sz + (r * dz) as f32;
-            let fx = interpolate_cic(&f[0], n, &[px], &[py], &[pz])[0] as f64;
-            let fy = interpolate_cic(&f[1], n, &[px], &[py], &[pz])[0] as f64;
-            let fz = interpolate_cic(&f[2], n, &[px], &[py], &[pz])[0] as f64;
+            let fx = f64::from(interpolate_cic(&f[0], n, &[px], &[py], &[pz])[0]);
+            let fy = f64::from(interpolate_cic(&f[1], n, &[px], &[py], &[pz])[0]);
+            let fz = f64::from(interpolate_cic(&f[2], n, &[px], &[py], &[pz])[0]);
             samples.push(-(fx * dx + fy * dy + fz * dz));
         }
     }

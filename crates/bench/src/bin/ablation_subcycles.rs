@@ -63,7 +63,7 @@ fn main() {
         }
         rows.push(vec![
             nc.to_string(),
-            format!("{:.3}", 100.0 * dev / n as f64),
+            format!("{:.3}", 100.0 * dev / f64::from(n)),
             fmt_time(dt),
         ]);
     }

@@ -14,8 +14,7 @@
 //! seq)`, so a failing run replays bit-identically from the same plan —
 //! the property the recovery tests rely on.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use crate::sync::{Arc, AtomicBool, Ordering};
 use std::time::Duration;
 
 /// What to do with one in-flight message.
@@ -71,11 +70,13 @@ pub struct FaultPlan {
 
 impl FaultPlan {
     /// A plan that injects nothing (the default).
+    #[must_use] 
     pub fn none() -> Self {
         FaultPlan::default()
     }
 
     /// Start building a plan with a deterministic seed.
+    #[must_use] 
     pub fn seeded(seed: u64) -> Self {
         FaultPlan {
             seed,
@@ -84,6 +85,7 @@ impl FaultPlan {
     }
 
     /// Probability that a message is dropped.
+    #[must_use] 
     pub fn drop_prob(mut self, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p));
         self.drop_prob = p;
@@ -91,6 +93,7 @@ impl FaultPlan {
     }
 
     /// Probability that a message is duplicated.
+    #[must_use] 
     pub fn dup_prob(mut self, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p));
         self.dup_prob = p;
@@ -98,6 +101,7 @@ impl FaultPlan {
     }
 
     /// Probability that a message is delayed (delivered out of order).
+    #[must_use] 
     pub fn delay_prob(mut self, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p));
         self.delay_prob = p;
@@ -105,6 +109,7 @@ impl FaultPlan {
     }
 
     /// Add `per_send` latency to every send from `rank`.
+    #[must_use] 
     pub fn slow_rank(mut self, rank: usize, per_send: Duration) -> Self {
         self.slow = Some(SlowRank { rank, per_send });
         self
@@ -112,6 +117,7 @@ impl FaultPlan {
 
     /// Kill `rank` (panic) the first time it begins `step`. One-shot:
     /// clones share the latch, so recovery retries are not re-killed.
+    #[must_use] 
     pub fn kill_rank_at_step(mut self, rank: usize, step: u64) -> Self {
         self.kill = Some(KillSpec {
             rank,
@@ -123,6 +129,7 @@ impl FaultPlan {
 
     /// True if any fault can fire (lets the transport skip the seeded
     /// decision entirely for clean runs).
+    #[must_use] 
     pub fn is_active(&self) -> bool {
         self.drop_prob > 0.0
             || self.dup_prob > 0.0
@@ -132,12 +139,14 @@ impl FaultPlan {
     }
 
     /// The configured slow rank, if any.
+    #[must_use] 
     pub fn slow(&self) -> Option<SlowRank> {
         self.slow
     }
 
     /// Decide the fate of message `seq` on `(context, src, dst, tag)`.
     /// Pure function of the plan seed and the message coordinates.
+    #[must_use] 
     pub fn action(&self, context: u64, src: usize, dst: usize, tag: u64, seq: u64) -> FaultAction {
         if self.drop_prob == 0.0 && self.dup_prob == 0.0 && self.delay_prob == 0.0 {
             return FaultAction::None;
@@ -160,8 +169,14 @@ impl FaultPlan {
 
     /// Should `rank` die entering `step`? Latches: returns `true` exactly
     /// once per plan (including clones).
+    #[must_use] 
     pub fn should_kill(&self, rank: usize, step: u64) -> bool {
         match &self.kill {
+            // SeqCst swap: the latch gates control flow (exactly one
+            // kill across plan clones, possibly on different machines /
+            // retry attempts with no other synchronization between
+            // them), so the strongest ordering keeps the one-shot
+            // guarantee independent of surrounding code.
             Some(k) if k.rank == rank && k.step == step => {
                 !k.fired.swap(true, Ordering::SeqCst)
             }
@@ -170,6 +185,7 @@ impl FaultPlan {
     }
 
     /// The configured kill target `(rank, step)`, if any.
+    #[must_use] 
     pub fn kill_target(&self) -> Option<(usize, u64)> {
         self.kill.as_ref().map(|k| (k.rank, k.step))
     }
@@ -202,6 +218,7 @@ pub struct FaultStats {
 
 impl FaultStats {
     /// Total injected events.
+    #[must_use] 
     pub fn total_injected(&self) -> u64 {
         self.dropped + self.duplicated + self.delayed
     }

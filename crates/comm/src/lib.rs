@@ -31,18 +31,17 @@
 
 pub mod fault;
 pub mod stats;
+pub mod sync;
 pub mod topology;
 
 pub use fault::{FaultAction, FaultPlan, FaultStats, SlowRank};
 pub use stats::TrafficStats;
 pub use topology::{dims_create, CartComm};
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Arc, AtomicBool, AtomicU64, Condvar, Instant, Mutex, Ordering};
 use std::any::Any;
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Mailbox key: (communicator context, global source rank, user tag).
 type Key = (u64, usize, u64);
@@ -196,6 +195,16 @@ struct Mailbox {
 }
 
 /// Fault-event counters (machine-wide).
+///
+/// Ordering audit (see DESIGN.md §"Concurrency model & unsafety
+/// inventory"): every counter is an independent monotonic event tally —
+/// no other data is published under it — so the increments use
+/// `Relaxed`, which guarantees atomicity (no lost counts) but no
+/// cross-thread ordering. Authoritative reads happen in
+/// [`Machine::try_run`] *after* `std::thread::scope` joins every rank,
+/// and thread join establishes the happens-before edge that makes the
+/// totals exact. Mid-run reads ([`Comm::traffic_stats`]) are documented
+/// as approximate for the same reason.
 #[derive(Default)]
 struct FaultCounters {
     dropped: AtomicU64,
@@ -207,6 +216,8 @@ struct FaultCounters {
 
 impl FaultCounters {
     fn snapshot(&self) -> FaultStats {
+        // Relaxed: see the struct-level ordering audit. Exact after
+        // join; approximate (never torn, possibly stale) mid-run.
         FaultStats {
             dropped: self.dropped.load(Ordering::Relaxed),
             duplicated: self.duplicated.load(Ordering::Relaxed),
@@ -258,6 +269,24 @@ impl Shared {
             mbox.signal.notify_all();
         }
     }
+
+    /// Poison the machine and wake every blocked receiver so it aborts
+    /// with [`CommError::Poisoned`] instead of waiting forever.
+    ///
+    /// Ordering audit: the store is `SeqCst` and receivers re-check the
+    /// flag with a `SeqCst` load *while holding their mailbox lock*
+    /// before every wait; because this path also takes each mailbox
+    /// lock before notifying, a receiver either sees the flag on its
+    /// pre-wait check or is woken by the notify — there is no window
+    /// for a lost wakeup. The loom model
+    /// `poison_always_wakes_blocked_recv` proves this exhaustively.
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        for mbox in self.boxes.iter() {
+            let _guard = mbox.state.lock();
+            mbox.signal.notify_all();
+        }
+    }
 }
 
 /// A virtual parallel machine: `n` ranks running as threads in this process.
@@ -269,6 +298,7 @@ pub struct Machine {
 
 impl Machine {
     /// Create a machine with `ranks` simulated ranks.
+    #[must_use] 
     pub fn new(ranks: usize) -> Self {
         assert!(ranks > 0, "need at least one rank");
         Machine {
@@ -279,6 +309,7 @@ impl Machine {
     }
 
     /// Inject faults according to `plan` (see [`FaultPlan`]).
+    #[must_use] 
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.plan = plan;
         self
@@ -287,6 +318,7 @@ impl Machine {
     /// Fail any `recv` that waits longer than `timeout` with a diagnostic
     /// [`CommError::Timeout`] panic (which poisons the machine) instead of
     /// blocking forever. Essential when drops are injected.
+    #[must_use] 
     pub fn with_watchdog(mut self, timeout: Duration) -> Self {
         self.watchdog = Some(timeout);
         self
@@ -317,16 +349,7 @@ impl Machine {
         T: Send,
         F: Fn(Comm) -> T + Sync,
     {
-        let shared = Arc::new(Shared {
-            boxes: (0..self.ranks).map(|_| Mailbox::default()).collect(),
-            bytes_sent: (0..self.ranks).map(|_| AtomicU64::new(0)).collect(),
-            msgs_sent: (0..self.ranks).map(|_| AtomicU64::new(0)).collect(),
-            poisoned: AtomicBool::new(false),
-            plan: self.plan.clone(),
-            watchdog: self.watchdog,
-            counters: FaultCounters::default(),
-            holdback: (0..self.ranks).map(|_| Mutex::new(Vec::new())).collect(),
-        });
+        let shared = self.make_shared();
         let next_context = Arc::new(AtomicU64::new(1));
         let first_failure: Mutex<Option<(usize, String)>> = Mutex::new(None);
         let mut results: Vec<Option<T>> = (0..self.ranks).map(|_| None).collect();
@@ -364,11 +387,7 @@ impl Machine {
                                 .get_or_insert_with(|| (rank, panic_message(&*payload)));
                             // Wake every blocked receiver so the machine
                             // shuts down instead of deadlocking.
-                            shared_outer.poisoned.store(true, Ordering::SeqCst);
-                            for mbox in shared_outer.boxes.iter() {
-                                let _guard = mbox.state.lock();
-                                mbox.signal.notify_all();
-                            }
+                            shared_outer.poison();
                         }
                     }
                 });
@@ -377,6 +396,9 @@ impl Machine {
         if let Some((rank, message)) = first_failure.into_inner() {
             return Err(MachineError::RankPanicked { rank, message });
         }
+        // Relaxed loads are exact here: `thread::scope` joined every
+        // rank above, and join is a happens-before edge covering all of
+        // their Relaxed increments (see the FaultCounters audit note).
         let stats = TrafficStats {
             bytes_sent: shared
                 .bytes_sent
@@ -400,8 +422,47 @@ impl Machine {
     }
 
     /// Number of ranks.
+    #[must_use] 
     pub fn ranks(&self) -> usize {
         self.ranks
+    }
+
+    fn make_shared(&self) -> Arc<Shared> {
+        Arc::new(Shared {
+            boxes: (0..self.ranks).map(|_| Mailbox::default()).collect(),
+            bytes_sent: (0..self.ranks).map(|_| AtomicU64::new(0)).collect(),
+            msgs_sent: (0..self.ranks).map(|_| AtomicU64::new(0)).collect(),
+            poisoned: AtomicBool::new(false),
+            plan: self.plan.clone(),
+            watchdog: self.watchdog,
+            counters: FaultCounters::default(),
+            holdback: (0..self.ranks).map(|_| Mutex::new(Vec::new())).collect(),
+        })
+    }
+
+    /// Build the machine's shared state and one communicator handle per
+    /// rank **without** spawning rank threads.
+    ///
+    /// This is the seam external drivers use to schedule ranks
+    /// themselves — most importantly the loom model suite
+    /// (`tests/loom.rs`), which hands each [`Comm`] to a model-checked
+    /// thread and exhaustively explores the interleavings of the
+    /// mailbox and collective protocols. Unlike [`Machine::run`], no
+    /// watchdog thread, panic capture, or poisoning is installed; the
+    /// caller owns rank lifecycles.
+    #[must_use] 
+    pub fn handles(&self) -> Vec<Comm> {
+        let shared = self.make_shared();
+        let next_context = Arc::new(AtomicU64::new(1));
+        (0..self.ranks)
+            .map(|rank| Comm {
+                shared: Arc::clone(&shared),
+                context: 0,
+                next_context: Arc::clone(&next_context),
+                rank,
+                group: (0..self.ranks).collect::<Vec<_>>().into(),
+            })
+            .collect()
     }
 }
 
@@ -437,11 +498,13 @@ pub struct Comm {
 
 impl Comm {
     /// This rank's index in the communicator.
+    #[must_use] 
     pub fn rank(&self) -> usize {
         self.rank
     }
 
     /// Number of ranks in the communicator.
+    #[must_use] 
     pub fn size(&self) -> usize {
         self.group.len()
     }
@@ -466,6 +529,8 @@ impl Comm {
         let me = self.global(self.rank);
         let dst_global = self.global(dst);
         let bytes = std::mem::size_of::<T>() as u64 * data.len() as u64;
+        // Relaxed: monotonic accounting counters, no data published
+        // under them; read exactly after join (FaultCounters audit).
         self.shared.bytes_sent[me].fetch_add(bytes, Ordering::Relaxed);
         self.shared.msgs_sent[me].fetch_add(1, Ordering::Relaxed);
         let plan = &self.shared.plan;
@@ -534,12 +599,23 @@ impl Comm {
     /// watchdog, panics with a diagnostic [`CommError::Timeout`] after the
     /// watchdog duration. Panics if the payload type differs from what was
     /// sent (a programming error, as in MPI).
+    #[must_use] 
     pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
-        match self.recv_impl(src, tag, self.shared.watchdog) {
+        match self.recv_result(src, tag) {
             Ok(v) => v,
             Err(e @ CommError::Timeout { .. }) => panic!("{e}"),
             Err(CommError::Poisoned) => panic!("machine poisoned: another rank panicked"),
         }
+    }
+
+    /// [`Comm::recv`] with failures as values: blocks until a matching
+    /// message arrives, returning [`CommError::Poisoned`] if the
+    /// machine is poisoned while blocked (or [`CommError::Timeout`]
+    /// when the machine has a watchdog). External drivers and the loom
+    /// model suite use this to assert on shutdown behavior without
+    /// routing through panics.
+    pub fn recv_result<T: Send + 'static>(&self, src: usize, tag: u64) -> Result<Vec<T>, CommError> {
+        self.recv_impl(src, tag, self.shared.watchdog)
     }
 
     /// Receive with an explicit deadline: a lost or missing message
@@ -577,6 +653,11 @@ impl Comm {
                         .expect("recv: payload type mismatch"));
                 }
             }
+            // SeqCst, checked while holding the mailbox lock: pairs
+            // with `Shared::poison`, which stores SeqCst and then takes
+            // this lock before notifying — so either this check sees
+            // the flag or the upcoming wait is woken by the notify (no
+            // lost-wakeup window; model-checked in tests/loom.rs).
             if self.shared.poisoned.load(Ordering::SeqCst) {
                 return Err(CommError::Poisoned);
             }
@@ -602,6 +683,7 @@ impl Comm {
 
     /// Exchange with a partner: send then receive (safe because sends are
     /// buffered).
+    #[must_use] 
     pub fn sendrecv<T: Send + 'static>(&self, peer: usize, tag: u64, data: Vec<T>) -> Vec<T> {
         self.send(peer, tag, data);
         self.recv(peer, tag)
@@ -627,6 +709,7 @@ impl Comm {
 
     /// Broadcast from `root` to every rank via a binomial tree; returns the
     /// data on all ranks. Non-root ranks pass `None`.
+    #[must_use] 
     pub fn broadcast<T: Clone + Send + 'static>(
         &self,
         root: usize,
@@ -699,17 +782,20 @@ impl Comm {
     }
 
     /// Allreduce a single f64 sum.
+    #[must_use] 
     pub fn allreduce_sum(&self, x: f64) -> f64 {
         self.allreduce(vec![x], |a, b| a + b)[0]
     }
 
     /// Allreduce a single f64 max.
+    #[must_use] 
     pub fn allreduce_max(&self, x: f64) -> f64 {
         self.allreduce(vec![x], |a, b| a.max(*b))[0]
     }
 
     /// Gather variable-length contributions to `root` (rank order);
     /// non-roots get `None`.
+    #[must_use] 
     pub fn gather<T: Clone + Send + 'static>(
         &self,
         root: usize,
@@ -731,6 +817,7 @@ impl Comm {
     }
 
     /// Allgather: every rank receives every rank's contribution (rank order).
+    #[must_use] 
     pub fn allgather<T: Clone + Send + 'static>(&self, data: Vec<T>) -> Vec<Vec<T>> {
         // Ring allgather: p-1 shifts.
         let p = self.size();
@@ -750,6 +837,7 @@ impl Comm {
 
     /// Personalized all-to-all: `sends[r]` goes to rank `r`; returns the
     /// vector received from each rank (in rank order).
+    #[must_use] 
     pub fn alltoallv<T: Send + 'static>(&self, mut sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
         let p = self.size();
         assert_eq!(sends.len(), p, "alltoallv: need one send buffer per rank");
@@ -770,6 +858,7 @@ impl Comm {
     /// Split into sub-communicators by `color`; ranks with equal color form
     /// one communicator, ordered by `key` (ties broken by parent rank).
     /// Must be called collectively.
+    #[must_use] 
     pub fn split(&self, color: u64, key: u64) -> Comm {
         let info = self.allgather(vec![(color, key, self.rank)]);
         let mut mine: Vec<(u64, usize)> = info
@@ -796,6 +885,9 @@ impl Comm {
 
     /// All ranks of this communicator agree on a fresh context base.
     fn bump_context_base(&self) -> u64 {
+        // Relaxed: only uniqueness matters (the RMW is atomic); the
+        // value is distributed to the other ranks by the broadcast
+        // below, whose mailbox locks provide the ordering.
         let base = if self.rank == 0 {
             Some(vec![self.next_context.fetch_add(1, Ordering::Relaxed)])
         } else {
@@ -804,8 +896,43 @@ impl Comm {
         self.broadcast(0, base)[0]
     }
 
+    /// Poison the whole machine: every rank blocked in a receive wakes
+    /// with [`CommError::Poisoned`] instead of waiting forever. This is
+    /// the same path [`Machine::try_run`] takes when a rank panics,
+    /// exposed for external drivers (and the loom model suite) that
+    /// manage rank lifecycles themselves via [`Machine::handles`].
+    pub fn poison(&self) {
+        self.shared.poison();
+    }
+
+    /// Snapshot of the machine-wide traffic and fault counters.
+    ///
+    /// Exact once every rank has finished (or been joined); *while
+    /// ranks are still sending* the counts may lag in-flight increments
+    /// (they are Relaxed monotonic counters — never torn, possibly
+    /// stale; see the `FaultCounters` ordering audit).
+    #[must_use] 
+    pub fn traffic_stats(&self) -> TrafficStats {
+        TrafficStats {
+            bytes_sent: self
+                .shared
+                .bytes_sent
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            msgs_sent: self
+                .shared
+                .msgs_sent
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            faults: self.shared.counters.snapshot(),
+        }
+    }
+
     /// Duplicate this communicator with a fresh context (no cross-talk with
     /// the original).
+    #[must_use] 
     pub fn duplicate(&self) -> Comm {
         let base = self.bump_context_base();
         Comm {
@@ -857,7 +984,7 @@ mod tests {
         let (res, _) = Machine::new(2).run(|c| {
             if c.rank() == 0 {
                 for i in 0..10 {
-                    c.send(1, 3, vec![i as i64]);
+                    c.send(1, 3, vec![i64::from(i)]);
                 }
                 vec![]
             } else {

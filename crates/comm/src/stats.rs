@@ -16,22 +16,26 @@ pub struct TrafficStats {
 
 impl TrafficStats {
     /// Total payload bytes moved during the run.
+    #[must_use] 
     pub fn total_bytes(&self) -> u64 {
         self.bytes_sent.iter().sum()
     }
 
     /// Total message count during the run.
+    #[must_use] 
     pub fn total_msgs(&self) -> u64 {
         self.msgs_sent.iter().sum()
     }
 
     /// Maximum bytes sent by any single rank — the communication critical
     /// path under a symmetric network assumption.
+    #[must_use] 
     pub fn max_rank_bytes(&self) -> u64 {
         self.bytes_sent.iter().copied().max().unwrap_or(0)
     }
 
     /// Mean bytes per rank.
+    #[must_use] 
     pub fn mean_rank_bytes(&self) -> f64 {
         if self.bytes_sent.is_empty() {
             0.0
@@ -41,6 +45,7 @@ impl TrafficStats {
     }
 
     /// Load imbalance of the communication volume: max/mean (1.0 = perfect).
+    #[must_use] 
     pub fn imbalance(&self) -> f64 {
         let mean = self.mean_rank_bytes();
         if mean == 0.0 {

@@ -1,0 +1,39 @@
+//! Synchronization shim: every primitive the comm runtime uses, behind
+//! one seam that swaps in the `loom` model checker under `cfg(loom)`.
+//!
+//! The rest of this crate imports *only* from this module (never from
+//! `parking_lot` / `std::sync` / `std::time::Instant` directly), so
+//! `RUSTFLAGS="--cfg loom" cargo test -p hacc-comm --release` rebuilds
+//! the identical protocol code on top of model-checked primitives and
+//! the loom suite in `tests/loom.rs` explores every interleaving of the
+//! mailbox and collective paths. See DESIGN.md §"Concurrency model &
+//! unsafety inventory" for which orderings protect what.
+//!
+//! Two rules keep the swap sound:
+//!
+//! - **No raw `Instant::now()`** — deadlines must use [`Instant`] from
+//!   here, which under loom reads the modeled clock (advanced only by
+//!   timeout branches), keeping timed-out waits explorable and
+//!   deterministic.
+//! - **No direct `std::sync` types** in runtime state — `Mutex`,
+//!   `Condvar`, atomics, and `Arc` all come from here.
+
+#[cfg(loom)]
+pub use loom::{
+    sync::{
+        atomic::{AtomicBool, AtomicU64, Ordering},
+        Arc, Condvar, Mutex, MutexGuard,
+    },
+    time::Instant,
+};
+
+#[cfg(not(loom))]
+pub use self::std_impl::*;
+
+#[cfg(not(loom))]
+mod std_impl {
+    pub use parking_lot::{Condvar, Mutex, MutexGuard};
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    pub use std::sync::Arc;
+    pub use std::time::Instant;
+}

@@ -10,6 +10,7 @@ use crate::Comm;
 
 /// Factor `n` ranks into `ndims` near-equal dimensions, largest first
 /// (the `MPI_Dims_create` contract).
+#[must_use] 
 pub fn dims_create(n: usize, ndims: usize) -> Vec<usize> {
     assert!(n > 0 && ndims > 0);
     let mut dims = vec![1usize; ndims];
@@ -49,6 +50,7 @@ pub struct CartComm {
 impl CartComm {
     /// Build a 3-D topology over `comm`. `dims` entries of 0 are filled by
     /// [`dims_create`].
+    #[must_use] 
     pub fn new(comm: Comm, dims: [usize; 3]) -> Self {
         let dims = if dims.iter().all(|&d| d > 0) {
             dims
@@ -65,12 +67,14 @@ impl CartComm {
     }
 
     /// Coordinates of a rank (row-major: x slowest).
+    #[must_use] 
     pub fn coords_of(&self, rank: usize) -> [usize; 3] {
         let [_, dy, dz] = self.dims;
         [rank / (dy * dz), (rank / dz) % dy, rank % dz]
     }
 
     /// Rank of given (periodic) coordinates.
+    #[must_use] 
     pub fn rank_of(&self, coords: [i64; 3]) -> usize {
         let mut c = [0usize; 3];
         for i in 0..3 {
@@ -81,12 +85,14 @@ impl CartComm {
     }
 
     /// This rank's coordinates.
+    #[must_use] 
     pub fn my_coords(&self) -> [usize; 3] {
         self.coords_of(self.comm.rank())
     }
 
     /// The 26 periodic neighbors (and self excluded), deduplicated — on
     /// small grids several offsets can map to the same rank.
+    #[must_use] 
     pub fn neighbors(&self) -> Vec<usize> {
         let me = self.my_coords();
         let mut out = Vec::new();

@@ -96,11 +96,13 @@ impl From<GenioError> for CheckpointError {
 /// CRC-32 fingerprint of a driver configuration. Two runs with the same
 /// fingerprint step through identical physics, so a checkpoint from one
 /// may seed the other.
+#[must_use] 
 pub fn config_fingerprint(cfg: &SimConfig) -> u64 {
-    crc32(format!("{cfg:?}").as_bytes()) as u64
+    u64::from(crc32(format!("{cfg:?}").as_bytes()))
 }
 
 /// Path of rank `rank`'s file in the `step`-step checkpoint set.
+#[must_use] 
 pub fn checkpoint_path(dir: &Path, step: u64, rank: usize, nranks: usize) -> PathBuf {
     dir.join(format!("ckpt_step{step:06}_r{rank}of{nranks}.gio"))
 }
@@ -227,6 +229,7 @@ impl<'a> DistSimulation<'a> {
     /// This rank's restart record after `step_index` completed steps:
     /// the active-particle prefix (positions, momenta, ids) exactly as
     /// held, plus the step/config/geometry metadata.
+    #[must_use] 
     pub fn checkpoint(&self, step_index: u64) -> Snapshot {
         let parts = self.particles();
         let n = parts.n_active;

@@ -45,6 +45,7 @@ pub struct SimConfig {
 
 impl SimConfig {
     /// A small but physically sensible default: ΛCDM in a 64 Mpc/h box.
+    #[must_use] 
     pub fn small_lcdm() -> Self {
         SimConfig {
             cosmology: Cosmology::lcdm(),
@@ -62,6 +63,7 @@ impl SimConfig {
     }
 
     /// Scale-factor boundaries of the long-range steps (uniform in ln a).
+    #[must_use] 
     pub fn step_edges(&self) -> Vec<f64> {
         let l0 = self.a_init.ln();
         let l1 = self.a_final.ln();
@@ -71,6 +73,7 @@ impl SimConfig {
     }
 
     /// Particle mass in M_sun/h for `np` total particles.
+    #[must_use] 
     pub fn particle_mass(&self, np: usize) -> f64 {
         hacc_cosmo::RHO_CRIT_H2_MSUN_MPC3 * self.cosmology.omega_m * self.box_len.powi(3)
             / np as f64

@@ -45,6 +45,7 @@ impl<'a> DistSimulation<'a> {
     /// Create from a full IC realization (each rank keeps its domain's
     /// particles). Requires `cfg.ng % ranks == 0` so domain and slab
     /// boundaries coincide, and slabs wide enough for the overload shell.
+    #[must_use] 
     pub fn new(comm: &'a Comm, cfg: SimConfig, ics: &hacc_ics::IcsRealization) -> Self {
         let p = comm.size();
         assert_eq!(cfg.ng % p, 0, "ng must be divisible by rank count");
@@ -65,7 +66,7 @@ impl<'a> DistSimulation<'a> {
         // Claim this rank's particles.
         let mut parts = Particles::default();
         for i in 0..ics.len() {
-            let pos = [ics.x[i] as f64, ics.y[i] as f64, ics.z[i] as f64];
+            let pos = [f64::from(ics.x[i]), f64::from(ics.y[i]), f64::from(ics.z[i])];
             if decomp.owner_of(pos) == comm.rank() {
                 parts.push(Packed {
                     x: ics.x[i],
@@ -136,21 +137,25 @@ impl<'a> DistSimulation<'a> {
     }
 
     /// Local particle store (active prefix + passive replicas).
+    #[must_use] 
     pub fn particles(&self) -> &Particles {
         &self.parts
     }
 
     /// The driver configuration.
+    #[must_use] 
     pub fn config(&self) -> &SimConfig {
         &self.cfg
     }
 
     /// The communicator this rank runs on.
+    #[must_use] 
     pub fn comm(&self) -> &'a Comm {
         self.comm
     }
 
     /// Global particle count (collective).
+    #[must_use] 
     pub fn global_count(&self) -> usize {
         self.comm.allreduce_sum(self.parts.n_active as f64) as usize
     }
@@ -175,9 +180,9 @@ impl<'a> DistSimulation<'a> {
         // Extended grid: planes [x0-HD, x0+lx+HD).
         let mut ext = vec![0.0f64; (lx + 2 * HD) * plane];
         for i in 0..self.parts.n_active {
-            let gx = self.parts.x[i] as f64 * to_grid;
-            let gy = self.parts.y[i] as f64 * to_grid;
-            let gz = self.parts.z[i] as f64 * to_grid;
+            let gx = f64::from(self.parts.x[i]) * to_grid;
+            let gy = f64::from(self.parts.y[i]) * to_grid;
+            let gz = f64::from(self.parts.z[i]) * to_grid;
             let fx = gx.floor();
             let (iy, dy) = wrap_cell(gy, ng);
             let (iz, dz) = wrap_cell(gz, ng);
@@ -257,9 +262,9 @@ impl<'a> DistSimulation<'a> {
         let plane = ng * ng;
         let mut out = Vec::with_capacity(self.parts.len());
         for i in 0..self.parts.len() {
-            let gx = self.parts.x[i] as f64 * to_grid;
-            let gy = self.parts.y[i] as f64 * to_grid;
-            let gz = self.parts.z[i] as f64 * to_grid;
+            let gx = f64::from(self.parts.x[i]) * to_grid;
+            let gy = f64::from(self.parts.y[i]) * to_grid;
+            let gz = f64::from(self.parts.z[i]) * to_grid;
             let fx = gx.floor();
             let dx = gx - fx;
             let ixe = fx as i64 - (x0 as i64 - h as i64);
@@ -398,6 +403,7 @@ impl<'a> DistSimulation<'a> {
     /// (1.0 = perfectly balanced). Collective. The paper's §VI notes
     /// nodal load balancing as the next improvement; clustering makes
     /// this grow over a run.
+    #[must_use] 
     pub fn load_imbalance(&self) -> f64 {
         let n = self.parts.n_active as f64;
         let max = self.comm.allreduce_max(n);
@@ -410,6 +416,7 @@ impl<'a> DistSimulation<'a> {
     }
 
     /// Gather `(id, position)` of all *active* particles to rank 0.
+    #[must_use] 
     pub fn gather_positions(&self) -> Option<Vec<(u64, [f32; 3])>> {
         let wrap = |v: f32| -> f32 {
             let l = self.cfg.box_len as f32;

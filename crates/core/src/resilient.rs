@@ -187,7 +187,7 @@ pub fn run_resilient(
     cfg: SimConfig,
     ics: &hacc_ics::IcsRealization,
     rc: &ResilienceConfig,
-    plan: FaultPlan,
+    plan: &FaultPlan,
 ) -> Result<ResilientRun, ResilienceError> {
     let mut timeline = Vec::new();
     let mut attempt = 1u32;

@@ -99,6 +99,7 @@ impl Simulation {
     ///
     /// The grid-force response is measured and fitted at construction
     /// (paper Eq. 7); this is a one-time cost per spectral configuration.
+    #[must_use] 
     pub fn from_ics(cfg: SimConfig, ics: &hacc_ics::IcsRealization) -> Self {
         assert!((ics.box_len - cfg.box_len).abs() < 1e-9, "box mismatch");
         let pm = PmSolver::new(cfg.ng, cfg.box_len, cfg.spectral);
@@ -521,7 +522,7 @@ impl Simulation {
         let mut k = 0.0f64;
         for i in 0..self.len() {
             let p2 = self.vx[i] * self.vx[i] + self.vy[i] * self.vy[i] + self.vz[i] * self.vz[i];
-            k += (p2 / (2.0 * a2)) as f64;
+            k += f64::from(p2 / (2.0 * a2));
         }
         // Potential from the spectral solve (unfiltered influence only
         // would double-count softening; using the production kernel keeps
@@ -537,7 +538,7 @@ impl Simulation {
         let phi_hat = self.pm.solve_potential(&grid);
         let phi_i = interpolate_cic(&phi_hat, ng, &gx, &gy, &gz);
         let prefactor = 1.5 * self.cfg.cosmology.omega_m / self.a;
-        let u = 0.5 * prefactor * phi_i.iter().map(|&v| v as f64).sum::<f64>();
+        let u = 0.5 * prefactor * phi_i.iter().map(|&v| f64::from(v)).sum::<f64>();
         (k, u)
     }
 
@@ -747,10 +748,10 @@ mod tests {
     #[test]
     fn momentum_conserved_over_step() {
         let mut sim = make_sim(SolverKind::TreePm, 0.1);
-        let p0: f64 = sim.vx.iter().map(|&v| v as f64).sum();
+        let p0: f64 = sim.vx.iter().map(|&v| f64::from(v)).sum();
         sim.step(0.11);
-        let p1: f64 = sim.vx.iter().map(|&v| v as f64).sum();
-        let scale: f64 = sim.vx.iter().map(|&v| v.abs() as f64).sum();
+        let p1: f64 = sim.vx.iter().map(|&v| f64::from(v)).sum();
+        let scale: f64 = sim.vx.iter().map(|&v| f64::from(v.abs())).sum();
         assert!(
             (p1 - p0).abs() < 1e-3 * scale.max(1.0),
             "Δp = {}",
@@ -807,7 +808,7 @@ mod tests {
             ratio += ps1.p[i] / ps0.p[i];
             n += 1;
         }
-        let got = ratio / n as f64;
+        let got = ratio / f64::from(n);
         assert!(
             (got / want - 1.0).abs() < 0.12,
             "low-k power growth {got}, linear theory D² = {want}"
@@ -825,12 +826,12 @@ mod tests {
         let mut max_rel: f64 = 0.0;
         let scale = ft[0]
             .iter()
-            .map(|&v| v.abs() as f64)
+            .map(|&v| f64::from(v.abs()))
             .fold(0.0, f64::max)
             .max(1e-12);
         for c in 0..3 {
             for (a, b) in ft[c].iter().zip(&fp[c]) {
-                max_rel = max_rel.max(((a - b).abs() as f64) / scale);
+                max_rel = max_rel.max(f64::from((a - b).abs()) / scale);
             }
         }
         assert!(max_rel < 1e-3, "max relative force diff {max_rel}");
@@ -936,7 +937,7 @@ mod tests {
             let sim = Simulation::from_ics(cfg, &ics);
             let f = sim.total_accel();
             // Radial component of the force on particle 0 toward 1.
-            let fr = f[0][0] as f64 * ux + f[1][0] as f64 * uy + f[2][0] as f64 * uz;
+            let fr = f64::from(f[0][0]) * ux + f64::from(f[1][0]) * uy + f64::from(f[2][0]) * uz;
             let want = delta / nbar * sim.grid_fit().norm / (r_cells * r_cells);
             assert!(fr > 0.0, "attraction expected, got {fr}");
             ratios.push(fr / want);

@@ -28,11 +28,13 @@ pub struct StepBreakdown {
 
 impl StepBreakdown {
     /// Total wall-clock of the step.
+    #[must_use] 
     pub fn total(&self) -> Duration {
         self.kernel + self.walk + self.build + self.fft + self.cic + self.other
     }
 
     /// Fraction of time in the force kernel.
+    #[must_use] 
     pub fn kernel_fraction(&self) -> f64 {
         let t = self.total().as_secs_f64();
         if t == 0.0 {
@@ -44,6 +46,7 @@ impl StepBreakdown {
 
     /// Kernel flops following the paper's 42-flops-per-interaction
     /// accounting.
+    #[must_use] 
     pub fn flops(&self) -> f64 {
         self.interactions as f64 * hacc_short::FLOPS_PER_INTERACTION as f64
     }
@@ -69,6 +72,7 @@ pub struct RunStats {
 
 impl RunStats {
     /// Sum over all steps.
+    #[must_use] 
     pub fn total(&self) -> StepBreakdown {
         let mut acc = StepBreakdown::default();
         for s in &self.steps {
@@ -79,6 +83,7 @@ impl RunStats {
 
     /// Seconds per sub-step per particle — the paper's headline metric
     /// (Fig. 7 red curve), given the particle count and sub-cycles.
+    #[must_use] 
     pub fn time_per_substep_per_particle(&self, particles: usize, subcycles: usize) -> f64 {
         let t = self.total().total().as_secs_f64();
         let substeps = self.steps.len() * subcycles;

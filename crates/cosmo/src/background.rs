@@ -24,6 +24,7 @@ impl DarkEnergy {
     ///
     /// For CPL this has the closed form
     /// `a^{-3(1+w0+wa)} · exp(-3 wa (1-a))`.
+    #[must_use] 
     pub fn density_factor(&self, a: f64) -> f64 {
         match *self {
             DarkEnergy::Lambda => 1.0,
@@ -35,6 +36,7 @@ impl DarkEnergy {
     }
 
     /// Equation of state at scale factor `a`.
+    #[must_use] 
     pub fn w(&self, a: f64) -> f64 {
         match *self {
             DarkEnergy::Lambda => -1.0,
@@ -71,6 +73,7 @@ pub struct Cosmology {
 
 impl Cosmology {
     /// The WMAP-7-like ΛCDM model used for HACC science runs of this era.
+    #[must_use] 
     pub fn lcdm() -> Self {
         Cosmology {
             omega_m: 0.265,
@@ -86,6 +89,7 @@ impl Cosmology {
 
     /// Einstein–de Sitter model (Ωm = 1). Useful for tests because the growth
     /// factor is exactly `D(a) = a` and `H(a) = H0 a^{-3/2}`.
+    #[must_use] 
     pub fn eds() -> Self {
         Cosmology {
             omega_m: 1.0,
@@ -100,6 +104,7 @@ impl Cosmology {
     }
 
     /// A wCDM variant of [`Cosmology::lcdm`] with constant `w`.
+    #[must_use] 
     pub fn wcdm(w: f64) -> Self {
         Cosmology {
             de: DarkEnergy::ConstantW(w),
@@ -108,11 +113,13 @@ impl Cosmology {
     }
 
     /// Dimensionless expansion rate `E(a) = H(a)/H0`.
+    #[must_use] 
     pub fn e_of_a(&self, a: f64) -> f64 {
         self.e2_of_a(a).sqrt()
     }
 
     /// `E²(a)` — cheaper when the square root is not needed.
+    #[must_use] 
     pub fn e2_of_a(&self, a: f64) -> f64 {
         debug_assert!(a > 0.0, "scale factor must be positive");
         let a2 = a * a;
@@ -121,16 +128,19 @@ impl Cosmology {
 
     /// Matter density parameter at scale factor `a`:
     /// `Ωm(a) = Ωm a⁻³ / E²(a)`.
+    #[must_use] 
     pub fn omega_m_of_a(&self, a: f64) -> f64 {
         self.omega_m / (a * a * a) / self.e2_of_a(a)
     }
 
     /// Redshift ↔ scale factor conversions.
+    #[must_use] 
     pub fn a_of_z(z: f64) -> f64 {
         1.0 / (1.0 + z)
     }
 
     /// Scale factor to redshift.
+    #[must_use] 
     pub fn z_of_a(a: f64) -> f64 {
         1.0 / a - 1.0
     }
@@ -140,6 +150,7 @@ impl Cosmology {
     /// In comoving coordinates with canonical momentum `p = a² ẋ` the
     /// velocity update over a long-range "kick" multiplies the acceleration
     /// by this integral (paper Eq. 6 kick maps).
+    #[must_use] 
     pub fn kick_factor(&self, a0: f64, a1: f64) -> f64 {
         integrate(|a| 1.0 / (a * a * self.e_of_a(a)), a0, a1, 1e-12)
     }
@@ -147,18 +158,21 @@ impl Cosmology {
     /// Drift factor: `∫_{a0}^{a1} da / (a³ E(a))` (time unit `1/H0`).
     ///
     /// Position update factor for the stream map with `p = a² ẋ`.
+    #[must_use] 
     pub fn drift_factor(&self, a0: f64, a1: f64) -> f64 {
         integrate(|a| 1.0 / (a * a * a * self.e_of_a(a)), a0, a1, 1e-12)
     }
 
     /// Cosmic time between scale factors in units of `1/H0`:
     /// `∫ da / (a E(a))`.
+    #[must_use] 
     pub fn time_between(&self, a0: f64, a1: f64) -> f64 {
         integrate(|a| 1.0 / (a * self.e_of_a(a)), a0, a1, 1e-12)
     }
 
     /// Comoving distance to scale factor `a` in Mpc/h:
     /// `(c/H0) ∫_a^1 da' / (a'² E(a'))` with `c/H0 = 2997.92458 Mpc/h`.
+    #[must_use] 
     pub fn comoving_distance(&self, a: f64) -> f64 {
         2997.92458 * integrate(|x| 1.0 / (x * x * self.e_of_a(x)), a, 1.0, 1e-10)
     }
@@ -167,6 +181,7 @@ impl Cosmology {
     /// `4πG a² Ωm ρc δ` becomes `(3/2) Ωm H0² δ / a` for the comoving
     /// potential; this returns `(3/2) Ωm` (the `H0²/a` is applied by the
     /// stepper which knows the current epoch).
+    #[must_use] 
     pub fn poisson_prefactor(&self) -> f64 {
         1.5 * self.omega_m
     }

@@ -32,6 +32,7 @@ pub struct GrowthFactor {
 
 impl GrowthFactor {
     /// Build the growth table for `cosmo`, valid for `a ∈ [1e-3, 1]`.
+    #[must_use] 
     pub fn new(cosmo: &Cosmology) -> Self {
         const A_START: f64 = 1e-4;
         const N: usize = 800;
@@ -92,22 +93,26 @@ impl GrowthFactor {
     }
 
     /// Growth factor normalized to `D(a=1) = 1`.
+    #[must_use] 
     pub fn d_of_a(&self, a: f64) -> f64 {
         self.interp(&self.d, a) / self.norm
     }
 
     /// Logarithmic growth rate `f(a) = dlnD/dlna`.
+    #[must_use] 
     pub fn f_of_a(&self, a: f64) -> f64 {
         self.interp(&self.dprime, a) / self.interp(&self.d, a)
     }
 
     /// `dD/dt` in units of `H0` (so velocity = `dD/dt · ψ` comes out in the
     /// driver's `1/H0` time unit): `Ḋ = D f H(a) = D f E(a)` in those units.
+    #[must_use] 
     pub fn d_dot(&self, a: f64) -> f64 {
         self.d_of_a(a) * self.f_of_a(a) * self.cosmo.e_of_a(a)
     }
 
     /// The cosmology this table was built for.
+    #[must_use] 
     pub fn cosmology(&self) -> &Cosmology {
         &self.cosmo
     }
@@ -153,7 +158,7 @@ mod tests {
         let g = GrowthFactor::new(&Cosmology::lcdm());
         let mut prev = 0.0;
         for i in 1..=100 {
-            let a = i as f64 / 100.0;
+            let a = f64::from(i) / 100.0;
             let d = g.d_of_a(a);
             assert!(d > prev, "D not monotone at a = {a}");
             prev = d;

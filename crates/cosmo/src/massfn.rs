@@ -21,11 +21,13 @@ pub enum MassFunction {
 }
 
 /// Press–Schechter multiplicity function `f(ν)`, where `ν = δc/σ(M)`.
+#[must_use] 
 pub fn press_schechter(nu: f64) -> f64 {
     (2.0 / std::f64::consts::PI).sqrt() * nu * (-0.5 * nu * nu).exp()
 }
 
 /// Sheth–Tormen multiplicity function `f(ν)`.
+#[must_use] 
 pub fn sheth_tormen(nu: f64) -> f64 {
     const A: f64 = 0.3222;
     const LITTLE_A: f64 = 0.707;
@@ -39,6 +41,7 @@ pub fn sheth_tormen(nu: f64) -> f64 {
 
 impl MassFunction {
     /// Multiplicity function `f(ν)`.
+    #[must_use] 
     pub fn multiplicity(&self, nu: f64) -> f64 {
         match self {
             MassFunction::PressSchechter => press_schechter(nu),
@@ -50,6 +53,7 @@ impl MassFunction {
     /// `a` for halo mass `m` in M_sun/h:
     ///
     /// `dn/dlnM = (ρ̄_m/M) f(ν) |dlnσ/dlnM|` with `ν = δc/σ(M, a)`.
+    #[must_use] 
     pub fn dn_dlnm(&self, power: &LinearPower, m: f64, a: f64) -> f64 {
         let rho_m = crate::RHO_CRIT_H2_MSUN_MPC3 * power.cosmology().omega_m;
         let sigma = power.sigma_m(m, a);
@@ -63,6 +67,7 @@ impl MassFunction {
     }
 
     /// Cumulative number density of halos above mass `m` (per (Mpc/h)³).
+    #[must_use] 
     pub fn n_above(&self, power: &LinearPower, m: f64, a: f64) -> f64 {
         // Integrate dn/dlnM in ln M up to a mass where the abundance is
         // utterly negligible.
@@ -70,10 +75,10 @@ impl MassFunction {
         let lnm0 = m.ln();
         let lnm1 = (1e17f64).ln();
         let n = 120;
-        let h = (lnm1 - lnm0) / n as f64;
+        let h = (lnm1 - lnm0) / f64::from(n);
         for i in 0..n {
             // Midpoint rule is plenty for this monotone decaying integrand.
-            let lnm = lnm0 + (i as f64 + 0.5) * h;
+            let lnm = lnm0 + (f64::from(i) + 0.5) * h;
             total += self.dn_dlnm(power, lnm.exp(), a) * h;
         }
         total
@@ -99,7 +104,7 @@ mod tests {
         let mut best_nu = 0.0;
         let mut best = 0.0;
         for i in 1..500 {
-            let nu = i as f64 * 0.01;
+            let nu = f64::from(i) * 0.01;
             let f = press_schechter(nu);
             assert!(f >= 0.0);
             if f > best {

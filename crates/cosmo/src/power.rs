@@ -18,6 +18,7 @@ pub struct LinearPower {
 
 impl LinearPower {
     /// Construct and normalize to the cosmology's σ8.
+    #[must_use] 
     pub fn new(cosmo: &Cosmology, transfer: Transfer) -> Self {
         let growth = GrowthFactor::new(cosmo);
         let mut lp = LinearPower {
@@ -38,23 +39,27 @@ impl LinearPower {
     }
 
     /// `P(k)` today (z = 0).
+    #[must_use] 
     pub fn p_of_k(&self, k: f64) -> f64 {
         self.amplitude * self.shape(k)
     }
 
     /// `P(k, a) = D²(a) P(k)`.
+    #[must_use] 
     pub fn p_of_k_a(&self, k: f64, a: f64) -> f64 {
         let d = self.growth.d_of_a(a);
         d * d * self.p_of_k(k)
     }
 
     /// Dimensionless power `Δ²(k) = k³ P(k) / 2π²` at z = 0.
+    #[must_use] 
     pub fn delta2(&self, k: f64) -> f64 {
         k * k * k * self.p_of_k(k) / (2.0 * std::f64::consts::PI * std::f64::consts::PI)
     }
 
     /// Variance of the linear field smoothed with a top-hat of radius `r`
     /// Mpc/h at scale factor `a` (σ²(R); σ8² = this at r = 8, a = 1).
+    #[must_use] 
     pub fn sigma_r_squared(&self, r: f64, a: f64) -> f64 {
         let d = self.growth.d_of_a(a);
         let integrand = |lnk: f64| {
@@ -69,28 +74,33 @@ impl LinearPower {
     }
 
     /// rms fluctuation in spheres of radius `r` at scale factor `a`.
+    #[must_use] 
     pub fn sigma_r(&self, r: f64, a: f64) -> f64 {
         self.sigma_r_squared(r, a).sqrt()
     }
 
     /// σ(M): rms fluctuation for the Lagrangian radius of mass `M` (M_sun/h).
+    #[must_use] 
     pub fn sigma_m(&self, m: f64, a: f64) -> f64 {
         self.sigma_r(self.lagrangian_radius(m), a)
     }
 
     /// Lagrangian (comoving) radius in Mpc/h enclosing mass `m` (M_sun/h)
     /// at the mean matter density.
+    #[must_use] 
     pub fn lagrangian_radius(&self, m: f64) -> f64 {
         let rho_m = crate::RHO_CRIT_H2_MSUN_MPC3 * self.cosmo.omega_m;
         (3.0 * m / (4.0 * std::f64::consts::PI * rho_m)).cbrt()
     }
 
     /// Growth table used for time evolution.
+    #[must_use] 
     pub fn growth(&self) -> &GrowthFactor {
         &self.growth
     }
 
     /// The underlying cosmology.
+    #[must_use] 
     pub fn cosmology(&self) -> &Cosmology {
         &self.cosmo
     }
@@ -133,7 +143,7 @@ mod tests {
         let mut best_k = 0.0;
         let mut best = 0.0;
         for i in 0..200 {
-            let k = 1e-4 * (10f64).powf(i as f64 / 50.0);
+            let k = 1e-4 * (10f64).powf(f64::from(i) / 50.0);
             if p.p_of_k(k) > best {
                 best = p.p_of_k(k);
                 best_k = k;

@@ -26,6 +26,7 @@ pub enum Transfer {
 
 impl Transfer {
     /// Evaluate `T(k)` for wavenumber `k` in h/Mpc.
+    #[must_use] 
     pub fn evaluate(&self, cosmo: &Cosmology, k: f64) -> f64 {
         debug_assert!(k >= 0.0);
         if k == 0.0 {
@@ -167,7 +168,7 @@ mod tests {
         for t in [Transfer::Bbks, Transfer::EisensteinHuNoWiggle] {
             let mut prev = f64::INFINITY;
             for i in 0..60 {
-                let k = 1e-4 * (10f64).powf(i as f64 / 10.0);
+                let k = 1e-4 * (10f64).powf(f64::from(i) / 10.0);
                 let v = t.evaluate(&c, k);
                 assert!(v < prev && v > 0.0, "{t:?} not monotone at k={k}");
                 prev = v;
@@ -204,7 +205,7 @@ mod tests {
         let mut crossings = 0;
         let mut prev_sign = 0i32;
         for i in 0..200 {
-            let k = 0.03 + 0.3 * i as f64 / 200.0;
+            let k = 0.03 + 0.3 * f64::from(i) / 200.0;
             let full = Transfer::EisensteinHu.evaluate(&c, k);
             let nw = Transfer::EisensteinHuNoWiggle.evaluate(&c, k);
             let ratio = full / nw;

@@ -47,11 +47,13 @@ pub struct Particles {
 
 impl Particles {
     /// Total stored particles (active + passive).
+    #[must_use] 
     pub fn len(&self) -> usize {
         self.x.len()
     }
 
     /// True if no particles are stored.
+    #[must_use] 
     pub fn is_empty(&self) -> bool {
         self.x.is_empty()
     }
@@ -68,6 +70,7 @@ impl Particles {
     }
 
     /// Pack particle `i` for transmission.
+    #[must_use] 
     pub fn pack(&self, i: usize) -> Packed {
         Packed {
             x: self.x[i],
@@ -82,6 +85,7 @@ impl Particles {
 
     /// Overload memory overhead: passive / active (the paper quotes ~10%
     /// for large runs).
+    #[must_use] 
     pub fn overload_fraction(&self) -> f64 {
         if self.n_active == 0 {
             0.0
@@ -125,6 +129,7 @@ pub struct Decomposition {
 
 impl Decomposition {
     /// Create and validate a decomposition.
+    #[must_use] 
     pub fn new(dims: [usize; 3], box_len: f64, overload: f64) -> Self {
         assert!(box_len > 0.0 && overload >= 0.0);
         for &d in &dims {
@@ -143,16 +148,19 @@ impl Decomposition {
     }
 
     /// Total ranks covered.
+    #[must_use] 
     pub fn ranks(&self) -> usize {
         self.dims[0] * self.dims[1] * self.dims[2]
     }
 
     /// Rank of block coordinates.
+    #[must_use] 
     pub fn rank_of(&self, c: [usize; 3]) -> usize {
         (c[0] * self.dims[1] + c[1]) * self.dims[2] + c[2]
     }
 
     /// Block coordinates of a rank.
+    #[must_use] 
     pub fn coords_of(&self, rank: usize) -> [usize; 3] {
         [
             rank / (self.dims[1] * self.dims[2]),
@@ -162,6 +170,7 @@ impl Decomposition {
     }
 
     /// Domain bounds of a rank: `[lo, hi)` per axis.
+    #[must_use] 
     pub fn domain_of(&self, rank: usize) -> ([f64; 3], [f64; 3]) {
         let c = self.coords_of(rank);
         let mut lo = [0.0; 3];
@@ -175,6 +184,7 @@ impl Decomposition {
     }
 
     /// Wrap a coordinate into `[0, box_len)`.
+    #[must_use] 
     pub fn wrap(&self, v: f64) -> f64 {
         let l = self.box_len;
         let w = v - (v / l).floor() * l;
@@ -186,6 +196,7 @@ impl Decomposition {
     }
 
     /// Owner rank of a (wrapped) position.
+    #[must_use] 
     pub fn owner_of(&self, pos: [f64; 3]) -> usize {
         let mut c = [0usize; 3];
         for a in 0..3 {
@@ -199,6 +210,7 @@ impl Decomposition {
     /// of a particle at (wrapped) `pos`, excluding the unshifted owner
     /// entry. Shifts are expressed in the destination frame (`stored
     /// position = pos + shift`).
+    #[must_use] 
     pub fn overload_targets(&self, pos: [f64; 3]) -> Vec<(usize, [f64; 3])> {
         let w = self.overload;
         // Per-axis candidates: (block index, shift).
@@ -273,10 +285,10 @@ pub fn refresh(comm: &Comm, decomp: &Decomposition, particles: &mut Particles) {
     for i in 0..particles.n_active {
         let mut p = particles.pack(i);
         // Wrap into the periodic box.
-        p.x = decomp.wrap(p.x as f64) as f32;
-        p.y = decomp.wrap(p.y as f64) as f32;
-        p.z = decomp.wrap(p.z as f64) as f32;
-        let pos = [p.x as f64, p.y as f64, p.z as f64];
+        p.x = decomp.wrap(f64::from(p.x)) as f32;
+        p.y = decomp.wrap(f64::from(p.y)) as f32;
+        p.z = decomp.wrap(f64::from(p.z)) as f32;
+        let pos = [f64::from(p.x), f64::from(p.y), f64::from(p.z)];
         let owner = decomp.owner_of(pos);
         sends[owner].push(Tagged {
             p,

@@ -18,6 +18,7 @@ pub struct Complex64 {
 impl Complex64 {
     /// Construct from rectangular components.
     #[inline(always)]
+    #[must_use] 
     pub const fn new(re: f64, im: f64) -> Self {
         Complex64 { re, im }
     }
@@ -31,6 +32,7 @@ impl Complex64 {
 
     /// `exp(i·theta)` on the unit circle.
     #[inline]
+    #[must_use] 
     pub fn cis(theta: f64) -> Self {
         let (s, c) = theta.sin_cos();
         Complex64::new(c, s)
@@ -38,24 +40,28 @@ impl Complex64 {
 
     /// Complex conjugate.
     #[inline(always)]
+    #[must_use] 
     pub fn conj(self) -> Self {
         Complex64::new(self.re, -self.im)
     }
 
     /// Squared magnitude.
     #[inline(always)]
+    #[must_use] 
     pub fn norm_sqr(self) -> f64 {
         self.re * self.re + self.im * self.im
     }
 
     /// Magnitude.
     #[inline]
+    #[must_use] 
     pub fn abs(self) -> f64 {
         self.norm_sqr().sqrt()
     }
 
     /// Multiply by a real scalar.
     #[inline(always)]
+    #[must_use] 
     pub fn scale(self, s: f64) -> Self {
         Complex64::new(self.re * s, self.im * s)
     }

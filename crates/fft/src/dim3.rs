@@ -43,11 +43,13 @@ impl Clone for Fft3 {
 
 impl Fft3 {
     /// Plan for a cubic `n³` grid.
+    #[must_use] 
     pub fn new_cubic(n: usize) -> Self {
         Self::new(n, n, n)
     }
 
     /// Plan for a general `nx × ny × nz` grid.
+    #[must_use] 
     pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
         Fft3 {
             nx,
@@ -179,6 +181,9 @@ pub(crate) fn pass_x(
                 }
                 run_line(plan, line, scratch, inverse);
                 for (ix, lv) in line.iter().enumerate() {
+                    // SAFETY: writes the same disjoint (iy, iz) column
+                    // read above; `ix·plane_stride + off` stays within
+                    // the `nx·ny·nzc` allocation behind `data`.
                     unsafe { *base.0.add(ix * plane_stride + off) = *lv };
                 }
             }
@@ -195,7 +200,13 @@ fn conj_in(line: &mut [Complex64]) {
 /// Pointer wrapper asserting cross-thread use is sound (columns disjoint).
 #[derive(Clone, Copy)]
 struct SyncPtr(*mut Complex64);
+// SAFETY: the pointer names the caller's cube allocation, which outlives
+// the scoped x-pass, and each parallel (y, z) task touches only its own
+// strided column — distinct (y, z) pairs index disjoint elements. The
+// wrapper only moves the pointer into rayon closures.
 unsafe impl Send for SyncPtr {}
+// SAFETY: shared references only copy the pointer; dereferences happen
+// inside the unsafe blocks that prove per-column disjointness.
 unsafe impl Sync for SyncPtr {}
 
 #[cfg(test)]

@@ -18,17 +18,20 @@ pub struct Layout3 {
 
 impl Layout3 {
     /// Number of locally stored elements.
+    #[must_use] 
     pub fn len(&self) -> usize {
         self.size[0] * self.size[1] * self.size[2]
     }
 
     /// True when the local box is empty.
+    #[must_use] 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
     /// Local index of global coordinates (must lie inside the box).
     #[inline]
+    #[must_use] 
     pub fn local_index(&self, g: [usize; 3]) -> usize {
         debug_assert!(self.contains(g), "{g:?} outside {self:?}");
         let l = [
@@ -41,12 +44,14 @@ impl Layout3 {
 
     /// Whether the box contains the global coordinates.
     #[inline]
+    #[must_use] 
     pub fn contains(&self, g: [usize; 3]) -> bool {
         (0..3).all(|d| g[d] >= self.origin[d] && g[d] < self.origin[d] + self.size[d])
     }
 
     /// Global coordinates of local linear index `idx`.
     #[inline]
+    #[must_use] 
     pub fn global_coords(&self, idx: usize) -> [usize; 3] {
         let iz = idx % self.size[2];
         let iy = (idx / self.size[2]) % self.size[1];
@@ -60,6 +65,7 @@ impl Layout3 {
 }
 
 /// Split `n` into `p` contiguous near-equal ranges `(start, len)`.
+#[must_use] 
 pub fn block_ranges(n: usize, p: usize) -> Vec<(usize, usize)> {
     let base = n / p;
     let rem = n % p;

@@ -44,6 +44,7 @@ struct Bluestein {
 
 impl Fft1d {
     /// Plan a transform of length `n` (> 0).
+    #[must_use] 
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "FFT length must be positive");
         let factors = factorize(n);
@@ -65,23 +66,27 @@ impl Fft1d {
     }
 
     /// Transform length.
+    #[must_use] 
     pub fn len(&self) -> usize {
         self.n
     }
 
     /// True for the degenerate length-1 plan.
+    #[must_use] 
     pub fn is_empty(&self) -> bool {
         false
     }
 
     /// Allocate a scratch buffer suitable for [`Fft1d::forward`] /
     /// [`Fft1d::backward`] calls on this plan.
+    #[must_use] 
     pub fn make_scratch(&self) -> Vec<Complex64> {
         vec![Complex64::ZERO; self.scratch_len()]
     }
 
     /// Required scratch length for this plan (lets callers lease from a
     /// [`crate::scratch::BufPool`] instead of allocating).
+    #[must_use] 
     pub fn scratch_len(&self) -> usize {
         let inner = self
             .bluestein

@@ -55,11 +55,13 @@ impl Clone for RealFft3 {
 
 impl RealFft3 {
     /// Plan for a cubic `n³` grid.
+    #[must_use] 
     pub fn new_cubic(n: usize) -> Self {
         Self::new(n, n, n)
     }
 
     /// Plan for a general `nx × ny × nz` grid.
+    #[must_use] 
     pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
         assert!(nx > 0 && ny > 0 && nz > 0);
         RealFft3 {

@@ -23,6 +23,7 @@ pub struct BufPool {
 
 impl BufPool {
     /// An empty pool.
+    #[must_use] 
     pub fn new() -> Self {
         Self::default()
     }

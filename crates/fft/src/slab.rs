@@ -27,6 +27,7 @@ pub struct SlabFft<'a> {
 impl<'a> SlabFft<'a> {
     /// Create a slab FFT of global side `n` over `comm`.
     /// Requires `comm.size() ≤ n`.
+    #[must_use] 
     pub fn new(comm: &'a Comm, n: usize) -> Self {
         assert!(
             comm.size() <= n,

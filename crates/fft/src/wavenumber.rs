@@ -3,6 +3,7 @@
 /// Signed integer wavenumber for FFT bin `i` of an `n`-point transform:
 /// `0, 1, …, n/2, -(n-1)/2, …, -1` (the usual fftfreq convention).
 #[inline]
+#[must_use] 
 pub fn k_index(i: usize, n: usize) -> i64 {
     debug_assert!(i < n);
     if i <= n / 2 {
@@ -15,6 +16,7 @@ pub fn k_index(i: usize, n: usize) -> i64 {
 /// Physical wavenumber of bin `i` for a periodic domain of length `l`:
 /// `k = 2π·k_index/l`.
 #[inline]
+#[must_use] 
 pub fn k_of_index(i: usize, n: usize, l: f64) -> f64 {
     2.0 * std::f64::consts::PI * k_index(i, n) as f64 / l
 }
@@ -22,6 +24,7 @@ pub fn k_of_index(i: usize, n: usize, l: f64) -> f64 {
 /// Squared magnitude of the wavevector for bins `(i, j, k)` of an `n³`
 /// grid with box length `l`.
 #[inline]
+#[must_use] 
 pub fn k_squared(idx: [usize; 3], n: usize, l: f64) -> f64 {
     let kx = k_of_index(idx[0], n, l);
     let ky = k_of_index(idx[1], n, l);

@@ -81,6 +81,7 @@ impl From<std::io::Error> for GenioError {
 impl Snapshot {
     /// Build a snapshot from the canonical particle columns.
     #[allow(clippy::too_many_arguments)]
+    #[must_use] 
     pub fn from_particles(
         box_len: f64,
         a: f64,
@@ -124,6 +125,7 @@ impl Snapshot {
     }
 
     /// True when the snapshot holds no particles.
+    #[must_use] 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -131,6 +133,7 @@ impl Snapshot {
     /// Keep only every `stride`-th particle — the cheap science-output
     /// sub-sampling HACC used when "only a small file system was
     /// available".
+    #[must_use] 
     pub fn subsample(&self, stride: usize) -> Snapshot {
         assert!(stride >= 1);
         let pick = |n: usize| (0..n).step_by(stride);
@@ -151,6 +154,7 @@ impl Snapshot {
     }
 
     /// Serialize to bytes.
+    #[must_use] 
     pub fn to_bytes(&self) -> Bytes {
         let n = self.len();
         let mut buf = BytesMut::with_capacity(64 + n * (self.f32_fields.len() * 4 + 8));
@@ -367,6 +371,7 @@ fn get_block<'a>(data: &mut &'a [u8]) -> Result<(String, u8, &'a [u8]), GenioErr
 }
 
 /// CRC-32 (IEEE 802.3 polynomial), bytewise table-driven.
+#[must_use] 
 pub fn crc32(data: &[u8]) -> u32 {
     const POLY: u32 = 0xEDB8_8320;
     let mut table = [0u32; 256];
@@ -383,7 +388,7 @@ pub fn crc32(data: &[u8]) -> u32 {
     }
     let mut crc = 0xFFFF_FFFFu32;
     for &b in data {
-        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+        crc = table[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
     }
     !crc
 }

@@ -48,11 +48,13 @@ pub struct IcsRealization {
 
 impl IcsRealization {
     /// Number of particles.
+    #[must_use] 
     pub fn len(&self) -> usize {
         self.x.len()
     }
 
     /// True when empty (never, for valid construction).
+    #[must_use] 
     pub fn is_empty(&self) -> bool {
         self.x.is_empty()
     }
@@ -62,6 +64,7 @@ impl IcsRealization {
 ///
 /// `n` is both the IC grid and particle count per side (`n³` particles).
 /// Deterministic in `seed`.
+#[must_use] 
 pub fn zeldovich(
     n: usize,
     box_len: f64,
@@ -198,6 +201,7 @@ pub fn zeldovich(
 /// with `D₂ ≈ -3/7 · D² · Ωm(a)^(-1/143)` and momenta carrying the
 /// corresponding `f₂ ≈ 2 Ωm^(6/11)` growth rate. All second derivatives
 /// of the first-order potential are computed spectrally.
+#[must_use] 
 pub fn zeldovich_2lpt(
     n: usize,
     box_len: f64,
@@ -378,6 +382,7 @@ pub fn zeldovich_2lpt(
 
 /// Regular (undisplaced) grid load — useful for force tests and as a
 /// "cold" start.
+#[must_use] 
 pub fn uniform_grid(n: usize, box_len: f64) -> IcsRealization {
     let cell = box_len / n as f64;
     let n3 = n * n * n;
@@ -446,7 +451,7 @@ mod tests {
         let ics = zeldovich(16, 200.0, &p, 0.04, 1);
         assert_eq!(ics.len(), 16 * 16 * 16);
         for &v in ics.x.iter().chain(&ics.y).chain(&ics.z) {
-            assert!((0.0..200.0).contains(&(v as f64)), "position {v}");
+            assert!((0.0..200.0).contains(&f64::from(v)), "position {v}");
         }
     }
 
@@ -570,7 +575,7 @@ mod tests {
                 .map(|i| {
                     let mut d = (z1.x[i] - z2.x[i]).abs();
                     d = d.min(l - d);
-                    (d * d) as f64
+                    f64::from(d * d)
                 })
                 .sum::<f64>()
                 .sqrt()
@@ -593,7 +598,7 @@ mod tests {
         let b = zeldovich_2lpt(8, 100.0, &p, 0.1, 5);
         assert_eq!(a.x, b.x);
         for &v in a.x.iter().chain(&a.y).chain(&a.z) {
-            assert!((0.0..100.0).contains(&(v as f64)));
+            assert!((0.0..100.0).contains(&f64::from(v)));
         }
         assert!(a.vx.iter().all(|v| v.is_finite()));
     }

@@ -37,11 +37,13 @@ pub const BGQ_NODE: BgqNode = BgqNode {
 impl BgqNode {
     /// Peak flops per core (FMA counts as 2 flops):
     /// 1.6 GHz · 4 FMA · 2 = 12.8 GFlops.
+    #[must_use] 
     pub fn peak_flops_per_core(&self) -> f64 {
         self.clock_hz * self.fma_per_cycle as f64 * 2.0
     }
 
     /// Peak flops per node (204.8 GFlops).
+    #[must_use] 
     pub fn peak_flops(&self) -> f64 {
         self.peak_flops_per_core() * self.cores as f64
     }
@@ -58,6 +60,7 @@ pub struct BgqPartition {
 
 impl BgqPartition {
     /// Partition with a whole number of racks at the paper's 16 ranks/node.
+    #[must_use] 
     pub fn racks(racks: usize) -> Self {
         BgqPartition {
             nodes: racks * 1024,
@@ -66,6 +69,7 @@ impl BgqPartition {
     }
 
     /// Partition sized by total core count (16 cores/node).
+    #[must_use] 
     pub fn with_cores(cores: usize) -> Self {
         assert!(cores.is_multiple_of(BGQ_NODE.cores), "cores must fill whole nodes");
         BgqPartition {
@@ -75,16 +79,19 @@ impl BgqPartition {
     }
 
     /// Total user cores.
+    #[must_use] 
     pub fn cores(&self) -> usize {
         self.nodes * BGQ_NODE.cores
     }
 
     /// Total MPI ranks.
+    #[must_use] 
     pub fn ranks(&self) -> usize {
         self.nodes * self.ranks_per_node
     }
 
     /// Aggregate peak in flops/s.
+    #[must_use] 
     pub fn peak_flops(&self) -> f64 {
         self.nodes as f64 * BGQ_NODE.peak_flops()
     }
@@ -95,6 +102,7 @@ impl BgqPartition {
     /// `2 · N^(4/5)` links (two directions across the cut of the longest
     /// dimension); each node drives `link_bandwidth_total/torus_links`
     /// per link.
+    #[must_use] 
     pub fn bisection_bandwidth(&self) -> f64 {
         let per_link = BGQ_NODE.link_bandwidth_total / BGQ_NODE.torus_links as f64;
         2.0 * (self.nodes as f64).powf(0.8) * per_link

@@ -19,6 +19,7 @@ pub struct ScalingRow {
 
 impl ScalingRow {
     /// Time per substep per particle in seconds.
+    #[must_use] 
     pub fn time_per_particle(&self) -> f64 {
         self.time / self.problem_size
     }
@@ -56,6 +57,7 @@ impl Default for FftModel {
 impl FftModel {
     /// Predict the wall-clock of one forward `n³` complex-f64 transform on
     /// `ranks` ranks of a BG/Q partition with `rpn` ranks per node.
+    #[must_use] 
     pub fn transform_time(&self, n: usize, ranks: usize, rpn: usize) -> ScalingRow {
         let nodes = ranks.div_ceil(rpn);
         let n3 = (n as f64).powi(3);
@@ -108,6 +110,7 @@ pub struct FullCodeModel {
 
 impl FullCodeModel {
     /// Reference inputs matching the paper's reported operating point.
+    #[must_use] 
     pub fn paper_reference() -> Self {
         FullCodeModel {
             // Calibrated so 2M particles/core on 96 racks reproduces the
@@ -123,6 +126,7 @@ impl FullCodeModel {
 
     /// Predict one substep on `part` with `particles` total tracer
     /// particles.
+    #[must_use] 
     pub fn substep(&self, part: &BgqPartition, particles: f64) -> ScalingRow {
         let total_flops = self.flops_per_particle * particles * self.overload_factor;
         // Kernel time at kernel_efficiency of peak; everything else scales
@@ -152,6 +156,7 @@ impl FullCodeModel {
     /// Strong-scaling overload penalty: when the per-rank box edge shrinks
     /// to a few overload widths, replicated volume grows as
     /// `(1 + 2·w/edge)³`.
+    #[must_use] 
     pub fn overload_penalty(box_edge_cells: f64, overload_cells: f64) -> f64 {
         let f = 1.0 + 2.0 * overload_cells / box_edge_cells;
         f * f * f
@@ -168,6 +173,7 @@ impl FullCodeModel {
     /// side at 1 particle/cell: density + 3 force components in f64
     /// (32 B) plus complex FFT working set with transpose staging
     /// (~64 B).
+    #[must_use] 
     pub fn memory_per_rank(&self, ppr: f64) -> f64 {
         let particle = 32.0 * (1.0 + 0.10 * (self.overload_factor)).min(2.0);
         let accel = 12.0;

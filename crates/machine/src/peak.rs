@@ -11,6 +11,7 @@ use std::time::Instant;
 /// each running independent FMA chains for roughly `millis` milliseconds.
 ///
 /// Returns flops per second (an FMA counts as 2 flops).
+#[must_use] 
 pub fn calibrate_peak_flops(threads: usize, millis: u64) -> f64 {
     assert!(threads > 0);
     let iters_guess: u64 = 4_000_000;

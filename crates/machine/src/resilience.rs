@@ -34,6 +34,7 @@ pub struct CheckpointModel {
 impl CheckpointModel {
     /// Build for a partition from its per-node MTBF: failures arrive
     /// independently per node, so the system MTBF is `node_mtbf / nodes`.
+    #[must_use] 
     pub fn for_partition(
         part: &BgqPartition,
         node_mtbf_seconds: f64,
@@ -49,6 +50,7 @@ impl CheckpointModel {
     }
 
     /// Young's first-order optimal checkpoint interval, `sqrt(2 δ M)`.
+    #[must_use] 
     pub fn young_interval(&self) -> f64 {
         (2.0 * self.write_time * self.system_mtbf).sqrt()
     }
@@ -56,6 +58,7 @@ impl CheckpointModel {
     /// Daly's higher-order optimum. Matches Young for `δ ≪ M`; for
     /// `δ ≥ M/2` checkpointing continuously is already optimal and the
     /// interval degenerates to `M`.
+    #[must_use] 
     pub fn daly_interval(&self) -> f64 {
         let (d, m) = (self.write_time, self.system_mtbf);
         if d >= 0.5 * m {
@@ -68,6 +71,7 @@ impl CheckpointModel {
     /// Expected fractional wall-clock overhead of checkpointing every
     /// `tau` seconds: `δ/τ` spent writing plus, per failure (rate `1/M`),
     /// a restart and on average half an interval of lost work.
+    #[must_use] 
     pub fn overhead(&self, tau: f64) -> f64 {
         assert!(tau > 0.0);
         self.write_time / tau + (self.restart_time + 0.5 * (tau + self.write_time)) / self.system_mtbf
@@ -75,6 +79,7 @@ impl CheckpointModel {
 
     /// Overhead at the Young-optimal interval, ≈ `sqrt(2 δ / M)` for
     /// small δ.
+    #[must_use] 
     pub fn optimal_overhead(&self) -> f64 {
         self.overhead(self.young_interval())
     }

@@ -12,7 +12,7 @@ use rayon::prelude::*;
 fn cic_cell(x: f32, n: usize) -> (usize, f64) {
     // Periodic wrap into [0, n).
     let nf = n as f64;
-    let mut xf = x as f64 % nf;
+    let mut xf = f64::from(x) % nf;
     if xf < 0.0 {
         xf += nf;
     }
@@ -199,7 +199,7 @@ pub fn deposit_tsc(grid: &mut [f64], n: usize, xs: &[f32], ys: &[f32], zs: &[f32
     // weights (1/2)(1/2-d)², 3/4-d², (1/2)(1/2+d)².
     let axis = |x: f32| -> (usize, [f64; 3]) {
         let nf = n as f64;
-        let mut xf = x as f64 % nf;
+        let mut xf = f64::from(x) % nf;
         if xf < 0.0 {
             xf += nf;
         }
@@ -236,6 +236,7 @@ pub fn deposit_tsc(grid: &mut [f64], n: usize, xs: &[f32], ys: &[f32], zs: &[f32
 }
 
 /// Interpolate a grid field at particle positions (inverse CIC gather).
+#[must_use] 
 pub fn interpolate_cic(grid: &[f64], n: usize, xs: &[f32], ys: &[f32], zs: &[f32]) -> Vec<f32> {
     let mut out = Vec::new();
     interpolate_cic_into(grid, n, xs, ys, zs, &mut out);
@@ -273,13 +274,19 @@ pub fn interpolate_cic_into(
                 + grid[(i1 * n + j) * n + k] * dx * ty * tz
                 + grid[(i1 * n + j) * n + k1] * dx * ty * dz
                 + grid[(i1 * n + j1) * n + k] * dx * dy * tz
-                + grid[(i1 * n + j1) * n + k1] * dx * dy * dz) as f32
+                + grid[(i1 * n + j1) * n + k1] * dx * dy * dz) as f32;
         });
 }
 
 #[derive(Clone, Copy)]
 struct SyncF64Ptr(*mut f64);
+// SAFETY: the pointer names a grid allocation that outlives the scoped
+// parallel deposit, and the parity-colored sweep guarantees two threads
+// never write the same x-slab concurrently (see deposit_cic_parallel).
+// The wrapper only exists to move the raw pointer into rayon closures.
 unsafe impl Send for SyncF64Ptr {}
+// SAFETY: shared references to the wrapper only copy the pointer; all
+// dereferences happen inside the unsafe block that proves disjointness.
 unsafe impl Sync for SyncF64Ptr {}
 
 #[cfg(test)]
@@ -352,8 +359,12 @@ mod tests {
 
     #[test]
     fn parallel_matches_serial() {
+        // Miri runs a reduced particle count — still above the 4096
+        // threshold, so the colored unsafe deposit path is what's
+        // checked.
+        let np = if cfg!(miri) { 4200 } else { 10_000 };
         for n in [8usize, 9] {
-            let (xs, ys, zs) = rand_positions(10_000, n, 17);
+            let (xs, ys, zs) = rand_positions(np, n, 17);
             let mut serial = vec![0.0; n * n * n];
             deposit_cic(&mut serial, n, &xs, &ys, &zs, 1.0);
             let mut par = vec![0.0; n * n * n];
@@ -370,6 +381,9 @@ mod tests {
     // Satellite: the parallel deposit must agree with the serial one per
     // cell on odd grid sizes, where the wrap-around x-bin takes the
     // serial fallback path (and must reuse scratch rather than allocate).
+    // Skipped under miri (8 cases at up to 33³ — the single-case tests
+    // above cover the same unsafe path).
+    #[cfg(not(miri))]
     proptest::proptest! {
         #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
         #[test]
@@ -391,10 +405,15 @@ mod tests {
     #[test]
     fn scratch_reuse_matches_fresh() {
         // Same scratch across grids of different size and particle count:
-        // results must be identical to fresh-scratch runs.
+        // results must be identical to fresh-scratch runs. Miri runs a
+        // trimmed sweep (drops the 33³ grid).
+        let sweep: &[(usize, usize, u64)] = if cfg!(miri) {
+            &[(8, 4500, 1), (5, 4500, 3), (8, 4200, 4)]
+        } else {
+            &[(8, 5000, 1), (33, 6000, 2), (5, 4500, 3), (8, 4200, 4)]
+        };
         let mut scratch = CicScratch::default();
-        for (n, np, seed) in [(8usize, 5000usize, 1u64), (33, 6000, 2), (5, 4500, 3), (8, 4200, 4)]
-        {
+        for &(n, np, seed) in sweep {
             let (xs, ys, zs) = rand_positions(np, n, seed);
             let mut reused = vec![0.0; n * n * n];
             deposit_cic_par_with(&mut reused, n, &xs, &ys, &zs, 1.0, &mut scratch);

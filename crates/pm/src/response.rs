@@ -45,6 +45,7 @@ impl GridForceFit {
     ///
     /// `n` is the reference grid size (≥ 32 recommended); `r_cut` the
     /// matching radius in grid cells. Deterministic given `seed`.
+    #[must_use] 
     pub fn measure(n: usize, params: SpectralParams, r_cut: f64, seed: u64) -> Self {
         let solver = PmSolver::new(n, n as f64, params);
         let samples = sample_response(&solver, r_cut, seed);
@@ -96,6 +97,7 @@ impl GridForceFit {
     /// The fitted grid response `g(s) = F_grid(r)/r` (normalized so that
     /// Newtonian is `s^{-3/2}`).
     #[inline]
+    #[must_use] 
     pub fn fgrid(&self, s: f64) -> f64 {
         eval_poly5(&self.coeffs, s)
     }
@@ -103,6 +105,7 @@ impl GridForceFit {
     /// Short-range force factor `f_SR(s)` of paper Eq. 7 (zero beyond the
     /// cutoff).
     #[inline]
+    #[must_use] 
     pub fn short_range(&self, s: f64) -> f64 {
         if s >= self.r_cut * self.r_cut {
             0.0
@@ -112,6 +115,7 @@ impl GridForceFit {
     }
 
     /// Coefficients in f32 for the single-precision kernel.
+    #[must_use] 
     pub fn coeffs_f32(&self) -> [f32; 6] {
         let mut out = [0.0f32; 6];
         for (o, c) in out.iter_mut().zip(self.coeffs.iter()) {
@@ -123,6 +127,7 @@ impl GridForceFit {
 
 /// Evaluate `c₀ + c₁s + … + c₅s⁵` by Horner's rule.
 #[inline]
+#[must_use] 
 pub fn eval_poly5(c: &[f64; 6], s: f64) -> f64 {
     ((((c[5] * s + c[4]) * s + c[3]) * s + c[2]) * s + c[1]) * s + c[0]
 }
@@ -162,9 +167,9 @@ fn sample_response(solver: &PmSolver, r_cut: f64, seed: u64) -> Vec<(f64, f64)> 
                 let px = sx + (r * dx) as f32;
                 let py = sy + (r * dy) as f32;
                 let pz = sz + (r * dz) as f32;
-                let fx = interpolate_cic(&forces[0], n, &[px], &[py], &[pz])[0] as f64;
-                let fy = interpolate_cic(&forces[1], n, &[px], &[py], &[pz])[0] as f64;
-                let fz = interpolate_cic(&forces[2], n, &[px], &[py], &[pz])[0] as f64;
+                let fx = f64::from(interpolate_cic(&forces[0], n, &[px], &[py], &[pz])[0]);
+                let fy = f64::from(interpolate_cic(&forces[1], n, &[px], &[py], &[pz])[0]);
+                let fz = f64::from(interpolate_cic(&forces[2], n, &[px], &[py], &[pz])[0]);
                 // Radial (attractive ⇒ negative projection on r̂);
                 // g = -F·r̂ / r so that Newtonian g = norm/r³ > 0.
                 let fr = -(fx * dx + fy * dy + fz * dz);
@@ -243,7 +248,7 @@ mod tests {
         let truth = [1.0, -2.0, 0.5, 0.1, -0.02, 0.003];
         let pts: Vec<(f64, f64)> = (0..50)
             .map(|i| {
-                let s = i as f64 * 0.2;
+                let s = f64::from(i) * 0.2;
                 (s, eval_poly5(&truth, s))
             })
             .collect();
@@ -262,6 +267,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "32-cubed force-response measurement; no unsafe code on this path")]
     fn measured_fit_is_tight_and_smooth() {
         let fit = GridForceFit::measure(32, SpectralParams::default(), 3.0, 12345);
         assert!(
@@ -273,6 +279,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "32-cubed force-response measurement; no unsafe code on this path")]
     fn short_range_restores_newtonian_asymptotics() {
         let fit = GridForceFit::measure(32, SpectralParams::default(), 3.0, 7);
         // Deep inside the matching region, the grid force is tiny so the
@@ -289,6 +296,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "32-cubed force-response measurement; no unsafe code on this path")]
     fn grid_response_is_positive_and_monotone_in_core() {
         // g(s) (normalized) grows from ~0 at s→0 toward s^{-3/2} matching;
         // check positivity over the fitted range.
@@ -297,7 +305,7 @@ mod tests {
         let mut increasing_up_to_peak = true;
         let mut peaked = false;
         for i in 1..30 {
-            let s = (i as f64 / 30.0 * 3.0).powi(2);
+            let s = (f64::from(i) / 30.0 * 3.0).powi(2);
             let g = fit.fgrid(s);
             if !peaked && g < prev {
                 peaked = true;
@@ -310,6 +318,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "32-cubed force-response measurement; no unsafe code on this path")]
     fn determinism() {
         let a = GridForceFit::measure(32, SpectralParams::default(), 3.0, 5);
         let b = GridForceFit::measure(32, SpectralParams::default(), 3.0, 5);

@@ -52,6 +52,7 @@ pub struct PmSolver {
 impl PmSolver {
     /// Create a solver for an `n³` grid over a periodic box of side
     /// `box_len` (any length units; forces come out in source·length).
+    #[must_use] 
     pub fn new(n: usize, box_len: f64, params: SpectralParams) -> Self {
         assert!(n > 1, "grid too small");
         let nzh = n / 2 + 1;
@@ -272,6 +273,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "FFT-heavy accuracy test; miri exercises the unsafe paths via the small-grid tests")]
     fn sine_density_gives_analytic_force() {
         // source = A·sin(k₀x) ⇒ φ = -A sin(k₀x)/k₀², F_x = A cos(k₀x)/k₀.
         let n = 32;
@@ -300,6 +302,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "FFT-heavy accuracy test; miri exercises the unsafe paths via the small-grid tests")]
     fn potential_of_sine_matches() {
         let n = 16;
         let l = 1.0;
@@ -338,6 +341,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "FFT-heavy accuracy test; miri exercises the unsafe paths via the small-grid tests")]
     fn force_field_sums_to_zero() {
         // Momentum conservation: Σ_cells F = 0 for any source.
         let n = 16;
@@ -361,6 +365,7 @@ mod tests {
     /// The half-spectrum production path must reproduce the complex
     /// reference solve on a random density field (tentpole regression).
     #[test]
+    #[cfg_attr(miri, ignore = "FFT-heavy accuracy test; miri exercises the unsafe paths via the small-grid tests")]
     fn r2c_forces_match_c2c_reference_64() {
         let n = 64;
         let src = rand_density(n, 20120931);
@@ -384,6 +389,7 @@ mod tests {
     /// Same agreement requirement for odd grids, where no Nyquist plane
     /// exists and the self-conjugate set is just the DC bin.
     #[test]
+    #[cfg_attr(miri, ignore = "FFT-heavy accuracy test; miri exercises the unsafe paths via the small-grid tests")]
     fn r2c_forces_match_c2c_reference_odd_grid() {
         let n = 9;
         let src = rand_density(n, 77);
@@ -400,6 +406,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "FFT-heavy accuracy test; miri exercises the unsafe paths via the small-grid tests")]
     fn solve_into_reuses_buffers_and_matches() {
         let n = 12;
         let solver = PmSolver::new(n, 24.0, SpectralParams::default());
@@ -415,6 +422,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "FFT-heavy accuracy test; miri exercises the unsafe paths via the small-grid tests")]
     fn pair_force_attractive_and_newtonian_at_medium_range() {
         // Two particles 8 cells apart on a 32³ grid: grid force should be
         // within ~5% of Newtonian -1/r² (normalization: source = 4π·δ mass
@@ -427,7 +435,7 @@ mod tests {
             deposit_cic(&mut src, n, &[8.0], &[16.0], &[16.0], 1.0);
             let f = solver.solve_forces(&src);
             let fx = interpolate_cic(&f[0], n, &[8.0 + r], &[16.0], &[16.0]);
-            fx[0] as f64
+            f64::from(fx[0])
         };
         let f6 = force_at(6.0);
         let f12 = force_at(12.0);
@@ -441,6 +449,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "FFT-heavy accuracy test; miri exercises the unsafe paths via the small-grid tests")]
     fn filtered_force_suppressed_below_matching_scale() {
         // Inside ~1 cell the spectrally filtered grid force falls well
         // below Newtonian — that's what the short-range kernel restores.
@@ -449,8 +458,8 @@ mod tests {
         let mut src = vec![0.0; n * n * n];
         deposit_cic(&mut src, n, &[16.0], &[16.0], &[16.0], 1.0);
         let f = solver.solve_forces(&src);
-        let near = interpolate_cic(&f[0], n, &[16.5], &[16.0], &[16.0])[0].abs() as f64;
-        let far = interpolate_cic(&f[0], n, &[22.0], &[16.0], &[16.0])[0].abs() as f64;
+        let near = f64::from(interpolate_cic(&f[0], n, &[16.5], &[16.0], &[16.0])[0].abs());
+        let far = f64::from(interpolate_cic(&f[0], n, &[22.0], &[16.0], &[16.0])[0].abs());
         // Newtonian would make near/far = (6/0.5)² = 144; the filter caps
         // the near force so the observed ratio is far smaller.
         assert!(near / far < 40.0, "near/far = {}", near / far);

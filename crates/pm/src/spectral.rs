@@ -40,6 +40,7 @@ impl Default for SpectralParams {
 
 /// `sinc(x) = sin(x)/x` with the series limit at small `x`.
 #[inline]
+#[must_use] 
 pub fn sinc(x: f64) -> f64 {
     if x.abs() < 1e-6 {
         1.0 - x * x / 6.0
@@ -51,6 +52,7 @@ pub fn sinc(x: f64) -> f64 {
 impl SpectralParams {
     /// Spectral filter S(k) of Eq. 5 for grid indices `idx` on an `n³`
     /// grid with cell size `delta` (box length `L = n·delta`).
+    #[must_use] 
     pub fn filter(&self, idx: [usize; 3], n: usize, delta: f64) -> f64 {
         let l = n as f64 * delta;
         let mut k2 = 0.0;
@@ -68,6 +70,7 @@ impl SpectralParams {
     /// Influence function G(k): the spectral inverse Laplacian, negative
     /// definite, with G(0) = 0 (mean-field gauge). Solving
     /// `φ(k) = G(k)·ρ(k)` realizes `∇²φ = ρ`.
+    #[must_use] 
     pub fn influence(&self, idx: [usize; 3], n: usize, delta: f64) -> f64 {
         if idx.iter().all(|&i| i == 0) {
             return 0.0;
@@ -95,6 +98,7 @@ impl SpectralParams {
 
     /// Gradient operator D(k) for one component: the transform multiplies
     /// by `i·D`, so this returns the real factor `D` (units 1/length).
+    #[must_use] 
     pub fn gradient(&self, i: usize, n: usize, delta: f64) -> f64 {
         let l = n as f64 * delta;
         let k = k_of_index(i, n, l);

@@ -74,6 +74,7 @@ impl Slice {
 impl TreeForest {
     /// Build `n_trees` trees over particles sliced along the longest
     /// extent, each including ghosts within `rcut` of its slab.
+    #[must_use] 
     pub fn build(
         xs: &[f32],
         ys: &[f32],
@@ -165,6 +166,7 @@ impl TreeForest {
     }
 
     /// Number of trees.
+    #[must_use] 
     pub fn tree_count(&self) -> usize {
         self.slices.len()
     }

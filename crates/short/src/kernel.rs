@@ -40,6 +40,7 @@ pub struct ForceKernel {
 
 impl ForceKernel {
     /// Build from an f64 grid-force fit.
+    #[must_use] 
     pub fn new(coeffs: [f32; 6], rcut: f32, eps: f32) -> Self {
         ForceKernel {
             coeffs,
@@ -50,6 +51,7 @@ impl ForceKernel {
 
     /// A kernel with `poly5 = 0` (pure softened Newtonian within the
     /// cutoff) — used by tests and the kernel microbenchmarks of Fig. 5.
+    #[must_use] 
     pub fn newtonian(rcut: f32, eps: f32) -> Self {
         Self::new([0.0; 6], rcut, eps)
     }
@@ -59,6 +61,7 @@ impl ForceKernel {
     /// the neighbor when positive... sign handled by the caller's `r`
     /// convention: `r = x_neighbor − x_target` gives attraction).
     #[inline(always)]
+    #[must_use] 
     pub fn factor(&self, s: f32) -> f32 {
         let inv = 1.0 / (s + self.eps).sqrt();
         let inv3 = inv * inv * inv;
@@ -87,6 +90,7 @@ impl ForceKernel {
     /// and 3 accumulation FMAs.
     #[inline]
     #[allow(clippy::too_many_arguments)]
+    #[must_use] 
     pub fn force_on(
         &self,
         tx: f32,
@@ -123,6 +127,7 @@ impl ForceKernel {
     /// versus `force_on`, but results agree to f32 rounding.
     #[inline]
     #[allow(clippy::too_many_arguments)]
+    #[must_use] 
     pub fn force_on_blocked(
         &self,
         tx: f32,
@@ -197,6 +202,7 @@ impl ForceKernel {
 
     /// Reference scalar implementation with explicit branches, for
     /// validating the branch-free kernel.
+    #[must_use] 
     pub fn factor_reference(&self, s: f32) -> f32 {
         if s <= 0.0 || s >= self.rcut2 {
             return 0.0;

@@ -22,6 +22,7 @@ pub struct P3mSolver {
 impl P3mSolver {
     /// Create a solver; the chaining mesh resolution is derived from the
     /// kernel cutoff (cell side ≥ r_cut).
+    #[must_use] 
     pub fn new(kernel: ForceKernel, box_len: f32) -> Self {
         let rcut = kernel.rcut2.sqrt();
         let cells = ((box_len / rcut).floor() as usize).max(1);
@@ -33,6 +34,7 @@ impl P3mSolver {
     }
 
     /// Number of chaining-mesh cells per side.
+    #[must_use] 
     pub fn cells(&self) -> usize {
         self.cells
     }
@@ -49,6 +51,7 @@ impl P3mSolver {
 
     /// Compute short-range forces for all particles. Returns
     /// `([fx, fy, fz], interaction_count)`.
+    #[must_use] 
     pub fn forces(
         &self,
         xs: &[f32],
@@ -179,6 +182,7 @@ impl P3mSolver {
     }
 
     /// Brute-force O(N²) reference with minimum-image convention.
+    #[must_use] 
     pub fn forces_brute(
         &self,
         xs: &[f32],
@@ -287,9 +291,9 @@ mod tests {
         let (xs, ys, zs, m) = rand_particles(500, 20.0, 33);
         let (f, _) = solver.forces(&xs, &ys, &zs, &m);
         for (c, comp) in f.iter().enumerate() {
-            let sum: f64 = comp.iter().map(|&v| v as f64).sum();
+            let sum: f64 = comp.iter().map(|&v| f64::from(v)).sum();
             // f32 accumulation: tolerance scales with the force magnitudes.
-            let mag: f64 = comp.iter().map(|&v| v.abs() as f64).sum();
+            let mag: f64 = comp.iter().map(|&v| f64::from(v.abs())).sum();
             assert!(sum.abs() < 1e-4 * mag.max(1.0), "c={c}: sum {sum}");
         }
     }

@@ -135,6 +135,7 @@ pub struct RcbTree {
 impl RcbTree {
     /// Build the tree (copies the particle data into tree-local SoA
     /// buffers, then partitions them in place).
+    #[must_use] 
     pub fn build(
         xs: &[f32],
         ys: &[f32],
@@ -148,6 +149,7 @@ impl RcbTree {
     }
 
     /// An empty tree ready for [`RcbTree::rebuild`].
+    #[must_use] 
     pub fn new_empty(params: TreeParams) -> Self {
         RcbTree {
             nodes: Vec::new(),
@@ -193,16 +195,19 @@ impl RcbTree {
     }
 
     /// Number of tree nodes.
+    #[must_use] 
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
 
     /// Number of leaves.
+    #[must_use] 
     pub fn leaf_count(&self) -> usize {
         self.leaves.len()
     }
 
     /// The permutation from tree order to original order.
+    #[must_use] 
     pub fn permutation(&self) -> &[u32] {
         &self.perm
     }
@@ -248,8 +253,8 @@ impl RcbTree {
         let mut msum = 0.0f64;
         let mut wsum = 0.0f64;
         for (m, x) in self.mass[start..end].iter().zip(&coord[start..end]) {
-            msum += *m as f64;
-            wsum += (m * x) as f64;
+            msum += f64::from(*m);
+            wsum += f64::from(m * x);
         }
         let pivot = (wsum / msum) as f32;
 
@@ -385,6 +390,7 @@ impl RcbTree {
     ///
     /// Returns forces *in the original input ordering* plus the total
     /// interaction count (for the flops accounting of Figs. 5/7).
+    #[must_use] 
     pub fn forces(&self, kernel: &ForceKernel) -> ([Vec<f32>; 3], u64) {
         let (f, inter, _, _) = self.forces_timed(kernel);
         (f, inter)
@@ -393,6 +399,7 @@ impl RcbTree {
     /// Like [`RcbTree::forces`] but also reports aggregate walk
     /// (interaction-list gathering) and kernel time across workers — the
     /// 80%/10% split of the paper's Section III timing budget.
+    #[must_use] 
     pub fn forces_timed(
         &self,
         kernel: &ForceKernel,
@@ -476,6 +483,7 @@ impl RcbTree {
 
     /// Mean shared-interaction-list length over leaves (the x-axis of
     /// Fig. 5).
+    #[must_use] 
     pub fn mean_neighbor_list_len(&self, rcut2: f32) -> f64 {
         let mut total = 0usize;
         let mut g = Gather::default();
@@ -491,7 +499,14 @@ impl RcbTree {
 /// disjoint).
 #[derive(Clone, Copy)]
 struct SyncF32Ptr(*mut f32);
+// SAFETY: the pointer names the caller's acceleration buffers, which
+// outlive the scoped leaf walk, and each parallel task writes only its
+// leaf's disjoint [start, end) index range (leaves partition the
+// particle permutation). The wrapper only moves the pointer into rayon
+// closures.
 unsafe impl Send for SyncF32Ptr {}
+// SAFETY: shared references only copy the pointer; dereferences happen
+// inside the unsafe block that proves per-leaf disjointness.
 unsafe impl Sync for SyncF32Ptr {}
 
 #[cfg(test)]
@@ -578,7 +593,10 @@ mod tests {
     #[test]
     fn forces_match_brute_force() {
         let kernel = ForceKernel::newtonian(2.0, 1e-4);
-        let (xs, ys, zs, m) = rand_particles(400, 10.0, 11);
+        // Miri: fewer particles (O(np²) reference) but still several
+        // leaves, so the parallel unsafe leaf walk is exercised.
+        let np = if cfg!(miri) { 64 } else { 400 };
+        let (xs, ys, zs, m) = rand_particles(np, 10.0, 11);
         let tree = RcbTree::build(&xs, &ys, &zs, &m, TreeParams { leaf_size: 24 });
         let (f, inter) = tree.forces(&kernel);
         assert!(inter > 0);
@@ -608,9 +626,10 @@ mod tests {
     fn identical_positions_do_not_hang() {
         // Degenerate input: everything at one point; the median fallback
         // must terminate the recursion.
-        let xs = vec![1.0f32; 300];
-        let tree = RcbTree::build(&xs, &xs, &xs, &vec![1.0; 300], TreeParams { leaf_size: 8 });
-        assert!(tree.leaf_count() >= 300 / 8);
+        let np = if cfg!(miri) { 100 } else { 300 };
+        let xs = vec![1.0f32; np];
+        let tree = RcbTree::build(&xs, &xs, &xs, &vec![1.0; np], TreeParams { leaf_size: 8 });
+        assert!(tree.leaf_count() >= np / 8);
         let kernel = ForceKernel::newtonian(1.0, 1e-4);
         let (f, _) = tree.forces(&kernel);
         // All self-interactions masked: zero forces.
@@ -656,8 +675,14 @@ mod tests {
         let mut tree = RcbTree::new_empty(TreeParams { leaf_size: 24 });
         let mut out = [Vec::new(), Vec::new(), Vec::new()];
         // Rebuild across particle sets of varying size; each pass must
-        // match a from-scratch build + forces exactly.
-        for (np, seed) in [(400usize, 11u64), (700, 21), (300, 31)] {
+        // match a from-scratch build + forces exactly (miri: smaller
+        // sets, same grow/shrink/grow capacity sequence).
+        let sweep: &[(usize, u64)] = if cfg!(miri) {
+            &[(90, 11), (150, 21), (60, 31)]
+        } else {
+            &[(400, 11), (700, 21), (300, 31)]
+        };
+        for &(np, seed) in sweep {
             let (xs, ys, zs, m) = rand_particles(np, 10.0, seed);
             tree.rebuild(&xs, &ys, &zs, &m, &mut scratch);
             let (inter, _, _) = tree.forces_into(&kernel, &mut scratch, &mut out);

@@ -1,0 +1,435 @@
+//! `cargo xtask` — the repo's verification driver.
+//!
+//! One binary runs every static-analysis and model-checking gate so the
+//! same entry point works locally and in CI:
+//!
+//! ```text
+//! cargo xtask verify     # lint wall + dependency checks + loom (+ miri/tsan when available)
+//! cargo xtask lint       # clippy --workspace --all-targets with -D warnings
+//! cargo xtask deny       # cargo-deny if installed, else the built-in fallback
+//! cargo xtask loom       # vendored-loom self-tests + RUSTFLAGS=--cfg loom comm suite
+//! cargo xtask miri       # cargo miri test on the unsafe-bearing crates (tiny sizes)
+//! cargo xtask tsan       # ThreadSanitizer run of the rayon-parallel kernels
+//! ```
+//!
+//! Tools that need components the current toolchain lacks (miri, tsan,
+//! cargo-deny) are probed first and reported as SKIPPED with the install
+//! hint instead of failing, so `verify` is useful on hermetic builders;
+//! CI installs the components and the same subcommands run for real.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+/// Licenses acceptable for anything this workspace links. Everything in
+/// the repo (workspace crates and the vendored stand-ins) is dual
+/// MIT/Apache-2.0; single-license forms are listed so a future real
+/// crates.io dependency with one of them passes too.
+const LICENSE_ALLOWLIST: &[&str] = &[
+    "MIT OR Apache-2.0",
+    "Apache-2.0 OR MIT",
+    "MIT",
+    "Apache-2.0",
+];
+
+/// Known-bad (name, version) pairs, checked against Cargo.lock by the
+/// built-in `deny` fallback. Empty today — the mechanism exists so an
+/// advisory against a vendored stand-in's API surface can be pinned
+/// here without network access to an advisory database.
+const ADVISORIES: &[(&str, &str, &str)] = &[
+    // ("crate-name", "exact-version", "why it is denied"),
+];
+
+#[derive(Debug)]
+enum Outcome {
+    Pass,
+    Fail(String),
+    Skip(String),
+}
+
+struct Report {
+    steps: Vec<(String, Outcome)>,
+}
+
+impl Report {
+    fn new() -> Self {
+        Self { steps: Vec::new() }
+    }
+
+    fn record(&mut self, name: &str, outcome: Outcome) {
+        let tag = match &outcome {
+            Outcome::Pass => "PASS".to_string(),
+            Outcome::Fail(why) => format!("FAIL ({why})"),
+            Outcome::Skip(why) => format!("SKIPPED ({why})"),
+        };
+        println!("xtask: {name}: {tag}");
+        self.steps.push((name.to_string(), outcome));
+    }
+
+    fn exit(self) -> ExitCode {
+        println!("\nxtask summary:");
+        let mut failed = false;
+        for (name, outcome) in &self.steps {
+            let tag = match outcome {
+                Outcome::Pass => "PASS",
+                Outcome::Fail(_) => {
+                    failed = true;
+                    "FAIL"
+                }
+                Outcome::Skip(_) => "SKIPPED",
+            };
+            println!("  {tag:<8} {name}");
+        }
+        if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn repo_root() -> PathBuf {
+    // xtask is always invoked through cargo, which sets this to
+    // crates/xtask; the workspace root is two levels up.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask has a workspace root two levels up")
+        .to_path_buf()
+}
+
+/// Run a command from the repo root, streaming its output; returns the
+/// outcome with the exit status folded in.
+fn run(label: &str, cmd: &mut Command) -> Outcome {
+    println!("xtask: running {label}: {cmd:?}");
+    match cmd.current_dir(repo_root()).status() {
+        Ok(status) if status.success() => Outcome::Pass,
+        Ok(status) => Outcome::Fail(format!("exit status {status}")),
+        Err(e) => Outcome::Fail(format!("failed to launch: {e}")),
+    }
+}
+
+/// True if `cargo <subcommand> --version` runs successfully — the probe
+/// used to gate optional external tools.
+fn cargo_tool_available(subcommand: &str) -> bool {
+    Command::new("cargo")
+        .args([subcommand, "--version"])
+        .current_dir(repo_root())
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false)
+}
+
+/// Appends `--cfg loom` to whatever RUSTFLAGS the caller already set,
+/// rather than clobbering them.
+fn loom_rustflags() -> String {
+    let mut flags = std::env::var("RUSTFLAGS").unwrap_or_default();
+    if !flags.is_empty() {
+        flags.push(' ');
+    }
+    flags.push_str("--cfg loom");
+    flags
+}
+
+fn step_lint(report: &mut Report) {
+    // The lint wall itself lives in [workspace.lints]; -D warnings
+    // promotes the `warn`-level pedantic subset into hard failures.
+    let outcome = run(
+        "clippy lint wall",
+        Command::new("cargo").args([
+            "clippy",
+            "--workspace",
+            "--all-targets",
+            "--",
+            "-D",
+            "warnings",
+        ]),
+    );
+    report.record("lint (clippy -D warnings)", outcome);
+}
+
+fn step_loom(report: &mut Report) {
+    // First prove the model checker itself: the vendored loom ships its
+    // own suite (DFS completeness, preemption bounding, modeled time).
+    let outcome = run(
+        "loom self-tests",
+        Command::new("cargo").args([
+            "test",
+            "-q",
+            "--release",
+            "--manifest-path",
+            "vendor/loom/Cargo.toml",
+        ]),
+    );
+    report.record("loom self-tests", outcome);
+
+    // Then the comm-runtime models: exhaustive (preemption-bounded)
+    // exploration of mailbox, timeout, poisoning, fault-injection and
+    // barrier schedules.
+    let outcome = run(
+        "loom comm suite",
+        Command::new("cargo")
+            .args(["test", "-q", "-p", "hacc-comm", "--release", "--test", "loom"])
+            .env("RUSTFLAGS", loom_rustflags()),
+    );
+    report.record("loom model suite (hacc-comm)", outcome);
+}
+
+fn step_miri(report: &mut Report) {
+    if !cargo_tool_available("miri") {
+        report.record(
+            "miri (unsafe-bearing crates)",
+            Outcome::Skip("cargo-miri not installed; `rustup component add miri` (CI does)".into()),
+        );
+        return;
+    }
+    // -Zmiri-disable-isolation: the comm/machine layers read Instant for
+    // timeout diagnostics. The crates under test shrink their problem
+    // sizes via cfg(miri) while still crossing every parallel-path
+    // threshold (see e.g. crates/pm/src/cic.rs).
+    let outcome = run(
+        "miri",
+        Command::new("cargo")
+            .args([
+                "miri", "test", "-p", "hacc-pm", "-p", "hacc-short", "-p", "hacc-fft",
+            ])
+            .env("MIRIFLAGS", "-Zmiri-disable-isolation"),
+    );
+    report.record("miri (hacc-pm, hacc-short, hacc-fft)", outcome);
+}
+
+/// Host triple, for `-Zbuild-std --target` (sanitizers require a
+/// rebuilt std, and build-std requires an explicit target).
+fn host_triple() -> Option<String> {
+    let out = Command::new("rustc").args(["-vV"]).output().ok()?;
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    text.lines()
+        .find_map(|l| l.strip_prefix("host: "))
+        .map(str::to_string)
+}
+
+fn step_tsan(report: &mut Report) {
+    // TSan needs: a nightly toolchain, the rust-src component (to
+    // rebuild std with the sanitizer), and the host triple.
+    let nightly_ok = Command::new("cargo")
+        .args(["+nightly", "--version"])
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false);
+    if !nightly_ok {
+        report.record(
+            "tsan (parallel kernels)",
+            Outcome::Skip("nightly toolchain not installed".into()),
+        );
+        return;
+    }
+    let src_present = Command::new("rustc")
+        .args(["+nightly", "--print", "sysroot"])
+        .output()
+        .ok()
+        .and_then(|o| {
+            let root = String::from_utf8_lossy(&o.stdout).trim().to_string();
+            o.status.success().then_some(root)
+        })
+        .is_some_and(|root| Path::new(&root).join("lib/rustlib/src/rust/library").is_dir());
+    let Some(triple) = host_triple() else {
+        report.record(
+            "tsan (parallel kernels)",
+            Outcome::Skip("could not determine host triple".into()),
+        );
+        return;
+    };
+    if !src_present {
+        report.record(
+            "tsan (parallel kernels)",
+            Outcome::Skip(
+                "rust-src not installed; `rustup component add rust-src --toolchain nightly`"
+                    .into(),
+            ),
+        );
+        return;
+    }
+    // The rayon-parallel kernels (CIC deposit, tree walk) are the data
+    // races TSan would see; their crates' test suites drive them.
+    let outcome = run(
+        "tsan",
+        Command::new("cargo")
+            .args([
+                "+nightly",
+                "test",
+                "-Zbuild-std",
+                "--target",
+                &triple,
+                "-p",
+                "hacc-pm",
+                "-p",
+                "hacc-short",
+                "--release",
+            ])
+            .env("RUSTFLAGS", "-Zsanitizer=thread")
+            .env("TSAN_OPTIONS", "halt_on_error=1"),
+    );
+    report.record("tsan (hacc-pm, hacc-short)", outcome);
+}
+
+/// Extract the value of a simple `key = "value"` TOML line. Enough for
+/// the manifests in this repo; not a general TOML parser.
+fn toml_string_value(line: &str, key: &str) -> Option<String> {
+    let rest = line.trim().strip_prefix(key)?.trim_start();
+    let rest = rest.strip_prefix('=')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    rest.split('"').next().map(str::to_string)
+}
+
+fn builtin_deny() -> Outcome {
+    let root = repo_root();
+    let mut problems: Vec<String> = Vec::new();
+
+    // -- duplicate versions -------------------------------------------
+    // Every [[package]] stanza in Cargo.lock; a name appearing with
+    // more than one version means two copies get compiled and linked.
+    let lock = match std::fs::read_to_string(root.join("Cargo.lock")) {
+        Ok(s) => s,
+        Err(e) => return Outcome::Fail(format!("cannot read Cargo.lock: {e}")),
+    };
+    let mut versions: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut packages: Vec<(String, String)> = Vec::new();
+    let mut name: Option<String> = None;
+    for line in lock.lines() {
+        if line.trim() == "[[package]]" {
+            name = None;
+        } else if let Some(v) = toml_string_value(line, "name") {
+            name = Some(v);
+        } else if let Some(v) = toml_string_value(line, "version") {
+            if let Some(n) = name.clone() {
+                versions.entry(n.clone()).or_default().push(v.clone());
+                packages.push((n, v));
+            }
+        }
+    }
+    for (pkg, vers) in &versions {
+        if vers.len() > 1 {
+            problems.push(format!("duplicate versions of `{pkg}`: {vers:?}"));
+        }
+    }
+
+    // -- advisories ----------------------------------------------------
+    for (bad_name, bad_version, why) in ADVISORIES {
+        if packages
+            .iter()
+            .any(|(n, v)| n == bad_name && v == bad_version)
+        {
+            problems.push(format!("advisory: {bad_name} {bad_version}: {why}"));
+        }
+    }
+
+    // -- licenses ------------------------------------------------------
+    // The workspace declares one license for all member crates
+    // ([workspace.package]); each vendored stand-in declares its own.
+    let mut manifests = vec![root.join("Cargo.toml")];
+    if let Ok(entries) = std::fs::read_dir(root.join("vendor")) {
+        for entry in entries.flatten() {
+            let m = entry.path().join("Cargo.toml");
+            if m.is_file() {
+                manifests.push(m);
+            }
+        }
+    }
+    for manifest in manifests {
+        let text = match std::fs::read_to_string(&manifest) {
+            Ok(s) => s,
+            Err(e) => {
+                problems.push(format!("cannot read {}: {e}", manifest.display()));
+                continue;
+            }
+        };
+        let license = text
+            .lines()
+            .find_map(|l| toml_string_value(l, "license"));
+        match license {
+            Some(l) if LICENSE_ALLOWLIST.contains(&l.as_str()) => {}
+            Some(l) => problems.push(format!(
+                "{}: license `{l}` not in allowlist",
+                manifest.display()
+            )),
+            None => problems.push(format!(
+                "{}: no `license` field declared",
+                manifest.display()
+            )),
+        }
+    }
+
+    if problems.is_empty() {
+        println!(
+            "xtask: deny fallback: {} lock packages, no duplicates, no advisories, licenses ok",
+            packages.len()
+        );
+        Outcome::Pass
+    } else {
+        for p in &problems {
+            println!("xtask: deny: {p}");
+        }
+        Outcome::Fail(format!("{} problem(s)", problems.len()))
+    }
+}
+
+fn step_deny(report: &mut Report) {
+    if cargo_tool_available("deny") {
+        let outcome = run("cargo deny", Command::new("cargo").args(["deny", "check"]));
+        report.record("deny (cargo-deny)", outcome);
+    } else {
+        // Offline builders don't have the cargo-deny binary; the
+        // built-in fallback covers the same three axes (duplicates,
+        // advisories, licenses) from Cargo.lock and the manifests.
+        let outcome = builtin_deny();
+        report.record("deny (built-in fallback)", outcome);
+    }
+}
+
+fn step_test(report: &mut Report) {
+    let outcome = run(
+        "workspace tests",
+        Command::new("cargo").args(["test", "-q", "--workspace"]),
+    );
+    report.record("test (cargo test --workspace)", outcome);
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo xtask <verify|lint|deny|loom|miri|tsan|test>\n\
+         \n\
+         verify   run lint + deny + loom, plus miri/tsan when installed\n\
+         lint     clippy --workspace --all-targets with -D warnings\n\
+         deny     cargo-deny check, or the built-in duplicate/advisory/license check\n\
+         loom     vendored-loom self-tests + the hacc-comm model suite (--cfg loom)\n\
+         miri     cargo miri test -p hacc-pm -p hacc-short -p hacc-fft (tiny sizes)\n\
+         tsan     ThreadSanitizer run of the rayon-parallel kernels (nightly + rust-src)\n\
+         test     cargo test -q --workspace"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let Some(cmd) = std::env::args().nth(1) else {
+        return usage();
+    };
+    let mut report = Report::new();
+    match cmd.as_str() {
+        "verify" => {
+            step_lint(&mut report);
+            step_deny(&mut report);
+            step_loom(&mut report);
+            step_miri(&mut report);
+            step_tsan(&mut report);
+        }
+        "lint" => step_lint(&mut report),
+        "deny" => step_deny(&mut report),
+        "loom" => step_loom(&mut report),
+        "miri" => step_miri(&mut report),
+        "tsan" => step_tsan(&mut report),
+        "test" => step_test(&mut report),
+        _ => return usage(),
+    }
+    report.exit()
+}

@@ -38,7 +38,7 @@ fn main() {
         cfg,
         &ics,
         &ResilienceConfig::new(ranks, &clean_dir),
-        FaultPlan::none(),
+        &FaultPlan::none(),
     )
     .expect("clean run");
 
@@ -52,7 +52,7 @@ fn main() {
         cfg,
         &ics,
         &ResilienceConfig::new(ranks, &faulty_dir),
-        FaultPlan::seeded(42).kill_rank_at_step(2, 4),
+        &FaultPlan::seeded(42).kill_rank_at_step(2, 4),
     )
     .expect("recovered run");
 

@@ -17,4 +17,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 
+echo "==> cargo xtask verify  (lint wall, deny, loom; miri/tsan when installed)"
+cargo xtask verify
+
 echo "==> CI gate passed"

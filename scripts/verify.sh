@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Full verification gate: lint wall, dependency checks, loom model
+# suite, and (when the toolchain has them) miri and ThreadSanitizer.
+# Thin wrapper so CI and humans share one entry point.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo xtask verify

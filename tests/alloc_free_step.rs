@@ -18,30 +18,39 @@ struct CountingAlloc;
 static ARMED: AtomicBool = AtomicBool::new(false);
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to `System`; the wrapper adds only atomic
+// counter updates, never changes layouts or pointers, so the GlobalAlloc
+// contract is exactly the system allocator's.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
-        System.alloc(layout)
+        // SAFETY: caller upholds `layout` validity (delegated contract).
+        unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
-        System.alloc_zeroed(layout)
+        // SAFETY: caller upholds `layout` validity (delegated contract).
+        unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: `ptr`/`layout`/`new_size` come from our own `alloc`,
+        // which is `System`'s (delegated contract).
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: `ptr` was allocated by `System` with this `layout`
+        // (delegated contract).
+        unsafe { System.dealloc(ptr, layout) }
     }
 }
 

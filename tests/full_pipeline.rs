@@ -160,16 +160,16 @@ fn momentum_conservation_long_run() {
     let (vx0, vy0, vz0) = {
         let (a, b, c) = sim.momenta();
         (
-            a.iter().map(|&v| v as f64).sum::<f64>(),
-            b.iter().map(|&v| v as f64).sum::<f64>(),
-            c.iter().map(|&v| v as f64).sum::<f64>(),
+            a.iter().map(|&v| f64::from(v)).sum::<f64>(),
+            b.iter().map(|&v| f64::from(v)).sum::<f64>(),
+            c.iter().map(|&v| f64::from(v)).sum::<f64>(),
         )
     };
     sim.run(|_, _| {});
     let (vx, vy, vz) = sim.momenta();
-    let scale: f64 = vx.iter().map(|&v| v.abs() as f64).sum::<f64>().max(1.0);
+    let scale: f64 = vx.iter().map(|&v| f64::from(v.abs())).sum::<f64>().max(1.0);
     for (p0, arr) in [(vx0, vx), (vy0, vy), (vz0, vz)] {
-        let p1: f64 = arr.iter().map(|&v| v as f64).sum();
+        let p1: f64 = arr.iter().map(|&v| f64::from(v)).sum();
         assert!(
             (p1 - p0).abs() < 5e-3 * scale,
             "momentum drift {} vs scale {scale}",

@@ -100,7 +100,7 @@ proptest! {
         let n = 6;
         let grid = vec![c; n * n * n];
         let v = interpolate_cic(&grid, n, &[x], &[y], &[z]);
-        prop_assert!((v[0] as f64 - c).abs() < 1e-4 * c.abs().max(1.0));
+        prop_assert!((f64::from(v[0]) - c).abs() < 1e-4 * c.abs().max(1.0));
     }
 
     /// The RCB tree's particle reordering is always a permutation, for
@@ -137,8 +137,8 @@ proptest! {
         let kernel = ForceKernel::newtonian(3.0, 1e-4);
         let (f, _) = tree.forces(&kernel);
         for (c, comp) in f.iter().enumerate() {
-            let sum: f64 = comp.iter().map(|&v| v as f64).sum();
-            let mag: f64 = comp.iter().map(|&v| v.abs() as f64).sum::<f64>().max(1e-6);
+            let sum: f64 = comp.iter().map(|&v| f64::from(v)).sum();
+            let mag: f64 = comp.iter().map(|&v| f64::from(v.abs())).sum::<f64>().max(1e-6);
             prop_assert!(sum.abs() < 1e-3 * mag.max(1.0), "component {} sum {}", c, sum);
         }
     }

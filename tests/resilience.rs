@@ -134,7 +134,7 @@ fn killed_run_recovers_to_bit_exact_state() {
         cfg(),
         &realization,
         &ResilienceConfig::new(RANKS, &dir_clean),
-        FaultPlan::none(),
+        &FaultPlan::none(),
     )
     .expect("clean run");
     assert_eq!(clean.attempts, 1);
@@ -145,7 +145,7 @@ fn killed_run_recovers_to_bit_exact_state() {
         cfg(),
         &realization,
         &ResilienceConfig::new(RANKS, &dir_faulty),
-        FaultPlan::seeded(9).kill_rank_at_step(1, 3),
+        &FaultPlan::seeded(9).kill_rank_at_step(1, 3),
     )
     .expect("recovered run");
     assert_eq!(faulty.attempts, 2, "exactly one recovery expected");
@@ -258,7 +258,7 @@ fn retries_exhausted_reports_timeline() {
         cfg(),
         &ics(),
         &rc,
-        FaultPlan::seeded(1).kill_rank_at_step(0, 1),
+        &FaultPlan::seeded(1).kill_rank_at_step(0, 1),
     )
     .expect_err("no retries allowed");
     let ResilienceError::RetriesExhausted {
@@ -289,7 +289,7 @@ fn watchdog_plus_recovery_survives_transient_loss() {
         cfg(),
         &ics(),
         &rc,
-        FaultPlan::seeded(3).kill_rank_at_step(0, 1),
+        &FaultPlan::seeded(3).kill_rank_at_step(0, 1),
     )
     .expect("recovers");
     assert_eq!(run.attempts, 2);
@@ -306,7 +306,7 @@ fn timeline_renders() {
         cfg(),
         &ics(),
         &ResilienceConfig::new(RANKS, &dir),
-        FaultPlan::seeded(11).kill_rank_at_step(1, 2),
+        &FaultPlan::seeded(11).kill_rank_at_step(1, 2),
     )
     .expect("recovers");
     let rendered: Vec<String> = run.timeline.iter().map(|e| format!("{e}")).collect();

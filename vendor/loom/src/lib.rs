@@ -1,0 +1,90 @@
+//! Offline stand-in for the `loom` permutation tester (see
+//! `vendor/README.md` for the full deviation list).
+//!
+//! Like the real crate, this provides drop-in replacements for the
+//! synchronization primitives a concurrent module uses (`Mutex`,
+//! `Condvar`, atomics, threads) plus a [`model`] entry point that runs a
+//! closure under *every* schedule of its threads: each execution is
+//! driven by a cooperative scheduler that permits exactly one thread to
+//! run at a time and treats every synchronization operation as a
+//! scheduling decision; a depth-first search over those decisions
+//! replays the closure until the space of interleavings is exhausted.
+//! A panic, a deadlock, or a failed assertion under *any* schedule
+//! fails the test and reports the schedule that produced it.
+//!
+//! Deviations from the real `loom` (all documented in
+//! `vendor/README.md`):
+//!
+//! - **Sequentially consistent memory model.** Atomic operations are
+//!   explored under every thread interleaving, but weak-ordering
+//!   reorderings (`Relaxed`/`Acquire`/`Release` visibility anomalies)
+//!   are not modeled; the `Ordering` argument is accepted and ignored.
+//! - **Modeled time.** [`time::Instant`] reads a logical clock that
+//!   only advances when a timed wait ([`sync::Condvar::wait_for`])
+//!   fires its timeout branch. A timed wait is schedulable both as
+//!   "woken by notify" and as "timed out", so both outcomes of every
+//!   timeout race are explored deterministically.
+//! - **API shape.** `Mutex`/`Condvar` mirror the `parking_lot` subset
+//!   this workspace uses (non-poisoning `lock()`, `&mut guard` waits)
+//!   rather than the std-shaped API of the real crate, so the
+//!   `hacc-comm` `sync` shim is a pure re-export in both
+//!   configurations.
+//! - No spurious wakeups, no `UnsafeCell` access checking, no leak
+//!   detection.
+
+pub mod rt;
+pub mod sync;
+pub mod thread;
+pub mod time;
+
+/// Run `f` under every exhaustively explored thread schedule.
+///
+/// Panics (failing the enclosing test) if any schedule panics,
+/// deadlocks, or exceeds the execution budget
+/// (`LOOM_MAX_EXECUTIONS`, default 1,000,000).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    rt::model(f);
+}
+
+/// Configurable model entry point (mirrors `loom::model::Builder`).
+pub mod model {
+    /// Builds a model run with explicit search bounds.
+    ///
+    /// `preemption_bound` mirrors the real loom option of the same
+    /// name: with `Some(n)`, the search is exhaustive over every
+    /// schedule containing at most `n` *preemptions* — switches away
+    /// from a thread that could have kept running. Context switches at
+    /// natural blocking points (lock handoff, condvar waits including
+    /// their timeout branches) are always free. This is the CHESS
+    /// result: almost all concurrency bugs manifest within two or
+    /// three preemptions, and the bounded space is polynomial where
+    /// the unbounded one is exponential — which is what makes long
+    /// protocols (a full barrier round, a collective) checkable.
+    #[derive(Debug, Clone, Default)]
+    pub struct Builder {
+        /// Max preemptions per execution (`None` = unbounded search).
+        pub preemption_bound: Option<usize>,
+        /// Max executions before the run aborts (`None` = the
+        /// `LOOM_MAX_EXECUTIONS` env default).
+        pub max_executions: Option<usize>,
+    }
+
+    impl Builder {
+        /// A builder with an unbounded, fully exhaustive search.
+        #[must_use]
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Run `f` under every schedule within the configured bounds.
+        pub fn check<F>(&self, f: F)
+        where
+            F: Fn() + Send + Sync + 'static,
+        {
+            crate::rt::run_model(f, self.preemption_bound, self.max_executions);
+        }
+    }
+}

@@ -1,0 +1,663 @@
+//! The execution runtime: a cooperative scheduler plus a depth-first
+//! search over its scheduling decisions.
+//!
+//! One *execution* runs the model closure with every loom thread mapped
+//! onto a real OS thread, but only one thread is ever allowed to
+//! proceed; all others park on a condition variable until the scheduler
+//! hands them the baton. Every synchronization operation (atomic
+//! access, mutex acquisition, condvar wait/notify, spawn/join) calls
+//! into [`yield_point`] / [`block_current`], each of which is a
+//! *scheduling decision*: the scheduler picks the next thread to run
+//! from the set of currently schedulable threads. Decisions with more
+//! than one candidate are recorded on a path; [`model`] replays the
+//! closure, advancing the last non-exhausted decision depth-first,
+//! until every path has been explored.
+//!
+//! Because executions are fully deterministic given the decision path
+//! (time is modeled, see [`crate::time`]), a failing schedule replays
+//! bit-identically — the property that makes the reported schedule a
+//! usable repro.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex};
+use std::time::Duration;
+
+/// One recorded scheduling decision: which of `num` schedulable threads
+/// was chosen.
+#[derive(Clone, Copy, Debug)]
+struct Branch {
+    chosen: usize,
+    num: usize,
+}
+
+/// How a condvar waiter was released.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Wake {
+    Notified,
+    TimedOut,
+}
+
+/// Scheduling state of one loom thread.
+#[derive(Debug)]
+enum Run {
+    /// May be scheduled.
+    Runnable,
+    /// Waiting to acquire lock `lock`; schedulable once it is free.
+    BlockedMutex { lock: usize },
+    /// Waiting on condvar `cv` with mutex `lock` released. With a
+    /// deadline the thread stays schedulable (scheduling it fires the
+    /// timeout branch); without one it runs only after a notify.
+    BlockedCv {
+        cv: usize,
+        lock: usize,
+        deadline: Option<Duration>,
+    },
+    /// Waiting for thread `target` to finish.
+    BlockedJoin { target: usize },
+    Finished,
+}
+
+struct ThreadState {
+    run: Run,
+    /// Set when a condvar waiter is released; read by the waiter on
+    /// resume to report `timed_out()`.
+    cv_wake: Option<Wake>,
+}
+
+struct Inner {
+    threads: Vec<ThreadState>,
+    /// Holder tid per registered mutex (`None` = free).
+    locks: Vec<Option<usize>>,
+    /// Number of registered condvars.
+    n_cvs: usize,
+    /// The one thread allowed to run (`ABORTED` after a failure).
+    active: usize,
+    /// Decision path: replayed prefix + extensions made this execution.
+    path: Vec<Branch>,
+    /// Next decision index to replay.
+    pos: usize,
+    /// Modeled clock (advances only on timeout branches).
+    clock: Duration,
+    /// First failure (panic message or deadlock report).
+    failed: Option<String>,
+    /// Preemptions spent this execution (switches away from a thread
+    /// that could have continued running).
+    preemptions: usize,
+    /// Maximum preemptions per execution (`None` = fully exhaustive).
+    /// Bounding keeps long protocols (e.g. a barrier round) tractable:
+    /// the search is then exhaustive over all schedules with at most
+    /// this many preemptions — the CHESS result that most concurrency
+    /// bugs need only a couple of preemptions makes this a strong
+    /// guarantee at polynomial cost.
+    preemption_bound: Option<usize>,
+}
+
+const ABORTED: usize = usize::MAX;
+
+pub(crate) struct Rt {
+    inner: OsMutex<Inner>,
+    cv: OsCondvar,
+    /// OS handles of every loom thread of this execution, joined by
+    /// [`model`] after the root returns.
+    os_handles: OsMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+struct Ctx {
+    rt: Arc<Rt>,
+    tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// Run `f` with the current thread's loom context, panicking with a
+/// clear message when called outside a model run.
+fn with_ctx<R>(f: impl FnOnce(&Arc<Rt>, usize) -> R) -> R {
+    CTX.with(|c| {
+        let c = c.borrow();
+        let ctx = c
+            .as_ref()
+            .expect("loom primitive used outside loom::model");
+        f(&ctx.rt, ctx.tid)
+    })
+}
+
+impl Inner {
+    /// Threads that could be handed the baton right now.
+    fn candidates(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| match t.run {
+                Run::Runnable => true,
+                Run::BlockedMutex { lock } => self.locks[lock].is_none(),
+                Run::BlockedCv { deadline, lock, .. } => {
+                    deadline.is_some() && self.locks[lock].is_none()
+                }
+                Run::BlockedJoin { target } => {
+                    matches!(self.threads[target].run, Run::Finished)
+                }
+                Run::Finished => false,
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Pick the next thread via the DFS path (recording a new decision
+    /// when beyond the replayed prefix).
+    fn pick(&mut self, candidates: &[usize]) -> usize {
+        if candidates.len() == 1 {
+            return candidates[0];
+        }
+        let idx = if self.pos < self.path.len() {
+            let b = self.path[self.pos];
+            assert_eq!(
+                b.num,
+                candidates.len(),
+                "loom internal error: nondeterministic replay \
+                 (decision {} had {} candidates, now {})",
+                self.pos,
+                b.num,
+                candidates.len()
+            );
+            b.chosen
+        } else {
+            self.path.push(Branch {
+                chosen: 0,
+                num: candidates.len(),
+            });
+            0
+        };
+        self.pos += 1;
+        candidates[idx]
+    }
+
+    /// Make `tid` actually runnable (acquiring locks / firing timeouts
+    /// on its behalf) and hand it the baton.
+    fn activate(&mut self, tid: usize) {
+        match self.threads[tid].run {
+            Run::Runnable => {}
+            Run::BlockedMutex { lock } => {
+                debug_assert!(self.locks[lock].is_none());
+                self.locks[lock] = Some(tid);
+                self.threads[tid].run = Run::Runnable;
+            }
+            Run::BlockedCv { deadline, lock, .. } => {
+                let d = deadline.expect("scheduled an untimed cv waiter");
+                debug_assert!(self.locks[lock].is_none());
+                // Firing the timeout advances the modeled clock to the
+                // deadline, so the waiter observes its deadline as
+                // expired when it re-checks the time.
+                self.clock = self.clock.max(d);
+                self.threads[tid].cv_wake = Some(Wake::TimedOut);
+                self.locks[lock] = Some(tid);
+                self.threads[tid].run = Run::Runnable;
+            }
+            Run::BlockedJoin { .. } => self.threads[tid].run = Run::Runnable,
+            Run::Finished => unreachable!("scheduled a finished thread"),
+        }
+        self.active = tid;
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.failed.is_none() {
+            self.failed = Some(msg);
+        }
+        self.active = ABORTED;
+    }
+
+    fn describe_blockers(&self) -> String {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.run, Run::Finished))
+            .map(|(i, t)| format!("thread {i}: {:?}", t.run))
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+/// Schedule the next thread. Caller must have already moved the current
+/// thread into its new state (still `Runnable` for a plain yield,
+/// blocked otherwise). Returns with the lock released; the caller then
+/// waits for reactivation via [`wait_for_baton`].
+fn schedule_next(rt: &Rt, inner: &mut Inner) {
+    if inner.failed.is_some() {
+        rt.cv.notify_all();
+        return;
+    }
+    let mut candidates = inner.candidates();
+    if candidates.is_empty() {
+        if inner
+            .threads
+            .iter()
+            .all(|t| matches!(t.run, Run::Finished))
+        {
+            // Execution complete.
+            return;
+        }
+        let who = inner.describe_blockers();
+        inner.fail(format!("deadlock: no schedulable thread ({who})"));
+        rt.cv.notify_all();
+        return;
+    }
+    // Preemption bounding (CHESS-style): switching away from a thread
+    // that is still `Runnable` (i.e. it could have kept executing
+    // straight-line code) is a preemption; once the budget is spent the
+    // running thread must continue. Switches away from a *blocked*
+    // thread (lock handoff, cv wait — including its timeout branch) are
+    // natural and always free, so timeout exploration survives bounding.
+    let cur = inner.active;
+    let cur_runnable = cur != ABORTED
+        && cur < inner.threads.len()
+        && matches!(inner.threads[cur].run, Run::Runnable);
+    if cur_runnable {
+        if let Some(bound) = inner.preemption_bound {
+            if inner.preemptions >= bound {
+                candidates = vec![cur];
+            }
+        }
+    }
+    let next = inner.pick(&candidates);
+    if cur_runnable && next != cur {
+        inner.preemptions += 1;
+    }
+    inner.activate(next);
+    rt.cv.notify_all();
+}
+
+/// Park until the scheduler hands this thread the baton (or the
+/// execution aborts, in which case unwind out of the model closure).
+fn wait_for_baton(rt: &Rt, mut inner: std::sync::MutexGuard<'_, Inner>, me: usize) {
+    loop {
+        if inner.active == me {
+            return;
+        }
+        if inner.failed.is_some() {
+            drop(inner);
+            // Caught by the thread shell; the first failure is already
+            // recorded.
+            panic!("loom execution aborted");
+        }
+        inner = rt.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// A plain scheduling decision: current thread stays runnable and
+/// competes with every other schedulable thread.
+pub(crate) fn yield_point() {
+    with_ctx(|rt, me| {
+        let mut inner = rt.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.failed.is_some() {
+            drop(inner);
+            panic!("loom execution aborted");
+        }
+        schedule_next(rt, &mut inner);
+        wait_for_baton(rt, inner, me);
+    });
+}
+
+/// Move the current thread into `blocked`, schedule someone else, and
+/// return once this thread is scheduled again (lock reacquired / timer
+/// fired / join target finished on its behalf). Returns the condvar
+/// wake reason, if any.
+pub(crate) fn block_current(blocked: Run2) -> Option<Wake> {
+    with_ctx(|rt, me| {
+        let mut inner = rt.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.failed.is_some() {
+            drop(inner);
+            panic!("loom execution aborted");
+        }
+        inner.threads[me].run = match blocked {
+            Run2::Mutex { lock } => Run::BlockedMutex { lock },
+            Run2::Cv { cv, lock, deadline } => Run::BlockedCv { cv, lock, deadline },
+            Run2::Join { target } => Run::BlockedJoin { target },
+        };
+        inner.threads[me].cv_wake = None;
+        schedule_next(rt, &mut inner);
+        wait_for_baton(rt, inner, me);
+        let mut inner = rt.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.threads[me].cv_wake.take()
+    })
+}
+
+/// Public (crate-internal) blocked-state description — keeps [`Run`]
+/// private to the scheduler.
+pub(crate) enum Run2 {
+    Mutex { lock: usize },
+    Cv {
+        cv: usize,
+        lock: usize,
+        deadline: Option<Duration>,
+    },
+    Join { target: usize },
+}
+
+// ---- primitive registration & operations (called by sync/) ----------
+
+/// Register a new mutex, returning its id.
+pub(crate) fn register_lock() -> usize {
+    with_ctx(|rt, _| {
+        let mut inner = rt.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.locks.push(None);
+        inner.locks.len() - 1
+    })
+}
+
+/// Register a new condvar, returning its id.
+pub(crate) fn register_cv() -> usize {
+    with_ctx(|rt, _| {
+        let mut inner = rt.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.n_cvs += 1;
+        inner.n_cvs - 1
+    })
+}
+
+/// Acquire `lock` for the current thread (blocking schedule if held).
+pub(crate) fn lock_acquire(lock: usize) {
+    yield_point();
+    let must_block = with_ctx(|rt, me| {
+        let mut inner = rt.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match inner.locks[lock] {
+            None => {
+                inner.locks[lock] = Some(me);
+                false
+            }
+            Some(holder) => {
+                assert_ne!(holder, me, "loom: recursive lock of a Mutex");
+                true
+            }
+        }
+    });
+    if must_block {
+        block_current(Run2::Mutex { lock });
+    }
+}
+
+/// Release `lock`. Waiters become schedulable at the next decision.
+///
+/// Called from `MutexGuard::drop`, including during the abort-unwind
+/// out of a `Condvar` wait — where the lock was already handed back by
+/// `cv_wait` — so a non-holder release is ignored while unwinding
+/// rather than asserted (a panic here would be a panic-in-destructor
+/// abort).
+pub(crate) fn lock_release(lock: usize) {
+    with_ctx(|rt, me| {
+        let mut inner = rt.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.locks[lock] == Some(me) {
+            inner.locks[lock] = None;
+        } else {
+            debug_assert!(
+                std::thread::panicking() || inner.failed.is_some(),
+                "unlock by non-holder"
+            );
+        }
+    });
+}
+
+/// Block on `cv` (releasing `lock`), optionally with a timeout measured
+/// on the modeled clock. Returns how the wait ended. The lock is held
+/// again on return.
+pub(crate) fn cv_wait(cv: usize, lock: usize, timeout: Option<Duration>) -> Wake {
+    let deadline = timeout.map(|t| now() + t);
+    with_ctx(|rt, me| {
+        let mut inner = rt.inner.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert_eq!(inner.locks[lock], Some(me), "cv wait without the lock");
+        inner.locks[lock] = None;
+    });
+    block_current(Run2::Cv { cv, lock, deadline })
+        .expect("cv waiter resumed without a wake reason")
+}
+
+/// Wake every waiter of `cv`: each moves to blocked-on-its-mutex and
+/// resumes (with `Notified`) once it reacquires.
+pub(crate) fn cv_notify_all(cv: usize) {
+    yield_point();
+    with_ctx(|rt, _| {
+        let mut inner = rt.inner.lock().unwrap_or_else(|e| e.into_inner());
+        for t in inner.threads.iter_mut() {
+            if let Run::BlockedCv { cv: c, lock, .. } = t.run {
+                if c == cv {
+                    t.run = Run::BlockedMutex { lock };
+                    t.cv_wake = Some(Wake::Notified);
+                }
+            }
+        }
+    });
+}
+
+/// Wake one waiter of `cv` (lowest tid — deterministic).
+pub(crate) fn cv_notify_one(cv: usize) {
+    yield_point();
+    with_ctx(|rt, _| {
+        let mut inner = rt.inner.lock().unwrap_or_else(|e| e.into_inner());
+        for t in inner.threads.iter_mut() {
+            if let Run::BlockedCv { cv: c, lock, .. } = t.run {
+                if c == cv {
+                    t.run = Run::BlockedMutex { lock };
+                    t.cv_wake = Some(Wake::Notified);
+                    break;
+                }
+            }
+        }
+    });
+}
+
+/// Current modeled time.
+pub(crate) fn now() -> Duration {
+    with_ctx(|rt, _| {
+        rt.inner.lock().unwrap_or_else(|e| e.into_inner()).clock
+    })
+}
+
+// ---- threads --------------------------------------------------------
+
+/// Spawn a loom thread running `f`; its OS thread parks until first
+/// scheduled. Returns the new tid.
+pub(crate) fn spawn_thread<F>(f: F) -> usize
+where
+    F: FnOnce() + Send + 'static,
+{
+    with_ctx(|rt, _| {
+        let tid = {
+            let mut inner = rt.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.threads.push(ThreadState {
+                run: Run::Runnable,
+                cv_wake: None,
+            });
+            inner.threads.len() - 1
+        };
+        let rt2 = Arc::clone(rt);
+        let handle = std::thread::Builder::new()
+            .name(format!("loom-{tid}"))
+            .spawn(move || thread_shell(rt2, tid, f))
+            .expect("spawn loom thread");
+        rt.os_handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(handle);
+        tid
+    })
+}
+
+/// Body shared by every loom OS thread: park until first scheduled, run
+/// the closure under `catch_unwind`, then hand the baton onward.
+fn thread_shell<F: FnOnce()>(rt: Arc<Rt>, tid: usize, f: F) {
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            rt: Arc::clone(&rt),
+            tid,
+        });
+    });
+    {
+        let inner = rt.inner.lock().unwrap_or_else(|e| e.into_inner());
+        // The abort-unwind from `wait_for_baton` must not escape the
+        // shell; treat it like any other panic (first failure already
+        // recorded).
+        if catch_unwind(AssertUnwindSafe(|| wait_for_baton(&rt, inner, tid))).is_err() {
+            finish_thread(&rt, tid, None);
+            return;
+        }
+    }
+    let result = catch_unwind(AssertUnwindSafe(f));
+    finish_thread(&rt, tid, result.err().map(|p| panic_message(&*p)));
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Mark `tid` finished, record a failure if it panicked, and pass the
+/// baton to the next schedulable thread.
+fn finish_thread(rt: &Rt, tid: usize, panicked: Option<String>) {
+    let mut inner = rt.inner.lock().unwrap_or_else(|e| e.into_inner());
+    inner.threads[tid].run = Run::Finished;
+    match panicked {
+        // The abort-unwind sentinel carries no new information.
+        Some(msg) if msg != "loom execution aborted" => {
+            inner.fail(format!("thread {tid} panicked: {msg}"));
+            rt.cv.notify_all();
+        }
+        _ if inner.failed.is_some() => rt.cv.notify_all(),
+        _ => schedule_next(rt, &mut inner),
+    }
+}
+
+/// Block until loom thread `target` finishes.
+pub(crate) fn join_thread(target: usize) {
+    let finished = with_ctx(|rt, _| {
+        let inner = rt.inner.lock().unwrap_or_else(|e| e.into_inner());
+        matches!(inner.threads[target].run, Run::Finished)
+    });
+    if !finished {
+        block_current(Run2::Join { target });
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic payload>".to_string())
+}
+
+// ---- the DFS driver -------------------------------------------------
+
+/// Execute `f` once under the decision path `path` (extending it at new
+/// decisions). Returns the extended path and the failure, if any.
+fn execute<F>(
+    f: Arc<F>,
+    path: Vec<Branch>,
+    preemption_bound: Option<usize>,
+) -> (Vec<Branch>, Option<String>)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let rt = Arc::new(Rt {
+        inner: OsMutex::new(Inner {
+            threads: Vec::new(),
+            locks: Vec::new(),
+            n_cvs: 0,
+            active: 0,
+            path,
+            pos: 0,
+            clock: Duration::ZERO,
+            failed: None,
+            preemptions: 0,
+            preemption_bound,
+        }),
+        cv: OsCondvar::new(),
+        os_handles: OsMutex::new(Vec::new()),
+    });
+
+    // Root thread (tid 0). `spawn_thread` needs a context; install a
+    // temporary one for the driver thread.
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            rt: Arc::clone(&rt),
+            tid: usize::MAX,
+        });
+    });
+    let f2 = Arc::clone(&f);
+    spawn_thread(move || f2());
+    CTX.with(|c| *c.borrow_mut() = None);
+
+    // Join every loom OS thread (threads may spawn more while we join).
+    loop {
+        let batch: Vec<_> = std::mem::take(
+            &mut *rt.os_handles.lock().unwrap_or_else(|e| e.into_inner()),
+        );
+        if batch.is_empty() {
+            break;
+        }
+        for h in batch {
+            let _ = h.join();
+        }
+    }
+
+    let inner = rt.inner.lock().unwrap_or_else(|e| e.into_inner());
+    (inner.path.clone(), inner.failed.clone())
+}
+
+/// Advance `path` to the next unexplored schedule (depth-first).
+/// Returns `false` when the space is exhausted.
+fn advance(path: &mut Vec<Branch>) -> bool {
+    while let Some(last) = path.last_mut() {
+        if last.chosen + 1 < last.num {
+            last.chosen += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+pub(crate) fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    run_model(f, None, None);
+}
+
+/// The search driver behind both [`model`] and
+/// [`crate::model::Builder::check`].
+pub(crate) fn run_model<F>(f: F, preemption_bound: Option<usize>, max_executions: Option<usize>)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let max: usize = max_executions.unwrap_or_else(|| {
+        std::env::var("LOOM_MAX_EXECUTIONS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1_000_000)
+    });
+    let mut path: Vec<Branch> = Vec::new();
+    let mut execs = 0usize;
+    loop {
+        execs += 1;
+        assert!(
+            execs <= max,
+            "loom: exceeded {max} executions without exhausting the \
+             schedule space; shrink the model, bound preemptions, or \
+             raise LOOM_MAX_EXECUTIONS"
+        );
+        let (new_path, failed) = execute(Arc::clone(&f), path, preemption_bound);
+        if let Some(msg) = failed {
+            let schedule: Vec<usize> = new_path.iter().map(|b| b.chosen).collect();
+            panic!(
+                "loom model failed after {execs} execution(s): {msg}\n\
+                 failing schedule (decision indices): {schedule:?}"
+            );
+        }
+        path = new_path;
+        if !advance(&mut path) {
+            break;
+        }
+        // Truncation above leaves only the replayed prefix; decisions
+        // beyond it are re-derived by the next execution.
+    }
+    if std::env::var_os("LOOM_LOG").is_some() {
+        eprintln!("loom: explored {execs} executions");
+    }
+}

@@ -1,0 +1,258 @@
+//! Model-checked synchronization primitives.
+//!
+//! API shape mirrors the `parking_lot` subset used by this workspace
+//! (non-poisoning `lock()`, `&mut guard` condvar waits) so the
+//! `hacc-comm` `sync` shim can re-export either backend unchanged.
+
+use crate::rt;
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+use std::time::Duration;
+
+pub use std::sync::Arc;
+
+const UNREGISTERED: usize = usize::MAX;
+
+/// Lazily register a primitive id with the current execution.
+///
+/// Reads and writes of the id cell never race: only the scheduler's
+/// single active thread executes at any moment.
+fn lazy_id(cell: &StdAtomicUsize, register: fn() -> usize) -> usize {
+    let id = cell.load(StdOrdering::Relaxed);
+    if id != UNREGISTERED {
+        return id;
+    }
+    let id = register();
+    cell.store(id, StdOrdering::Relaxed);
+    id
+}
+
+/// Model-checked mutex. Blocking and hand-off are driven entirely by
+/// the loom scheduler; the data cell itself needs no OS lock because
+/// only one loom thread runs at a time.
+pub struct Mutex<T> {
+    id: StdAtomicUsize,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: access to `data` is serialized by the model scheduler — a
+// guard exists only while its thread holds the modeled lock, and only
+// one thread executes at a time. Same bounds as std::sync::Mutex.
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: as above; `T: Send` suffices because the guard hands out
+// exclusive access only.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex {
+            id: StdAtomicUsize::new(UNREGISTERED),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    fn lock_id(&self) -> usize {
+        lazy_id(&self.id, rt::register_lock)
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        rt::lock_acquire(self.lock_id());
+        MutexGuard {
+            mutex: self,
+            _not_send: PhantomData,
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// Guard for [`Mutex`]; releases the modeled lock on drop.
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: this thread holds the modeled lock (guard invariant)
+        // and is the only thread the scheduler allows to run.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref`, plus the guard is borrowed mutably.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        rt::lock_release(self.mutex.lock_id());
+    }
+}
+
+/// Model-checked condition variable with `parking_lot`'s `&mut guard`
+/// API. A waiter with a timeout stays schedulable: the scheduler may
+/// fire its timeout branch at any decision point, so both sides of
+/// every notify/timeout race are explored.
+#[derive(Default)]
+pub struct Condvar {
+    id: StdAtomicUsize,
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar {
+            id: StdAtomicUsize::new(UNREGISTERED),
+        }
+    }
+
+    fn cv_id(&self) -> usize {
+        lazy_id(&self.id, rt::register_cv)
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        rt::cv_wait(self.cv_id(), guard.mutex.lock_id(), None);
+    }
+
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let wake = rt::cv_wait(self.cv_id(), guard.mutex.lock_id(), Some(timeout));
+        WaitTimeoutResult {
+            timed_out: wake == rt::Wake::TimedOut,
+        }
+    }
+
+    pub fn notify_all(&self) -> usize {
+        rt::cv_notify_all(self.cv_id());
+        0
+    }
+
+    pub fn notify_one(&self) -> bool {
+        rt::cv_notify_one(self.cv_id());
+        false
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+/// Result of a timed wait (mirrors `parking_lot`).
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+pub mod atomic {
+    //! Model-checked atomics. Every operation is a scheduling decision,
+    //! so all interleavings of atomic accesses are explored; the
+    //! `Ordering` argument is accepted but the model is sequentially
+    //! consistent (see the crate docs for the deviation note).
+
+    use crate::rt;
+    pub use std::sync::atomic::Ordering;
+    use std::sync::atomic::Ordering::SeqCst;
+
+    macro_rules! atomic {
+        ($name:ident, $std:ty, $prim:ty) => {
+            #[derive(Default, Debug)]
+            pub struct $name($std);
+
+            impl $name {
+                pub fn new(v: $prim) -> Self {
+                    Self(<$std>::new(v))
+                }
+
+                pub fn load(&self, _order: Ordering) -> $prim {
+                    rt::yield_point();
+                    self.0.load(SeqCst)
+                }
+
+                pub fn store(&self, v: $prim, _order: Ordering) {
+                    rt::yield_point();
+                    self.0.store(v, SeqCst);
+                }
+
+                pub fn swap(&self, v: $prim, _order: Ordering) -> $prim {
+                    rt::yield_point();
+                    self.0.swap(v, SeqCst)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    rt::yield_point();
+                    self.0.compare_exchange(current, new, SeqCst, SeqCst)
+                }
+
+                pub fn into_inner(self) -> $prim {
+                    self.0.into_inner()
+                }
+            }
+        };
+    }
+
+    atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+    atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+    atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+    macro_rules! atomic_arith {
+        ($name:ident, $prim:ty) => {
+            impl $name {
+                pub fn fetch_add(&self, v: $prim, _order: Ordering) -> $prim {
+                    rt::yield_point();
+                    self.0.fetch_add(v, SeqCst)
+                }
+
+                pub fn fetch_sub(&self, v: $prim, _order: Ordering) -> $prim {
+                    rt::yield_point();
+                    self.0.fetch_sub(v, SeqCst)
+                }
+            }
+        };
+    }
+
+    atomic_arith!(AtomicU32, u32);
+    atomic_arith!(AtomicU64, u64);
+    atomic_arith!(AtomicUsize, usize);
+}

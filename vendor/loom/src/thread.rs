@@ -1,0 +1,50 @@
+//! Model-checked threads: each loom thread runs on a real OS thread
+//! but proceeds only when the scheduler hands it the baton.
+
+use crate::rt;
+use std::sync::{Arc, Mutex as OsMutex};
+
+/// Handle to a spawned loom thread.
+pub struct JoinHandle<T> {
+    tid: usize,
+    slot: Arc<OsMutex<Option<T>>>,
+}
+
+/// Spawn a loom thread. The closure starts parked and runs only when
+/// scheduled; all its synchronization operations become scheduling
+/// decisions of the enclosing [`crate::model`] run.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let slot = Arc::new(OsMutex::new(None));
+    let slot2 = Arc::clone(&slot);
+    let tid = rt::spawn_thread(move || {
+        let v = f();
+        *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+    });
+    JoinHandle { tid, slot }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait (as a scheduling decision) for the thread to finish.
+    ///
+    /// A panic in the target thread aborts the whole model execution
+    /// with the target's panic as the reported failure, so unlike
+    /// `std`, the error arm is never observable inside a model.
+    pub fn join(self) -> std::thread::Result<T> {
+        rt::join_thread(self.tid);
+        match self.slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            Some(v) => Ok(v),
+            // Target finished without a result: it panicked and the
+            // failure is already recorded — unwind out of the model.
+            None => panic!("loom execution aborted"),
+        }
+    }
+}
+
+/// Hand the baton back to the scheduler without blocking.
+pub fn yield_now() {
+    rt::yield_point();
+}

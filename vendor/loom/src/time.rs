@@ -1,0 +1,53 @@
+//! Modeled time: a logical clock per execution.
+//!
+//! `Instant::now()` reads the execution's clock, which starts at zero
+//! and advances **only** when a timed condvar wait fires its timeout
+//! branch (the clock jumps to that waiter's deadline). Deadline
+//! arithmetic written against `std::time::Instant` therefore works
+//! unchanged under the model, and every timeout either fires (clock
+//! reaches the deadline) or is beaten by a notify — both explored.
+
+use std::ops::{Add, Sub};
+use std::time::Duration;
+
+/// Modeled monotonic instant (a point on the execution's logical clock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Instant(Duration);
+
+impl Instant {
+    /// The current modeled time. Panics outside a model run.
+    pub fn now() -> Instant {
+        Instant(crate::rt::now())
+    }
+
+    /// Saturating difference (the modeled clock is monotonic, so this
+    /// only saturates when comparing instants from unrelated runs).
+    pub fn duration_since(&self, earlier: Instant) -> Duration {
+        self.0.checked_sub(earlier.0).unwrap_or(Duration::ZERO)
+    }
+
+    pub fn elapsed(&self) -> Duration {
+        Instant::now().duration_since(*self)
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Duration) -> Instant {
+        Instant(self.0 + rhs)
+    }
+}
+
+impl Sub<Duration> for Instant {
+    type Output = Instant;
+    fn sub(self, rhs: Duration) -> Instant {
+        Instant(self.0.checked_sub(rhs).unwrap_or(Duration::ZERO))
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    fn sub(self, rhs: Instant) -> Duration {
+        self.duration_since(rhs)
+    }
+}
