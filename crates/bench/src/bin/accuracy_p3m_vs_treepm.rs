@@ -27,6 +27,7 @@ fn main() {
         spectral: hacc_pm::SpectralParams::default(),
         tree: hacc_short::TreeParams::default(),
         rcut_cells: 3.0,
+        skin_cells: 0.25,
     };
     let ics = hacc_ics::zeldovich(np, box_len, &power, 0.2, 555);
 

@@ -68,6 +68,7 @@ fn main() {
         spectral: hacc_pm::SpectralParams::default(),
         tree: hacc_short::TreeParams::default(),
         rcut_cells: 3.0,
+        skin_cells: 0.25,
     };
     let power = reference_power();
     let ics = hacc_ics::zeldovich(np, box_len, &power, cfg.a_init, 20120931);

@@ -37,6 +37,7 @@ fn main() {
             spectral: hacc_pm::SpectralParams::default(),
             tree: hacc_short::TreeParams::default(),
             rcut_cells: 3.0,
+            skin_cells: 0.25,
         };
         let ics = hacc_ics::zeldovich(np_side, box_len, &power, cfg.a_init, 7 + ranks as u64);
         let np_total = ics.len();

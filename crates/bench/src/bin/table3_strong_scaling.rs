@@ -35,6 +35,7 @@ fn main() {
         spectral: hacc_pm::SpectralParams::default(),
         tree: hacc_short::TreeParams::default(),
         rcut_cells: 3.0,
+        skin_cells: 0.25,
     };
     let ics = hacc_ics::zeldovich(np_side, box_len, &power, cfg_base.a_init, 11);
     let np_total = ics.len();

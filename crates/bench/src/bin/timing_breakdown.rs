@@ -42,6 +42,7 @@ fn main() {
         spectral: hacc_pm::SpectralParams::default(),
         tree: hacc_short::TreeParams::default(),
         rcut_cells: 3.0,
+        skin_cells: 0.25,
     };
     let ics = hacc_ics::zeldovich(np, box_len, &power, cfg.a_init, 303);
     let mut sim = Simulation::from_ics(cfg, &ics);
@@ -67,8 +68,11 @@ fn main() {
         .stats
         .time_per_substep_per_particle(sim.len(), sim.config().subcycles);
     println!(
-        "\ninteractions: {:.3e}, kernel flops: {:.3e}, time/substep/particle: {:.2e} s",
+        "\ninteractions: {:.3e} directed ({:.3e} kernel evals, N3 symmetry {:.2}×), \
+         kernel flops: {:.3e}, time/substep/particle: {:.2e} s",
         tot.interactions as f64,
+        tot.pair_interactions as f64,
+        tot.symmetry_factor(),
         tot.flops(),
         tsp
     );
@@ -79,6 +83,7 @@ fn main() {
              \"total_s\": {t:.3},\n  \"kernel_pct\": {:.2},\n  \"walk_pct\": {:.2},\n  \
              \"fft_pct\": {:.2},\n  \"build_pct\": {:.2},\n  \"cic_pct\": {:.2},\n  \
              \"other_pct\": {:.2},\n  \"interactions\": {},\n  \
+             \"pair_interactions\": {},\n  \"symmetry_factor\": {:.3},\n  \
              \"time_per_substep_per_particle_s\": {tsp:.6e}\n}}",
             sim.stats.steps.len(),
             p(tot.kernel),
@@ -88,6 +93,8 @@ fn main() {
             p(tot.cic),
             p(tot.other),
             tot.interactions,
+            tot.pair_interactions,
+            tot.symmetry_factor(),
         );
         if let Some(dir) = std::path::Path::new(path).parent() {
             std::fs::create_dir_all(dir).expect("create json dir");

@@ -33,6 +33,7 @@ pub fn science_config(np: usize, box_len: f64, steps: usize, solver: SolverKind)
         spectral: hacc_pm::SpectralParams::default(),
         tree: hacc_short::TreeParams::default(),
         rcut_cells: 3.0,
+        skin_cells: 0.25,
     }
 }
 

@@ -41,6 +41,13 @@ pub struct SimConfig {
     pub tree: TreeParams,
     /// Short/long force matching radius in grid cells (paper: 3).
     pub rcut_cells: f64,
+    /// Verlet-style skin radius in grid cells for cross-subcycle tree
+    /// reuse (TreePm only). The tree and ghost set are built once with
+    /// `r_cut` inflated by this margin and reused — positions refreshed
+    /// in place — until the accumulated drift bound exceeds half the
+    /// skin, at which point the tree is rebuilt. `0` disables reuse
+    /// (rebuild every sub-cycle).
+    pub skin_cells: f64,
 }
 
 impl SimConfig {
@@ -59,6 +66,7 @@ impl SimConfig {
             spectral: SpectralParams::default(),
             tree: TreeParams::default(),
             rcut_cells: 3.0,
+            skin_cells: 0.25,
         }
     }
 

@@ -328,10 +328,13 @@ impl<'a> DistSimulation<'a> {
         let t0 = Instant::now();
         let tree = RcbTree::build(&gx, &gy, &gz, &vec![1.0f32; gx.len()], self.cfg.tree);
         brk.build += t0.elapsed();
-        let (mut f, inter, walk, kern) = tree.forces_timed(&self.kernel);
-        brk.walk += walk;
-        brk.kernel += kern;
-        brk.interactions += inter;
+        let mut scratch = hacc_short::TreeScratch::default();
+        let mut f = [Vec::new(), Vec::new(), Vec::new()];
+        let rep = tree.forces_symmetric_into(&self.kernel, 0.0, &mut scratch, &mut f);
+        brk.walk += rep.walk;
+        brk.kernel += rep.kernel;
+        brk.interactions += rep.directed;
+        brk.pair_interactions += rep.evals;
         let nbar = self.global_count() as f64 / (ng * ng * ng) as f64;
         let scale = (self.cfg.box_len / ng as f64 / nbar * self.fit.norm) as f32;
         for c in f.iter_mut() {

@@ -6,7 +6,8 @@ use hacc_pm::{
     deposit_cic_par, deposit_cic_par_with, interpolate_cic, interpolate_cic_into, CicScratch,
     GridForceFit, PmSolver,
 };
-use hacc_short::{ForceKernel, P3mSolver, RcbTree, TreeScratch};
+use hacc_short::{ForceKernel, P3mScratch, P3mSolver, RcbTree, TreeScratch};
+use rayon::prelude::*;
 
 use crate::config::{SimConfig, SolverKind};
 use crate::stats::{RunStats, StepBreakdown};
@@ -65,6 +66,20 @@ struct StepScratch {
     mass: Vec<f32>,
     /// Short-range force accumulators (ghost-padded length on the tree path).
     sr: [Vec<f32>; 3],
+    /// Build-frame copy of the ghost-augmented positions (Verlet-skin
+    /// reuse): the coordinates the persistent tree was last rebuilt from.
+    ax0: Vec<f32>,
+    ay0: Vec<f32>,
+    az0: Vec<f32>,
+    /// Source particle index of each ghost image appended at build time.
+    ghost_src: Vec<u32>,
+    /// Upper bound on any particle's displacement since the last tree
+    /// build, in PM grid units. Maintained by [`Simulation::drift`];
+    /// reset on rebuild. The skin pair list stays valid while
+    /// `2 · drift_since_build ≤ skin_cells`.
+    drift_since_build: f64,
+    /// Chaining-mesh scratch (P3m path).
+    p3m: P3mScratch,
 }
 
 /// A running N-body simulation.
@@ -264,6 +279,7 @@ impl Simulation {
                 let (f, inter) = solver.forces(&gx, &gy, &gz, &vec![1.0f32; np]);
                 brk.kernel += t0.elapsed();
                 brk.interactions += inter;
+                brk.pair_interactions += inter;
                 f
             }
             SolverKind::TreePm => {
@@ -274,10 +290,13 @@ impl Simulation {
                 let (ax, ay, az, n_real) = with_ghosts(&gx, &gy, &gz, ng as f32, rcut);
                 let tree = RcbTree::build(&ax, &ay, &az, &vec![1.0f32; ax.len()], self.cfg.tree);
                 brk.build += t0.elapsed();
-                let (ff, inter, walk, kern) = tree.forces_timed(&self.kernel);
-                brk.walk += walk;
-                brk.kernel += kern;
-                brk.interactions += inter;
+                let mut scratch = TreeScratch::default();
+                let mut ff = [Vec::new(), Vec::new(), Vec::new()];
+                let rep = tree.forces_symmetric_into(&self.kernel, 0.0, &mut scratch, &mut ff);
+                brk.walk += rep.walk;
+                brk.kernel += rep.kernel;
+                brk.interactions += rep.directed;
+                brk.pair_interactions += rep.evals;
                 let _ = n_real;
                 [
                     ff[0][..np].to_vec(),
@@ -346,6 +365,12 @@ impl Simulation {
             az,
             mass,
             sr,
+            ax0,
+            ay0,
+            az0,
+            ghost_src,
+            drift_since_build,
+            p3m,
             ..
         } = &mut self.scratch;
         fill_scaled(&self.x, s, gx);
@@ -354,31 +379,73 @@ impl Simulation {
         match self.cfg.solver {
             SolverKind::PmOnly => unreachable!("short_accel_into with PmOnly"),
             SolverKind::P3m => {
-                // The chaining-mesh solver still returns fresh buffers; it
-                // is the alternate (GPU-archetype) path and not on the
-                // steady-state budget.
                 let t0 = Instant::now();
                 mass.clear();
                 mass.resize(np, 1.0);
                 let solver = P3mSolver::new(self.kernel, ng as f32);
-                let (f, inter) = solver.forces(gx, gy, gz, mass);
-                *sr = f;
+                let inter = solver.forces_into(gx, gy, gz, mass, p3m, sr);
                 brk.kernel += t0.elapsed();
                 brk.interactions += inter;
+                brk.pair_interactions += inter;
             }
             SolverKind::TreePm => {
                 let t0 = Instant::now();
                 let rcut = self.cfg.rcut_cells as f32;
-                with_ghosts_into(gx, gy, gz, ng as f32, rcut, ax, ay, az);
-                mass.clear();
-                mass.resize(ax.len(), 1.0);
+                let skin = self.cfg.skin_cells.max(0.0) as f32;
+                let lg = ng as f32;
                 let tree = tree.get_or_insert_with(|| RcbTree::new_empty(self.cfg.tree));
-                tree.rebuild(ax, ay, az, mass, tscratch);
+                // Verlet-skin reuse: rebuild only when the accumulated
+                // displacement bound can have moved a pair across the
+                // inflated acceptance radius (each of two particles may
+                // drift toward the other, hence the factor 2).
+                let rebuild = tree.generation() == 0
+                    || skin <= 0.0
+                    || 2.0 * *drift_since_build > f64::from(skin);
+                if rebuild {
+                    // Ghost band widened by the skin so every partner a
+                    // particle can meet while drifting up to skin/2 is
+                    // already present.
+                    with_ghosts_into(gx, gy, gz, lg, rcut + skin, ax, ay, az, ghost_src);
+                    mass.clear();
+                    mass.resize(ax.len(), 1.0);
+                    tree.rebuild(ax, ay, az, mass, tscratch);
+                    ax0.clone_from(ax);
+                    ay0.clone_from(ay);
+                    az0.clone_from(az);
+                    *drift_since_build = 0.0;
+                } else {
+                    // Refresh coordinates inside the frozen tree topology.
+                    // Positions may have wrapped through the periodic
+                    // boundary since the build, so take the minimum image
+                    // of each displacement relative to the build frame.
+                    let mi = move |d: f32| -> f32 {
+                        if d > 0.5 * lg {
+                            d - lg
+                        } else if d < -0.5 * lg {
+                            d + lg
+                        } else {
+                            d
+                        }
+                    };
+                    for i in 0..np {
+                        ax[i] = ax0[i] + mi(gx[i] - ax0[i]);
+                        ay[i] = ay0[i] + mi(gy[i] - ay0[i]);
+                        az[i] = az0[i] + mi(gz[i] - az0[i]);
+                    }
+                    for (g, &src) in ghost_src.iter().enumerate() {
+                        let (j, sp) = (np + g, src as usize);
+                        ax[j] = ax0[j] + mi(gx[sp] - ax0[sp]);
+                        ay[j] = ay0[j] + mi(gy[sp] - ay0[sp]);
+                        az[j] = az0[j] + mi(gz[sp] - az0[sp]);
+                    }
+                    tree.refresh_positions(ax, ay, az);
+                }
                 brk.build += t0.elapsed();
-                let (inter, walk, kern) = tree.forces_into(&self.kernel, tscratch, sr);
-                brk.walk += walk;
-                brk.kernel += kern;
-                brk.interactions += inter;
+                let rep = tree.forces_symmetric_into(&self.kernel, skin, tscratch, sr);
+                brk.walk += rep.walk;
+                brk.kernel += rep.kernel;
+                brk.interactions += rep.directed;
+                brk.pair_interactions += rep.evals;
             }
         }
         for c in sr.iter_mut() {
@@ -391,7 +458,7 @@ impl Simulation {
     fn drift(&mut self, factor: f64) {
         let l = self.cfg.box_len as f32;
         let f = factor as f32;
-        let wrap = |v: f32| -> f32 {
+        let wrap = move |v: f32| -> f32 {
             let mut w = v % l;
             if w < 0.0 {
                 w += l;
@@ -401,11 +468,31 @@ impl Simulation {
             }
             w
         };
-        for i in 0..self.len() {
-            self.x[i] = wrap(self.x[i] + f * self.vx[i]);
-            self.y[i] = wrap(self.y[i] + f * self.vy[i]);
-            self.z[i] = wrap(self.z[i] + f * self.vz[i]);
-        }
+        let max_abs = |v: &[f32]| -> f32 {
+            v.par_iter().map(|&x| x.abs()).reduce(|| 0.0f32, f32::max)
+        };
+        let (mx, my, mz) = (max_abs(&self.vx), max_abs(&self.vy), max_abs(&self.vz));
+        self.x
+            .par_iter_mut()
+            .zip(self.vx.par_iter())
+            .for_each(|(p, &v)| *p = wrap(*p + f * v));
+        self.y
+            .par_iter_mut()
+            .zip(self.vy.par_iter())
+            .for_each(|(p, &v)| *p = wrap(*p + f * v));
+        self.z
+            .par_iter_mut()
+            .zip(self.vz.par_iter())
+            .for_each(|(p, &v)| *p = wrap(*p + f * v));
+        // Displacement bound for the Verlet-skin rebuild criterion, in PM
+        // grid units: no particle moved farther than
+        // |f|·√(max|vx|² + max|vy|² + max|vz|²) this drift.
+        let bound = f64::from(f.abs())
+            * (f64::from(mx) * f64::from(mx)
+                + f64::from(my) * f64::from(my)
+                + f64::from(mz) * f64::from(mz))
+                .sqrt();
+        self.scratch.drift_since_build += bound * (self.cfg.ng as f64 / self.cfg.box_len);
     }
 
     /// Advance one full long-range step to scale factor `a1`
@@ -590,7 +677,11 @@ fn fill_scaled(src: &[f32], s: f32, out: &mut Vec<f32>) {
 
 /// Allocation-free [`with_ghosts`]: appends the periodic images into the
 /// caller's reused buffers and returns the count of real particles.
-#[allow(clippy::too_many_arguments)] // three input + three output SoA arrays
+///
+/// `ghost_src[g]` records the real-particle index each appended ghost is
+/// an image of, so a Verlet-skin refresh can re-derive ghost coordinates
+/// from the drifted real positions without regenerating the ghost set.
+#[allow(clippy::too_many_arguments)] // three input + four output SoA arrays
 fn with_ghosts_into(
     xs: &[f32],
     ys: &[f32],
@@ -600,11 +691,13 @@ fn with_ghosts_into(
     ax: &mut Vec<f32>,
     ay: &mut Vec<f32>,
     az: &mut Vec<f32>,
+    ghost_src: &mut Vec<u32>,
 ) -> usize {
     let n = xs.len();
     ax.clear();
     ay.clear();
     az.clear();
+    ghost_src.clear();
     ax.extend_from_slice(xs);
     ay.extend_from_slice(ys);
     az.extend_from_slice(zs);
@@ -636,6 +729,7 @@ fn with_ghosts_into(
                     ax.push(xs[i] + dx);
                     ay.push(ys[i] + dy);
                     az.push(zs[i] + dz);
+                    ghost_src.push(i as u32);
                 }
             }
         }
@@ -735,13 +829,21 @@ mod tests {
         let zs = [5.0, 5.0, 9.8, 5.0];
         let (ex, ey, ez, en) = with_ghosts(&xs, &ys, &zs, 10.0, 1.0);
         let (mut ax, mut ay, mut az) = (Vec::new(), Vec::new(), Vec::new());
+        let mut gs = Vec::new();
         // Run twice through the same buffers: reuse must not change output.
         for _ in 0..2 {
-            let n = with_ghosts_into(&xs, &ys, &zs, 10.0, 1.0, &mut ax, &mut ay, &mut az);
+            let n = with_ghosts_into(&xs, &ys, &zs, 10.0, 1.0, &mut ax, &mut ay, &mut az, &mut gs);
             assert_eq!(n, en);
             assert_eq!(ax, ex);
             assert_eq!(ay, ey);
             assert_eq!(az, ez);
+            // Every ghost maps back to the particle it images (ghosts are
+            // appended in particle order; each differs only by ±l shifts).
+            assert_eq!(gs.len(), ax.len() - en);
+            for (g, &src) in gs.iter().enumerate() {
+                let d = ax[en + g] - xs[src as usize];
+                assert!(d == 0.0 || d.abs() == 10.0, "ghost {g} shift {d}");
+            }
         }
     }
 

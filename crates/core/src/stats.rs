@@ -22,8 +22,16 @@ pub struct StepBreakdown {
     pub cic: Duration,
     /// Stream/kick updates and bookkeeping.
     pub other: Duration,
-    /// Particle–particle interactions evaluated.
+    /// Effective *directed* particle–particle interactions: the number of
+    /// (target, source) force contributions applied. A symmetric pair
+    /// evaluation applies two of these at once, so this is the quantity
+    /// comparable with the paper's Fig. 5 counts and earlier BENCH files.
     pub interactions: u64,
+    /// Kernel evaluations actually executed. On the one-sided solvers
+    /// this equals `interactions`; on the symmetric dual-tree walk each
+    /// cross-leaf evaluation covers two directed interactions, so this is
+    /// roughly half.
+    pub pair_interactions: u64,
 }
 
 impl StepBreakdown {
@@ -45,10 +53,23 @@ impl StepBreakdown {
     }
 
     /// Kernel flops following the paper's 42-flops-per-interaction
-    /// accounting.
-    #[must_use] 
+    /// accounting, charged per *directed* interaction so fraction-of-peak
+    /// numbers stay comparable across solver generations.
+    #[must_use]
     pub fn flops(&self) -> f64 {
         self.interactions as f64 * hacc_short::FLOPS_PER_INTERACTION as f64
+    }
+
+    /// Directed interactions delivered per kernel evaluation — 1.0 for
+    /// the one-sided solvers, approaching 2.0 when the symmetric walk
+    /// covers most pairs via Newton's third law.
+    #[must_use]
+    pub fn symmetry_factor(&self) -> f64 {
+        if self.pair_interactions == 0 {
+            1.0
+        } else {
+            self.interactions as f64 / self.pair_interactions as f64
+        }
     }
 
     /// Accumulate another breakdown.
@@ -60,6 +81,7 @@ impl StepBreakdown {
         self.cic += o.cic;
         self.other += o.other;
         self.interactions += o.interactions;
+        self.pair_interactions += o.pair_interactions;
     }
 }
 
@@ -109,10 +131,13 @@ mod tests {
             cic: Duration::from_millis(2),
             other: Duration::from_millis(1),
             interactions: 1000,
+            pair_interactions: 600,
         };
         assert_eq!(b.total(), Duration::from_millis(100));
         assert!((b.kernel_fraction() - 0.8).abs() < 1e-9);
         assert_eq!(b.flops(), 42_000.0);
+        assert!((b.symmetry_factor() - 1000.0 / 600.0).abs() < 1e-12);
+        assert_eq!(StepBreakdown::default().symmetry_factor(), 1.0);
     }
 
     #[test]

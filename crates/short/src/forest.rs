@@ -180,8 +180,9 @@ impl TreeForest {
     }
 
     /// Evaluate forces into caller-owned buffers, reusing per-slice
-    /// scratch (allocation-free once warm). Returns the interaction
-    /// count.
+    /// scratch (allocation-free once warm). Returns the *directed*
+    /// interaction count (each slice runs the symmetric dual-tree walk,
+    /// which applies two directed interactions per kernel evaluation).
     pub fn forces_into(&mut self, kernel: &ForceKernel, out: &mut [Vec<f32>; 3]) -> u64 {
         let inter = AtomicU64::new(0);
         self.slices.par_iter_mut().for_each(|s| {
@@ -192,9 +193,9 @@ impl TreeForest {
                 ..
             } = s;
             if let Some(tree) = tree {
-                let (i, _, _) = tree.forces_into(kernel, scratch, fbuf);
-                s.inter = i;
-                inter.fetch_add(i, Ordering::Relaxed);
+                let rep = tree.forces_symmetric_into(kernel, 0.0, scratch, fbuf);
+                s.inter = rep.directed;
+                inter.fetch_add(rep.directed, Ordering::Relaxed);
             }
         });
         for o in out.iter_mut() {
@@ -269,7 +270,9 @@ mod tests {
         let mut forest = TreeForest::build(&xs, &ys, &zs, &m, TreeParams::default(), 1, 2.0);
         let single = RcbTree::build(&xs, &ys, &zs, &m, TreeParams::default());
         let (a, _) = forest.forces(&kernel);
-        let (b, _) = single.forces(&kernel);
+        // Same tree, same symmetric walk, same deterministic chunk
+        // reduction ⇒ bit-identical forces.
+        let (b, _) = single.forces_symmetric(&kernel);
         assert_eq!(a[0], b[0]);
     }
 

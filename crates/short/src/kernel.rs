@@ -177,6 +177,10 @@ impl ForceKernel {
     /// Evaluate the kernel for every target of a leaf against the leaf's
     /// shared interaction list ("every particle on a leaf node shares the
     /// interaction list"), accumulating into the force slices.
+    ///
+    /// Routes each row through [`crate::simd::force_on_best`] — the AVX2
+    /// path when the CPU has it, the 8-lane blocked portable kernel
+    /// otherwise. [`ForceKernel::force_on`] remains the scalar reference.
     #[allow(clippy::too_many_arguments)]
     pub fn eval_leaf(
         &self,
@@ -192,7 +196,7 @@ impl ForceKernel {
         fzs: &mut [f32],
     ) -> u64 {
         for t in 0..txs.len() {
-            let f = self.force_on(txs[t], tys[t], tzs[t], nx, ny, nz, nm);
+            let f = crate::simd::force_on_best(self, txs[t], tys[t], tzs[t], nx, ny, nz, nm);
             fxs[t] += f[0];
             fys[t] += f[1];
             fzs[t] += f[2];

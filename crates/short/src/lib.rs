@@ -18,9 +18,11 @@
 pub mod forest;
 pub mod kernel;
 pub mod p3m;
+pub mod simd;
 pub mod tree;
 
 pub use forest::TreeForest;
 pub use kernel::{ForceKernel, FLOPS_PER_INTERACTION, FLOPS_PER_INTERACTION_ACTUAL};
-pub use p3m::P3mSolver;
-pub use tree::{RcbTree, TreeParams, TreeScratch};
+pub use p3m::{P3mScratch, P3mSolver};
+pub use simd::{force_on_best, SimdLevel};
+pub use tree::{RcbTree, SymmetricReport, TreeParams, TreeScratch};

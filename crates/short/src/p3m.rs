@@ -6,9 +6,38 @@
 //! minimum-image displacements make it usable on the full box (the serial
 //! TreePM/P³M comparison of the paper's code verification suite).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
 use rayon::prelude::*;
 
 use crate::kernel::ForceKernel;
+
+/// Per-worker neighbor-gather buffers for one chaining-mesh force pass.
+#[derive(Default)]
+struct CellGather {
+    nx: Vec<f32>,
+    ny: Vec<f32>,
+    nz: Vec<f32>,
+    nm: Vec<f32>,
+}
+
+/// Reusable scratch for [`P3mSolver::forces_into`]: counting-sort bins
+/// and per-worker gather buffers. Steady-state force evaluation performs
+/// no heap allocation once the capacities are warm.
+#[derive(Default)]
+pub struct P3mScratch {
+    /// Particles per cell (counting sort histogram).
+    counts: Vec<u32>,
+    /// Exclusive prefix of `counts`: cell → first slot in `order`.
+    starts: Vec<u32>,
+    /// Write cursors while scattering (same layout as `starts`).
+    cursor: Vec<u32>,
+    /// Particle indices sorted by cell.
+    order: Vec<u32>,
+    /// Per-worker gather buffers, leased and returned per cell task.
+    pool: Mutex<Vec<CellGather>>,
+}
 
 /// Chaining-mesh direct solver over a periodic cubic box.
 pub struct P3mSolver {
@@ -50,8 +79,9 @@ impl P3mSolver {
     }
 
     /// Compute short-range forces for all particles. Returns
-    /// `([fx, fy, fz], interaction_count)`.
-    #[must_use] 
+    /// `([fx, fy, fz], interaction_count)`. Convenience wrapper over
+    /// [`P3mSolver::forces_into`] with fresh scratch.
+    #[must_use]
     pub fn forces(
         &self,
         xs: &[f32],
@@ -59,126 +89,153 @@ impl P3mSolver {
         zs: &[f32],
         mass: &[f32],
     ) -> ([Vec<f32>; 3], u64) {
+        let mut scratch = P3mScratch::default();
+        let mut out = [Vec::new(), Vec::new(), Vec::new()];
+        let inter = self.forces_into(xs, ys, zs, mass, &mut scratch, &mut out);
+        (out, inter)
+    }
+
+    /// Compute short-range forces into caller-owned buffers, reusing
+    /// `scratch` — allocation-free once everything is warm.
+    ///
+    /// Particles are binned with a counting sort (histogram → prefix →
+    /// scatter) instead of per-cell `Vec`s; each cell task leases a
+    /// per-worker gather buffer from the scratch pool. Periodicity is
+    /// handled at gather time: a neighbor cell reached through the box
+    /// boundary contributes its particles pre-shifted by ±L, so the inner
+    /// loop is the plain non-periodic kernel and runs through the fastest
+    /// SIMD path.
+    pub fn forces_into(
+        &self,
+        xs: &[f32],
+        ys: &[f32],
+        zs: &[f32],
+        mass: &[f32],
+        scratch: &mut P3mScratch,
+        out: &mut [Vec<f32>; 3],
+    ) -> u64 {
         let np = xs.len();
         assert!(ys.len() == np && zs.len() == np && mass.len() == np);
         let nc = self.cells;
-        // Bin particles.
-        let mut bins: Vec<Vec<u32>> = vec![Vec::new(); nc * nc * nc];
+        let ncells = nc * nc * nc;
+        let l = self.box_len;
+
+        // Counting-sort binning.
+        scratch.counts.clear();
+        scratch.counts.resize(ncells, 0);
         for p in 0..np {
-            bins[self.cell_of(xs[p], ys[p], zs[p])].push(p as u32);
+            scratch.counts[self.cell_of(xs[p], ys[p], zs[p])] += 1;
         }
-        let half = 0.5 * self.box_len;
-        // Per cell: (particle index, force) pairs plus interaction count.
-        type CellForces = (Vec<(u32, [f32; 3])>, u64);
-        let result: Vec<CellForces> = (0..bins.len())
-            .into_par_iter()
-            .map(|cell| {
-                let targets = &bins[cell];
-                if targets.is_empty() {
-                    return (Vec::new(), 0);
-                }
-                let cz = cell % nc;
-                let cy = (cell / nc) % nc;
-                let cx = cell / (nc * nc);
-                // Gather the shared neighbor list from the 27 cells.
-                let mut nxs = Vec::new();
-                let mut nys = Vec::new();
-                let mut nzs = Vec::new();
-                let mut nms = Vec::new();
-                for dx in -1i64..=1 {
-                    for dy in -1i64..=1 {
-                        for dz in -1i64..=1 {
-                            let w = |c: usize, d: i64| -> usize {
-                                ((c as i64 + d).rem_euclid(nc as i64)) as usize
-                            };
-                            let nb = (w(cx, dx) * nc + w(cy, dy)) * nc + w(cz, dz);
-                            for &q in &bins[nb] {
-                                let q = q as usize;
-                                nxs.push(xs[q]);
-                                nys.push(ys[q]);
-                                nzs.push(zs[q]);
-                                nms.push(mass[q]);
-                            }
-                        }
-                    }
-                }
-                // On very coarse meshes (nc ≤ 2) the 27-cell stencil visits
-                // the same cell more than once; deduplicate by rebuilding
-                // from the unique neighbor cell set.
-                if nc <= 3 {
-                    nxs.clear();
-                    nys.clear();
-                    nzs.clear();
-                    nms.clear();
-                    let mut seen = vec![false; nc * nc * nc];
-                    for dx in -1i64..=1 {
-                        for dy in -1i64..=1 {
-                            for dz in -1i64..=1 {
-                                let w = |c: usize, d: i64| -> usize {
-                                    ((c as i64 + d).rem_euclid(nc as i64)) as usize
-                                };
-                                let nb = (w(cx, dx) * nc + w(cy, dy)) * nc + w(cz, dz);
-                                if !seen[nb] {
-                                    seen[nb] = true;
-                                    for &q in &bins[nb] {
-                                        let q = q as usize;
-                                        nxs.push(xs[q]);
-                                        nys.push(ys[q]);
-                                        nzs.push(zs[q]);
-                                        nms.push(mass[q]);
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-                let mut interactions = 0u64;
-                let mut out = Vec::with_capacity(targets.len());
-                for &t in targets {
-                    let t = t as usize;
-                    // Minimum-image shift of the neighbor list relative to
-                    // this target (kept simple: shift each neighbor).
-                    let mut f = [0.0f32; 3];
-                    for i in 0..nxs.len() {
-                        let mi = |d: f32| -> f32 {
-                            if d > half {
-                                d - self.box_len
-                            } else if d < -half {
-                                d + self.box_len
+        scratch.starts.clear();
+        scratch.starts.resize(ncells + 1, 0);
+        let mut acc = 0u32;
+        for (c, &n) in scratch.counts.iter().enumerate() {
+            scratch.starts[c] = acc;
+            acc += n;
+        }
+        scratch.starts[ncells] = acc;
+        scratch.cursor.clear();
+        scratch.cursor.extend_from_slice(&scratch.starts[..ncells]);
+        scratch.order.clear();
+        scratch.order.resize(np, 0);
+        for p in 0..np {
+            let cell = self.cell_of(xs[p], ys[p], zs[p]);
+            scratch.order[scratch.cursor[cell] as usize] = p as u32;
+            scratch.cursor[cell] += 1;
+        }
+
+        for o in out.iter_mut() {
+            o.clear();
+            o.resize(np, 0.0);
+        }
+        let fp = [
+            SyncF32Ptr(out[0].as_mut_ptr()),
+            SyncF32Ptr(out[1].as_mut_ptr()),
+            SyncF32Ptr(out[2].as_mut_ptr()),
+        ];
+        let inter = AtomicU64::new(0);
+        let P3mScratch {
+            starts, order, pool, ..
+        } = scratch;
+        // Reborrow shared: cell tasks contend on the pool lock, they do
+        // not need (and must not claim) the exclusive reference.
+        let pool: &Mutex<Vec<CellGather>> = pool;
+        (0..ncells).into_par_iter().for_each(|cell| {
+            let targets = &order[starts[cell] as usize..starts[cell + 1] as usize];
+            if targets.is_empty() {
+                return;
+            }
+            let mut g = pool
+                .lock()
+                .expect("p3m gather pool poisoned")
+                .pop()
+                .unwrap_or_default();
+            let cz = cell % nc;
+            let cy = (cell / nc) % nc;
+            let cx = cell / (nc * nc);
+            g.nx.clear();
+            g.ny.clear();
+            g.nz.clear();
+            g.nm.clear();
+            // 27-cell stencil with periodic shifts; on coarse meshes
+            // (nc < 3) several stencil entries alias the same (cell,
+            // shift) pair, so deduplicate the visited combinations.
+            let mut seen = [(usize::MAX, 0i8, 0i8, 0i8); 27];
+            let mut nseen = 0usize;
+            for dx in -1i64..=1 {
+                for dy in -1i64..=1 {
+                    for dz in -1i64..=1 {
+                        let wrap = |c: usize, d: i64| -> (usize, i8) {
+                            let raw = c as i64 + d;
+                            if raw < 0 {
+                                ((raw + nc as i64) as usize, -1)
+                            } else if raw >= nc as i64 {
+                                ((raw - nc as i64) as usize, 1)
                             } else {
-                                d
+                                (raw as usize, 0)
                             }
                         };
-                        let dx = mi(nxs[i] - xs[t]);
-                        let dy = mi(nys[i] - ys[t]);
-                        let dz = mi(nzs[i] - zs[t]);
-                        let s = dz.mul_add(dz, dy.mul_add(dy, dx * dx));
-                        let w = nms[i] * self.kernel.factor(s);
-                        f[0] = dx.mul_add(w, f[0]);
-                        f[1] = dy.mul_add(w, f[1]);
-                        f[2] = dz.mul_add(w, f[2]);
+                        let (wx, sx) = wrap(cx, dx);
+                        let (wy, sy) = wrap(cy, dy);
+                        let (wz, sz) = wrap(cz, dz);
+                        let nb = (wx * nc + wy) * nc + wz;
+                        let key = (nb, sx, sy, sz);
+                        if seen[..nseen].contains(&key) {
+                            continue;
+                        }
+                        seen[nseen] = key;
+                        nseen += 1;
+                        let (ox, oy, oz) =
+                            (f32::from(sx) * l, f32::from(sy) * l, f32::from(sz) * l);
+                        for &q in &order[starts[nb] as usize..starts[nb + 1] as usize] {
+                            let q = q as usize;
+                            g.nx.push(xs[q] + ox);
+                            g.ny.push(ys[q] + oy);
+                            g.nz.push(zs[q] + oz);
+                            g.nm.push(mass[q]);
+                        }
                     }
-                    interactions += nxs.len() as u64;
-                    out.push((t as u32, f));
                 }
-                (out, interactions)
-            })
-            .collect();
-
-        let mut fx = vec![0.0f32; np];
-        let mut fy = vec![0.0f32; np];
-        let mut fz = vec![0.0f32; np];
-        let mut total = 0u64;
-        for (chunk, inter) in result {
-            total += inter;
-            for (p, f) in chunk {
-                let p = p as usize;
-                fx[p] = f[0];
-                fy[p] = f[1];
-                fz[p] = f[2];
             }
-        }
-        ([fx, fy, fz], total)
+            let mut count = 0u64;
+            for &t in targets {
+                let t = t as usize;
+                let f =
+                    crate::simd::force_on_best(&self.kernel, xs[t], ys[t], zs[t], &g.nx, &g.ny, &g.nz, &g.nm);
+                count += g.nx.len() as u64;
+                // SAFETY: each particle belongs to exactly one chaining
+                // cell, cells are processed by disjoint tasks, and `t`
+                // indexes the length-`np` output buffers.
+                unsafe {
+                    *fp[0].0.add(t) = f[0];
+                    *fp[1].0.add(t) = f[1];
+                    *fp[2].0.add(t) = f[2];
+                }
+            }
+            inter.fetch_add(count, Ordering::Relaxed);
+            pool.lock().expect("p3m gather pool poisoned").push(g);
+        });
+        inter.load(Ordering::Relaxed)
     }
 
     /// Brute-force O(N²) reference with minimum-image convention.
@@ -219,6 +276,19 @@ impl P3mSolver {
         [fx, fy, fz]
     }
 }
+
+/// Pointer wrapper asserting cross-thread use is sound (each particle is
+/// owned by exactly one chaining cell, and cells are disjoint tasks).
+#[derive(Clone, Copy)]
+struct SyncF32Ptr(*mut f32);
+// SAFETY: the pointer names the caller's output buffers, which outlive
+// the scoped cell sweep, and each parallel task writes only the indices
+// of its own cell's particles (cells partition the particle set). The
+// wrapper only moves the pointer into rayon closures.
+unsafe impl Send for SyncF32Ptr {}
+// SAFETY: shared references only copy the pointer; dereferences happen
+// inside the unsafe block that proves per-cell disjointness.
+unsafe impl Sync for SyncF32Ptr {}
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,602 @@
+//! Explicit 8-lane SIMD force kernels with runtime dispatch.
+//!
+//! The paper's BG/Q kernel is hand-written QPX: 4-wide vectors, 2-fold
+//! unrolled, with the cutoff and self-interaction tests folded into the
+//! arithmetic as `fsel` selects so the inner loop is branch-free. This
+//! module is the x86 analogue:
+//!
+//! * an AVX2+FMA path written against `core::arch::x86_64` — 8 lanes of
+//!   `f32`, FMA Horner chain for the poly5, and the `fsel` idiom realized
+//!   as a compare → lane-mask → bitwise-AND (zero the force factor
+//!   outside `0 < s < r_cut²` without branching);
+//! * a portable fallback processing 8-wide accumulator blocks in plain
+//!   Rust (LLVM auto-vectorizes it for whatever the target offers).
+//!
+//! The path is chosen once per process by runtime feature detection
+//! ([`detect`]); both paths produce results equal to the scalar
+//! [`ForceKernel::force_on`] reference to f32 rounding (see the
+//! `simd_matches_scalar` tests).
+//!
+//! Two kernel shapes are exposed:
+//!
+//! * [`force_on_best`] — one-sided: force on a single target from a
+//!   pre-gathered source list (the shared-interaction-list shape);
+//! * [`eval_pair_rows`] / [`eval_self_rows`] — symmetric: each
+//!   target–source pair is evaluated **once**, accumulating `+f` on the
+//!   target and scattering `−f` onto the source (Newton's third law),
+//!   which is what the symmetric dual-tree walk feeds.
+
+use crate::kernel::ForceKernel;
+
+/// Which kernel implementation runtime detection selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// `core::arch::x86_64` AVX2 + FMA intrinsics.
+    Avx2Fma,
+    /// 8-lane blocked portable Rust (auto-vectorized).
+    Portable,
+}
+
+/// Detect the best available kernel path (cached after the first call).
+#[must_use]
+pub fn detect() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::atomic::{AtomicU8, Ordering};
+        static CACHED: AtomicU8 = AtomicU8::new(0);
+        match CACHED.load(Ordering::Relaxed) {
+            1 => SimdLevel::Avx2Fma,
+            2 => SimdLevel::Portable,
+            _ => {
+                let level = if std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+                {
+                    SimdLevel::Avx2Fma
+                } else {
+                    SimdLevel::Portable
+                };
+                CACHED.store(
+                    if level == SimdLevel::Avx2Fma { 1 } else { 2 },
+                    Ordering::Relaxed,
+                );
+                level
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        SimdLevel::Portable
+    }
+}
+
+/// One-sided force on a target from a gathered source list, via the
+/// fastest available kernel. Drop-in for [`ForceKernel::force_on`].
+#[inline]
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn force_on_best(
+    k: &ForceKernel,
+    tx: f32,
+    ty: f32,
+    tz: f32,
+    nx: &[f32],
+    ny: &[f32],
+    nz: &[f32],
+    nm: &[f32],
+) -> [f32; 3] {
+    debug_assert!(nx.len() == ny.len() && ny.len() == nz.len() && nz.len() == nm.len());
+    #[cfg(target_arch = "x86_64")]
+    if detect() == SimdLevel::Avx2Fma {
+        // SAFETY: `detect()` confirmed AVX2 and FMA are available on this
+        // CPU, which is exactly the target-feature set the callee enables.
+        return unsafe { avx2::row_one_sided(k, tx, ty, tz, nx, ny, nz, nm) };
+    }
+    k.force_on_blocked(tx, ty, tz, nx, ny, nz, nm)
+}
+
+/// Symmetric evaluation of leaf pair (targets `t*`, sources `s*`): for
+/// every (target, source) pair the kernel runs **once**; `+f` lands in
+/// the target accumulators `ft*`, `−f·m_t/m_s`-equivalent (the exact
+/// Newton-3 reaction) in the source accumulators `fs*`. Returns the
+/// number of kernel evaluations (`targets × sources`); each carries two
+/// directed interactions.
+#[allow(clippy::too_many_arguments)]
+pub fn eval_pair_rows(
+    k: &ForceKernel,
+    t: (&[f32], &[f32], &[f32], &[f32]),
+    s: (&[f32], &[f32], &[f32], &[f32]),
+    ft: (&mut [f32], &mut [f32], &mut [f32]),
+    fs: (&mut [f32], &mut [f32], &mut [f32]),
+) -> u64 {
+    let (txs, tys, tzs, tms) = t;
+    let (sxs, sys, szs, sms) = s;
+    let (ftx, fty, ftz) = ft;
+    let (fsx, fsy, fsz) = fs;
+    let use_avx2 = detect() == SimdLevel::Avx2Fma;
+    for i in 0..txs.len() {
+        #[cfg(target_arch = "x86_64")]
+        let f = if use_avx2 {
+            // SAFETY: `detect()` confirmed AVX2+FMA, the callee's enabled
+            // target-feature set.
+            unsafe {
+                avx2::row_symmetric(
+                    k, txs[i], tys[i], tzs[i], tms[i], sxs, sys, szs, sms, fsx, fsy, fsz,
+                )
+            }
+        } else {
+            row_symmetric_portable(
+                k, txs[i], tys[i], tzs[i], tms[i], sxs, sys, szs, sms, fsx, fsy, fsz,
+            )
+        };
+        #[cfg(not(target_arch = "x86_64"))]
+        let f = {
+            let _ = use_avx2;
+            row_symmetric_portable(
+                k, txs[i], tys[i], tzs[i], tms[i], sxs, sys, szs, sms, fsx, fsy, fsz,
+            )
+        };
+        ftx[i] += f[0];
+        fty[i] += f[1];
+        ftz[i] += f[2];
+    }
+    (txs.len() * sxs.len()) as u64
+}
+
+/// Symmetric evaluation *within* one leaf: the strict upper triangle
+/// (`i < j`) is evaluated once per pair, `+f` on `i`, reaction on `j`.
+/// Returns kernel evaluations (`n·(n−1)/2`), two directed interactions
+/// each.
+#[allow(clippy::too_many_arguments)] // four SoA inputs + three accumulators
+pub fn eval_self_rows(
+    k: &ForceKernel,
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    ms: &[f32],
+    fx: &mut [f32],
+    fy: &mut [f32],
+    fz: &mut [f32],
+) -> u64 {
+    let n = xs.len();
+    let use_avx2 = detect() == SimdLevel::Avx2Fma;
+    for i in 0..n {
+        let (sx, sy, sz, sm) = (&xs[i + 1..], &ys[i + 1..], &zs[i + 1..], &ms[i + 1..]);
+        let (fxl, fxr) = fx.split_at_mut(i + 1);
+        let (fyl, fyr) = fy.split_at_mut(i + 1);
+        let (fzl, fzr) = fz.split_at_mut(i + 1);
+        #[cfg(target_arch = "x86_64")]
+        let f = if use_avx2 {
+            // SAFETY: `detect()` confirmed AVX2+FMA, the callee's enabled
+            // target-feature set.
+            unsafe {
+                avx2::row_symmetric(k, xs[i], ys[i], zs[i], ms[i], sx, sy, sz, sm, fxr, fyr, fzr)
+            }
+        } else {
+            row_symmetric_portable(k, xs[i], ys[i], zs[i], ms[i], sx, sy, sz, sm, fxr, fyr, fzr)
+        };
+        #[cfg(not(target_arch = "x86_64"))]
+        let f = {
+            let _ = use_avx2;
+            row_symmetric_portable(k, xs[i], ys[i], zs[i], ms[i], sx, sy, sz, sm, fxr, fyr, fzr)
+        };
+        fxl[i] += f[0];
+        fyl[i] += f[1];
+        fzl[i] += f[2];
+    }
+    (n * n.saturating_sub(1) / 2) as u64
+}
+
+/// Portable symmetric row: one target against a source slice with 8-lane
+/// accumulator blocking; reaction forces are scattered into `fs*`.
+#[allow(clippy::too_many_arguments)]
+fn row_symmetric_portable(
+    k: &ForceKernel,
+    tx: f32,
+    ty: f32,
+    tz: f32,
+    tm: f32,
+    sx: &[f32],
+    sy: &[f32],
+    sz: &[f32],
+    sm: &[f32],
+    fsx: &mut [f32],
+    fsy: &mut [f32],
+    fsz: &mut [f32],
+) -> [f32; 3] {
+    const LANES: usize = 8;
+    let n = sx.len();
+    let mut ax = [0.0f32; LANES];
+    let mut ay = [0.0f32; LANES];
+    let mut az = [0.0f32; LANES];
+    let blocks = n / LANES;
+    for b in 0..blocks {
+        let base = b * LANES;
+        for l in 0..LANES {
+            let j = base + l;
+            let dx = sx[j] - tx;
+            let dy = sy[j] - ty;
+            let dz = sz[j] - tz;
+            let s = dz.mul_add(dz, dy.mul_add(dy, dx * dx));
+            let g = k.factor(s);
+            let wt = sm[j] * g;
+            ax[l] = dx.mul_add(wt, ax[l]);
+            ay[l] = dy.mul_add(wt, ay[l]);
+            az[l] = dz.mul_add(wt, az[l]);
+            let ws = tm * g;
+            fsx[j] = dx.mul_add(-ws, fsx[j]);
+            fsy[j] = dy.mul_add(-ws, fsy[j]);
+            fsz[j] = dz.mul_add(-ws, fsz[j]);
+        }
+    }
+    let mut fx: f32 = ax.iter().sum();
+    let mut fy: f32 = ay.iter().sum();
+    let mut fz: f32 = az.iter().sum();
+    for j in blocks * LANES..n {
+        let dx = sx[j] - tx;
+        let dy = sy[j] - ty;
+        let dz = sz[j] - tz;
+        let s = dz.mul_add(dz, dy.mul_add(dy, dx * dx));
+        let g = k.factor(s);
+        let wt = sm[j] * g;
+        fx = dx.mul_add(wt, fx);
+        fy = dy.mul_add(wt, fy);
+        fz = dz.mul_add(wt, fz);
+        let ws = tm * g;
+        fsx[j] = dx.mul_add(-ws, fsx[j]);
+        fsy[j] = dy.mul_add(-ws, fsy[j]);
+        fsz[j] = dz.mul_add(-ws, fsz[j]);
+    }
+    [fx, fy, fz]
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! AVX2+FMA kernels. Every function here is `#[target_feature(enable
+    //! = "avx2,fma")]`: intrinsic calls inside are safe (the feature is
+    //! statically enabled for the function body), while *calling* these
+    //! functions is unsafe unless the caller proves the CPU support —
+    //! which [`super::detect`] does once per process.
+
+    use core::arch::x86_64::{
+        _mm256_add_ps, _mm256_and_ps, _mm256_cmp_ps, _mm256_div_ps, _mm256_fmadd_ps,
+        _mm256_fnmadd_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_setzero_ps,
+        _mm256_sqrt_ps, _mm256_storeu_ps, _mm256_sub_ps, _CMP_GT_OQ, _CMP_LT_OQ,
+    };
+
+    use crate::kernel::ForceKernel;
+
+    const LANES: usize = 8;
+
+    /// One-sided AVX2 row: force on one target from `n` sources.
+    ///
+    /// The cutoff/self-interaction select is the `fsel` idiom: two
+    /// ordered compares produce lane masks, the AND of which zeroes the
+    /// force factor lanes outside `0 < s < r_cut²` with no branch.
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub fn row_one_sided(
+        k: &ForceKernel,
+        tx: f32,
+        ty: f32,
+        tz: f32,
+        sx: &[f32],
+        sy: &[f32],
+        sz: &[f32],
+        sm: &[f32],
+    ) -> [f32; 3] {
+        let n = sx.len();
+        debug_assert!(sy.len() == n && sz.len() == n && sm.len() == n);
+        let txv = _mm256_set1_ps(tx);
+        let tyv = _mm256_set1_ps(ty);
+        let tzv = _mm256_set1_ps(tz);
+        let epsv = _mm256_set1_ps(k.eps);
+        let rc2v = _mm256_set1_ps(k.rcut2);
+        let zero = _mm256_setzero_ps();
+        let one = _mm256_set1_ps(1.0);
+        let c = k.coeffs;
+        let (c0, c1, c2) = (_mm256_set1_ps(c[0]), _mm256_set1_ps(c[1]), _mm256_set1_ps(c[2]));
+        let (c3, c4, c5) = (_mm256_set1_ps(c[3]), _mm256_set1_ps(c[4]), _mm256_set1_ps(c[5]));
+        let mut accx = zero;
+        let mut accy = zero;
+        let mut accz = zero;
+        let blocks = n / LANES;
+        for b in 0..blocks {
+            let j = b * LANES;
+            // SAFETY: `j + 8 <= n` and all four slices have length `n`
+            // (asserted above), so each unaligned 8-float load reads
+            // in-bounds memory.
+            let (sxv, syv, szv, smv) = unsafe {
+                (
+                    _mm256_loadu_ps(sx.as_ptr().add(j)),
+                    _mm256_loadu_ps(sy.as_ptr().add(j)),
+                    _mm256_loadu_ps(sz.as_ptr().add(j)),
+                    _mm256_loadu_ps(sm.as_ptr().add(j)),
+                )
+            };
+            let dx = _mm256_sub_ps(sxv, txv);
+            let dy = _mm256_sub_ps(syv, tyv);
+            let dz = _mm256_sub_ps(szv, tzv);
+            let s = _mm256_fmadd_ps(dz, dz, _mm256_fmadd_ps(dy, dy, _mm256_mul_ps(dx, dx)));
+            let inv = _mm256_div_ps(one, _mm256_sqrt_ps(_mm256_add_ps(s, epsv)));
+            let inv3 = _mm256_mul_ps(_mm256_mul_ps(inv, inv), inv);
+            let mut p = c5;
+            p = _mm256_fmadd_ps(p, s, c4);
+            p = _mm256_fmadd_ps(p, s, c3);
+            p = _mm256_fmadd_ps(p, s, c2);
+            p = _mm256_fmadd_ps(p, s, c1);
+            p = _mm256_fmadd_ps(p, s, c0);
+            let g = _mm256_sub_ps(inv3, p);
+            // Branch-free `fsel`: mask lanes with s ∉ (0, rcut²) to zero.
+            let mask = _mm256_and_ps(
+                _mm256_cmp_ps::<_CMP_GT_OQ>(s, zero),
+                _mm256_cmp_ps::<_CMP_LT_OQ>(s, rc2v),
+            );
+            let g = _mm256_and_ps(g, mask);
+            let wt = _mm256_mul_ps(smv, g);
+            accx = _mm256_fmadd_ps(dx, wt, accx);
+            accy = _mm256_fmadd_ps(dy, wt, accy);
+            accz = _mm256_fmadd_ps(dz, wt, accz);
+        }
+        let mut out = [hsum(accx), hsum(accy), hsum(accz)];
+        for j in blocks * LANES..n {
+            let dx = sx[j] - tx;
+            let dy = sy[j] - ty;
+            let dz = sz[j] - tz;
+            let s = dz.mul_add(dz, dy.mul_add(dy, dx * dx));
+            let w = sm[j] * k.factor(s);
+            out[0] = dx.mul_add(w, out[0]);
+            out[1] = dy.mul_add(w, out[1]);
+            out[2] = dz.mul_add(w, out[2]);
+        }
+        out
+    }
+
+    /// Symmetric AVX2 row: like [`row_one_sided`] but each evaluated pair
+    /// also scatters the Newton-3 reaction `−m_t·g·d` into the source
+    /// accumulators `fs*` (8-lane read–modify–write).
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub fn row_symmetric(
+        k: &ForceKernel,
+        tx: f32,
+        ty: f32,
+        tz: f32,
+        tm: f32,
+        sx: &[f32],
+        sy: &[f32],
+        sz: &[f32],
+        sm: &[f32],
+        fsx: &mut [f32],
+        fsy: &mut [f32],
+        fsz: &mut [f32],
+    ) -> [f32; 3] {
+        let n = sx.len();
+        debug_assert!(sy.len() == n && sz.len() == n && sm.len() == n);
+        debug_assert!(fsx.len() >= n && fsy.len() >= n && fsz.len() >= n);
+        let txv = _mm256_set1_ps(tx);
+        let tyv = _mm256_set1_ps(ty);
+        let tzv = _mm256_set1_ps(tz);
+        let tmv = _mm256_set1_ps(tm);
+        let epsv = _mm256_set1_ps(k.eps);
+        let rc2v = _mm256_set1_ps(k.rcut2);
+        let zero = _mm256_setzero_ps();
+        let one = _mm256_set1_ps(1.0);
+        let c = k.coeffs;
+        let (c0, c1, c2) = (_mm256_set1_ps(c[0]), _mm256_set1_ps(c[1]), _mm256_set1_ps(c[2]));
+        let (c3, c4, c5) = (_mm256_set1_ps(c[3]), _mm256_set1_ps(c[4]), _mm256_set1_ps(c[5]));
+        let mut accx = zero;
+        let mut accy = zero;
+        let mut accz = zero;
+        let blocks = n / LANES;
+        for b in 0..blocks {
+            let j = b * LANES;
+            // SAFETY: `j + 8 <= n` and all source slices have length `n`
+            // (asserted above), so each unaligned 8-float load reads
+            // in-bounds memory.
+            let (sxv, syv, szv, smv) = unsafe {
+                (
+                    _mm256_loadu_ps(sx.as_ptr().add(j)),
+                    _mm256_loadu_ps(sy.as_ptr().add(j)),
+                    _mm256_loadu_ps(sz.as_ptr().add(j)),
+                    _mm256_loadu_ps(sm.as_ptr().add(j)),
+                )
+            };
+            let dx = _mm256_sub_ps(sxv, txv);
+            let dy = _mm256_sub_ps(syv, tyv);
+            let dz = _mm256_sub_ps(szv, tzv);
+            let s = _mm256_fmadd_ps(dz, dz, _mm256_fmadd_ps(dy, dy, _mm256_mul_ps(dx, dx)));
+            let inv = _mm256_div_ps(one, _mm256_sqrt_ps(_mm256_add_ps(s, epsv)));
+            let inv3 = _mm256_mul_ps(_mm256_mul_ps(inv, inv), inv);
+            let mut p = c5;
+            p = _mm256_fmadd_ps(p, s, c4);
+            p = _mm256_fmadd_ps(p, s, c3);
+            p = _mm256_fmadd_ps(p, s, c2);
+            p = _mm256_fmadd_ps(p, s, c1);
+            p = _mm256_fmadd_ps(p, s, c0);
+            let g = _mm256_sub_ps(inv3, p);
+            let mask = _mm256_and_ps(
+                _mm256_cmp_ps::<_CMP_GT_OQ>(s, zero),
+                _mm256_cmp_ps::<_CMP_LT_OQ>(s, rc2v),
+            );
+            let g = _mm256_and_ps(g, mask);
+            let wt = _mm256_mul_ps(smv, g);
+            accx = _mm256_fmadd_ps(dx, wt, accx);
+            accy = _mm256_fmadd_ps(dy, wt, accy);
+            accz = _mm256_fmadd_ps(dz, wt, accz);
+            let ws = _mm256_mul_ps(tmv, g);
+            // SAFETY: `j + 8 <= n ≤ fs*.len()` (asserted above), so the
+            // 8-float read–modify–write stays in-bounds; `fs*` are
+            // exclusive borrows so no aliasing.
+            unsafe {
+                let fxv = _mm256_loadu_ps(fsx.as_ptr().add(j));
+                _mm256_storeu_ps(fsx.as_mut_ptr().add(j), _mm256_fnmadd_ps(dx, ws, fxv));
+                let fyv = _mm256_loadu_ps(fsy.as_ptr().add(j));
+                _mm256_storeu_ps(fsy.as_mut_ptr().add(j), _mm256_fnmadd_ps(dy, ws, fyv));
+                let fzv = _mm256_loadu_ps(fsz.as_ptr().add(j));
+                _mm256_storeu_ps(fsz.as_mut_ptr().add(j), _mm256_fnmadd_ps(dz, ws, fzv));
+            }
+        }
+        let mut out = [hsum(accx), hsum(accy), hsum(accz)];
+        for j in blocks * LANES..n {
+            let dx = sx[j] - tx;
+            let dy = sy[j] - ty;
+            let dz = sz[j] - tz;
+            let s = dz.mul_add(dz, dy.mul_add(dy, dx * dx));
+            let g = k.factor(s);
+            let wt = sm[j] * g;
+            out[0] = dx.mul_add(wt, out[0]);
+            out[1] = dy.mul_add(wt, out[1]);
+            out[2] = dz.mul_add(wt, out[2]);
+            let ws = tm * g;
+            fsx[j] = dx.mul_add(-ws, fsx[j]);
+            fsy[j] = dy.mul_add(-ws, fsy[j]);
+            fsz[j] = dz.mul_add(-ws, fsz[j]);
+        }
+        out
+    }
+
+    /// Horizontal sum of 8 lanes in a fixed (lane-index) order, so the
+    /// result is deterministic and matches the portable path's block
+    /// reduction structure.
+    #[target_feature(enable = "avx2,fma")]
+    fn hsum(v: core::arch::x86_64::__m256) -> f32 {
+        let mut lanes = [0.0f32; LANES];
+        // SAFETY: `lanes` is exactly 8 f32s, matching the 256-bit store.
+        unsafe { _mm256_storeu_ps(lanes.as_mut_ptr(), v) };
+        lanes.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel() -> ForceKernel {
+        ForceKernel::new([0.1, -0.02, 0.003, -0.0004, 0.00005, -0.000006], 3.0, 1e-5)
+    }
+
+    fn rand_sources(n: usize, seed: u64) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) as f32 * 4.0 - 2.0
+        };
+        let xs: Vec<f32> = (0..n).map(|_| next()).collect();
+        let ys: Vec<f32> = (0..n).map(|_| next()).collect();
+        let zs: Vec<f32> = (0..n).map(|_| next()).collect();
+        let ms: Vec<f32> = (0..n).map(|_| next().abs() + 0.5).collect();
+        (xs, ys, zs, ms)
+    }
+
+    #[test]
+    fn detection_is_stable() {
+        assert_eq!(detect(), detect());
+    }
+
+    #[test]
+    fn simd_matches_scalar_one_sided() {
+        let k = kernel();
+        for n in [0usize, 1, 7, 8, 9, 16, 100, 129] {
+            let (xs, ys, zs, ms) = rand_sources(n, 40 + n as u64);
+            let a = k.force_on(0.1, -0.2, 0.3, &xs, &ys, &zs, &ms);
+            let b = force_on_best(&k, 0.1, -0.2, 0.3, &xs, &ys, &zs, &ms);
+            for c in 0..3 {
+                let tol = 2e-4 * (a[c].abs() + 1.0);
+                assert!((a[c] - b[c]).abs() < tol, "n={n} c={c}: {} vs {}", a[c], b[c]);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_pair_matches_two_one_sided_passes() {
+        let k = kernel();
+        for (na, nb) in [(1usize, 1usize), (3, 17), (24, 24), (40, 9)] {
+            let (ax, ay, az, am) = rand_sources(na, 7 + na as u64);
+            let (bx, by, bz, bm) = rand_sources(nb, 1000 + nb as u64);
+            let mut fa = (vec![0.0f32; na], vec![0.0f32; na], vec![0.0f32; na]);
+            let mut fb = (vec![0.0f32; nb], vec![0.0f32; nb], vec![0.0f32; nb]);
+            let evals = eval_pair_rows(
+                &k,
+                (&ax, &ay, &az, &am),
+                (&bx, &by, &bz, &bm),
+                (&mut fa.0, &mut fa.1, &mut fa.2),
+                (&mut fb.0, &mut fb.1, &mut fb.2),
+            );
+            assert_eq!(evals, (na * nb) as u64);
+            // Reference: two independent one-sided passes.
+            for i in 0..na {
+                let w = k.force_on(ax[i], ay[i], az[i], &bx, &by, &bz, &bm);
+                for (c, fac) in [&fa.0, &fa.1, &fa.2].iter().enumerate() {
+                    let tol = 2e-4 * (w[c].abs() + 1.0);
+                    assert!((fac[i] - w[c]).abs() < tol, "target {i} c={c}");
+                }
+            }
+            for j in 0..nb {
+                let w = k.force_on(bx[j], by[j], bz[j], &ax, &ay, &az, &am);
+                for (c, fbc) in [&fb.0, &fb.1, &fb.2].iter().enumerate() {
+                    let tol = 2e-4 * (w[c].abs() + 1.0);
+                    assert!((fbc[j] - w[c]).abs() < tol, "source {j} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_self_matches_one_sided_pass() {
+        let k = kernel();
+        for n in [0usize, 1, 2, 9, 31, 64] {
+            let (xs, ys, zs, ms) = rand_sources(n, 99 + n as u64);
+            let mut fx = vec![0.0f32; n];
+            let mut fy = vec![0.0f32; n];
+            let mut fz = vec![0.0f32; n];
+            let evals = eval_self_rows(&k, &xs, &ys, &zs, &ms, &mut fx, &mut fy, &mut fz);
+            assert_eq!(evals, (n * n.saturating_sub(1) / 2) as u64);
+            for i in 0..n {
+                let w = k.force_on(xs[i], ys[i], zs[i], &xs, &ys, &zs, &ms);
+                for (c, fc) in [&fx, &fy, &fz].iter().enumerate() {
+                    let tol = 3e-4 * (w[c].abs() + 1.0);
+                    assert!((fc[i] - w[c]).abs() < tol, "n={n} i={i} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_pair_conserves_momentum_exactly_per_component() {
+        // Unit masses: target accumulation and source reaction use the
+        // same `g·d` products, so Σf over both sides cancels to f32
+        // rounding of the summation order.
+        let k = ForceKernel::newtonian(3.0, 1e-5);
+        let (ax, ay, az, _) = rand_sources(33, 5);
+        let (bx, by, bz, _) = rand_sources(21, 6);
+        let ones_a = vec![1.0f32; 33];
+        let ones_b = vec![1.0f32; 21];
+        let mut fa = (vec![0.0f32; 33], vec![0.0f32; 33], vec![0.0f32; 33]);
+        let mut fb = (vec![0.0f32; 21], vec![0.0f32; 21], vec![0.0f32; 21]);
+        eval_pair_rows(
+            &k,
+            (&ax, &ay, &az, &ones_a),
+            (&bx, &by, &bz, &ones_b),
+            (&mut fa.0, &mut fa.1, &mut fa.2),
+            (&mut fb.0, &mut fb.1, &mut fb.2),
+        );
+        for (c, (fac, fbc)) in [(&fa.0, &fb.0), (&fa.1, &fb.1), (&fa.2, &fb.2)]
+            .iter()
+            .enumerate()
+        {
+            let total: f64 = fac
+                .iter()
+                .chain(fbc.iter())
+                .map(|&v| f64::from(v))
+                .sum();
+            let mag: f64 = fac
+                .iter()
+                .chain(fbc.iter())
+                .map(|&v| f64::from(v.abs()))
+                .sum();
+            assert!(total.abs() < 1e-5 * mag.max(1.0), "c={c}: Σf = {total}");
+        }
+    }
+}

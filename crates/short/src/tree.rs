@@ -19,13 +19,36 @@
 //! Forces have finite range `r_cut` (everything longer-range belongs to
 //! the PM solver), so interaction lists are exact: all particles in leaves
 //! intersecting the target leaf's bounding box inflated by `r_cut`.
+//!
+//! Two evaluation strategies are provided:
+//!
+//! * [`RcbTree::forces_into`] — the original one-sided walk: every leaf
+//!   gathers its shared interaction list and each of its particles is
+//!   evaluated against the full list. Kept as the reference path.
+//! * [`RcbTree::forces_symmetric_into`] — the symmetric dual-tree walk:
+//!   each interacting *leaf pair* is emitted once and evaluated with a
+//!   pair kernel that accumulates `+f` on targets and the Newton-3
+//!   reaction `−f` on sources, halving kernel evaluations. Accumulation
+//!   uses a fixed set of chunk-owned force buffers reduced in a fixed
+//!   order, so results are race-free and bit-reproducible regardless of
+//!   how rayon schedules the chunks.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
 
 use crate::kernel::ForceKernel;
+use crate::simd;
+
+/// Fixed number of pair-list chunks for the symmetric walk. Each chunk
+/// owns its own full-length force accumulator and processes a contiguous,
+/// cost-balanced range of the pair list; the serial reduction over chunks
+/// runs in index order. Chunk→buffer assignment is positional (not
+/// per-thread), which is what makes the result independent of rayon's
+/// work-stealing schedule.
+const PAIR_CHUNKS: usize = 16;
 
 /// Per-worker gather buffers for one interaction-list walk.
 #[derive(Default)]
@@ -81,6 +104,15 @@ pub struct TreeScratch {
     /// Forces in tree (permuted) order, scattered to input order at the
     /// end of a pass.
     ftree: [Vec<f32>; 3],
+    /// Symmetric walk: interacting leaf-pair list (node indices, first ≤
+    /// second in tree order).
+    pairs: Vec<(u32, u32)>,
+    /// Symmetric walk: contiguous pair-index ranges, one per chunk.
+    chunk_ranges: Vec<(u32, u32)>,
+    /// Symmetric walk: chunk-owned force accumulators (tree order).
+    chunk_bufs: Vec<[Vec<f32>; 3]>,
+    /// Symmetric walk: node stack for pair generation.
+    stack: Vec<usize>,
 }
 
 /// Tree tuning parameters.
@@ -130,6 +162,10 @@ pub struct RcbTree {
     perm: Vec<u32>,
     leaves: Vec<usize>,
     params: TreeParams,
+    /// Incremented by every [`RcbTree::rebuild`] (not by position
+    /// refreshes), so callers can tell whether a cached companion
+    /// structure still matches this tree's topology.
+    generation: u64,
 }
 
 impl RcbTree {
@@ -160,6 +196,7 @@ impl RcbTree {
             perm: Vec::new(),
             leaves: Vec::new(),
             params,
+            generation: 0,
         }
     }
 
@@ -188,9 +225,38 @@ impl RcbTree {
         self.mass.extend_from_slice(mass);
         self.perm.clear();
         self.perm.extend(0..np as u32);
+        self.generation += 1;
         if np > 0 {
             let root = self.make_node(0, np);
             self.split(root, &mut scratch.swaps);
+        }
+    }
+
+    /// Rebuild counter — bumped by [`RcbTree::rebuild`] only, never by
+    /// [`RcbTree::refresh_positions`].
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Update the permuted particle coordinates *without* re-partitioning
+    /// or recomputing bounding boxes — the Verlet-skin refresh.
+    ///
+    /// The topology (leaf membership, node boxes) stays frozen at its
+    /// build-time state, so interaction lists generated with a `slack`
+    /// margin remain a superset of the true `r_cut` neighborhood as long
+    /// as no particle has moved more than `slack / 2` since the build
+    /// (the kernel's own cutoff select keeps the evaluated forces exact
+    /// regardless). Callers must track drift and rebuild once that bound
+    /// is exceeded.
+    pub fn refresh_positions(&mut self, xs: &[f32], ys: &[f32], zs: &[f32]) {
+        let np = self.perm.len();
+        assert!(xs.len() == np && ys.len() == np && zs.len() == np);
+        for (i, &orig) in self.perm.iter().enumerate() {
+            let o = orig as usize;
+            self.xs[i] = xs[o];
+            self.ys[i] = ys[o];
+            self.zs[i] = zs[o];
         }
     }
 
@@ -446,7 +512,8 @@ impl RcbTree {
                 let t1 = std::time::Instant::now();
                 let mut count = 0u64;
                 for t in node.start..node.end {
-                    let f = kernel.force_on(
+                    let f = simd::force_on_best(
+                        kernel,
                         self.xs[t],
                         self.ys[t],
                         self.zs[t],
@@ -481,6 +548,232 @@ impl RcbTree {
         )
     }
 
+    /// Convenience wrapper over [`RcbTree::forces_symmetric_into`] with
+    /// fresh scratch and no skin slack; returns (forces in input order,
+    /// directed interaction count).
+    #[must_use]
+    pub fn forces_symmetric(&self, kernel: &ForceKernel) -> ([Vec<f32>; 3], u64) {
+        let mut scratch = TreeScratch::default();
+        let mut out = [Vec::new(), Vec::new(), Vec::new()];
+        let rep = self.forces_symmetric_into(kernel, 0.0, &mut scratch, &mut out);
+        (out, rep.directed)
+    }
+
+    /// Symmetric dual-tree force evaluation.
+    ///
+    /// Emits each interacting leaf pair **once** (including each leaf's
+    /// self pair), then evaluates every pair with a kernel that
+    /// accumulates `+f` on the targets and the Newton-3 reaction `−f` on
+    /// the sources — one kernel evaluation per particle pair instead of
+    /// the one-sided walk's two. Within a leaf only the strict upper
+    /// triangle is evaluated.
+    ///
+    /// `slack` widens the leaf-pair acceptance test to
+    /// `(r_cut + slack)²` at *build-time* bounding boxes. With `slack =
+    /// 0` and unmoved particles this selects exactly the one-sided walk's
+    /// pair coverage; a positive slack makes the pair list a valid
+    /// superset for any particle configuration in which no particle has
+    /// drifted more than `slack / 2` from its build-time position (see
+    /// [`RcbTree::refresh_positions`]) — the kernel's own cutoff select
+    /// zeroes pairs beyond `r_cut`, so forces stay exact.
+    ///
+    /// Race-freedom and reproducibility: the pair list is split into at
+    /// most [`PAIR_CHUNKS`] contiguous cost-balanced ranges; chunk `i`
+    /// always accumulates into scratch buffer `i`, and the final
+    /// reduction sums buffers in index order. The result is bit-identical
+    /// for a given tree no matter how rayon schedules the chunks.
+    ///
+    /// Forces land in `out` in the original input ordering.
+    pub fn forces_symmetric_into(
+        &self,
+        kernel: &ForceKernel,
+        slack: f32,
+        scratch: &mut TreeScratch,
+        out: &mut [Vec<f32>; 3],
+    ) -> SymmetricReport {
+        let np = self.xs.len();
+        let TreeScratch {
+            ftree,
+            pairs,
+            chunk_ranges,
+            chunk_bufs,
+            stack,
+            ..
+        } = scratch;
+
+        // Phase 1 (walk): emit interacting leaf pairs, deterministically
+        // ordered by the first leaf's tree rank. For leaf `a`, partner
+        // subtrees lying entirely before `a` are pruned (`end ≤ a.start`);
+        // the pair (earlier, later) is therefore emitted exactly once,
+        // from the earlier side.
+        let t0 = Instant::now();
+        // With no slack, use the kernel's rcut² verbatim so the pair set
+        // is bit-for-bit the one-sided walk's coverage.
+        let reach2 = if slack > 0.0 {
+            let reach = kernel.rcut2.sqrt() + slack;
+            reach * reach
+        } else {
+            kernel.rcut2
+        };
+        pairs.clear();
+        for &leaf in &self.leaves {
+            let la = &self.nodes[leaf];
+            stack.clear();
+            if !self.nodes.is_empty() {
+                stack.push(0);
+            }
+            while let Some(n) = stack.pop() {
+                let node = &self.nodes[n];
+                if node.end <= la.start
+                    || Self::box_dist2(&la.lo, &la.hi, &node.lo, &node.hi) > reach2
+                {
+                    continue;
+                }
+                if node.is_leaf() {
+                    pairs.push((leaf as u32, n as u32));
+                } else {
+                    stack.push(node.left);
+                    stack.push(node.right);
+                }
+            }
+        }
+
+        // Cost-balanced contiguous chunking of the pair list. Pair cost =
+        // kernel evaluations it performs.
+        let cost = |&(a, b): &(u32, u32)| -> u64 {
+            let na = (self.nodes[a as usize].end - self.nodes[a as usize].start) as u64;
+            if a == b {
+                na * na.saturating_sub(1) / 2
+            } else {
+                let nb = (self.nodes[b as usize].end - self.nodes[b as usize].start) as u64;
+                na * nb
+            }
+        };
+        let mut evals = 0u64;
+        let mut directed = 0u64;
+        for p in pairs.iter() {
+            let c = cost(p);
+            evals += c;
+            directed += 2 * c;
+        }
+        let nchunks = PAIR_CHUNKS.min(pairs.len()).max(1);
+        let target = evals / nchunks as u64 + 1;
+        chunk_ranges.clear();
+        let mut acc = 0u64;
+        let mut start = 0usize;
+        for (i, p) in pairs.iter().enumerate() {
+            acc += cost(p);
+            if acc >= target && chunk_ranges.len() + 1 < nchunks {
+                chunk_ranges.push((start as u32, (i + 1) as u32));
+                start = i + 1;
+                acc = 0;
+            }
+        }
+        chunk_ranges.push((start as u32, pairs.len() as u32));
+        let walk = t0.elapsed();
+
+        // Phase 2 (kernel): each chunk accumulates into its own
+        // full-length buffer; disjoint buffers make the writes race-free.
+        if chunk_bufs.len() < chunk_ranges.len() {
+            chunk_bufs.resize_with(chunk_ranges.len(), Default::default);
+        }
+        let used = chunk_ranges.len();
+        for buf in chunk_bufs[..used].iter_mut() {
+            for c in buf.iter_mut() {
+                c.clear();
+                c.resize(np, 0.0);
+            }
+        }
+        let kernel_ns = AtomicU64::new(0);
+        chunk_bufs[..used]
+            .par_iter_mut()
+            .zip(chunk_ranges.par_iter())
+            .for_each(|(buf, &(p0, p1))| {
+                let tk = Instant::now();
+                for &(la, lb) in &pairs[p0 as usize..p1 as usize] {
+                    self.eval_pair(kernel, la as usize, lb as usize, buf);
+                }
+                kernel_ns.fetch_add(tk.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            });
+
+        // Deterministic reduction in fixed chunk order, then scatter from
+        // tree order back to the original input ordering.
+        for f in ftree.iter_mut() {
+            f.clear();
+            f.resize(np, 0.0);
+        }
+        for buf in chunk_bufs[..used].iter() {
+            for (acc, part) in ftree.iter_mut().zip(buf.iter()) {
+                for (a, &p) in acc.iter_mut().zip(part.iter()) {
+                    *a += p;
+                }
+            }
+        }
+        for c in 0..3 {
+            out[c].resize(np, 0.0);
+            for (i, &orig) in self.perm.iter().enumerate() {
+                out[c][orig as usize] = ftree[c][i];
+            }
+        }
+        SymmetricReport {
+            evals,
+            directed,
+            walk,
+            kernel: Duration::from_nanos(kernel_ns.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Evaluate one leaf pair symmetrically into a chunk buffer (tree
+    /// order). For a cross pair the earlier leaf's particles are the
+    /// targets and the later leaf's the sources; a self pair runs the
+    /// strict upper triangle.
+    fn eval_pair(&self, kernel: &ForceKernel, la: usize, lb: usize, buf: &mut [Vec<f32>; 3]) {
+        let a = &self.nodes[la];
+        let t = (
+            &self.xs[a.start..a.end],
+            &self.ys[a.start..a.end],
+            &self.zs[a.start..a.end],
+            &self.mass[a.start..a.end],
+        );
+        let [bx, by, bz] = buf;
+        if la == lb {
+            simd::eval_self_rows(
+                kernel,
+                t.0,
+                t.1,
+                t.2,
+                t.3,
+                &mut bx[a.start..a.end],
+                &mut by[a.start..a.end],
+                &mut bz[a.start..a.end],
+            );
+            return;
+        }
+        let b = &self.nodes[lb];
+        debug_assert!(a.end <= b.start, "pairs must be tree-ordered");
+        let s = (
+            &self.xs[b.start..b.end],
+            &self.ys[b.start..b.end],
+            &self.zs[b.start..b.end],
+            &self.mass[b.start..b.end],
+        );
+        let nb = b.end - b.start;
+        let (fx0, fx1) = bx.split_at_mut(b.start);
+        let (fy0, fy1) = by.split_at_mut(b.start);
+        let (fz0, fz1) = bz.split_at_mut(b.start);
+        simd::eval_pair_rows(
+            kernel,
+            (t.0, t.1, t.2, t.3),
+            (s.0, s.1, s.2, s.3),
+            (
+                &mut fx0[a.start..a.end],
+                &mut fy0[a.start..a.end],
+                &mut fz0[a.start..a.end],
+            ),
+            (&mut fx1[..nb], &mut fy1[..nb], &mut fz1[..nb]),
+        );
+    }
+
     /// Mean shared-interaction-list length over leaves (the x-axis of
     /// Fig. 5).
     #[must_use] 
@@ -493,6 +786,21 @@ impl RcbTree {
         }
         total as f64 / self.leaves.len().max(1) as f64
     }
+}
+
+/// What a symmetric force pass did: kernel evaluations executed, directed
+/// interactions they delivered (two per evaluation), and the walk/kernel
+/// time split.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SymmetricReport {
+    /// Kernel evaluations actually executed (pair evaluations).
+    pub evals: u64,
+    /// Directed (target, source) interactions applied — `2 × evals`.
+    pub directed: u64,
+    /// Pair-list generation time.
+    pub walk: Duration,
+    /// Force evaluation time (summed across workers).
+    pub kernel: Duration,
 }
 
 /// Pointer wrapper asserting cross-thread use is sound (leaf ranges are
@@ -693,6 +1001,141 @@ mod tests {
                 assert_eq!(out[c], want[c], "np={np} c={c}");
             }
         }
+    }
+
+    #[test]
+    fn symmetric_matches_per_leaf_walk() {
+        let kernel = ForceKernel::newtonian(2.0, 1e-4);
+        let np = if cfg!(miri) { 80 } else { 600 };
+        let (xs, ys, zs, m) = rand_particles(np, 10.0, 17);
+        let tree = RcbTree::build(&xs, &ys, &zs, &m, TreeParams { leaf_size: 24 });
+        let (want, one_sided) = tree.forces(&kernel);
+        let (got, directed) = tree.forces_symmetric(&kernel);
+        // Directed counts: one-sided includes each target against its own
+        // leaf's full list (np self terms, masked to zero force); the
+        // symmetric triangle skips them.
+        assert_eq!(directed + np as u64, one_sided);
+        for c in 0..3 {
+            for p in 0..np {
+                let scale = want[c][p].abs().max(1e-2);
+                assert!(
+                    (got[c][p] - want[c][p]).abs() < 2e-3 * scale,
+                    "c={c} p={p}: {} vs {}",
+                    got[c][p],
+                    want[c][p]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_total_momentum_vanishes() {
+        // Newton-3 pairing: every kernel evaluation applies equal and
+        // opposite contributions, so ΣF over all particles must vanish to
+        // f32 accumulation rounding — the one-sided walk only achieves
+        // this to kernel-symmetry tolerance.
+        let kernel = ForceKernel::newtonian(3.0, 1e-5);
+        let np = if cfg!(miri) { 80 } else { 2000 };
+        let (xs, ys, zs, m) = rand_particles(np, 8.0, 29);
+        let tree = RcbTree::build(&xs, &ys, &zs, &m, TreeParams { leaf_size: 32 });
+        let (f, _) = tree.forces_symmetric(&kernel);
+        for (c, comp) in f.iter().enumerate() {
+            let total: f64 = comp.iter().map(|&v| f64::from(v)).sum();
+            let mag: f64 = comp.iter().map(|&v| f64::from(v.abs())).sum();
+            assert!(
+                total.abs() < 1e-5 * mag.max(1.0),
+                "c={c}: ΣF = {total:.3e} vs Σ|F| = {mag:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_deterministic_across_runs() {
+        let kernel = ForceKernel::newtonian(2.0, 1e-4);
+        let np = if cfg!(miri) { 60 } else { 500 };
+        let (xs, ys, zs, m) = rand_particles(np, 10.0, 41);
+        let tree = RcbTree::build(&xs, &ys, &zs, &m, TreeParams { leaf_size: 16 });
+        let (a, _) = tree.forces_symmetric(&kernel);
+        let (b, _) = tree.forces_symmetric(&kernel);
+        for c in 0..3 {
+            assert_eq!(a[c], b[c], "component {c} not bit-reproducible");
+        }
+    }
+
+    #[test]
+    fn skin_refresh_matches_fresh_build() {
+        // Drift every particle by less than slack/2, refresh positions in
+        // the stale tree, and evaluate with the slack-widened pair list:
+        // forces must match a from-scratch tree at the new positions.
+        let kernel = ForceKernel::newtonian(2.0, 1e-4);
+        let np = if cfg!(miri) { 70 } else { 500 };
+        let (xs, ys, zs, m) = rand_particles(np, 10.0, 53);
+        let slack = 0.3f32;
+        let mut scratch = TreeScratch::default();
+        let mut tree = RcbTree::new_empty(TreeParams { leaf_size: 24 });
+        tree.rebuild(&xs, &ys, &zs, &m, &mut scratch);
+        let gen0 = tree.generation();
+        let mut out = [Vec::new(), Vec::new(), Vec::new()];
+        // Two refresh rounds against the same build.
+        let mut s = 97u64;
+        let mut jitter = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s as f64 / u64::MAX as f64) as f32 - 0.5) * slack * 0.9
+        };
+        let (mut cx, mut cy, mut cz) = (xs.clone(), ys.clone(), zs.clone());
+        for round in 0..2 {
+            for i in 0..np {
+                cx[i] += jitter();
+                cy[i] += jitter();
+                cz[i] += jitter();
+            }
+            tree.refresh_positions(&cx, &cy, &cz);
+            let rep = tree.forces_symmetric_into(&kernel, slack, &mut scratch, &mut out);
+            assert_eq!(rep.directed, 2 * rep.evals);
+            let fresh = RcbTree::build(&cx, &cy, &cz, &m, TreeParams { leaf_size: 24 });
+            let (want, _) = fresh.forces_symmetric(&kernel);
+            for c in 0..3 {
+                for p in 0..np {
+                    let scale = want[c][p].abs().max(1e-2);
+                    assert!(
+                        (out[c][p] - want[c][p]).abs() < 2e-3 * scale,
+                        "round={round} c={c} p={p}: {} vs {}",
+                        out[c][p],
+                        want[c][p]
+                    );
+                }
+            }
+        }
+        assert_eq!(tree.generation(), gen0, "refresh must not rebuild");
+    }
+
+    #[test]
+    fn generation_counts_rebuilds() {
+        let (xs, ys, zs, m) = rand_particles(100, 5.0, 61);
+        let mut scratch = TreeScratch::default();
+        let mut tree = RcbTree::new_empty(TreeParams::default());
+        assert_eq!(tree.generation(), 0);
+        tree.rebuild(&xs, &ys, &zs, &m, &mut scratch);
+        assert_eq!(tree.generation(), 1);
+        tree.refresh_positions(&xs, &ys, &zs);
+        assert_eq!(tree.generation(), 1);
+        tree.rebuild(&xs, &ys, &zs, &m, &mut scratch);
+        assert_eq!(tree.generation(), 2);
+    }
+
+    #[test]
+    fn symmetric_empty_and_single() {
+        let kernel = ForceKernel::newtonian(1.0, 1e-4);
+        let empty = RcbTree::build(&[], &[], &[], &[], TreeParams::default());
+        let (f, d) = empty.forces_symmetric(&kernel);
+        assert_eq!(d, 0);
+        assert!(f[0].is_empty());
+        let one = RcbTree::build(&[1.0], &[2.0], &[3.0], &[1.0], TreeParams::default());
+        let (f1, d1) = one.forces_symmetric(&kernel);
+        assert_eq!(d1, 0);
+        assert_eq!(f1[0][0], 0.0);
     }
 
     #[test]

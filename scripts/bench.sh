@@ -1,19 +1,18 @@
 #!/usr/bin/env bash
-# Composite performance gate for the PM pipeline. Runs the end-to-end PM
-# step benchmark plus the timing-breakdown and kernel-threading probes,
-# and assembles the machine-readable summary out/bench/BENCH_pr2.json:
+# Composite performance gates. Two stages, each with a committed baseline:
 #
-#   {
-#     "baseline": <pre-r2c pm_step fragment (committed)>,
-#     "current":  <pm_step fragment measured now>,
-#     "speedup_median": <baseline/current step time>,
-#     "timing_breakdown": {...},
-#     "kernel_threading": {...}
-#   }
+# PR2 — PM pipeline: end-to-end PM step benchmark plus timing-breakdown
+# and kernel-threading probes → out/bench/BENCH_pr2.json. The committed
+# baseline (out/bench/pm_step_baseline.json) was recorded on the
+# complex-to-complex solver before the half-spectrum rework; the gate
+# asserts at least MIN_SPEEDUP (default 1.3).
 #
-# The committed baseline (out/bench/pm_step_baseline.json) was recorded on
-# the complex-to-complex solver before the half-spectrum rework; the gate
-# asserts the current build beats it by at least MIN_SPEEDUP (default 1.3).
+# PR4 — short-range solver: the tree_step benchmark (TreePM step
+# dominated by the short-range kernel) → out/bench/BENCH_pr4.json. The
+# committed baseline (out/bench/tree_step_baseline.json) was recorded on
+# the one-sided scalar walk with per-subcycle rebuilds, before the
+# symmetric SIMD walk and Verlet-skin reuse; the gate asserts at least
+# MIN_TREE_SPEEDUP (default 1.5).
 #
 # Usage: scripts/bench.sh [--quick]
 #   --quick  shrink the kernel-threading sweep (CI-friendly)
@@ -25,8 +24,10 @@ if [[ "${1:-}" == "--quick" ]]; then
   QUICK="--quick"
 fi
 MIN_SPEEDUP="${MIN_SPEEDUP:-1.3}"
+MIN_TREE_SPEEDUP="${MIN_TREE_SPEEDUP:-1.5}"
 OUT=out/bench
 BASELINE="$OUT/pm_step_baseline.json"
+TREE_BASELINE="$OUT/tree_step_baseline.json"
 mkdir -p "$OUT"
 
 echo "==> cargo build --release -p hacc-bench"
@@ -68,3 +69,30 @@ awk -v s="$speedup" -v m="$MIN_SPEEDUP" 'BEGIN { exit !(s >= m) }' || {
   exit 1
 }
 echo "==> PASS: speedup ${speedup}x >= ${MIN_SPEEDUP}x"
+
+echo "==> tree_step (short-range TreePM step: symmetric SIMD walk + skin reuse)"
+./target/release/tree_step --json "$OUT/tree_step_current.json"
+
+tree_base=$(sed -n 's/.*"step_ms_median": \([0-9.]*\).*/\1/p' "$TREE_BASELINE")
+tree_cur=$(sed -n 's/.*"step_ms_median": \([0-9.]*\).*/\1/p' "$OUT/tree_step_current.json")
+tree_speedup=$(awk -v b="$tree_base" -v c="$tree_cur" 'BEGIN { printf "%.3f", b / c }')
+
+{
+  echo '{'
+  echo '  "baseline":'
+  sed 's/^/  /' "$TREE_BASELINE" | sed '$ s/$/,/'
+  echo '  "current":'
+  sed 's/^/  /' "$OUT/tree_step_current.json" | sed '$ s/$/,/'
+  echo "  \"speedup_median\": $tree_speedup,"
+  echo "  \"min_required\": $MIN_TREE_SPEEDUP"
+  echo '}'
+} > "$OUT/BENCH_pr4.json"
+
+echo "==> wrote $OUT/BENCH_pr4.json"
+echo "    baseline step: ${tree_base} ms, current step: ${tree_cur} ms, speedup: ${tree_speedup}x"
+
+awk -v s="$tree_speedup" -v m="$MIN_TREE_SPEEDUP" 'BEGIN { exit !(s >= m) }' || {
+  echo "FAIL: tree_step speedup ${tree_speedup}x is below the required ${MIN_TREE_SPEEDUP}x" >&2
+  exit 1
+}
+echo "==> PASS: tree_step speedup ${tree_speedup}x >= ${MIN_TREE_SPEEDUP}x"

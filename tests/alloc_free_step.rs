@@ -57,11 +57,23 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-#[test]
-fn steady_state_step_allocates_nothing() {
+/// The two tests share `ARMED`/`ALLOCS`; serialize them so the counter
+/// is never armed by one while the other steps.
+static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Warm a simulation with the given solver, then assert two further
+/// steps allocate nothing. `warm` extra steps run after the (counted)
+/// cold step, so capacity-sizing growth is never charged to steady state.
+fn assert_steady_state_alloc_free(solver: &str, warm: usize) {
     use hacc::core::{SimConfig, Simulation, SolverKind};
     use hacc::cosmo::{Cosmology, LinearPower, Transfer};
 
+    let _guard = TEST_LOCK.lock().expect("test lock");
+    let solver = match solver {
+        "pm" => SolverKind::PmOnly,
+        "p3m" => SolverKind::P3m,
+        other => panic!("unknown solver {other}"),
+    };
     let power = LinearPower::new(&Cosmology::lcdm(), Transfer::EisensteinHuNoWiggle);
     let a0 = 0.2;
     let ics = hacc::ics::zeldovich(16, 64.0, &power, a0, 11);
@@ -71,7 +83,7 @@ fn steady_state_step_allocates_nothing() {
         a_init: a0,
         steps: 8,
         subcycles: 2,
-        solver: SolverKind::PmOnly,
+        solver,
         ..SimConfig::small_lcdm()
     };
     let mut sim = Simulation::from_ics(cfg, &ics);
@@ -85,18 +97,22 @@ fn steady_state_step_allocates_nothing() {
     // proves the counter is actually wired up.
     ALLOCS.store(0, Ordering::SeqCst);
     ARMED.store(true, Ordering::SeqCst);
-    sim.step(0.21);
+    let mut a = 0.21;
+    sim.step(a);
     ARMED.store(false, Ordering::SeqCst);
     assert!(
         ALLOCS.load(Ordering::SeqCst) > 0,
         "warm-up step should allocate; the counter appears dead"
     );
-    sim.step(0.22);
+    for _ in 0..warm {
+        a += 0.01;
+        sim.step(a);
+    }
 
     ALLOCS.store(0, Ordering::SeqCst);
     ARMED.store(true, Ordering::SeqCst);
-    sim.step(0.23);
-    sim.step(0.24);
+    sim.step(a + 0.01);
+    sim.step(a + 0.02);
     ARMED.store(false, Ordering::SeqCst);
 
     let n = ALLOCS.load(Ordering::SeqCst);
@@ -104,4 +120,19 @@ fn steady_state_step_allocates_nothing() {
         n, 0,
         "steady-state Simulation::step made {n} heap allocations"
     );
+}
+
+#[test]
+fn steady_state_step_allocates_nothing() {
+    assert_steady_state_alloc_free("pm", 1);
+}
+
+/// The chaining-mesh (P³M) short-range path: counting-sort bins, leased
+/// gather buffers and the force accumulators all live in `StepScratch`
+/// / `P3mScratch`, so sub-cycled short-range steps are also free.
+/// Extra warm steps let the per-cell gather buffers reach their
+/// high-water capacity before the counter arms.
+#[test]
+fn steady_state_p3m_step_allocates_nothing() {
+    assert_steady_state_alloc_free("p3m", 3);
 }
