@@ -31,6 +31,9 @@ pub enum FaultAction {
     /// Hold the message back so it arrives after later traffic (the
     /// receiver's transport layer must restore order).
     Delay,
+    /// Flip one bit of the transmitted frame (the receiver's per-message
+    /// CRC must detect the corruption and discard the frame).
+    Corrupt,
 }
 
 /// A rank artificially slowed on every send, emulating the "one slow
@@ -64,6 +67,7 @@ pub struct FaultPlan {
     drop_prob: f64,
     dup_prob: f64,
     delay_prob: f64,
+    corrupt_prob: f64,
     slow: Option<SlowRank>,
     kill: Option<KillSpec>,
 }
@@ -108,6 +112,17 @@ impl FaultPlan {
         self
     }
 
+    /// Probability that one bit of a message's wire frame is flipped in
+    /// flight. The receiver's CRC detects the damage and discards the
+    /// frame, so an injected corruption surfaces exactly like a drop —
+    /// a diagnosable sequence gap — never as silently torn data.
+    #[must_use]
+    pub fn corrupt_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.corrupt_prob = p;
+        self
+    }
+
     /// Add `per_send` latency to every send from `rank`.
     #[must_use] 
     pub fn slow_rank(mut self, rank: usize, per_send: Duration) -> Self {
@@ -134,6 +149,7 @@ impl FaultPlan {
         self.drop_prob > 0.0
             || self.dup_prob > 0.0
             || self.delay_prob > 0.0
+            || self.corrupt_prob > 0.0
             || self.slow.is_some()
             || self.kill.is_some()
     }
@@ -148,7 +164,11 @@ impl FaultPlan {
     /// Pure function of the plan seed and the message coordinates.
     #[must_use] 
     pub fn action(&self, context: u64, src: usize, dst: usize, tag: u64, seq: u64) -> FaultAction {
-        if self.drop_prob == 0.0 && self.dup_prob == 0.0 && self.delay_prob == 0.0 {
+        if self.drop_prob == 0.0
+            && self.dup_prob == 0.0
+            && self.delay_prob == 0.0
+            && self.corrupt_prob == 0.0
+        {
             return FaultAction::None;
         }
         let mut h = self.seed ^ 0x9e37_79b9_7f4a_7c15;
@@ -162,9 +182,24 @@ impl FaultPlan {
             FaultAction::Duplicate
         } else if u < self.drop_prob + self.dup_prob + self.delay_prob {
             FaultAction::Delay
+        } else if u < self.drop_prob + self.dup_prob + self.delay_prob + self.corrupt_prob {
+            FaultAction::Corrupt
         } else {
             FaultAction::None
         }
+    }
+
+    /// Which bit of the wire frame to flip for a message chosen for
+    /// [`FaultAction::Corrupt`]. Seeded independently of [`Self::action`]
+    /// so the flipped bit position is uniform, not correlated with the
+    /// band that selected the corruption.
+    #[must_use]
+    pub fn corrupt_bit(&self, context: u64, src: usize, dst: usize, tag: u64, seq: u64) -> u64 {
+        let mut h = self.seed ^ 0x0bad_b175_c0de_f11f;
+        for word in [context, src as u64, dst as u64, tag, seq] {
+            h = mix64(h ^ word);
+        }
+        h
     }
 
     /// Should `rank` die entering `step`? Latches: returns `true` exactly
@@ -192,7 +227,7 @@ impl FaultPlan {
 }
 
 /// SplitMix64 finalizer — a strong 64-bit mixer.
-fn mix64(mut z: u64) -> u64 {
+pub(crate) fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -214,13 +249,17 @@ pub struct FaultStats {
     /// Messages that arrived ahead of a gap and were buffered for
     /// reordering.
     pub reordered: u64,
+    /// Messages whose wire frame had a bit flipped by injection.
+    pub corrupted: u64,
+    /// Frames the receiver's CRC rejected and discarded.
+    pub corrupt_detected: u64,
 }
 
 impl FaultStats {
     /// Total injected events.
-    #[must_use] 
+    #[must_use]
     pub fn total_injected(&self) -> u64 {
-        self.dropped + self.duplicated + self.delayed
+        self.dropped + self.duplicated + self.delayed + self.corrupted
     }
 }
 

@@ -1,0 +1,574 @@
+//! Rank-failure detection: heartbeats, the lifecycle state machine, and
+//! the epoch barrier that turns a silent death into a reported event.
+//!
+//! The paper-scale machine (96 BG/Q racks) treats component failure as
+//! an operational certainty; PR 1's answer was the bluntest possible —
+//! a killed rank poisons the machine and the whole run rolls back to a
+//! checkpoint. This module adds the detection layer that makes
+//! *localized* recovery possible: every rank heartbeats as a side
+//! effect of its normal sends plus an explicit per-step epoch beat, a
+//! monitor thread scans for silence, and survivors observe a detected
+//! failure as a [`crate::CommError::RankFailed`] value (from a blocked
+//! receive) or as the `failed` list of an epoch report — never as a
+//! hang.
+//!
+//! Lifecycle per rank: `Healthy → Suspected → Failed → Rebuilding →
+//! Healthy`. Two rules keep detection sound:
+//!
+//! - **Epoch gating.** A rank is only suspectable while its epoch is
+//!   *behind* the frontier (`epoch[r] < max_epoch`): some peer has
+//!   already beaten a later epoch, so `r` ought to have been heard
+//!   from. A rank that is merely deep in send-free compute sits *at*
+//!   the frontier (its peers block in [`HealthState::epoch_sync`]
+//!   waiting for it and cannot advance `max_epoch`), so it is never
+//!   falsely suspected, no matter how slow.
+//! - **Fencing.** Once the monitor declares a rank `Failed`, a late
+//!   heartbeat does not resurrect it — [`HealthState::beat`] returns
+//!   the `Failed` status and the rank must discard its state and rejoin
+//!   as a replacement ("if you are declared dead, you are dead", as in
+//!   ULFM). A heartbeat that lands *before* the declaration clears the
+//!   suspicion instead; the loom model in `tests/loom.rs` proves both
+//!   orderings of that race behave.
+//!
+//! Everything here uses only the [`crate::sync`] shim (no wall clock in
+//! the detector core — staleness is counted in monitor *scans*), so the
+//! state machine is loom-modelable and deterministic under the checker.
+
+use std::time::Duration;
+
+use crate::sync::{AtomicBool, AtomicU64, Condvar, Instant, Mutex, Ordering};
+use crate::CommError;
+
+/// Tuning for the failure detector.
+#[derive(Debug, Clone, Copy)]
+pub struct HeartbeatConfig {
+    /// Monitor scan period. Detection latency is roughly
+    /// `(suspect_scans + confirm_scans) · scan_interval`.
+    pub scan_interval: Duration,
+    /// Consecutive stale scans (no heartbeat while epoch-behind) before
+    /// a `Healthy` rank becomes `Suspected`.
+    pub suspect_scans: u32,
+    /// Further consecutive stale scans before a `Suspected` rank is
+    /// declared `Failed`.
+    pub confirm_scans: u32,
+    /// Deadline for the blocking waits ([`HealthState::epoch_sync`],
+    /// [`HealthState::await_failed`]); expiry surfaces as a diagnostic
+    /// [`CommError::Timeout`] instead of a hang.
+    pub sync_timeout: Duration,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        // Generous staleness budget (8 scans ≈ 200 ms) so an OS-level
+        // scheduling hiccup on a loaded CI box does not fence a live
+        // rank; a false fence is *safe* (the rank rejoins and is
+        // rebuilt) but costs a recovery.
+        HeartbeatConfig {
+            scan_interval: Duration::from_millis(25),
+            suspect_scans: 4,
+            confirm_scans: 4,
+            sync_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Where a rank is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankStatus {
+    /// Alive as far as the detector knows.
+    Healthy,
+    /// Epoch-behind and silent for `suspect_scans` scans; cleared by
+    /// any heartbeat, hardened to `Failed` by continued silence.
+    Suspected,
+    /// Declared dead by the monitor. Fenced: its own late heartbeat
+    /// cannot undo this.
+    Failed,
+    /// Its (respawned) thread has acknowledged the death and is being
+    /// reconstructed; cleared to `Healthy` by
+    /// [`HealthState::mark_recovered`].
+    Rebuilding,
+}
+
+/// Failures visible at an epoch boundary: the ranks every survivor must
+/// recover before stepping past `epoch`.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// The epoch all live ranks have now reached.
+    pub epoch: u64,
+    /// `(rank, last epoch it completed)` for every rank currently dead
+    /// (`Failed` or `Rebuilding`) and behind this epoch.
+    pub failed: Vec<(usize, u64)>,
+}
+
+/// Detector view of one rank.
+#[derive(Debug, Clone, Copy)]
+struct RankHealth {
+    status: RankStatus,
+    /// Highest epoch this rank has beaten.
+    epoch: u64,
+    /// Heartbeat counter value at the last monitor scan.
+    observed_tick: u64,
+    /// Consecutive scans with no heartbeat while epoch-behind.
+    stale_scans: u32,
+    /// Epoch recorded when the rank was declared `Failed`.
+    failed_epoch: u64,
+}
+
+const FRESH: RankHealth = RankHealth {
+    status: RankStatus::Healthy,
+    epoch: 0,
+    observed_tick: 0,
+    stale_scans: 0,
+    failed_epoch: 0,
+};
+
+/// Shared failure-detector state for one [`crate::Machine`].
+///
+/// Lock ordering: methods here take only the internal state lock, never
+/// a mailbox lock, so callers may hold a mailbox lock while querying
+/// (as `recv` does) without deadlock risk.
+pub struct HealthState {
+    /// Per-rank heartbeat counters, bumped lock-free on every send.
+    ticks: Vec<AtomicU64>,
+    state: Mutex<Vec<RankHealth>>,
+    signal: Condvar,
+    cfg: HeartbeatConfig,
+    enabled: bool,
+}
+
+impl HealthState {
+    /// Detector for `ranks` ranks; `None` builds a disabled stub (every
+    /// operation is a no-op) for machines without a heartbeat monitor.
+    #[must_use]
+    pub fn new(ranks: usize, cfg: Option<HeartbeatConfig>) -> Self {
+        let enabled = cfg.is_some();
+        HealthState {
+            ticks: (0..ranks).map(|_| AtomicU64::new(0)).collect(),
+            state: Mutex::new(vec![FRESH; ranks]),
+            signal: Condvar::new(),
+            cfg: cfg.unwrap_or_default(),
+            enabled,
+        }
+    }
+
+    /// Whether a heartbeat monitor is attached to this machine.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub(crate) fn scan_interval(&self) -> Duration {
+        self.cfg.scan_interval
+    }
+
+    /// Lock-free heartbeat, piggybacked on every send.
+    pub fn tick(&self, rank: usize) {
+        if self.enabled {
+            // Relaxed: the counter is a freshness token, not a
+            // synchronization edge — the monitor only compares it with
+            // the value it saw one scan-interval ago.
+            self.ticks[rank].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Explicit per-step heartbeat: `rank` announces it has reached
+    /// `epoch`. Clears a pending suspicion — unless the monitor already
+    /// declared the rank dead, in which case the declaration stands
+    /// (fencing) and the returned status tells the rank to rejoin as a
+    /// replacement.
+    pub fn beat(&self, rank: usize, epoch: u64) -> RankStatus {
+        if !self.enabled {
+            return RankStatus::Healthy;
+        }
+        self.ticks[rank].fetch_add(1, Ordering::Relaxed);
+        let mut st = self.state.lock();
+        let h = &mut st[rank];
+        match h.status {
+            // Fenced: a heartbeat arriving after the declaration cannot
+            // resurrect the rank.
+            RankStatus::Failed | RankStatus::Rebuilding => h.status,
+            _ => {
+                h.status = RankStatus::Healthy;
+                h.stale_scans = 0;
+                if epoch > h.epoch {
+                    h.epoch = epoch;
+                }
+                drop(st);
+                self.signal.notify_all();
+                RankStatus::Healthy
+            }
+        }
+    }
+
+    /// One monitor pass over all ranks; returns the ranks *newly*
+    /// declared `Failed` this scan as `(rank, last completed epoch)`.
+    pub fn scan(&self) -> Vec<(usize, u64)> {
+        let mut st = self.state.lock();
+        let max_epoch = st.iter().map(|h| h.epoch).max().unwrap_or(0);
+        let mut newly = Vec::new();
+        for (rank, tick) in self.ticks.iter().enumerate() {
+            // Relaxed: see `tick` — freshness comparison only.
+            let t = tick.load(Ordering::Relaxed);
+            let h = &mut st[rank];
+            let progressed = t != h.observed_tick;
+            h.observed_tick = t;
+            match h.status {
+                RankStatus::Healthy => {
+                    // Epoch gate: a rank at the frontier is never
+                    // suspected — its peers are waiting for it, not the
+                    // other way round.
+                    if progressed || h.epoch >= max_epoch {
+                        h.stale_scans = 0;
+                    } else {
+                        h.stale_scans += 1;
+                        if h.stale_scans >= self.cfg.suspect_scans {
+                            h.status = RankStatus::Suspected;
+                            h.stale_scans = 0;
+                        }
+                    }
+                }
+                RankStatus::Suspected => {
+                    if progressed {
+                        h.status = RankStatus::Healthy;
+                        h.stale_scans = 0;
+                    } else {
+                        h.stale_scans += 1;
+                        if h.stale_scans >= self.cfg.confirm_scans {
+                            h.status = RankStatus::Failed;
+                            h.failed_epoch = h.epoch;
+                            h.stale_scans = 0;
+                            newly.push((rank, h.epoch));
+                        }
+                    }
+                }
+                RankStatus::Failed | RankStatus::Rebuilding => {}
+            }
+        }
+        if !newly.is_empty() {
+            drop(st);
+            // Wake epoch_sync / await_failed waiters; the monitor also
+            // wakes every mailbox so blocked receives re-check for the
+            // dead source (see `Machine::try_run`).
+            self.signal.notify_all();
+        }
+        newly
+    }
+
+    /// Current lifecycle status of `rank`.
+    #[must_use]
+    pub fn status(&self, rank: usize) -> RankStatus {
+        self.state.lock()[rank].status
+    }
+
+    /// Every rank currently dead (`Failed` or `Rebuilding`) with the
+    /// epoch it last completed, in rank order. A replacement queries
+    /// this after [`HealthState::await_failed`] to learn which other
+    /// ranks died in the same epoch (declarations are monotonic, so the
+    /// set can only grow between a survivor's report and this read).
+    #[must_use]
+    pub fn dead_set(&self) -> Vec<(usize, u64)> {
+        self.state
+            .lock()
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| matches!(h.status, RankStatus::Failed | RankStatus::Rebuilding))
+            .map(|(r, h)| (r, h.failed_epoch))
+            .collect()
+    }
+
+    /// `Some(last completed epoch)` while `rank` stands declared
+    /// `Failed` (used by `recv` to turn a wait on a dead source into a
+    /// [`CommError::RankFailed`]).
+    pub(crate) fn failed_epoch_of(&self, rank: usize) -> Option<u64> {
+        if !self.enabled {
+            return None;
+        }
+        let st = self.state.lock();
+        match st[rank].status {
+            RankStatus::Failed => Some(st[rank].failed_epoch),
+            _ => None,
+        }
+    }
+
+    /// Block until every rank has either beaten `epoch` or been
+    /// declared dead; returns the dead set. This is the agreement point
+    /// of the step protocol: all survivors return the same `failed`
+    /// list for a given epoch because declarations are monotonic and a
+    /// rank behind the epoch must be one or the other before anyone
+    /// proceeds.
+    pub(crate) fn epoch_sync(
+        &self,
+        epoch: u64,
+        poisoned: &AtomicBool,
+    ) -> Result<EpochReport, CommError> {
+        let start = Instant::now();
+        let deadline = start + self.cfg.sync_timeout;
+        let mut st = self.state.lock();
+        loop {
+            // SeqCst pairs with `Shared::poison`, which takes this lock
+            // before notifying — either this check sees the flag or the
+            // upcoming wait is woken (no lost-wakeup window).
+            if poisoned.load(Ordering::SeqCst) {
+                return Err(CommError::Poisoned);
+            }
+            let mut failed = Vec::new();
+            let mut pending = None;
+            for (rank, h) in st.iter().enumerate() {
+                if h.epoch >= epoch {
+                    continue;
+                }
+                match h.status {
+                    RankStatus::Failed | RankStatus::Rebuilding => {
+                        failed.push((rank, h.failed_epoch));
+                    }
+                    RankStatus::Healthy | RankStatus::Suspected => {
+                        pending = Some(rank);
+                        break;
+                    }
+                }
+            }
+            let Some(waiting_on) = pending else {
+                return Ok(EpochReport { epoch, failed });
+            };
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CommError::Timeout {
+                    context: 0,
+                    src: waiting_on,
+                    tag: 0,
+                    waited: now - start,
+                    detail: format!(
+                        "epoch sync stalled: rank {waiting_on} has neither beaten epoch \
+                         {epoch} nor been declared failed"
+                    ),
+                });
+            }
+            let _ = self.signal.wait_for(&mut st, deadline - now);
+        }
+    }
+
+    /// Block until this rank's own death is declared, acknowledge it
+    /// (`Failed → Rebuilding`), and return the last epoch it completed.
+    /// Called by a killed rank's respawned thread before it rejoins as
+    /// a replacement.
+    pub(crate) fn await_failed(&self, rank: usize, poisoned: &AtomicBool) -> Result<u64, CommError> {
+        let start = Instant::now();
+        let deadline = start + self.cfg.sync_timeout;
+        let mut st = self.state.lock();
+        loop {
+            if poisoned.load(Ordering::SeqCst) {
+                return Err(CommError::Poisoned);
+            }
+            if st[rank].status == RankStatus::Failed {
+                st[rank].status = RankStatus::Rebuilding;
+                let epoch = st[rank].failed_epoch;
+                drop(st);
+                self.signal.notify_all();
+                return Ok(epoch);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CommError::Timeout {
+                    context: 0,
+                    src: rank,
+                    tag: 0,
+                    waited: now - start,
+                    detail: format!(
+                        "rank {rank} awaiting its own failure declaration that never came \
+                         (is the heartbeat monitor enabled?)"
+                    ),
+                });
+            }
+            let _ = self.signal.wait_for(&mut st, deadline - now);
+        }
+    }
+
+    /// Block until every rank in `failed` has acknowledged its death
+    /// (left `Failed` for `Rebuilding`). Survivors call this before the
+    /// first recovery collective so no receive can race the window
+    /// between declaration and acknowledgement and misread the
+    /// replacement as still dead.
+    pub(crate) fn await_rebirth(
+        &self,
+        failed: &[usize],
+        poisoned: &AtomicBool,
+    ) -> Result<(), CommError> {
+        let start = Instant::now();
+        let deadline = start + self.cfg.sync_timeout;
+        let mut st = self.state.lock();
+        loop {
+            if poisoned.load(Ordering::SeqCst) {
+                return Err(CommError::Poisoned);
+            }
+            match failed.iter().find(|&&r| st[r].status == RankStatus::Failed) {
+                None => return Ok(()),
+                Some(&waiting_on) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(CommError::Timeout {
+                            context: 0,
+                            src: waiting_on,
+                            tag: 0,
+                            waited: now - start,
+                            detail: format!(
+                                "failed rank {waiting_on} never acknowledged its death"
+                            ),
+                        });
+                    }
+                    let _ = self.signal.wait_for(&mut st, deadline - now);
+                }
+            }
+        }
+    }
+
+    /// Reconstruction finished: the replacement for `rank` rejoins the
+    /// healthy population at `epoch`.
+    pub fn mark_recovered(&self, rank: usize, epoch: u64) {
+        if !self.enabled {
+            return;
+        }
+        {
+            let mut st = self.state.lock();
+            let h = &mut st[rank];
+            h.status = RankStatus::Healthy;
+            h.stale_scans = 0;
+            if epoch > h.epoch {
+                h.epoch = epoch;
+            }
+            // Re-baseline freshness so the scans that elapsed while dead
+            // don't count against the replacement.
+            h.observed_tick = self.ticks[rank].load(Ordering::Relaxed);
+        }
+        self.signal.notify_all();
+    }
+
+    /// Wake all detector waiters (poison path).
+    pub(crate) fn wake(&self) {
+        let _guard = self.state.lock();
+        self.signal.notify_all();
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crate::sync::AtomicBool;
+
+    fn cfg(suspect: u32, confirm: u32) -> HeartbeatConfig {
+        HeartbeatConfig {
+            scan_interval: Duration::from_millis(1),
+            suspect_scans: suspect,
+            confirm_scans: confirm,
+            sync_timeout: Duration::from_millis(200),
+        }
+    }
+
+    #[test]
+    fn silent_epoch_behind_rank_is_declared_failed() {
+        let h = HealthState::new(2, Some(cfg(2, 2)));
+        assert_eq!(h.beat(0, 1), RankStatus::Healthy);
+        // Rank 1 never beats epoch 1: behind the frontier and silent.
+        for _ in 0..3 {
+            assert!(h.scan().is_empty());
+        }
+        assert_eq!(h.scan(), vec![(1, 0)]);
+        assert_eq!(h.status(1), RankStatus::Failed);
+        // Declarations are not repeated.
+        assert!(h.scan().is_empty());
+    }
+
+    #[test]
+    fn frontier_rank_is_never_suspected_while_silent() {
+        let h = HealthState::new(2, Some(cfg(1, 1)));
+        h.beat(0, 3);
+        h.beat(1, 3);
+        // Both at the frontier; arbitrary silence must not suspect.
+        for _ in 0..64 {
+            assert!(h.scan().is_empty());
+        }
+        assert_eq!(h.status(0), RankStatus::Healthy);
+        assert_eq!(h.status(1), RankStatus::Healthy);
+    }
+
+    #[test]
+    fn heartbeat_clears_suspicion() {
+        let h = HealthState::new(2, Some(cfg(1, 4)));
+        h.beat(0, 1);
+        assert!(h.scan().is_empty());
+        assert!(h.scan().is_empty());
+        assert_eq!(h.status(1), RankStatus::Suspected);
+        h.tick(1); // plain send traffic, no epoch progress
+        assert!(h.scan().is_empty());
+        assert_eq!(h.status(1), RankStatus::Healthy);
+    }
+
+    #[test]
+    fn late_beat_after_declaration_is_fenced() {
+        let h = HealthState::new(2, Some(cfg(1, 1)));
+        h.beat(0, 1);
+        h.scan();
+        h.scan();
+        assert_eq!(h.status(1), RankStatus::Failed);
+        assert_eq!(h.beat(1, 1), RankStatus::Failed, "declared dead stays dead");
+        assert_eq!(h.status(1), RankStatus::Failed);
+    }
+
+    #[test]
+    fn failed_rank_rejoins_through_rebuilding() {
+        let h = HealthState::new(2, Some(cfg(1, 1)));
+        let poisoned = AtomicBool::new(false);
+        h.beat(0, 2);
+        h.scan();
+        h.scan();
+        let epoch = h.await_failed(1, &poisoned).expect("declared");
+        assert_eq!(epoch, 0);
+        assert_eq!(h.status(1), RankStatus::Rebuilding);
+        h.await_rebirth(&[1], &poisoned).expect("acknowledged");
+        h.mark_recovered(1, 2);
+        assert_eq!(h.status(1), RankStatus::Healthy);
+        // Recovered rank is back at the frontier: not suspectable.
+        for _ in 0..8 {
+            assert!(h.scan().is_empty());
+        }
+    }
+
+    #[test]
+    fn epoch_sync_reports_dead_ranks() {
+        let h = HealthState::new(3, Some(cfg(1, 1)));
+        let poisoned = AtomicBool::new(false);
+        h.beat(0, 1);
+        h.beat(2, 1);
+        h.scan();
+        h.scan();
+        assert_eq!(h.status(1), RankStatus::Failed);
+        let report = h.epoch_sync(1, &poisoned).expect("no live laggard");
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.failed, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn epoch_sync_times_out_diagnosably_on_live_laggard() {
+        let h = HealthState::new(2, Some(cfg(100, 100)));
+        let poisoned = AtomicBool::new(false);
+        h.beat(0, 1);
+        // Rank 1 is behind but never declared (suspect threshold out of
+        // reach): the sync must expire with a named culprit, not hang.
+        match h.epoch_sync(1, &poisoned) {
+            Err(CommError::Timeout { src, detail, .. }) => {
+                assert_eq!(src, 1);
+                assert!(detail.contains("epoch sync stalled"), "{detail}");
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_detector_is_inert() {
+        let h = HealthState::new(2, None);
+        assert!(!h.enabled());
+        h.tick(0);
+        assert_eq!(h.beat(0, 5), RankStatus::Healthy);
+        assert!(h.scan().is_empty());
+        assert_eq!(h.failed_epoch_of(1), None);
+    }
+}

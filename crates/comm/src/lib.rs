@@ -30,11 +30,13 @@
 //! (no wildcards), which keeps the semantics deterministic.
 
 pub mod fault;
+pub mod health;
 pub mod stats;
 pub mod sync;
 pub mod topology;
 
 pub use fault::{FaultAction, FaultPlan, FaultStats, SlowRank};
+pub use health::{EpochReport, HealthState, HeartbeatConfig, RankStatus};
 pub use stats::TrafficStats;
 pub use topology::{dims_create, CartComm};
 
@@ -70,6 +72,15 @@ pub enum CommError {
     },
     /// Another rank panicked while this one was blocked.
     Poisoned,
+    /// The awaited source rank was declared dead by the heartbeat
+    /// monitor: its traffic will never arrive. Unlike [`Self::Poisoned`]
+    /// this is survivable — the caller can run the recovery protocol.
+    RankFailed {
+        /// Global rank declared failed.
+        rank: usize,
+        /// Last epoch it completed before dying.
+        epoch: u64,
+    },
 }
 
 impl std::fmt::Display for CommError {
@@ -87,6 +98,11 @@ impl std::fmt::Display for CommError {
                  (context={context}, src={src}, tag={tag}); {detail}"
             ),
             CommError::Poisoned => write!(f, "machine poisoned: another rank panicked"),
+            CommError::RankFailed { rank, epoch } => write!(
+                f,
+                "rank {rank} declared failed (last completed epoch {epoch}); \
+                 its traffic will never arrive"
+            ),
         }
     }
 }
@@ -118,6 +134,62 @@ impl std::fmt::Display for MachineError {
 
 impl std::error::Error for MachineError {}
 
+/// The simulated on-the-wire image of one message: the frame header
+/// words `(context, src, tag, seq, payload bytes)` protected by a
+/// CRC-32. Payloads are typed in-process values (never byte-viewed —
+/// that would be UB for padded generic `T`), so the CRC covers the
+/// header frame; [`FaultPlan::corrupt_prob`] flips a bit of this image
+/// in flight and the receiving transport must detect and discard it.
+#[derive(Debug, Clone, Copy)]
+struct Wire {
+    words: [u64; 5],
+    crc: u32,
+}
+
+impl Wire {
+    fn new(context: u64, src: u64, tag: u64, seq: u64, bytes: u64) -> Self {
+        let words = [context, src, tag, seq, bytes];
+        Wire {
+            words,
+            crc: crc32_words(&words),
+        }
+    }
+
+    /// Does the frame checksum?
+    fn valid(&self) -> bool {
+        crc32_words(&self.words) == self.crc
+    }
+
+    /// Flip one bit of the 352-bit transmitted image (header words then
+    /// CRC), as a cosmic ray / link error would.
+    fn flip_bit(mut self, bit: u64) -> Self {
+        let b = (bit % 352) as usize;
+        if b < 320 {
+            self.words[b / 64] ^= 1u64 << (b % 64);
+        } else {
+            self.crc ^= 1u32 << (b - 320);
+        }
+        self
+    }
+}
+
+/// Table-less CRC-32 (IEEE 802.3 reflected polynomial) over the
+/// little-endian bytes of the header words. 40 bytes per frame — the
+/// bitwise loop is plenty fast for a per-message check.
+fn crc32_words(words: &[u64; 5]) -> u32 {
+    let mut crc = !0u32;
+    for w in words {
+        for byte in w.to_le_bytes() {
+            crc ^= u32::from(byte);
+            for _ in 0..8 {
+                let mask = (crc & 1).wrapping_neg();
+                crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+            }
+        }
+    }
+    !crc
+}
+
 /// Transport-level state of one rank's incoming mailbox.
 #[derive(Default)]
 struct MailState {
@@ -130,13 +202,31 @@ struct MailState {
     send_seq: HashMap<Key, u64>,
     /// Next sequence number the receiver will release for this key.
     recv_seq: HashMap<Key, u64>,
+    /// Frames rejected by the CRC check, per key (for diagnosis).
+    crc_rejected: HashMap<Key, u64>,
 }
 
 impl MailState {
-    /// Transport delivery: release in-sequence payloads, buffer early
-    /// ones, discard retransmissions. Returns whether anything became
-    /// ready.
-    fn deliver(&mut self, ctrs: &FaultCounters, key: Key, seq: u64, payload: Payload) -> bool {
+    /// Transport delivery: validate the wire frame, then release
+    /// in-sequence payloads, buffer early ones, discard retransmissions.
+    /// Returns whether anything became ready.
+    fn deliver(
+        &mut self,
+        ctrs: &FaultCounters,
+        key: Key,
+        seq: u64,
+        wire: &Wire,
+        payload: Payload,
+    ) -> bool {
+        if !wire.valid() {
+            // CRC mismatch: the frame is discarded at the receiver. Its
+            // sequence number was consumed by the sender, so the stream
+            // has a diagnosable gap — detected corruption degrades to
+            // exactly the injected-drop failure mode, never torn data.
+            ctrs.corrupt_detected.fetch_add(1, Ordering::Relaxed);
+            *self.crc_rejected.entry(key).or_insert(0) += 1;
+            return false;
+        }
         let expected = *self.recv_seq.entry(key).or_insert(0);
         if seq < expected {
             ctrs.dup_discarded.fetch_add(1, Ordering::Relaxed);
@@ -176,14 +266,22 @@ impl MailState {
     fn diagnose(&self, key: &Key) -> String {
         let expected = self.recv_seq.get(key).copied().unwrap_or(0);
         let parked = self.reorder.get(key).map(BTreeMap::len).unwrap_or(0);
-        if parked > 0 {
+        let rejected = self.crc_rejected.get(key).copied().unwrap_or(0);
+        let mut msg = if parked > 0 {
             format!(
                 "transport gap: waiting for seq #{expected}, {parked} later \
                  message(s) buffered behind it (a message was lost)"
             )
         } else {
             format!("no traffic pending (waiting for seq #{expected})")
+        };
+        if rejected > 0 {
+            msg.push_str(&format!(
+                "; {rejected} frame(s) on this slot failed CRC and were discarded \
+                 (payload corrupted in flight)"
+            ));
         }
+        msg
     }
 }
 
@@ -212,6 +310,8 @@ struct FaultCounters {
     delayed: AtomicU64,
     dup_discarded: AtomicU64,
     reordered: AtomicU64,
+    corrupted: AtomicU64,
+    corrupt_detected: AtomicU64,
 }
 
 impl FaultCounters {
@@ -224,6 +324,8 @@ impl FaultCounters {
             delayed: self.delayed.load(Ordering::Relaxed),
             dup_discarded: self.dup_discarded.load(Ordering::Relaxed),
             reordered: self.reordered.load(Ordering::Relaxed),
+            corrupted: self.corrupted.load(Ordering::Relaxed),
+            corrupt_detected: self.corrupt_detected.load(Ordering::Relaxed),
         }
     }
 }
@@ -234,6 +336,7 @@ struct Held {
     dst: usize,
     key: Key,
     seq: u64,
+    wire: Wire,
     payload: Box<dyn Any + Send>,
 }
 
@@ -253,6 +356,8 @@ struct Shared {
     counters: FaultCounters,
     /// Per-global-rank delayed messages awaiting out-of-order delivery.
     holdback: Vec<Mutex<Vec<Held>>>,
+    /// Failure detector (inert unless [`Machine::with_heartbeat`]).
+    health: HealthState,
 }
 
 impl Shared {
@@ -264,8 +369,20 @@ impl Shared {
         for m in held {
             let mbox = &self.boxes[m.dst];
             let mut st = mbox.state.lock();
-            st.deliver(&self.counters, m.key, m.seq, Some(m.payload));
+            st.deliver(&self.counters, m.key, m.seq, &m.wire, Some(m.payload));
             drop(st);
+            mbox.signal.notify_all();
+        }
+    }
+
+    /// Wake every blocked receiver (taking each mailbox lock first so
+    /// the wakeup cannot be lost) without poisoning. The heartbeat
+    /// monitor uses this after declaring a rank failed so receivers
+    /// blocked on the dead source re-check and fail with
+    /// [`CommError::RankFailed`] instead of hanging.
+    fn wake_all(&self) {
+        for mbox in self.boxes.iter() {
+            let _guard = mbox.state.lock();
             mbox.signal.notify_all();
         }
     }
@@ -280,12 +397,12 @@ impl Shared {
     /// pre-wait check or is woken by the notify — there is no window
     /// for a lost wakeup. The loom model
     /// `poison_always_wakes_blocked_recv` proves this exhaustively.
+    /// Detector waiters (`epoch_sync`, `await_failed`) use the same
+    /// flag-under-lock pattern against the health condvar.
     fn poison(&self) {
         self.poisoned.store(true, Ordering::SeqCst);
-        for mbox in self.boxes.iter() {
-            let _guard = mbox.state.lock();
-            mbox.signal.notify_all();
-        }
+        self.wake_all();
+        self.health.wake();
     }
 }
 
@@ -294,17 +411,19 @@ pub struct Machine {
     ranks: usize,
     plan: FaultPlan,
     watchdog: Option<Duration>,
+    heartbeat: Option<HeartbeatConfig>,
 }
 
 impl Machine {
     /// Create a machine with `ranks` simulated ranks.
-    #[must_use] 
+    #[must_use]
     pub fn new(ranks: usize) -> Self {
         assert!(ranks > 0, "need at least one rank");
         Machine {
             ranks,
             plan: FaultPlan::none(),
             watchdog: None,
+            heartbeat: None,
         }
     }
 
@@ -318,9 +437,21 @@ impl Machine {
     /// Fail any `recv` that waits longer than `timeout` with a diagnostic
     /// [`CommError::Timeout`] panic (which poisons the machine) instead of
     /// blocking forever. Essential when drops are injected.
-    #[must_use] 
+    #[must_use]
     pub fn with_watchdog(mut self, timeout: Duration) -> Self {
         self.watchdog = Some(timeout);
+        self
+    }
+
+    /// Attach a heartbeat failure detector: [`Machine::try_run`] spawns
+    /// a monitor thread that scans every `cfg.scan_interval` and
+    /// declares silent, epoch-behind ranks `Failed` (see
+    /// [`health`]). Step-structured drivers then use
+    /// [`Comm::admit_step`] / [`Comm::rejoin_as_replacement`] to turn a
+    /// killed rank into an online recovery instead of a poisoned run.
+    #[must_use]
+    pub fn with_heartbeat(mut self, cfg: HeartbeatConfig) -> Self {
+        self.heartbeat = Some(cfg);
         self
     }
 
@@ -352,13 +483,35 @@ impl Machine {
         let shared = self.make_shared();
         let next_context = Arc::new(AtomicU64::new(1));
         let first_failure: Mutex<Option<(usize, String)>> = Mutex::new(None);
+        // Rank threads count themselves out so the heartbeat monitor
+        // (which must not keep `thread::scope` alive forever) knows when
+        // to exit. SeqCst: gates the monitor's shutdown control flow.
+        let finished = Arc::new(AtomicU64::new(0));
         let mut results: Vec<Option<T>> = (0..self.ranks).map(|_| None).collect();
         std::thread::scope(|scope| {
+            if self.heartbeat.is_some() {
+                let shared = Arc::clone(&shared);
+                let finished = Arc::clone(&finished);
+                let ranks = self.ranks as u64;
+                scope.spawn(move || {
+                    let interval = shared.health.scan_interval();
+                    while finished.load(Ordering::SeqCst) < ranks {
+                        std::thread::sleep(interval);
+                        if !shared.health.scan().is_empty() {
+                            // A rank was just declared failed: wake every
+                            // blocked receiver so waits on the dead source
+                            // re-check and surface `RankFailed`.
+                            shared.wake_all();
+                        }
+                    }
+                });
+            }
             for (rank, slot) in results.iter_mut().enumerate() {
                 let shared = Arc::clone(&shared);
                 let next_context = Arc::clone(&next_context);
                 let f = &f;
                 let first_failure = &first_failure;
+                let finished = Arc::clone(&finished);
                 let ranks = self.ranks;
                 scope.spawn(move || {
                     let shared_outer = Arc::clone(&shared);
@@ -390,6 +543,7 @@ impl Machine {
                             shared_outer.poison();
                         }
                     }
+                    finished.fetch_add(1, Ordering::SeqCst);
                 });
             }
         });
@@ -437,6 +591,7 @@ impl Machine {
             watchdog: self.watchdog,
             counters: FaultCounters::default(),
             holdback: (0..self.ranks).map(|_| Mutex::new(Vec::new())).collect(),
+            health: HealthState::new(self.ranks, self.heartbeat),
         })
     }
 
@@ -478,6 +633,18 @@ fn panic_message(payload: &(dyn Any + Send)) -> String {
                 .map(|e| e.to_string())
         })
         .unwrap_or_else(|| "<non-string panic payload>".to_string())
+}
+
+/// Outcome of [`Comm::admit_step`].
+#[derive(Debug, Clone)]
+pub enum StepAdmission {
+    /// All live ranks reached this epoch; `failed` lists any ranks the
+    /// monitor declared dead that recovery must now handle.
+    Proceed(EpochReport),
+    /// This rank is dead to the rest of the machine — killed by the
+    /// fault plan here, or fenced after a late heartbeat. Drop all
+    /// local state and call [`Comm::rejoin_as_replacement`].
+    Dead,
 }
 
 /// A communicator handle owned by one rank.
@@ -523,6 +690,154 @@ impl Comm {
         }
     }
 
+    /// Failure-aware replacement for [`Comm::begin_step`] on machines
+    /// with a heartbeat monitor. Call collectively (on the world
+    /// communicator) at the top of step `step`:
+    ///
+    /// - A rank scheduled to die here does **not** beat the epoch — it
+    ///   goes silent and returns [`StepAdmission::Dead`] (the monitor
+    ///   will detect the silence and declare it). A rank whose late
+    ///   heartbeat finds itself already declared `Failed` is fenced and
+    ///   also returns `Dead`. Either way the rank must drop its state
+    ///   and call [`Comm::rejoin_as_replacement`].
+    /// - Every other rank beats epoch `step`, then blocks until all
+    ///   ranks have either reached the epoch or been declared dead, and
+    ///   returns [`StepAdmission::Proceed`] with the (possibly empty)
+    ///   failed set every survivor agrees on.
+    #[must_use]
+    pub fn admit_step(&self, step: u64) -> StepAdmission {
+        assert!(
+            self.shared.health.enabled(),
+            "admit_step requires Machine::with_heartbeat"
+        );
+        let me = self.global(self.rank);
+        if self.shared.plan.should_kill(me, step) {
+            // Silent death: no beat, no panic — detection is the
+            // monitor's job, exactly as with a real dead node.
+            return StepAdmission::Dead;
+        }
+        match self.shared.health.beat(me, step) {
+            RankStatus::Failed | RankStatus::Rebuilding => StepAdmission::Dead,
+            RankStatus::Healthy | RankStatus::Suspected => {
+                match self.shared.health.epoch_sync(step, &self.shared.poisoned) {
+                    Ok(report) => StepAdmission::Proceed(report),
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        }
+    }
+
+    /// A dead rank's re-entry point: block until the monitor declares
+    /// this rank's death (acknowledging it, `Failed → Rebuilding`) and
+    /// return the last epoch it completed. The caller then participates
+    /// in the recovery collectives as a blank replacement and finishes
+    /// with [`Comm::mark_recovered`].
+    #[must_use]
+    pub fn rejoin_as_replacement(&self) -> u64 {
+        let me = self.global(self.rank);
+        match self.shared.health.await_failed(me, &self.shared.poisoned) {
+            Ok(epoch) => epoch,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Survivors' counterpart to [`Comm::rejoin_as_replacement`]: block
+    /// until every rank in `failed` has acknowledged its death, closing
+    /// the window in which a receive could misread the incoming
+    /// replacement as still dead. Call before the first recovery
+    /// collective.
+    pub fn await_rebirth(&self, failed: &[usize]) {
+        let global: Vec<usize> = failed.iter().map(|&r| self.global(r)).collect();
+        if let Err(e) = self.shared.health.await_rebirth(&global, &self.shared.poisoned) {
+            panic!("{e}");
+        }
+    }
+
+    /// Reconstruction done: this (replacement) rank rejoins the healthy
+    /// population at `epoch`.
+    pub fn mark_recovered(&self, epoch: u64) {
+        let me = self.global(self.rank);
+        self.shared.health.mark_recovered(me, epoch);
+    }
+
+    /// Every rank the detector currently considers dead (`Failed` or
+    /// `Rebuilding`), as `(global rank, last completed epoch)` in rank
+    /// order. A replacement calls this right after
+    /// [`Comm::rejoin_as_replacement`] to learn whether other ranks died
+    /// in the same epoch — the set it sees is a superset of the one the
+    /// survivors agreed on, identical in the single-failure case the
+    /// Tier-0 recovery path handles.
+    #[must_use]
+    pub fn dead_set(&self) -> Vec<(usize, u64)> {
+        if !self.shared.health.enabled() {
+            return Vec::new();
+        }
+        self.shared.health.dead_set()
+    }
+
+    /// Detector status of communicator rank `rank` (for diagnostics and
+    /// tests); `Healthy` on machines without a monitor.
+    #[must_use]
+    pub fn rank_status(&self, rank: usize) -> RankStatus {
+        if !self.shared.health.enabled() {
+            return RankStatus::Healthy;
+        }
+        self.shared.health.status(self.global(rank))
+    }
+
+    /// Agreement collective over the survivors of `report`: every
+    /// survivor contributes its failed-set view and asserts all views
+    /// are identical, returning the agreed set. Runs on a shrunken
+    /// survivor communicator whose context every member derives
+    /// *deterministically* from `(parent context, epoch, failed set)` —
+    /// no collective with the dead ranks is needed to construct it,
+    /// which is the whole point (cf. ULFM's `MPI_Comm_shrink` +
+    /// `MPI_Comm_agree`). Failed ranks must not call this.
+    #[must_use]
+    pub fn agree_failed(&self, report: &EpochReport) -> Vec<(usize, u64)> {
+        let mut h = fault::mix64(self.context ^ 0x5ec0_17ab_1e5d_a157);
+        for &(r, e) in &report.failed {
+            h = fault::mix64(h ^ r as u64);
+            h = fault::mix64(h ^ e);
+        }
+        h = fault::mix64(h ^ report.epoch);
+        let survivors: Vec<usize> = (0..self.size())
+            .filter(|r| !report.failed.iter().any(|&(fr, _)| fr == *r))
+            .collect();
+        let sub = self.subset(&survivors, h);
+        let mine: Vec<u64> = std::iter::once(report.epoch)
+            .chain(report.failed.iter().flat_map(|&(r, e)| [r as u64, e]))
+            .collect();
+        let views = sub.allgather(mine.clone());
+        for (peer, view) in views.iter().enumerate() {
+            assert_eq!(
+                view, &mine,
+                "failure-agreement divergence between survivor {peer} and rank {}",
+                sub.rank()
+            );
+        }
+        report.failed.clone()
+    }
+
+    /// A sub-communicator over `members` (communicator-local ranks, in
+    /// order) with an explicitly chosen context. The caller must be a
+    /// member and every member must derive the same `context`.
+    fn subset(&self, members: &[usize], context: u64) -> Comm {
+        let group: Vec<usize> = members.iter().map(|&r| self.global(r)).collect();
+        let me = self.global(self.rank);
+        let new_rank = group
+            .iter()
+            .position(|&g| g == me)
+            .expect("subset: caller must be a member");
+        Comm {
+            shared: Arc::clone(&self.shared),
+            context,
+            next_context: Arc::clone(&self.next_context),
+            rank: new_rank,
+            group: group.into(),
+        }
+    }
+
     /// Send `data` to communicator rank `dst` with `tag`. Buffered —
     /// returns immediately.
     pub fn send<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
@@ -533,6 +848,8 @@ impl Comm {
         // under them; read exactly after join (FaultCounters audit).
         self.shared.bytes_sent[me].fetch_add(bytes, Ordering::Relaxed);
         self.shared.msgs_sent[me].fetch_add(1, Ordering::Relaxed);
+        // Every send doubles as a heartbeat (no-op without a monitor).
+        self.shared.health.tick(me);
         let plan = &self.shared.plan;
         if let Some(slow) = plan.slow() {
             if slow.rank == me {
@@ -553,10 +870,11 @@ impl Comm {
         } else {
             FaultAction::None
         };
+        let wire = Wire::new(self.context, me as u64, tag, seq, bytes);
         let ctrs = &self.shared.counters;
         match action {
             FaultAction::None => {
-                st.deliver(ctrs, key, seq, Some(Box::new(data)));
+                st.deliver(ctrs, key, seq, &wire, Some(Box::new(data)));
                 drop(st);
                 mbox.signal.notify_all();
             }
@@ -570,10 +888,10 @@ impl Comm {
                 // Retransmission re-sends the payload bytes.
                 self.shared.bytes_sent[me].fetch_add(bytes, Ordering::Relaxed);
                 self.shared.msgs_sent[me].fetch_add(1, Ordering::Relaxed);
-                st.deliver(ctrs, key, seq, Some(Box::new(data)));
+                st.deliver(ctrs, key, seq, &wire, Some(Box::new(data)));
                 // The ghost carries only the duplicate sequence number;
                 // the receiver's dedup discards it by seq alone.
-                st.deliver(ctrs, key, seq, None);
+                st.deliver(ctrs, key, seq, &wire, None);
                 drop(st);
                 mbox.signal.notify_all();
             }
@@ -584,9 +902,21 @@ impl Comm {
                     dst: dst_global,
                     key,
                     seq,
+                    wire,
                     payload: Box::new(data),
                 });
                 return; // flushed after later traffic
+            }
+            FaultAction::Corrupt => {
+                ctrs.corrupted.fetch_add(1, Ordering::Relaxed);
+                // Flip one bit of the transmitted image; the receiving
+                // transport's CRC check rejects the frame (counted as
+                // `corrupt_detected` in `deliver`).
+                let bit = plan.corrupt_bit(self.context, me, dst_global, tag, seq);
+                let torn = wire.flip_bit(bit);
+                st.deliver(ctrs, key, seq, &torn, Some(Box::new(data)));
+                drop(st);
+                mbox.signal.notify_all();
             }
         }
         // Any message held back earlier is now "later" than the traffic
@@ -603,7 +933,7 @@ impl Comm {
     pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
         match self.recv_result(src, tag) {
             Ok(v) => v,
-            Err(e @ CommError::Timeout { .. }) => panic!("{e}"),
+            Err(e @ (CommError::Timeout { .. } | CommError::RankFailed { .. })) => panic!("{e}"),
             Err(CommError::Poisoned) => panic!("machine poisoned: another rank panicked"),
         }
     }
@@ -641,7 +971,8 @@ impl Comm {
         // before it can send us anything — flush before blocking.
         self.shared.flush_holdback(me);
         let mbox = &self.shared.boxes[me];
-        let key = (self.context, self.global(src), tag);
+        let src_global = self.global(src);
+        let key = (self.context, src_global, tag);
         let start = Instant::now();
         let deadline = timeout.map(|t| start + t);
         let mut st = mbox.state.lock();
@@ -660,6 +991,20 @@ impl Comm {
             // lost-wakeup window; model-checked in tests/loom.rs).
             if self.shared.poisoned.load(Ordering::SeqCst) {
                 return Err(CommError::Poisoned);
+            }
+            // With a heartbeat monitor attached, a wait on a source that
+            // stands declared `Failed` can never be satisfied: surface
+            // it as a survivable error. (The monitor wakes every mailbox
+            // after a declaration, so a blocked receiver reaches this
+            // check. Health state is a leaf lock — safe to take under
+            // the mailbox lock; see `HealthState` docs.)
+            if self.shared.health.enabled() {
+                if let Some(epoch) = self.shared.health.failed_epoch_of(src_global) {
+                    return Err(CommError::RankFailed {
+                        rank: src_global,
+                        epoch,
+                    });
+                }
             }
             match deadline {
                 None => mbox.signal.wait(&mut st),
@@ -1377,5 +1722,135 @@ mod tests {
             .run(|c| c.allreduce_sum(c.rank() as f64))
             .0;
         assert_eq!(clean, slowed);
+    }
+
+    /// An injected bit-flip is caught by the receiver's CRC and surfaces
+    /// exactly like a drop: a diagnosable sequence gap that names the
+    /// corruption, never silently torn data.
+    #[test]
+    fn corrupted_frame_is_detected_and_discarded() {
+        let plan = FaultPlan::seeded(11).corrupt_prob(1.0);
+        let (res, stats) = Machine::new(2).with_faults(plan).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 9, vec![1.5f64, 2.5]);
+                Ok(vec![])
+            } else {
+                c.recv_timeout::<f64>(0, 9, Duration::from_millis(50))
+            }
+        });
+        assert_eq!(stats.faults.corrupted, 1);
+        assert_eq!(stats.faults.corrupt_detected, 1);
+        let err = res[1].clone().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("failed CRC"), "diagnosis must name the corruption: {msg}");
+    }
+
+    /// Sub-unity corruption probability under a collective workload:
+    /// every injected corruption is detected (counters agree), and with
+    /// a watchdog the run errors out diagnosably rather than hanging.
+    #[test]
+    fn every_injected_corruption_is_detected() {
+        let plan = FaultPlan::seeded(5).corrupt_prob(0.3);
+        let result = Machine::new(4)
+            .with_faults(plan)
+            .with_watchdog(Duration::from_millis(100))
+            .try_run(|c| {
+                for _ in 0..4 {
+                    let _ = c.allreduce_sum(c.rank() as f64);
+                }
+            });
+        match result {
+            // Corruption discards frames, so collectives stall on the gap.
+            Err(MachineError::RankPanicked { message, .. }) => {
+                assert!(
+                    message.contains("comm timeout") || message.contains("poisoned"),
+                    "got: {message}"
+                );
+            }
+            Ok((_, stats)) => assert_eq!(stats.faults.corrupted, 0, "clean only if none injected"),
+        }
+    }
+
+    /// End-to-end heartbeat detection: a rank goes silent at its kill
+    /// step, the monitor declares it, survivors get the failed set from
+    /// `admit_step` + `agree_failed`, the replacement rejoins, and the
+    /// machine finishes with **no** poisoning.
+    #[test]
+    fn silent_kill_is_detected_and_survived() {
+        let hb = HeartbeatConfig {
+            scan_interval: Duration::from_millis(10),
+            suspect_scans: 3,
+            confirm_scans: 3,
+            sync_timeout: Duration::from_secs(10),
+        };
+        let plan = FaultPlan::seeded(2).kill_rank_at_step(1, 3);
+        let (res, _) = Machine::new(3)
+            .with_faults(plan)
+            .with_heartbeat(hb)
+            .try_run(|c| {
+                let mut detected = Vec::new();
+                for step in 1..=5u64 {
+                    match c.admit_step(step) {
+                        StepAdmission::Dead => {
+                            let epoch = c.rejoin_as_replacement();
+                            assert_eq!(epoch, step - 1, "died after completing step-1");
+                            detected.push((c.rank(), epoch));
+                            // Rejoin the recovery collective the survivors run.
+                            let _ = c.allreduce_sum(0.0);
+                            c.mark_recovered(step);
+                        }
+                        StepAdmission::Proceed(report) => {
+                            if !report.failed.is_empty() {
+                                let agreed = c.agree_failed(&report);
+                                detected.extend(agreed.iter().copied());
+                                c.await_rebirth(&[agreed[0].0]);
+                                let _ = c.allreduce_sum(1.0);
+                            }
+                        }
+                    }
+                    // Normal step traffic.
+                    let _ = c.allreduce_sum(c.rank() as f64);
+                }
+                detected
+            })
+            .expect("machine survives the silent kill without poisoning");
+        // Every rank observed exactly the one failure, with the epoch it
+        // last completed (killed entering step 3 ⇒ completed epoch 2).
+        for view in &res {
+            assert_eq!(view, &vec![(1usize, 2u64)]);
+        }
+    }
+
+    /// A recv blocked on a source that dies silently fails over to
+    /// `RankFailed` once the monitor declares the death — not a hang,
+    /// not a poison.
+    #[test]
+    fn recv_on_dead_source_reports_rank_failed() {
+        let hb = HeartbeatConfig {
+            scan_interval: Duration::from_millis(10),
+            suspect_scans: 3,
+            confirm_scans: 3,
+            sync_timeout: Duration::from_secs(10),
+        };
+        let plan = FaultPlan::seeded(4).kill_rank_at_step(0, 1);
+        let (res, _) = Machine::new(2)
+            .with_faults(plan)
+            .with_heartbeat(hb)
+            .try_run(|c| {
+                if let StepAdmission::Dead = c.admit_step(1) {
+                    // Stay dead (no rejoin): models a node that never
+                    // comes back, so its status remains `Failed`.
+                    return Err(CommError::Poisoned); // placeholder; never asserted
+                }
+                // Rank 1 blocks on traffic the dead rank 0 will never send.
+                c.recv_result::<u8>(0, 77)
+            })
+            .expect("no poisoning");
+        match &res[1] {
+            Err(CommError::RankFailed { rank, epoch }) => {
+                assert_eq!((*rank, *epoch), (0, 0));
+            }
+            other => panic!("expected RankFailed, got {other:?}"),
+        }
     }
 }

@@ -18,7 +18,7 @@
 
 #![cfg(loom)]
 
-use hacc_comm::{CommError, FaultPlan, Machine};
+use hacc_comm::{CommError, FaultPlan, HealthState, HeartbeatConfig, Machine, RankStatus};
 use std::collections::BTreeSet;
 use std::sync::{Arc as StdArc, Mutex as StdMutex};
 use std::time::Duration;
@@ -199,6 +199,72 @@ fn barrier_round_has_no_deadlock() {
         c1.barrier();
         t.join().unwrap();
     });
+}
+
+/// The failure detector's suspected-vs-late-heartbeat race, explored
+/// exhaustively. Rank 1 is epoch-behind and silent; a monitor thread
+/// runs the two scans that would harden `Healthy → Suspected → Failed`
+/// (thresholds of 1 scan each) while rank 1's belated epoch beat lands
+/// at an arbitrary point in between. The detector contract under every
+/// interleaving:
+///
+/// - beat returned `Healthy` ⇒ the suspicion was cleared in time, no
+///   failure is ever declared, and the rank ends `Healthy` (its beat
+///   put it at the epoch frontier, so further silence is not
+///   suspectable);
+/// - beat returned `Failed` ⇒ the declaration came first and *stands*
+///   (fencing): exactly one `(rank, epoch)` failure report was emitted
+///   and the late beat did not resurrect the rank.
+///
+/// Both outcomes must actually be reached by the search, proving the
+/// race window is real and both sides of it are handled.
+#[test]
+fn late_heartbeat_races_failure_declaration() {
+    let outcomes = StdArc::new(StdMutex::new(BTreeSet::new()));
+    let seen = StdArc::clone(&outcomes);
+    loom::model(move || {
+        let cfg = HeartbeatConfig {
+            scan_interval: Duration::from_millis(1),
+            suspect_scans: 1,
+            confirm_scans: 1,
+            sync_timeout: Duration::from_millis(200),
+        };
+        let h = StdArc::new(HealthState::new(2, Some(cfg)));
+        // Rank 0 establishes epoch 1, leaving rank 1 behind the
+        // frontier and therefore suspectable.
+        h.beat(0, 1);
+        let monitor = {
+            let h = StdArc::clone(&h);
+            loom::thread::spawn(move || {
+                let mut declared = h.scan();
+                declared.extend(h.scan());
+                declared
+            })
+        };
+        let verdict = h.beat(1, 1);
+        let declared = monitor.join().unwrap();
+        match verdict {
+            RankStatus::Healthy => {
+                assert!(
+                    declared.is_empty(),
+                    "beat cleared the suspicion, yet a failure was declared: {declared:?}"
+                );
+                assert_eq!(h.status(1), RankStatus::Healthy);
+                seen.lock().unwrap().insert("beat_won");
+            }
+            RankStatus::Failed => {
+                assert_eq!(declared, vec![(1, 0)], "exactly one declaration");
+                assert_eq!(h.status(1), RankStatus::Failed, "declared dead stays dead");
+                seen.lock().unwrap().insert("declaration_won");
+            }
+            other => panic!("beat returned {other:?}"),
+        }
+    });
+    let outcomes = outcomes.lock().unwrap();
+    assert!(
+        outcomes.contains("beat_won") && outcomes.contains("declaration_won"),
+        "search did not reach both sides of the race: {outcomes:?}"
+    );
 }
 
 /// Collective context sequencing: both ranks `duplicate()` concurrently

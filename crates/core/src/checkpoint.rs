@@ -141,6 +141,29 @@ pub fn complete_sets(dir: &Path, nranks: usize) -> Vec<u64> {
         .collect()
 }
 
+/// Delete every *complete* checkpoint set in `dir` except the newest
+/// `keep`, returning the number of files removed. Incomplete sets (a
+/// run may still be writing the newest one) and foreign files are left
+/// alone, as are `.tmp` leftovers from interrupted atomic writes —
+/// [`complete_sets`] never counts either, so they are inert. Call from
+/// one rank only (the driver uses rank 0) after a set finishes; old
+/// sets are dead weight, not write targets, so there is no race with
+/// concurrent checkpoint writers.
+#[must_use = "the removal count distinguishes a trimmed directory from a no-op"]
+pub fn gc_checkpoints(dir: &Path, nranks: usize, keep: usize) -> usize {
+    let sets = complete_sets(dir, nranks);
+    let cut = sets.len().saturating_sub(keep);
+    let mut removed = 0;
+    for &step in &sets[..cut] {
+        for rank in 0..nranks {
+            if std::fs::remove_file(checkpoint_path(dir, step, rank, nranks)).is_ok() {
+                removed += 1;
+            }
+        }
+    }
+    removed
+}
+
 /// Validate a loaded snapshot against the caller's configuration and
 /// rank geometry, returning the recorded step index.
 fn validate(
@@ -257,10 +280,17 @@ impl<'a> DistSimulation<'a> {
     /// Write this rank's file of the `step_index` checkpoint set into
     /// `dir` (created if absent). Every rank calls this; the set is
     /// complete once all files exist.
+    ///
+    /// The file is written to a `.tmp` sibling and renamed into place,
+    /// so a crash mid-write leaves either the previous version or no
+    /// file — never a torn one that [`complete_sets`] would count and
+    /// restart would then have to CRC-reject.
     pub fn checkpoint_to(&self, dir: &Path, step_index: u64) -> Result<PathBuf, CheckpointError> {
         std::fs::create_dir_all(dir).map_err(GenioError::Io)?;
         let path = checkpoint_path(dir, step_index, self.comm().rank(), self.comm().size());
-        self.checkpoint(step_index).write_file(&path)?;
+        let tmp = path.with_extension("gio.tmp");
+        self.checkpoint(step_index).write_file(&tmp)?;
+        std::fs::rename(&tmp, &path).map_err(GenioError::Io)?;
         Ok(path)
     }
 
@@ -447,6 +477,38 @@ mod tests {
         touch(4, 0); // rank 1's file missing: incomplete
         std::fs::write(dir.join("unrelated.dat"), b"x").unwrap();
         assert_eq!(complete_sets(&dir, 2), vec![2]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interrupted_write_leaves_no_countable_file() {
+        // A `.tmp` leftover must be invisible to set discovery.
+        let p = checkpoint_path(Path::new("/tmp/x"), 3, 1, 4);
+        let tmp = p.with_extension("gio.tmp");
+        let name = tmp.file_name().unwrap().to_str().unwrap();
+        assert_eq!(parse_name(name), None, "tmp file parsed as a checkpoint");
+    }
+
+    #[test]
+    fn gc_retains_newest_sets_and_spares_strays() {
+        let dir = std::env::temp_dir().join(format!("hacc_ckpt_gc_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let touch = |step: u64, rank: usize| {
+            std::fs::write(checkpoint_path(&dir, step, rank, 2), b"x").unwrap();
+        };
+        for step in [2, 4, 6] {
+            touch(step, 0);
+            touch(step, 1);
+        }
+        touch(8, 0); // incomplete newest set: a run may still be writing it
+        std::fs::write(dir.join("unrelated.dat"), b"x").unwrap();
+        assert_eq!(gc_checkpoints(&dir, 2, 2), 2, "only set 2's files removed");
+        assert_eq!(complete_sets(&dir, 2), vec![4, 6]);
+        assert!(checkpoint_path(&dir, 8, 0, 2).exists(), "incomplete set touched");
+        assert!(dir.join("unrelated.dat").exists(), "foreign file touched");
+        // Already within budget: nothing further to remove.
+        assert_eq!(gc_checkpoints(&dir, 2, 2), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

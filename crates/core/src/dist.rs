@@ -17,7 +17,7 @@
 use std::time::Instant;
 
 use hacc_comm::Comm;
-use hacc_domain::{refresh, Decomposition, Packed, Particles};
+use hacc_domain::{refresh, salvage_refresh, Decomposition, Packed, Particles};
 use hacc_fft::SlabFft;
 use hacc_pm::{DistPoisson, GridForceFit};
 use hacc_short::{ForceKernel, RcbTree};
@@ -136,8 +136,106 @@ impl<'a> DistSimulation<'a> {
         }
     }
 
+    /// A blank replacement view for a rank being rebuilt online: correct
+    /// geometry and schedule position (`a`), no particles yet. The tiered
+    /// recovery driver constructs this on the respawned thread before the
+    /// [`Self::reconstruct_ranks`] collective fills it.
+    #[must_use]
+    pub fn blank_replacement(comm: &'a Comm, cfg: SimConfig, a: f64) -> Self {
+        Self::from_checkpoint_state(comm, cfg, a, Particles::default())
+    }
+
+    /// Tier-0 online reconstruction (collective over **all** ranks —
+    /// survivors with full state, each failed rank as a blank
+    /// replacement).
+    ///
+    /// One global [`hacc_domain::salvage_refresh`] pass rebuilds the
+    /// active partition from every surviving copy: survivors' actives
+    /// are re-homed authoritatively (a particle that drifted into a
+    /// failed domain since the last refresh is handed off, never
+    /// duplicated by its replicas), survivors' passive replicas
+    /// resurrect the particles that died with the failed ranks (lowest
+    /// donor rank wins, deterministically), and a particle that drifted
+    /// *out* of a failed domain is promoted from the replica its new
+    /// owner already holds. An ordinary [`hacc_domain::refresh`] then
+    /// rebuilds every overload shell — re-establishing the failed
+    /// ranks' replicas on their neighbors and re-importing the shells
+    /// they lost.
+    ///
+    /// Returns the post-recovery global active count. The caller must
+    /// compare it against the expected particle total: a shortfall means
+    /// particles sat deeper than the overload depth and every copy died
+    /// with the failed ranks — coverage is incomplete and recovery must
+    /// escalate to checkpoint rollback.
+    pub fn reconstruct_ranks(&mut self, failed: &[usize]) -> usize {
+        debug_assert!(
+            !failed.contains(&self.comm.rank()) || self.parts.is_empty(),
+            "a failed rank must re-enter reconstruction as a blank replacement"
+        );
+        salvage_refresh(self.comm, &self.decomp, &mut self.parts);
+        refresh(self.comm, &self.decomp, &mut self.parts);
+        self.global_count()
+    }
+
+    /// Overload shell depth in grid cells — the paper's replication
+    /// width, and the Tier-0 coverage bound: a particle is recoverable
+    /// online only while some neighbor's replica of it lies within this
+    /// depth of the domain face.
+    #[must_use]
+    pub fn overload_depth_cells(&self) -> f64 {
+        self.w_cells
+    }
+
+    /// Collective physics-invariant sample over the active population:
+    /// non-finite phase-space entries, total momentum, total kinetic
+    /// energy. Reduced to rank 0 and broadcast, so every rank sees
+    /// bitwise-identical values — the watchdog verdicts derived from a
+    /// sample are globally consistent by construction.
+    #[must_use]
+    pub fn invariant_sample(&self) -> crate::invariant::InvariantSample {
+        let mut non_finite = 0u64;
+        let mut p = [0.0f64; 3];
+        let mut ke = 0.0f64;
+        for i in 0..self.parts.n_active {
+            let v = [
+                self.parts.x[i],
+                self.parts.y[i],
+                self.parts.z[i],
+                self.parts.vx[i],
+                self.parts.vy[i],
+                self.parts.vz[i],
+            ];
+            if v.iter().any(|c| !c.is_finite()) {
+                non_finite += 1;
+                continue;
+            }
+            let (vx, vy, vz) = (f64::from(v[3]), f64::from(v[4]), f64::from(v[5]));
+            p[0] += vx;
+            p[1] += vy;
+            p[2] += vz;
+            ke += 0.5 * (vx * vx + vy * vy + vz * vz);
+        }
+        let g = self.comm.allreduce(
+            vec![
+                non_finite as f64,
+                p[0],
+                p[1],
+                p[2],
+                ke,
+                self.parts.n_active as f64,
+            ],
+            |a, b| a + b,
+        );
+        crate::invariant::InvariantSample {
+            non_finite: g[0] as u64,
+            momentum: [g[1], g[2], g[3]],
+            kinetic: g[4],
+            count: g[5] as u64,
+        }
+    }
+
     /// Local particle store (active prefix + passive replicas).
-    #[must_use] 
+    #[must_use]
     pub fn particles(&self) -> &Particles {
         &self.parts
     }

@@ -1,0 +1,214 @@
+//! Physics invariant watchdogs for the tiered recovery driver.
+//!
+//! Failure detection by heartbeat catches a rank that goes *silent*;
+//! these monitors catch the quieter disaster of a rank that keeps
+//! stepping with corrupted state. Three cheap collective checks run
+//! after every long-range step (one 6-word allreduce in
+//! [`crate::DistSimulation::invariant_sample`]):
+//!
+//! - **Non-finite scan.** Any NaN/∞ in the active phase space is
+//!   unconditionally fatal to the in-memory state — NaNs propagate
+//!   through the CIC deposit to the whole mesh within a step — so a
+//!   single hit escalates straight to checkpoint rollback.
+//! - **Momentum drift.** The symmetric short-range walk conserves
+//!   momentum to round-off and the PM force is curl-free to stencil
+//!   accuracy, so total momentum wanders only by accumulation noise. A
+//!   drift beyond `momentum_tol` × (count × v_rms) flags either a
+//!   corrupted subset of particles or a broken recovery.
+//! - **Kinetic-energy blowup.** Per-step growth of Σ½v² beyond
+//!   `kinetic_growth_factor` is the classic signature of a particle pair
+//!   collapsing onto a singular force evaluation; legitimate gravita-
+//!   tional collapse at these step sizes grows KE by percent-level
+//!   factors, orders of magnitude below the gate.
+//!
+//! Verdicts are pure functions of the allreduced sample, so every rank
+//! reaches the same verdict without further communication. The driver
+//! reacts by tier: a healthy sample right after a Tier-0 reconstruction
+//! earns a *proactive checkpoint* (locking in the recovered state), a
+//! breach escalates to Tier-1 rollback, and a breach with no checkpoint
+//! to roll back to aborts with the diagnosis (Tier 2).
+
+use std::fmt;
+
+/// One collective measurement of the global phase-space invariants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvariantSample {
+    /// Active particles with any non-finite phase-space component.
+    pub non_finite: u64,
+    /// Total momentum (unit particle mass), Σv.
+    pub momentum: [f64; 3],
+    /// Total kinetic energy, Σ½v².
+    pub kinetic: f64,
+    /// Global active-particle count.
+    pub count: u64,
+}
+
+/// Tuning for the invariant watchdogs.
+#[derive(Debug, Clone, Copy)]
+pub struct InvariantConfig {
+    /// Allowed total-momentum drift from the baseline, as a fraction of
+    /// `count × v_rms` (the natural momentum scale of the population).
+    pub momentum_tol: f64,
+    /// Allowed per-assessment kinetic-energy growth factor.
+    pub kinetic_growth_factor: f64,
+}
+
+impl Default for InvariantConfig {
+    fn default() -> Self {
+        // Loose gates: these must never fire on healthy accumulation
+        // noise (PM interpolation asymmetry drifts momentum by ~1e-6 of
+        // the scale per step; collapse grows KE by percents), only on
+        // state corruption.
+        InvariantConfig {
+            momentum_tol: 0.05,
+            kinetic_growth_factor: 100.0,
+        }
+    }
+}
+
+/// Outcome of one watchdog assessment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvariantVerdict {
+    /// All monitors within bounds.
+    Pass,
+    /// A monitor tripped; the message names it with the numbers.
+    Breach(String),
+}
+
+impl fmt::Display for InvariantVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantVerdict::Pass => write!(f, "invariants ok"),
+            InvariantVerdict::Breach(m) => write!(f, "invariant breach: {m}"),
+        }
+    }
+}
+
+/// Stateful watchdog: remembers the momentum baseline and the previous
+/// kinetic energy. Feed it the allreduced sample after every step; since
+/// the sample is identical on every rank, so is the verdict.
+#[derive(Debug, Clone)]
+pub struct InvariantMonitor {
+    cfg: InvariantConfig,
+    baseline_momentum: Option<[f64; 3]>,
+    prev_kinetic: Option<f64>,
+}
+
+impl InvariantMonitor {
+    /// A monitor with no baseline yet; the first assessment establishes
+    /// it.
+    #[must_use]
+    pub fn new(cfg: InvariantConfig) -> Self {
+        InvariantMonitor {
+            cfg,
+            baseline_momentum: None,
+            prev_kinetic: None,
+        }
+    }
+
+    /// Drop the baselines. Call after any recovery that legitimately
+    /// perturbs the global state (Tier-0 reconstruction replaces lost
+    /// particles with force-noise-accurate replicas; Tier-1 rollback
+    /// rewinds it), so stale baselines don't charge the new trajectory
+    /// with a phantom drift.
+    pub fn rebaseline(&mut self) {
+        self.baseline_momentum = None;
+        self.prev_kinetic = None;
+    }
+
+    /// Assess one sample against the configured gates.
+    pub fn assess(&mut self, s: &InvariantSample) -> InvariantVerdict {
+        if s.non_finite > 0 {
+            return InvariantVerdict::Breach(format!(
+                "{} particle(s) with non-finite phase-space state",
+                s.non_finite
+            ));
+        }
+        // Natural momentum scale: count × v_rms = sqrt(2·KE·count).
+        let scale = (2.0 * s.kinetic * s.count as f64).sqrt().max(f64::EPSILON);
+        if let Some(base) = self.baseline_momentum {
+            let drift = (0..3)
+                .map(|a| (s.momentum[a] - base[a]).abs())
+                .fold(0.0f64, f64::max);
+            if drift > self.cfg.momentum_tol * scale {
+                return InvariantVerdict::Breach(format!(
+                    "momentum drift {drift:.3e} exceeds {} of the population scale {scale:.3e}",
+                    self.cfg.momentum_tol
+                ));
+            }
+        } else {
+            self.baseline_momentum = Some(s.momentum);
+        }
+        if let Some(prev) = self.prev_kinetic {
+            if prev > 0.0 && s.kinetic > prev * self.cfg.kinetic_growth_factor {
+                return InvariantVerdict::Breach(format!(
+                    "kinetic energy exploded {prev:.3e} → {:.3e} in one step",
+                    s.kinetic
+                ));
+            }
+        }
+        self.prev_kinetic = Some(s.kinetic);
+        InvariantVerdict::Pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(p: [f64; 3], ke: f64) -> InvariantSample {
+        InvariantSample {
+            non_finite: 0,
+            momentum: p,
+            kinetic: ke,
+            count: 1000,
+        }
+    }
+
+    #[test]
+    fn healthy_sequence_passes() {
+        let mut m = InvariantMonitor::new(InvariantConfig::default());
+        // v_rms = 1 ⇒ KE = 500, scale = 1000; drift well inside 5%.
+        for k in 0..10 {
+            let wiggle = 1e-3 * f64::from(k);
+            let v = m.assess(&sample([wiggle, -wiggle, 0.0], 500.0 + f64::from(k)));
+            assert_eq!(v, InvariantVerdict::Pass, "step {k}: {v}");
+        }
+    }
+
+    #[test]
+    fn nan_is_fatal_immediately() {
+        let mut m = InvariantMonitor::new(InvariantConfig::default());
+        let mut s = sample([0.0; 3], 500.0);
+        s.non_finite = 3;
+        match m.assess(&s) {
+            InvariantVerdict::Breach(msg) => assert!(msg.contains("non-finite"), "{msg}"),
+            v => panic!("expected breach, got {v}"),
+        }
+    }
+
+    #[test]
+    fn momentum_drift_beyond_tolerance_breaches() {
+        let mut m = InvariantMonitor::new(InvariantConfig::default());
+        assert_eq!(m.assess(&sample([0.0; 3], 500.0)), InvariantVerdict::Pass);
+        // scale = sqrt(2·500·1000) = 1000; 5% gate ⇒ 50 < 100 drift fires.
+        match m.assess(&sample([100.0, 0.0, 0.0], 500.0)) {
+            InvariantVerdict::Breach(msg) => assert!(msg.contains("momentum drift"), "{msg}"),
+            v => panic!("expected breach, got {v}"),
+        }
+    }
+
+    #[test]
+    fn kinetic_explosion_breaches_and_rebaseline_forgives() {
+        let mut m = InvariantMonitor::new(InvariantConfig::default());
+        assert_eq!(m.assess(&sample([0.0; 3], 500.0)), InvariantVerdict::Pass);
+        match m.assess(&sample([0.0; 3], 500.0 * 200.0)) {
+            InvariantVerdict::Breach(msg) => assert!(msg.contains("kinetic"), "{msg}"),
+            v => panic!("expected breach, got {v}"),
+        }
+        // After a rollback the monitor restarts from the restored state.
+        m.rebaseline();
+        assert_eq!(m.assess(&sample([0.0; 3], 500.0)), InvariantVerdict::Pass);
+        assert_eq!(m.assess(&sample([1.0, 0.0, 0.0], 510.0)), InvariantVerdict::Pass);
+    }
+}

@@ -27,6 +27,7 @@
 pub mod checkpoint;
 pub mod config;
 pub mod dist;
+pub mod invariant;
 pub mod resilient;
 pub mod sim;
 pub mod stats;
@@ -34,6 +35,10 @@ pub mod stats;
 pub use checkpoint::{config_fingerprint, CheckpointError};
 pub use config::{SimConfig, SolverKind};
 pub use dist::DistSimulation;
-pub use resilient::{run_resilient, RecoveryEvent, ResilienceConfig, ResilienceError, ResilientRun};
+pub use invariant::{InvariantConfig, InvariantMonitor, InvariantSample, InvariantVerdict};
+pub use resilient::{
+    run_resilient, write_timeline_json, RecoveryEvent, ResilienceConfig, ResilienceError,
+    ResilientRun,
+};
 pub use sim::Simulation;
 pub use stats::{RunStats, StepBreakdown};

@@ -1,31 +1,49 @@
 //! Fault-tolerant recovery driver: run to completion through failures.
 //!
-//! Ties the three fault-tolerance layers together the way a production
-//! HACC campaign does:
+//! Ties the fault-tolerance layers together the way a production HACC
+//! campaign does, in escalating tiers (DESIGN.md §11):
 //!
-//! 1. the stepper checkpoints every K long-range steps through
-//!    [`crate::checkpoint`] (one CRC-validated file per rank);
-//! 2. the simulated machine reports a dead rank as a value
-//!    ([`Machine::try_run`]) instead of tearing the process down;
-//! 3. [`run_resilient`] catches the failure, backs off, and relaunches —
-//!    the new attempt restores itself from the newest checkpoint set
-//!    every rank can validate and replays only the lost steps.
+//! * **Tier 0 — online reconstruction.** With a heartbeat monitor
+//!   attached ([`ResilienceConfig::heartbeat`]), a silently killed rank
+//!   is *detected* at the next epoch boundary instead of hanging the
+//!   machine. Survivors rebuild the lost domain from their particle
+//!   overload shells ([`DistSimulation::reconstruct_ranks`]) while the
+//!   fenced rank rejoins as a blank replacement — no rollback, no
+//!   checkpoint I/O, computation continues from the very step that
+//!   observed the death.
+//! * **Tier 1 — checkpoint rollback.** When Tier 0 cannot certify the
+//!   recovered state — the global count shows particles sat deeper than
+//!   the overload shell (or drifted out of it), or a physics invariant
+//!   watchdog trips ([`crate::invariant`]) — every rank collectively
+//!   restores the newest checkpoint set it can validate and replays.
+//! * **Tier 2 — abort with diagnosis.** Escalation with no usable
+//!   checkpoint, or repeated rollbacks without progress, abort the
+//!   attempt with a `tier-2 abort:` marker; the outer driver records
+//!   the diagnosis and falls back to its oldest trick — relaunching
+//!   the whole attempt (cold if need be) until retries run out.
 //!
-//! Because a restored attempt is bit-identical to the uninterrupted
-//! trajectory (see [`crate::checkpoint`]), the final state after any
-//! number of mid-run failures equals the failure-free result exactly.
-//! The driver records a [`RecoveryEvent`] timeline so a run can report
-//! what it survived.
+//! Tier decisions are collective-safe without extra communication:
+//! counts and invariant samples come from `allreduce`, which reduces to
+//! rank 0 and broadcasts, so every rank compares bitwise-identical
+//! numbers and takes the same branch.
+//!
+//! Without a heartbeat the driver degrades to the PR-1 behaviour: a
+//! killed rank panics the machine and the next attempt restores from
+//! the newest checkpoint — still bit-exact w.r.t. an uninterrupted run
+//! (see [`crate::checkpoint`]). Either way the driver records a
+//! [`RecoveryEvent`] timeline so a run can report what it survived;
+//! [`write_timeline_json`] serializes it for CI artifacts.
 
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-use hacc_comm::{FaultPlan, Machine, MachineError};
+use hacc_comm::{Comm, FaultPlan, HeartbeatConfig, Machine, MachineError, StepAdmission};
 
-use crate::checkpoint::{complete_sets, CheckpointError};
+use crate::checkpoint::{complete_sets, gc_checkpoints, CheckpointError};
 use crate::config::SimConfig;
 use crate::dist::DistSimulation;
+use crate::invariant::{InvariantConfig, InvariantMonitor, InvariantVerdict};
 
 /// Policy knobs for [`run_resilient`].
 #[derive(Debug, Clone)]
@@ -35,7 +53,8 @@ pub struct ResilienceConfig {
     /// Write a checkpoint set every this many completed steps (the final
     /// step is always checkpointed).
     pub checkpoint_every: u64,
-    /// Relaunch attempts after the first, before giving up.
+    /// Relaunch attempts after the first, before giving up. Also bounds
+    /// Tier-1 rollbacks within one attempt.
     pub max_retries: u32,
     /// Pause before the first relaunch.
     pub backoff: Duration,
@@ -44,13 +63,25 @@ pub struct ResilienceConfig {
     /// Per-receive watchdog for the relaunched machines; a lost message
     /// then surfaces as a diagnostic timeout instead of a hang.
     pub watchdog: Option<Duration>,
+    /// Attach a heartbeat failure detector and recover rank deaths
+    /// *online* (Tier 0/1 in-run) instead of relaunching the attempt.
+    pub heartbeat: Option<HeartbeatConfig>,
+    /// Physics invariant watchdogs (NaN scan, momentum drift, kinetic
+    /// blowup) assessed after every step; a breach escalates to Tier 1.
+    pub invariants: Option<InvariantConfig>,
+    /// Keep only the newest this-many complete checkpoint sets,
+    /// garbage-collecting older ones after each write (`None` = keep
+    /// all).
+    pub retain: Option<usize>,
     /// Directory holding the checkpoint sets.
     pub dir: PathBuf,
 }
 
 impl ResilienceConfig {
     /// Sensible defaults: checkpoint every 2 steps, 3 retries, 10 ms
-    /// initial backoff doubling per failure, no watchdog.
+    /// initial backoff doubling per failure, no watchdog, no heartbeat
+    /// (relaunch-only recovery), no invariant monitors, keep every
+    /// checkpoint.
     pub fn new(ranks: usize, dir: impl Into<PathBuf>) -> Self {
         ResilienceConfig {
             ranks,
@@ -59,6 +90,9 @@ impl ResilienceConfig {
             backoff: Duration::from_millis(10),
             backoff_factor: 2.0,
             watchdog: None,
+            heartbeat: None,
+            invariants: None,
+            retain: None,
             dir: dir.into(),
         }
     }
@@ -104,6 +138,65 @@ pub enum RecoveryEvent {
         /// Total completed steps.
         final_step: u64,
     },
+    /// The heartbeat monitor declared a rank dead; recovery begins.
+    RankFailureDetected {
+        /// Step whose admission surfaced the death.
+        step: u64,
+        /// The dead rank.
+        rank: usize,
+        /// Last epoch the rank completed before dying.
+        epoch: u64,
+    },
+    /// Tier 0: the lost domains were rebuilt online from overload
+    /// shells, with the full particle population accounted for.
+    Tier0Reconstructed {
+        /// Step whose admission surfaced the death.
+        step: u64,
+        /// The ranks rebuilt.
+        ranks: Vec<usize>,
+        /// Post-recovery global active count (equals the expected total).
+        count: usize,
+    },
+    /// Tier 0 could not account for every particle: some sat deeper
+    /// than the overload shell (or drifted out of it) and died with the
+    /// rank.
+    Tier0Incomplete {
+        /// Step whose admission surfaced the death.
+        step: u64,
+        /// Particles the run must contain.
+        expected: usize,
+        /// Particles actually recovered.
+        got: usize,
+    },
+    /// Tier 1: every rank restored the newest checkpoint set validating
+    /// on all ranks and replays from `resume_step`.
+    Tier1Rollback {
+        /// Step at which escalation was decided.
+        step: u64,
+        /// Completed steps in the restored checkpoint.
+        resume_step: u64,
+    },
+    /// Tier 2: recovery could not proceed (no checkpoint, or rollbacks
+    /// without progress); the attempt aborted with this diagnosis.
+    Tier2Abort {
+        /// Attempt that aborted.
+        attempt: u32,
+        /// The diagnosis carried by the abort.
+        reason: String,
+    },
+    /// A physics invariant watchdog tripped on the global state.
+    InvariantBreach {
+        /// Step whose post-state breached.
+        step: u64,
+        /// Which monitor fired, with the numbers.
+        detail: String,
+    },
+    /// A checkpoint written outside the periodic schedule to lock in a
+    /// freshly recovered state.
+    ProactiveCheckpoint {
+        /// Completed steps captured by the checkpoint.
+        step: u64,
+    },
 }
 
 impl fmt::Display for RecoveryEvent {
@@ -129,8 +222,128 @@ impl fmt::Display for RecoveryEvent {
                 attempt,
                 final_step,
             } => write!(f, "attempt {attempt}: completed step {final_step}"),
+            RecoveryEvent::RankFailureDetected { step, rank, epoch } => write!(
+                f,
+                "step {step}: rank {rank} declared dead (last completed epoch {epoch})"
+            ),
+            RecoveryEvent::Tier0Reconstructed { step, ranks, count } => write!(
+                f,
+                "step {step}: tier-0 rebuilt rank(s) {ranks:?} from overload shells \
+                 ({count} particles accounted for)"
+            ),
+            RecoveryEvent::Tier0Incomplete {
+                step,
+                expected,
+                got,
+            } => write!(
+                f,
+                "step {step}: tier-0 incomplete ({got} of {expected} particles recovered)"
+            ),
+            RecoveryEvent::Tier1Rollback { step, resume_step } => write!(
+                f,
+                "step {step}: tier-1 rollback to checkpoint at step {resume_step}"
+            ),
+            RecoveryEvent::Tier2Abort { attempt, reason } => {
+                write!(f, "attempt {attempt}: tier-2 abort: {reason}")
+            }
+            RecoveryEvent::InvariantBreach { step, detail } => {
+                write!(f, "step {step}: {detail}")
+            }
+            RecoveryEvent::ProactiveCheckpoint { step } => {
+                write!(f, "proactive checkpoint at step {step}")
+            }
         }
     }
+}
+
+impl RecoveryEvent {
+    /// One JSON object describing this event (manual serialization, as
+    /// elsewhere in the workspace — no serde dependency).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        match self {
+            RecoveryEvent::AttemptStarted {
+                attempt,
+                resume_step,
+            } => {
+                let resume = resume_step.map_or("null".into(), |s| s.to_string());
+                format!(r#"{{"event":"attempt_started","attempt":{attempt},"resume_step":{resume}}}"#)
+            }
+            RecoveryEvent::Failure {
+                attempt,
+                rank,
+                message,
+            } => format!(
+                r#"{{"event":"attempt_failed","attempt":{attempt},"rank":{rank},"message":"{}"}}"#,
+                json_escape(message)
+            ),
+            RecoveryEvent::BackedOff { attempt, pause } => format!(
+                r#"{{"event":"backed_off","attempt":{attempt},"pause_ms":{}}}"#,
+                pause.as_millis()
+            ),
+            RecoveryEvent::Completed {
+                attempt,
+                final_step,
+            } => format!(r#"{{"event":"completed","attempt":{attempt},"final_step":{final_step}}}"#),
+            RecoveryEvent::RankFailureDetected { step, rank, epoch } => format!(
+                r#"{{"event":"rank_failure_detected","step":{step},"rank":{rank},"epoch":{epoch}}}"#
+            ),
+            RecoveryEvent::Tier0Reconstructed { step, ranks, count } => {
+                let ranks: Vec<String> = ranks.iter().map(ToString::to_string).collect();
+                format!(
+                    r#"{{"event":"tier0_reconstructed","step":{step},"ranks":[{}],"count":{count}}}"#,
+                    ranks.join(",")
+                )
+            }
+            RecoveryEvent::Tier0Incomplete {
+                step,
+                expected,
+                got,
+            } => format!(
+                r#"{{"event":"tier0_incomplete","step":{step},"expected":{expected},"got":{got}}}"#
+            ),
+            RecoveryEvent::Tier1Rollback { step, resume_step } => format!(
+                r#"{{"event":"tier1_rollback","step":{step},"resume_step":{resume_step}}}"#
+            ),
+            RecoveryEvent::Tier2Abort { attempt, reason } => format!(
+                r#"{{"event":"tier2_abort","attempt":{attempt},"reason":"{}"}}"#,
+                json_escape(reason)
+            ),
+            RecoveryEvent::InvariantBreach { step, detail } => format!(
+                r#"{{"event":"invariant_breach","step":{step},"detail":"{}"}}"#,
+                json_escape(detail)
+            ),
+            RecoveryEvent::ProactiveCheckpoint { step } => {
+                format!(r#"{{"event":"proactive_checkpoint","step":{step}}}"#)
+            }
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Write a recovery timeline as a JSON array (one event object per
+/// line), creating parent directories as needed. CI's fault-matrix job
+/// uploads these as artifacts.
+pub fn write_timeline_json(path: &Path, timeline: &[RecoveryEvent]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let body: Vec<String> = timeline.iter().map(|e| format!("  {}", e.to_json())).collect();
+    std::fs::write(path, format!("[\n{}\n]\n", body.join(",\n")))
 }
 
 /// The outcome of a successful resilient run.
@@ -138,12 +351,13 @@ impl fmt::Display for RecoveryEvent {
 pub struct ResilientRun {
     /// Everything that happened, in order.
     pub timeline: Vec<RecoveryEvent>,
-    /// Attempts launched (1 = no failures).
+    /// Attempts launched (1 = no failures, or every failure recovered
+    /// online).
     pub attempts: u32,
     /// Completed long-range steps.
     pub final_step: u64,
     /// Final `(id, position)` of every particle, gathered to rank 0 and
-    /// sorted by id — bit-exact w.r.t. an uninterrupted run.
+    /// sorted by id.
     pub positions: Vec<(u64, [f32; 3])>,
 }
 
@@ -173,14 +387,20 @@ impl fmt::Display for ResilienceError {
 
 impl std::error::Error for ResilienceError {}
 
+/// What one rank hands back from an attempt: rank 0's gathered
+/// positions plus its view of the in-run recovery events.
+type AttemptOutput = (Option<Vec<(u64, [f32; 3])>>, Vec<RecoveryEvent>);
+
 /// Run `cfg`'s full schedule on a simulated machine under `plan`,
-/// surviving injected failures by checkpoint/restart.
+/// surviving injected failures by the tiered recovery protocol.
 ///
 /// Each attempt resumes from the newest valid checkpoint set in
-/// `rc.dir` (cold-starting from `ics` when none exists), checkpoints
-/// every `rc.checkpoint_every` steps, and announces each step to the
-/// fault plan via [`hacc_comm::Comm::begin_step`] so step-targeted kills
-/// fire. A failed attempt costs an exponentially growing pause; after
+/// `rc.dir` (cold-starting from `ics` when none exists) and checkpoints
+/// every `rc.checkpoint_every` steps. With `rc.heartbeat` set, rank
+/// deaths are detected and recovered *inside* the attempt (Tier 0
+/// overload reconstruction, escalating to Tier 1 rollback); without it,
+/// a death panics the attempt and recovery is relaunch-from-checkpoint.
+/// A failed attempt costs an exponentially growing pause; after
 /// `rc.max_retries` relaunches the driver gives up and returns the
 /// timeline for diagnosis.
 pub fn run_resilient(
@@ -200,31 +420,24 @@ pub fn run_resilient(
         if let Some(w) = rc.watchdog {
             machine = machine.with_watchdog(w);
         }
-        let result = machine.try_run(|comm| {
-            let (mut sim, done) = match DistSimulation::resume_from(&comm, cfg, &rc.dir) {
-                Ok(resumed) => resumed,
-                Err(CheckpointError::NoCheckpoint) => (DistSimulation::new(&comm, cfg, ics), 0),
-                Err(e) => panic!("checkpoint restore failed: {e}"),
-            };
-            let edges = cfg.step_edges();
-            for k in done as usize..cfg.steps {
-                let step = (k + 1) as u64;
-                comm.begin_step(step);
-                sim.step(edges[k + 1]);
-                if step.is_multiple_of(rc.checkpoint_every) || step == cfg.steps as u64 {
-                    if let Err(e) = sim.checkpoint_to(&rc.dir, step) {
-                        panic!("checkpoint write failed at step {step}: {e}");
-                    }
-                }
+        if let Some(hb) = rc.heartbeat {
+            machine = machine.with_heartbeat(hb);
+        }
+        let online = rc.heartbeat.is_some();
+        let result = machine.try_run(|comm| -> AttemptOutput {
+            if online {
+                run_attempt_online(&comm, cfg, ics, rc)
+            } else {
+                run_attempt_legacy(&comm, cfg, ics, rc)
             }
-            sim.gather_positions()
         });
         match result {
-            Ok((mut per_rank, _stats)) => {
-                let positions = per_rank
-                    .iter_mut()
-                    .find_map(Option::take)
-                    .expect("rank 0 gathered positions");
+            Ok((per_rank, _stats)) => {
+                let (positions, events) = per_rank
+                    .into_iter()
+                    .next()
+                    .expect("machine returns at least rank 0");
+                timeline.extend(events);
                 timeline.push(RecoveryEvent::Completed {
                     attempt,
                     final_step: cfg.steps as u64,
@@ -233,15 +446,22 @@ pub fn run_resilient(
                     timeline,
                     attempts: attempt,
                     final_step: cfg.steps as u64,
-                    positions,
+                    positions: positions.expect("rank 0 gathered positions"),
                 });
             }
             Err(MachineError::RankPanicked { rank, message }) => {
-                timeline.push(RecoveryEvent::Failure {
-                    attempt,
-                    rank,
-                    message: message.clone(),
-                });
+                if let Some(reason) = message.split("tier-2 abort: ").nth(1) {
+                    timeline.push(RecoveryEvent::Tier2Abort {
+                        attempt,
+                        reason: reason.to_string(),
+                    });
+                } else {
+                    timeline.push(RecoveryEvent::Failure {
+                        attempt,
+                        rank,
+                        message: message.clone(),
+                    });
+                }
                 if attempt > rc.max_retries {
                     return Err(ResilienceError::RetriesExhausted {
                         attempts: attempt,
@@ -254,6 +474,218 @@ pub fn run_resilient(
                 timeline.push(RecoveryEvent::BackedOff { attempt, pause });
                 std::thread::sleep(pause);
             }
+        }
+    }
+}
+
+/// The PR-1 recovery path: no failure detector, so an injected kill
+/// panics the machine and the *next attempt* restores from checkpoint.
+fn run_attempt_legacy(
+    comm: &Comm,
+    cfg: SimConfig,
+    ics: &hacc_ics::IcsRealization,
+    rc: &ResilienceConfig,
+) -> AttemptOutput {
+    let (mut sim, done) = match DistSimulation::resume_from(comm, cfg, &rc.dir) {
+        Ok(resumed) => resumed,
+        Err(CheckpointError::NoCheckpoint) => (DistSimulation::new(comm, cfg, ics), 0),
+        Err(e) => panic!("checkpoint restore failed: {e}"),
+    };
+    let edges = cfg.step_edges();
+    for k in done as usize..cfg.steps {
+        let step = (k + 1) as u64;
+        comm.begin_step(step);
+        sim.step(edges[k + 1]);
+        if step.is_multiple_of(rc.checkpoint_every) || step == cfg.steps as u64 {
+            if let Err(e) = sim.checkpoint_to(&rc.dir, step) {
+                panic!("checkpoint write failed at step {step}: {e}");
+            }
+            maybe_gc(comm, rc);
+        }
+    }
+    (sim.gather_positions(), Vec::new())
+}
+
+/// The online recovery path: every step is admitted through the
+/// heartbeat epoch barrier, a detected death triggers in-run tiered
+/// recovery, and (optionally) invariant watchdogs vet every new state.
+fn run_attempt_online(
+    comm: &Comm,
+    cfg: SimConfig,
+    ics: &hacc_ics::IcsRealization,
+    rc: &ResilienceConfig,
+) -> AttemptOutput {
+    let mut events = Vec::new();
+    let expected = ics.len();
+    let (mut sim, done) = match DistSimulation::resume_from(comm, cfg, &rc.dir) {
+        Ok(resumed) => resumed,
+        Err(CheckpointError::NoCheckpoint) => (DistSimulation::new(comm, cfg, ics), 0),
+        Err(e) => panic!("checkpoint restore failed: {e}"),
+    };
+    let edges = cfg.step_edges();
+    let mut monitor = rc.invariants.map(InvariantMonitor::new);
+    let mut rollbacks = 0u32;
+    let mut k = done as usize;
+    while k < cfg.steps {
+        let (failed_now, replacement) = match comm.admit_step((k + 1) as u64) {
+            StepAdmission::Proceed(report) if report.failed.is_empty() => (Vec::new(), false),
+            StepAdmission::Proceed(report) => (comm.agree_failed(&report), false),
+            StepAdmission::Dead => {
+                // This rank was killed silently; the thread now plays
+                // the respawned replacement. Its pre-death state is
+                // gone as far as the protocol is concerned — it will be
+                // overwritten before any use. `epoch` is the last step
+                // it completed, which every survivor also stands at
+                // (they cannot pass the epoch barrier ahead of the
+                // death declaration).
+                let epoch = comm.rejoin_as_replacement();
+                k = epoch as usize;
+                (comm.dead_set(), true)
+            }
+        };
+        let step = (k + 1) as u64;
+        if !failed_now.is_empty() {
+            for &(r, e) in &failed_now {
+                events.push(RecoveryEvent::RankFailureDetected {
+                    step,
+                    rank: r,
+                    epoch: e,
+                });
+            }
+            let failed_ranks: Vec<usize> = failed_now.iter().map(|&(r, _)| r).collect();
+            if replacement {
+                sim = DistSimulation::blank_replacement(comm, cfg, edges[k]);
+            } else {
+                comm.await_rebirth(&failed_ranks);
+            }
+            // Tier 0: rebuild the lost domains from overload shells.
+            // The count compares identically on every rank (allreduce),
+            // so the tier decision is collective-safe.
+            let count = sim.reconstruct_ranks(&failed_ranks);
+            if replacement {
+                comm.mark_recovered(step);
+            }
+            let mut certified = count == expected;
+            if certified {
+                events.push(RecoveryEvent::Tier0Reconstructed {
+                    step,
+                    ranks: failed_ranks,
+                    count,
+                });
+                // Vet the reconstruction against the pre-failure
+                // baseline: replicas track their lost originals only to
+                // force-noise, but anything beyond the drift gate means
+                // the rebuild is not the state that died.
+                if let Some(mon) = monitor.as_mut() {
+                    if let InvariantVerdict::Breach(why) = mon.assess(&sim.invariant_sample()) {
+                        events.push(RecoveryEvent::InvariantBreach { step, detail: why });
+                        certified = false;
+                    }
+                }
+            } else {
+                events.push(RecoveryEvent::Tier0Incomplete {
+                    step,
+                    expected,
+                    got: count,
+                });
+            }
+            if certified {
+                // Lock the recovered state in before stepping on: a
+                // second failure must not compound with this one.
+                match sim.checkpoint_to(&rc.dir, k as u64) {
+                    Ok(_) => events.push(RecoveryEvent::ProactiveCheckpoint { step: k as u64 }),
+                    Err(e) => panic!("proactive checkpoint failed at step {k}: {e}"),
+                }
+                maybe_gc(comm, rc);
+                // Fall through and execute `step`: survivors admitted
+                // it above, and the replacement inherits that admission
+                // (re-admitting here would deadlock the barrier).
+            } else {
+                let (restored, resumed) =
+                    tier1_rollback(comm, cfg, rc, step, &mut rollbacks, &mut events, &mut monitor);
+                sim = restored;
+                k = resumed;
+                continue;
+            }
+        }
+        sim.step(edges[k + 1]);
+        // Vet the new state before it can reach a checkpoint file.
+        if let Some(mon) = monitor.as_mut() {
+            if let InvariantVerdict::Breach(why) = mon.assess(&sim.invariant_sample()) {
+                events.push(RecoveryEvent::InvariantBreach { step, detail: why });
+                let (restored, resumed) =
+                    tier1_rollback(comm, cfg, rc, step, &mut rollbacks, &mut events, &mut monitor);
+                sim = restored;
+                k = resumed;
+                continue;
+            }
+        }
+        k += 1;
+        if step.is_multiple_of(rc.checkpoint_every) || step == cfg.steps as u64 {
+            if let Err(e) = sim.checkpoint_to(&rc.dir, step) {
+                panic!("checkpoint write failed at step {step}: {e}");
+            }
+            maybe_gc(comm, rc);
+        }
+    }
+    (sim.gather_positions(), events)
+}
+
+/// Tier 1: collectively restore the newest checkpoint set every rank
+/// can validate; escalate to a Tier-2 abort when that is impossible or
+/// rollbacks stop making progress. All ranks reach identical decisions
+/// (the triggers are allreduced quantities), so the `resume_from`
+/// collective and the abort are globally consistent.
+fn tier1_rollback<'a>(
+    comm: &'a Comm,
+    cfg: SimConfig,
+    rc: &ResilienceConfig,
+    step: u64,
+    rollbacks: &mut u32,
+    events: &mut Vec<RecoveryEvent>,
+    monitor: &mut Option<InvariantMonitor>,
+) -> (DistSimulation<'a>, usize) {
+    *rollbacks += 1;
+    if *rollbacks > rc.max_retries.max(1) {
+        panic!(
+            "tier-2 abort: {} checkpoint rollbacks without completing the schedule \
+             (deterministic replay keeps re-triggering escalation at step {step})",
+            *rollbacks
+        );
+    }
+    match DistSimulation::resume_from(comm, cfg, &rc.dir) {
+        Ok((restored, resume_step)) => {
+            events.push(RecoveryEvent::Tier1Rollback { step, resume_step });
+            // The restored trajectory is a different (earlier) state;
+            // drifts must be measured against it, not the abandoned one.
+            if let Some(mon) = monitor.as_mut() {
+                mon.rebaseline();
+            }
+            (restored, resume_step as usize)
+        }
+        Err(CheckpointError::NoCheckpoint) => panic!(
+            "tier-2 abort: escalation at step {step} found no checkpoint set to roll back to \
+             (overload coverage was incomplete and no prior state survives)"
+        ),
+        Err(e) => panic!("tier-2 abort: rollback at step {step} failed: {e}"),
+    }
+}
+
+/// Trim old checkpoint sets after a write (collective when enabled).
+/// The barrier makes every rank's just-written file visible before
+/// rank 0 collects, so the newest set always counts as complete and
+/// the trim is deterministic; without it, rank 0 could scan while
+/// peers are still writing and conservatively spare an extra old set.
+/// Old sets themselves are dead weight, not write targets, so rank 0
+/// deletes them without further synchronization.
+fn maybe_gc(comm: &Comm, rc: &ResilienceConfig) {
+    if rc.retain.is_none() {
+        return;
+    }
+    comm.barrier();
+    if comm.rank() == 0 {
+        if let Some(keep) = rc.retain {
+            let _removed = gc_checkpoints(&rc.dir, comm.size(), keep);
         }
     }
 }
@@ -287,5 +719,51 @@ mod tests {
             resume_step: None,
         };
         assert!(format!("{c}").contains("cold start"));
+        let t0 = RecoveryEvent::Tier0Reconstructed {
+            step: 3,
+            ranks: vec![1],
+            count: 4096,
+        };
+        assert!(format!("{t0}").contains("tier-0"));
+        let t1 = RecoveryEvent::Tier1Rollback {
+            step: 3,
+            resume_step: 2,
+        };
+        assert!(format!("{t1}").contains("tier-1"));
+    }
+
+    #[test]
+    fn timeline_serializes_to_json() {
+        let timeline = vec![
+            RecoveryEvent::AttemptStarted {
+                attempt: 1,
+                resume_step: None,
+            },
+            RecoveryEvent::RankFailureDetected {
+                step: 3,
+                rank: 1,
+                epoch: 2,
+            },
+            RecoveryEvent::Tier0Incomplete {
+                step: 3,
+                expected: 4096,
+                got: 4000,
+            },
+            RecoveryEvent::Tier2Abort {
+                attempt: 1,
+                reason: "a \"quoted\"\ndiagnosis".into(),
+            },
+        ];
+        let dir = std::env::temp_dir().join(format!("hacc_timeline_{}", std::process::id()));
+        let path = dir.join("nested").join("timeline.json");
+        write_timeline_json(&path, &timeline).expect("write");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        assert!(body.starts_with("[\n"));
+        assert!(body.contains(r#""event":"rank_failure_detected","step":3,"rank":1"#));
+        assert!(body.contains(r#"\"quoted\"\n"#), "escaping failed: {body}");
+        // Parses as far as our own reader needs: balanced brackets, one
+        // object per entry.
+        assert_eq!(body.matches("{\"event\"").count(), timeline.len());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -210,17 +210,35 @@ impl Decomposition {
     /// of a particle at (wrapped) `pos`, excluding the unshifted owner
     /// entry. Shifts are expressed in the destination frame (`stored
     /// position = pos + shift`).
-    #[must_use] 
+    ///
+    /// Convenience wrapper over [`Self::overload_targets_into`] that
+    /// allocates a fresh `Vec`; hot paths ([`refresh`]) reuse an
+    /// [`OverloadTargets`] buffer instead.
+    #[must_use]
     pub fn overload_targets(&self, pos: [f64; 3]) -> Vec<(usize, [f64; 3])> {
+        let mut buf = OverloadTargets::default();
+        self.overload_targets_into(pos, &mut buf);
+        buf.as_slice().to_vec()
+    }
+
+    /// Allocation-free form of [`Self::overload_targets`]: clears `out`
+    /// and fills it with the (rank, shift) images of `pos`. The buffer is
+    /// inline (capacity 26 = 3³−1, the geometric maximum), so a refresh
+    /// loop reuses one buffer for every particle.
+    pub fn overload_targets_into(&self, pos: [f64; 3], out: &mut OverloadTargets) {
+        out.clear();
         let w = self.overload;
-        // Per-axis candidates: (block index, shift).
-        let mut cand: [Vec<(usize, f64)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        // Per-axis candidates: (block index, shift). At most the home
+        // block plus one face neighbor per side.
+        let mut cand = [[(0usize, 0.0f64); 3]; 3];
+        let mut cand_n = [0usize; 3];
         for a in 0..3 {
             let d = self.dims[a];
             let bw = self.box_len / d as f64;
             let x = self.wrap(pos[a]);
             let b = ((x / bw) as usize).min(d - 1);
-            cand[a].push((b, 0.0));
+            cand[a][0] = (b, 0.0);
+            cand_n[a] = 1;
             if x - b as f64 * bw < w {
                 // Within w of the lower face: the block below keeps a copy.
                 let (nb, shift) = if b == 0 {
@@ -228,7 +246,8 @@ impl Decomposition {
                 } else {
                     (b - 1, 0.0)
                 };
-                cand[a].push((nb, shift));
+                cand[a][cand_n[a]] = (nb, shift);
+                cand_n[a] += 1;
             }
             if (b + 1) as f64 * bw - x <= w {
                 let (nb, shift) = if b + 1 == d {
@@ -236,14 +255,14 @@ impl Decomposition {
                 } else {
                     (b + 1, 0.0)
                 };
-                cand[a].push((nb, shift));
+                cand[a][cand_n[a]] = (nb, shift);
+                cand_n[a] += 1;
             }
         }
         let owner = self.owner_of(pos);
-        let mut out = Vec::new();
-        for &(bx, sx) in &cand[0] {
-            for &(by, sy) in &cand[1] {
-                for &(bz, sz) in &cand[2] {
+        for &(bx, sx) in &cand[0][..cand_n[0]] {
+            for &(by, sy) in &cand[1][..cand_n[1]] {
+                for &(bz, sz) in &cand[2][..cand_n[2]] {
                     let r = self.rank_of([bx, by, bz]);
                     let shift = [sx, sy, sz];
                     if r == owner && shift == [0.0, 0.0, 0.0] {
@@ -253,13 +272,70 @@ impl Decomposition {
                     // both faces produce the same wrapped block with the
                     // same shift — cannot happen since shifts differ, but
                     // keep the check for safety).
-                    if !out.contains(&(r, shift)) {
-                        out.push((r, shift));
+                    if !out.as_slice().contains(&(r, shift)) {
+                        out.push(r, shift);
                     }
                 }
             }
         }
-        out
+    }
+}
+
+/// Inline, fixed-capacity buffer of overload (rank, shift) images —
+/// the `SmallVec`-style target list of
+/// [`Decomposition::overload_targets_into`]. Capacity 26 (= 3³−1) is the
+/// geometric maximum: one image per neighboring block of the 3×3×3
+/// stencil around the owner.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadTargets {
+    buf: [(usize, [f64; 3]); 26],
+    len: usize,
+}
+
+impl Default for OverloadTargets {
+    fn default() -> Self {
+        OverloadTargets {
+            buf: [(0, [0.0; 3]); 26],
+            len: 0,
+        }
+    }
+}
+
+impl OverloadTargets {
+    /// The filled prefix.
+    #[must_use]
+    pub fn as_slice(&self) -> &[(usize, [f64; 3])] {
+        &self.buf[..self.len]
+    }
+
+    /// Number of targets currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no targets are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drop all targets (capacity is inline; this is free).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    fn push(&mut self, rank: usize, shift: [f64; 3]) {
+        self.buf[self.len] = (rank, shift);
+        self.len += 1;
+    }
+}
+
+impl<'a> IntoIterator for &'a OverloadTargets {
+    type Item = &'a (usize, [f64; 3]);
+    type IntoIter = std::slice::Iter<'a, (usize, [f64; 3])>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
     }
 }
 
@@ -282,6 +358,7 @@ struct Tagged {
 pub fn refresh(comm: &Comm, decomp: &Decomposition, particles: &mut Particles) {
     assert_eq!(comm.size(), decomp.ranks(), "decomposition/communicator mismatch");
     let mut sends: Vec<Vec<Tagged>> = (0..comm.size()).map(|_| Vec::new()).collect();
+    let mut targets = OverloadTargets::default();
     for i in 0..particles.n_active {
         let mut p = particles.pack(i);
         // Wrap into the periodic box.
@@ -295,7 +372,8 @@ pub fn refresh(comm: &Comm, decomp: &Decomposition, particles: &mut Particles) {
             active: 1,
             _pad: 0,
         });
-        for (rank, shift) in decomp.overload_targets(pos) {
+        decomp.overload_targets_into(pos, &mut targets);
+        for &(rank, shift) in &targets {
             let mut q = p;
             q.x = (pos[0] + shift[0]) as f32;
             q.y = (pos[1] + shift[1]) as f32;
@@ -322,6 +400,111 @@ pub fn refresh(comm: &Comm, decomp: &Decomposition, particles: &mut Particles) {
         }
     }
     *particles = fresh;
+}
+
+/// Scan this rank's **passive** replicas for particles whose tracked
+/// position lies inside `failed`'s domain — the surviving redundancy
+/// from which a lost rank is rebuilt online.
+///
+/// Replicas are stored in the local shifted frame; each hit is returned
+/// wrapped into the periodic box (the owner frame), ready to become an
+/// active particle on the replacement rank. Replicas drift with locally
+/// interpolated forces between refreshes, so a recovered particle
+/// matches the lost original to force-noise accuracy, and a particle
+/// that drifted *out* of the failed domain since the last refresh is
+/// (correctly) not claimed — the coverage check downstream detects the
+/// loss and escalates the recovery tier.
+#[must_use]
+pub fn salvage_for(decomp: &Decomposition, particles: &Particles, failed: usize) -> Vec<Packed> {
+    let mut out = Vec::new();
+    for i in particles.n_active..particles.len() {
+        let mut p = particles.pack(i);
+        p.x = decomp.wrap(f64::from(p.x)) as f32;
+        p.y = decomp.wrap(f64::from(p.y)) as f32;
+        p.z = decomp.wrap(f64::from(p.z)) as f32;
+        let pos = [f64::from(p.x), f64::from(p.y), f64::from(p.z)];
+        if decomp.owner_of(pos) == failed {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Rebuild a globally consistent active partition from *every* surviving
+/// copy after rank failure (collective — survivors call it with their
+/// full stores, each replacement with an empty one).
+///
+/// Each rank routes everything it holds to the owner of the particle's
+/// current wrapped position: active records as authoritative ownership
+/// transfers (exactly the migration an ordinary [`refresh`] performs)
+/// and passive overload replicas as redundant candidates. A receiver
+/// adopts one copy per particle id — an authoritative record when one
+/// survives (so a particle that drifted across a boundary since the
+/// last refresh is handed off once, never duplicated by its replicas),
+/// otherwise the replica donated by the lowest donor rank (its active
+/// copy died with a failed rank; a neighbor's overload replica
+/// resurrects it, accurate to the force noise replicas accumulate
+/// between refreshes). Adopted records are sorted by id, so the rebuilt
+/// store is identical however messages interleave.
+///
+/// Replicas reach only overload depth into a domain, so a particle whose
+/// every copy lived on failed ranks is simply absent from the result;
+/// callers compare the global active count against the expected total
+/// and escalate the recovery tier on a shortfall. Passive shells are
+/// left empty — run [`refresh`] afterwards to rebuild them.
+pub fn salvage_refresh(comm: &Comm, decomp: &Decomposition, particles: &mut Particles) {
+    assert_eq!(comm.size(), decomp.ranks(), "decomposition/communicator mismatch");
+    let mut sends: Vec<Vec<Tagged>> = (0..comm.size()).map(|_| Vec::new()).collect();
+    for i in 0..particles.len() {
+        let mut p = particles.pack(i);
+        p.x = decomp.wrap(f64::from(p.x)) as f32;
+        p.y = decomp.wrap(f64::from(p.y)) as f32;
+        p.z = decomp.wrap(f64::from(p.z)) as f32;
+        let owner = decomp.owner_of([f64::from(p.x), f64::from(p.y), f64::from(p.z)]);
+        sends[owner].push(Tagged {
+            p,
+            active: u32::from(i < particles.n_active),
+            _pad: 0,
+        });
+    }
+    let recvs = comm.alltoallv(sends);
+    // Two passes over the rank-ordered chunks — authoritative records,
+    // then replicas — so the first copy of an id to pass the seen-set is
+    // the one that wins.
+    let mut seen = std::collections::HashSet::new();
+    let mut adopted: Vec<Packed> = Vec::new();
+    for authoritative in [1u32, 0] {
+        for chunk in &recvs {
+            for t in chunk.iter().filter(|t| t.active == authoritative) {
+                if seen.insert(t.p.id) {
+                    adopted.push(t.p);
+                }
+            }
+        }
+    }
+    adopted.sort_by_key(|p| p.id);
+    let mut fresh = Particles::default();
+    for p in adopted {
+        fresh.push(p);
+    }
+    fresh.n_active = fresh.len();
+    *particles = fresh;
+}
+
+/// Deduplicate recovered particles by id. Callers concatenate donor
+/// contributions in rank order, so keeping the first occurrence makes
+/// the surviving copy deterministic (lowest donor rank wins); the result
+/// is sorted by id so the rebuilt rank's particle order is reproducible
+/// regardless of arrival interleaving.
+#[must_use]
+pub fn dedup_by_id(recovered: Vec<Packed>) -> Vec<Packed> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out: Vec<Packed> = recovered
+        .into_iter()
+        .filter(|p| seen.insert(p.id))
+        .collect();
+    out.sort_by_key(|p| p.id);
+    out
 }
 
 #[cfg(test)]
@@ -506,6 +689,177 @@ mod tests {
             parts.x.clone()
         });
         assert!(res[1].contains(&16.5), "rank1 x: {:?}", res[1]);
+    }
+
+    #[test]
+    fn targets_into_matches_vec_form_everywhere() {
+        // The buffered form is the implementation; the Vec form is a
+        // wrapper — sweep a grid of positions (faces, corners, seams)
+        // and check they agree and stay within the inline capacity.
+        let d = decomp222();
+        let mut buf = OverloadTargets::default();
+        for ix in 0..16 {
+            for iy in 0..16 {
+                for iz in 0..16 {
+                    let pos = [
+                        f64::from(ix) + 0.25,
+                        f64::from(iy) + 0.75,
+                        f64::from(iz) + 0.5,
+                    ];
+                    d.overload_targets_into(pos, &mut buf);
+                    assert!(buf.len() <= 26);
+                    assert_eq!(buf.as_slice(), d.overload_targets(pos).as_slice());
+                }
+            }
+        }
+        // dims=1 axes exercise self-ghost shifts through the same path.
+        let d1 = Decomposition::new([1, 1, 1], 10.0, 1.0);
+        d1.overload_targets_into([0.5, 0.5, 0.5], &mut buf);
+        assert_eq!(buf.len(), 7);
+        assert_eq!(buf.as_slice(), d1.overload_targets([0.5, 0.5, 0.5]).as_slice());
+    }
+
+    #[test]
+    fn salvage_recovers_overload_shell_of_failed_rank() {
+        // Rank 0's particles sit near the x=8 face, so rank 4 = (1,0,0)
+        // holds passive copies. Kill rank 0: rank 4's salvage must name
+        // exactly those particles, wrapped into the box frame.
+        let (res, _) = Machine::new(8).run(|comm| {
+            let d = decomp222();
+            let mut parts = Particles::default();
+            if comm.rank() == 0 {
+                for i in 0..4u64 {
+                    parts.push(Packed {
+                        x: 7.5,
+                        y: 2.0 + i as f32,
+                        z: 4.0,
+                        vx: 1.0,
+                        vy: 0.0,
+                        vz: 0.0,
+                        id: i,
+                    });
+                }
+                parts.n_active = 4;
+            }
+            refresh(&comm, &d, &mut parts);
+            let mine = salvage_for(&d, &parts, 0);
+            (comm.rank(), mine)
+        });
+        let from_rank4 = &res[4].1;
+        assert_eq!(from_rank4.len(), 4, "rank 4 salvages the whole shell");
+        let mut ids: Vec<u64> = from_rank4.iter().map(|p| p.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        for p in from_rank4 {
+            assert!((p.x - 7.5).abs() < 1e-6, "box-frame position, got {}", p.x);
+            // Own actives are never salvaged.
+        }
+        for (rank, mine) in &res {
+            if *rank == 0 {
+                assert!(mine.is_empty(), "dead rank contributes nothing");
+            }
+        }
+    }
+
+    #[test]
+    fn salvage_refresh_rebuilds_partition_without_duplicates() {
+        // Kill rank 0 after its particles have drifted since the last
+        // refresh, and check the three recovery motions at once:
+        // resurrection (ids 0..2 rebuilt on the replacement from rank
+        // 4's replicas), self-promotion (id 3 drifted out of the dead
+        // domain, so rank 4 promotes its own replica), and authoritative
+        // handoff (survivor rank 4's id 10 drifted *into* the dead
+        // domain — its live copy must win over the surviving replicas,
+        // and must not be duplicated).
+        let (res, _) = Machine::new(8).run(|comm| {
+            let d = decomp222();
+            let mut parts = Particles::default();
+            if comm.rank() == 0 {
+                for i in 0..4u64 {
+                    parts.push(Packed {
+                        x: 7.5,
+                        y: 2.0 + i as f32,
+                        z: 4.0,
+                        vx: 0.0,
+                        vy: 0.0,
+                        vz: 0.0,
+                        id: i,
+                    });
+                }
+                parts.n_active = 4;
+            }
+            if comm.rank() == 4 {
+                // Near the x and y faces: replicated to ranks 0, 2, 6.
+                parts.push(Packed {
+                    x: 8.3,
+                    y: 7.5,
+                    z: 4.0,
+                    vx: 0.0,
+                    vy: 0.0,
+                    vz: 0.0,
+                    id: 10,
+                });
+                parts.n_active = 1;
+            }
+            refresh(&comm, &d, &mut parts);
+            // Simulated drift since the refresh: id 3 leaves the doomed
+            // domain (x 7.5 → 8.2); id 10 crosses into it (8.3 → 7.9),
+            // its passive replicas tracking with force-noise scatter.
+            for i in 0..parts.len() {
+                if parts.id[i] == 3 {
+                    parts.x[i] = 8.2;
+                }
+                if parts.id[i] == 10 {
+                    parts.x[i] = if i < parts.n_active { 7.9 } else { 7.88 };
+                }
+            }
+            // Rank 0 dies and re-enters as a blank replacement.
+            if comm.rank() == 0 {
+                parts = Particles::default();
+            }
+            salvage_refresh(&comm, &d, &mut parts);
+            let x_of_10 = parts
+                .id
+                .iter()
+                .position(|&j| j == 10)
+                .map(|i| parts.x[i]);
+            (
+                parts.len() - parts.n_active,
+                parts.id[..parts.n_active].to_vec(),
+                x_of_10,
+            )
+        });
+        let mut all_active: Vec<u64> = res.iter().flat_map(|(_, ids, _)| ids.clone()).collect();
+        all_active.sort_unstable();
+        assert_eq!(all_active, vec![0, 1, 2, 3, 10], "each survivor exactly once: {res:?}");
+        let mut ids0 = res[0].1.clone();
+        ids0.sort_unstable();
+        assert_eq!(ids0, vec![0, 1, 2, 10], "replacement partition");
+        let x10 = res[0].2.expect("id 10 lives on the replacement");
+        assert!((x10 - 7.9).abs() < 1e-6, "authoritative copy beats replicas, x={x10}");
+        assert_eq!(res[4].1, vec![3], "drift-out particle self-promoted by rank 4");
+        for (rank, (passives, _, _)) in res.iter().enumerate() {
+            assert_eq!(*passives, 0, "rank {rank} shell left for the follow-up refresh");
+        }
+    }
+
+    #[test]
+    fn dedup_keeps_lowest_donor_and_sorts() {
+        let mk = |id: u64, x: f32| Packed {
+            x,
+            y: 0.0,
+            z: 0.0,
+            vx: 0.0,
+            vy: 0.0,
+            vz: 0.0,
+            id,
+        };
+        // Concatenated in donor-rank order: id 7 arrives twice.
+        let got = dedup_by_id(vec![mk(9, 1.0), mk(7, 2.0), mk(7, 3.0), mk(1, 4.0)]);
+        let ids: Vec<u64> = got.iter().map(|p| p.id).collect();
+        assert_eq!(ids, vec![1, 7, 9], "sorted by id");
+        let seven = got.iter().find(|p| p.id == 7).unwrap();
+        assert_eq!(seven.x, 2.0, "first (lowest-rank) copy wins");
     }
 
     #[test]

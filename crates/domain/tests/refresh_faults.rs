@@ -1,0 +1,121 @@
+//! Property tests: overload refresh under an adversarial message layer.
+//!
+//! `refresh` is a bulk alltoallv over the mini-MPI substrate, which
+//! retires duplicated and delayed messages transparently (per-channel
+//! sequence numbers and reordering), so any seeded dup/delay plan must
+//! leave the refreshed particle state *bit-identical* to the fault-free
+//! run. Dropped messages cannot be survived at this layer — there the
+//! property is that the run fails loudly (the receiver's diagnostic
+//! timeout poisons the machine) rather than completing with particles
+//! silently missing.
+
+use std::time::Duration;
+
+use hacc_comm::{FaultPlan, Machine, MachineError};
+use hacc_domain::{refresh, Decomposition, Packed, Particles};
+use proptest::prelude::*;
+
+/// One rank's refreshed actives: sorted (id, position-bits) records.
+type RankActives = Vec<(u64, [u32; 3])>;
+
+/// Seed `positions` round-robin over 4 ranks (so every rank pair
+/// exchanges traffic), refresh twice (the second round exercises the
+/// replica-rebuild paths with passives present), and return each rank's
+/// sorted active (id, position-bits) records.
+fn run_refresh(
+    plan: FaultPlan,
+    positions: &[(f32, f32, f32)],
+    watchdog: Option<Duration>,
+) -> Result<Vec<RankActives>, MachineError> {
+    let positions = positions.to_vec();
+    let mut machine = Machine::new(4).with_faults(plan);
+    if let Some(t) = watchdog {
+        machine = machine.with_watchdog(t);
+    }
+    machine
+        .try_run(move |comm| {
+            let d = Decomposition::new([4, 1, 1], 100.0, 6.0);
+            let mut parts = Particles::default();
+            for (i, &(x, y, z)) in positions.iter().enumerate() {
+                if i % comm.size() == comm.rank() {
+                    parts.push(Packed {
+                        x,
+                        y,
+                        z,
+                        vx: x,
+                        vy: y,
+                        vz: z,
+                        id: i as u64,
+                    });
+                }
+            }
+            parts.n_active = parts.len();
+            refresh(&comm, &d, &mut parts);
+            refresh(&comm, &d, &mut parts);
+            let mut active: RankActives = (0..parts.n_active)
+                .map(|i| {
+                    (
+                        parts.id[i],
+                        [
+                            parts.x[i].to_bits(),
+                            parts.y[i].to_bits(),
+                            parts.z[i].to_bits(),
+                        ],
+                    )
+                })
+                .collect();
+            active.sort_unstable();
+            active
+        })
+        .map(|(res, _)| res)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Duplicated and delayed messages are absorbed by the transport:
+    /// the refreshed state matches the fault-free run bit for bit.
+    #[test]
+    fn refresh_is_exact_under_dup_and_delay(
+        seed in 0u64..1_000_000,
+        dup in 0.0f64..1.0,
+        delay in 0.0f64..1.0,
+        pos in prop::collection::vec(
+            (-20.0f32..120.0, -20.0f32..120.0, -20.0f32..120.0), 4..48),
+    ) {
+        let clean = run_refresh(FaultPlan::none(), &pos, None).expect("fault-free run");
+        let plan = FaultPlan::seeded(seed).dup_prob(dup).delay_prob(delay);
+        let faulty = run_refresh(plan, &pos, None).expect("dup/delay are absorbed");
+        prop_assert_eq!(clean, faulty);
+    }
+
+    /// Message loss either misses every refresh-critical channel (the
+    /// result is then exact, with every id owned exactly once) or aborts
+    /// the machine with a diagnostic — never a silently shrunken
+    /// particle population.
+    #[test]
+    fn refresh_never_loses_particles_silently_under_drops(
+        seed in 0u64..1_000_000,
+        drop in 0.0005f64..0.02,
+        pos in prop::collection::vec(
+            (-20.0f32..120.0, -20.0f32..120.0, -20.0f32..120.0), 4..48),
+    ) {
+        let clean = run_refresh(FaultPlan::none(), &pos, None).expect("fault-free run");
+        let plan = FaultPlan::seeded(seed).drop_prob(drop);
+        match run_refresh(plan, &pos, Some(Duration::from_millis(400))) {
+            Ok(faulty) => {
+                let mut ids: Vec<u64> =
+                    faulty.iter().flatten().map(|&(id, _)| id).collect();
+                ids.sort_unstable();
+                prop_assert_eq!(ids, (0..pos.len() as u64).collect::<Vec<_>>());
+                prop_assert_eq!(clean, faulty);
+            }
+            Err(MachineError::RankPanicked { message, .. }) => {
+                prop_assert!(
+                    message.contains("comm timeout") || message.contains("poisoned"),
+                    "drop must surface as a diagnostic abort, got: {}", message
+                );
+            }
+        }
+    }
+}

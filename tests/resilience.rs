@@ -5,11 +5,12 @@
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-use hacc::comm::{CommError, FaultPlan, Machine};
+use hacc::analysis::PowerSpectrum;
+use hacc::comm::{CommError, FaultPlan, HeartbeatConfig, Machine};
 use hacc::core::checkpoint::{checkpoint_path, complete_sets};
 use hacc::core::{
-    run_resilient, DistSimulation, RecoveryEvent, ResilienceConfig, ResilienceError, SimConfig,
-    SolverKind,
+    run_resilient, write_timeline_json, DistSimulation, InvariantConfig, RecoveryEvent,
+    ResilienceConfig, ResilienceError, SimConfig, SolverKind,
 };
 use hacc::cosmo::{Cosmology, LinearPower, Transfer};
 use hacc::genio::Snapshot;
@@ -295,6 +296,273 @@ fn watchdog_plus_recovery_survives_transient_loss() {
     assert_eq!(run.attempts, 2);
     assert_eq!(run.final_step, 4);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Online (heartbeat-detected, tiered) recovery
+// ---------------------------------------------------------------------
+
+/// Geometry for the online-recovery tests: a 32³ mesh so the slab width
+/// per rank is controlled by the rank count. At 4 ranks each slab is 8
+/// cells against a 4.5-cell overload shell — the two face shells cover
+/// the whole slab, so Tier-0 reconstruction can account for every
+/// particle. At 2 ranks the slab is 16 cells and the interior band is
+/// beyond both shells, forcing the Tier-1 escalation path.
+fn cfg32() -> SimConfig {
+    SimConfig {
+        ng: 32,
+        box_len: 64.0,
+        a_init: 0.2,
+        a_final: 0.26,
+        steps: 4,
+        subcycles: 2,
+        solver: SolverKind::TreePm,
+        ..SimConfig::small_lcdm()
+    }
+}
+
+fn ics32() -> hacc::ics::IcsRealization {
+    let power = LinearPower::new(&Cosmology::lcdm(), Transfer::EisensteinHuNoWiggle);
+    hacc::ics::zeldovich(16, 64.0, &power, 0.2, 31)
+}
+
+/// Seed for the fault plan; CI's fault-matrix job sweeps it.
+fn fault_seed() -> u64 {
+    std::env::var("HACC_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9)
+}
+
+fn online_rc(ranks: usize, dir: &Path) -> ResilienceConfig {
+    let mut rc = ResilienceConfig::new(ranks, dir);
+    rc.heartbeat = Some(HeartbeatConfig::default());
+    rc.invariants = Some(InvariantConfig::default());
+    rc.retain = Some(2);
+    rc
+}
+
+/// Global momentum and kinetic energy from a checkpoint set's velocity
+/// columns (unit particle mass).
+fn momentum_and_ke(dir: &Path, step: u64, ranks: usize) -> ([f64; 3], f64) {
+    let mut p = [0.0f64; 3];
+    let mut ke = 0.0f64;
+    for rank in 0..ranks {
+        let snap = Snapshot::read_file(&checkpoint_path(dir, step, rank, ranks)).unwrap();
+        let v: Vec<&Vec<f32>> = ["vx", "vy", "vz"]
+            .iter()
+            .map(|c| snap.f32_fields.get(*c).expect("velocity column"))
+            .collect();
+        for ((&x, &y), &z) in v[0].iter().zip(v[1]).zip(v[2]) {
+            let (vx, vy, vz) = (f64::from(x), f64::from(y), f64::from(z));
+            p[0] += vx;
+            p[1] += vy;
+            p[2] += vz;
+            ke += 0.5 * (vx * vx + vy * vy + vz * vz);
+        }
+    }
+    (p, ke)
+}
+
+fn measure_pk(positions: &[(u64, [f32; 3])]) -> PowerSpectrum {
+    let xs: Vec<f32> = positions.iter().map(|&(_, p)| p[0]).collect();
+    let ys: Vec<f32> = positions.iter().map(|&(_, p)| p[1]).collect();
+    let zs: Vec<f32> = positions.iter().map(|&(_, p)| p[2]).collect();
+    PowerSpectrum::measure(&xs, &ys, &zs, 64.0, 32, 8)
+}
+
+/// Acceptance test 1: a seeded kill is *detected* by the heartbeat (not
+/// relaunched), recovered at Tier 0 from the overload shells with no
+/// rollback, and the post-recovery run matches the fault-free one:
+/// exact global particle count, momentum and power spectrum within
+/// tolerance.
+#[test]
+fn heartbeat_kill_recovers_online_without_rollback() {
+    const R4: usize = 4;
+    let seed = fault_seed();
+    let dir_clean = scratch("tier0_clean");
+    let dir_faulty = scratch("tier0_faulty");
+    let realization = ics32();
+    let expected = realization.len();
+
+    let clean = run_resilient(
+        cfg32(),
+        &realization,
+        &online_rc(R4, &dir_clean),
+        &FaultPlan::none(),
+    )
+    .expect("clean online run");
+    assert_eq!(clean.attempts, 1);
+
+    let victim = (seed as usize) % R4;
+    let kill_step = 3 + (seed % 2); // after the step-2 checkpoint set exists
+    let run = run_resilient(
+        cfg32(),
+        &realization,
+        &online_rc(R4, &dir_faulty),
+        &FaultPlan::seeded(seed).kill_rank_at_step(victim, kill_step),
+    )
+    .expect("online tier-0 recovery");
+    write_timeline_json(
+        Path::new(&format!("out/resilience/tier0_seed{seed}.json")),
+        &run.timeline,
+    )
+    .expect("timeline artifact");
+
+    // Detected and survived online: one attempt, no rollback, no panic.
+    assert_eq!(run.attempts, 1, "tier-0 must not relaunch: {:?}", run.timeline);
+    assert!(
+        run.timeline.iter().any(|e| matches!(
+            e,
+            RecoveryEvent::RankFailureDetected { step, rank, epoch }
+                if *step == kill_step && *rank == victim && *epoch == kill_step - 1
+        )),
+        "heartbeat detection missing from timeline: {:?}",
+        run.timeline
+    );
+    assert!(
+        run.timeline
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::Tier0Reconstructed { count, .. } if *count == expected)),
+        "tier-0 reconstruction missing: {:?}",
+        run.timeline
+    );
+    assert!(
+        run.timeline
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::ProactiveCheckpoint { .. })),
+        "recovered state was not locked in: {:?}",
+        run.timeline
+    );
+    assert!(
+        !run.timeline.iter().any(|e| matches!(
+            e,
+            RecoveryEvent::Tier1Rollback { .. }
+                | RecoveryEvent::Failure { .. }
+                | RecoveryEvent::InvariantBreach { .. }
+        )),
+        "tier-0 path must not roll back or breach: {:?}",
+        run.timeline
+    );
+
+    // Every particle accounted for, by id.
+    assert_eq!(run.positions.len(), expected);
+    for (i, &(id, _)) in run.positions.iter().enumerate() {
+        assert_eq!(id, i as u64, "particle ids must be gapless after recovery");
+    }
+
+    // Momentum within tolerance of the fault-free run (replicas track
+    // their lost originals to force-noise, not bit-exactly).
+    let (p_clean, ke_clean) = momentum_and_ke(&dir_clean, 4, R4);
+    let (p_faulty, _) = momentum_and_ke(&dir_faulty, 4, R4);
+    let scale = (2.0 * ke_clean * expected as f64).sqrt();
+    for a in 0..3 {
+        assert!(
+            (p_faulty[a] - p_clean[a]).abs() < 0.02 * scale,
+            "momentum[{a}] drifted: {} vs {} (scale {scale})",
+            p_faulty[a],
+            p_clean[a]
+        );
+    }
+
+    // Power spectrum within tolerance, bin by bin.
+    let pk_clean = measure_pk(&clean.positions);
+    let pk_faulty = measure_pk(&run.positions);
+    for i in 0..pk_clean.p.len() {
+        if pk_clean.count[i] > 0 && pk_clean.p[i] > 0.0 {
+            let rel = (pk_faulty.p[i] - pk_clean.p[i]).abs() / pk_clean.p[i];
+            assert!(
+                rel < 0.02,
+                "P(k) bin {i} off by {rel}: {} vs {}",
+                pk_faulty.p[i],
+                pk_clean.p[i]
+            );
+        }
+    }
+
+    // retain=2 kept the checkpoint directory trimmed.
+    assert!(complete_sets(&dir_faulty, R4).len() <= 2);
+    let _ = std::fs::remove_dir_all(&dir_clean);
+    let _ = std::fs::remove_dir_all(&dir_faulty);
+}
+
+/// Acceptance test 2: at 2 ranks the 16-cell slab dwarfs the 4.5-cell
+/// overload shell, so a dead rank's interior particles are beyond any
+/// survivor's replicas — Tier 0 must report incomplete coverage and the
+/// run must escalate cleanly to a Tier-1 checkpoint rollback, with both
+/// tiers visible on the timeline. The rollback replays deterministically,
+/// so the final state is bit-exact w.r.t. the fault-free run.
+#[test]
+fn overload_shortfall_escalates_to_tier1_rollback() {
+    const R2: usize = 2;
+    let seed = fault_seed();
+    let dir_clean = scratch("tier1_clean");
+    let dir_faulty = scratch("tier1_faulty");
+    let realization = ics32();
+    let expected = realization.len();
+
+    let clean = run_resilient(
+        cfg32(),
+        &realization,
+        &online_rc(R2, &dir_clean),
+        &FaultPlan::none(),
+    )
+    .expect("clean online run");
+
+    let victim = (seed as usize) % R2;
+    let kill_step = 3 + (seed % 2);
+    let run = run_resilient(
+        cfg32(),
+        &realization,
+        &online_rc(R2, &dir_faulty),
+        &FaultPlan::seeded(seed).kill_rank_at_step(victim, kill_step),
+    )
+    .expect("tier-1 recovery");
+    write_timeline_json(
+        Path::new(&format!("out/resilience/tier1_seed{seed}.json")),
+        &run.timeline,
+    )
+    .expect("timeline artifact");
+
+    assert_eq!(run.attempts, 1, "tier-1 recovers in-run: {:?}", run.timeline);
+    assert!(
+        run.timeline.iter().any(|e| matches!(
+            e,
+            RecoveryEvent::Tier0Incomplete { step, expected: want, got }
+                if *step == kill_step && *want == expected && *got < expected
+        )),
+        "tier-0 shortfall missing from timeline: {:?}",
+        run.timeline
+    );
+    assert!(
+        run.timeline.iter().any(|e| matches!(
+            e,
+            RecoveryEvent::Tier1Rollback { step, resume_step: 2 } if *step == kill_step
+        )),
+        "tier-1 rollback missing from timeline: {:?}",
+        run.timeline
+    );
+
+    // Replay from the checkpoint is deterministic: bit-exact final state.
+    assert_eq!(run.positions.len(), expected);
+    for (c, f) in clean.positions.iter().zip(&run.positions) {
+        assert_eq!(c.0, f.0);
+        for k in 0..3 {
+            assert_eq!(
+                c.1[k].to_bits(),
+                f.1[k].to_bits(),
+                "tier-1 replay diverged at id {}",
+                c.0
+            );
+        }
+    }
+    for rank in 0..R2 {
+        let a = Snapshot::read_file(&checkpoint_path(&dir_clean, 4, rank, R2)).unwrap();
+        let b = Snapshot::read_file(&checkpoint_path(&dir_faulty, 4, rank, R2)).unwrap();
+        assert_eq!(a, b, "final checkpoint differs on rank {rank}");
+    }
+    let _ = std::fs::remove_dir_all(&dir_clean);
+    let _ = std::fs::remove_dir_all(&dir_faulty);
 }
 
 /// The timeline of a dropped-and-recovered machine is printable (the
