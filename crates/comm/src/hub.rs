@@ -1,0 +1,515 @@
+//! The launcher-side rendezvous and failure authority for a
+//! multi-process ([`crate::socket`]) world.
+//!
+//! The hub is **not a rank**. It is the parent process that:
+//!
+//! - spawns one OS child per rank and barriers their `HELLO`s (rank-zero
+//!   rendezvous: no child proceeds until every data address is known),
+//! - owns the *authoritative* [`HealthState`] — children tick it over
+//!   their control streams and mirror its verdicts from broadcasts, so
+//!   every survivor observes the same failure declarations in the same
+//!   order,
+//! - enforces the [`FaultPlan`]: a rank scheduled to die at step `s` is
+//!   `SIGKILL`ed the moment its `BEAT s` arrives, *instead of* the ack —
+//!   a real process death at exactly the same lifecycle point as the
+//!   in-process backend's silent kill (the victim's recorded epoch stays
+//!   `s - 1`),
+//! - optionally respawns a declared-dead rank as a blank **replacement**
+//!   process with a bumped incarnation number, which rejoins through the
+//!   same `await_failed → reconstruct → mark_recovered` protocol the
+//!   in-process recovery stack uses.
+
+use crate::fault::FaultPlan;
+use crate::health::{HealthState, HeartbeatConfig, RankStatus};
+use crate::socket::rank_status_name;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::Child;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Launcher configuration for one multi-process world.
+pub struct HubOptions {
+    /// Number of ranks (= child processes).
+    pub ranks: usize,
+    /// Detector tuning shared with every child.
+    pub heartbeat: HeartbeatConfig,
+    /// Fault schedule; only the kill target is meaningful here (message
+    /// faults are physical on a real wire, not injected).
+    pub plan: FaultPlan,
+    /// Respawn a declared-dead rank as a blank replacement?
+    pub respawn: bool,
+    /// Receive deadline handed to every child (its transport watchdog).
+    pub watchdog: Duration,
+}
+
+impl HubOptions {
+    /// Defaults for `ranks` ranks: default heartbeat tuning, no faults,
+    /// respawn on, 10 s watchdog.
+    #[must_use]
+    pub fn new(ranks: usize) -> Self {
+        HubOptions {
+            ranks,
+            heartbeat: HeartbeatConfig::default(),
+            plan: FaultPlan::none(),
+            respawn: true,
+            watchdog: Duration::from_secs(10),
+        }
+    }
+}
+
+/// What happened to the world, as the hub saw it.
+#[derive(Debug, Default, Clone)]
+pub struct HubReport {
+    /// `(rank, step)` for every scheduled SIGKILL the hub delivered.
+    pub killed: Vec<(usize, u64)>,
+    /// `(rank, last completed epoch)` for every detector declaration.
+    pub declared: Vec<(usize, u64)>,
+    /// Ranks respawned as replacement processes.
+    pub respawned: Vec<usize>,
+    /// `(rank, exit code)` for children that exited nonzero *without*
+    /// having been killed by the hub.
+    pub exit_failures: Vec<(usize, i32)>,
+}
+
+impl HubReport {
+    /// Did every surviving child exit cleanly?
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.exit_failures.is_empty()
+    }
+}
+
+/// One child's control connection (line protocol both ways).
+struct ClientConn {
+    stream: TcpStream,
+    incarnation: u64,
+    data_addr: String,
+}
+
+struct ChildSlot {
+    child: Option<Child>,
+    incarnation: u64,
+    /// `Some(code)` once reaped; signal deaths report code `-1`.
+    exit: Option<i32>,
+    /// The hub SIGKILLed this incarnation (so its exit is expected).
+    hub_killed: bool,
+}
+
+struct HubState {
+    opts: HubOptions,
+    health: HealthState,
+    clients: Vec<Mutex<Option<ClientConn>>>,
+    children: Mutex<Vec<ChildSlot>>,
+    /// Hub-side epoch/failure ledger (`HealthState` keeps its own copy
+    /// private; the hub needs it for `STATE` snapshot lines).
+    ledger: Mutex<Vec<(u64, u64)>>, // (epoch, failed_epoch)
+    report: Mutex<HubReport>,
+    shutdown: AtomicBool,
+}
+
+impl HubState {
+    /// Write one line to rank `dst`'s control stream (best effort — a
+    /// dead child's stream just errors and is dropped).
+    fn send_to(&self, dst: usize, line: &str) {
+        let mut slot = self.clients[dst].lock().expect("client lock");
+        if let Some(conn) = slot.as_mut() {
+            if writeln!(&mut conn.stream, "{line}").is_err() {
+                *slot = None;
+            }
+        }
+    }
+
+    fn broadcast(&self, line: &str) {
+        for dst in 0..self.opts.ranks {
+            self.send_to(dst, line);
+        }
+    }
+
+    /// The `WELCOME … READY` block: world timing, every peer's data
+    /// address, and a detector snapshot to seed the child's mirror.
+    fn welcome_block(&self) -> String {
+        let hb = &self.opts.heartbeat;
+        let mut out = format!(
+            "WELCOME {} {} {} {}\n",
+            self.opts.ranks,
+            self.opts.watchdog.as_millis(),
+            hb.scan_interval.as_millis(),
+            hb.sync_timeout.as_millis(),
+        );
+        let ledger = self.ledger.lock().expect("ledger lock");
+        for rank in 0..self.opts.ranks {
+            let client = self.clients[rank].lock().expect("client lock");
+            if let Some(conn) = client.as_ref() {
+                out.push_str(&format!(
+                    "PEER {rank} {} {}\n",
+                    conn.incarnation, conn.data_addr
+                ));
+            }
+            let (epoch, failed_epoch) = ledger[rank];
+            out.push_str(&format!(
+                "STATE {rank} {} {epoch} {failed_epoch}\n",
+                rank_status_name(self.health.status(rank))
+            ));
+        }
+        out.push_str("READY\n");
+        out
+    }
+
+    /// SIGKILL rank `rank`'s current child (the fault plan fired).
+    fn kill_child(&self, rank: usize, step: u64) {
+        let mut children = self.children.lock().expect("children lock");
+        let slot = &mut children[rank];
+        if let Some(child) = slot.child.as_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+            slot.exit = Some(-1);
+            slot.hub_killed = true;
+            slot.child = None;
+        }
+        drop(children);
+        self.report
+            .lock()
+            .expect("report lock")
+            .killed
+            .push((rank, step));
+    }
+
+    /// Serve one child's control stream until EOF. `incarnation` is the
+    /// incarnation that opened this stream — a later replacement's
+    /// stream supersedes it.
+    fn serve_client(&self, rank: usize, incarnation: u64, reader: BufReader<TcpStream>) {
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            // Any control traffic is proof of life.
+            self.health.tick(rank);
+            let mut it = line.split_whitespace();
+            match it.next() {
+                Some("BEAT") => {
+                    let epoch: u64 = it.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+                    if self.opts.plan.should_kill(rank, epoch) {
+                        // The scheduled death: a real SIGKILL in place
+                        // of the ack. The victim never proceeds into
+                        // this epoch, so its ledger stays at `epoch-1` —
+                        // byte-for-byte the in-process kill semantics.
+                        self.kill_child(rank, epoch);
+                        return;
+                    }
+                    let status = self.health.beat(rank, epoch);
+                    self.send_to(rank, &format!("BEATACK {}", rank_status_name(status)));
+                    if status == RankStatus::Healthy {
+                        self.ledger.lock().expect("ledger lock")[rank].0 = epoch;
+                        self.broadcast(&format!("EPOCH {rank} {epoch}"));
+                    }
+                }
+                Some("TICK") => {}
+                Some("AWAITFAILED") => {
+                    match self.health.await_failed(rank, &self.shutdown) {
+                        Ok(epoch) => {
+                            self.broadcast(&format!("REBUILDING {rank}"));
+                            self.send_to(rank, &format!("FAILEDEPOCH {epoch}"));
+                        }
+                        Err(_) => {
+                            // Shutdown or a detector that never declared
+                            // this rank: the replacement cannot proceed.
+                            self.broadcast("POISON");
+                            return;
+                        }
+                    }
+                }
+                Some("RECOVERED") => {
+                    let epoch: u64 = it.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+                    self.health.mark_recovered(rank, epoch);
+                    self.ledger.lock().expect("ledger lock")[rank].0 = epoch;
+                    self.broadcast(&format!("RECOVERED {rank} {epoch}"));
+                }
+                Some("POISONED") => {
+                    // A child panicked: poison the world like the
+                    // in-process machine does.
+                    self.broadcast("POISON");
+                }
+                Some("GOODBYE") => return,
+                _ => {}
+            }
+            // A replacement stream supersedes this reader.
+            let current = self.clients[rank]
+                .lock()
+                .expect("client lock")
+                .as_ref()
+                .map(|c| c.incarnation);
+            if current != Some(incarnation) {
+                return;
+            }
+        }
+    }
+}
+
+/// A parsed `HELLO`: `(rank, incarnation, data_addr)` plus the control
+/// stream it arrived on and its buffered read half.
+type Hello = (usize, u64, String, TcpStream, BufReader<TcpStream>);
+
+/// Accept one control connection and parse its `HELLO`.
+fn accept_hello(
+    listener: &TcpListener,
+    deadline: Instant,
+    shutdown: &AtomicBool,
+) -> std::io::Result<Option<Hello>> {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nodelay(true).ok();
+                let mut reader = BufReader::new(stream.try_clone()?);
+                let mut line = String::new();
+                reader.read_line(&mut line)?;
+                let mut it = line.split_whitespace();
+                if it.next() != Some("HELLO") {
+                    continue; // stray connection; drop it
+                }
+                let Some(rank) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    continue;
+                };
+                let Some(inc) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    continue;
+                };
+                let Some(addr) = it.next().map(str::to_string) else {
+                    continue;
+                };
+                return Ok(Some((rank, inc, addr, stream, reader)));
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if Instant::now() >= deadline {
+                    return Err(std::io::Error::other(
+                        "hub rendezvous: children never connected",
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Run one multi-process world to completion.
+///
+/// `spawn(rank, incarnation, hub_addr)` must start the child process for
+/// `rank` (the launcher typically re-execs itself with `HACC_HUB`,
+/// `HACC_RANK`, `HACC_RANKS`, `HACC_INCARNATION` in the environment).
+/// Blocks until every child process — including respawned replacements —
+/// has exited, then reports what happened.
+pub fn run(
+    opts: HubOptions,
+    mut spawn: impl FnMut(usize, u64, &str) -> std::io::Result<Child> + Send,
+) -> std::io::Result<HubReport> {
+    let ranks = opts.ranks;
+    assert!(ranks > 0, "hub needs at least one rank");
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    listener.set_nonblocking(true)?;
+    let hub_addr = listener.local_addr()?.to_string();
+
+    let state = HubState {
+        health: HealthState::new(ranks, Some(opts.heartbeat)),
+        clients: (0..ranks).map(|_| Mutex::new(None)).collect(),
+        children: Mutex::new(Vec::new()),
+        ledger: Mutex::new(vec![(0, 0); ranks]),
+        report: Mutex::new(HubReport::default()),
+        shutdown: AtomicBool::new(false),
+        opts,
+    };
+
+    {
+        let mut children = state.children.lock().expect("children lock");
+        for rank in 0..ranks {
+            children.push(ChildSlot {
+                child: Some(spawn(rank, 0, &hub_addr)?),
+                incarnation: 0,
+                exit: None,
+                hub_killed: false,
+            });
+        }
+    }
+    let spawn = Mutex::new(spawn);
+
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        // Rendezvous barrier: collect every rank's HELLO before a single
+        // WELCOME goes out, so all data addresses are known to everyone.
+        let deadline = Instant::now() + state.opts.heartbeat.sync_timeout;
+        let mut pending = Vec::new();
+        let mut joined = 0usize;
+        while joined < ranks {
+            let Some((rank, inc, addr, stream, reader)) =
+                accept_hello(&listener, deadline, &state.shutdown)?
+            else {
+                return Ok(());
+            };
+            if rank >= ranks || inc != 0 {
+                continue;
+            }
+            let fresh = state.clients[rank]
+                .lock()
+                .expect("client lock")
+                .replace(ClientConn {
+                    stream,
+                    incarnation: inc,
+                    data_addr: addr,
+                })
+                .is_none();
+            if fresh {
+                joined += 1;
+            }
+            pending.push((rank, inc, reader));
+        }
+        let block = state.welcome_block();
+        for rank in 0..ranks {
+            state.send_to(rank, block.trim_end());
+        }
+        for (rank, inc, reader) in pending {
+            let st = &state;
+            scope.spawn(move || st.serve_client(rank, inc, reader));
+        }
+
+        // Late joiners: replacement processes spawned by the monitor.
+        let accept_state = &state;
+        let accept_listener = &listener;
+        scope.spawn(move || {
+            while !accept_state.shutdown.load(Ordering::SeqCst) {
+                let deadline = Instant::now() + Duration::from_millis(200);
+                match accept_hello(accept_listener, deadline, &accept_state.shutdown) {
+                    Ok(Some((rank, inc, addr, stream, reader))) => {
+                        if rank >= accept_state.opts.ranks {
+                            continue;
+                        }
+                        *accept_state.clients[rank].lock().expect("client lock") =
+                            Some(ClientConn {
+                                stream,
+                                incarnation: inc,
+                                data_addr: addr.clone(),
+                            });
+                        // The replacement gets the current world picture;
+                        // survivors learn its fresh data address.
+                        let block = accept_state.welcome_block();
+                        accept_state.send_to(rank, block.trim_end());
+                        for peer in 0..accept_state.opts.ranks {
+                            if peer != rank {
+                                accept_state
+                                    .send_to(peer, &format!("PEER {rank} {inc} {addr}"));
+                            }
+                        }
+                        scope.spawn(move || accept_state.serve_client(rank, inc, reader));
+                    }
+                    Ok(None) => return,
+                    Err(_) => {} // deadline tick; loop re-checks shutdown
+                }
+            }
+        });
+
+        // The failure monitor: scan, declare, respawn.
+        let monitor_state = &state;
+        let spawn_cell = &spawn;
+        let hub_addr = hub_addr.clone();
+        scope.spawn(move || {
+            let interval = monitor_state.health.scan_interval();
+            while !monitor_state.shutdown.load(Ordering::SeqCst) {
+                std::thread::sleep(interval);
+                for (rank, failed_epoch) in monitor_state.health.scan() {
+                    monitor_state.ledger.lock().expect("ledger lock")[rank].1 = failed_epoch;
+                    monitor_state
+                        .report
+                        .lock()
+                        .expect("report lock")
+                        .declared
+                        .push((rank, failed_epoch));
+                    monitor_state.broadcast(&format!("DECLARED {rank} {failed_epoch}"));
+                    if !monitor_state.opts.respawn {
+                        continue;
+                    }
+                    let incarnation = {
+                        let mut children =
+                            monitor_state.children.lock().expect("children lock");
+                        let slot = &mut children[rank];
+                        // Reap a crash the hub didn't cause before the
+                        // slot is reused.
+                        if let Some(mut old) = slot.child.take() {
+                            let _ = old.kill();
+                            let _ = old.wait();
+                            slot.exit = Some(-1);
+                        }
+                        slot.incarnation + 1
+                    };
+                    let child = spawn_cell.lock().expect("spawn lock")(
+                        rank,
+                        incarnation,
+                        &hub_addr,
+                    );
+                    match child {
+                        Ok(child) => {
+                            let mut children =
+                                monitor_state.children.lock().expect("children lock");
+                            children[rank] = ChildSlot {
+                                child: Some(child),
+                                incarnation,
+                                exit: None,
+                                hub_killed: false,
+                            };
+                            monitor_state
+                                .report
+                                .lock()
+                                .expect("report lock")
+                                .respawned
+                                .push(rank);
+                        }
+                        Err(_) => monitor_state.broadcast("POISON"),
+                    }
+                }
+            }
+        });
+
+        // Reap children until the whole world (including replacements)
+        // has exited.
+        loop {
+            let mut all_done = true;
+            {
+                let mut children = state.children.lock().expect("children lock");
+                for (rank, slot) in children.iter_mut().enumerate() {
+                    if let Some(child) = slot.child.as_mut() {
+                        match child.try_wait() {
+                            Ok(Some(status)) => {
+                                let code = status.code().unwrap_or(-1);
+                                slot.exit = Some(code);
+                                slot.child = None;
+                                if code != 0 && !slot.hub_killed {
+                                    state
+                                        .report
+                                        .lock()
+                                        .expect("report lock")
+                                        .exit_failures
+                                        .push((rank, code));
+                                }
+                            }
+                            Ok(None) => all_done = false,
+                            Err(_) => {
+                                slot.exit = Some(-1);
+                                slot.child = None;
+                            }
+                        }
+                    }
+                }
+            }
+            if all_done {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        state.shutdown.store(true, Ordering::SeqCst);
+        state.health.wake();
+        Ok(())
+    })?;
+
+    Ok(state.report.into_inner().expect("report lock"))
+}

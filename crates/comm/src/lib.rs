@@ -31,14 +31,22 @@
 
 pub mod fault;
 pub mod health;
+#[cfg(not(loom))]
+pub mod hub;
+#[cfg(not(loom))]
+pub mod socket;
 pub mod stats;
 pub mod sync;
 pub mod topology;
+pub mod transport;
+pub mod wire;
 
 pub use fault::{FaultAction, FaultPlan, FaultStats, SlowRank};
 pub use health::{EpochReport, HealthState, HeartbeatConfig, RankStatus};
-pub use stats::TrafficStats;
+pub use stats::{TrafficStats, WireStats};
 pub use topology::{dims_create, CartComm};
+pub use transport::{Transport, WirePayload};
+pub use wire::WireMsg;
 
 use crate::sync::{Arc, AtomicBool, AtomicU64, Condvar, Instant, Mutex, Ordering};
 use std::any::Any;
@@ -81,6 +89,18 @@ pub enum CommError {
         /// Last epoch it completed before dying.
         epoch: u64,
     },
+    /// The link carrying traffic from `rank` delivered a frame that
+    /// failed its structural or CRC checks. The link is condemned —
+    /// nothing after the torn frame can be trusted — so the receiver
+    /// learns loudly instead of consuming garbage. Only byte-oriented
+    /// backends produce this; the in-process backend degrades detected
+    /// corruption to a sequence gap ([`Self::Timeout`]) instead.
+    CorruptDetected {
+        /// Global rank whose link produced the bad frame.
+        rank: usize,
+        /// What exactly failed (magic, CRC, sequence, length).
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CommError {
@@ -102,6 +122,10 @@ impl std::fmt::Display for CommError {
                 f,
                 "rank {rank} declared failed (last completed epoch {epoch}); \
                  its traffic will never arrive"
+            ),
+            CommError::CorruptDetected { rank, detail } => write!(
+                f,
+                "link from rank {rank} condemned after a corrupt frame: {detail}"
             ),
         }
     }
@@ -358,6 +382,8 @@ struct Shared {
     holdback: Vec<Mutex<Vec<Held>>>,
     /// Failure detector (inert unless [`Machine::with_heartbeat`]).
     health: HealthState,
+    /// Counter rank 0 draws fresh split/duplicate context bases from.
+    next_context: AtomicU64,
 }
 
 impl Shared {
@@ -403,6 +429,247 @@ impl Shared {
         self.poisoned.store(true, Ordering::SeqCst);
         self.wake_all();
         self.health.wake();
+    }
+}
+
+/// The in-process backend: typed mailboxes, injectable faults, the
+/// loom-verified reference implementation of the transport contract.
+impl Transport for Shared {
+    fn world_size(&self) -> usize {
+        self.boxes.len()
+    }
+
+    fn is_wire(&self) -> bool {
+        false
+    }
+
+    fn watchdog(&self) -> Option<Duration> {
+        self.watchdog
+    }
+
+    fn send(
+        &self,
+        src: usize,
+        dst: usize,
+        context: u64,
+        tag: u64,
+        payload: WirePayload,
+        bytes: u64,
+    ) {
+        let data: Box<dyn Any + Send> = match payload {
+            WirePayload::Boxed(b) => b,
+            WirePayload::Bytes { .. } => unreachable!("in-process transport is typed"),
+        };
+        // Relaxed: monotonic accounting counters, no data published
+        // under them; read exactly after join (FaultCounters audit).
+        self.bytes_sent[src].fetch_add(bytes, Ordering::Relaxed);
+        self.msgs_sent[src].fetch_add(1, Ordering::Relaxed);
+        // Every send doubles as a heartbeat (no-op without a monitor).
+        self.health.tick(src);
+        let plan = &self.plan;
+        if let Some(slow) = plan.slow() {
+            if slow.rank == src {
+                std::thread::sleep(slow.per_send);
+            }
+        }
+        let key = (context, src, tag);
+        let mbox = &self.boxes[dst];
+        let mut st = mbox.state.lock();
+        let seq = {
+            let s = st.send_seq.entry(key).or_insert(0);
+            let seq = *s;
+            *s += 1;
+            seq
+        };
+        let action = if plan.is_active() {
+            plan.action(context, src, dst, tag, seq)
+        } else {
+            FaultAction::None
+        };
+        let wire = Wire::new(context, src as u64, tag, seq, bytes);
+        let ctrs = &self.counters;
+        match action {
+            FaultAction::None => {
+                st.deliver(ctrs, key, seq, &wire, Some(data));
+                drop(st);
+                mbox.signal.notify_all();
+            }
+            FaultAction::Drop => {
+                // The sequence number is consumed: the receiver sees a
+                // permanent gap and its watchdog names this message.
+                ctrs.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultAction::Duplicate => {
+                ctrs.duplicated.fetch_add(1, Ordering::Relaxed);
+                // Retransmission re-sends the payload bytes.
+                self.bytes_sent[src].fetch_add(bytes, Ordering::Relaxed);
+                self.msgs_sent[src].fetch_add(1, Ordering::Relaxed);
+                st.deliver(ctrs, key, seq, &wire, Some(data));
+                // The ghost carries only the duplicate sequence number;
+                // the receiver's dedup discards it by seq alone.
+                st.deliver(ctrs, key, seq, &wire, None);
+                drop(st);
+                mbox.signal.notify_all();
+            }
+            FaultAction::Delay => {
+                ctrs.delayed.fetch_add(1, Ordering::Relaxed);
+                drop(st);
+                self.holdback[src].lock().push(Held {
+                    dst,
+                    key,
+                    seq,
+                    wire,
+                    payload: data,
+                });
+                return; // flushed after later traffic
+            }
+            FaultAction::Corrupt => {
+                ctrs.corrupted.fetch_add(1, Ordering::Relaxed);
+                // Flip one bit of the transmitted image; the receiving
+                // transport's CRC check rejects the frame (counted as
+                // `corrupt_detected` in `deliver`).
+                let bit = plan.corrupt_bit(context, src, dst, tag, seq);
+                let torn = wire.flip_bit(bit);
+                st.deliver(ctrs, key, seq, &torn, Some(data));
+                drop(st);
+                mbox.signal.notify_all();
+            }
+        }
+        // Any message held back earlier is now "later" than the traffic
+        // just enqueued — deliver it out of order.
+        self.flush_holdback(src);
+    }
+
+    fn recv(
+        &self,
+        me: usize,
+        src: usize,
+        context: u64,
+        tag: u64,
+        timeout: Option<Duration>,
+    ) -> Result<WirePayload, CommError> {
+        let mbox = &self.boxes[me];
+        let key = (context, src, tag);
+        let start = Instant::now();
+        let deadline = timeout.map(|t| start + t);
+        let mut st = mbox.state.lock();
+        loop {
+            if let Some(q) = st.ready.get_mut(&key) {
+                if let Some(boxed) = q.pop_front() {
+                    return Ok(WirePayload::Boxed(boxed));
+                }
+            }
+            // SeqCst, checked while holding the mailbox lock: pairs
+            // with `Shared::poison`, which stores SeqCst and then takes
+            // this lock before notifying — so either this check sees
+            // the flag or the upcoming wait is woken by the notify (no
+            // lost-wakeup window; model-checked in tests/loom.rs).
+            if self.poisoned.load(Ordering::SeqCst) {
+                return Err(CommError::Poisoned);
+            }
+            // With a heartbeat monitor attached, a wait on a source that
+            // stands declared `Failed` can never be satisfied: surface
+            // it as a survivable error. (The monitor wakes every mailbox
+            // after a declaration, so a blocked receiver reaches this
+            // check. Health state is a leaf lock — safe to take under
+            // the mailbox lock; see `HealthState` docs.)
+            if self.health.enabled() {
+                if let Some(epoch) = self.health.failed_epoch_of(src) {
+                    return Err(CommError::RankFailed { rank: src, epoch });
+                }
+            }
+            match deadline {
+                None => mbox.signal.wait(&mut st),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        let detail = st.diagnose(&key);
+                        return Err(CommError::Timeout {
+                            context,
+                            src,
+                            tag,
+                            waited: now - start,
+                            detail,
+                        });
+                    }
+                    let _ = mbox.signal.wait_for(&mut st, d - now);
+                }
+            }
+        }
+    }
+
+    fn flush_holdback(&self, me: usize) {
+        Shared::flush_holdback(self, me);
+    }
+
+    fn shutdown(&self, me: usize) {
+        // Nothing to close in-process; just release anything the fault
+        // injector held back so peers are not starved.
+        Shared::flush_holdback(self, me);
+    }
+
+    fn alloc_context_base(&self) -> u64 {
+        // Relaxed: only uniqueness matters (the RMW is atomic); the
+        // value is distributed to the other ranks by a broadcast above
+        // this seam, whose mailbox locks provide the ordering.
+        self.next_context.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn poison(&self) {
+        Shared::poison(self);
+    }
+
+    fn traffic_stats(&self) -> TrafficStats {
+        TrafficStats {
+            bytes_sent: self
+                .bytes_sent
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            msgs_sent: self
+                .msgs_sent
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            faults: self.counters.snapshot(),
+            wire: WireStats::default(),
+        }
+    }
+
+    fn health_enabled(&self) -> bool {
+        self.health.enabled()
+    }
+
+    fn should_kill(&self, rank: usize, step: u64) -> bool {
+        self.plan.should_kill(rank, step)
+    }
+
+    fn beat(&self, me: usize, epoch: u64) -> RankStatus {
+        self.health.beat(me, epoch)
+    }
+
+    fn epoch_sync(&self, _me: usize, epoch: u64) -> Result<EpochReport, CommError> {
+        self.health.epoch_sync(epoch, &self.poisoned)
+    }
+
+    fn await_failed(&self, me: usize) -> Result<u64, CommError> {
+        self.health.await_failed(me, &self.poisoned)
+    }
+
+    fn await_rebirth(&self, _me: usize, failed: &[usize]) -> Result<(), CommError> {
+        self.health.await_rebirth(failed, &self.poisoned)
+    }
+
+    fn mark_recovered(&self, me: usize, epoch: u64) {
+        self.health.mark_recovered(me, epoch);
+    }
+
+    fn dead_set(&self) -> Vec<(usize, u64)> {
+        self.health.dead_set()
+    }
+
+    fn rank_status(&self, rank: usize) -> RankStatus {
+        self.health.status(rank)
     }
 }
 
@@ -481,7 +748,6 @@ impl Machine {
         F: Fn(Comm) -> T + Sync,
     {
         let shared = self.make_shared();
-        let next_context = Arc::new(AtomicU64::new(1));
         let first_failure: Mutex<Option<(usize, String)>> = Mutex::new(None);
         // Rank threads count themselves out so the heartbeat monitor
         // (which must not keep `thread::scope` alive forever) knows when
@@ -508,7 +774,6 @@ impl Machine {
             }
             for (rank, slot) in results.iter_mut().enumerate() {
                 let shared = Arc::clone(&shared);
-                let next_context = Arc::clone(&next_context);
                 let f = &f;
                 let first_failure = &first_failure;
                 let finished = Arc::clone(&finished);
@@ -516,9 +781,8 @@ impl Machine {
                 scope.spawn(move || {
                     let shared_outer = Arc::clone(&shared);
                     let comm = Comm {
-                        shared,
+                        backend: Backend::InProc(shared),
                         context: 0,
-                        next_context,
                         rank,
                         group: (0..ranks).collect::<Vec<_>>().into(),
                     };
@@ -553,19 +817,7 @@ impl Machine {
         // Relaxed loads are exact here: `thread::scope` joined every
         // rank above, and join is a happens-before edge covering all of
         // their Relaxed increments (see the FaultCounters audit note).
-        let stats = TrafficStats {
-            bytes_sent: shared
-                .bytes_sent
-                .iter()
-                .map(|a| a.load(Ordering::Relaxed))
-                .collect(),
-            msgs_sent: shared
-                .msgs_sent
-                .iter()
-                .map(|a| a.load(Ordering::Relaxed))
-                .collect(),
-            faults: shared.counters.snapshot(),
-        };
+        let stats = Transport::traffic_stats(&*shared);
         Ok((
             results
                 .into_iter()
@@ -592,6 +844,7 @@ impl Machine {
             counters: FaultCounters::default(),
             holdback: (0..self.ranks).map(|_| Mutex::new(Vec::new())).collect(),
             health: HealthState::new(self.ranks, self.heartbeat),
+            next_context: AtomicU64::new(1),
         })
     }
 
@@ -605,15 +858,13 @@ impl Machine {
     /// mailbox and collective protocols. Unlike [`Machine::run`], no
     /// watchdog thread, panic capture, or poisoning is installed; the
     /// caller owns rank lifecycles.
-    #[must_use] 
+    #[must_use]
     pub fn handles(&self) -> Vec<Comm> {
         let shared = self.make_shared();
-        let next_context = Arc::new(AtomicU64::new(1));
         (0..self.ranks)
             .map(|rank| Comm {
-                shared: Arc::clone(&shared),
+                backend: Backend::InProc(Arc::clone(&shared)),
                 context: 0,
-                next_context: Arc::clone(&next_context),
                 rank,
                 group: (0..self.ranks).collect::<Vec<_>>().into(),
             })
@@ -647,16 +898,46 @@ pub enum StepAdmission {
     Dead,
 }
 
+/// The transport behind a [`Comm`]. A closed enum rather than a bare
+/// `Arc<dyn Transport>` so cloning communicators stays loom-compatible
+/// (the loom `Arc` shim and unsized trait objects do not mix) and the
+/// in-process fast path keeps static dispatch available.
+enum Backend {
+    /// Threads-as-ranks typed mailboxes (the default; loom-verified).
+    InProc(Arc<Shared>),
+    /// One OS process per rank over CRC-framed loopback TCP.
+    #[cfg(not(loom))]
+    Socket(std::sync::Arc<socket::SocketTransport>),
+}
+
+impl Backend {
+    fn t(&self) -> &dyn Transport {
+        match self {
+            Backend::InProc(s) => &**s,
+            #[cfg(not(loom))]
+            Backend::Socket(s) => &**s,
+        }
+    }
+}
+
+impl Clone for Backend {
+    fn clone(&self) -> Self {
+        match self {
+            Backend::InProc(s) => Backend::InProc(Arc::clone(s)),
+            #[cfg(not(loom))]
+            Backend::Socket(s) => Backend::Socket(std::sync::Arc::clone(s)),
+        }
+    }
+}
+
 /// A communicator handle owned by one rank.
 ///
 /// Each rank's collectives must be called by all ranks of the communicator
 /// in the same order (as with MPI).
 pub struct Comm {
-    shared: Arc<Shared>,
+    backend: Backend,
     /// Communicator context id — isolates traffic of split communicators.
     context: u64,
-    /// Shared counter used to derive fresh context ids deterministically.
-    next_context: Arc<AtomicU64>,
     /// This rank's index *within this communicator*.
     rank: usize,
     /// Map from communicator rank to global rank.
@@ -664,6 +945,27 @@ pub struct Comm {
 }
 
 impl Comm {
+    /// The transport this communicator runs over.
+    fn t(&self) -> &dyn Transport {
+        self.backend.t()
+    }
+
+    /// World communicator over a connected socket transport: the
+    /// multi-process counterpart of the `Comm` each rank thread gets
+    /// from [`Machine::run`]. Context 0, identity rank mapping.
+    #[cfg(not(loom))]
+    #[must_use]
+    pub fn over_socket(transport: std::sync::Arc<socket::SocketTransport>) -> Comm {
+        let rank = transport.self_rank();
+        let n = transport.ranks();
+        Comm {
+            backend: Backend::Socket(transport),
+            context: 0,
+            rank,
+            group: (0..n).collect::<Vec<_>>().into(),
+        }
+    }
+
     /// This rank's index in the communicator.
     #[must_use] 
     pub fn rank(&self) -> usize {
@@ -685,7 +987,7 @@ impl Comm {
     /// a kill for this rank at this step, the rank dies here (once).
     pub fn begin_step(&self, step: u64) {
         let me = self.global(self.rank);
-        if self.shared.plan.should_kill(me, step) {
+        if self.t().should_kill(me, step) {
             panic!("fault injected: rank {me} killed at step {step}");
         }
     }
@@ -706,24 +1008,23 @@ impl Comm {
     ///   failed set every survivor agrees on.
     #[must_use]
     pub fn admit_step(&self, step: u64) -> StepAdmission {
+        let t = self.t();
         assert!(
-            self.shared.health.enabled(),
+            t.health_enabled(),
             "admit_step requires Machine::with_heartbeat"
         );
         let me = self.global(self.rank);
-        if self.shared.plan.should_kill(me, step) {
+        if t.should_kill(me, step) {
             // Silent death: no beat, no panic — detection is the
             // monitor's job, exactly as with a real dead node.
             return StepAdmission::Dead;
         }
-        match self.shared.health.beat(me, step) {
+        match t.beat(me, step) {
             RankStatus::Failed | RankStatus::Rebuilding => StepAdmission::Dead,
-            RankStatus::Healthy | RankStatus::Suspected => {
-                match self.shared.health.epoch_sync(step, &self.shared.poisoned) {
-                    Ok(report) => StepAdmission::Proceed(report),
-                    Err(e) => panic!("{e}"),
-                }
-            }
+            RankStatus::Healthy | RankStatus::Suspected => match t.epoch_sync(me, step) {
+                Ok(report) => StepAdmission::Proceed(report),
+                Err(e) => panic!("{e}"),
+            },
         }
     }
 
@@ -735,7 +1036,7 @@ impl Comm {
     #[must_use]
     pub fn rejoin_as_replacement(&self) -> u64 {
         let me = self.global(self.rank);
-        match self.shared.health.await_failed(me, &self.shared.poisoned) {
+        match self.t().await_failed(me) {
             Ok(epoch) => epoch,
             Err(e) => panic!("{e}"),
         }
@@ -748,7 +1049,8 @@ impl Comm {
     /// collective.
     pub fn await_rebirth(&self, failed: &[usize]) {
         let global: Vec<usize> = failed.iter().map(|&r| self.global(r)).collect();
-        if let Err(e) = self.shared.health.await_rebirth(&global, &self.shared.poisoned) {
+        let me = self.global(self.rank);
+        if let Err(e) = self.t().await_rebirth(me, &global) {
             panic!("{e}");
         }
     }
@@ -757,7 +1059,7 @@ impl Comm {
     /// population at `epoch`.
     pub fn mark_recovered(&self, epoch: u64) {
         let me = self.global(self.rank);
-        self.shared.health.mark_recovered(me, epoch);
+        self.t().mark_recovered(me, epoch);
     }
 
     /// Every rank the detector currently considers dead (`Failed` or
@@ -769,20 +1071,20 @@ impl Comm {
     /// Tier-0 recovery path handles.
     #[must_use]
     pub fn dead_set(&self) -> Vec<(usize, u64)> {
-        if !self.shared.health.enabled() {
+        if !self.t().health_enabled() {
             return Vec::new();
         }
-        self.shared.health.dead_set()
+        self.t().dead_set()
     }
 
     /// Detector status of communicator rank `rank` (for diagnostics and
     /// tests); `Healthy` on machines without a monitor.
     #[must_use]
     pub fn rank_status(&self, rank: usize) -> RankStatus {
-        if !self.shared.health.enabled() {
+        if !self.t().health_enabled() {
             return RankStatus::Healthy;
         }
-        self.shared.health.status(self.global(rank))
+        self.t().rank_status(self.global(rank))
     }
 
     /// Agreement collective over the survivors of `report`: every
@@ -830,9 +1132,8 @@ impl Comm {
             .position(|&g| g == me)
             .expect("subset: caller must be a member");
         Comm {
-            shared: Arc::clone(&self.shared),
+            backend: self.backend.clone(),
             context,
-            next_context: Arc::clone(&self.next_context),
             rank: new_rank,
             group: group.into(),
         }
@@ -840,88 +1141,20 @@ impl Comm {
 
     /// Send `data` to communicator rank `dst` with `tag`. Buffered —
     /// returns immediately.
-    pub fn send<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+    pub fn send<T: WireMsg>(&self, dst: usize, tag: u64, data: Vec<T>) {
         let me = self.global(self.rank);
         let dst_global = self.global(dst);
-        let bytes = std::mem::size_of::<T>() as u64 * data.len() as u64;
-        // Relaxed: monotonic accounting counters, no data published
-        // under them; read exactly after join (FaultCounters audit).
-        self.shared.bytes_sent[me].fetch_add(bytes, Ordering::Relaxed);
-        self.shared.msgs_sent[me].fetch_add(1, Ordering::Relaxed);
-        // Every send doubles as a heartbeat (no-op without a monitor).
-        self.shared.health.tick(me);
-        let plan = &self.shared.plan;
-        if let Some(slow) = plan.slow() {
-            if slow.rank == me {
-                std::thread::sleep(slow.per_send);
+        let bytes = (T::WIRE_SIZE * data.len()) as u64;
+        let t = self.t();
+        let payload = if t.is_wire() {
+            WirePayload::Bytes {
+                type_hash: wire::type_hash::<T>(),
+                data: wire::encode_vec(&data),
             }
-        }
-        let key = (self.context, me, tag);
-        let mbox = &self.shared.boxes[dst_global];
-        let mut st = mbox.state.lock();
-        let seq = {
-            let s = st.send_seq.entry(key).or_insert(0);
-            let seq = *s;
-            *s += 1;
-            seq
-        };
-        let action = if plan.is_active() {
-            plan.action(self.context, me, dst_global, tag, seq)
         } else {
-            FaultAction::None
+            WirePayload::Boxed(Box::new(data))
         };
-        let wire = Wire::new(self.context, me as u64, tag, seq, bytes);
-        let ctrs = &self.shared.counters;
-        match action {
-            FaultAction::None => {
-                st.deliver(ctrs, key, seq, &wire, Some(Box::new(data)));
-                drop(st);
-                mbox.signal.notify_all();
-            }
-            FaultAction::Drop => {
-                // The sequence number is consumed: the receiver sees a
-                // permanent gap and its watchdog names this message.
-                ctrs.dropped.fetch_add(1, Ordering::Relaxed);
-            }
-            FaultAction::Duplicate => {
-                ctrs.duplicated.fetch_add(1, Ordering::Relaxed);
-                // Retransmission re-sends the payload bytes.
-                self.shared.bytes_sent[me].fetch_add(bytes, Ordering::Relaxed);
-                self.shared.msgs_sent[me].fetch_add(1, Ordering::Relaxed);
-                st.deliver(ctrs, key, seq, &wire, Some(Box::new(data)));
-                // The ghost carries only the duplicate sequence number;
-                // the receiver's dedup discards it by seq alone.
-                st.deliver(ctrs, key, seq, &wire, None);
-                drop(st);
-                mbox.signal.notify_all();
-            }
-            FaultAction::Delay => {
-                ctrs.delayed.fetch_add(1, Ordering::Relaxed);
-                drop(st);
-                self.shared.holdback[me].lock().push(Held {
-                    dst: dst_global,
-                    key,
-                    seq,
-                    wire,
-                    payload: Box::new(data),
-                });
-                return; // flushed after later traffic
-            }
-            FaultAction::Corrupt => {
-                ctrs.corrupted.fetch_add(1, Ordering::Relaxed);
-                // Flip one bit of the transmitted image; the receiving
-                // transport's CRC check rejects the frame (counted as
-                // `corrupt_detected` in `deliver`).
-                let bit = plan.corrupt_bit(self.context, me, dst_global, tag, seq);
-                let torn = wire.flip_bit(bit);
-                st.deliver(ctrs, key, seq, &torn, Some(Box::new(data)));
-                drop(st);
-                mbox.signal.notify_all();
-            }
-        }
-        // Any message held back earlier is now "later" than the traffic
-        // just enqueued — deliver it out of order.
-        self.shared.flush_holdback(me);
+        t.send(me, dst_global, self.context, tag, payload, bytes);
     }
 
     /// Receive a message previously sent by communicator rank `src` with
@@ -929,11 +1162,15 @@ impl Comm {
     /// watchdog, panics with a diagnostic [`CommError::Timeout`] after the
     /// watchdog duration. Panics if the payload type differs from what was
     /// sent (a programming error, as in MPI).
-    #[must_use] 
-    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
+    #[must_use]
+    pub fn recv<T: WireMsg>(&self, src: usize, tag: u64) -> Vec<T> {
         match self.recv_result(src, tag) {
             Ok(v) => v,
-            Err(e @ (CommError::Timeout { .. } | CommError::RankFailed { .. })) => panic!("{e}"),
+            Err(
+                e @ (CommError::Timeout { .. }
+                | CommError::RankFailed { .. }
+                | CommError::CorruptDetected { .. }),
+            ) => panic!("{e}"),
             Err(CommError::Poisoned) => panic!("machine poisoned: another rank panicked"),
         }
     }
@@ -944,14 +1181,14 @@ impl Comm {
     /// when the machine has a watchdog). External drivers and the loom
     /// model suite use this to assert on shutdown behavior without
     /// routing through panics.
-    pub fn recv_result<T: Send + 'static>(&self, src: usize, tag: u64) -> Result<Vec<T>, CommError> {
-        self.recv_impl(src, tag, self.shared.watchdog)
+    pub fn recv_result<T: WireMsg>(&self, src: usize, tag: u64) -> Result<Vec<T>, CommError> {
+        self.recv_impl(src, tag, self.t().watchdog())
     }
 
     /// Receive with an explicit deadline: a lost or missing message
     /// surfaces as [`CommError::Timeout`] naming the awaited
     /// `(context, src, tag)` instead of blocking forever.
-    pub fn recv_timeout<T: Send + 'static>(
+    pub fn recv_timeout<T: WireMsg>(
         &self,
         src: usize,
         tag: u64,
@@ -960,85 +1197,73 @@ impl Comm {
         self.recv_impl(src, tag, Some(timeout))
     }
 
-    fn recv_impl<T: Send + 'static>(
+    fn recv_impl<T: WireMsg>(
         &self,
         src: usize,
         tag: u64,
         timeout: Option<Duration>,
     ) -> Result<Vec<T>, CommError> {
         let me = self.global(self.rank);
+        let t = self.t();
         // A message this rank delayed may be the very one a peer needs
         // before it can send us anything — flush before blocking.
-        self.shared.flush_holdback(me);
-        let mbox = &self.shared.boxes[me];
+        t.flush_holdback(me);
         let src_global = self.global(src);
-        let key = (self.context, src_global, tag);
-        let start = Instant::now();
-        let deadline = timeout.map(|t| start + t);
-        let mut st = mbox.state.lock();
-        loop {
-            if let Some(q) = st.ready.get_mut(&key) {
-                if let Some(boxed) = q.pop_front() {
-                    return Ok(*boxed
-                        .downcast::<Vec<T>>()
-                        .expect("recv: payload type mismatch"));
-                }
+        match t.recv(me, src_global, self.context, tag, timeout) {
+            Ok(WirePayload::Boxed(boxed)) => Ok(*boxed
+                .downcast::<Vec<T>>()
+                .expect("recv: payload type mismatch")),
+            Ok(WirePayload::Bytes { type_hash, data }) => {
+                assert_eq!(
+                    type_hash,
+                    wire::type_hash::<T>(),
+                    "recv: payload type mismatch"
+                );
+                Ok(wire::decode_vec(&data))
             }
-            // SeqCst, checked while holding the mailbox lock: pairs
-            // with `Shared::poison`, which stores SeqCst and then takes
-            // this lock before notifying — so either this check sees
-            // the flag or the upcoming wait is woken by the notify (no
-            // lost-wakeup window; model-checked in tests/loom.rs).
-            if self.shared.poisoned.load(Ordering::SeqCst) {
-                return Err(CommError::Poisoned);
-            }
-            // With a heartbeat monitor attached, a wait on a source that
-            // stands declared `Failed` can never be satisfied: surface
-            // it as a survivable error. (The monitor wakes every mailbox
-            // after a declaration, so a blocked receiver reaches this
-            // check. Health state is a leaf lock — safe to take under
-            // the mailbox lock; see `HealthState` docs.)
-            if self.shared.health.enabled() {
-                if let Some(epoch) = self.shared.health.failed_epoch_of(src_global) {
-                    return Err(CommError::RankFailed {
-                        rank: src_global,
-                        epoch,
-                    });
-                }
-            }
-            match deadline {
-                None => mbox.signal.wait(&mut st),
-                Some(d) => {
-                    let now = Instant::now();
-                    if now >= d {
-                        let detail = st.diagnose(&key);
-                        return Err(CommError::Timeout {
-                            context: self.context,
-                            src,
-                            tag,
-                            waited: now - start,
-                            detail,
-                        });
-                    }
-                    let _ = mbox.signal.wait_for(&mut st, d - now);
-                }
-            }
+            // The backend reports the global source rank; the public API
+            // names ranks communicator-locally.
+            Err(CommError::Timeout {
+                context,
+                tag,
+                waited,
+                detail,
+                ..
+            }) => Err(CommError::Timeout {
+                context,
+                src,
+                tag,
+                waited,
+                detail,
+            }),
+            Err(e) => Err(e),
         }
     }
 
     /// Exchange with a partner: send then receive (safe because sends are
     /// buffered).
-    #[must_use] 
-    pub fn sendrecv<T: Send + 'static>(&self, peer: usize, tag: u64, data: Vec<T>) -> Vec<T> {
+    #[must_use]
+    pub fn sendrecv<T: WireMsg>(&self, peer: usize, tag: u64, data: Vec<T>) -> Vec<T> {
         self.send(peer, tag, data);
         self.recv(peer, tag)
     }
 
     /// Dissemination barrier (log₂ P rounds of token exchange).
     pub fn barrier(&self) {
+        match self.try_barrier() {
+            Ok(()) => (),
+            Err(CommError::Poisoned) => panic!("machine poisoned: another rank panicked"),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Comm::barrier`] with failures as values: a barrier involving a
+    /// dead peer returns [`CommError::RankFailed`] so a recovery driver
+    /// can act instead of unwinding.
+    pub fn try_barrier(&self) -> Result<(), CommError> {
         let p = self.size();
         if p == 1 {
-            return;
+            return Ok(());
         }
         let mut step = 1usize;
         let mut round = 0u64;
@@ -1046,16 +1271,17 @@ impl Comm {
             let dst = (self.rank + step) % p;
             let src = (self.rank + p - step) % p;
             self.send::<u8>(dst, TAG_BARRIER + round, Vec::new());
-            let _ = self.recv::<u8>(src, TAG_BARRIER + round);
+            let _ = self.recv_result::<u8>(src, TAG_BARRIER + round)?;
             step <<= 1;
             round += 1;
         }
+        Ok(())
     }
 
     /// Broadcast from `root` to every rank via a binomial tree; returns the
     /// data on all ranks. Non-root ranks pass `None`.
     #[must_use] 
-    pub fn broadcast<T: Clone + Send + 'static>(
+    pub fn broadcast<T: WireMsg + Clone>(
         &self,
         root: usize,
         data: Option<Vec<T>>,
@@ -1089,7 +1315,7 @@ impl Comm {
     /// Reduce element-wise with `op` to `root`; non-roots get `None`.
     pub fn reduce<T, F>(&self, root: usize, mut data: Vec<T>, op: F) -> Option<Vec<T>>
     where
-        T: Clone + Send + 'static,
+        T: WireMsg + Clone,
         F: Fn(&T, &T) -> T,
     {
         let p = self.size();
@@ -1119,7 +1345,7 @@ impl Comm {
     /// Allreduce: reduce to rank 0 then broadcast.
     pub fn allreduce<T, F>(&self, data: Vec<T>, op: F) -> Vec<T>
     where
-        T: Clone + Send + 'static,
+        T: WireMsg + Clone,
         F: Fn(&T, &T) -> T,
     {
         let reduced = self.reduce(0, data, op);
@@ -1141,7 +1367,7 @@ impl Comm {
     /// Gather variable-length contributions to `root` (rank order);
     /// non-roots get `None`.
     #[must_use] 
-    pub fn gather<T: Clone + Send + 'static>(
+    pub fn gather<T: WireMsg + Clone>(
         &self,
         root: usize,
         data: Vec<T>,
@@ -1163,7 +1389,7 @@ impl Comm {
 
     /// Allgather: every rank receives every rank's contribution (rank order).
     #[must_use] 
-    pub fn allgather<T: Clone + Send + 'static>(&self, data: Vec<T>) -> Vec<Vec<T>> {
+    pub fn allgather<T: WireMsg + Clone>(&self, data: Vec<T>) -> Vec<Vec<T>> {
         // Ring allgather: p-1 shifts.
         let p = self.size();
         let mut out: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
@@ -1182,8 +1408,20 @@ impl Comm {
 
     /// Personalized all-to-all: `sends[r]` goes to rank `r`; returns the
     /// vector received from each rank (in rank order).
-    #[must_use] 
-    pub fn alltoallv<T: Send + 'static>(&self, mut sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    #[must_use]
+    pub fn alltoallv<T: WireMsg>(&self, sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        match self.try_alltoallv(sends) {
+            Ok(v) => v,
+            Err(CommError::Poisoned) => panic!("machine poisoned: another rank panicked"),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Comm::alltoallv`] with failures as values: an exchange whose
+    /// peer dies mid-collective returns [`CommError::RankFailed`] (or a
+    /// timeout / corruption error) instead of unwinding, so the
+    /// recovery driver can abandon the step and run reconstruction.
+    pub fn try_alltoallv<T: WireMsg>(&self, mut sends: Vec<Vec<T>>) -> Result<Vec<Vec<T>>, CommError> {
         let p = self.size();
         assert_eq!(sends.len(), p, "alltoallv: need one send buffer per rank");
         let mut recvs: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
@@ -1195,9 +1433,12 @@ impl Comm {
             let dst = (self.rank + step) % p;
             let src = (self.rank + p - step) % p;
             self.send(dst, TAG_A2A + step as u64, std::mem::take(&mut sends[dst]));
-            recvs[src] = Some(self.recv::<T>(src, TAG_A2A + step as u64));
+            recvs[src] = Some(self.recv_result::<T>(src, TAG_A2A + step as u64)?);
         }
-        recvs.into_iter().map(|r| r.expect("alltoallv slot")).collect()
+        Ok(recvs
+            .into_iter()
+            .map(|r| r.expect("alltoallv slot"))
+            .collect())
     }
 
     /// Split into sub-communicators by `color`; ranks with equal color form
@@ -1220,9 +1461,8 @@ impl Comm {
             .expect("split: own rank in group");
         let base = self.bump_context_base();
         Comm {
-            shared: Arc::clone(&self.shared),
+            backend: self.backend.clone(),
             context: base.wrapping_mul(1_000_003).wrapping_add(color + 1),
-            next_context: Arc::clone(&self.next_context),
             rank: new_rank,
             group: group.into(),
         }
@@ -1230,11 +1470,10 @@ impl Comm {
 
     /// All ranks of this communicator agree on a fresh context base.
     fn bump_context_base(&self) -> u64 {
-        // Relaxed: only uniqueness matters (the RMW is atomic); the
-        // value is distributed to the other ranks by the broadcast
-        // below, whose mailbox locks provide the ordering.
+        // Only rank 0's allocation is used; the broadcast distributes it
+        // (and provides the ordering) to every other member.
         let base = if self.rank == 0 {
-            Some(vec![self.next_context.fetch_add(1, Ordering::Relaxed)])
+            Some(vec![self.t().alloc_context_base()])
         } else {
             None
         };
@@ -1247,7 +1486,16 @@ impl Comm {
     /// exposed for external drivers (and the loom model suite) that
     /// manage rank lifecycles themselves via [`Machine::handles`].
     pub fn poison(&self) {
-        self.shared.poison();
+        self.t().poison();
+    }
+
+    /// Gracefully shut this rank's transport down: drain in-flight
+    /// sends and close links so peers observe clean EOFs. Call after
+    /// the last collective (typically behind a final barrier). No-op
+    /// beyond holdback flushing for the in-process backend.
+    pub fn shutdown(&self) {
+        let me = self.global(self.rank);
+        self.t().shutdown(me);
     }
 
     /// Snapshot of the machine-wide traffic and fault counters.
@@ -1256,34 +1504,19 @@ impl Comm {
     /// ranks are still sending* the counts may lag in-flight increments
     /// (they are Relaxed monotonic counters — never torn, possibly
     /// stale; see the `FaultCounters` ordering audit).
-    #[must_use] 
+    #[must_use]
     pub fn traffic_stats(&self) -> TrafficStats {
-        TrafficStats {
-            bytes_sent: self
-                .shared
-                .bytes_sent
-                .iter()
-                .map(|a| a.load(Ordering::Relaxed))
-                .collect(),
-            msgs_sent: self
-                .shared
-                .msgs_sent
-                .iter()
-                .map(|a| a.load(Ordering::Relaxed))
-                .collect(),
-            faults: self.shared.counters.snapshot(),
-        }
+        self.t().traffic_stats()
     }
 
     /// Duplicate this communicator with a fresh context (no cross-talk with
     /// the original).
-    #[must_use] 
+    #[must_use]
     pub fn duplicate(&self) -> Comm {
         let base = self.bump_context_base();
         Comm {
-            shared: Arc::clone(&self.shared),
+            backend: self.backend.clone(),
             context: base.wrapping_mul(999_983).wrapping_add(7),
-            next_context: Arc::clone(&self.next_context),
             rank: self.rank,
             group: Arc::clone(&self.group),
         }

@@ -1,0 +1,1296 @@
+//! Multi-process socket transport: one OS process per rank, CRC-framed
+//! messages over loopback TCP, wired up through a hub rendezvous.
+//!
+//! # Topology
+//!
+//! A [`crate::hub::Hub`] (the launcher process) binds a control
+//! listener and spawns one child process per rank. Each child:
+//!
+//! 1. binds its own **data listener** on `127.0.0.1:0`,
+//! 2. dials the hub, sends `HELLO <rank> <incarnation> <data_addr>`,
+//!    and blocks until the hub's `WELCOME … READY` reply (the hub
+//!    answers the initial generation only once all ranks have arrived —
+//!    the rank-zero rendezvous),
+//! 3. dials every lower-ranked peer's data address (a **replacement**
+//!    process dials *every* peer) and accepts the rest, so each
+//!    unordered pair shares exactly one TCP stream,
+//! 4. spawns one reader thread per link plus a control reader and a
+//!    tick thread, then hands an `Arc<SocketTransport>` to
+//!    [`crate::Comm::over_socket`].
+//!
+//! # Hardening
+//!
+//! - Dials retry with exponential backoff plus deterministic jitter.
+//! - Every frame is length-prefixed and CRC-protected ([`crate::wire`]);
+//!   a torn, truncated, or bit-flipped frame **condemns the link** —
+//!   receives from that peer fail with [`CommError::CorruptDetected`],
+//!   never silently resync.
+//! - Per-link sequence numbers (reset per connection) make frame loss
+//!   and reordering detectable as corruption.
+//! - Readers poll with short OS read timeouts so shutdown never blocks
+//!   on a dead peer; the *receive* deadline feeding
+//!   [`crate::Comm::recv_timeout`] is enforced at the byte mailbox.
+//! - A broken pipe marks the link down and queues outbound frames; they
+//!   are drained if the same peer incarnation reconnects and dropped if
+//!   a replacement (new incarnation) takes over.
+//! - Peer death is **never** inferred from a socket error — only the
+//!   hub's failure detector declares ranks dead (broadcast to every
+//!   child and mirrored here), so transient disconnects cannot
+//!   masquerade as rank failure.
+
+use crate::stats::WireStats;
+use crate::sync::{Condvar, Mutex};
+use crate::transport::{Transport, WirePayload};
+use crate::wire::{self, FrameHeader, FRAME_HEADER, FRAME_TRAILER};
+use crate::{fault, CommError, EpochReport, FaultStats, RankStatus, TrafficStats};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Mailbox key: (communicator context, global source rank, user tag).
+type Key = (u64, usize, u64);
+
+/// How a child process finds and identifies itself to the world.
+#[derive(Debug, Clone)]
+pub struct SocketConfig {
+    /// Hub control address, e.g. `127.0.0.1:45123`.
+    pub hub_addr: String,
+    /// This process's global rank.
+    pub rank: usize,
+    /// World size.
+    pub ranks: usize,
+    /// 0 for an original process; hub-incremented for each respawn of
+    /// this rank. Peers use it to tell a reconnect from a replacement.
+    pub incarnation: u64,
+}
+
+impl SocketConfig {
+    /// Read the configuration the launcher passed via environment
+    /// (`HACC_HUB`, `HACC_RANK`, `HACC_RANKS`, `HACC_INCARNATION`).
+    pub fn from_env() -> Result<Self, String> {
+        let get = |k: &str| std::env::var(k).map_err(|_| format!("missing env {k}"));
+        Ok(SocketConfig {
+            hub_addr: get("HACC_HUB")?,
+            rank: get("HACC_RANK")?.parse().map_err(|e| format!("HACC_RANK: {e}"))?,
+            ranks: get("HACC_RANKS")?.parse().map_err(|e| format!("HACC_RANKS: {e}"))?,
+            incarnation: std::env::var("HACC_INCARNATION")
+                .ok()
+                .map_or(Ok(0), |v| v.parse().map_err(|e| format!("HACC_INCARNATION: {e}")))?,
+        })
+    }
+
+    /// Is this process a respawned blank replacement?
+    #[must_use]
+    pub fn is_replacement(&self) -> bool {
+        self.incarnation > 0
+    }
+}
+
+/// Timing parameters the hub hands every child in its `WELCOME` line.
+#[derive(Debug, Clone, Copy)]
+struct WireTiming {
+    /// Default receive deadline (the transport watchdog).
+    recv_deadline: Duration,
+    /// Hub scan interval; ticks are sent at a fraction of this.
+    scan_interval: Duration,
+    /// Deadline for detector-level waits (epoch sync, rebirth).
+    sync_timeout: Duration,
+}
+
+/// An outbound message not yet on the wire (link down): framed lazily
+/// so sequence numbers are assigned at write time, after any reset.
+struct PendingMsg {
+    context: u64,
+    tag: u64,
+    type_hash: u64,
+    payload: Vec<u8>,
+    /// Peer incarnation the message was addressed to; a replacement
+    /// (different incarnation) must not receive a dead rank's backlog.
+    incarnation: u64,
+}
+
+/// Send side of one peer link.
+struct LinkState {
+    writer: Option<TcpStream>,
+    up: bool,
+    ever_up: bool,
+    peer_incarnation: u64,
+    /// Bumped on every (re)registration; readers for older generations
+    /// exit instead of marking the fresh link down.
+    generation: u64,
+    /// Next sequence number to stamp (per connection).
+    send_seq: u64,
+    pending: VecDeque<PendingMsg>,
+}
+
+struct Link {
+    state: Mutex<LinkState>,
+    signal: Condvar,
+}
+
+impl Default for Link {
+    fn default() -> Self {
+        Link {
+            state: Mutex::new(LinkState {
+                writer: None,
+                up: false,
+                ever_up: false,
+                peer_incarnation: 0,
+                generation: 0,
+                send_seq: 0,
+                pending: VecDeque::new(),
+            }),
+            signal: Condvar::new(),
+        }
+    }
+}
+
+/// Receive side: every inbound payload lands here, keyed like the
+/// in-process mailboxes.
+struct MailInner {
+    ready: HashMap<Key, VecDeque<(u64, Vec<u8>)>>,
+    /// Per-source condemnation: set once a link delivers a bad frame.
+    corrupt: Vec<Option<String>>,
+    /// Per-source count of rejected frames (diagnostics).
+    rejected: Vec<u64>,
+}
+
+struct ByteMail {
+    state: Mutex<MailInner>,
+    signal: Condvar,
+}
+
+/// Child-side replica of the hub's authoritative failure detector,
+/// updated by control-stream broadcasts (`EPOCH`, `DECLARED`,
+/// `REBUILDING`, `RECOVERED`).
+#[derive(Clone, Copy)]
+struct MirrorRank {
+    status: RankStatus,
+    epoch: u64,
+    failed_epoch: u64,
+}
+
+struct Mirror {
+    state: Mutex<Vec<MirrorRank>>,
+    signal: Condvar,
+}
+
+/// One-slot synchronous RPC to the hub (`BEAT` → `BEATACK`,
+/// `AWAITFAILED` → `FAILEDEPOCH`). A rank runs one app thread, so one
+/// outstanding request suffices.
+#[derive(Default)]
+struct RpcSlot {
+    beat_ack: Option<RankStatus>,
+    failed_epoch: Option<u64>,
+}
+
+struct ControlChannel {
+    writer: Mutex<TcpStream>,
+    rpc: Mutex<RpcSlot>,
+    rpc_signal: Condvar,
+}
+
+/// Wire-health counters (Relaxed monotonic tallies, same audit as the
+/// in-process `FaultCounters`).
+#[derive(Default)]
+struct WireCounters {
+    connect_attempts: AtomicU64,
+    reconnects: AtomicU64,
+    frames_sent: AtomicU64,
+    frames_retried: AtomicU64,
+    frames_dropped_dead: AtomicU64,
+    bytes_on_wire: AtomicU64,
+    crc_rejects: AtomicU64,
+}
+
+impl WireCounters {
+    fn snapshot(&self) -> WireStats {
+        WireStats {
+            connect_attempts: self.connect_attempts.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            frames_retried: self.frames_retried.load(Ordering::Relaxed),
+            frames_dropped_dead: self.frames_dropped_dead.load(Ordering::Relaxed),
+            bytes_on_wire: self.bytes_on_wire.load(Ordering::Relaxed),
+            crc_rejects: self.crc_rejects.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The inter-process backend behind [`crate::Comm::over_socket`].
+pub struct SocketTransport {
+    cfg: SocketConfig,
+    timing: WireTiming,
+    mail: ByteMail,
+    links: Vec<Link>,
+    mirror: Mirror,
+    control: ControlChannel,
+    poisoned: AtomicBool,
+    closing: AtomicBool,
+    counters: WireCounters,
+    payload_bytes: AtomicU64,
+    msgs_sent: AtomicU64,
+    next_context: AtomicU64,
+}
+
+/// OS-read poll granularity: how often a blocked reader re-checks the
+/// shutdown/generation flags. The *user-visible* deadline is enforced
+/// at the mailbox, not here.
+const READ_POLL: Duration = Duration::from_millis(200);
+/// Base delay of the dial backoff schedule.
+const DIAL_BACKOFF_BASE: Duration = Duration::from_millis(10);
+/// Dial attempts before giving up (~20 s worst case with backoff).
+const DIAL_ATTEMPTS: u32 = 11;
+/// Magic preamble word opening every data stream ("HACD").
+const DATA_PREAMBLE_MAGIC: u32 = 0x4443_4148;
+
+/// Exponential backoff with deterministic jitter for dial attempt
+/// `attempt` (0-based) from rank `rank`.
+fn dial_delay(rank: usize, incarnation: u64, attempt: u32) -> Duration {
+    let base = DIAL_BACKOFF_BASE.as_millis() as u64;
+    let expo = base << attempt.min(7);
+    let jitter = fault::mix64(
+        (rank as u64) ^ (incarnation << 16) ^ (u64::from(attempt) << 32) ^ 0x6a09_e667_f3bc_c908,
+    ) % base.max(1);
+    Duration::from_millis(expo + jitter)
+}
+
+fn io_err<E: std::fmt::Display>(what: &str, e: E) -> std::io::Error {
+    std::io::Error::other(format!("{what}: {e}"))
+}
+
+/// Fill `buf` from a stream whose read timeout is [`READ_POLL`],
+/// retrying timeouts while `alive()` holds. `Ok(false)` means clean EOF
+/// before the first byte.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    alive: &dyn Fn() -> bool,
+) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if !alive() {
+            return Err(io_err("read aborted", "transport closing"));
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(io_err("read", "EOF mid-frame"));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Read deadline tick: re-check liveness, keep polling.
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+impl SocketTransport {
+    /// Connect this process to the world: hub handshake, data mesh,
+    /// reader/control/tick threads. Blocks until every peer link is up.
+    pub fn connect(cfg: SocketConfig) -> std::io::Result<Arc<SocketTransport>> {
+        assert!(cfg.rank < cfg.ranks, "rank out of range");
+        // 1. Own data listener first, so the HELLO can carry its address.
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let data_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        // 2. Hub handshake (with dial retry — the hub may still be
+        //    binding when early children start).
+        let counters = WireCounters::default();
+        let mut control_stream =
+            dial_retry(&cfg.hub_addr, cfg.rank, cfg.incarnation, &counters)?;
+        control_stream.set_nodelay(true).ok();
+        writeln!(
+            control_stream,
+            "HELLO {} {} {}",
+            cfg.rank, cfg.incarnation, data_addr
+        )?;
+        let mut control_reader = BufReader::new(control_stream.try_clone()?);
+        let (timing, peers, mirror_seed) = read_welcome(&mut control_reader, cfg.ranks)?;
+
+        let transport = Arc::new(SocketTransport {
+            links: (0..cfg.ranks).map(|_| Link::default()).collect(),
+            mail: ByteMail {
+                state: Mutex::new(MailInner {
+                    ready: HashMap::new(),
+                    corrupt: vec![None; cfg.ranks],
+                    rejected: vec![0; cfg.ranks],
+                }),
+                signal: Condvar::new(),
+            },
+            mirror: Mirror {
+                state: Mutex::new(mirror_seed),
+                signal: Condvar::new(),
+            },
+            control: ControlChannel {
+                writer: Mutex::new(control_stream),
+                rpc: Mutex::new(RpcSlot::default()),
+                rpc_signal: Condvar::new(),
+            },
+            poisoned: AtomicBool::new(false),
+            closing: AtomicBool::new(false),
+            counters,
+            payload_bytes: AtomicU64::new(0),
+            msgs_sent: AtomicU64::new(0),
+            // Incarnation in the high bits keeps context bases allocated
+            // by a respawned rank 0 disjoint from its predecessor's.
+            next_context: AtomicU64::new((cfg.incarnation.wrapping_add(1) << 40) | 1),
+            timing,
+            cfg,
+        });
+
+        // 3. Accept thread for inbound dials.
+        {
+            let t = Arc::clone(&transport);
+            std::thread::spawn(move || t.accept_loop(&listener));
+        }
+        // 4. Outbound dials: lower ranks for the initial generation,
+        //    everyone for a replacement (survivors only accept).
+        for (peer, info) in peers.iter().enumerate() {
+            if peer == transport.cfg.rank {
+                continue;
+            }
+            let dial = if transport.cfg.is_replacement() {
+                true
+            } else {
+                peer < transport.cfg.rank
+            };
+            if !dial {
+                continue;
+            }
+            let addr = info
+                .as_ref()
+                .ok_or_else(|| io_err("peer address", format!("rank {peer} unknown")))?;
+            let stream = dial_retry(
+                &addr.1,
+                transport.cfg.rank,
+                transport.cfg.incarnation,
+                &transport.counters,
+            )?;
+            transport.send_data_preamble(&stream)?;
+            transport.register_link(peer, stream, addr.0)?;
+        }
+        // 5. Control reader + tick threads.
+        {
+            let t = Arc::clone(&transport);
+            std::thread::spawn(move || t.control_loop(control_reader));
+        }
+        {
+            let t = Arc::clone(&transport);
+            std::thread::spawn(move || t.tick_loop());
+        }
+        // 6. Rendezvous complete only when the mesh is fully up.
+        transport.wait_links_up()?;
+        Ok(transport)
+    }
+
+    /// This process's global rank.
+    #[must_use]
+    pub fn self_rank(&self) -> usize {
+        self.cfg.rank
+    }
+
+    /// World size.
+    #[must_use]
+    pub fn ranks(&self) -> usize {
+        self.cfg.ranks
+    }
+
+    /// Is this process a respawned blank replacement?
+    #[must_use]
+    pub fn is_replacement(&self) -> bool {
+        self.cfg.is_replacement()
+    }
+
+    fn send_data_preamble(&self, mut stream: &TcpStream) -> std::io::Result<()> {
+        let mut pre = Vec::with_capacity(16);
+        pre.extend_from_slice(&DATA_PREAMBLE_MAGIC.to_le_bytes());
+        pre.extend_from_slice(&(self.cfg.rank as u32).to_le_bytes());
+        pre.extend_from_slice(&self.cfg.incarnation.to_le_bytes());
+        stream.write_all(&pre)
+    }
+
+    /// Install `stream` as the live link to `peer` (either direction),
+    /// drain any same-incarnation backlog, and spawn its reader.
+    fn register_link(
+        self: &Arc<Self>,
+        peer: usize,
+        stream: TcpStream,
+        peer_incarnation: u64,
+    ) -> std::io::Result<()> {
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(READ_POLL))?;
+        let reader_stream = stream.try_clone()?;
+        let generation;
+        {
+            let link = &self.links[peer];
+            let mut st = link.state.lock();
+            st.generation += 1;
+            generation = st.generation;
+            if st.ever_up {
+                self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+            }
+            if peer_incarnation != st.peer_incarnation {
+                // A replacement process: the dead incarnation's backlog
+                // and any stale inbound frames must not leak into it.
+                st.pending.retain(|m| m.incarnation == peer_incarnation);
+                let mut mail = self.mail.state.lock();
+                mail.ready.retain(|k, _| k.1 != peer);
+                mail.corrupt[peer] = None;
+                drop(mail);
+            }
+            st.peer_incarnation = peer_incarnation;
+            st.send_seq = 0;
+            st.writer = Some(stream);
+            st.up = true;
+            st.ever_up = true;
+            let backlog: Vec<PendingMsg> = st.pending.drain(..).collect();
+            for msg in backlog {
+                if self.write_frame(&mut st, msg) {
+                    self.counters.frames_retried.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.links[peer].signal.notify_all();
+        let t = Arc::clone(self);
+        std::thread::spawn(move || t.reader_loop(reader_stream, peer, generation));
+        Ok(())
+    }
+
+    /// Frame and write one message under the link lock. Returns whether
+    /// it went out; on failure the link is marked down and the message
+    /// requeued.
+    fn write_frame(&self, st: &mut LinkState, msg: PendingMsg) -> bool {
+        let header = FrameHeader {
+            src: self.cfg.rank as u32,
+            context: msg.context,
+            tag: msg.tag,
+            seq: st.send_seq,
+            type_hash: msg.type_hash,
+            len: msg.payload.len() as u64,
+        };
+        let frame = wire::encode_frame(&header, &msg.payload);
+        let Some(writer) = st.writer.as_mut() else {
+            st.pending.push_back(msg);
+            return false;
+        };
+        match writer.write_all(&frame) {
+            Ok(()) => {
+                st.send_seq += 1;
+                self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .bytes_on_wire
+                    .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                true
+            }
+            Err(_) => {
+                // Broken pipe / reset: down the link, keep the message
+                // for a same-incarnation reconnect. Failure semantics
+                // stay with the hub's detector — a socket error is
+                // never itself a death certificate.
+                st.up = false;
+                st.writer = None;
+                st.pending.push_back(msg);
+                false
+            }
+        }
+    }
+
+    fn accept_loop(self: &Arc<Self>, listener: &TcpListener) {
+        while !self.closing.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    if let Err(e) = stream.set_read_timeout(Some(READ_POLL)) {
+                        drop(e);
+                        continue;
+                    }
+                    let mut pre = [0u8; 16];
+                    let alive = || !self.closing.load(Ordering::SeqCst);
+                    match read_full(&mut stream, &mut pre, &alive) {
+                        Ok(true) => {}
+                        _ => continue,
+                    }
+                    let magic = u32::from_le_bytes(pre[0..4].try_into().expect("preamble"));
+                    if magic != DATA_PREAMBLE_MAGIC {
+                        continue;
+                    }
+                    let peer =
+                        u32::from_le_bytes(pre[4..8].try_into().expect("preamble")) as usize;
+                    let inc = u64::from_le_bytes(pre[8..16].try_into().expect("preamble"));
+                    if peer >= self.cfg.ranks || peer == self.cfg.rank {
+                        continue;
+                    }
+                    let _ = self.register_link(peer, stream, inc);
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// Per-link inbound pump: validate every frame, deliver to the byte
+    /// mailbox, condemn the link on the first structural failure.
+    fn reader_loop(self: &Arc<Self>, mut stream: TcpStream, src: usize, generation: u64) {
+        let mut expected_seq = 0u64;
+        let alive = || {
+            !self.closing.load(Ordering::SeqCst)
+                && self.links[src].state.lock().generation == generation
+        };
+        loop {
+            let mut buf = vec![0u8; FRAME_HEADER];
+            match read_full(&mut stream, &mut buf, &alive) {
+                Ok(true) => {}
+                Ok(false) => {
+                    // Clean EOF between frames: the peer closed (exit or
+                    // death). Down the link; the detector decides what
+                    // it means.
+                    self.link_down(src, generation);
+                    return;
+                }
+                Err(_) => {
+                    if self.closing.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    self.link_down(src, generation);
+                    return;
+                }
+            }
+            let header = match wire::parse_header(&buf) {
+                Ok(h) => h,
+                Err(e) => {
+                    self.condemn(src, generation, &format!("{e}"));
+                    return;
+                }
+            };
+            let body = usize::try_from(header.len).expect("frame length fits usize");
+            buf.resize(FRAME_HEADER + body + FRAME_TRAILER, 0);
+            if !matches!(
+                read_full(&mut stream, &mut buf[FRAME_HEADER..], &alive),
+                Ok(true)
+            ) {
+                self.condemn(src, generation, "torn frame: stream ended mid-payload");
+                return;
+            }
+            let (header, payload) = match wire::decode_frame(&buf) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    self.condemn(src, generation, &format!("{e}"));
+                    return;
+                }
+            };
+            if header.src as usize != src {
+                self.condemn(
+                    src,
+                    generation,
+                    &format!("frame claims src {} on the link from {src}", header.src),
+                );
+                return;
+            }
+            if header.seq != expected_seq {
+                self.condemn(
+                    src,
+                    generation,
+                    &format!(
+                        "torn frame stream: expected seq #{expected_seq}, got #{}",
+                        header.seq
+                    ),
+                );
+                return;
+            }
+            expected_seq += 1;
+            let key = (header.context, src, header.tag);
+            let mut mail = self.mail.state.lock();
+            mail.ready
+                .entry(key)
+                .or_default()
+                .push_back((header.type_hash, payload.to_vec()));
+            drop(mail);
+            self.mail.signal.notify_all();
+        }
+    }
+
+    /// Mark the link down (transient: no error surfaced to receivers).
+    fn link_down(&self, src: usize, generation: u64) {
+        {
+            let mut st = self.links[src].state.lock();
+            if st.generation != generation {
+                return; // superseded by a fresh registration
+            }
+            st.up = false;
+            st.writer = None;
+        }
+        self.links[src].signal.notify_all();
+        // Receivers re-evaluate (the detector may have declared the peer).
+        let _guard = self.mail.state.lock();
+        self.mail.signal.notify_all();
+    }
+
+    /// Condemn the link: everything after a bad frame is untrusted, so
+    /// receives from `src` fail loudly from now on (until a replacement
+    /// incarnation re-registers the link).
+    fn condemn(&self, src: usize, generation: u64, detail: &str) {
+        self.counters.crc_rejects.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut st = self.links[src].state.lock();
+            if st.generation == generation {
+                st.up = false;
+                st.writer = None;
+            }
+        }
+        {
+            let mut mail = self.mail.state.lock();
+            mail.rejected[src] += 1;
+            if mail.corrupt[src].is_none() {
+                mail.corrupt[src] = Some(detail.to_string());
+            }
+        }
+        self.mail.signal.notify_all();
+        self.links[src].signal.notify_all();
+    }
+
+    /// Block until every peer link is up (initial rendezvous).
+    fn wait_links_up(&self) -> std::io::Result<()> {
+        let deadline = Instant::now() + self.timing.sync_timeout;
+        for peer in 0..self.cfg.ranks {
+            if peer == self.cfg.rank {
+                continue;
+            }
+            let link = &self.links[peer];
+            let mut st = link.state.lock();
+            while !st.up {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(io_err(
+                        "rendezvous",
+                        format!("link to rank {peer} never came up"),
+                    ));
+                }
+                let _ = link.signal.wait_for(&mut st, deadline - now);
+            }
+        }
+        Ok(())
+    }
+
+    // ---- control plane ------------------------------------------------
+
+    fn control_send(&self, line: &str) -> bool {
+        let mut w = self.control.writer.lock();
+        writeln!(w, "{line}").is_ok()
+    }
+
+    fn tick_loop(&self) {
+        let interval = self.timing.scan_interval.as_secs_f64() / 3.0;
+        let interval = Duration::from_secs_f64(interval.max(0.005));
+        while !self.closing.load(Ordering::SeqCst) && !self.poisoned.load(Ordering::SeqCst) {
+            std::thread::sleep(interval);
+            if self.closing.load(Ordering::SeqCst) {
+                return;
+            }
+            if !self.control_send("TICK") {
+                return; // control reader handles the poisoning
+            }
+        }
+    }
+
+    /// Apply hub broadcasts to the local mirror and answer RPC waits.
+    fn control_loop(self: &Arc<Self>, reader: BufReader<TcpStream>) {
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            let mut it = line.split_whitespace();
+            match it.next() {
+                Some("BEATACK") => {
+                    let status = parse_status(it.next().unwrap_or(""));
+                    let mut slot = self.control.rpc.lock();
+                    slot.beat_ack = Some(status);
+                    drop(slot);
+                    self.control.rpc_signal.notify_all();
+                }
+                Some("FAILEDEPOCH") => {
+                    let epoch = it.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+                    let mut slot = self.control.rpc.lock();
+                    slot.failed_epoch = Some(epoch);
+                    drop(slot);
+                    self.control.rpc_signal.notify_all();
+                }
+                Some("EPOCH") => {
+                    let (Some(r), Some(e)) = (parse_arg(it.next()), parse_arg(it.next())) else {
+                        continue;
+                    };
+                    self.apply_mirror(r as usize, |m| {
+                        if e > m.epoch {
+                            m.epoch = e;
+                        }
+                    });
+                }
+                Some("DECLARED") => {
+                    let (Some(r), Some(e)) = (parse_arg(it.next()), parse_arg(it.next())) else {
+                        continue;
+                    };
+                    self.apply_mirror(r as usize, |m| {
+                        m.status = RankStatus::Failed;
+                        m.failed_epoch = e;
+                    });
+                }
+                Some("REBUILDING") => {
+                    let Some(r) = parse_arg(it.next()) else { continue };
+                    self.apply_mirror(r as usize, |m| {
+                        if m.status == RankStatus::Failed {
+                            m.status = RankStatus::Rebuilding;
+                        }
+                    });
+                }
+                Some("RECOVERED") => {
+                    let (Some(r), Some(e)) = (parse_arg(it.next()), parse_arg(it.next())) else {
+                        continue;
+                    };
+                    self.apply_mirror(r as usize, |m| {
+                        m.status = RankStatus::Healthy;
+                        if e > m.epoch {
+                            m.epoch = e;
+                        }
+                    });
+                }
+                Some("POISON") => {
+                    self.poison_self();
+                }
+                _ => {}
+            }
+        }
+        // Hub gone. If we are not deliberately shutting down, the world
+        // is over: fail every blocked wait instead of hanging.
+        if !self.closing.load(Ordering::SeqCst) {
+            self.poison_self();
+        }
+    }
+
+    fn apply_mirror(&self, rank: usize, f: impl FnOnce(&mut MirrorRank)) {
+        {
+            let mut st = self.mirror.state.lock();
+            if let Some(m) = st.get_mut(rank) {
+                f(m);
+            }
+        }
+        self.mirror.signal.notify_all();
+        // Receives blocked on a now-dead source must re-evaluate.
+        let _guard = self.mail.state.lock();
+        self.mail.signal.notify_all();
+    }
+
+    fn poison_self(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        {
+            let _guard = self.mail.state.lock();
+            self.mail.signal.notify_all();
+        }
+        self.mirror.signal.notify_all();
+        self.control.rpc_signal.notify_all();
+        for link in &self.links {
+            link.signal.notify_all();
+        }
+    }
+
+    /// Send an RPC line and wait for `extract` to yield the reply.
+    /// Panics on hub loss — the machine cannot continue without its
+    /// detector, exactly like a poisoned in-process run.
+    fn hub_rpc<R>(&self, line: &str, extract: impl Fn(&mut RpcSlot) -> Option<R>) -> R {
+        let mut slot = self.control.rpc.lock();
+        *slot = RpcSlot::default();
+        if !self.control_send(line) {
+            self.poison_self();
+            panic!("hub connection lost during {line}");
+        }
+        let deadline = Instant::now() + self.timing.sync_timeout;
+        loop {
+            if let Some(r) = extract(&mut slot) {
+                return r;
+            }
+            if self.poisoned.load(Ordering::SeqCst) {
+                panic!("machine poisoned: hub connection lost");
+            }
+            let now = Instant::now();
+            assert!(now < deadline, "hub did not answer {line} in time");
+            let _ = self.control.rpc_signal.wait_for(&mut slot, deadline - now);
+        }
+    }
+
+    fn mail_diagnose(&self, inner: &MailInner, src: usize) -> String {
+        let up = self.links[src].state.lock().up;
+        let mut msg = format!(
+            "no traffic pending from rank {src} (link {})",
+            if up { "up" } else { "down" }
+        );
+        if inner.rejected[src] > 0 {
+            msg.push_str(&format!(
+                "; {} frame(s) on this link failed CRC and were discarded \
+                 (payload corrupted in flight)",
+                inner.rejected[src]
+            ));
+        }
+        msg
+    }
+}
+
+fn parse_arg(v: Option<&str>) -> Option<u64> {
+    v.and_then(|s| s.parse().ok())
+}
+
+fn parse_status(s: &str) -> RankStatus {
+    match s {
+        "suspected" => RankStatus::Suspected,
+        "failed" => RankStatus::Failed,
+        "rebuilding" => RankStatus::Rebuilding,
+        _ => RankStatus::Healthy,
+    }
+}
+
+pub(crate) fn rank_status_name(s: RankStatus) -> &'static str {
+    match s {
+        RankStatus::Healthy => "healthy",
+        RankStatus::Suspected => "suspected",
+        RankStatus::Failed => "failed",
+        RankStatus::Rebuilding => "rebuilding",
+    }
+}
+
+/// Dial with exponential backoff + jitter, counting every attempt.
+fn dial_retry(
+    addr: &str,
+    rank: usize,
+    incarnation: u64,
+    counters: &WireCounters,
+) -> std::io::Result<TcpStream> {
+    let mut last = None;
+    for attempt in 0..DIAL_ATTEMPTS {
+        counters.connect_attempts.fetch_add(1, Ordering::Relaxed);
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = Some(e),
+        }
+        std::thread::sleep(dial_delay(rank, incarnation, attempt));
+    }
+    Err(last.unwrap_or_else(|| io_err("dial", "no attempts made")))
+}
+
+/// Parse the hub's `WELCOME … READY` block: timing, peer addresses,
+/// and the detector snapshot seeding the mirror.
+#[allow(clippy::type_complexity)]
+fn read_welcome(
+    reader: &mut BufReader<TcpStream>,
+    ranks: usize,
+) -> std::io::Result<(WireTiming, Vec<Option<(u64, String)>>, Vec<MirrorRank>)> {
+    let mut timing = None;
+    let mut peers: Vec<Option<(u64, String)>> = vec![None; ranks];
+    let mut mirror = vec![
+        MirrorRank {
+            status: RankStatus::Healthy,
+            epoch: 0,
+            failed_epoch: 0,
+        };
+        ranks
+    ];
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io_err("hub handshake", "EOF before READY"));
+        }
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("WELCOME") => {
+                let n: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| io_err("WELCOME", "missing ranks"))?;
+                if n != ranks {
+                    return Err(io_err("WELCOME", format!("world size {n}, expected {ranks}")));
+                }
+                let ms = |v: Option<&str>, what: &str| -> std::io::Result<Duration> {
+                    v.and_then(|s| s.parse::<u64>().ok())
+                        .map(Duration::from_millis)
+                        .ok_or_else(|| io_err("WELCOME", format!("missing {what}")))
+                };
+                timing = Some(WireTiming {
+                    recv_deadline: ms(it.next(), "watchdog")?,
+                    scan_interval: ms(it.next(), "scan interval")?,
+                    sync_timeout: ms(it.next(), "sync timeout")?,
+                });
+            }
+            Some("PEER") => {
+                let r = parse_arg(it.next())
+                    .ok_or_else(|| io_err("PEER", "missing rank"))? as usize;
+                let inc = parse_arg(it.next()).ok_or_else(|| io_err("PEER", "missing inc"))?;
+                let addr = it
+                    .next()
+                    .ok_or_else(|| io_err("PEER", "missing addr"))?
+                    .to_string();
+                if r < ranks {
+                    peers[r] = Some((inc, addr));
+                }
+            }
+            Some("STATE") => {
+                let r = parse_arg(it.next())
+                    .ok_or_else(|| io_err("STATE", "missing rank"))? as usize;
+                let status = parse_status(it.next().unwrap_or(""));
+                let epoch = parse_arg(it.next()).unwrap_or(0);
+                let failed_epoch = parse_arg(it.next()).unwrap_or(0);
+                if r < ranks {
+                    mirror[r] = MirrorRank {
+                        status,
+                        epoch,
+                        failed_epoch,
+                    };
+                }
+            }
+            Some("READY") => break,
+            _ => {}
+        }
+    }
+    let timing = timing.ok_or_else(|| io_err("hub handshake", "no WELCOME before READY"))?;
+    Ok((timing, peers, mirror))
+}
+
+impl Transport for SocketTransport {
+    fn world_size(&self) -> usize {
+        self.cfg.ranks
+    }
+
+    fn is_wire(&self) -> bool {
+        true
+    }
+
+    fn watchdog(&self) -> Option<Duration> {
+        Some(self.timing.recv_deadline)
+    }
+
+    fn send(
+        &self,
+        src: usize,
+        dst: usize,
+        context: u64,
+        tag: u64,
+        payload: WirePayload,
+        bytes: u64,
+    ) {
+        debug_assert_eq!(src, self.cfg.rank, "socket transport sends only as itself");
+        let (type_hash, data) = match payload {
+            WirePayload::Bytes { type_hash, data } => (type_hash, data),
+            WirePayload::Boxed(_) => unreachable!("socket transport is byte-oriented"),
+        };
+        self.payload_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        if dst == src {
+            // Self-sends skip the wire entirely (as MPI does).
+            let mut mail = self.mail.state.lock();
+            mail.ready
+                .entry((context, src, tag))
+                .or_default()
+                .push_back((type_hash, data));
+            drop(mail);
+            self.mail.signal.notify_all();
+            return;
+        }
+        // A peer the detector declared dead gets no traffic: its backlog
+        // would only leak into the replacement. `Rebuilding` is NOT dead
+        // — the replacement is already registered and the recovery
+        // collectives must reach it (it is marked recovered only after
+        // they complete, so holding traffic until then would deadlock
+        // the very collective that rebuilds it).
+        if self.mirror.state.lock()[dst].status == RankStatus::Failed {
+            self.counters
+                .frames_dropped_dead
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let link = &self.links[dst];
+        let mut st = link.state.lock();
+        let msg = PendingMsg {
+            context,
+            tag,
+            type_hash,
+            payload: data,
+            incarnation: st.peer_incarnation,
+        };
+        if st.up {
+            let _ = self.write_frame(&mut st, msg);
+        } else {
+            // Link down: buffer until reconnect (drained or dropped by
+            // `register_link` depending on the peer's incarnation).
+            st.pending.push_back(msg);
+        }
+    }
+
+    fn recv(
+        &self,
+        me: usize,
+        src: usize,
+        context: u64,
+        tag: u64,
+        timeout: Option<Duration>,
+    ) -> Result<WirePayload, CommError> {
+        debug_assert_eq!(me, self.cfg.rank, "socket transport receives only as itself");
+        let key = (context, src, tag);
+        let start = Instant::now();
+        let deadline = timeout.map(|t| start + t);
+        let mut mail = self.mail.state.lock();
+        loop {
+            if let Some(q) = mail.ready.get_mut(&key) {
+                if let Some((type_hash, data)) = q.pop_front() {
+                    return Ok(WirePayload::Bytes { type_hash, data });
+                }
+            }
+            if self.poisoned.load(Ordering::SeqCst) {
+                return Err(CommError::Poisoned);
+            }
+            if src != me {
+                if let Some(detail) = mail.corrupt[src].clone() {
+                    return Err(CommError::CorruptDetected { rank: src, detail });
+                }
+                // Only the hub's declaration — never a socket error —
+                // turns a silent peer into `RankFailed`.
+                let mirror = self.mirror.state.lock();
+                if mirror[src].status == RankStatus::Failed {
+                    let epoch = mirror[src].failed_epoch;
+                    return Err(CommError::RankFailed { rank: src, epoch });
+                }
+                drop(mirror);
+            }
+            match deadline {
+                None => self.mail.signal.wait(&mut mail),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        let detail = self.mail_diagnose(&mail, src);
+                        return Err(CommError::Timeout {
+                            context,
+                            src,
+                            tag,
+                            waited: now - start,
+                            detail,
+                        });
+                    }
+                    let _ = self.mail.signal.wait_for(&mut mail, d - now);
+                }
+            }
+        }
+    }
+
+    fn flush_holdback(&self, _me: usize) {
+        // No fault injector on this backend; nothing is ever held back.
+    }
+
+    fn shutdown(&self, _me: usize) {
+        self.closing.store(true, Ordering::SeqCst);
+        // `write_all` is synchronous, so every accepted send is already
+        // in the kernel buffer; half-close each link so peers read a
+        // clean EOF after draining it.
+        for link in &self.links {
+            let mut st = link.state.lock();
+            if let Some(w) = st.writer.take() {
+                let _ = w.shutdown(Shutdown::Write);
+            }
+            st.up = false;
+        }
+        let _ = self.control_send("GOODBYE");
+        let w = self.control.writer.lock();
+        let _ = w.shutdown(Shutdown::Write);
+    }
+
+    fn alloc_context_base(&self) -> u64 {
+        self.next_context.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn poison(&self) {
+        let _ = self.control_send("POISONED");
+        self.poison_self();
+    }
+
+    fn traffic_stats(&self) -> TrafficStats {
+        let mut bytes_sent = vec![0u64; self.cfg.ranks];
+        let mut msgs_sent = vec![0u64; self.cfg.ranks];
+        bytes_sent[self.cfg.rank] = self.payload_bytes.load(Ordering::Relaxed);
+        msgs_sent[self.cfg.rank] = self.msgs_sent.load(Ordering::Relaxed);
+        TrafficStats {
+            bytes_sent,
+            msgs_sent,
+            faults: FaultStats::default(),
+            wire: self.counters.snapshot(),
+        }
+    }
+
+    fn health_enabled(&self) -> bool {
+        // The hub always runs a detector for a socket world.
+        true
+    }
+
+    fn should_kill(&self, _rank: usize, _step: u64) -> bool {
+        // Kills are real here: the hub SIGKILLs the child at its beat.
+        false
+    }
+
+    fn beat(&self, me: usize, epoch: u64) -> RankStatus {
+        debug_assert_eq!(me, self.cfg.rank);
+        // Synchronous: a rank scheduled to die at this step is SIGKILLed
+        // by the hub *instead of* an ack, so it can never proceed into
+        // the step — its recorded epoch stays one behind, exactly like
+        // the in-process silent kill.
+        self.hub_rpc(&format!("BEAT {epoch}"), |slot| slot.beat_ack.take())
+    }
+
+    fn epoch_sync(&self, me: usize, epoch: u64) -> Result<EpochReport, CommError> {
+        let start = Instant::now();
+        let deadline = start + self.timing.sync_timeout;
+        let mut st = self.mirror.state.lock();
+        loop {
+            if self.poisoned.load(Ordering::SeqCst) {
+                return Err(CommError::Poisoned);
+            }
+            let mut failed = Vec::new();
+            let mut pending = None;
+            for (rank, m) in st.iter().enumerate() {
+                if m.epoch >= epoch || rank == me && m.status == RankStatus::Healthy {
+                    // Own EPOCH echo may still be in flight right after
+                    // a healthy beat-ack; the ack already proved it.
+                    continue;
+                }
+                match m.status {
+                    RankStatus::Failed | RankStatus::Rebuilding => {
+                        failed.push((rank, m.failed_epoch));
+                    }
+                    RankStatus::Healthy | RankStatus::Suspected => {
+                        pending = Some(rank);
+                        break;
+                    }
+                }
+            }
+            let Some(waiting_on) = pending else {
+                return Ok(EpochReport { epoch, failed });
+            };
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CommError::Timeout {
+                    context: 0,
+                    src: waiting_on,
+                    tag: 0,
+                    waited: now - start,
+                    detail: format!(
+                        "epoch sync stalled: rank {waiting_on} has neither beaten epoch \
+                         {epoch} nor been declared failed"
+                    ),
+                });
+            }
+            let _ = self.mirror.signal.wait_for(&mut st, deadline - now);
+        }
+    }
+
+    fn await_failed(&self, me: usize) -> Result<u64, CommError> {
+        debug_assert_eq!(me, self.cfg.rank);
+        // The hub acknowledges the death (`Failed → Rebuilding`),
+        // broadcasts REBUILDING to the survivors, and returns the last
+        // epoch the dead incarnation completed.
+        Ok(self.hub_rpc("AWAITFAILED", |slot| slot.failed_epoch.take()))
+    }
+
+    fn await_rebirth(&self, _me: usize, failed: &[usize]) -> Result<(), CommError> {
+        let start = Instant::now();
+        let deadline = start + self.timing.sync_timeout;
+        {
+            let mut st = self.mirror.state.lock();
+            loop {
+                if self.poisoned.load(Ordering::SeqCst) {
+                    return Err(CommError::Poisoned);
+                }
+                match failed
+                    .iter()
+                    .find(|&&r| st[r].status == RankStatus::Failed)
+                {
+                    None => break,
+                    Some(&waiting_on) => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Err(CommError::Timeout {
+                                context: 0,
+                                src: waiting_on,
+                                tag: 0,
+                                waited: now - start,
+                                detail: format!(
+                                    "failed rank {waiting_on} never acknowledged its death"
+                                ),
+                            });
+                        }
+                        let _ = self.mirror.signal.wait_for(&mut st, deadline - now);
+                    }
+                }
+            }
+        }
+        // Belt and braces: the replacement dials the mesh *before* its
+        // AWAITFAILED, so by the time REBUILDING reached us its link is
+        // normally already up — but wait for it explicitly anyway.
+        for &r in failed {
+            if r == self.cfg.rank {
+                continue;
+            }
+            let link = &self.links[r];
+            let mut st = link.state.lock();
+            while !st.up {
+                if self.poisoned.load(Ordering::SeqCst) {
+                    return Err(CommError::Poisoned);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(CommError::Timeout {
+                        context: 0,
+                        src: r,
+                        tag: 0,
+                        waited: now - start,
+                        detail: format!("replacement for rank {r} never connected"),
+                    });
+                }
+                let _ = link.signal.wait_for(&mut st, deadline - now);
+            }
+        }
+        Ok(())
+    }
+
+    fn mark_recovered(&self, me: usize, epoch: u64) {
+        debug_assert_eq!(me, self.cfg.rank);
+        // Optimistic local apply; the hub's RECOVERED broadcast confirms
+        // it on everyone (including us — idempotent).
+        self.apply_mirror(me, |m| {
+            m.status = RankStatus::Healthy;
+            if epoch > m.epoch {
+                m.epoch = epoch;
+            }
+        });
+        let _ = self.control_send(&format!("RECOVERED {epoch}"));
+    }
+
+    fn dead_set(&self) -> Vec<(usize, u64)> {
+        let st = self.mirror.state.lock();
+        st.iter()
+            .enumerate()
+            .filter(|(_, m)| matches!(m.status, RankStatus::Failed | RankStatus::Rebuilding))
+            .map(|(r, m)| (r, m.failed_epoch))
+            .collect()
+    }
+
+    fn rank_status(&self, rank: usize) -> RankStatus {
+        self.mirror.state.lock()[rank].status
+    }
+}

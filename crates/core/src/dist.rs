@@ -17,7 +17,7 @@
 use std::time::Instant;
 
 use hacc_comm::Comm;
-use hacc_domain::{refresh, salvage_refresh, Decomposition, Packed, Particles};
+use hacc_domain::{refresh, Decomposition, Packed, Particles};
 use hacc_fft::SlabFft;
 use hacc_pm::{DistPoisson, GridForceFit};
 use hacc_short::{ForceKernel, RcbTree};
@@ -168,13 +168,27 @@ impl<'a> DistSimulation<'a> {
     /// with the failed ranks — coverage is incomplete and recovery must
     /// escalate to checkpoint rollback.
     pub fn reconstruct_ranks(&mut self, failed: &[usize]) -> usize {
+        self.try_reconstruct_ranks(failed)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::reconstruct_ranks`], but a *second* failure striking
+    /// during the recovery collectives surfaces as
+    /// `Err(CommError::RankFailed)` (or a timeout / corruption
+    /// diagnosis) instead of a panic, so the driver can abandon Tier 0
+    /// and escalate straight to checkpoint rollback rather than burn a
+    /// whole attempt.
+    pub fn try_reconstruct_ranks(
+        &mut self,
+        failed: &[usize],
+    ) -> Result<usize, hacc_comm::CommError> {
         debug_assert!(
             !failed.contains(&self.comm.rank()) || self.parts.is_empty(),
             "a failed rank must re-enter reconstruction as a blank replacement"
         );
-        salvage_refresh(self.comm, &self.decomp, &mut self.parts);
-        refresh(self.comm, &self.decomp, &mut self.parts);
-        self.global_count()
+        hacc_domain::try_salvage_refresh(self.comm, &self.decomp, &mut self.parts)?;
+        hacc_domain::try_refresh(self.comm, &self.decomp, &mut self.parts)?;
+        Ok(self.global_count())
     }
 
     /// Overload shell depth in grid cells — the paper's replication

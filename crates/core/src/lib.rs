@@ -37,8 +37,8 @@ pub use config::{SimConfig, SolverKind};
 pub use dist::DistSimulation;
 pub use invariant::{InvariantConfig, InvariantMonitor, InvariantSample, InvariantVerdict};
 pub use resilient::{
-    run_resilient, write_timeline_json, RecoveryEvent, ResilienceConfig, ResilienceError,
-    ResilientRun,
+    run_attempt_online, run_resilient, write_timeline_json, AttemptOutput, RecoveryEvent,
+    ResilienceConfig, ResilienceError, ResilientRun,
 };
 pub use sim::Simulation;
 pub use stats::{RunStats, StepBreakdown};

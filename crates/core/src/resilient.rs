@@ -168,6 +168,15 @@ pub enum RecoveryEvent {
         /// Particles actually recovered.
         got: usize,
     },
+    /// Tier 0 was disrupted in flight: a further failure (or a timeout /
+    /// corrupt link) broke the recovery collective itself, so the run
+    /// escalated to rollback without a particle count.
+    Tier0Disrupted {
+        /// Step whose admission surfaced the original death.
+        step: u64,
+        /// The communication error that broke the collective.
+        detail: String,
+    },
     /// Tier 1: every rank restored the newest checkpoint set validating
     /// on all ranks and replays from `resume_step`.
     Tier1Rollback {
@@ -239,6 +248,10 @@ impl fmt::Display for RecoveryEvent {
                 f,
                 "step {step}: tier-0 incomplete ({got} of {expected} particles recovered)"
             ),
+            RecoveryEvent::Tier0Disrupted { step, detail } => write!(
+                f,
+                "step {step}: tier-0 recovery disrupted mid-collective: {detail}"
+            ),
             RecoveryEvent::Tier1Rollback { step, resume_step } => write!(
                 f,
                 "step {step}: tier-1 rollback to checkpoint at step {resume_step}"
@@ -301,6 +314,10 @@ impl RecoveryEvent {
                 got,
             } => format!(
                 r#"{{"event":"tier0_incomplete","step":{step},"expected":{expected},"got":{got}}}"#
+            ),
+            RecoveryEvent::Tier0Disrupted { step, detail } => format!(
+                r#"{{"event":"tier0_disrupted","step":{step},"detail":"{}"}}"#,
+                json_escape(detail)
             ),
             RecoveryEvent::Tier1Rollback { step, resume_step } => format!(
                 r#"{{"event":"tier1_rollback","step":{step},"resume_step":{resume_step}}}"#
@@ -389,7 +406,7 @@ impl std::error::Error for ResilienceError {}
 
 /// What one rank hands back from an attempt: rank 0's gathered
 /// positions plus its view of the in-run recovery events.
-type AttemptOutput = (Option<Vec<(u64, [f32; 3])>>, Vec<RecoveryEvent>);
+pub type AttemptOutput = (Option<Vec<(u64, [f32; 3])>>, Vec<RecoveryEvent>);
 
 /// Run `cfg`'s full schedule on a simulated machine under `plan`,
 /// surviving injected failures by the tiered recovery protocol.
@@ -426,7 +443,7 @@ pub fn run_resilient(
         let online = rc.heartbeat.is_some();
         let result = machine.try_run(|comm| -> AttemptOutput {
             if online {
-                run_attempt_online(&comm, cfg, ics, rc)
+                run_attempt_online(&comm, cfg, ics, rc, false)
             } else {
                 run_attempt_legacy(&comm, cfg, ics, rc)
             }
@@ -509,38 +526,64 @@ fn run_attempt_legacy(
 /// The online recovery path: every step is admitted through the
 /// heartbeat epoch barrier, a detected death triggers in-run tiered
 /// recovery, and (optionally) invariant watchdogs vet every new state.
-fn run_attempt_online(
+///
+/// Public because it is transport-generic: the in-process driver above
+/// calls it from `Machine::try_run` threads, and the multi-process
+/// launcher (`hacc-mprun`) calls it from each OS process over the
+/// socket transport — same protocol, same code. A respawned OS process
+/// passes `start_as_replacement = true`: instead of admitting its first
+/// step it enters through [`Comm::rejoin_as_replacement`] and is rebuilt
+/// by the Tier-0 collective, exactly like the respawned thread of an
+/// in-process machine.
+pub fn run_attempt_online(
     comm: &Comm,
     cfg: SimConfig,
     ics: &hacc_ics::IcsRealization,
     rc: &ResilienceConfig,
+    start_as_replacement: bool,
 ) -> AttemptOutput {
     let mut events = Vec::new();
     let expected = ics.len();
-    let (mut sim, done) = match DistSimulation::resume_from(comm, cfg, &rc.dir) {
-        Ok(resumed) => resumed,
-        Err(CheckpointError::NoCheckpoint) => (DistSimulation::new(comm, cfg, ics), 0),
-        Err(e) => panic!("checkpoint restore failed: {e}"),
-    };
     let edges = cfg.step_edges();
+    let (mut sim, done) = if start_as_replacement {
+        // Placeholder until the rejoin learns the real epoch; the
+        // failure branch below rebuilds it at the right schedule slot.
+        (DistSimulation::blank_replacement(comm, cfg, edges[0]), 0)
+    } else {
+        match DistSimulation::resume_from(comm, cfg, &rc.dir) {
+            Ok(resumed) => resumed,
+            Err(CheckpointError::NoCheckpoint) => (DistSimulation::new(comm, cfg, ics), 0),
+            Err(e) => panic!("checkpoint restore failed: {e}"),
+        }
+    };
     let mut monitor = rc.invariants.map(InvariantMonitor::new);
     let mut rollbacks = 0u32;
+    let mut pending_replacement = start_as_replacement;
     let mut k = done as usize;
     while k < cfg.steps {
-        let (failed_now, replacement) = match comm.admit_step((k + 1) as u64) {
-            StepAdmission::Proceed(report) if report.failed.is_empty() => (Vec::new(), false),
-            StepAdmission::Proceed(report) => (comm.agree_failed(&report), false),
-            StepAdmission::Dead => {
-                // This rank was killed silently; the thread now plays
-                // the respawned replacement. Its pre-death state is
-                // gone as far as the protocol is concerned — it will be
-                // overwritten before any use. `epoch` is the last step
-                // it completed, which every survivor also stands at
-                // (they cannot pass the epoch barrier ahead of the
-                // death declaration).
-                let epoch = comm.rejoin_as_replacement();
-                k = epoch as usize;
-                (comm.dead_set(), true)
+        let (failed_now, replacement) = if std::mem::take(&mut pending_replacement) {
+            // A respawned OS process: it never admits its first step —
+            // it announces itself to the detector and learns where the
+            // world stopped.
+            let epoch = comm.rejoin_as_replacement();
+            k = epoch as usize;
+            (comm.dead_set(), true)
+        } else {
+            match comm.admit_step((k + 1) as u64) {
+                StepAdmission::Proceed(report) if report.failed.is_empty() => (Vec::new(), false),
+                StepAdmission::Proceed(report) => (comm.agree_failed(&report), false),
+                StepAdmission::Dead => {
+                    // This rank was killed silently; the thread now plays
+                    // the respawned replacement. Its pre-death state is
+                    // gone as far as the protocol is concerned — it will be
+                    // overwritten before any use. `epoch` is the last step
+                    // it completed, which every survivor also stands at
+                    // (they cannot pass the epoch barrier ahead of the
+                    // death declaration).
+                    let epoch = comm.rejoin_as_replacement();
+                    k = epoch as usize;
+                    (comm.dead_set(), true)
+                }
             }
         };
         let step = (k + 1) as u64;
@@ -560,8 +603,35 @@ fn run_attempt_online(
             }
             // Tier 0: rebuild the lost domains from overload shells.
             // The count compares identically on every rank (allreduce),
-            // so the tier decision is collective-safe.
-            let count = sim.reconstruct_ranks(&failed_ranks);
+            // so the tier decision is collective-safe. A *second*
+            // failure striking mid-recovery surfaces as an error on
+            // every participant (the collective cannot complete for
+            // anyone), so escalating to rollback stays collective-safe
+            // too.
+            let count = match sim.try_reconstruct_ranks(&failed_ranks) {
+                Ok(count) => count,
+                Err(e) => {
+                    events.push(RecoveryEvent::Tier0Disrupted {
+                        step,
+                        detail: e.to_string(),
+                    });
+                    if replacement {
+                        comm.mark_recovered(step);
+                    }
+                    let (restored, resumed) = tier1_rollback(
+                        comm,
+                        cfg,
+                        rc,
+                        step,
+                        &mut rollbacks,
+                        &mut events,
+                        &mut monitor,
+                    );
+                    sim = restored;
+                    k = resumed;
+                    continue;
+                }
+            };
             if replacement {
                 comm.mark_recovered(step);
             }

@@ -348,6 +348,21 @@ struct Tagged {
     _pad: u32,
 }
 
+hacc_comm::impl_wire_msg!(Packed {
+    x: f32,
+    y: f32,
+    z: f32,
+    vx: f32,
+    vy: f32,
+    vz: f32,
+    id: u64,
+});
+hacc_comm::impl_wire_msg!(Tagged {
+    p: Packed,
+    active: u32,
+    _pad: u32,
+});
+
 /// Overload refresh (collective).
 ///
 /// Drops all passive replicas, migrates active particles that crossed
@@ -356,6 +371,18 @@ struct Tagged {
 /// particles (wrapped into the box) followed by fresh passive replicas
 /// (in the local shifted frame).
 pub fn refresh(comm: &Comm, decomp: &Decomposition, particles: &mut Particles) {
+    try_refresh(comm, decomp, particles).unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// [`refresh`], but a dead peer mid-collective surfaces as
+/// `Err(CommError::RankFailed)` (or a timeout / corruption diagnosis)
+/// instead of a panic, so a resilient driver can escalate its recovery
+/// tier. The particle store is untouched on error.
+pub fn try_refresh(
+    comm: &Comm,
+    decomp: &Decomposition,
+    particles: &mut Particles,
+) -> Result<(), hacc_comm::CommError> {
     assert_eq!(comm.size(), decomp.ranks(), "decomposition/communicator mismatch");
     let mut sends: Vec<Vec<Tagged>> = (0..comm.size()).map(|_| Vec::new()).collect();
     let mut targets = OverloadTargets::default();
@@ -385,7 +412,7 @@ pub fn refresh(comm: &Comm, decomp: &Decomposition, particles: &mut Particles) {
             });
         }
     }
-    let recvs = comm.alltoallv(sends);
+    let recvs = comm.try_alltoallv(sends)?;
     let mut fresh = Particles::default();
     // Active first.
     for chunk in &recvs {
@@ -400,6 +427,7 @@ pub fn refresh(comm: &Comm, decomp: &Decomposition, particles: &mut Particles) {
         }
     }
     *particles = fresh;
+    Ok(())
 }
 
 /// Scan this rank's **passive** replicas for particles whose tracked
@@ -453,6 +481,18 @@ pub fn salvage_for(decomp: &Decomposition, particles: &Particles, failed: usize)
 /// and escalate the recovery tier on a shortfall. Passive shells are
 /// left empty — run [`refresh`] afterwards to rebuild them.
 pub fn salvage_refresh(comm: &Comm, decomp: &Decomposition, particles: &mut Particles) {
+    try_salvage_refresh(comm, decomp, particles).unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// [`salvage_refresh`], but a second failure *during* the recovery
+/// collective surfaces as an error instead of a panic, so the driver can
+/// abandon Tier-0 and fall back to a checkpoint. The particle store is
+/// untouched on error.
+pub fn try_salvage_refresh(
+    comm: &Comm,
+    decomp: &Decomposition,
+    particles: &mut Particles,
+) -> Result<(), hacc_comm::CommError> {
     assert_eq!(comm.size(), decomp.ranks(), "decomposition/communicator mismatch");
     let mut sends: Vec<Vec<Tagged>> = (0..comm.size()).map(|_| Vec::new()).collect();
     for i in 0..particles.len() {
@@ -467,7 +507,7 @@ pub fn salvage_refresh(comm: &Comm, decomp: &Decomposition, particles: &mut Part
             _pad: 0,
         });
     }
-    let recvs = comm.alltoallv(sends);
+    let recvs = comm.try_alltoallv(sends)?;
     // Two passes over the rank-ordered chunks — authoritative records,
     // then replicas — so the first copy of an id to pass the seen-set is
     // the one that wins.
@@ -489,6 +529,7 @@ pub fn salvage_refresh(comm: &Comm, decomp: &Decomposition, particles: &mut Part
     }
     fresh.n_active = fresh.len();
     *particles = fresh;
+    Ok(())
 }
 
 /// Deduplicate recovered particles by id. Callers concatenate donor

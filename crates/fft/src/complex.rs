@@ -15,6 +15,8 @@ pub struct Complex64 {
     pub im: f64,
 }
 
+hacc_comm::impl_wire_msg!(Complex64 { re: f64, im: f64 });
+
 impl Complex64 {
     /// Construct from rectangular components.
     #[inline(always)]

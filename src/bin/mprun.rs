@@ -1,0 +1,287 @@
+//! `hacc-mprun` — multi-process launcher for the socket transport.
+//!
+//! One binary, two roles:
+//!
+//! - **Launcher** (no `HACC_HUB` in the environment): runs the
+//!   [`hacc::comm::hub`] rendezvous, spawns one child process per rank
+//!   by re-executing itself, optionally SIGKILLs a victim mid-step per
+//!   the fault plan, respawns it as a blank replacement, and writes a
+//!   summary JSON when the world finishes.
+//! - **Child** (with `HACC_HUB`): connects the socket transport and runs
+//!   the selected scenario over the same transport-generic driver code
+//!   the in-process machine uses.
+//!
+//! Scenarios:
+//!
+//! - `sim` — the 4-step online-resilience acceptance run (32³ mesh,
+//!   Zel'dovich ICs): every step admitted through the heartbeat epoch
+//!   barrier, a SIGKILLed rank detected, Tier-0 reconstructed from
+//!   overload shells, and the respawned OS process rejoined as a blank
+//!   replacement. Rank 0 writes final positions; every rank writes its
+//!   recovery timeline and wire stats.
+//! - `barrier` — a detection-latency probe: ranks run epoch barriers
+//!   until the victim dies, then verify a receive from the dead rank
+//!   fails with `RankFailed` (not a hang) and record how long detection
+//!   took.
+//!
+//! ```text
+//! hacc-mprun --ranks 4 --scenario sim --kill 1@3 --seed 9 --out out/mprun
+//! ```
+
+use hacc::comm::hub::{self, HubOptions};
+use hacc::comm::socket::{SocketConfig, SocketTransport};
+use hacc::comm::{Comm, CommError, FaultPlan, HeartbeatConfig, StepAdmission};
+use hacc::core::{
+    run_attempt_online, write_timeline_json, ResilienceConfig, SimConfig, SolverKind,
+};
+use hacc::cosmo::{Cosmology, LinearPower, Transfer};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+struct Options {
+    ranks: usize,
+    scenario: String,
+    seed: u64,
+    kill: Option<(usize, u64)>,
+    out: PathBuf,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        ranks: 4,
+        scenario: "sim".to_string(),
+        seed: 9,
+        kill: None,
+        out: PathBuf::from("out/mprun"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--ranks" => opts.ranks = value("--ranks").parse().expect("--ranks"),
+            "--scenario" => opts.scenario = value("--scenario"),
+            "--seed" => opts.seed = value("--seed").parse().expect("--seed"),
+            "--kill" => {
+                let spec = value("--kill");
+                let (rank, step) = spec.split_once('@').expect("--kill RANK@STEP");
+                opts.kill = Some((
+                    rank.parse().expect("--kill rank"),
+                    step.parse().expect("--kill step"),
+                ));
+            }
+            "--out" => opts.out = PathBuf::from(value("--out")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: hacc-mprun [--ranks N] [--scenario sim|barrier] \
+                     [--seed S] [--kill RANK@STEP] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    opts
+}
+
+/// The acceptance geometry: identical to the in-process tier-0 scenario
+/// (tests/resilience.rs `cfg32`), so the socket backend is held to the
+/// same trajectory.
+fn sim_config() -> SimConfig {
+    SimConfig {
+        ng: 32,
+        box_len: 64.0,
+        a_init: 0.2,
+        a_final: 0.26,
+        steps: 4,
+        subcycles: 2,
+        solver: SolverKind::TreePm,
+        ..SimConfig::small_lcdm()
+    }
+}
+
+fn sim_ics() -> hacc::ics::IcsRealization {
+    let power = LinearPower::new(&Cosmology::lcdm(), Transfer::EisensteinHuNoWiggle);
+    hacc::ics::zeldovich(16, 64.0, &power, 0.2, 31)
+}
+
+fn main() {
+    if std::env::var("HACC_HUB").is_ok() {
+        child_main();
+    } else {
+        launcher_main();
+    }
+}
+
+// ---- launcher --------------------------------------------------------
+
+fn launcher_main() {
+    let opts = parse_args();
+    std::fs::create_dir_all(&opts.out).expect("output dir");
+    let ckpt = opts.out.join("ckpt");
+    let _ = std::fs::remove_dir_all(&ckpt);
+
+    let mut plan = FaultPlan::seeded(opts.seed);
+    if let Some((rank, step)) = opts.kill {
+        assert!(rank < opts.ranks, "--kill rank out of range");
+        plan = plan.kill_rank_at_step(rank, step);
+    }
+    let mut hub_opts = HubOptions::new(opts.ranks);
+    hub_opts.plan = plan;
+    // The barrier scenario measures detection, not recovery: dead stays
+    // dead so survivors can probe the corpse.
+    hub_opts.respawn = opts.scenario == "sim";
+    hub_opts.heartbeat = HeartbeatConfig::default();
+
+    let exe = std::env::current_exe().expect("current exe");
+    let scenario = opts.scenario.clone();
+    let out = opts.out.clone();
+    let started = Instant::now();
+    let report = hub::run(hub_opts, move |rank, incarnation, hub_addr| {
+        Command::new(&exe)
+            .env("HACC_HUB", hub_addr)
+            .env("HACC_RANK", rank.to_string())
+            .env("HACC_RANKS", opts.ranks.to_string())
+            .env("HACC_INCARNATION", incarnation.to_string())
+            .env("HACC_SCENARIO", &scenario)
+            .env("HACC_SEED", opts.seed.to_string())
+            .env("HACC_OUT", &out)
+            .env("HACC_CKPT", &ckpt)
+            .spawn()
+    })
+    .expect("hub run");
+
+    let pairs = |v: &[(usize, u64)], a: &str, b: &str| -> String {
+        let items: Vec<String> = v
+            .iter()
+            .map(|&(r, s)| format!(r#"{{"{a}":{r},"{b}":{s}}}"#))
+            .collect();
+        format!("[{}]", items.join(","))
+    };
+    let respawned: Vec<String> = report.respawned.iter().map(ToString::to_string).collect();
+    let failures: Vec<String> = report
+        .exit_failures
+        .iter()
+        .map(|&(r, c)| format!(r#"{{"rank":{r},"code":{c}}}"#))
+        .collect();
+    let summary = format!(
+        concat!(
+            r#"{{"ranks":{},"scenario":"{}","seed":{},"elapsed_ms":{},"#,
+            r#""killed":{},"declared":{},"respawned":[{}],"exit_failures":[{}]}}"#,
+            "\n"
+        ),
+        opts.ranks,
+        opts.scenario,
+        opts.seed,
+        started.elapsed().as_millis(),
+        pairs(&report.killed, "rank", "step"),
+        pairs(&report.declared, "rank", "epoch"),
+        respawned.join(","),
+        failures.join(","),
+    );
+    std::fs::write(opts.out.join("hub_report.json"), &summary).expect("hub report");
+    print!("{summary}");
+    if !report.clean() {
+        eprintln!("hacc-mprun: child failures: {:?}", report.exit_failures);
+        std::process::exit(1);
+    }
+}
+
+// ---- child -----------------------------------------------------------
+
+fn child_main() {
+    let cfg = SocketConfig::from_env().expect("child env");
+    let out = PathBuf::from(std::env::var("HACC_OUT").expect("HACC_OUT"));
+    let scenario = std::env::var("HACC_SCENARIO").unwrap_or_else(|_| "sim".into());
+    let transport = SocketTransport::connect(cfg).expect("socket transport");
+    let replacement = transport.is_replacement();
+    let comm = Comm::over_socket(transport);
+    match scenario.as_str() {
+        "sim" => child_sim(&comm, replacement, &out),
+        "barrier" => child_barrier(&comm, &out),
+        other => panic!("unknown scenario {other}"),
+    }
+    comm.shutdown();
+}
+
+/// The acceptance scenario: the transport-generic online-recovery driver
+/// (`run_attempt_online`), exactly as the in-process machine runs it.
+fn child_sim(comm: &Comm, replacement: bool, out: &Path) {
+    let ckpt = PathBuf::from(std::env::var("HACC_CKPT").expect("HACC_CKPT"));
+    let mut rc = ResilienceConfig::new(comm.size(), &ckpt);
+    rc.heartbeat = Some(HeartbeatConfig::default());
+    rc.retain = Some(2);
+    let realization = sim_ics();
+    let (positions, events) = run_attempt_online(comm, sim_config(), &realization, &rc, replacement);
+
+    let rank = comm.rank();
+    write_timeline_json(&out.join(format!("timeline_rank{rank}.json")), &events)
+        .expect("timeline artifact");
+    std::fs::write(
+        out.join(format!("wire_stats_rank{rank}.json")),
+        format!("{}\n", comm.traffic_stats().to_json()),
+    )
+    .expect("wire stats artifact");
+    if let Some(positions) = positions {
+        let mut body = String::new();
+        for (id, [x, y, z]) in positions {
+            body.push_str(&format!("{id} {x} {y} {z}\n"));
+        }
+        std::fs::write(out.join("positions.txt"), body).expect("positions artifact");
+    }
+    comm.barrier();
+}
+
+/// Detection-latency probe: admit epochs until the victim dies, then
+/// prove the failure surfaces as data, not as a hang.
+fn child_barrier(comm: &Comm, out: &Path) {
+    let rank = comm.rank();
+    let start = Instant::now();
+    for step in 1..=1000u64 {
+        match comm.admit_step(step) {
+            StepAdmission::Dead => {
+                // Only reachable if *this* rank was fenced; the SIGKILL
+                // victim never runs this line.
+                std::process::exit(0);
+            }
+            StepAdmission::Proceed(report) if report.failed.is_empty() => {
+                // A short pause keeps epochs slower than the detector's
+                // scan, so the death lands mid-schedule, not at the end.
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            StepAdmission::Proceed(report) => {
+                let detect_ms = start.elapsed().as_millis();
+                let agreed = comm.agree_failed(&report);
+                let &(victim, epoch) = agreed.first().expect("failed set");
+                // The dead rank must answer as an error, promptly.
+                let probe = Instant::now();
+                let got = comm.recv_timeout::<u8>(victim, 0xdead, Duration::from_secs(5));
+                let probe_ms = probe.elapsed().as_millis();
+                match got {
+                    Err(CommError::RankFailed { rank: r, epoch: e }) => {
+                        assert_eq!(r, victim, "probe blamed the wrong rank");
+                        assert_eq!(e, epoch, "probe disagreed on the failure epoch");
+                    }
+                    other => panic!("probe of dead rank {victim}: expected RankFailed, got {other:?}"),
+                }
+                std::fs::write(
+                    out.join(format!("detect_rank{rank}.json")),
+                    format!(
+                        concat!(
+                            r#"{{"rank":{},"victim":{},"epoch":{},"step":{},"#,
+                            r#""detect_ms":{},"probe_ms":{}}}"#,
+                            "\n"
+                        ),
+                        rank, victim, epoch, report.epoch, detect_ms, probe_ms
+                    ),
+                )
+                .expect("detection artifact");
+                return;
+            }
+        }
+    }
+    panic!("barrier scenario: no failure observed in 1000 epochs");
+}

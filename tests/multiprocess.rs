@@ -1,0 +1,279 @@
+//! Real multi-process fault tolerance over the socket transport.
+//!
+//! These tests spawn the `hacc-mprun` launcher, which rendezvouses N
+//! actual OS processes over loopback TCP and SIGKILLs one of them
+//! mid-run per the fault plan. The in-process machine's recovery
+//! guarantees must hold unchanged when the "rank" that dies is a real
+//! process and the replacement is a freshly spawned one.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use hacc::analysis::PowerSpectrum;
+use hacc::comm::{FaultPlan, HeartbeatConfig};
+use hacc::core::checkpoint::checkpoint_path;
+use hacc::core::{run_resilient, InvariantConfig, ResilienceConfig, SimConfig, SolverKind};
+use hacc::cosmo::{Cosmology, LinearPower, Transfer};
+use hacc::genio::Snapshot;
+
+const MPRUN: &str = env!("CARGO_BIN_EXE_hacc-mprun");
+
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hacc_mprun_{label}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn read_json(path: &Path) -> String {
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("missing artifact {}: {e}", path.display()))
+}
+
+/// Pull an integer field out of a flat JSON object without a parser.
+fn json_u64(body: &str, key: &str) -> u64 {
+    let pat = format!(r#""{key}":"#);
+    let at = body.find(&pat).unwrap_or_else(|| panic!("no {key} in {body}"));
+    let rest = &body[at + pat.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().unwrap_or_else(|_| panic!("bad {key} in {body}"))
+}
+
+/// Four OS processes running epoch barriers; one SIGKILLed mid-schedule.
+/// Every survivor must observe the failure within a deadline and must be
+/// handed `RankFailed` — not a hang — when probing the dead rank.
+#[test]
+fn sigkill_mid_barrier_is_detected_by_survivors() {
+    const RANKS: usize = 4;
+    const VICTIM: usize = 2;
+    let out = scratch("barrier");
+    let status = Command::new(MPRUN)
+        .args([
+            "--ranks", "4",
+            "--scenario", "barrier",
+            "--seed", "7",
+            "--kill", "2@5",
+            "--out",
+        ])
+        .arg(&out)
+        .status()
+        .expect("launch mprun");
+    assert!(status.success(), "mprun barrier run failed: {status:?}");
+
+    let hub = read_json(&out.join("hub_report.json"));
+    assert!(
+        hub.contains(r#""killed":[{"rank":2,"step":5}]"#),
+        "hub must record the SIGKILL: {hub}"
+    );
+
+    for rank in (0..RANKS).filter(|&r| r != VICTIM) {
+        let body = read_json(&out.join(format!("detect_rank{rank}.json")));
+        assert_eq!(json_u64(&body, "victim"), VICTIM as u64, "{body}");
+        // The victim was killed at its step-5 beat, so its last completed
+        // epoch is 4 — the failure epoch every survivor must agree on.
+        assert_eq!(json_u64(&body, "epoch"), 4, "{body}");
+        // Detection is driven by the monitor's scan cadence (~200 ms at
+        // default config); 30 s means "did not hang", with slack for CI.
+        assert!(
+            json_u64(&body, "detect_ms") < 30_000,
+            "rank {rank} detection too slow: {body}"
+        );
+        // The probe of the corpse must fail fast from mirrored detector
+        // state, well inside its own 5 s receive deadline.
+        assert!(
+            json_u64(&body, "probe_ms") < 5_000,
+            "rank {rank} probe of dead rank stalled: {body}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+// -- acceptance: socket-backend tier-0 recovery vs fault-free run ------
+
+fn cfg32() -> SimConfig {
+    SimConfig {
+        ng: 32,
+        box_len: 64.0,
+        a_init: 0.2,
+        a_final: 0.26,
+        steps: 4,
+        subcycles: 2,
+        solver: SolverKind::TreePm,
+        ..SimConfig::small_lcdm()
+    }
+}
+
+fn ics32() -> hacc::ics::IcsRealization {
+    let power = LinearPower::new(&Cosmology::lcdm(), Transfer::EisensteinHuNoWiggle);
+    hacc::ics::zeldovich(16, 64.0, &power, 0.2, 31)
+}
+
+fn fault_seed() -> u64 {
+    std::env::var("HACC_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9)
+}
+
+fn momentum_and_ke(dir: &Path, step: u64, ranks: usize) -> ([f64; 3], f64) {
+    let mut p = [0.0f64; 3];
+    let mut ke = 0.0f64;
+    for rank in 0..ranks {
+        let snap = Snapshot::read_file(&checkpoint_path(dir, step, rank, ranks)).unwrap();
+        let v: Vec<&Vec<f32>> = ["vx", "vy", "vz"]
+            .iter()
+            .map(|c| snap.f32_fields.get(*c).expect("velocity column"))
+            .collect();
+        for ((&x, &y), &z) in v[0].iter().zip(v[1]).zip(v[2]) {
+            let (vx, vy, vz) = (f64::from(x), f64::from(y), f64::from(z));
+            p[0] += vx;
+            p[1] += vy;
+            p[2] += vz;
+            ke += 0.5 * (vx * vx + vy * vy + vz * vz);
+        }
+    }
+    (p, ke)
+}
+
+fn measure_pk(positions: &[(u64, [f32; 3])]) -> PowerSpectrum {
+    let xs: Vec<f32> = positions.iter().map(|&(_, p)| p[0]).collect();
+    let ys: Vec<f32> = positions.iter().map(|&(_, p)| p[1]).collect();
+    let zs: Vec<f32> = positions.iter().map(|&(_, p)| p[2]).collect();
+    PowerSpectrum::measure(&xs, &ys, &zs, 64.0, 32, 8)
+}
+
+/// Acceptance: the same seeded-kill scenario the in-process backend
+/// passes, with a real SIGKILLed child process. The run must detect the
+/// death over the socket transport, Tier-0 reconstruct online, rejoin a
+/// respawned OS process as a blank replacement, and land on the
+/// fault-free trajectory: exact particle count, gapless ids, momentum
+/// and P(k) within the same tolerances as tests/resilience.rs.
+#[test]
+fn sigkilled_process_recovers_online_to_fault_free_trajectory() {
+    const R4: usize = 4;
+    let seed = fault_seed();
+    let victim = (seed as usize) % R4;
+    let kill_step = 3 + (seed % 2); // after the step-2 checkpoint set exists
+
+    // Fault-free reference on the in-process backend: the trajectory is
+    // a property of the physics, not of the transport underneath.
+    let dir_clean = scratch("sim_clean");
+    let realization = ics32();
+    let expected = realization.len();
+    let mut rc = ResilienceConfig::new(R4, &dir_clean);
+    rc.heartbeat = Some(HeartbeatConfig::default());
+    rc.invariants = Some(InvariantConfig::default());
+    rc.retain = Some(2);
+    let clean = run_resilient(cfg32(), &realization, &rc, &FaultPlan::none())
+        .expect("clean reference run");
+    assert_eq!(clean.attempts, 1);
+
+    // The faulty run: four OS processes over loopback TCP, the victim
+    // SIGKILLed by the hub at its kill-step heartbeat.
+    let out = scratch("sim_faulty");
+    let status = Command::new(MPRUN)
+        .args([
+            "--ranks".into(), R4.to_string(),
+            "--scenario".into(), "sim".to_string(),
+            "--seed".into(), seed.to_string(),
+            "--kill".into(), format!("{victim}@{kill_step}"),
+            "--out".into(), out.display().to_string(),
+        ])
+        .status()
+        .expect("launch mprun");
+    assert!(status.success(), "mprun sim run failed: {status:?}");
+
+    // The hub killed exactly the planned victim and respawned it.
+    let hub = read_json(&out.join("hub_report.json"));
+    assert!(
+        hub.contains(&format!(r#""killed":[{{"rank":{victim},"step":{kill_step}}}]"#)),
+        "hub kill record wrong: {hub}"
+    );
+    assert!(
+        hub.contains(&format!(r#""respawned":[{victim}]"#)),
+        "victim was not respawned: {hub}"
+    );
+    assert!(hub.contains(r#""exit_failures":[]"#), "children failed: {hub}");
+
+    // A survivor's timeline shows heartbeat detection and online Tier-0
+    // reconstruction — no rollback, no relaunch.
+    let reporter = usize::from(victim == 0); // a rank that lived through the kill
+    let timeline = read_json(&out.join(format!("timeline_rank{reporter}.json")));
+    assert!(
+        timeline.contains(&format!(
+            r#""event":"rank_failure_detected","step":{kill_step},"rank":{victim},"epoch":{}"#,
+            kill_step - 1
+        )),
+        "heartbeat detection missing: {timeline}"
+    );
+    assert!(
+        timeline.contains(&format!(r#""event":"tier0_reconstructed","step":{kill_step}"#)),
+        "tier-0 reconstruction missing: {timeline}"
+    );
+    assert!(
+        timeline.contains(r#""event":"proactive_checkpoint"#),
+        "recovered state was not locked in: {timeline}"
+    );
+    assert!(
+        !timeline.contains(r#""event":"tier1_rollback"#)
+            && !timeline.contains(r#""event":"attempt_failed"#),
+        "tier-0 path must not roll back: {timeline}"
+    );
+
+    // Every particle accounted for, by id.
+    let positions: Vec<(u64, [f32; 3])> = read_json(&out.join("positions.txt"))
+        .lines()
+        .map(|line| {
+            let mut it = line.split_whitespace();
+            let id: u64 = it.next().unwrap().parse().unwrap();
+            let x: f32 = it.next().unwrap().parse().unwrap();
+            let y: f32 = it.next().unwrap().parse().unwrap();
+            let z: f32 = it.next().unwrap().parse().unwrap();
+            (id, [x, y, z])
+        })
+        .collect();
+    assert_eq!(positions.len(), expected, "particles lost across the kill");
+    for (i, &(id, _)) in positions.iter().enumerate() {
+        assert_eq!(id, i as u64, "particle ids must be gapless after recovery");
+    }
+
+    // Momentum within tolerance of the fault-free run (replicas track
+    // their lost originals to force-noise, not bit-exactly).
+    let (p_clean, ke_clean) = momentum_and_ke(&dir_clean, 4, R4);
+    let (p_faulty, _) = momentum_and_ke(&out.join("ckpt"), 4, R4);
+    let scale = (2.0 * ke_clean * expected as f64).sqrt();
+    for a in 0..3 {
+        assert!(
+            (p_faulty[a] - p_clean[a]).abs() < 0.02 * scale,
+            "momentum[{a}] drifted: {} vs {} (scale {scale})",
+            p_faulty[a],
+            p_clean[a]
+        );
+    }
+
+    // Power spectrum within tolerance, bin by bin.
+    let pk_clean = measure_pk(&clean.positions);
+    let pk_faulty = measure_pk(&positions);
+    for i in 0..pk_clean.p.len() {
+        if pk_clean.count[i] > 0 && pk_clean.p[i] > 0.0 {
+            let rel = (pk_faulty.p[i] - pk_clean.p[i]).abs() / pk_clean.p[i];
+            assert!(
+                rel < 0.02,
+                "P(k) bin {i} off by {rel}: {} vs {}",
+                pk_faulty.p[i],
+                pk_clean.p[i]
+            );
+        }
+    }
+
+    // Wire stats exist for every rank and saw real traffic.
+    for rank in 0..R4 {
+        let body = read_json(&out.join(format!("wire_stats_rank{rank}.json")));
+        assert!(json_u64(&body, "bytes_on_wire") > 0, "{body}");
+        assert_eq!(json_u64(&body, "crc_rejects"), 0, "{body}");
+    }
+    let _ = std::fs::remove_dir_all(&dir_clean);
+    let _ = std::fs::remove_dir_all(&out);
+}
