@@ -249,6 +249,13 @@ impl HubState {
 /// stream it arrived on and its buffered read half.
 type Hello = (usize, u64, String, TcpStream, BufReader<TcpStream>);
 
+/// How long a freshly accepted connection gets to complete its `HELLO`
+/// line before the hub drops it. Accepted sockets do not inherit the
+/// listener's nonblocking flag, so without this bound a client that
+/// connects and then dies (or a stray dial) would wedge the rendezvous
+/// or the late-joiner accept thread forever.
+const HELLO_TIMEOUT: Duration = Duration::from_secs(2);
+
 /// Accept one control connection and parse its `HELLO`.
 fn accept_hello(
     listener: &TcpListener,
@@ -262,9 +269,20 @@ fn accept_hello(
         match listener.accept() {
             Ok((stream, _)) => {
                 stream.set_nodelay(true).ok();
+                if stream.set_read_timeout(Some(HELLO_TIMEOUT)).is_err() {
+                    continue;
+                }
                 let mut reader = BufReader::new(stream.try_clone()?);
                 let mut line = String::new();
-                reader.read_line(&mut line)?;
+                if reader.read_line(&mut line).is_err() {
+                    continue; // handshake never completed; drop it
+                }
+                // After the handshake this stream serves the child with
+                // blocking reads; the clone shares the socket, so lift
+                // the timeout again before handing it on.
+                if stream.set_read_timeout(None).is_err() {
+                    continue;
+                }
                 let mut it = line.split_whitespace();
                 if it.next() != Some("HELLO") {
                     continue; // stray connection; drop it

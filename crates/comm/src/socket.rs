@@ -25,18 +25,33 @@
 //!   a torn, truncated, or bit-flipped frame **condemns the link** —
 //!   receives from that peer fail with [`CommError::CorruptDetected`],
 //!   never silently resync.
-//! - Per-link sequence numbers (reset per connection) make frame loss
-//!   and reordering detectable as corruption.
+//! - Per-link sequence numbers are monotonic across same-incarnation
+//!   reconnects (reset only when a replacement incarnation takes over),
+//!   so frame loss across a disconnect — including frames the kernel
+//!   accepted but the dead connection never delivered — surfaces as a
+//!   sequence gap and condemns the link, never a silent skip.
 //! - Readers poll with short OS read timeouts so shutdown never blocks
 //!   on a dead peer; the *receive* deadline feeding
 //!   [`crate::Comm::recv_timeout`] is enforced at the byte mailbox.
 //! - A broken pipe marks the link down and queues outbound frames; they
-//!   are drained if the same peer incarnation reconnects and dropped if
-//!   a replacement (new incarnation) takes over.
+//!   are drained if the same peer incarnation reconnects (the sequence
+//!   check above re-validates the stream — any in-flight loss condemns
+//!   it loudly) and dropped if a replacement (new incarnation) takes
+//!   over.
 //! - Peer death is **never** inferred from a socket error — only the
 //!   hub's failure detector declares ranks dead (broadcast to every
 //!   child and mirrored here), so transient disconnects cannot
-//!   masquerade as rank failure.
+//!   masquerade as rank failure. The hub's declaration also *outranks*
+//!   link-level condemnation: a probe of a declared-dead rank yields
+//!   [`CommError::RankFailed`], even if its death tore a frame first.
+//!
+//! # Lock order
+//!
+//! `links[i].state` → `mail.state` → `mirror.state`: a thread may take
+//! these nested only in that order (sequential, non-overlapping
+//! acquisitions are always fine). [`SocketTransport::register_link`]
+//! holds a link lock while purging the mailbox, and `recv` consults the
+//! mirror while holding the mailbox — any reverse nesting deadlocks.
 
 use crate::stats::WireStats;
 use crate::sync::{Condvar, Mutex};
@@ -121,8 +136,14 @@ struct LinkState {
     /// Bumped on every (re)registration; readers for older generations
     /// exit instead of marking the fresh link down.
     generation: u64,
-    /// Next sequence number to stamp (per connection).
+    /// Next sequence number to stamp. Monotonic across reconnects of
+    /// the same peer incarnation; reset only for a replacement.
     send_seq: u64,
+    /// Next sequence number expected from the peer (shared by the
+    /// link's successive reader threads, same reset rule as
+    /// `send_seq`), so a reconnect cannot silently swallow frames the
+    /// dead connection accepted but never delivered.
+    recv_seq: u64,
     pending: VecDeque<PendingMsg>,
 }
 
@@ -141,6 +162,7 @@ impl Default for Link {
                 peer_incarnation: 0,
                 generation: 0,
                 send_seq: 0,
+                recv_seq: 0,
                 pending: VecDeque::new(),
             }),
             signal: Condvar::new(),
@@ -344,9 +366,19 @@ impl SocketTransport {
             counters,
             payload_bytes: AtomicU64::new(0),
             msgs_sent: AtomicU64::new(0),
-            // Incarnation in the high bits keeps context bases allocated
-            // by a respawned rank 0 disjoint from its predecessor's.
-            next_context: AtomicU64::new((cfg.incarnation.wrapping_add(1) << 40) | 1),
+            // Unlike the in-process backend (one shared counter), every
+            // process allocates context bases locally — and any rank can
+            // be the allocating root of a sub-communicator after split().
+            // Incarnation in the high bits keeps a respawned rank's
+            // bases disjoint from its predecessor's; the global rank in
+            // the middle bits keeps roots of sibling sub-communicators
+            // disjoint from each other (2^28 allocations per rank, 4096
+            // ranks before the fields overlap).
+            next_context: AtomicU64::new(
+                (cfg.incarnation.wrapping_add(1) << 40)
+                    | ((cfg.rank as u64 & 0xFFF) << 28)
+                    | 1,
+            ),
             timing,
             cfg,
         });
@@ -442,17 +474,24 @@ impl SocketTransport {
             if st.ever_up {
                 self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
             }
+            // Lock order: link → mail (see module docs).
+            let mut mail = self.mail.state.lock();
             if peer_incarnation != st.peer_incarnation {
-                // A replacement process: the dead incarnation's backlog
-                // and any stale inbound frames must not leak into it.
+                // A replacement process: the dead incarnation's backlog,
+                // stale inbound frames, and sequence state must not leak
+                // into it.
                 st.pending.retain(|m| m.incarnation == peer_incarnation);
-                let mut mail = self.mail.state.lock();
+                st.send_seq = 0;
+                st.recv_seq = 0;
                 mail.ready.retain(|k, _| k.1 != peer);
-                mail.corrupt[peer] = None;
-                drop(mail);
             }
+            // Any re-registration lifts the condemnation: if frames were
+            // really lost across the disconnect, the receiver's sequence
+            // check re-condemns on the very next frame, so this can only
+            // heal a link whose stream state is actually intact.
+            mail.corrupt[peer] = None;
+            drop(mail);
             st.peer_incarnation = peer_incarnation;
-            st.send_seq = 0;
             st.writer = Some(stream);
             st.up = true;
             st.ever_up = true;
@@ -548,7 +587,6 @@ impl SocketTransport {
     /// Per-link inbound pump: validate every frame, deliver to the byte
     /// mailbox, condemn the link on the first structural failure.
     fn reader_loop(self: &Arc<Self>, mut stream: TcpStream, src: usize, generation: u64) {
-        let mut expected_seq = 0u64;
         let alive = || {
             !self.closing.load(Ordering::SeqCst)
                 && self.links[src].state.lock().generation == generation
@@ -603,18 +641,30 @@ impl SocketTransport {
                 );
                 return;
             }
-            if header.seq != expected_seq {
-                self.condemn(
-                    src,
-                    generation,
-                    &format!(
-                        "torn frame stream: expected seq #{expected_seq}, got #{}",
-                        header.seq
-                    ),
-                );
-                return;
+            {
+                // Sequence check against the link's persistent counter:
+                // it survives same-incarnation reconnects, so frames
+                // lost in a dead connection's buffers surface as a gap
+                // here instead of being silently skipped.
+                let mut st = self.links[src].state.lock();
+                if st.generation != generation {
+                    return; // superseded mid-frame by a fresh registration
+                }
+                if header.seq != st.recv_seq {
+                    let expected = st.recv_seq;
+                    drop(st);
+                    self.condemn(
+                        src,
+                        generation,
+                        &format!(
+                            "torn frame stream: expected seq #{expected}, got #{}",
+                            header.seq
+                        ),
+                    );
+                    return;
+                }
+                st.recv_seq += 1;
             }
-            expected_seq += 1;
             let key = (header.context, src, header.tag);
             let mut mail = self.mail.state.lock();
             mail.ready
@@ -743,10 +793,21 @@ impl SocketTransport {
                     let (Some(r), Some(e)) = (parse_arg(it.next()), parse_arg(it.next())) else {
                         continue;
                     };
-                    self.apply_mirror(r as usize, |m| {
+                    let r = r as usize;
+                    self.apply_mirror(r, |m| {
                         m.status = RankStatus::Failed;
                         m.failed_epoch = e;
                     });
+                    // The declaration outranks any condemnation the
+                    // death's torn streams caused: survivors probing the
+                    // corpse must get `RankFailed`, and the replacement
+                    // must not inherit the flag.
+                    if r < self.cfg.ranks {
+                        let mut mail = self.mail.state.lock();
+                        mail.corrupt[r] = None;
+                        drop(mail);
+                        self.mail.signal.notify_all();
+                    }
                 }
                 Some("REBUILDING") => {
                     let Some(r) = parse_arg(it.next()) else { continue };
@@ -830,17 +891,20 @@ impl SocketTransport {
         }
     }
 
-    fn mail_diagnose(&self, inner: &MailInner, src: usize) -> String {
+    /// Build the timeout diagnosis for `src`. Takes the link lock, so
+    /// the caller must **not** hold the mailbox lock (lock order:
+    /// link → mail); `rejected` is the mailbox's CRC-reject count for
+    /// `src`, snapshotted before that lock was released.
+    fn mail_diagnose(&self, src: usize, rejected: u64) -> String {
         let up = self.links[src].state.lock().up;
         let mut msg = format!(
             "no traffic pending from rank {src} (link {})",
             if up { "up" } else { "down" }
         );
-        if inner.rejected[src] > 0 {
+        if rejected > 0 {
             msg.push_str(&format!(
-                "; {} frame(s) on this link failed CRC and were discarded \
-                 (payload corrupted in flight)",
-                inner.rejected[src]
+                "; {rejected} frame(s) on this link failed CRC and were discarded \
+                 (payload corrupted in flight)"
             ));
         }
         msg
@@ -1059,24 +1123,32 @@ impl Transport for SocketTransport {
                 return Err(CommError::Poisoned);
             }
             if src != me {
-                if let Some(detail) = mail.corrupt[src].clone() {
-                    return Err(CommError::CorruptDetected { rank: src, detail });
-                }
                 // Only the hub's declaration — never a socket error —
-                // turns a silent peer into `RankFailed`.
+                // turns a silent peer into `RankFailed`; and that
+                // declaration outranks link-level condemnation, so a
+                // death that tore a frame still reads as a death.
                 let mirror = self.mirror.state.lock();
                 if mirror[src].status == RankStatus::Failed {
                     let epoch = mirror[src].failed_epoch;
                     return Err(CommError::RankFailed { rank: src, epoch });
                 }
                 drop(mirror);
+                if let Some(detail) = mail.corrupt[src].clone() {
+                    return Err(CommError::CorruptDetected { rank: src, detail });
+                }
             }
             match deadline {
                 None => self.mail.signal.wait(&mut mail),
                 Some(d) => {
                     let now = Instant::now();
                     if now >= d {
-                        let detail = self.mail_diagnose(&mail, src);
+                        // Lock order: the diagnosis takes the link lock,
+                        // which must never nest under the mailbox lock
+                        // (`register_link` nests them the other way) —
+                        // release the mailbox first.
+                        let rejected = mail.rejected[src];
+                        drop(mail);
+                        let detail = self.mail_diagnose(src, rejected);
                         return Err(CommError::Timeout {
                             context,
                             src,
