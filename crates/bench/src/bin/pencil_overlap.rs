@@ -1,0 +1,213 @@
+//! Pencil-FFT transpose-overlap benchmark: the distributed r2c pencil
+//! transform under the blocking schedule (monolithic alltoallv, then
+//! FFT) versus the overlapped schedule (chunked exchanges with
+//! butterflies running on received slabs while later chunks are still
+//! in flight). Reports the wall time and the pack/comm/unpack/fft
+//! breakdown from `PencilTimings` for both schedules, and asserts the
+//! two spectra are **bitwise identical** — overlap is a pure scheduling
+//! change, never a numerical one.
+//!
+//! Run with `--json PATH` to emit the machine-readable fragment that
+//! `scripts/bench.sh` folds into `BENCH_pr7.json`.
+
+use std::time::Instant;
+
+use hacc_bench::print_table;
+use hacc_comm::Machine;
+use hacc_fft::{DistRealFft3, PencilTimings, RealPencilFft, TransposeSchedule};
+
+struct Args {
+    n: usize,
+    ranks: usize,
+    warm: usize,
+    reps: usize,
+    chunks: usize,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        n: 128,
+        ranks: 4,
+        warm: 1,
+        reps: 3,
+        chunks: 4,
+        json: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let need = |i: usize| {
+            argv.get(i + 1)
+                .unwrap_or_else(|| panic!("missing value after {}", argv[i]))
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--n" => out.n = need(i).parse().expect("--n"),
+            "--ranks" => out.ranks = need(i).parse().expect("--ranks"),
+            "--warm" => out.warm = need(i).parse().expect("--warm"),
+            "--reps" => out.reps = need(i).parse().expect("--reps"),
+            "--chunks" => out.chunks = need(i).parse().expect("--chunks"),
+            "--json" => out.json = Some(need(i)),
+            other => panic!("unknown argument {other}"),
+        }
+        i += 2;
+    }
+    out
+}
+
+/// Near-square process grid: largest divisor of `ranks` not above √ranks.
+fn process_grid(ranks: usize) -> (usize, usize) {
+    let mut p1 = 1;
+    for d in 1..=ranks {
+        if d * d > ranks {
+            break;
+        }
+        if ranks.is_multiple_of(d) {
+            p1 = d;
+        }
+    }
+    (p1, ranks / p1)
+}
+
+/// Per-rank result of timing one schedule.
+struct SchedRun {
+    wall_ms: Vec<f64>,
+    tm: PencilTimings,
+    k: Vec<(u64, u64)>,
+}
+
+fn main() {
+    let args = parse_args();
+    let (n, ranks, warm, reps, chunks) = (args.n, args.ranks, args.warm, args.reps, args.chunks);
+    let (p1, p2) = process_grid(ranks);
+    println!("pencil overlap benchmark: {n}^3 r2c over {p1}x{p2} pencils, {chunks} chunks");
+
+    let schedules = [
+        TransposeSchedule::Blocking,
+        TransposeSchedule::Overlapped { chunks },
+    ];
+    let (results, _) = Machine::new(ranks).run(move |comm| {
+        let mut fft = RealPencilFft::with_grid(&comm, n, p1, p2);
+        let rl = fft.real_layout();
+        let mut local = vec![0.0f64; rl.len()];
+        for (i, v) in local.iter_mut().enumerate() {
+            let g = rl.global_coords(i);
+            let mut s = (((g[0] * n + g[1]) * n + g[2]) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            s ^= s >> 30;
+            *v = (s as f64 / u64::MAX as f64) - 0.5;
+        }
+        schedules
+            .iter()
+            .map(|&sched| {
+                fft.set_schedule(sched);
+                for _ in 0..warm {
+                    let k = fft.forward(local.clone());
+                    let _ = fft.backward(k);
+                }
+                let _ = fft.take_timings(); // drop warm-up accumulation
+                let mut wall_ms = Vec::with_capacity(reps);
+                let mut k_last = Vec::new();
+                for _ in 0..reps {
+                    comm.barrier();
+                    let t0 = Instant::now();
+                    let k = fft.forward(local.clone());
+                    let _ = fft.backward(k.clone());
+                    comm.barrier();
+                    wall_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                    k_last = k;
+                }
+                SchedRun {
+                    wall_ms,
+                    tm: fft.take_timings(),
+                    k: k_last
+                        .iter()
+                        .map(|c| (c.re.to_bits(), c.im.to_bits()))
+                        .collect(),
+                }
+            })
+            .collect::<Vec<_>>()
+    });
+
+    // Bitwise identity of the two schedules, on every rank.
+    for (rank, runs) in results.iter().enumerate() {
+        assert_eq!(
+            runs[0].k, runs[1].k,
+            "rank {rank}: blocking and overlapped spectra differ bitwise"
+        );
+    }
+
+    // Critical path per rep = slowest rank; phase seconds = mean per rank
+    // per transform pair (forward+backward), reps each.
+    let stats = |si: usize| -> (f64, f64, [f64; 4]) {
+        let mut per_rep = vec![0.0f64; reps];
+        let mut phases = [0.0f64; 4];
+        for runs in &results {
+            let r = &runs[si];
+            for (acc, &w) in per_rep.iter_mut().zip(&r.wall_ms) {
+                *acc = acc.max(w);
+            }
+            phases[0] += r.tm.fft_s;
+            phases[1] += r.tm.pack_s;
+            phases[2] += r.tm.comm_s;
+            phases[3] += r.tm.unpack_s;
+        }
+        let scale = 1e3 / (ranks * reps) as f64;
+        for p in phases.iter_mut() {
+            *p *= scale;
+        }
+        let mut sorted = per_rep.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[reps / 2];
+        let min = sorted.first().copied().unwrap_or(0.0);
+        (median, min, phases)
+    };
+    let (b_med, b_min, b_ph) = stats(0);
+    let (o_med, o_min, o_ph) = stats(1);
+    let speedup = b_med / o_med;
+
+    let row = |name: &str, med: f64, ph: [f64; 4]| {
+        vec![
+            name.into(),
+            format!("{med:.2}"),
+            format!("{:.2}", ph[0]),
+            format!("{:.2}", ph[1]),
+            format!("{:.2}", ph[2]),
+            format!("{:.2}", ph[3]),
+        ]
+    };
+    print_table(
+        &format!("pencil fwd+back, {n}^3 over {ranks} ranks [ms]"),
+        &["schedule", "wall med", "fft", "pack", "comm", "unpack"],
+        &[
+            row("blocking", b_med, b_ph),
+            row(&format!("overlap/{chunks}"), o_med, o_ph),
+        ],
+    );
+    println!("overlap speedup (median wall): {speedup:.3}x, spectra bitwise identical");
+
+    let sched_json = |med: f64, min: f64, ph: [f64; 4]| {
+        format!(
+            "{{\"wall_ms_median\": {med:.3}, \"wall_ms_min\": {min:.3}, \
+             \"fft_ms\": {:.3}, \"pack_ms\": {:.3}, \"comm_ms\": {:.3}, \
+             \"unpack_ms\": {:.3}}}",
+            ph[0], ph[1], ph[2], ph[3]
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"pencil_overlap\",\n  \"n\": {n},\n  \"ranks\": {ranks},\n  \
+         \"chunks\": {chunks},\n  \"reps\": {reps},\n  \
+         \"blocking\": {},\n  \"overlapped\": {},\n  \
+         \"overlap_speedup_median\": {speedup:.3},\n  \"bitwise_identical\": true\n}}",
+        sched_json(b_med, b_min, b_ph),
+        sched_json(o_med, o_min, o_ph),
+    );
+    println!("\n{json}");
+    if let Some(path) = &args.json {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir).expect("create json dir");
+        }
+        std::fs::write(path, format!("{json}\n")).expect("write json");
+        println!("wrote {path}");
+    }
+}

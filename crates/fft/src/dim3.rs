@@ -1,10 +1,14 @@
 //! Serial (shared-memory) 3-D complex FFT.
 //!
-//! Row-major `[nx][ny][nz]` layout (`z` fastest). Lines along each axis are
-//! transformed with the 1-D plan; the y and x passes gather strided lines
-//! into contiguous buffers (the same data-movement trade the paper's
-//! transpose-based distributed FFT makes, in miniature). Rayon parallelizes
-//! across independent lines.
+//! Row-major `[nx][ny][nz]` layout (`z` fastest). Lines along each axis
+//! are transformed in **batched bundles** of up to [`BATCH`] lines: each
+//! pass tiles an L1-sized panel (`[n][BATCH]`, batch-major) out of the
+//! grid with contiguous small copies, runs one batched kernel call over
+//! the whole bundle, and writes the panel back. For the strided y and x
+//! passes this is a cache-blocked transpose — adjacent z columns are
+//! contiguous in memory, so gathering a panel touches each cache line
+//! once instead of once per line. Rayon parallelizes across independent
+//! panels.
 
 use crate::complex::Complex64;
 use crate::plan::Fft1d;
@@ -97,25 +101,11 @@ impl Fft3 {
     }
 }
 
-/// Run one 1-D line through the plan; `inverse` applies the unnormalized
-/// inverse via conjugation (any rescale is the caller's business).
-#[inline]
-pub(crate) fn run_line(
-    plan: &Fft1d,
-    line: &mut [Complex64],
-    scratch: &mut [Complex64],
-    inverse: bool,
-) {
-    if inverse {
-        conj_in(line);
-        plan.forward(line, scratch);
-        conj_in(line);
-    } else {
-        plan.forward(line, scratch);
-    }
-}
+/// Batch width of the tiled passes (bundle of lines per kernel call).
+pub(crate) const BATCH: usize = Fft1d::MAX_BATCH;
 
-/// Pass 1 of the 3-D transform: contiguous z lines of length `nz`.
+/// Pass 1 of the 3-D transform: contiguous z lines of length `nz`,
+/// bundled [`BATCH`] at a time into a batch-major tile.
 pub(crate) fn pass_z(
     plan: &Fft1d,
     data: &mut [Complex64],
@@ -123,14 +113,38 @@ pub(crate) fn pass_z(
     inverse: bool,
     pool: &BufPool,
 ) {
-    data.par_chunks_mut(nz).for_each_init(
-        || pool.lease(plan.scratch_len()),
-        |scratch, line| run_line(plan, line, scratch, inverse),
+    data.par_chunks_mut(BATCH * nz).for_each_init(
+        || {
+            (
+                pool.lease(BATCH * nz),
+                pool.lease(plan.scratch_len_batch(BATCH)),
+            )
+        },
+        |(tile, scratch), chunk| {
+            let b = chunk.len() / nz;
+            let tile = &mut tile[..nz * b];
+            for (bi, line) in chunk.chunks(nz).enumerate() {
+                for (j, &v) in line.iter().enumerate() {
+                    tile[j * b + bi] = v;
+                }
+            }
+            plan.transform_batch(tile, b, scratch, inverse);
+            for (bi, line) in chunk.chunks_mut(nz).enumerate() {
+                for (j, v) in line.iter_mut().enumerate() {
+                    *v = tile[j * b + bi];
+                }
+            }
+        },
     );
 }
 
 /// Pass 2: y lines of length `ny`, strided by the z-extent `nzc` within
 /// each x-plane (`nzc` is `nz` for c2c, `nz/2+1` for the half-spectrum).
+///
+/// Adjacent `iz` columns are contiguous, so a `[ny][b]` batch-major tile
+/// is gathered with `ny` contiguous `b`-element copies — the
+/// cache-blocked transpose that feeds the batched kernel contiguous
+/// panels (`ny·BATCH` complex ≤ a few KiB, L1-resident).
 pub(crate) fn pass_y(
     plan: &Fft1d,
     data: &mut [Complex64],
@@ -140,16 +154,27 @@ pub(crate) fn pass_y(
     pool: &BufPool,
 ) {
     data.par_chunks_mut(ny * nzc).for_each_init(
-        || (pool.lease(plan.scratch_len()), pool.lease(ny)),
-        |(scratch, line), plane| {
-            for iz in 0..nzc {
+        || {
+            (
+                pool.lease(BATCH * ny),
+                pool.lease(plan.scratch_len_batch(BATCH)),
+            )
+        },
+        |(tile, scratch), plane| {
+            let mut iz0 = 0;
+            while iz0 < nzc {
+                let b = BATCH.min(nzc - iz0);
+                let tile = &mut tile[..ny * b];
                 for iy in 0..ny {
-                    line[iy] = plane[iy * nzc + iz];
+                    let row = iy * nzc + iz0;
+                    tile[iy * b..(iy + 1) * b].copy_from_slice(&plane[row..row + b]);
                 }
-                run_line(plan, line, scratch, inverse);
+                plan.transform_batch(tile, b, scratch, inverse);
                 for iy in 0..ny {
-                    plane[iy * nzc + iz] = line[iy];
+                    let row = iy * nzc + iz0;
+                    plane[row..row + b].copy_from_slice(&tile[iy * b..(iy + 1) * b]);
                 }
+                iz0 += b;
             }
         },
     );
@@ -157,7 +182,9 @@ pub(crate) fn pass_y(
 
 /// Pass 3: x lines strided by `ny·nzc`. Parallelizes over y so each task
 /// works on disjoint (y, z) columns; uses raw indexing through a shared
-/// pointer wrapper kept sound by the disjointness of columns.
+/// pointer wrapper kept sound by the disjointness of columns. Within a
+/// task, [`BATCH`] adjacent z columns tile into one batch-major panel
+/// per kernel call, same as [`pass_y`].
 pub(crate) fn pass_x(
     plan: &Fft1d,
     data: &mut [Complex64],
@@ -170,31 +197,50 @@ pub(crate) fn pass_x(
     let plane_stride = ny * nzc;
     let ptr = SyncPtr(data.as_mut_ptr());
     (0..ny).into_par_iter().for_each_init(
-        || (pool.lease(plan.scratch_len()), pool.lease(nx)),
-        |(scratch, line), iy| {
+        || {
+            (
+                pool.lease(BATCH * nx),
+                pool.lease(plan.scratch_len_batch(BATCH)),
+            )
+        },
+        |(tile, scratch), iy| {
             let base = ptr;
-            for iz in 0..nzc {
-                let off = iy * nzc + iz;
-                for (ix, lv) in line.iter_mut().enumerate() {
-                    // SAFETY: distinct iy tasks touch disjoint offsets.
-                    *lv = unsafe { *base.0.add(ix * plane_stride + off) };
+            let mut iz0 = 0;
+            while iz0 < nzc {
+                let b = BATCH.min(nzc - iz0);
+                let tile = &mut tile[..nx * b];
+                let off = iy * nzc + iz0;
+                for ix in 0..nx {
+                    // SAFETY: distinct iy tasks touch disjoint (iy, iz)
+                    // columns; `ix·plane_stride + off + b ≤ nx·ny·nzc`
+                    // (the length of the allocation behind `data`), and
+                    // the tile is a private lease, so this contiguous
+                    // b-element copy reads in-bounds, non-overlapping
+                    // memory.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(
+                            base.0.add(ix * plane_stride + off),
+                            tile.as_mut_ptr().add(ix * b),
+                            b,
+                        );
+                    }
                 }
-                run_line(plan, line, scratch, inverse);
-                for (ix, lv) in line.iter().enumerate() {
-                    // SAFETY: writes the same disjoint (iy, iz) column
-                    // read above; `ix·plane_stride + off` stays within
-                    // the `nx·ny·nzc` allocation behind `data`.
-                    unsafe { *base.0.add(ix * plane_stride + off) = *lv };
+                plan.transform_batch(tile, b, scratch, inverse);
+                for ix in 0..nx {
+                    // SAFETY: writes the same disjoint (iy, iz) columns
+                    // read above, with identical bounds reasoning.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(
+                            tile.as_ptr().add(ix * b),
+                            base.0.add(ix * plane_stride + off),
+                            b,
+                        );
+                    }
                 }
+                iz0 += b;
             }
         },
     );
-}
-
-fn conj_in(line: &mut [Complex64]) {
-    for v in line.iter_mut() {
-        *v = v.conj();
-    }
 }
 
 /// Pointer wrapper asserting cross-thread use is sound (columns disjoint).

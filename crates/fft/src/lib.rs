@@ -20,6 +20,7 @@
 
 pub mod complex;
 pub mod dim3;
+pub mod kernels;
 pub mod pencil;
 pub mod plan;
 pub mod real;
@@ -29,7 +30,8 @@ pub mod wavenumber;
 
 pub use complex::Complex64;
 pub use dim3::Fft3;
-pub use pencil::{PencilFft, RealPencilFft};
+pub use kernels::FftSimdLevel;
+pub use pencil::{PencilFft, PencilTimings, RealPencilFft, TransposeSchedule};
 pub use plan::Fft1d;
 pub use real::RealFft3;
 pub use scratch::BufPool;

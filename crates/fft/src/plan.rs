@@ -8,6 +8,7 @@
 //! mixed-radix path is exercised by the Table I reproduction.
 
 use crate::complex::Complex64;
+use crate::kernels::{StockhamPlan, MAX_BATCH};
 
 /// Direction of a transform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +30,9 @@ pub struct Fft1d {
     twiddles: Vec<Complex64>,
     /// Bluestein machinery for lengths with a prime factor > 31.
     bluestein: Option<Box<Bluestein>>,
+    /// Iterative SIMD stage schedule for `n = 2^a·3^b·5^c` (the hot
+    /// path); `None` falls back to the recursive reference.
+    stockham: Option<StockhamPlan>,
 }
 
 /// Precomputed state for Bluestein's algorithm.
@@ -62,8 +66,12 @@ impl Fft1d {
             factors,
             twiddles,
             bluestein,
+            stockham: StockhamPlan::try_new(n),
         }
     }
+
+    /// Maximum `batch` accepted by [`Fft1d::transform_batch`].
+    pub const MAX_BATCH: usize = MAX_BATCH;
 
     /// Transform length.
     #[must_use] 
@@ -115,6 +123,10 @@ impl Fft1d {
         if self.n == 1 {
             return;
         }
+        if let Some(st) = &self.stockham {
+            st.run(data, 1, scratch, dir == Direction::Backward);
+            return;
+        }
         if let Some(b) = &self.bluestein {
             b.process(data, scratch, dir, self.n);
             return;
@@ -122,6 +134,66 @@ impl Fft1d {
         let (copy, _) = scratch.split_at_mut(self.n);
         copy.copy_from_slice(data);
         self.recurse(copy, 1, data, self.n, 1, 0, dir);
+    }
+
+    /// Required scratch length for a `batch`-wide
+    /// [`Fft1d::transform_batch`] call.
+    #[must_use]
+    pub fn scratch_len_batch(&self, batch: usize) -> usize {
+        self.n * batch + self.scratch_len()
+    }
+
+    /// Transform `batch ≤ MAX_BATCH` interleaved lines at once, in place.
+    ///
+    /// `data` holds the lines **batch-major**: element `j` of line `b`
+    /// lives at `data[j·batch + b]`, which keeps the innermost butterfly
+    /// loop contiguous for the SIMD kernels. `inverse` applies the
+    /// **unnormalized** inverse (via conjugation) — any `1/n` rescale is
+    /// the caller's business, mirroring the serial pass convention.
+    /// `scratch` needs [`Fft1d::scratch_len_batch`] elements.
+    pub fn transform_batch(
+        &self,
+        data: &mut [Complex64],
+        batch: usize,
+        scratch: &mut [Complex64],
+        inverse: bool,
+    ) {
+        assert!(
+            (1..=Self::MAX_BATCH).contains(&batch),
+            "batch out of range"
+        );
+        assert_eq!(data.len(), self.n * batch, "data length != n·batch");
+        if self.n == 1 {
+            return;
+        }
+        if let Some(st) = &self.stockham {
+            st.run(data, batch, scratch, inverse);
+            return;
+        }
+        // Generic lengths (large primes / Bluestein): de-interleave one
+        // line at a time through the recursive path. Correct for any
+        // length and trivially dispatch-level-independent.
+        let (lines, rest) = scratch.split_at_mut(self.n * batch);
+        let line = &mut lines[..self.n];
+        for bi in 0..batch {
+            for (j, v) in line.iter_mut().enumerate() {
+                *v = data[j * batch + bi];
+            }
+            if inverse {
+                for v in line.iter_mut() {
+                    *v = v.conj();
+                }
+                self.forward(line, rest);
+                for v in line.iter_mut() {
+                    *v = v.conj();
+                }
+            } else {
+                self.forward(line, rest);
+            }
+            for (j, &v) in line.iter().enumerate() {
+                data[j * batch + bi] = v;
+            }
+        }
     }
 
     /// Recursive mixed-radix step: transform `x` (viewed with `stride`)

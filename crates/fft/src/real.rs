@@ -21,7 +21,7 @@
 use rayon::prelude::*;
 
 use crate::complex::Complex64;
-use crate::dim3::{pass_x, pass_y, run_line};
+use crate::dim3::{pass_x, pass_y, BATCH};
 use crate::plan::Fft1d;
 use crate::scratch::BufPool;
 
@@ -108,16 +108,17 @@ impl RealFft3 {
         assert_eq!(input.len(), self.len(), "real grid size mismatch");
         assert_eq!(spec.len(), self.spectrum_len(), "spectrum size mismatch");
         let (nz, nzh) = (self.nz, self.nzh);
-        // z pass: pair-packed real lines (the remainder chunk, present
-        // when nx·ny is odd, transforms a single line).
+        // z pass: pair-packed real lines in batched bundles — up to
+        // 2·BATCH real lines pack into ≤ BATCH complex lanes per kernel
+        // call (an odd remainder line rides along as its own lane).
         input
-            .par_chunks(2 * nz)
-            .zip(spec.par_chunks_mut(2 * nzh))
+            .par_chunks(2 * BATCH * nz)
+            .zip(spec.par_chunks_mut(2 * BATCH * nzh))
             .for_each_init(
                 || {
                     (
-                        self.pool.lease(nz),
-                        self.pool.lease(self.plan_z.scratch_len()),
+                        self.pool.lease(BATCH * nz),
+                        self.pool.lease(self.plan_z.scratch_len_batch(BATCH)),
                     )
                 },
                 |(zbuf, scratch), (src, dst)| {
@@ -146,13 +147,13 @@ impl RealFft3 {
         // z pass: rebuild full conjugate-symmetric z lines in pairs and
         // inverse-transform; single global normalization on the output.
         let inv = 1.0 / self.len() as f64;
-        spec.par_chunks(2 * nzh)
-            .zip(out.par_chunks_mut(2 * nz))
+        spec.par_chunks(2 * BATCH * nzh)
+            .zip(out.par_chunks_mut(2 * BATCH * nz))
             .for_each_init(
                 || {
                     (
-                        self.pool.lease(nz),
-                        self.pool.lease(self.plan_z.scratch_len()),
+                        self.pool.lease(BATCH * nz),
+                        self.pool.lease(self.plan_z.scratch_len_batch(BATCH)),
                     )
                 },
                 |(zbuf, scratch), (src, dst)| {
@@ -162,9 +163,12 @@ impl RealFft3 {
     }
 }
 
-/// Forward-transform one pair of packed real z lines (or a single line if
-/// `src.len() == nz`) into half-spectrum rows. Shared by the serial and
-/// pencil r2c paths.
+/// Forward-transform a bundle of real z lines into half-spectrum rows.
+/// `src` holds `L = src.len()/nz ≤ 2·BATCH` lines: consecutive pairs
+/// pack as `a + i·b` complex lanes (an odd trailing line becomes its own
+/// `a + i·0` lane), the whole bundle runs through **one** batched
+/// transform, and each lane untangles into its spectrum row(s). Shared
+/// by the serial and pencil r2c paths.
 pub(crate) fn r2c_lines(
     plan_z: &Fft1d,
     src: &[f64],
@@ -174,33 +178,49 @@ pub(crate) fn r2c_lines(
     zbuf: &mut [Complex64],
     scratch: &mut [Complex64],
 ) {
-    if src.len() == 2 * nz {
-        // Pack a + i·b, transform once, untangle the two spectra.
-        let (a, b) = src.split_at(nz);
-        for k in 0..nz {
-            zbuf[k] = Complex64::new(a[k], b[k]);
+    debug_assert!(src.len().is_multiple_of(nz));
+    let lines = src.len() / nz;
+    let pairs = lines / 2;
+    let b = pairs + lines % 2;
+    debug_assert!((1..=BATCH).contains(&b));
+    let zbuf = &mut zbuf[..nz * b];
+    // Pack: lane bi < pairs carries lines (2bi, 2bi+1) as a + i·b; a
+    // trailing odd line rides as lane `pairs` with zero imaginary part.
+    for bi in 0..pairs {
+        let a = &src[2 * bi * nz..(2 * bi + 1) * nz];
+        let bl = &src[(2 * bi + 1) * nz..(2 * bi + 2) * nz];
+        for j in 0..nz {
+            zbuf[j * b + bi] = Complex64::new(a[j], bl[j]);
         }
-        plan_z.forward(zbuf, scratch);
-        let (da, db) = dst.split_at_mut(nzh);
+    }
+    if lines % 2 == 1 {
+        let a = &src[(lines - 1) * nz..];
+        for j in 0..nz {
+            zbuf[j * b + pairs] = Complex64::new(a[j], 0.0);
+        }
+    }
+    plan_z.transform_batch(zbuf, b, scratch, false);
+    // Untangle each packed lane into its two spectrum rows.
+    for bi in 0..pairs {
+        let (da, db) = dst[2 * bi * nzh..(2 * bi + 2) * nzh].split_at_mut(nzh);
         for k in 0..nzh {
-            let zk = zbuf[k];
-            let zm = zbuf[(nz - k) % nz];
+            let zk = zbuf[k * b + bi];
+            let zm = zbuf[((nz - k) % nz) * b + bi];
             da[k] = Complex64::new(0.5 * (zk.re + zm.re), 0.5 * (zk.im - zm.im));
             db[k] = Complex64::new(0.5 * (zk.im + zm.im), 0.5 * (zm.re - zk.re));
         }
-    } else {
-        debug_assert_eq!(src.len(), nz);
-        for k in 0..nz {
-            zbuf[k] = Complex64::new(src[k], 0.0);
+    }
+    if lines % 2 == 1 {
+        let d = &mut dst[(lines - 1) * nzh..];
+        for k in 0..nzh {
+            d[k] = zbuf[k * b + pairs];
         }
-        plan_z.forward(zbuf, scratch);
-        dst[..nzh].copy_from_slice(&zbuf[..nzh]);
     }
 }
 
-/// Inverse of [`r2c_lines`]: synthesize the full conjugate-symmetric z
-/// line(s) from half-spectrum rows, inverse-transform, and write the real
-/// output scaled by `inv`.
+/// Inverse of [`r2c_lines`]: synthesize full conjugate-symmetric z lanes
+/// from half-spectrum rows, inverse-transform the bundle in one batched
+/// call, and write the real output scaled by `inv`.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn c2r_lines(
     plan_z: &Fft1d,
@@ -212,33 +232,47 @@ pub(crate) fn c2r_lines(
     zbuf: &mut [Complex64],
     scratch: &mut [Complex64],
 ) {
-    if dst.len() == 2 * nz {
-        let (a, b) = src.split_at(nzh);
+    debug_assert!(dst.len().is_multiple_of(nz));
+    let lines = dst.len() / nz;
+    let pairs = lines / 2;
+    let b = pairs + lines % 2;
+    debug_assert!((1..=BATCH).contains(&b));
+    let zbuf = &mut zbuf[..nz * b];
+    for bi in 0..pairs {
+        let (a, bl) = src[2 * bi * nzh..(2 * bi + 2) * nzh].split_at(nzh);
         for k in 0..nzh {
             // A + i·B.
-            zbuf[k] = Complex64::new(a[k].re - b[k].im, a[k].im + b[k].re);
+            zbuf[k * b + bi] = Complex64::new(a[k].re - bl[k].im, a[k].im + bl[k].re);
         }
         for k in nzh..nz {
             // conj(A[nz-k]) + i·conj(B[nz-k]).
             let am = a[nz - k];
-            let bm = b[nz - k];
-            zbuf[k] = Complex64::new(am.re + bm.im, bm.re - am.im);
+            let bm = bl[nz - k];
+            zbuf[k * b + bi] = Complex64::new(am.re + bm.im, bm.re - am.im);
         }
-        run_line(plan_z, zbuf, scratch, true);
-        let (da, db) = dst.split_at_mut(nz);
-        for j in 0..nz {
-            da[j] = zbuf[j].re * inv;
-            db[j] = zbuf[j].im * inv;
+    }
+    if lines % 2 == 1 {
+        let s = &src[(lines - 1) * nzh..];
+        for k in 0..nzh {
+            zbuf[k * b + pairs] = s[k];
         }
-    } else {
-        debug_assert_eq!(dst.len(), nz);
-        zbuf[..nzh].copy_from_slice(&src[..nzh]);
         for k in nzh..nz {
-            zbuf[k] = src[nz - k].conj();
+            zbuf[k * b + pairs] = s[nz - k].conj();
         }
-        run_line(plan_z, zbuf, scratch, true);
-        for (d, z) in dst.iter_mut().zip(zbuf.iter()) {
-            *d = z.re * inv;
+    }
+    plan_z.transform_batch(zbuf, b, scratch, true);
+    for bi in 0..pairs {
+        let (da, db) = dst[2 * bi * nz..(2 * bi + 2) * nz].split_at_mut(nz);
+        for j in 0..nz {
+            let z = zbuf[j * b + bi];
+            da[j] = z.re * inv;
+            db[j] = z.im * inv;
+        }
+    }
+    if lines % 2 == 1 {
+        let d = &mut dst[(lines - 1) * nz..];
+        for j in 0..nz {
+            d[j] = zbuf[j * b + pairs].re * inv;
         }
     }
 }

@@ -13,8 +13,10 @@
 use hacc_comm::Comm;
 
 use crate::complex::Complex64;
+use crate::dim3::BATCH;
 use crate::layout::{block_ranges, DistFft3, Layout3};
 use crate::plan::Fft1d;
+use crate::scratch::BufPool;
 
 /// Slab FFT bound to a communicator.
 pub struct SlabFft<'a> {
@@ -22,12 +24,13 @@ pub struct SlabFft<'a> {
     n: usize,
     ranges: Vec<(usize, usize)>,
     plan: Fft1d,
+    pool: BufPool,
 }
 
 impl<'a> SlabFft<'a> {
     /// Create a slab FFT of global side `n` over `comm`.
     /// Requires `comm.size() ≤ n`.
-    #[must_use] 
+    #[must_use]
     pub fn new(comm: &'a Comm, n: usize) -> Self {
         assert!(
             comm.size() <= n,
@@ -39,6 +42,7 @@ impl<'a> SlabFft<'a> {
             n,
             ranges: block_ranges(n, comm.size()),
             plan: Fft1d::new(n),
+            pool: BufPool::new(),
         }
     }
 
@@ -46,63 +50,79 @@ impl<'a> SlabFft<'a> {
         self.ranges[self.comm.rank()]
     }
 
-    /// Local y/z (or inverse) FFTs on the x-slab `[lx][n][n]`.
+    /// Local y/z (or inverse) FFTs on the x-slab `[lx][n][n]`, batched
+    /// `BATCH` lines at a time through pooled tiles (alloc-free once the
+    /// pool is warm).
     fn fft_yz(&self, data: &mut [Complex64], inverse: bool) {
         let n = self.n;
         let (_, lx) = self.my_range();
-        let mut scratch = self.plan.make_scratch();
-        let mut line = vec![Complex64::ZERO; n];
+        let mut tile = self.pool.lease(BATCH * n);
+        let mut scratch = self.pool.lease(self.plan.scratch_len_batch(BATCH));
         for ixl in 0..lx {
             let plane = &mut data[ixl * n * n..(ixl + 1) * n * n];
-            // z lines (contiguous).
-            for iy in 0..n {
-                let l = &mut plane[iy * n..(iy + 1) * n];
-                self.run_line(l, &mut scratch, inverse);
+            // z lines (contiguous rows, packed batch-major).
+            let mut iy0 = 0;
+            while iy0 < n {
+                let b = BATCH.min(n - iy0);
+                let block = &mut plane[iy0 * n..(iy0 + b) * n];
+                for (r, row) in block.chunks(n).enumerate() {
+                    for (j, &v) in row.iter().enumerate() {
+                        tile[j * b + r] = v;
+                    }
+                }
+                self.plan
+                    .transform_batch(&mut tile[..n * b], b, &mut scratch, inverse);
+                for (r, row) in block.chunks_mut(n).enumerate() {
+                    for (j, v) in row.iter_mut().enumerate() {
+                        *v = tile[j * b + r];
+                    }
+                }
+                iy0 += b;
             }
-            // y lines (stride n).
-            for iz in 0..n {
+            // y lines (stride n): gather BATCH adjacent z columns.
+            let mut iz0 = 0;
+            while iz0 < n {
+                let b = BATCH.min(n - iz0);
                 for iy in 0..n {
-                    line[iy] = plane[iy * n + iz];
+                    let row = iy * n + iz0;
+                    tile[iy * b..(iy + 1) * b].copy_from_slice(&plane[row..row + b]);
                 }
-                self.run_line(&mut line, &mut scratch, inverse);
+                self.plan
+                    .transform_batch(&mut tile[..n * b], b, &mut scratch, inverse);
                 for iy in 0..n {
-                    plane[iy * n + iz] = line[iy];
+                    let row = iy * n + iz0;
+                    plane[row..row + b].copy_from_slice(&tile[iy * b..(iy + 1) * b]);
                 }
+                iz0 += b;
             }
         }
     }
 
-    /// x-line FFTs in the y-slab layout `[n][ly][n]`.
+    /// x-line FFTs in the y-slab layout `[n][ly][n]`, batched over
+    /// adjacent z columns.
     fn fft_x(&self, data: &mut [Complex64], inverse: bool) {
         let n = self.n;
         let (_, ly) = self.my_range();
-        let mut scratch = self.plan.make_scratch();
-        let mut line = vec![Complex64::ZERO; n];
+        let stride = ly * n;
+        let mut tile = self.pool.lease(BATCH * n);
+        let mut scratch = self.pool.lease(self.plan.scratch_len_batch(BATCH));
         for iyl in 0..ly {
-            for iz in 0..n {
+            let mut iz0 = 0;
+            while iz0 < n {
+                let b = BATCH.min(n - iz0);
+                let off = iyl * n + iz0;
                 for ix in 0..n {
-                    line[ix] = data[(ix * ly + iyl) * n + iz];
+                    let s = ix * stride + off;
+                    tile[ix * b..(ix + 1) * b].copy_from_slice(&data[s..s + b]);
                 }
-                self.run_line(&mut line, &mut scratch, inverse);
+                self.plan
+                    .transform_batch(&mut tile[..n * b], b, &mut scratch, inverse);
                 for ix in 0..n {
-                    data[(ix * ly + iyl) * n + iz] = line[ix];
+                    let s = ix * stride + off;
+                    data[s..s + b].copy_from_slice(&tile[ix * b..(ix + 1) * b]);
                 }
+                iz0 += b;
             }
-        }
-    }
-
-    fn run_line(&self, line: &mut [Complex64], scratch: &mut [Complex64], inverse: bool) {
-        if inverse {
-            // Unnormalized inverse; global 1/n³ applied once in `backward`.
-            for v in line.iter_mut() {
-                *v = v.conj();
-            }
-            self.plan.forward(line, scratch);
-            for v in line.iter_mut() {
-                *v = v.conj();
-            }
-        } else {
-            self.plan.forward(line, scratch);
         }
     }
 

@@ -14,6 +14,14 @@
 # symmetric SIMD walk and Verlet-skin reuse; the gate asserts at least
 # MIN_TREE_SPEEDUP (default 1.5).
 #
+# PR7 — FFT microarchitecture: the same pm_step run judged against the
+# pre-split-radix baseline (out/bench/pm_step_pr7_baseline.json,
+# recorded on the generic mixed-radix scalar FFT with blocking pencil
+# transposes), plus the pencil_overlap probe (blocking vs overlapped
+# transpose schedule with pack/comm/unpack/fft breakdown) →
+# out/bench/BENCH_pr7.json. The gate asserts at least MIN_PM_SPEEDUP
+# (default 2.0) on both the step median and the FFT phase.
+#
 # Usage: scripts/bench.sh [--quick]
 #   --quick  shrink the kernel-threading sweep (CI-friendly)
 set -euo pipefail
@@ -25,9 +33,11 @@ if [[ "${1:-}" == "--quick" ]]; then
 fi
 MIN_SPEEDUP="${MIN_SPEEDUP:-1.3}"
 MIN_TREE_SPEEDUP="${MIN_TREE_SPEEDUP:-1.5}"
+MIN_PM_SPEEDUP="${MIN_PM_SPEEDUP:-2.0}"
 OUT=out/bench
 BASELINE="$OUT/pm_step_baseline.json"
 TREE_BASELINE="$OUT/tree_step_baseline.json"
+PR7_BASELINE="$OUT/pm_step_pr7_baseline.json"
 mkdir -p "$OUT"
 
 echo "==> cargo build --release -p hacc-bench"
@@ -96,3 +106,46 @@ awk -v s="$tree_speedup" -v m="$MIN_TREE_SPEEDUP" 'BEGIN { exit !(s >= m) }' || 
   exit 1
 }
 echo "==> PASS: tree_step speedup ${tree_speedup}x >= ${MIN_TREE_SPEEDUP}x"
+
+echo "==> pencil_overlap (blocking vs overlapped transpose schedule)"
+./target/release/pencil_overlap --json "$OUT/pencil_overlap.json"
+
+# PR7 gate: the SIMD split-radix kernels + cache-blocked transposes must
+# beat the pre-rework pm_step baseline on BOTH the whole step and the
+# FFT phase; the overlap probe's breakdown rides along in BENCH_pr7.json.
+pr7_base_step=$(sed -n 's/.*"step_ms_median": \([0-9.]*\).*/\1/p' "$PR7_BASELINE")
+pr7_base_fft=$(sed -n 's/.*"fft_ms_per_step": \([0-9.]*\).*/\1/p' "$PR7_BASELINE")
+pr7_cur_step=$(sed -n 's/.*"step_ms_median": \([0-9.]*\).*/\1/p' "$OUT/pm_step_current.json")
+pr7_cur_fft=$(sed -n 's/.*"fft_ms_per_step": \([0-9.]*\).*/\1/p' "$OUT/pm_step_current.json")
+pr7_cur_cic=$(sed -n 's/.*"cic_ms_per_step": \([0-9.]*\).*/\1/p' "$OUT/pm_step_current.json")
+pm_speedup=$(awk -v b="$pr7_base_step" -v c="$pr7_cur_step" 'BEGIN { printf "%.3f", b / c }')
+fft_speedup=$(awk -v b="$pr7_base_fft" -v c="$pr7_cur_fft" 'BEGIN { printf "%.3f", b / c }')
+
+{
+  echo '{'
+  echo '  "baseline":'
+  sed 's/^/  /' "$PR7_BASELINE" | sed '$ s/$/,/'
+  echo '  "current":'
+  sed 's/^/  /' "$OUT/pm_step_current.json" | sed '$ s/$/,/'
+  echo "  \"speedup_step_median\": $pm_speedup,"
+  echo "  \"speedup_fft\": $fft_speedup,"
+  echo "  \"cic_ms_per_step\": $pr7_cur_cic,"
+  echo "  \"min_required\": $MIN_PM_SPEEDUP,"
+  echo '  "pencil_overlap":'
+  sed 's/^/  /' "$OUT/pencil_overlap.json"
+  echo '}'
+} > "$OUT/BENCH_pr7.json"
+
+echo "==> wrote $OUT/BENCH_pr7.json"
+echo "    baseline step: ${pr7_base_step} ms, current step: ${pr7_cur_step} ms, speedup: ${pm_speedup}x"
+echo "    baseline fft:  ${pr7_base_fft} ms, current fft:  ${pr7_cur_fft} ms, speedup: ${fft_speedup}x"
+
+awk -v s="$pm_speedup" -v m="$MIN_PM_SPEEDUP" 'BEGIN { exit !(s >= m) }' || {
+  echo "FAIL: pm_step speedup ${pm_speedup}x is below the required ${MIN_PM_SPEEDUP}x" >&2
+  exit 1
+}
+awk -v s="$fft_speedup" -v m="$MIN_PM_SPEEDUP" 'BEGIN { exit !(s >= m) }' || {
+  echo "FAIL: FFT-phase speedup ${fft_speedup}x is below the required ${MIN_PM_SPEEDUP}x" >&2
+  exit 1
+}
+echo "==> PASS: pm_step ${pm_speedup}x and FFT ${fft_speedup}x >= ${MIN_PM_SPEEDUP}x"

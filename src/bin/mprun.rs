@@ -23,6 +23,11 @@
 //!   until the victim dies, then verify a receive from the dead rank
 //!   fails with `RankFailed` (not a hang) and record how long detection
 //!   took.
+//! - `pencil` — distributed-FFT determinism over real sockets: four
+//!   processes run the r2c pencil transform under both the blocking and
+//!   the overlapped transpose schedule, assert the spectra and
+//!   roundtrips are bitwise identical, and write a per-rank spectrum
+//!   hash so the harness can compare against an in-process run.
 //!
 //! ```text
 //! hacc-mprun --ranks 4 --scenario sim --kill 1@3 --seed 9 --out out/mprun
@@ -76,7 +81,7 @@ fn parse_args() -> Options {
             "--out" => opts.out = PathBuf::from(value("--out")),
             "--help" | "-h" => {
                 println!(
-                    "usage: hacc-mprun [--ranks N] [--scenario sim|barrier] \
+                    "usage: hacc-mprun [--ranks N] [--scenario sim|barrier|pencil] \
                      [--seed S] [--kill RANK@STEP] [--out DIR]"
                 );
                 std::process::exit(0);
@@ -202,6 +207,7 @@ fn child_main() {
     match scenario.as_str() {
         "sim" => child_sim(&comm, replacement, &out),
         "barrier" => child_barrier(&comm, &out),
+        "pencil" => child_pencil(&comm, &out),
         other => panic!("unknown scenario {other}"),
     }
     comm.shutdown();
@@ -284,4 +290,65 @@ fn child_barrier(comm: &Comm, out: &Path) {
         }
     }
     panic!("barrier scenario: no failure observed in 1000 epochs");
+}
+
+/// Deterministic grid value at a global linear index; duplicated in
+/// `tests/multiprocess.rs` so the in-process reference run feeds the
+/// exact same field (splitmix-style bit mix, mapped to [-0.5, 0.5)).
+fn pencil_grid_val(i: u64) -> f64 {
+    let mut s = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    s ^= s >> 30;
+    s = s.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    s ^= s >> 27;
+    (s as f64 / u64::MAX as f64) - 0.5
+}
+
+fn fnv(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+/// Distributed-FFT determinism over sockets: blocking and overlapped
+/// transpose schedules must agree bit for bit on spectra and roundtrips
+/// even when every exchange crosses a real TCP link.
+fn child_pencil(comm: &Comm, out: &Path) {
+    use hacc::fft::{DistRealFft3, RealPencilFft, TransposeSchedule};
+
+    assert_eq!(comm.size(), 4, "pencil scenario is wired for 4 ranks");
+    let n = 16usize;
+    let mut fft = RealPencilFft::with_grid(comm, n, 2, 2);
+    let rl = fft.real_layout();
+    let mut local = vec![0.0f64; rl.len()];
+    for (i, v) in local.iter_mut().enumerate() {
+        let g = rl.global_coords(i);
+        *v = pencil_grid_val(((g[0] * n + g[1]) * n + g[2]) as u64);
+    }
+
+    fft.set_schedule(TransposeSchedule::Blocking);
+    let kb = fft.forward(local.clone());
+    let bb = fft.backward(kb.clone());
+    fft.set_schedule(TransposeSchedule::Overlapped { chunks: 3 });
+    let ko = fft.forward(local.clone());
+    let bo = fft.backward(ko.clone());
+
+    let identical = kb
+        .iter()
+        .zip(&ko)
+        .all(|(a, b)| a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits())
+        && bb.iter().zip(&bo).all(|(a, b)| a.to_bits() == b.to_bits());
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for c in &kb {
+        h = fnv(h, c.re.to_bits());
+        h = fnv(h, c.im.to_bits());
+    }
+
+    let rank = comm.rank();
+    std::fs::write(
+        out.join(format!("pencil_rank{rank}.json")),
+        format!(
+            "{{\"rank\":{rank},\"identical\":{},\"k_hash\":{h}}}\n",
+            u64::from(identical)
+        ),
+    )
+    .expect("pencil artifact");
+    comm.barrier();
 }

@@ -127,6 +127,47 @@ fn steady_state_step_allocates_nothing() {
     assert_steady_state_alloc_free("pm", 1);
 }
 
+/// The serial FFT stack underneath the PM solve — split-radix twiddle
+/// tables, batch-major tile panels and batched line scratch — must also
+/// be alloc-free once warm: tables are built by `Fft1d::new` at plan
+/// time and every pass buffer comes from the plan's `BufPool`. Checked
+/// at a power-of-two and a mixed-radix (2·3·5) grid so the radix-4,
+/// radix-2, radix-3 and radix-5 stage paths all run.
+#[test]
+fn steady_state_serial_fft_allocates_nothing() {
+    use hacc::fft::{Complex64, Fft3, RealFft3};
+
+    let _guard = TEST_LOCK.lock().expect("test lock");
+    for n in [16usize, 30] {
+        let c2c = Fft3::new_cubic(n);
+        let r2c = RealFft3::new_cubic(n);
+        let nzh = n / 2 + 1;
+        let mut grid: Vec<Complex64> = (0..n * n * n)
+            .map(|i| Complex64::new(i as f64, (i % 7) as f64))
+            .collect();
+        let real: Vec<f64> = (0..n * n * n).map(|i| (i % 13) as f64).collect();
+        let mut spec = vec![Complex64::ZERO; n * n * nzh];
+        let mut back = vec![0.0f64; n * n * n];
+
+        // Warm-up fills the buffer pools.
+        c2c.forward(&mut grid);
+        c2c.backward(&mut grid);
+        r2c.forward(&real, &mut spec);
+        r2c.backward(&mut spec, &mut back);
+
+        ALLOCS.store(0, Ordering::SeqCst);
+        ARMED.store(true, Ordering::SeqCst);
+        c2c.forward(&mut grid);
+        c2c.backward(&mut grid);
+        r2c.forward(&real, &mut spec);
+        r2c.backward(&mut spec, &mut back);
+        ARMED.store(false, Ordering::SeqCst);
+
+        let made = ALLOCS.load(Ordering::SeqCst);
+        assert_eq!(made, 0, "warm n={n} serial FFTs made {made} allocations");
+    }
+}
+
 /// The chaining-mesh (P³M) short-range path: counting-sort bins, leased
 /// gather buffers and the force accumulators all live in `StepScratch`
 /// / `P3mScratch`, so sub-cycled short-range steps are also free.

@@ -277,3 +277,76 @@ fn sigkilled_process_recovers_online_to_fault_free_trajectory() {
     let _ = std::fs::remove_dir_all(&dir_clean);
     let _ = std::fs::remove_dir_all(&out);
 }
+
+// -- distributed-FFT determinism over real sockets ---------------------
+
+/// Mirror of `pencil_grid_val` in src/bin/mprun.rs: the reference run
+/// must feed the socket children's exact field, bit for bit.
+fn pencil_grid_val(i: u64) -> f64 {
+    let mut s = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    s ^= s >> 30;
+    s = s.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    s ^= s >> 27;
+    (s as f64 / u64::MAX as f64) - 0.5
+}
+
+fn fnv(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+/// The overlapped (chunked, compute/communication-pipelined) transpose
+/// schedule must be bitwise identical to the blocking one when every
+/// exchange crosses a real TCP link — and the socket run's spectra must
+/// be bitwise identical to an in-process run of the same field. Each
+/// child asserts blocking==overlapped locally and writes an FNV hash of
+/// its blocking-schedule spectrum; here we recompute those hashes with
+/// the in-process `Machine` and demand equality per rank.
+#[test]
+fn pencil_schedules_bitwise_identical_over_sockets() {
+    use hacc::comm::Machine;
+    use hacc::fft::{DistRealFft3, RealPencilFft, TransposeSchedule};
+
+    const RANKS: usize = 4;
+    const N: usize = 16;
+    let out = scratch("pencil");
+    let status = Command::new(MPRUN)
+        .args(["--ranks", "4", "--scenario", "pencil", "--out"])
+        .arg(&out)
+        .status()
+        .expect("launch mprun");
+    assert!(status.success(), "mprun pencil run failed: {status:?}");
+
+    // In-process reference: same field, blocking schedule.
+    let (hashes, _) = Machine::new(RANKS).run(|comm| {
+        let mut fft = RealPencilFft::with_grid(&comm, N, 2, 2);
+        fft.set_schedule(TransposeSchedule::Blocking);
+        let rl = fft.real_layout();
+        let mut local = vec![0.0f64; rl.len()];
+        for (i, v) in local.iter_mut().enumerate() {
+            let g = rl.global_coords(i);
+            *v = pencil_grid_val(((g[0] * N + g[1]) * N + g[2]) as u64);
+        }
+        let k = fft.forward(local);
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for c in &k {
+            h = fnv(h, c.re.to_bits());
+            h = fnv(h, c.im.to_bits());
+        }
+        (comm.rank(), h)
+    });
+
+    for &(rank, want) in &hashes {
+        let body = read_json(&out.join(format!("pencil_rank{rank}.json")));
+        assert_eq!(
+            json_u64(&body, "identical"),
+            1,
+            "rank {rank}: blocking vs overlapped differed over sockets: {body}"
+        );
+        assert_eq!(
+            json_u64(&body, "k_hash"),
+            want,
+            "rank {rank}: socket spectrum differs from in-process run: {body}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&out);
+}
