@@ -36,7 +36,7 @@
 
 use std::time::Duration;
 
-use crate::sync::{AtomicBool, AtomicU64, Condvar, Instant, Mutex, Ordering};
+use crate::sync::{AtomicBool, AtomicU64, Condvar, Instant, LockRank, Mutex, Ordering};
 use crate::CommError;
 
 /// Tuning for the failure detector.
@@ -73,7 +73,7 @@ impl Default for HeartbeatConfig {
 }
 
 /// Where a rank is in its lifecycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RankStatus {
     /// Alive as far as the detector knows.
     Healthy,
@@ -144,7 +144,7 @@ impl HealthState {
         let enabled = cfg.is_some();
         HealthState {
             ticks: (0..ranks).map(|_| AtomicU64::new(0)).collect(),
-            state: Mutex::new(vec![FRESH; ranks]),
+            state: Mutex::new(LockRank::Health, vec![FRESH; ranks]),
             signal: Condvar::new(),
             cfg: cfg.unwrap_or_default(),
             enabled,
@@ -181,7 +181,7 @@ impl HealthState {
             return RankStatus::Healthy;
         }
         self.ticks[rank].fetch_add(1, Ordering::Relaxed);
-        let mut st = self.state.lock();
+        let mut st = self.state.lock(LockRank::Health);
         let h = &mut st[rank];
         match h.status {
             // Fenced: a heartbeat arriving after the declaration cannot
@@ -203,7 +203,7 @@ impl HealthState {
     /// One monitor pass over all ranks; returns the ranks *newly*
     /// declared `Failed` this scan as `(rank, last completed epoch)`.
     pub fn scan(&self) -> Vec<(usize, u64)> {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock(LockRank::Health);
         let max_epoch = st.iter().map(|h| h.epoch).max().unwrap_or(0);
         let mut newly = Vec::new();
         for (rank, tick) in self.ticks.iter().enumerate() {
@@ -257,7 +257,7 @@ impl HealthState {
     /// Current lifecycle status of `rank`.
     #[must_use]
     pub fn status(&self, rank: usize) -> RankStatus {
-        self.state.lock()[rank].status
+        self.state.lock(LockRank::Health)[rank].status
     }
 
     /// Every rank currently dead (`Failed` or `Rebuilding`) with the
@@ -268,7 +268,7 @@ impl HealthState {
     #[must_use]
     pub fn dead_set(&self) -> Vec<(usize, u64)> {
         self.state
-            .lock()
+            .lock(LockRank::Health)
             .iter()
             .enumerate()
             .filter(|(_, h)| matches!(h.status, RankStatus::Failed | RankStatus::Rebuilding))
@@ -283,7 +283,7 @@ impl HealthState {
         if !self.enabled {
             return None;
         }
-        let st = self.state.lock();
+        let st = self.state.lock(LockRank::Health);
         match st[rank].status {
             RankStatus::Failed => Some(st[rank].failed_epoch),
             _ => None,
@@ -303,7 +303,7 @@ impl HealthState {
     ) -> Result<EpochReport, CommError> {
         let start = Instant::now();
         let deadline = start + self.cfg.sync_timeout;
-        let mut st = self.state.lock();
+        let mut st = self.state.lock(LockRank::Health);
         loop {
             // SeqCst pairs with `Shared::poison`, which takes this lock
             // before notifying — either this check sees the flag or the
@@ -354,7 +354,7 @@ impl HealthState {
     pub(crate) fn await_failed(&self, rank: usize, poisoned: &AtomicBool) -> Result<u64, CommError> {
         let start = Instant::now();
         let deadline = start + self.cfg.sync_timeout;
-        let mut st = self.state.lock();
+        let mut st = self.state.lock(LockRank::Health);
         loop {
             if poisoned.load(Ordering::SeqCst) {
                 return Err(CommError::Poisoned);
@@ -395,7 +395,7 @@ impl HealthState {
     ) -> Result<(), CommError> {
         let start = Instant::now();
         let deadline = start + self.cfg.sync_timeout;
-        let mut st = self.state.lock();
+        let mut st = self.state.lock(LockRank::Health);
         loop {
             if poisoned.load(Ordering::SeqCst) {
                 return Err(CommError::Poisoned);
@@ -428,7 +428,7 @@ impl HealthState {
             return;
         }
         {
-            let mut st = self.state.lock();
+            let mut st = self.state.lock(LockRank::Health);
             let h = &mut st[rank];
             h.status = RankStatus::Healthy;
             h.stale_scans = 0;
@@ -444,7 +444,7 @@ impl HealthState {
 
     /// Wake all detector waiters (poison path).
     pub(crate) fn wake(&self) {
-        let _guard = self.state.lock();
+        let _guard = self.state.lock(LockRank::Health);
         self.signal.notify_all();
     }
 }

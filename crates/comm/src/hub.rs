@@ -20,13 +20,15 @@
 //!   in-process recovery stack uses.
 
 use crate::fault::FaultPlan;
-use crate::health::{HealthState, HeartbeatConfig, RankStatus};
-use crate::socket::rank_status_name;
+use crate::health::{HealthState, HeartbeatConfig};
+use crate::protocol::{
+    self, status_name, ClientLine, ControlEvent, ControlLine,
+};
+use crate::sync::{LockRank, Mutex};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::process::Child;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Launcher configuration for one multi-process world.
@@ -97,13 +99,20 @@ struct ChildSlot {
     hub_killed: bool,
 }
 
+/// Lock order (see [`crate::sync`]): `HubChildren` → `HubLedger` →
+/// `HubClients` → `HubReport` → `HubSpawn`, with the shared-leaf
+/// `Health` lock last. The deepest real nestings are `welcome_block`
+/// (`HubLedger → HubClients → Health`) and the reaper
+/// (`HubChildren → HubReport`).
 struct HubState {
     opts: HubOptions,
     health: HealthState,
     clients: Vec<Mutex<Option<ClientConn>>>,
     children: Mutex<Vec<ChildSlot>>,
     /// Hub-side epoch/failure ledger (`HealthState` keeps its own copy
-    /// private; the hub needs it for `STATE` snapshot lines).
+    /// private; the hub needs it for `STATE` snapshot lines). Mutated
+    /// only through the pure FSM helpers in [`crate::protocol`]
+    /// (`hub_beat_outcome`, `hub_declare`, `hub_recover`).
     ledger: Mutex<Vec<(u64, u64)>>, // (epoch, failed_epoch)
     report: Mutex<HubReport>,
     shutdown: AtomicBool,
@@ -113,12 +122,18 @@ impl HubState {
     /// Write one line to rank `dst`'s control stream (best effort — a
     /// dead child's stream just errors and is dropped).
     fn send_to(&self, dst: usize, line: &str) {
-        let mut slot = self.clients[dst].lock().expect("client lock");
+        let mut slot = self.clients[dst].lock(LockRank::HubClients);
         if let Some(conn) = slot.as_mut() {
             if writeln!(&mut conn.stream, "{line}").is_err() {
                 *slot = None;
             }
         }
+    }
+
+    /// Broadcast one detector event to every child, via the shared
+    /// renderer the children's parser round-trips with.
+    fn broadcast_event(&self, ev: ControlEvent) {
+        self.broadcast(&ControlLine::Event(ev).render());
     }
 
     fn broadcast(&self, line: &str) {
@@ -138,9 +153,10 @@ impl HubState {
             hb.scan_interval.as_millis(),
             hb.sync_timeout.as_millis(),
         );
-        let ledger = self.ledger.lock().expect("ledger lock");
+        // Lock order: HubLedger → HubClients → Health (see crate::sync).
+        let ledger = self.ledger.lock(LockRank::HubLedger);
         for rank in 0..self.opts.ranks {
-            let client = self.clients[rank].lock().expect("client lock");
+            let client = self.clients[rank].lock(LockRank::HubClients);
             if let Some(conn) = client.as_ref() {
                 out.push_str(&format!(
                     "PEER {rank} {} {}\n",
@@ -150,7 +166,7 @@ impl HubState {
             let (epoch, failed_epoch) = ledger[rank];
             out.push_str(&format!(
                 "STATE {rank} {} {epoch} {failed_epoch}\n",
-                rank_status_name(self.health.status(rank))
+                status_name(self.health.status(rank))
             ));
         }
         out.push_str("READY\n");
@@ -159,7 +175,7 @@ impl HubState {
 
     /// SIGKILL rank `rank`'s current child (the fault plan fired).
     fn kill_child(&self, rank: usize, step: u64) {
-        let mut children = self.children.lock().expect("children lock");
+        let mut children = self.children.lock(LockRank::HubChildren);
         let slot = &mut children[rank];
         if let Some(child) = slot.child.as_mut() {
             let _ = child.kill();
@@ -169,11 +185,7 @@ impl HubState {
             slot.child = None;
         }
         drop(children);
-        self.report
-            .lock()
-            .expect("report lock")
-            .killed
-            .push((rank, step));
+        self.report.lock(LockRank::HubReport).killed.push((rank, step));
     }
 
     /// Serve one child's control stream until EOF. `incarnation` is the
@@ -184,10 +196,8 @@ impl HubState {
             let Ok(line) = line else { break };
             // Any control traffic is proof of life.
             self.health.tick(rank);
-            let mut it = line.split_whitespace();
-            match it.next() {
-                Some("BEAT") => {
-                    let epoch: u64 = it.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+            match ClientLine::parse(&line) {
+                Some(ClientLine::Beat { epoch }) => {
                     if self.opts.plan.should_kill(rank, epoch) {
                         // The scheduled death: a real SIGKILL in place
                         // of the ack. The victim never proceeds into
@@ -197,45 +207,49 @@ impl HubState {
                         return;
                     }
                     let status = self.health.beat(rank, epoch);
-                    self.send_to(rank, &format!("BEATACK {}", rank_status_name(status)));
-                    if status == RankStatus::Healthy {
-                        self.ledger.lock().expect("ledger lock")[rank].0 = epoch;
-                        self.broadcast(&format!("EPOCH {rank} {epoch}"));
+                    let (ack, announce) = {
+                        let mut ledger = self.ledger.lock(LockRank::HubLedger);
+                        protocol::hub_beat_outcome(&mut ledger, rank, epoch, status)
+                    };
+                    self.send_to(rank, &ack.render());
+                    if let Some(ev) = announce {
+                        self.broadcast_event(ev);
                     }
                 }
-                Some("TICK") => {}
-                Some("AWAITFAILED") => {
+                Some(ClientLine::Tick) => {}
+                Some(ClientLine::AwaitFailed) => {
                     match self.health.await_failed(rank, &self.shutdown) {
                         Ok(epoch) => {
-                            self.broadcast(&format!("REBUILDING {rank}"));
-                            self.send_to(rank, &format!("FAILEDEPOCH {epoch}"));
+                            self.broadcast_event(ControlEvent::Rebuilding { rank });
+                            self.send_to(rank, &ControlLine::FailedEpoch(epoch).render());
                         }
                         Err(_) => {
                             // Shutdown or a detector that never declared
                             // this rank: the replacement cannot proceed.
-                            self.broadcast("POISON");
+                            self.broadcast(&ControlLine::Poison.render());
                             return;
                         }
                     }
                 }
-                Some("RECOVERED") => {
-                    let epoch: u64 = it.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+                Some(ClientLine::Recovered { epoch }) => {
                     self.health.mark_recovered(rank, epoch);
-                    self.ledger.lock().expect("ledger lock")[rank].0 = epoch;
-                    self.broadcast(&format!("RECOVERED {rank} {epoch}"));
+                    let ev = {
+                        let mut ledger = self.ledger.lock(LockRank::HubLedger);
+                        protocol::hub_recover(&mut ledger, rank, epoch)
+                    };
+                    self.broadcast_event(ev);
                 }
-                Some("POISONED") => {
+                Some(ClientLine::Poisoned) => {
                     // A child panicked: poison the world like the
                     // in-process machine does.
-                    self.broadcast("POISON");
+                    self.broadcast(&ControlLine::Poison.render());
                 }
-                Some("GOODBYE") => return,
-                _ => {}
+                Some(ClientLine::Goodbye) => return,
+                None => {}
             }
             // A replacement stream supersedes this reader.
             let current = self.clients[rank]
-                .lock()
-                .expect("client lock")
+                .lock(LockRank::HubClients)
                 .as_ref()
                 .map(|c| c.incarnation);
             if current != Some(incarnation) {
@@ -333,16 +347,18 @@ pub fn run(
 
     let state = HubState {
         health: HealthState::new(ranks, Some(opts.heartbeat)),
-        clients: (0..ranks).map(|_| Mutex::new(None)).collect(),
-        children: Mutex::new(Vec::new()),
-        ledger: Mutex::new(vec![(0, 0); ranks]),
-        report: Mutex::new(HubReport::default()),
+        clients: (0..ranks)
+            .map(|_| Mutex::new(LockRank::HubClients, None))
+            .collect(),
+        children: Mutex::new(LockRank::HubChildren, Vec::new()),
+        ledger: Mutex::new(LockRank::HubLedger, vec![(0, 0); ranks]),
+        report: Mutex::new(LockRank::HubReport, HubReport::default()),
         shutdown: AtomicBool::new(false),
         opts,
     };
 
     {
-        let mut children = state.children.lock().expect("children lock");
+        let mut children = state.children.lock(LockRank::HubChildren);
         for rank in 0..ranks {
             children.push(ChildSlot {
                 child: Some(spawn(rank, 0, &hub_addr)?),
@@ -352,7 +368,7 @@ pub fn run(
             });
         }
     }
-    let spawn = Mutex::new(spawn);
+    let spawn = Mutex::new(LockRank::HubSpawn, spawn);
 
     std::thread::scope(|scope| -> std::io::Result<()> {
         // Rendezvous barrier: collect every rank's HELLO before a single
@@ -370,8 +386,7 @@ pub fn run(
                 continue;
             }
             let fresh = state.clients[rank]
-                .lock()
-                .expect("client lock")
+                .lock(LockRank::HubClients)
                 .replace(ClientConn {
                     stream,
                     incarnation: inc,
@@ -403,7 +418,7 @@ pub fn run(
                         if rank >= accept_state.opts.ranks {
                             continue;
                         }
-                        *accept_state.clients[rank].lock().expect("client lock") =
+                        *accept_state.clients[rank].lock(LockRank::HubClients) =
                             Some(ClientConn {
                                 stream,
                                 incarnation: inc,
@@ -436,20 +451,22 @@ pub fn run(
             while !monitor_state.shutdown.load(Ordering::SeqCst) {
                 std::thread::sleep(interval);
                 for (rank, failed_epoch) in monitor_state.health.scan() {
-                    monitor_state.ledger.lock().expect("ledger lock")[rank].1 = failed_epoch;
+                    let ev = {
+                        let mut ledger = monitor_state.ledger.lock(LockRank::HubLedger);
+                        protocol::hub_declare(&mut ledger, rank, failed_epoch)
+                    };
                     monitor_state
                         .report
-                        .lock()
-                        .expect("report lock")
+                        .lock(LockRank::HubReport)
                         .declared
                         .push((rank, failed_epoch));
-                    monitor_state.broadcast(&format!("DECLARED {rank} {failed_epoch}"));
+                    monitor_state.broadcast_event(ev);
                     if !monitor_state.opts.respawn {
                         continue;
                     }
                     let incarnation = {
                         let mut children =
-                            monitor_state.children.lock().expect("children lock");
+                            monitor_state.children.lock(LockRank::HubChildren);
                         let slot = &mut children[rank];
                         // Reap a crash the hub didn't cause before the
                         // slot is reused.
@@ -460,7 +477,7 @@ pub fn run(
                         }
                         slot.incarnation + 1
                     };
-                    let child = spawn_cell.lock().expect("spawn lock")(
+                    let child = spawn_cell.lock(LockRank::HubSpawn)(
                         rank,
                         incarnation,
                         &hub_addr,
@@ -468,7 +485,7 @@ pub fn run(
                     match child {
                         Ok(child) => {
                             let mut children =
-                                monitor_state.children.lock().expect("children lock");
+                                monitor_state.children.lock(LockRank::HubChildren);
                             children[rank] = ChildSlot {
                                 child: Some(child),
                                 incarnation,
@@ -477,12 +494,11 @@ pub fn run(
                             };
                             monitor_state
                                 .report
-                                .lock()
-                                .expect("report lock")
+                                .lock(LockRank::HubReport)
                                 .respawned
                                 .push(rank);
                         }
-                        Err(_) => monitor_state.broadcast("POISON"),
+                        Err(_) => monitor_state.broadcast(&ControlLine::Poison.render()),
                     }
                 }
             }
@@ -493,7 +509,8 @@ pub fn run(
         loop {
             let mut all_done = true;
             {
-                let mut children = state.children.lock().expect("children lock");
+                // Lock order: HubChildren → HubReport (10 → 16).
+                let mut children = state.children.lock(LockRank::HubChildren);
                 for (rank, slot) in children.iter_mut().enumerate() {
                     if let Some(child) = slot.child.as_mut() {
                         match child.try_wait() {
@@ -504,8 +521,7 @@ pub fn run(
                                 if code != 0 && !slot.hub_killed {
                                     state
                                         .report
-                                        .lock()
-                                        .expect("report lock")
+                                        .lock(LockRank::HubReport)
                                         .exit_failures
                                         .push((rank, code));
                                 }
@@ -529,5 +545,5 @@ pub fn run(
         Ok(())
     })?;
 
-    Ok(state.report.into_inner().expect("report lock"))
+    Ok(state.report.into_inner())
 }

@@ -33,6 +33,7 @@ pub mod fault;
 pub mod health;
 #[cfg(not(loom))]
 pub mod hub;
+pub mod protocol;
 #[cfg(not(loom))]
 pub mod socket;
 pub mod stats;
@@ -48,7 +49,7 @@ pub use topology::{dims_create, CartComm};
 pub use transport::{Transport, WirePayload};
 pub use wire::WireMsg;
 
-use crate::sync::{Arc, AtomicBool, AtomicU64, Condvar, Instant, Mutex, Ordering};
+use crate::sync::{Arc, AtomicBool, AtomicU64, Condvar, Instant, LockRank, Mutex, Ordering};
 use std::any::Any;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::time::Duration;
@@ -310,10 +311,18 @@ impl MailState {
 }
 
 /// One rank's incoming mailbox.
-#[derive(Default)]
 struct Mailbox {
     state: Mutex<MailState>,
     signal: Condvar,
+}
+
+impl Default for Mailbox {
+    fn default() -> Self {
+        Mailbox {
+            state: Mutex::new(LockRank::ChannelMail, MailState::default()),
+            signal: Condvar::new(),
+        }
+    }
 }
 
 /// Fault-event counters (machine-wide).
@@ -391,10 +400,10 @@ impl Shared {
     /// after newer traffic was enqueued (creating the reordering the
     /// injection wants), before the rank blocks, and when it finishes.
     fn flush_holdback(&self, rank: usize) {
-        let held = std::mem::take(&mut *self.holdback[rank].lock());
+        let held = std::mem::take(&mut *self.holdback[rank].lock(LockRank::Holdback));
         for m in held {
             let mbox = &self.boxes[m.dst];
-            let mut st = mbox.state.lock();
+            let mut st = mbox.state.lock(LockRank::ChannelMail);
             st.deliver(&self.counters, m.key, m.seq, &m.wire, Some(m.payload));
             drop(st);
             mbox.signal.notify_all();
@@ -408,7 +417,7 @@ impl Shared {
     /// [`CommError::RankFailed`] instead of hanging.
     fn wake_all(&self) {
         for mbox in self.boxes.iter() {
-            let _guard = mbox.state.lock();
+            let _guard = mbox.state.lock(LockRank::ChannelMail);
             mbox.signal.notify_all();
         }
     }
@@ -474,7 +483,7 @@ impl Transport for Shared {
         }
         let key = (context, src, tag);
         let mbox = &self.boxes[dst];
-        let mut st = mbox.state.lock();
+        let mut st = mbox.state.lock(LockRank::ChannelMail);
         let seq = {
             let s = st.send_seq.entry(key).or_insert(0);
             let seq = *s;
@@ -498,6 +507,10 @@ impl Transport for Shared {
                 // The sequence number is consumed: the receiver sees a
                 // permanent gap and its watchdog names this message.
                 ctrs.dropped.fetch_add(1, Ordering::Relaxed);
+                // Release before the holdback flush below — this arm
+                // otherwise keeps the guard lexically alive across it,
+                // nesting ChannelMail → Holdback against the rank order.
+                drop(st);
             }
             FaultAction::Duplicate => {
                 ctrs.duplicated.fetch_add(1, Ordering::Relaxed);
@@ -514,7 +527,7 @@ impl Transport for Shared {
             FaultAction::Delay => {
                 ctrs.delayed.fetch_add(1, Ordering::Relaxed);
                 drop(st);
-                self.holdback[src].lock().push(Held {
+                self.holdback[src].lock(LockRank::Holdback).push(Held {
                     dst,
                     key,
                     seq,
@@ -552,7 +565,7 @@ impl Transport for Shared {
         let key = (context, src, tag);
         let start = Instant::now();
         let deadline = timeout.map(|t| start + t);
-        let mut st = mbox.state.lock();
+        let mut st = mbox.state.lock(LockRank::ChannelMail);
         loop {
             if let Some(q) = st.ready.get_mut(&key) {
                 if let Some(boxed) = q.pop_front() {
@@ -748,7 +761,8 @@ impl Machine {
         F: Fn(Comm) -> T + Sync,
     {
         let shared = self.make_shared();
-        let first_failure: Mutex<Option<(usize, String)>> = Mutex::new(None);
+        let first_failure: Mutex<Option<(usize, String)>> =
+            Mutex::new(LockRank::FirstFailure, None);
         // Rank threads count themselves out so the heartbeat monitor
         // (which must not keep `thread::scope` alive forever) knows when
         // to exit. SeqCst: gates the monitor's shutdown control flow.
@@ -800,7 +814,7 @@ impl Machine {
                             // see the payload, not the Box (which is itself
                             // `Any` and would shadow it via unsize coercion).
                             first_failure
-                                .lock()
+                                .lock(LockRank::FirstFailure)
                                 .get_or_insert_with(|| (rank, panic_message(&*payload)));
                             // Wake every blocked receiver so the machine
                             // shuts down instead of deadlocking.
@@ -842,7 +856,9 @@ impl Machine {
             plan: self.plan.clone(),
             watchdog: self.watchdog,
             counters: FaultCounters::default(),
-            holdback: (0..self.ranks).map(|_| Mutex::new(Vec::new())).collect(),
+            holdback: (0..self.ranks)
+                .map(|_| Mutex::new(LockRank::Holdback, Vec::new()))
+                .collect(),
             health: HealthState::new(self.ranks, self.heartbeat),
             next_context: AtomicU64::new(1),
         })

@@ -1,0 +1,927 @@
+//! Pure, I/O-free protocol state machines for the multi-process
+//! transport ([`crate::socket`]) and its launcher ([`crate::hub`]).
+//!
+//! Every *decision* the socket backend makes — whether a frame is
+//! accepted or condemns its link, what a reconnect purges, whether a
+//! blocked receive fails with `RankFailed` or `CorruptDetected`, how a
+//! hub broadcast mutates the local failure-detector mirror, which
+//! control line the hub emits for a beat — lives here as a pure
+//! function or small state machine over plain data. `socket.rs` and
+//! `hub.rs` are rewritten to *drive* these machines: they own the
+//! sockets, threads, and locks, but never re-implement the logic. The
+//! model-checking suite (`tests/protocol_models.rs`, built on
+//! `vendor/modelcheck`) explores exactly the same machines over
+//! adversarial event schedules, so the checked model and the shipping
+//! implementation cannot drift apart.
+//!
+//! The [`Mutations`] struct reintroduces the two bugs a human review
+//! caught in the original socket transport (lock-order inversion in the
+//! timeout diagnosis; condemnation outranking a hub death declaration)
+//! behind test-only flags. The live transport always passes
+//! [`Mutations::NONE`]; the model suite flips each flag and asserts the
+//! checker produces a counterexample — regression proof that the
+//! verification layer actually detects the bug class it was built for.
+//!
+//! Machine ↔ implementation map:
+//!
+//! | here | drives |
+//! |---|---|
+//! | [`LinkSession`] | `socket::LinkState` seq/incarnation handling (`register_link`, `write_frame`, `reader_loop`) |
+//! | [`recv_gate`] | the verdict loop in `SocketTransport::recv` |
+//! | [`send_route`] | the self-send / dead-drop / link split in `SocketTransport::send` |
+//! | [`apply_control`] + [`PeerView`] | `SocketTransport::control_loop`'s mirror updates |
+//! | [`epoch_gate`], [`rebirth_gate`], [`dead_set`] | `epoch_sync`, `await_rebirth`, `dead_set` |
+//! | [`ControlLine`], [`ClientLine`] | both wire directions of the control-line protocol (hub renders, child parses, and vice versa) |
+//! | [`hub_beat_outcome`], [`hub_declare`], [`hub_recover`] | the hub's ledger FSM in `serve_client` and the failure monitor |
+//! | [`locks`] | the lock-acquisition scripts checked by the lock-order model |
+
+use crate::RankStatus;
+
+/// Test-only mutation hooks: each flag reintroduces one historical bug
+/// so the model checker can demonstrate it finds that bug class. The
+/// live transport always uses [`Mutations::NONE`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Mutations {
+    /// Bug #1 (precedence): a condemned link reports
+    /// `CorruptDetected` even after the hub declared the peer dead,
+    /// and a `DECLARED` broadcast no longer lifts the condemnation —
+    /// survivors probing a corpse whose death tore a frame see
+    /// corruption instead of `RankFailed`.
+    pub corrupt_outranks_declared: bool,
+    /// Bug #2 (silent skip): sequence counters reset on *every*
+    /// reconnect instead of only for a replacement incarnation, so
+    /// frames lost in a dead connection's buffers vanish without a
+    /// sequence gap.
+    pub reset_seq_on_reconnect: bool,
+    /// Bug #3 (lock order): the receive-timeout diagnosis takes the
+    /// link lock while still holding the mailbox lock, inverting the
+    /// `Link → Mail` order `register_link` relies on.
+    pub diagnose_under_mailbox: bool,
+}
+
+impl Mutations {
+    /// The shipping configuration: no bugs.
+    pub const NONE: Mutations = Mutations {
+        corrupt_outranks_declared: false,
+        reset_seq_on_reconnect: false,
+        diagnose_under_mailbox: false,
+    };
+}
+
+// ---------------------------------------------------------------------
+// Link session: sequence numbers across reconnects and incarnations
+// ---------------------------------------------------------------------
+
+/// Per-peer sequence/incarnation state machine — the pure core of
+/// `socket::LinkState`. One lives on each side of a link; both sides
+/// advance it the same way, which is exactly what the frame-stream
+/// model exploits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct LinkSession {
+    /// Incarnation of the peer process this session is speaking to.
+    pub peer_incarnation: u64,
+    /// Next sequence number to stamp on an outbound frame. Monotonic
+    /// across reconnects of the same peer incarnation; reset only for
+    /// a replacement.
+    pub send_seq: u64,
+    /// Next sequence number expected inbound (same reset rule), so a
+    /// reconnect cannot silently swallow frames the dead connection
+    /// accepted but never delivered.
+    pub recv_seq: u64,
+}
+
+/// What a (re)registration must do besides installing the new stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegisterPlan {
+    /// A different incarnation took over: purge the dead incarnation's
+    /// outbound backlog and every inbound frame already queued from
+    /// this peer — none of it may leak into the replacement.
+    pub replacement: bool,
+    /// Clear the per-source condemnation flag. Always true: if frames
+    /// were really lost across the disconnect, the sequence check
+    /// re-condemns on the very next frame, so this can only heal a
+    /// link whose stream state is actually intact.
+    pub lift_condemnation: bool,
+}
+
+/// Verdict on one inbound frame.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FrameVerdict {
+    /// In-order frame from the right peer: deliver it.
+    Accept,
+    /// Structural failure: condemn the link, trust nothing after it.
+    Condemn(CondemnReason),
+}
+
+/// Why a frame condemned its link.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum CondemnReason {
+    /// The frame's self-declared source does not match the link it
+    /// arrived on.
+    BadSource { claimed: u32, link: usize },
+    /// Sequence gap: frames were lost (or reordered) in between.
+    SeqGap { expected: u64, got: u64 },
+}
+
+impl std::fmt::Display for CondemnReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CondemnReason::BadSource { claimed, link } => {
+                write!(f, "frame claims src {claimed} on the link from {link}")
+            }
+            CondemnReason::SeqGap { expected, got } => {
+                write!(f, "torn frame stream: expected seq #{expected}, got #{got}")
+            }
+        }
+    }
+}
+
+impl LinkSession {
+    /// A (re)connection for peer incarnation `incoming` is being
+    /// installed. Updates the sequence state and says what to purge.
+    pub fn register(&mut self, incoming: u64, m: &Mutations) -> RegisterPlan {
+        let replacement = incoming != self.peer_incarnation;
+        if replacement || m.reset_seq_on_reconnect {
+            // Mutated: resetting on a same-incarnation reconnect is
+            // bug #2 — any frame the dead connection lost is skipped
+            // without a gap, silently.
+            self.send_seq = 0;
+            self.recv_seq = 0;
+        }
+        self.peer_incarnation = incoming;
+        RegisterPlan {
+            replacement,
+            lift_condemnation: true,
+        }
+    }
+
+    /// Sequence number the next outbound frame must carry.
+    #[must_use]
+    pub fn next_send_seq(&self) -> u64 {
+        self.send_seq
+    }
+
+    /// The frame stamped [`next_send_seq`](Self::next_send_seq) made it
+    /// onto the wire (a failed write requeues without consuming a
+    /// number, so the retry after reconnect reuses it).
+    pub fn commit_send(&mut self) {
+        self.send_seq += 1;
+    }
+
+    /// Judge one inbound frame: source identity, then the sequence
+    /// check against the persistent counter.
+    pub fn accept_frame(&mut self, claimed_src: u32, link_src: usize, seq: u64) -> FrameVerdict {
+        if claimed_src as usize != link_src {
+            return FrameVerdict::Condemn(CondemnReason::BadSource {
+                claimed: claimed_src,
+                link: link_src,
+            });
+        }
+        if seq != self.recv_seq {
+            return FrameVerdict::Condemn(CondemnReason::SeqGap {
+                expected: self.recv_seq,
+                got: seq,
+            });
+        }
+        self.recv_seq += 1;
+        FrameVerdict::Accept
+    }
+}
+
+// ---------------------------------------------------------------------
+// Receive gate: the precedence order of everything recv can return
+// ---------------------------------------------------------------------
+
+/// What a blocked receive should do, in decided precedence order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RecvVerdict {
+    /// A matching payload is queued: deliver it (beats every error —
+    /// data that arrived intact before a failure is still good data).
+    Deliver,
+    /// The machine is poisoned (hub lost): fail everything.
+    Poisoned,
+    /// The hub declared the source dead. Outranks link-level
+    /// condemnation: a death that tore a frame still reads as a death.
+    RankFailed {
+        /// Last epoch the dead incarnation completed.
+        epoch: u64,
+    },
+    /// The source's link delivered a structurally bad frame and no
+    /// declaration explains it: fail loudly, never resync silently.
+    Corrupt,
+    /// Nothing decides yet: block (or time out).
+    Wait,
+}
+
+/// The single decision point of `SocketTransport::recv`: given what is
+/// known about the source, what does this receive do *right now*?
+///
+/// Precedence (the documented contract, checked by the precedence
+/// model): queued payload → poison → hub declaration → condemnation →
+/// wait. A self-probe (`probing_self`) skips the failure checks — a
+/// rank is never dead to itself.
+#[must_use]
+pub fn recv_gate(
+    queued: bool,
+    poisoned: bool,
+    probing_self: bool,
+    peer_status: RankStatus,
+    peer_failed_epoch: u64,
+    condemned: bool,
+    m: &Mutations,
+) -> RecvVerdict {
+    if queued {
+        return RecvVerdict::Deliver;
+    }
+    if poisoned {
+        return RecvVerdict::Poisoned;
+    }
+    if !probing_self {
+        if m.corrupt_outranks_declared {
+            // Mutated: bug #1 — checking the condemnation before the
+            // mirror lets a death that tore a frame masquerade as
+            // corruption forever.
+            if condemned {
+                return RecvVerdict::Corrupt;
+            }
+        }
+        if peer_status == RankStatus::Failed {
+            return RecvVerdict::RankFailed {
+                epoch: peer_failed_epoch,
+            };
+        }
+        if condemned {
+            return RecvVerdict::Corrupt;
+        }
+    }
+    RecvVerdict::Wait
+}
+
+/// Where an outbound message goes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SendRoute {
+    /// Self-send: straight into the local mailbox, no wire.
+    SelfDeliver,
+    /// The detector declared the destination dead: drop, so the
+    /// backlog cannot leak into a replacement. `Rebuilding` is NOT
+    /// dead — recovery collectives must reach the replacement.
+    DropDead,
+    /// Normal path: the peer link (write now or queue while down).
+    Link,
+}
+
+/// The routing decision at the top of `SocketTransport::send`.
+#[must_use]
+pub fn send_route(src: usize, dst: usize, dst_status: RankStatus) -> SendRoute {
+    if dst == src {
+        SendRoute::SelfDeliver
+    } else if dst_status == RankStatus::Failed {
+        SendRoute::DropDead
+    } else {
+        SendRoute::Link
+    }
+}
+
+// ---------------------------------------------------------------------
+// Detector mirror: hub broadcasts → local failure view
+// ---------------------------------------------------------------------
+
+/// One rank's entry in the child-side replica of the hub's detector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PeerView {
+    pub status: RankStatus,
+    /// Highest epoch this rank is known to have completed.
+    pub epoch: u64,
+    /// Last epoch completed before its (latest) declared death.
+    pub failed_epoch: u64,
+}
+
+impl PeerView {
+    /// A healthy rank that has completed nothing yet.
+    pub const INITIAL: PeerView = PeerView {
+        status: RankStatus::Healthy,
+        epoch: 0,
+        failed_epoch: 0,
+    };
+}
+
+/// A hub state broadcast (the mirror-mutating subset of
+/// [`ControlLine`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ControlEvent {
+    /// `EPOCH r e`: rank `r` completed epoch `e` (healthy beat).
+    Epoch { rank: usize, epoch: u64 },
+    /// `DECLARED r e`: the detector declared `r` dead; `e` is the last
+    /// epoch its dead incarnation completed.
+    Declared { rank: usize, failed_epoch: u64 },
+    /// `REBUILDING r`: `r`'s replacement started recovery.
+    Rebuilding { rank: usize },
+    /// `RECOVERED r e`: `r` rejoined at epoch `e`.
+    Recovered { rank: usize, epoch: u64 },
+}
+
+/// Side effect a mirror update demands outside the mirror itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MirrorEffect {
+    None,
+    /// The hub's declaration outranks any condemnation the death's
+    /// torn streams caused: clear the per-source corrupt flag so
+    /// survivors probing the corpse get `RankFailed`, and the
+    /// replacement does not inherit the flag.
+    LiftCondemnation { rank: usize },
+}
+
+/// Apply one hub broadcast to the local mirror. Pure: the caller owns
+/// the locking and performs the returned [`MirrorEffect`].
+pub fn apply_control(view: &mut [PeerView], ev: ControlEvent, m: &Mutations) -> MirrorEffect {
+    match ev {
+        ControlEvent::Epoch { rank, epoch } => {
+            if let Some(p) = view.get_mut(rank) {
+                if epoch > p.epoch {
+                    p.epoch = epoch;
+                }
+            }
+            MirrorEffect::None
+        }
+        ControlEvent::Declared { rank, failed_epoch } => {
+            let Some(p) = view.get_mut(rank) else {
+                return MirrorEffect::None;
+            };
+            p.status = RankStatus::Failed;
+            p.failed_epoch = failed_epoch;
+            if m.corrupt_outranks_declared {
+                // Mutated: bug #1's second half — the declaration no
+                // longer heals the condemnation.
+                MirrorEffect::None
+            } else {
+                MirrorEffect::LiftCondemnation { rank }
+            }
+        }
+        ControlEvent::Rebuilding { rank } => {
+            if let Some(p) = view.get_mut(rank) {
+                if p.status == RankStatus::Failed {
+                    p.status = RankStatus::Rebuilding;
+                }
+            }
+            MirrorEffect::None
+        }
+        ControlEvent::Recovered { rank, epoch } => {
+            if let Some(p) = view.get_mut(rank) {
+                p.status = RankStatus::Healthy;
+                if epoch > p.epoch {
+                    p.epoch = epoch;
+                }
+            }
+            MirrorEffect::None
+        }
+    }
+}
+
+/// The dead set a transport reports: every rank currently `Failed` or
+/// `Rebuilding`, with the last epoch its dead incarnation completed.
+#[must_use]
+pub fn dead_set(view: &[PeerView]) -> Vec<(usize, u64)> {
+    view.iter()
+        .enumerate()
+        .filter(|(_, p)| matches!(p.status, RankStatus::Failed | RankStatus::Rebuilding))
+        .map(|(r, p)| (r, p.failed_epoch))
+        .collect()
+}
+
+/// Outcome of one `epoch_sync` poll of the mirror.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EpochGate {
+    /// Every rank has either reached `epoch` or been declared:
+    /// proceed, reporting the casualties.
+    Ready { failed: Vec<(usize, u64)> },
+    /// `rank` has neither beaten `epoch` nor been declared — keep
+    /// waiting on the mirror.
+    Waiting { rank: usize },
+}
+
+/// Decide whether epoch `epoch` is globally complete from `me`'s
+/// mirror. A rank's own healthy entry passes even if its `EPOCH` echo
+/// is still in flight — its beat-ack already proved it.
+#[must_use]
+pub fn epoch_gate(view: &[PeerView], me: usize, epoch: u64) -> EpochGate {
+    let mut failed = Vec::new();
+    for (rank, p) in view.iter().enumerate() {
+        if p.epoch >= epoch || rank == me && p.status == RankStatus::Healthy {
+            continue;
+        }
+        match p.status {
+            RankStatus::Failed | RankStatus::Rebuilding => {
+                failed.push((rank, p.failed_epoch));
+            }
+            RankStatus::Healthy | RankStatus::Suspected => {
+                return EpochGate::Waiting { rank };
+            }
+        }
+    }
+    EpochGate::Ready { failed }
+}
+
+/// Which of `failed` is still `Failed` (not yet `Rebuilding` or
+/// better)? `await_rebirth` blocks while this returns `Some`.
+#[must_use]
+pub fn rebirth_gate(view: &[PeerView], failed: &[usize]) -> Option<usize> {
+    failed
+        .iter()
+        .copied()
+        .find(|&r| view.get(r).is_some_and(|p| p.status == RankStatus::Failed))
+}
+
+// ---------------------------------------------------------------------
+// Wire control lines: one renderer/parser pair per direction
+// ---------------------------------------------------------------------
+
+/// Human-readable status token used on the control wire.
+#[must_use]
+pub fn status_name(s: RankStatus) -> &'static str {
+    match s {
+        RankStatus::Healthy => "healthy",
+        RankStatus::Suspected => "suspected",
+        RankStatus::Failed => "failed",
+        RankStatus::Rebuilding => "rebuilding",
+    }
+}
+
+/// Inverse of [`status_name`]; unknown tokens read as healthy (the
+/// conservative default for a line the hub never sends).
+#[must_use]
+pub fn parse_status(s: &str) -> RankStatus {
+    match s {
+        "suspected" => RankStatus::Suspected,
+        "failed" => RankStatus::Failed,
+        "rebuilding" => RankStatus::Rebuilding,
+        _ => RankStatus::Healthy,
+    }
+}
+
+fn parse_arg(v: Option<&str>) -> Option<u64> {
+    v.and_then(|s| s.parse().ok())
+}
+
+/// Hub → child control line. The hub renders these; the child's
+/// control loop parses them — one definition, zero format drift.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ControlLine {
+    /// Reply to `BEAT`: the beating rank's own status.
+    BeatAck(RankStatus),
+    /// Reply to `AWAITFAILED`: last epoch the dead incarnation finished.
+    FailedEpoch(u64),
+    /// A broadcast state change every child mirrors.
+    Event(ControlEvent),
+    /// The world is over; fail every blocked wait.
+    Poison,
+}
+
+impl ControlLine {
+    /// Render the wire form (no trailing newline).
+    #[must_use]
+    pub fn render(&self) -> String {
+        match self {
+            ControlLine::BeatAck(status) => format!("BEATACK {}", status_name(*status)),
+            ControlLine::FailedEpoch(epoch) => format!("FAILEDEPOCH {epoch}"),
+            ControlLine::Event(ControlEvent::Epoch { rank, epoch }) => {
+                format!("EPOCH {rank} {epoch}")
+            }
+            ControlLine::Event(ControlEvent::Declared { rank, failed_epoch }) => {
+                format!("DECLARED {rank} {failed_epoch}")
+            }
+            ControlLine::Event(ControlEvent::Rebuilding { rank }) => format!("REBUILDING {rank}"),
+            ControlLine::Event(ControlEvent::Recovered { rank, epoch }) => {
+                format!("RECOVERED {rank} {epoch}")
+            }
+            ControlLine::Poison => "POISON".to_string(),
+        }
+    }
+
+    /// Parse one line off the control stream; `None` for anything
+    /// unrecognized (ignored, per the line protocol's forward-compat
+    /// rule).
+    #[must_use]
+    pub fn parse(line: &str) -> Option<ControlLine> {
+        let mut it = line.split_whitespace();
+        match it.next()? {
+            "BEATACK" => Some(ControlLine::BeatAck(parse_status(it.next().unwrap_or("")))),
+            "FAILEDEPOCH" => Some(ControlLine::FailedEpoch(
+                parse_arg(it.next()).unwrap_or(0),
+            )),
+            "EPOCH" => {
+                let (rank, epoch) = (parse_arg(it.next())?, parse_arg(it.next())?);
+                Some(ControlLine::Event(ControlEvent::Epoch {
+                    rank: rank as usize,
+                    epoch,
+                }))
+            }
+            "DECLARED" => {
+                let (rank, failed_epoch) = (parse_arg(it.next())?, parse_arg(it.next())?);
+                Some(ControlLine::Event(ControlEvent::Declared {
+                    rank: rank as usize,
+                    failed_epoch,
+                }))
+            }
+            "REBUILDING" => {
+                let rank = parse_arg(it.next())?;
+                Some(ControlLine::Event(ControlEvent::Rebuilding {
+                    rank: rank as usize,
+                }))
+            }
+            "RECOVERED" => {
+                let (rank, epoch) = (parse_arg(it.next())?, parse_arg(it.next())?);
+                Some(ControlLine::Event(ControlEvent::Recovered {
+                    rank: rank as usize,
+                    epoch,
+                }))
+            }
+            "POISON" => Some(ControlLine::Poison),
+            _ => None,
+        }
+    }
+}
+
+/// Child → hub control line (everything after the `HELLO` handshake).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientLine {
+    /// `BEAT e`: about to enter epoch `e` (the detector heartbeat).
+    Beat { epoch: u64 },
+    /// Idle keep-alive proving the process is scheduled.
+    Tick,
+    /// A replacement asks for its predecessor's last epoch.
+    AwaitFailed,
+    /// Recovery collectives finished; rejoin at `epoch`.
+    Recovered { epoch: u64 },
+    /// The child panicked; poison the world.
+    Poisoned,
+    /// Clean shutdown.
+    Goodbye,
+}
+
+impl ClientLine {
+    /// Render the wire form (no trailing newline).
+    #[must_use]
+    pub fn render(&self) -> String {
+        match self {
+            ClientLine::Beat { epoch } => format!("BEAT {epoch}"),
+            ClientLine::Tick => "TICK".to_string(),
+            ClientLine::AwaitFailed => "AWAITFAILED".to_string(),
+            ClientLine::Recovered { epoch } => format!("RECOVERED {epoch}"),
+            ClientLine::Poisoned => "POISONED".to_string(),
+            ClientLine::Goodbye => "GOODBYE".to_string(),
+        }
+    }
+
+    /// Parse one line off a child's control stream.
+    #[must_use]
+    pub fn parse(line: &str) -> Option<ClientLine> {
+        let mut it = line.split_whitespace();
+        match it.next()? {
+            "BEAT" => Some(ClientLine::Beat {
+                epoch: parse_arg(it.next()).unwrap_or(0),
+            }),
+            "TICK" => Some(ClientLine::Tick),
+            "AWAITFAILED" => Some(ClientLine::AwaitFailed),
+            "RECOVERED" => Some(ClientLine::Recovered {
+                epoch: parse_arg(it.next()).unwrap_or(0),
+            }),
+            "POISONED" => Some(ClientLine::Poisoned),
+            "GOODBYE" => Some(ClientLine::Goodbye),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hub ledger FSM: which broadcasts a hub event produces
+// ---------------------------------------------------------------------
+
+/// The hub's reaction to a `BEAT e` it did *not* answer with a kill:
+/// the ack line, plus the `EPOCH` broadcast iff the detector judged
+/// the rank healthy (only healthy beats advance the world's ledger).
+#[must_use]
+pub fn hub_beat_outcome(
+    ledger: &mut [(u64, u64)],
+    rank: usize,
+    epoch: u64,
+    status: RankStatus,
+) -> (ControlLine, Option<ControlEvent>) {
+    let announce = (status == RankStatus::Healthy).then(|| {
+        ledger[rank].0 = epoch;
+        ControlEvent::Epoch { rank, epoch }
+    });
+    (ControlLine::BeatAck(status), announce)
+}
+
+/// The hub's detector declared `rank` dead: record the last completed
+/// epoch and produce the `DECLARED` broadcast.
+#[must_use]
+pub fn hub_declare(ledger: &mut [(u64, u64)], rank: usize, failed_epoch: u64) -> ControlEvent {
+    ledger[rank].1 = failed_epoch;
+    ControlEvent::Declared { rank, failed_epoch }
+}
+
+/// `rank` finished its recovery collectives at `epoch`: record it and
+/// produce the `RECOVERED` broadcast.
+#[must_use]
+pub fn hub_recover(ledger: &mut [(u64, u64)], rank: usize, epoch: u64) -> ControlEvent {
+    ledger[rank].0 = epoch;
+    ControlEvent::Recovered { rank, epoch }
+}
+
+// ---------------------------------------------------------------------
+// Lock-acquisition scripts: the shapes the lock-order model checks
+// ---------------------------------------------------------------------
+
+/// The nested lock-acquisition sequences the transport's threads
+/// actually perform, as data. The lock-order model in
+/// `tests/protocol_models.rs` interleaves these scripts exhaustively
+/// and proves the rank discipline admits no deadlock — and that the
+/// [`Mutations::diagnose_under_mailbox`] inversion reintroduces one.
+///
+/// Keep these in sync with the implementations they describe (each
+/// function names its subject); the runtime rank checker in
+/// [`crate::sync`] enforces the same order on the real code paths, so
+/// a drift here fails the model while the real path still panics.
+pub mod locks {
+    use super::Mutations;
+    use crate::sync::LockRank;
+
+    /// One step of a lock script.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+    pub enum LockOp {
+        Acquire(LockRank),
+        Release(LockRank),
+    }
+
+    use LockOp::{Acquire, Release};
+
+    /// `SocketTransport::register_link`: purges the mailbox while
+    /// holding the link lock (`Link → Mail`).
+    #[must_use]
+    pub fn register_link() -> Vec<LockOp> {
+        vec![
+            Acquire(LockRank::Link),
+            Acquire(LockRank::Mail),
+            Release(LockRank::Mail),
+            Release(LockRank::Link),
+        ]
+    }
+
+    /// `SocketTransport::recv` hitting its deadline: snapshot under
+    /// the mailbox, release it, *then* diagnose under the link lock.
+    /// The mutation performs the diagnosis while still holding the
+    /// mailbox — the historical inversion.
+    #[must_use]
+    pub fn recv_timeout_diagnosis(m: &Mutations) -> Vec<LockOp> {
+        if m.diagnose_under_mailbox {
+            vec![
+                Acquire(LockRank::Mail),
+                Acquire(LockRank::Link),
+                Release(LockRank::Link),
+                Release(LockRank::Mail),
+            ]
+        } else {
+            vec![
+                Acquire(LockRank::Mail),
+                Release(LockRank::Mail),
+                Acquire(LockRank::Link),
+                Release(LockRank::Link),
+            ]
+        }
+    }
+
+    /// `SocketTransport::recv`'s precedence check: consults the mirror
+    /// while holding the mailbox (`Mail → Mirror`).
+    #[must_use]
+    pub fn recv_precedence() -> Vec<LockOp> {
+        vec![
+            Acquire(LockRank::Mail),
+            Acquire(LockRank::Mirror),
+            Release(LockRank::Mirror),
+            Release(LockRank::Mail),
+        ]
+    }
+
+    /// `SocketTransport::apply_control_event` on a `DECLARED`: mirror
+    /// update, then (sequentially — never nested) the condemnation
+    /// lift under the mailbox lock.
+    #[must_use]
+    pub fn control_declared() -> Vec<LockOp> {
+        vec![
+            Acquire(LockRank::Mirror),
+            Release(LockRank::Mirror),
+            Acquire(LockRank::Mail),
+            Release(LockRank::Mail),
+        ]
+    }
+
+    /// `SocketTransport::condemn`: link down, then the mailbox flag —
+    /// sequential, in rank order anyway.
+    #[must_use]
+    pub fn condemn() -> Vec<LockOp> {
+        vec![
+            Acquire(LockRank::Link),
+            Release(LockRank::Link),
+            Acquire(LockRank::Mail),
+            Release(LockRank::Mail),
+        ]
+    }
+
+    /// `SocketTransport::hub_rpc`: sends on the control writer while
+    /// holding the RPC slot (`ControlRpc → ControlWriter`).
+    #[must_use]
+    pub fn hub_rpc() -> Vec<LockOp> {
+        vec![
+            Acquire(LockRank::ControlRpc),
+            Acquire(LockRank::ControlWriter),
+            Release(LockRank::ControlWriter),
+            Release(LockRank::ControlRpc),
+        ]
+    }
+
+    /// `hub::HubState::welcome_block`: snapshot lines under
+    /// `HubLedger → HubClients → Health`.
+    #[must_use]
+    pub fn hub_welcome_block() -> Vec<LockOp> {
+        vec![
+            Acquire(LockRank::HubLedger),
+            Acquire(LockRank::HubClients),
+            Acquire(LockRank::Health),
+            Release(LockRank::Health),
+            Release(LockRank::HubClients),
+            Release(LockRank::HubLedger),
+        ]
+    }
+
+    /// The concurrent transport-side scripts the lock-order model
+    /// interleaves (named for counterexample readability).
+    #[must_use]
+    pub fn transport_threads(m: &Mutations) -> Vec<(&'static str, Vec<LockOp>)> {
+        vec![
+            ("register_link", register_link()),
+            ("recv_timeout", recv_timeout_diagnosis(m)),
+            ("recv_precedence", recv_precedence()),
+            ("control_declared", control_declared()),
+        ]
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconnect_keeps_seqs_replacement_resets() {
+        let mut s = LinkSession::default();
+        s.commit_send();
+        s.commit_send();
+        assert_eq!(
+            s.accept_frame(3, 3, 0),
+            FrameVerdict::Accept,
+            "first inbound frame"
+        );
+        let plan = s.register(0, &Mutations::NONE); // same incarnation
+        assert!(!plan.replacement);
+        assert_eq!((s.send_seq, s.recv_seq), (2, 1), "seqs survive reconnect");
+        let plan = s.register(1, &Mutations::NONE); // replacement
+        assert!(plan.replacement);
+        assert_eq!((s.send_seq, s.recv_seq), (0, 0), "replacement resets");
+    }
+
+    #[test]
+    fn mutated_register_resets_on_reconnect() {
+        let mut s = LinkSession::default();
+        s.commit_send();
+        let m = Mutations {
+            reset_seq_on_reconnect: true,
+            ..Mutations::NONE
+        };
+        let plan = s.register(0, &m);
+        assert!(!plan.replacement);
+        assert_eq!(s.send_seq, 0, "bug #2: reconnect wiped the counter");
+    }
+
+    #[test]
+    fn seq_gap_condemns_with_stable_message() {
+        let mut s = LinkSession::default();
+        assert_eq!(s.accept_frame(2, 2, 0), FrameVerdict::Accept);
+        let v = s.accept_frame(2, 2, 2);
+        let FrameVerdict::Condemn(reason) = v else {
+            panic!("gap must condemn")
+        };
+        assert_eq!(
+            reason.to_string(),
+            "torn frame stream: expected seq #1, got #2"
+        );
+    }
+
+    #[test]
+    fn declared_outranks_condemnation() {
+        let v = recv_gate(
+            false,
+            false,
+            false,
+            RankStatus::Failed,
+            7,
+            true,
+            &Mutations::NONE,
+        );
+        assert_eq!(v, RecvVerdict::RankFailed { epoch: 7 });
+        let m = Mutations {
+            corrupt_outranks_declared: true,
+            ..Mutations::NONE
+        };
+        assert_eq!(
+            recv_gate(false, false, false, RankStatus::Failed, 7, true, &m),
+            RecvVerdict::Corrupt,
+            "bug #1 reverses the precedence"
+        );
+    }
+
+    #[test]
+    fn queued_data_beats_every_error() {
+        for status in [RankStatus::Failed, RankStatus::Healthy] {
+            let v = recv_gate(true, true, false, status, 0, true, &Mutations::NONE);
+            assert_eq!(v, RecvVerdict::Deliver);
+        }
+    }
+
+    #[test]
+    fn declaration_lifts_condemnation() {
+        let mut view = [PeerView::INITIAL; 3];
+        let fx = apply_control(
+            &mut view,
+            ControlEvent::Declared {
+                rank: 1,
+                failed_epoch: 4,
+            },
+            &Mutations::NONE,
+        );
+        assert_eq!(fx, MirrorEffect::LiftCondemnation { rank: 1 });
+        assert_eq!(view[1].status, RankStatus::Failed);
+        assert_eq!(dead_set(&view), vec![(1, 4)]);
+    }
+
+    #[test]
+    fn control_lines_round_trip() {
+        let lines = [
+            ControlLine::BeatAck(RankStatus::Suspected),
+            ControlLine::FailedEpoch(9),
+            ControlLine::Event(ControlEvent::Epoch { rank: 2, epoch: 5 }),
+            ControlLine::Event(ControlEvent::Declared {
+                rank: 1,
+                failed_epoch: 3,
+            }),
+            ControlLine::Event(ControlEvent::Rebuilding { rank: 1 }),
+            ControlLine::Event(ControlEvent::Recovered { rank: 1, epoch: 6 }),
+            ControlLine::Poison,
+        ];
+        for line in lines {
+            assert_eq!(ControlLine::parse(&line.render()), Some(line));
+        }
+    }
+
+    #[test]
+    fn client_lines_round_trip() {
+        let lines = [
+            ClientLine::Beat { epoch: 11 },
+            ClientLine::Tick,
+            ClientLine::AwaitFailed,
+            ClientLine::Recovered { epoch: 12 },
+            ClientLine::Poisoned,
+            ClientLine::Goodbye,
+        ];
+        for line in lines {
+            assert_eq!(ClientLine::parse(&line.render()), Some(line));
+        }
+    }
+
+    #[test]
+    fn hub_beat_announces_only_healthy() {
+        let mut ledger = vec![(0, 0); 2];
+        let (ack, ev) = hub_beat_outcome(&mut ledger, 1, 5, RankStatus::Healthy);
+        assert_eq!(ack, ControlLine::BeatAck(RankStatus::Healthy));
+        assert_eq!(ev, Some(ControlEvent::Epoch { rank: 1, epoch: 5 }));
+        assert_eq!(ledger[1].0, 5);
+        let (_, ev) = hub_beat_outcome(&mut ledger, 1, 6, RankStatus::Suspected);
+        assert_eq!(ev, None, "suspected beat must not advance the world");
+        assert_eq!(ledger[1].0, 5);
+    }
+
+    #[test]
+    fn epoch_gate_mirrors_sync_loop() {
+        let mut view = vec![PeerView::INITIAL; 3];
+        view[0].epoch = 2;
+        assert_eq!(epoch_gate(&view, 0, 2), EpochGate::Waiting { rank: 1 });
+        view[1].status = RankStatus::Failed;
+        view[1].failed_epoch = 1;
+        view[2].epoch = 2;
+        assert_eq!(
+            epoch_gate(&view, 0, 2),
+            EpochGate::Ready {
+                failed: vec![(1, 1)]
+            }
+        );
+    }
+}

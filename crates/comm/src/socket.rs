@@ -45,16 +45,56 @@
 //!   link-level condemnation: a probe of a declared-dead rank yields
 //!   [`CommError::RankFailed`], even if its death tore a frame first.
 //!
-//! # Lock order
+//! # Lock order (machine-enforced invariant)
 //!
-//! `links[i].state` → `mail.state` → `mirror.state`: a thread may take
-//! these nested only in that order (sequential, non-overlapping
-//! acquisitions are always fine). [`SocketTransport::register_link`]
-//! holds a link lock while purging the mailbox, and `recv` consults the
-//! mirror while holding the mailbox — any reverse nesting deadlocks.
+//! Every mutex in this transport carries a [`LockRank`]; a thread may
+//! acquire a mutex only while everything it already holds has a
+//! strictly smaller rank (checked at runtime in debug/test builds by
+//! [`crate::sync`], and statically by `cargo xtask lockorder`, which
+//! rejects any `.lock(` site without a rank annotation). Sequential,
+//! non-overlapping acquisitions in any order are always fine — the
+//! discipline constrains *nested* holds only.
+//!
+//! | mutex | rank | role |
+//! |---|---|---|
+//! | `links[peer].state` | `Link` (30) | one peer link's send half + sequence state |
+//! | `mail.state` | `Mail` (32) | the byte mailbox (delivery, condemnation flags) |
+//! | `mirror.state` | `Mirror` (34) | local replica of the hub's failure detector |
+//! | `control.rpc` | `ControlRpc` (36) | the one-slot hub RPC (`BEAT`, `AWAITFAILED`) |
+//! | `control.writer` | `ControlWriter` (38) | control-stream write half |
+//!
+//! Functions that hold more than one at once — the complete list:
+//!
+//! - [`SocketTransport::register_link`]: `Link → Mail` (purges the
+//!   mailbox of a dead incarnation's frames while the link lock pins
+//!   the registration).
+//! - [`SocketTransport::recv`]: `Mail → Mirror` (the precedence check
+//!   consults the detector mirror while the mailbox lock pins the
+//!   verdict to a consistent queue snapshot).
+//! - [`SocketTransport::hub_rpc`]: `ControlRpc → ControlWriter` (the
+//!   request line goes out while the RPC slot is held so a reply can
+//!   never race the reset).
+//!
+//! Everything else takes one lock at a time. Two historical corollaries
+//! are now theorems of the rank order: the receive-timeout diagnosis
+//! must release `Mail` *before* taking `Link` (30 < 32 — the inverted
+//! nesting panics in any debug build, and the lock-order model in
+//! `tests/protocol_models.rs` shows the schedule that deadlocks against
+//! `register_link`); and `apply_control_event` must drop `Mirror`
+//! before touching `Mail` (its two acquisitions are sequential, never
+//! nested).
+//!
+//! The protocol *decisions* made under these locks — frame acceptance,
+//! purge rules, receive precedence, mirror transitions — live in
+//! [`crate::protocol`] as pure state machines; this module only wires
+//! them to sockets, threads, and the locks above.
 
+use crate::protocol::{
+    self, ClientLine, ControlEvent, ControlLine, EpochGate, FrameVerdict, MirrorEffect, Mutations,
+    PeerView, RecvVerdict, SendRoute,
+};
 use crate::stats::WireStats;
-use crate::sync::{Condvar, Mutex};
+use crate::sync::{Condvar, LockRank, Mutex};
 use crate::transport::{Transport, WirePayload};
 use crate::wire::{self, FrameHeader, FRAME_HEADER, FRAME_TRAILER};
 use crate::{fault, CommError, EpochReport, FaultStats, RankStatus, TrafficStats};
@@ -132,18 +172,14 @@ struct LinkState {
     writer: Option<TcpStream>,
     up: bool,
     ever_up: bool,
-    peer_incarnation: u64,
     /// Bumped on every (re)registration; readers for older generations
     /// exit instead of marking the fresh link down.
     generation: u64,
-    /// Next sequence number to stamp. Monotonic across reconnects of
-    /// the same peer incarnation; reset only for a replacement.
-    send_seq: u64,
-    /// Next sequence number expected from the peer (shared by the
-    /// link's successive reader threads, same reset rule as
-    /// `send_seq`), so a reconnect cannot silently swallow frames the
-    /// dead connection accepted but never delivered.
-    recv_seq: u64,
+    /// The pure sequence/incarnation machine (see [`crate::protocol`]):
+    /// monotonic seqs across same-incarnation reconnects, reset only
+    /// for a replacement, shared by the link's successive reader
+    /// threads so a reconnect cannot silently swallow frames.
+    session: protocol::LinkSession,
     pending: VecDeque<PendingMsg>,
 }
 
@@ -155,16 +191,17 @@ struct Link {
 impl Default for Link {
     fn default() -> Self {
         Link {
-            state: Mutex::new(LinkState {
-                writer: None,
-                up: false,
-                ever_up: false,
-                peer_incarnation: 0,
-                generation: 0,
-                send_seq: 0,
-                recv_seq: 0,
-                pending: VecDeque::new(),
-            }),
+            state: Mutex::new(
+                LockRank::Link,
+                LinkState {
+                    writer: None,
+                    up: false,
+                    ever_up: false,
+                    generation: 0,
+                    session: protocol::LinkSession::default(),
+                    pending: VecDeque::new(),
+                },
+            ),
             signal: Condvar::new(),
         }
     }
@@ -187,16 +224,9 @@ struct ByteMail {
 
 /// Child-side replica of the hub's authoritative failure detector,
 /// updated by control-stream broadcasts (`EPOCH`, `DECLARED`,
-/// `REBUILDING`, `RECOVERED`).
-#[derive(Clone, Copy)]
-struct MirrorRank {
-    status: RankStatus,
-    epoch: u64,
-    failed_epoch: u64,
-}
-
+/// `REBUILDING`, `RECOVERED`) through [`protocol::apply_control`].
 struct Mirror {
-    state: Mutex<Vec<MirrorRank>>,
+    state: Mutex<Vec<PeerView>>,
     signal: Condvar,
 }
 
@@ -268,6 +298,10 @@ const DIAL_BACKOFF_BASE: Duration = Duration::from_millis(10);
 const DIAL_ATTEMPTS: u32 = 11;
 /// Magic preamble word opening every data stream ("HACD").
 const DATA_PREAMBLE_MAGIC: u32 = 0x4443_4148;
+/// The protocol machines' shipping configuration: every test-only
+/// mutation hook off. The live transport passes this everywhere; only
+/// the model suite ever constructs anything else.
+const LIVE: &Mutations = &Mutations::NONE;
 
 /// Exponential backoff with deterministic jitter for dial attempt
 /// `attempt` (0-based) from rank `rank`.
@@ -345,20 +379,23 @@ impl SocketTransport {
         let transport = Arc::new(SocketTransport {
             links: (0..cfg.ranks).map(|_| Link::default()).collect(),
             mail: ByteMail {
-                state: Mutex::new(MailInner {
-                    ready: HashMap::new(),
-                    corrupt: vec![None; cfg.ranks],
-                    rejected: vec![0; cfg.ranks],
-                }),
+                state: Mutex::new(
+                    LockRank::Mail,
+                    MailInner {
+                        ready: HashMap::new(),
+                        corrupt: vec![None; cfg.ranks],
+                        rejected: vec![0; cfg.ranks],
+                    },
+                ),
                 signal: Condvar::new(),
             },
             mirror: Mirror {
-                state: Mutex::new(mirror_seed),
+                state: Mutex::new(LockRank::Mirror, mirror_seed),
                 signal: Condvar::new(),
             },
             control: ControlChannel {
-                writer: Mutex::new(control_stream),
-                rpc: Mutex::new(RpcSlot::default()),
+                writer: Mutex::new(LockRank::ControlWriter, control_stream),
+                rpc: Mutex::new(LockRank::ControlRpc, RpcSlot::default()),
                 rpc_signal: Condvar::new(),
             },
             poisoned: AtomicBool::new(false),
@@ -468,30 +505,30 @@ impl SocketTransport {
         let generation;
         {
             let link = &self.links[peer];
-            let mut st = link.state.lock();
+            let mut st = link.state.lock(LockRank::Link);
             st.generation += 1;
             generation = st.generation;
             if st.ever_up {
                 self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
             }
-            // Lock order: link → mail (see module docs).
-            let mut mail = self.mail.state.lock();
-            if peer_incarnation != st.peer_incarnation {
-                // A replacement process: the dead incarnation's backlog,
-                // stale inbound frames, and sequence state must not leak
-                // into it.
+            let plan = st.session.register(peer_incarnation, LIVE);
+            // Lock order: Link → Mail (see module docs).
+            let mut mail = self.mail.state.lock(LockRank::Mail);
+            if plan.replacement {
+                // A replacement process: the dead incarnation's backlog
+                // and stale inbound frames must not leak into it (the
+                // session machine already reset the sequence state).
                 st.pending.retain(|m| m.incarnation == peer_incarnation);
-                st.send_seq = 0;
-                st.recv_seq = 0;
                 mail.ready.retain(|k, _| k.1 != peer);
             }
-            // Any re-registration lifts the condemnation: if frames were
-            // really lost across the disconnect, the receiver's sequence
-            // check re-condemns on the very next frame, so this can only
-            // heal a link whose stream state is actually intact.
-            mail.corrupt[peer] = None;
+            if plan.lift_condemnation {
+                // If frames were really lost across the disconnect, the
+                // receiver's sequence check re-condemns on the very next
+                // frame, so this can only heal a link whose stream state
+                // is actually intact.
+                mail.corrupt[peer] = None;
+            }
             drop(mail);
-            st.peer_incarnation = peer_incarnation;
             st.writer = Some(stream);
             st.up = true;
             st.ever_up = true;
@@ -516,7 +553,7 @@ impl SocketTransport {
             src: self.cfg.rank as u32,
             context: msg.context,
             tag: msg.tag,
-            seq: st.send_seq,
+            seq: st.session.next_send_seq(),
             type_hash: msg.type_hash,
             len: msg.payload.len() as u64,
         };
@@ -527,7 +564,7 @@ impl SocketTransport {
         };
         match writer.write_all(&frame) {
             Ok(()) => {
-                st.send_seq += 1;
+                st.session.commit_send();
                 self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
                 self.counters
                     .bytes_on_wire
@@ -589,7 +626,7 @@ impl SocketTransport {
     fn reader_loop(self: &Arc<Self>, mut stream: TcpStream, src: usize, generation: u64) {
         let alive = || {
             !self.closing.load(Ordering::SeqCst)
-                && self.links[src].state.lock().generation == generation
+                && self.links[src].state.lock(LockRank::Link).generation == generation
         };
         loop {
             let mut buf = vec![0u8; FRAME_HEADER];
@@ -633,40 +670,27 @@ impl SocketTransport {
                     return;
                 }
             };
-            if header.src as usize != src {
-                self.condemn(
-                    src,
-                    generation,
-                    &format!("frame claims src {} on the link from {src}", header.src),
-                );
-                return;
-            }
             {
-                // Sequence check against the link's persistent counter:
-                // it survives same-incarnation reconnects, so frames
-                // lost in a dead connection's buffers surface as a gap
-                // here instead of being silently skipped.
-                let mut st = self.links[src].state.lock();
+                // Source + sequence check against the link's persistent
+                // session machine: it survives same-incarnation
+                // reconnects, so frames lost in a dead connection's
+                // buffers surface as a gap here instead of being
+                // silently skipped.
+                let mut st = self.links[src].state.lock(LockRank::Link);
                 if st.generation != generation {
                     return; // superseded mid-frame by a fresh registration
                 }
-                if header.seq != st.recv_seq {
-                    let expected = st.recv_seq;
-                    drop(st);
-                    self.condemn(
-                        src,
-                        generation,
-                        &format!(
-                            "torn frame stream: expected seq #{expected}, got #{}",
-                            header.seq
-                        ),
-                    );
-                    return;
+                match st.session.accept_frame(header.src, src, header.seq) {
+                    FrameVerdict::Accept => {}
+                    FrameVerdict::Condemn(reason) => {
+                        drop(st);
+                        self.condemn(src, generation, &reason.to_string());
+                        return;
+                    }
                 }
-                st.recv_seq += 1;
             }
             let key = (header.context, src, header.tag);
-            let mut mail = self.mail.state.lock();
+            let mut mail = self.mail.state.lock(LockRank::Mail);
             mail.ready
                 .entry(key)
                 .or_default()
@@ -679,7 +703,7 @@ impl SocketTransport {
     /// Mark the link down (transient: no error surfaced to receivers).
     fn link_down(&self, src: usize, generation: u64) {
         {
-            let mut st = self.links[src].state.lock();
+            let mut st = self.links[src].state.lock(LockRank::Link);
             if st.generation != generation {
                 return; // superseded by a fresh registration
             }
@@ -688,7 +712,7 @@ impl SocketTransport {
         }
         self.links[src].signal.notify_all();
         // Receivers re-evaluate (the detector may have declared the peer).
-        let _guard = self.mail.state.lock();
+        let _guard = self.mail.state.lock(LockRank::Mail);
         self.mail.signal.notify_all();
     }
 
@@ -698,14 +722,14 @@ impl SocketTransport {
     fn condemn(&self, src: usize, generation: u64, detail: &str) {
         self.counters.crc_rejects.fetch_add(1, Ordering::Relaxed);
         {
-            let mut st = self.links[src].state.lock();
+            let mut st = self.links[src].state.lock(LockRank::Link);
             if st.generation == generation {
                 st.up = false;
                 st.writer = None;
             }
         }
         {
-            let mut mail = self.mail.state.lock();
+            let mut mail = self.mail.state.lock(LockRank::Mail);
             mail.rejected[src] += 1;
             if mail.corrupt[src].is_none() {
                 mail.corrupt[src] = Some(detail.to_string());
@@ -723,7 +747,7 @@ impl SocketTransport {
                 continue;
             }
             let link = &self.links[peer];
-            let mut st = link.state.lock();
+            let mut st = link.state.lock(LockRank::Link);
             while !st.up {
                 let now = Instant::now();
                 if now >= deadline {
@@ -741,7 +765,7 @@ impl SocketTransport {
     // ---- control plane ------------------------------------------------
 
     fn control_send(&self, line: &str) -> bool {
-        let mut w = self.control.writer.lock();
+        let mut w = self.control.writer.lock(LockRank::ControlWriter);
         writeln!(w, "{line}").is_ok()
     }
 
@@ -753,7 +777,7 @@ impl SocketTransport {
             if self.closing.load(Ordering::SeqCst) {
                 return;
             }
-            if !self.control_send("TICK") {
+            if !self.control_send(&ClientLine::Tick.render()) {
                 return; // control reader handles the poisoning
             }
         }
@@ -763,75 +787,22 @@ impl SocketTransport {
     fn control_loop(self: &Arc<Self>, reader: BufReader<TcpStream>) {
         for line in reader.lines() {
             let Ok(line) = line else { break };
-            let mut it = line.split_whitespace();
-            match it.next() {
-                Some("BEATACK") => {
-                    let status = parse_status(it.next().unwrap_or(""));
-                    let mut slot = self.control.rpc.lock();
+            match ControlLine::parse(&line) {
+                Some(ControlLine::BeatAck(status)) => {
+                    let mut slot = self.control.rpc.lock(LockRank::ControlRpc);
                     slot.beat_ack = Some(status);
                     drop(slot);
                     self.control.rpc_signal.notify_all();
                 }
-                Some("FAILEDEPOCH") => {
-                    let epoch = it.next().and_then(|v| v.parse().ok()).unwrap_or(0);
-                    let mut slot = self.control.rpc.lock();
+                Some(ControlLine::FailedEpoch(epoch)) => {
+                    let mut slot = self.control.rpc.lock(LockRank::ControlRpc);
                     slot.failed_epoch = Some(epoch);
                     drop(slot);
                     self.control.rpc_signal.notify_all();
                 }
-                Some("EPOCH") => {
-                    let (Some(r), Some(e)) = (parse_arg(it.next()), parse_arg(it.next())) else {
-                        continue;
-                    };
-                    self.apply_mirror(r as usize, |m| {
-                        if e > m.epoch {
-                            m.epoch = e;
-                        }
-                    });
-                }
-                Some("DECLARED") => {
-                    let (Some(r), Some(e)) = (parse_arg(it.next()), parse_arg(it.next())) else {
-                        continue;
-                    };
-                    let r = r as usize;
-                    self.apply_mirror(r, |m| {
-                        m.status = RankStatus::Failed;
-                        m.failed_epoch = e;
-                    });
-                    // The declaration outranks any condemnation the
-                    // death's torn streams caused: survivors probing the
-                    // corpse must get `RankFailed`, and the replacement
-                    // must not inherit the flag.
-                    if r < self.cfg.ranks {
-                        let mut mail = self.mail.state.lock();
-                        mail.corrupt[r] = None;
-                        drop(mail);
-                        self.mail.signal.notify_all();
-                    }
-                }
-                Some("REBUILDING") => {
-                    let Some(r) = parse_arg(it.next()) else { continue };
-                    self.apply_mirror(r as usize, |m| {
-                        if m.status == RankStatus::Failed {
-                            m.status = RankStatus::Rebuilding;
-                        }
-                    });
-                }
-                Some("RECOVERED") => {
-                    let (Some(r), Some(e)) = (parse_arg(it.next()), parse_arg(it.next())) else {
-                        continue;
-                    };
-                    self.apply_mirror(r as usize, |m| {
-                        m.status = RankStatus::Healthy;
-                        if e > m.epoch {
-                            m.epoch = e;
-                        }
-                    });
-                }
-                Some("POISON") => {
-                    self.poison_self();
-                }
-                _ => {}
+                Some(ControlLine::Event(ev)) => self.apply_control_event(ev),
+                Some(ControlLine::Poison) => self.poison_self(),
+                None => {}
             }
         }
         // Hub gone. If we are not deliberately shutting down, the world
@@ -841,23 +812,35 @@ impl SocketTransport {
         }
     }
 
-    fn apply_mirror(&self, rank: usize, f: impl FnOnce(&mut MirrorRank)) {
+    /// Drive one detector broadcast through the pure mirror machine
+    /// ([`protocol::apply_control`]) and perform its side effect. The
+    /// `Mirror` and `Mail` acquisitions are sequential, never nested.
+    fn apply_control_event(&self, ev: ControlEvent) {
+        let effect;
         {
-            let mut st = self.mirror.state.lock();
-            if let Some(m) = st.get_mut(rank) {
-                f(m);
-            }
+            let mut st = self.mirror.state.lock(LockRank::Mirror);
+            effect = protocol::apply_control(&mut st, ev, LIVE);
         }
         self.mirror.signal.notify_all();
+        if let MirrorEffect::LiftCondemnation { rank } = effect {
+            // The declaration outranks any condemnation the death's
+            // torn streams caused: survivors probing the corpse must
+            // get `RankFailed`, and the replacement must not inherit
+            // the flag.
+            let mut mail = self.mail.state.lock(LockRank::Mail);
+            if let Some(slot) = mail.corrupt.get_mut(rank) {
+                *slot = None;
+            }
+        }
         // Receives blocked on a now-dead source must re-evaluate.
-        let _guard = self.mail.state.lock();
+        let _guard = self.mail.state.lock(LockRank::Mail);
         self.mail.signal.notify_all();
     }
 
     fn poison_self(&self) {
         self.poisoned.store(true, Ordering::SeqCst);
         {
-            let _guard = self.mail.state.lock();
+            let _guard = self.mail.state.lock(LockRank::Mail);
             self.mail.signal.notify_all();
         }
         self.mirror.signal.notify_all();
@@ -871,7 +854,9 @@ impl SocketTransport {
     /// Panics on hub loss — the machine cannot continue without its
     /// detector, exactly like a poisoned in-process run.
     fn hub_rpc<R>(&self, line: &str, extract: impl Fn(&mut RpcSlot) -> Option<R>) -> R {
-        let mut slot = self.control.rpc.lock();
+        // Lock order: ControlRpc → ControlWriter (control_send nests
+        // inside the held slot; see module docs).
+        let mut slot = self.control.rpc.lock(LockRank::ControlRpc);
         *slot = RpcSlot::default();
         if !self.control_send(line) {
             self.poison_self();
@@ -892,11 +877,13 @@ impl SocketTransport {
     }
 
     /// Build the timeout diagnosis for `src`. Takes the link lock, so
-    /// the caller must **not** hold the mailbox lock (lock order:
-    /// link → mail); `rejected` is the mailbox's CRC-reject count for
-    /// `src`, snapshotted before that lock was released.
+    /// the caller must **not** hold the mailbox lock (`Link` ranks
+    /// *below* `Mail` — the rank checker panics on the inversion);
+    /// `rejected` is the mailbox's CRC-reject count for `src`,
+    /// snapshotted before that lock was released. The lock-order model
+    /// checks this exact shape as `recv_timeout_diagnosis`.
     fn mail_diagnose(&self, src: usize, rejected: u64) -> String {
-        let up = self.links[src].state.lock().up;
+        let up = self.links[src].state.lock(LockRank::Link).up;
         let mut msg = format!(
             "no traffic pending from rank {src} (link {})",
             if up { "up" } else { "down" }
@@ -913,24 +900,6 @@ impl SocketTransport {
 
 fn parse_arg(v: Option<&str>) -> Option<u64> {
     v.and_then(|s| s.parse().ok())
-}
-
-fn parse_status(s: &str) -> RankStatus {
-    match s {
-        "suspected" => RankStatus::Suspected,
-        "failed" => RankStatus::Failed,
-        "rebuilding" => RankStatus::Rebuilding,
-        _ => RankStatus::Healthy,
-    }
-}
-
-pub(crate) fn rank_status_name(s: RankStatus) -> &'static str {
-    match s {
-        RankStatus::Healthy => "healthy",
-        RankStatus::Suspected => "suspected",
-        RankStatus::Failed => "failed",
-        RankStatus::Rebuilding => "rebuilding",
-    }
 }
 
 /// Dial with exponential backoff + jitter, counting every attempt.
@@ -958,17 +927,10 @@ fn dial_retry(
 fn read_welcome(
     reader: &mut BufReader<TcpStream>,
     ranks: usize,
-) -> std::io::Result<(WireTiming, Vec<Option<(u64, String)>>, Vec<MirrorRank>)> {
+) -> std::io::Result<(WireTiming, Vec<Option<(u64, String)>>, Vec<PeerView>)> {
     let mut timing = None;
     let mut peers: Vec<Option<(u64, String)>> = vec![None; ranks];
-    let mut mirror = vec![
-        MirrorRank {
-            status: RankStatus::Healthy,
-            epoch: 0,
-            failed_epoch: 0,
-        };
-        ranks
-    ];
+    let mut mirror = vec![PeerView::INITIAL; ranks];
     let mut line = String::new();
     loop {
         line.clear();
@@ -1011,11 +973,11 @@ fn read_welcome(
             Some("STATE") => {
                 let r = parse_arg(it.next())
                     .ok_or_else(|| io_err("STATE", "missing rank"))? as usize;
-                let status = parse_status(it.next().unwrap_or(""));
+                let status = protocol::parse_status(it.next().unwrap_or(""));
                 let epoch = parse_arg(it.next()).unwrap_or(0);
                 let failed_epoch = parse_arg(it.next()).unwrap_or(0);
                 if r < ranks {
-                    mirror[r] = MirrorRank {
+                    mirror[r] = PeerView {
                         status,
                         epoch,
                         failed_epoch,
@@ -1059,44 +1021,49 @@ impl Transport for SocketTransport {
         };
         self.payload_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.msgs_sent.fetch_add(1, Ordering::Relaxed);
-        if dst == src {
-            // Self-sends skip the wire entirely (as MPI does).
-            let mut mail = self.mail.state.lock();
-            mail.ready
-                .entry((context, src, tag))
-                .or_default()
-                .push_back((type_hash, data));
-            drop(mail);
-            self.mail.signal.notify_all();
-            return;
-        }
-        // A peer the detector declared dead gets no traffic: its backlog
-        // would only leak into the replacement. `Rebuilding` is NOT dead
-        // — the replacement is already registered and the recovery
-        // collectives must reach it (it is marked recovered only after
-        // they complete, so holding traffic until then would deadlock
-        // the very collective that rebuilds it).
-        if self.mirror.state.lock()[dst].status == RankStatus::Failed {
-            self.counters
-                .frames_dropped_dead
-                .fetch_add(1, Ordering::Relaxed);
-            return;
-        }
-        let link = &self.links[dst];
-        let mut st = link.state.lock();
-        let msg = PendingMsg {
-            context,
-            tag,
-            type_hash,
-            payload: data,
-            incarnation: st.peer_incarnation,
-        };
-        if st.up {
-            let _ = self.write_frame(&mut st, msg);
-        } else {
-            // Link down: buffer until reconnect (drained or dropped by
-            // `register_link` depending on the peer's incarnation).
-            st.pending.push_back(msg);
+        let dst_status = { self.mirror.state.lock(LockRank::Mirror)[dst].status };
+        match protocol::send_route(src, dst, dst_status) {
+            SendRoute::SelfDeliver => {
+                // Self-sends skip the wire entirely (as MPI does).
+                let mut mail = self.mail.state.lock(LockRank::Mail);
+                mail.ready
+                    .entry((context, src, tag))
+                    .or_default()
+                    .push_back((type_hash, data));
+                drop(mail);
+                self.mail.signal.notify_all();
+            }
+            SendRoute::DropDead => {
+                // A peer the detector declared dead gets no traffic: its
+                // backlog would only leak into the replacement.
+                // `Rebuilding` is NOT dead — the replacement is already
+                // registered and the recovery collectives must reach it
+                // (it is marked recovered only after they complete, so
+                // holding traffic until then would deadlock the very
+                // collective that rebuilds it).
+                self.counters
+                    .frames_dropped_dead
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            SendRoute::Link => {
+                let link = &self.links[dst];
+                let mut st = link.state.lock(LockRank::Link);
+                let msg = PendingMsg {
+                    context,
+                    tag,
+                    type_hash,
+                    payload: data,
+                    incarnation: st.session.peer_incarnation,
+                };
+                if st.up {
+                    let _ = self.write_frame(&mut st, msg);
+                } else {
+                    // Link down: buffer until reconnect (drained or
+                    // dropped by `register_link` depending on the
+                    // peer's incarnation).
+                    st.pending.push_back(msg);
+                }
+            }
         }
     }
 
@@ -1112,53 +1079,71 @@ impl Transport for SocketTransport {
         let key = (context, src, tag);
         let start = Instant::now();
         let deadline = timeout.map(|t| start + t);
-        let mut mail = self.mail.state.lock();
+        let mut mail = self.mail.state.lock(LockRank::Mail);
         loop {
-            if let Some(q) = mail.ready.get_mut(&key) {
-                if let Some((type_hash, data)) = q.pop_front() {
+            // One consistent snapshot of everything the verdict needs,
+            // then the single decision point: protocol::recv_gate owns
+            // the precedence order (queued → poison → declaration →
+            // condemnation → wait); this loop only executes it.
+            let queued = mail.ready.get(&key).is_some_and(|q| !q.is_empty());
+            let (status, failed_epoch) = if src == me {
+                (RankStatus::Healthy, 0)
+            } else {
+                // Lock order: Mail → Mirror (see module docs). Only the
+                // hub's declaration — never a socket error — turns a
+                // silent peer into `RankFailed`.
+                let mirror = self.mirror.state.lock(LockRank::Mirror);
+                (mirror[src].status, mirror[src].failed_epoch)
+            };
+            let verdict = protocol::recv_gate(
+                queued,
+                self.poisoned.load(Ordering::SeqCst),
+                src == me,
+                status,
+                failed_epoch,
+                mail.corrupt[src].is_some(),
+                LIVE,
+            );
+            match verdict {
+                RecvVerdict::Deliver => {
+                    let (type_hash, data) = mail
+                        .ready
+                        .get_mut(&key)
+                        .and_then(VecDeque::pop_front)
+                        .expect("gate saw a queued payload");
                     return Ok(WirePayload::Bytes { type_hash, data });
                 }
-            }
-            if self.poisoned.load(Ordering::SeqCst) {
-                return Err(CommError::Poisoned);
-            }
-            if src != me {
-                // Only the hub's declaration — never a socket error —
-                // turns a silent peer into `RankFailed`; and that
-                // declaration outranks link-level condemnation, so a
-                // death that tore a frame still reads as a death.
-                let mirror = self.mirror.state.lock();
-                if mirror[src].status == RankStatus::Failed {
-                    let epoch = mirror[src].failed_epoch;
+                RecvVerdict::Poisoned => return Err(CommError::Poisoned),
+                RecvVerdict::RankFailed { epoch } => {
                     return Err(CommError::RankFailed { rank: src, epoch });
                 }
-                drop(mirror);
-                if let Some(detail) = mail.corrupt[src].clone() {
+                RecvVerdict::Corrupt => {
+                    let detail = mail.corrupt[src].clone().unwrap_or_default();
                     return Err(CommError::CorruptDetected { rank: src, detail });
                 }
-            }
-            match deadline {
-                None => self.mail.signal.wait(&mut mail),
-                Some(d) => {
-                    let now = Instant::now();
-                    if now >= d {
-                        // Lock order: the diagnosis takes the link lock,
-                        // which must never nest under the mailbox lock
-                        // (`register_link` nests them the other way) —
-                        // release the mailbox first.
-                        let rejected = mail.rejected[src];
-                        drop(mail);
-                        let detail = self.mail_diagnose(src, rejected);
-                        return Err(CommError::Timeout {
-                            context,
-                            src,
-                            tag,
-                            waited: now - start,
-                            detail,
-                        });
+                RecvVerdict::Wait => match deadline {
+                    None => self.mail.signal.wait(&mut mail),
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            // Lock order: the diagnosis takes the link
+                            // lock, which ranks *below* the mailbox lock
+                            // (`register_link` nests them the other way)
+                            // — release the mailbox first.
+                            let rejected = mail.rejected[src];
+                            drop(mail);
+                            let detail = self.mail_diagnose(src, rejected);
+                            return Err(CommError::Timeout {
+                                context,
+                                src,
+                                tag,
+                                waited: now - start,
+                                detail,
+                            });
+                        }
+                        let _ = self.mail.signal.wait_for(&mut mail, d - now);
                     }
-                    let _ = self.mail.signal.wait_for(&mut mail, d - now);
-                }
+                },
             }
         }
     }
@@ -1173,14 +1158,14 @@ impl Transport for SocketTransport {
         // in the kernel buffer; half-close each link so peers read a
         // clean EOF after draining it.
         for link in &self.links {
-            let mut st = link.state.lock();
+            let mut st = link.state.lock(LockRank::Link);
             if let Some(w) = st.writer.take() {
                 let _ = w.shutdown(Shutdown::Write);
             }
             st.up = false;
         }
-        let _ = self.control_send("GOODBYE");
-        let w = self.control.writer.lock();
+        let _ = self.control_send(&ClientLine::Goodbye.render());
+        let w = self.control.writer.lock(LockRank::ControlWriter);
         let _ = w.shutdown(Shutdown::Write);
     }
 
@@ -1189,7 +1174,7 @@ impl Transport for SocketTransport {
     }
 
     fn poison(&self) {
-        let _ = self.control_send("POISONED");
+        let _ = self.control_send(&ClientLine::Poisoned.render());
         self.poison_self();
     }
 
@@ -1222,52 +1207,38 @@ impl Transport for SocketTransport {
         // by the hub *instead of* an ack, so it can never proceed into
         // the step — its recorded epoch stays one behind, exactly like
         // the in-process silent kill.
-        self.hub_rpc(&format!("BEAT {epoch}"), |slot| slot.beat_ack.take())
+        self.hub_rpc(&ClientLine::Beat { epoch }.render(), |slot| {
+            slot.beat_ack.take()
+        })
     }
 
     fn epoch_sync(&self, me: usize, epoch: u64) -> Result<EpochReport, CommError> {
         let start = Instant::now();
         let deadline = start + self.timing.sync_timeout;
-        let mut st = self.mirror.state.lock();
+        let mut st = self.mirror.state.lock(LockRank::Mirror);
         loop {
             if self.poisoned.load(Ordering::SeqCst) {
                 return Err(CommError::Poisoned);
             }
-            let mut failed = Vec::new();
-            let mut pending = None;
-            for (rank, m) in st.iter().enumerate() {
-                if m.epoch >= epoch || rank == me && m.status == RankStatus::Healthy {
-                    // Own EPOCH echo may still be in flight right after
-                    // a healthy beat-ack; the ack already proved it.
-                    continue;
-                }
-                match m.status {
-                    RankStatus::Failed | RankStatus::Rebuilding => {
-                        failed.push((rank, m.failed_epoch));
+            match protocol::epoch_gate(&st, me, epoch) {
+                EpochGate::Ready { failed } => return Ok(EpochReport { epoch, failed }),
+                EpochGate::Waiting { rank: waiting_on } => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(CommError::Timeout {
+                            context: 0,
+                            src: waiting_on,
+                            tag: 0,
+                            waited: now - start,
+                            detail: format!(
+                                "epoch sync stalled: rank {waiting_on} has neither beaten epoch \
+                                 {epoch} nor been declared failed"
+                            ),
+                        });
                     }
-                    RankStatus::Healthy | RankStatus::Suspected => {
-                        pending = Some(rank);
-                        break;
-                    }
+                    let _ = self.mirror.signal.wait_for(&mut st, deadline - now);
                 }
             }
-            let Some(waiting_on) = pending else {
-                return Ok(EpochReport { epoch, failed });
-            };
-            let now = Instant::now();
-            if now >= deadline {
-                return Err(CommError::Timeout {
-                    context: 0,
-                    src: waiting_on,
-                    tag: 0,
-                    waited: now - start,
-                    detail: format!(
-                        "epoch sync stalled: rank {waiting_on} has neither beaten epoch \
-                         {epoch} nor been declared failed"
-                    ),
-                });
-            }
-            let _ = self.mirror.signal.wait_for(&mut st, deadline - now);
         }
     }
 
@@ -1276,24 +1247,23 @@ impl Transport for SocketTransport {
         // The hub acknowledges the death (`Failed → Rebuilding`),
         // broadcasts REBUILDING to the survivors, and returns the last
         // epoch the dead incarnation completed.
-        Ok(self.hub_rpc("AWAITFAILED", |slot| slot.failed_epoch.take()))
+        Ok(self.hub_rpc(&ClientLine::AwaitFailed.render(), |slot| {
+            slot.failed_epoch.take()
+        }))
     }
 
     fn await_rebirth(&self, _me: usize, failed: &[usize]) -> Result<(), CommError> {
         let start = Instant::now();
         let deadline = start + self.timing.sync_timeout;
         {
-            let mut st = self.mirror.state.lock();
+            let mut st = self.mirror.state.lock(LockRank::Mirror);
             loop {
                 if self.poisoned.load(Ordering::SeqCst) {
                     return Err(CommError::Poisoned);
                 }
-                match failed
-                    .iter()
-                    .find(|&&r| st[r].status == RankStatus::Failed)
-                {
+                match protocol::rebirth_gate(&st, failed) {
                     None => break,
-                    Some(&waiting_on) => {
+                    Some(waiting_on) => {
                         let now = Instant::now();
                         if now >= deadline {
                             return Err(CommError::Timeout {
@@ -1319,7 +1289,7 @@ impl Transport for SocketTransport {
                 continue;
             }
             let link = &self.links[r];
-            let mut st = link.state.lock();
+            let mut st = link.state.lock(LockRank::Link);
             while !st.up {
                 if self.poisoned.load(Ordering::SeqCst) {
                     return Err(CommError::Poisoned);
@@ -1344,25 +1314,15 @@ impl Transport for SocketTransport {
         debug_assert_eq!(me, self.cfg.rank);
         // Optimistic local apply; the hub's RECOVERED broadcast confirms
         // it on everyone (including us — idempotent).
-        self.apply_mirror(me, |m| {
-            m.status = RankStatus::Healthy;
-            if epoch > m.epoch {
-                m.epoch = epoch;
-            }
-        });
-        let _ = self.control_send(&format!("RECOVERED {epoch}"));
+        self.apply_control_event(ControlEvent::Recovered { rank: me, epoch });
+        let _ = self.control_send(&ClientLine::Recovered { epoch }.render());
     }
 
     fn dead_set(&self) -> Vec<(usize, u64)> {
-        let st = self.mirror.state.lock();
-        st.iter()
-            .enumerate()
-            .filter(|(_, m)| matches!(m.status, RankStatus::Failed | RankStatus::Rebuilding))
-            .map(|(r, m)| (r, m.failed_epoch))
-            .collect()
+        protocol::dead_set(&self.mirror.state.lock(LockRank::Mirror))
     }
 
     fn rank_status(&self, rank: usize) -> RankStatus {
-        self.mirror.state.lock()[rank].status
+        self.mirror.state.lock(LockRank::Mirror)[rank].status
     }
 }

@@ -1,0 +1,423 @@
+//! Model-based differential testing: random adversarial event
+//! sequences are run **twice** — once through the pure protocol
+//! machines in [`hacc_comm::protocol`] (the oracle), and once against a
+//! real [`SocketTransport`] talking loopback TCP to a scripted raw
+//! peer that replays the same events as actual wire frames. Delivery
+//! and condemnation verdicts must be identical, byte for byte and
+//! error for error — if the implementation ever drifts from the
+//! model-checked machines, this suite is the tripwire.
+//!
+//! The scripted peer is *not* a `SocketTransport`: it speaks the wire
+//! format directly (preamble, CRC frames), so it can commit protocol
+//! crimes a well-behaved transport cannot — skip a sequence number,
+//! claim a wrong source, flip a payload bit. A minimal in-test hub
+//! performs the rendezvous and injects `DECLARED` broadcasts.
+
+use hacc_comm::protocol::{
+    self, ControlEvent, FrameVerdict, LinkSession, Mutations, PeerView,
+};
+use hacc_comm::socket::{SocketConfig, SocketTransport};
+use hacc_comm::wire::{decode_frame, encode_frame, FrameHeader, FRAME_HEADER};
+use hacc_comm::{CommError, RankStatus, Transport, WirePayload};
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+const CTX: u64 = 0xD1FF;
+const TAG: u64 = 7;
+const TYPE_HASH: u64 = 0xABCD_1234;
+const DECLARED_EPOCH: u64 = 3;
+
+/// One adversarial event at the scripted peer (or hub).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Ev {
+    /// A well-formed in-sequence frame carrying the next payload id.
+    Good,
+    /// A frame is "lost": the peer consumes a sequence number but the
+    /// frame never reaches the wire (a dead connection's buffer).
+    Gap,
+    /// A CRC-valid frame whose header claims the wrong source rank.
+    BadSrc,
+    /// A frame with one payload bit flipped in flight (CRC failure).
+    Tear,
+    /// The hub broadcasts `DECLARED 1`.
+    Declare,
+}
+
+/// The pure-machine run of a script: expected deliveries, expected
+/// final verdict inputs, and the exact bytes the scripted peer writes.
+struct Oracle {
+    sender: LinkSession,
+    receiver: LinkSession,
+    view: [PeerView; 2],
+    /// Condemnation detail, exactly as the transport will report it.
+    condemned: Option<String>,
+    /// The reader thread died at the first condemnation; later frames
+    /// are never read even if a declaration lifts the flag.
+    reader_dead: bool,
+    expected: Vec<u8>,
+    declared: bool,
+    wire_bytes: Vec<u8>,
+}
+
+impl Oracle {
+    fn run(events: &[Ev]) -> Oracle {
+        let mut o = Oracle {
+            sender: LinkSession::default(),
+            receiver: LinkSession::default(),
+            view: [PeerView::INITIAL; 2],
+            condemned: None,
+            reader_dead: false,
+            expected: Vec::new(),
+            declared: false,
+            wire_bytes: Vec::new(),
+        };
+        let mut pid: u8 = 0;
+        let frame = |src: u32, seq: u64, payload: &[u8]| {
+            let h = FrameHeader {
+                src,
+                context: CTX,
+                tag: TAG,
+                seq,
+                type_hash: TYPE_HASH,
+                len: payload.len() as u64,
+            };
+            encode_frame(&h, payload)
+        };
+        let condemn = |o: &mut Oracle, detail: String| {
+            o.reader_dead = true;
+            if o.condemned.is_none() {
+                o.condemned = Some(detail);
+            }
+        };
+        for ev in events {
+            match ev {
+                Ev::Good => {
+                    let seq = o.sender.next_send_seq();
+                    o.sender.commit_send();
+                    o.wire_bytes.extend(frame(1, seq, &[pid]));
+                    if !o.reader_dead {
+                        match o.receiver.accept_frame(1, 1, seq) {
+                            FrameVerdict::Accept => o.expected.push(pid),
+                            FrameVerdict::Condemn(r) => condemn(&mut o, r.to_string()),
+                        }
+                    }
+                    pid += 1;
+                }
+                Ev::Gap => {
+                    // The frame vanishes between commit and the wire.
+                    o.sender.commit_send();
+                }
+                Ev::BadSrc => {
+                    let seq = o.sender.next_send_seq();
+                    o.wire_bytes.extend(frame(7, seq, &[0xEE]));
+                    if !o.reader_dead {
+                        match o.receiver.accept_frame(7, 1, seq) {
+                            FrameVerdict::Accept => unreachable!("bad source must condemn"),
+                            FrameVerdict::Condemn(r) => condemn(&mut o, r.to_string()),
+                        }
+                    }
+                }
+                Ev::Tear => {
+                    let seq = o.sender.next_send_seq();
+                    let mut bytes = frame(1, seq, &[0x55]);
+                    bytes[FRAME_HEADER] ^= 0x01; // flip a payload bit
+                    if !o.reader_dead {
+                        // Differential to the core: the expected detail
+                        // is whatever the real codec reports for these
+                        // exact bytes.
+                        let err = decode_frame(&bytes).expect_err("flipped bit must fail CRC");
+                        condemn(&mut o, err.to_string());
+                    }
+                    o.wire_bytes.extend(bytes);
+                }
+                Ev::Declare => {
+                    o.declared = true;
+                    let fx = protocol::apply_control(
+                        &mut o.view,
+                        ControlEvent::Declared {
+                            rank: 1,
+                            failed_epoch: DECLARED_EPOCH,
+                        },
+                        &Mutations::NONE,
+                    );
+                    if matches!(fx, protocol::MirrorEffect::LiftCondemnation { .. }) {
+                        o.condemned = None;
+                    }
+                }
+            }
+        }
+        o
+    }
+
+    /// The verdict a post-script receive must produce, decided by the
+    /// same gate the transport runs.
+    fn final_verdict(&self) -> protocol::RecvVerdict {
+        protocol::recv_gate(
+            false,
+            false,
+            false,
+            self.view[1].status,
+            self.view[1].failed_epoch,
+            self.condemned.is_some(),
+            &Mutations::NONE,
+        )
+    }
+}
+
+/// Decode a generated event code, biased toward valid traffic
+/// (codes 0..3 are `Good`; the adversarial events get one code each).
+fn decode_script(codes: &[u8]) -> Vec<Ev> {
+    codes
+        .iter()
+        .map(|c| match c {
+            0..=2 => Ev::Good,
+            3 => Ev::Gap,
+            4 => Ev::BadSrc,
+            5 => Ev::Tear,
+            _ => Ev::Declare,
+        })
+        .collect()
+}
+
+/// Run one script through the real transport + scripted peer and
+/// compare every observable against the oracle. Panics on divergence
+/// (the proptest harness reports the generating script).
+fn run_case(events: &[Ev]) {
+    let oracle = Oracle::run(events);
+
+    // --- fake hub -----------------------------------------------------
+    let hub_listener = TcpListener::bind("127.0.0.1:0").expect("hub bind");
+    let hub_addr = hub_listener.local_addr().expect("hub addr").to_string();
+    let (ctrl_tx, ctrl_rx) = mpsc::channel::<TcpStream>();
+    std::thread::spawn(move || {
+        let mut conns: Vec<(usize, String, BufReader<TcpStream>, TcpStream)> = Vec::new();
+        while conns.len() < 2 {
+            let Ok((stream, _)) = hub_listener.accept() else {
+                return;
+            };
+            let Ok(clone) = stream.try_clone() else { return };
+            let mut reader = BufReader::new(clone);
+            let mut hello = String::new();
+            if reader.read_line(&mut hello).is_err() {
+                return;
+            }
+            let mut it = hello.split_whitespace();
+            if it.next() != Some("HELLO") {
+                return;
+            }
+            let Some(rank) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                return;
+            };
+            let _inc = it.next();
+            let data_addr = it.next().unwrap_or("?").to_string();
+            conns.push((rank, data_addr, reader, stream));
+        }
+        let peer_lines: Vec<String> = conns
+            .iter()
+            .map(|(rank, addr, _, _)| format!("PEER {rank} 0 {addr}"))
+            .collect();
+        for (_, _, _, stream) in &mut conns {
+            let mut w = stream.try_clone().expect("clone");
+            // watchdog 2000ms, scan 60ms, sync timeout 8000ms
+            let _ = writeln!(w, "WELCOME 2 2000 60 8000");
+            for line in &peer_lines {
+                let _ = writeln!(w, "{line}");
+            }
+            let _ = writeln!(w, "STATE 0 healthy 0 0");
+            let _ = writeln!(w, "STATE 1 healthy 0 0");
+            let _ = writeln!(w, "READY");
+        }
+        for (rank, _, reader, stream) in conns {
+            if rank == 0 {
+                let _ = ctrl_tx.send(stream.try_clone().expect("ctrl clone"));
+            }
+            // Drain client lines; answer BEAT so the transport's
+            // heartbeat path stays unblocked if a test ever beats.
+            let mut w = stream;
+            std::thread::spawn(move || {
+                for line in reader.lines() {
+                    let Ok(line) = line else { break };
+                    if line.starts_with("BEAT ") {
+                        let _ = writeln!(w, "BEATACK healthy");
+                    }
+                }
+            });
+        }
+    });
+
+    // --- scripted raw-TCP rank 1 --------------------------------------
+    let wire_bytes = oracle.wire_bytes.clone();
+    let hub_addr_r1 = hub_addr.clone();
+    let (go_tx, go_rx) = mpsc::channel::<()>();
+    let (done_tx, done_rx) = mpsc::channel::<(TcpStream, TcpStream)>();
+    std::thread::spawn(move || {
+        // Rank 1 never accepts (rank 0 dials no higher rank), but its
+        // HELLO must still carry a live address.
+        let dummy = TcpListener::bind("127.0.0.1:0").expect("dummy bind");
+        let mut hub = TcpStream::connect(&hub_addr_r1).expect("rank1 dials hub");
+        writeln!(hub, "HELLO 1 0 {}", dummy.local_addr().expect("dummy addr"))
+            .expect("rank1 hello");
+        let mut reader = BufReader::new(hub.try_clone().expect("clone"));
+        let mut rank0_data = None;
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                return;
+            }
+            let mut it = line.split_whitespace();
+            match it.next() {
+                Some("PEER") if it.next() == Some("0") => {
+                    let _inc = it.next();
+                    rank0_data = it.next().map(String::from);
+                }
+                Some("READY") => break,
+                _ => {}
+            }
+        }
+        let addr = rank0_data.expect("rank 0 data address in welcome");
+        let mut data = TcpStream::connect(addr).expect("rank1 dials rank0 data");
+        // Data preamble: magic "HACD", rank 1, incarnation 0.
+        let mut pre = Vec::with_capacity(16);
+        pre.extend_from_slice(b"HACD");
+        pre.extend_from_slice(&1u32.to_le_bytes());
+        pre.extend_from_slice(&0u64.to_le_bytes());
+        data.write_all(&pre).expect("preamble");
+        // The preamble alone brings the link up; hold the (possibly
+        // condemning) script until the transport finishes rendezvous,
+        // or a first-frame condemnation races `wait_links_up`.
+        go_rx.recv().expect("go signal");
+        data.write_all(&wire_bytes).expect("script frames");
+        // Hand both streams to the test so they stay open until the
+        // verdicts have been checked.
+        let _ = done_tx.send((data, hub));
+    });
+
+    // --- the real transport under test --------------------------------
+    let transport = SocketTransport::connect(SocketConfig {
+        hub_addr,
+        rank: 0,
+        ranks: 2,
+        incarnation: 0,
+    })
+    .expect("transport connects");
+    go_tx.send(()).expect("peer thread alive");
+    let _peer_stream = done_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("scripted peer finished writing");
+
+    // --- DECLARED injection (position-independent: see recv_gate) -----
+    if oracle.declared {
+        let mut ctrl = ctrl_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("hub control handle");
+        writeln!(ctrl, "DECLARED 1 {DECLARED_EPOCH}").expect("declare broadcast");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while transport.rank_status(1) != RankStatus::Failed {
+            prop_assert!(Instant::now() < deadline, "DECLARED never reached the mirror");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    // --- expected deliveries, in order, byte-exact --------------------
+    for &pid in &oracle.expected {
+        match transport.recv(0, 1, CTX, TAG, Some(Duration::from_secs(5))) {
+            Ok(WirePayload::Bytes { type_hash, data }) => {
+                prop_assert_eq!(type_hash, TYPE_HASH);
+                prop_assert_eq!(data, vec![pid]);
+            }
+            Ok(WirePayload::Boxed(_)) => prop_assert!(false, "socket backend is byte-oriented"),
+            Err(e) => prop_assert!(
+                false,
+                "oracle expected payload {pid}, transport said {e:?} (script {events:?})"
+            ),
+        }
+    }
+
+    // --- final verdict must match the gate ----------------------------
+    let verdict = oracle.final_verdict();
+    match verdict {
+        protocol::RecvVerdict::Wait => {
+            // Nothing decides: the receive must time out cleanly.
+            match transport.recv(0, 1, CTX, TAG, Some(Duration::from_millis(300))) {
+                Err(CommError::Timeout { .. }) => {}
+                Ok(_) => panic!("oracle expected Wait, transport delivered a payload"),
+                Err(e) => panic!("oracle expected Wait/Timeout, got {e:?}"),
+            }
+        }
+        protocol::RecvVerdict::RankFailed { epoch } => {
+            let err = recv_until_error(&transport);
+            match err {
+                CommError::RankFailed { rank, epoch: got } => {
+                    prop_assert_eq!(rank, 1);
+                    prop_assert_eq!(got, epoch);
+                }
+                other => prop_assert!(false, "oracle expected RankFailed, got {other:?}"),
+            }
+        }
+        protocol::RecvVerdict::Corrupt => {
+            let want = oracle.condemned.clone().expect("corrupt verdict has detail");
+            let err = recv_until_error(&transport);
+            match err {
+                CommError::CorruptDetected { rank, detail } => {
+                    prop_assert_eq!(rank, 1);
+                    prop_assert_eq!(detail, want);
+                }
+                other => prop_assert!(false, "oracle expected CorruptDetected, got {other:?}"),
+            }
+        }
+        other => prop_assert!(false, "unreachable oracle verdict {other:?}"),
+    }
+
+    transport.shutdown(0);
+}
+
+/// Poll until the transport reports a non-timeout error (condemnation
+/// and declaration both arrive asynchronously via reader threads).
+fn recv_until_error(transport: &SocketTransport) -> CommError {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match transport.recv(0, 1, CTX, TAG, Some(Duration::from_millis(100))) {
+            Ok(_) => panic!("unexpected extra payload after the script drained"),
+            Err(CommError::Timeout { .. }) if Instant::now() < deadline => {}
+            Err(e) => return e,
+        }
+    }
+}
+
+// --- canonical deterministic scenarios, for readable failures ---------
+
+#[test]
+fn clean_stream_delivers_everything() {
+    run_case(&[Ev::Good, Ev::Good, Ev::Good]);
+}
+
+#[test]
+fn lost_frame_condemns_with_a_gap() {
+    run_case(&[Ev::Good, Ev::Gap, Ev::Good]);
+}
+
+#[test]
+fn declaration_outranks_a_torn_frame() {
+    run_case(&[Ev::Good, Ev::Tear, Ev::Declare]);
+}
+
+#[test]
+fn wrong_source_condemns() {
+    run_case(&[Ev::BadSrc, Ev::Good]);
+}
+
+proptest! {
+    // Each case stands up a real hub + transport, so the case budget is
+    // modest; the deterministic RNG makes failures reproduce exactly.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The differential property: pure machines and the real loopback
+    /// pair agree on every delivery and every verdict.
+    #[test]
+    fn pure_machines_and_real_sockets_agree(codes in prop::collection::vec(0u8..7, 0..7)) {
+        run_case(&decode_script(&codes));
+    }
+}

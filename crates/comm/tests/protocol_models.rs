@@ -1,0 +1,977 @@
+//! Exhaustive protocol model checking for the socket transport.
+//!
+//! Every model here explores the *same* pure state machines the live
+//! transport drives ([`hacc_comm::protocol`]) over adversarial event
+//! schedules — deliver, drop, tear, reconnect, SIGKILL/incarnation
+//! bump, hub declaration — using the vendored explicit-state checker
+//! (`vendor/modelcheck`). A passing `proven()` report is a bounded
+//! proof: the checker visited every reachable state within the model's
+//! event budgets.
+//!
+//! Theorems proved (with the shipping [`Mutations::NONE`]):
+//!
+//! - **no-silent-skip**: across same-incarnation reconnects, a frame
+//!   lost in a dead connection's buffers can never be skipped silently
+//!   — delivery either stays gapless or the link condemns.
+//! - **no-stale-frame-leak**: after an incarnation purge, no frame
+//!   from the dead incarnation remains queued.
+//! - **declared-outranks-corruption**: a hub death declaration always
+//!   wins over link-level condemnation; queued data beats both.
+//! - **no-deadlock / rank-discipline**: the transport's concurrent
+//!   lock-acquisition scripts admit no deadlock and never acquire
+//!   against the rank order.
+//! - **survivors-agree**: every child mirror converges to the hub's
+//!   dead set once the broadcast log drains.
+//!
+//! Each theorem is paired with a *mutation run*: the historical bug it
+//! guards against is reintroduced via a [`Mutations`] flag and the
+//! checker must produce a counterexample trace. The two bugs found in
+//! the PR 6 review (declaration-vs-condemnation precedence; the
+//! mailbox→link lock inversion) additionally have committed fixture
+//! traces under `tests/fixtures/` that are replayed step-by-step — a
+//! fixture that drifts from the model fails loudly in `replay`.
+//!
+//! Set `HACC_MODEL_STATS_DIR` to emit per-model JSON state counts and
+//! counterexample traces (consumed by `cargo xtask verify`).
+
+use hacc_comm::protocol::locks::{self, LockOp};
+use hacc_comm::protocol::{
+    self, ControlEvent, FrameVerdict, LinkSession, Mutations, PeerView, RecvVerdict,
+};
+use hacc_comm::sync::LockRank;
+use hacc_comm::RankStatus;
+use modelcheck::{check, replay, Model, Options, Property, Report, DEADLOCK};
+
+const BUG_PRECEDENCE: Mutations = Mutations {
+    corrupt_outranks_declared: true,
+    ..Mutations::NONE
+};
+const BUG_SILENT_SKIP: Mutations = Mutations {
+    reset_seq_on_reconnect: true,
+    ..Mutations::NONE
+};
+const BUG_LOCK_INVERSION: Mutations = Mutations {
+    diagnose_under_mailbox: true,
+    ..Mutations::NONE
+};
+
+/// Emit the report's state counts (and, for mutation runs, the
+/// counterexample trace) into `$HACC_MODEL_STATS_DIR` so `cargo xtask
+/// verify` can aggregate them into `VERIFY.json`. No-op otherwise.
+fn record<M: Model>(report: &Report<M>) {
+    let Ok(dir) = std::env::var("HACC_MODEL_STATS_DIR") else {
+        return;
+    };
+    std::fs::create_dir_all(&dir).ok();
+    let json = format!(
+        "{{\"model\":\"{}\",\"states\":{},\"transitions\":{},\"max_depth\":{},\
+         \"complete\":{},\"violations\":{},\"unreached\":{}}}\n",
+        report.model,
+        report.states,
+        report.transitions,
+        report.max_depth_seen,
+        report.complete,
+        report.violations.len(),
+        report.unreached.len(),
+    );
+    std::fs::write(format!("{dir}/{}.json", report.model), json).ok();
+    for v in &report.violations {
+        let path = format!("{dir}/{}.{}.trace", report.model, v.property);
+        std::fs::write(path, v.trace.render()).ok();
+    }
+}
+
+/// Assert a bounded proof, with the full counterexample in the panic
+/// message on regression (so CI logs carry the trace verbatim).
+fn assert_proven<M: Model>(report: &Report<M>) {
+    if report.proven() {
+        return;
+    }
+    let mut msg = format!("model not proven: {}\n", report.summary());
+    for v in &report.violations {
+        msg.push_str(&format!("violated {:?}:\n{}", v.property, v.trace.render()));
+    }
+    for name in &report.unreached {
+        msg.push_str(&format!("coverage property {name:?} never reached\n"));
+    }
+    panic!("{msg}");
+}
+
+// =====================================================================
+// Frame-stream model: sequence numbers across reconnects and kills
+// =====================================================================
+
+/// One directed link (peer rank 1 → us), both ends running the real
+/// [`LinkSession`] machine, with an in-order wire, connection drops
+/// that lose in-flight frames, same-incarnation reconnects, torn
+/// frames, and a SIGKILL + replacement incarnation.
+struct FrameStreamModel {
+    name: &'static str,
+    m: Mutations,
+    max_sends: u8,
+    max_reconnects: u8,
+    max_kills: u8,
+    max_tears: u8,
+}
+
+impl FrameStreamModel {
+    fn shipping() -> Self {
+        FrameStreamModel {
+            name: "frame-stream",
+            m: Mutations::NONE,
+            max_sends: 3,
+            max_reconnects: 2,
+            max_kills: 1,
+            max_tears: 1,
+        }
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct FrameState {
+    /// The peer's send half (lives in the peer process).
+    sender: LinkSession,
+    /// Our receive half (survives reconnects, reset on replacement).
+    receiver: LinkSession,
+    /// Frames in flight, in order: (incarnation, seq, payload id, torn).
+    wire: Vec<(u64, u64, u8, bool)>,
+    /// Payloads committed by the current peer incarnation (ids 0..).
+    sends: u8,
+    /// Delivered into the mailbox: (incarnation, payload id).
+    mailbox: Vec<(u64, u8)>,
+    /// Payloads accepted from the current incarnation (next expected id).
+    accepted: u8,
+    condemned: bool,
+    conn_up: bool,
+    peer_inc: u64,
+    reconnects: u8,
+    kills: u8,
+    tears: u8,
+    /// A frame was accepted whose payload id skipped a lost one — the
+    /// exact failure "no-silent-skip" forbids.
+    silent_skip: bool,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FrameAction {
+    /// Peer frames and writes the next payload.
+    Send,
+    /// The in-order wire delivers its oldest frame to our reader.
+    Deliver,
+    /// Bit-flip the oldest in-flight frame (header src scribbled).
+    Tear,
+    /// Connection dies; every in-flight frame is lost.
+    DropConn,
+    /// Same peer process redials (or its replacement, after `Kill`).
+    Reconnect,
+    /// SIGKILL: a blank replacement with a bumped incarnation respawns.
+    Kill,
+}
+
+impl Model for FrameStreamModel {
+    type State = FrameState;
+    type Action = FrameAction;
+
+    fn init_states(&self) -> Vec<FrameState> {
+        vec![FrameState {
+            sender: LinkSession::default(),
+            receiver: LinkSession::default(),
+            wire: Vec::new(),
+            sends: 0,
+            mailbox: Vec::new(),
+            accepted: 0,
+            condemned: false,
+            conn_up: true,
+            peer_inc: 0,
+            reconnects: 0,
+            kills: 0,
+            tears: 0,
+            silent_skip: false,
+        }]
+    }
+
+    fn actions(&self, s: &FrameState, out: &mut Vec<FrameAction>) {
+        if s.conn_up && !s.condemned && s.sends < self.max_sends {
+            out.push(FrameAction::Send);
+        }
+        if s.conn_up && !s.condemned && !s.wire.is_empty() {
+            out.push(FrameAction::Deliver);
+        }
+        if s.tears < self.max_tears && !s.wire.is_empty() {
+            out.push(FrameAction::Tear);
+        }
+        if s.conn_up {
+            out.push(FrameAction::DropConn);
+        }
+        if !s.conn_up && s.reconnects < self.max_reconnects {
+            out.push(FrameAction::Reconnect);
+        }
+        if !s.conn_up && s.kills < self.max_kills {
+            out.push(FrameAction::Kill);
+        }
+    }
+
+    fn next_state(&self, s: &FrameState, a: &FrameAction) -> Option<FrameState> {
+        let mut n = s.clone();
+        match a {
+            FrameAction::Send => {
+                let seq = n.sender.next_send_seq();
+                n.sender.commit_send();
+                n.wire.push((n.peer_inc, seq, n.sends, false));
+                n.sends += 1;
+            }
+            FrameAction::Deliver => {
+                let (inc, seq, pid, torn) = n.wire.remove(0);
+                // A torn frame scribbles the header: the reader sees a
+                // frame claiming the wrong source on this link.
+                let claimed = if torn { 9 } else { 1 };
+                match n.receiver.accept_frame(claimed, 1, seq) {
+                    FrameVerdict::Accept => {
+                        n.mailbox.push((inc, pid));
+                        if pid == n.accepted {
+                            n.accepted += 1;
+                        } else {
+                            n.silent_skip = true;
+                        }
+                    }
+                    FrameVerdict::Condemn(_) => n.condemned = true,
+                }
+            }
+            FrameAction::Tear => {
+                n.wire[0].3 = true;
+                n.tears += 1;
+            }
+            FrameAction::DropConn => {
+                n.conn_up = false;
+                n.wire.clear();
+            }
+            FrameAction::Reconnect => {
+                // Both ends run the real registration machine, exactly
+                // like `register_link` and the peer's dial path.
+                let plan = n.receiver.register(n.peer_inc, &self.m);
+                if plan.replacement {
+                    n.mailbox.clear();
+                }
+                if plan.lift_condemnation {
+                    n.condemned = false;
+                }
+                // The peer registers *our* incarnation, which never
+                // changes in this model (we are the survivor).
+                let _ = n.sender.register(0, &self.m);
+                n.conn_up = true;
+                n.reconnects += 1;
+            }
+            FrameAction::Kill => {
+                n.peer_inc += 1;
+                n.sender = LinkSession::default();
+                n.sends = 0;
+                n.accepted = 0;
+                n.kills += 1;
+            }
+        }
+        Some(n)
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+fn frame_stream_properties() -> Vec<Property<FrameStreamModel>> {
+    vec![
+        Property::<FrameStreamModel>::always("no-silent-skip", |_, s| !s.silent_skip),
+        Property::<FrameStreamModel>::always("no-stale-frame-leak", |_, s| {
+            s.mailbox
+                .iter()
+                .all(|&(inc, _)| inc == s.receiver.peer_incarnation)
+        }),
+        // Anti-vacuity coverage: the schedules above must actually
+        // reach the interesting corners.
+        Property::<FrameStreamModel>::sometimes("a-gap-condemns", |_, s| s.condemned),
+        Property::<FrameStreamModel>::sometimes("a-replacement-survives", |_, s| s.kills > 0 && s.conn_up),
+        Property::<FrameStreamModel>::sometimes("payloads-flow", |_, s| s.mailbox.len() >= 2),
+    ]
+}
+
+#[test]
+fn frame_stream_is_proven_gapless() {
+    let model = FrameStreamModel::shipping();
+    let report = check(&model, &frame_stream_properties(), &Options::default());
+    record(&report);
+    assert_proven(&report);
+}
+
+/// Bug #2 regression: resetting sequence counters on a same-incarnation
+/// reconnect lets a frame lost in the dead connection's buffers vanish
+/// without a gap. The checker must find the schedule.
+#[test]
+fn mutated_seq_reset_is_caught_as_silent_skip() {
+    let model = FrameStreamModel {
+        name: "frame-stream-mut-skip",
+        m: BUG_SILENT_SKIP,
+        ..FrameStreamModel::shipping()
+    };
+    let report = check(&model, &frame_stream_properties(), &Options::default());
+    record(&report);
+    let v = report
+        .violation("no-silent-skip")
+        .expect("the checker must catch bug #2 (silent frame skip)");
+    // The counterexample is a real schedule: replaying it reproduces
+    // the skipped delivery deterministically.
+    let actions: Vec<FrameAction> = v.trace.steps.iter().map(|(a, _)| *a).collect();
+    let states = replay(&model, 0, &actions);
+    assert!(states.last().unwrap().silent_skip, "{}", v.trace.render());
+    // And the schedule must involve a mid-stream loss + reconnect —
+    // the bug's signature.
+    assert!(actions.contains(&FrameAction::DropConn));
+    assert!(actions.contains(&FrameAction::Reconnect));
+}
+
+// =====================================================================
+// Precedence model: queued data → poison → declaration → condemnation
+// =====================================================================
+
+/// One receiver probing peer rank 1 while the link condemns, the hub
+/// declares/recovers, and payloads arrive — every `recv` verdict is
+/// computed by the real [`protocol::recv_gate`] and every mirror
+/// transition by the real [`protocol::apply_control`].
+struct PrecedenceModel {
+    name: &'static str,
+    m: Mutations,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct PrecState {
+    view: [PeerView; 2],
+    condemned: bool,
+    queued: u8,
+    poisoned: bool,
+    enqueues: u8,
+    condemns: u8,
+    declares: u8,
+    recovers: u8,
+    poisons: u8,
+    /// recv returned `Corrupt` while the hub had declared the peer dead
+    /// — the precedence inversion "declared-outranks-corruption" forbids.
+    corrupt_while_declared: bool,
+    /// recv returned anything but `Deliver` while a payload was queued.
+    starved: bool,
+    saw_deliver: bool,
+    saw_rank_failed: bool,
+    saw_corrupt: bool,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PrecAction {
+    /// A valid frame from rank 1 lands in the mailbox.
+    Enqueue,
+    /// Rank 1's link delivers a structurally bad frame.
+    CondemnLink,
+    /// The hub's detector declares rank 1 dead.
+    HubDeclare,
+    /// Rank 1's replacement starts recovery.
+    HubRebuild,
+    /// Rank 1 rejoins.
+    HubRecover,
+    /// The hub connection dies.
+    Poison,
+    /// The app thread executes one receive and observes the verdict.
+    Recv,
+}
+
+impl Model for PrecedenceModel {
+    type State = PrecState;
+    type Action = PrecAction;
+
+    fn init_states(&self) -> Vec<PrecState> {
+        vec![PrecState {
+            view: [PeerView::INITIAL; 2],
+            condemned: false,
+            queued: 0,
+            poisoned: false,
+            enqueues: 0,
+            condemns: 0,
+            declares: 0,
+            recovers: 0,
+            poisons: 0,
+            corrupt_while_declared: false,
+            starved: false,
+            saw_deliver: false,
+            saw_rank_failed: false,
+            saw_corrupt: false,
+        }]
+    }
+
+    fn actions(&self, s: &PrecState, out: &mut Vec<PrecAction>) {
+        if s.enqueues < 1 {
+            out.push(PrecAction::Enqueue);
+        }
+        if s.condemns < 1 {
+            out.push(PrecAction::CondemnLink);
+        }
+        if s.declares < 1 {
+            out.push(PrecAction::HubDeclare);
+        }
+        if s.view[1].status == RankStatus::Failed {
+            out.push(PrecAction::HubRebuild);
+        }
+        if s.recovers < 1 && s.view[1].status == RankStatus::Rebuilding {
+            out.push(PrecAction::HubRecover);
+        }
+        if s.poisons < 1 {
+            out.push(PrecAction::Poison);
+        }
+        out.push(PrecAction::Recv);
+    }
+
+    fn next_state(&self, s: &PrecState, a: &PrecAction) -> Option<PrecState> {
+        let mut n = s.clone();
+        match a {
+            PrecAction::Enqueue => {
+                n.queued += 1;
+                n.enqueues += 1;
+            }
+            PrecAction::CondemnLink => {
+                n.condemned = true;
+                n.condemns += 1;
+            }
+            PrecAction::HubDeclare => {
+                let fx = protocol::apply_control(
+                    &mut n.view,
+                    ControlEvent::Declared {
+                        rank: 1,
+                        failed_epoch: 3,
+                    },
+                    &self.m,
+                );
+                if fx == (protocol::MirrorEffect::LiftCondemnation { rank: 1 }) {
+                    n.condemned = false;
+                }
+                n.declares += 1;
+            }
+            PrecAction::HubRebuild => {
+                let _ = protocol::apply_control(
+                    &mut n.view,
+                    ControlEvent::Rebuilding { rank: 1 },
+                    &self.m,
+                );
+            }
+            PrecAction::HubRecover => {
+                let _ = protocol::apply_control(
+                    &mut n.view,
+                    ControlEvent::Recovered { rank: 1, epoch: 4 },
+                    &self.m,
+                );
+                n.recovers += 1;
+            }
+            PrecAction::Poison => {
+                n.poisoned = true;
+                n.poisons += 1;
+            }
+            PrecAction::Recv => {
+                let verdict = protocol::recv_gate(
+                    n.queued > 0,
+                    n.poisoned,
+                    false,
+                    n.view[1].status,
+                    n.view[1].failed_epoch,
+                    n.condemned,
+                    &self.m,
+                );
+                if n.queued > 0 && verdict != RecvVerdict::Deliver {
+                    n.starved = true;
+                }
+                match verdict {
+                    RecvVerdict::Deliver => {
+                        n.queued -= 1;
+                        n.saw_deliver = true;
+                    }
+                    RecvVerdict::RankFailed { .. } => n.saw_rank_failed = true,
+                    RecvVerdict::Corrupt => {
+                        n.saw_corrupt = true;
+                        if n.view[1].status == RankStatus::Failed {
+                            n.corrupt_while_declared = true;
+                        }
+                    }
+                    RecvVerdict::Poisoned => {}
+                    // A `Wait` verdict changes nothing observable; prune
+                    // the self-loop.
+                    RecvVerdict::Wait => return None,
+                }
+            }
+        }
+        Some(n)
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+fn precedence_properties() -> Vec<Property<PrecedenceModel>> {
+    vec![
+        Property::<PrecedenceModel>::always("declared-outranks-corruption", |_, s| {
+            !s.corrupt_while_declared
+        }),
+        Property::<PrecedenceModel>::always("queued-data-beats-every-error", |_, s| !s.starved),
+        Property::<PrecedenceModel>::sometimes("delivers", |_, s| s.saw_deliver),
+        Property::<PrecedenceModel>::sometimes("reports-rank-failed", |_, s| s.saw_rank_failed),
+        Property::<PrecedenceModel>::sometimes("reports-corruption", |_, s| s.saw_corrupt),
+        Property::<PrecedenceModel>::sometimes("full-recovery-cycle", |_, s| {
+            s.recovers > 0 && s.view[1].status == RankStatus::Healthy
+        }),
+    ]
+}
+
+#[test]
+fn precedence_order_is_proven() {
+    let model = PrecedenceModel {
+        name: "precedence",
+        m: Mutations::NONE,
+    };
+    let report = check(&model, &precedence_properties(), &Options::default());
+    record(&report);
+    assert_proven(&report);
+}
+
+/// Bug #1 regression: with the historical precedence inversion, a
+/// death that tore a frame masquerades as corruption forever. The
+/// checker must find the schedule.
+#[test]
+fn mutated_precedence_is_caught() {
+    let model = PrecedenceModel {
+        name: "precedence-mut-bug1",
+        m: BUG_PRECEDENCE,
+    };
+    let report = check(&model, &precedence_properties(), &Options::default());
+    record(&report);
+    let v = report
+        .violation("declared-outranks-corruption")
+        .expect("the checker must catch bug #1 (precedence inversion)");
+    let actions: Vec<PrecAction> = v.trace.steps.iter().map(|(a, _)| *a).collect();
+    let states = replay(&model, 0, &actions);
+    assert!(
+        states.last().unwrap().corrupt_while_declared,
+        "{}",
+        v.trace.render()
+    );
+}
+
+// =====================================================================
+// Lock-order model: interleaved acquisition scripts
+// =====================================================================
+
+/// Exhaustive interleaving of the transport's (or hub's) concurrent
+/// lock-acquisition scripts from [`protocol::locks`] — the same shapes
+/// the rank checker in `hacc_comm::sync` enforces at runtime. Proves
+/// deadlock-freedom *and* that no interleaving acquires against the
+/// rank order.
+struct LockOrderModel {
+    name: &'static str,
+    threads: Vec<(&'static str, Vec<LockOp>)>,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct LockState {
+    pc: Vec<u8>,
+    /// Per-thread stack of held ranks.
+    held: Vec<Vec<LockRank>>,
+    /// Some thread acquired a rank ≤ one it already held.
+    discipline_violated: bool,
+}
+
+/// One scheduler step: which thread advances (named for trace
+/// readability; fixtures parse the index back out of the `Debug` form).
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct Step(usize, &'static str);
+
+impl std::fmt::Debug for Step {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Step({}, {:?})", self.0, self.1)
+    }
+}
+
+impl Model for LockOrderModel {
+    type State = LockState;
+    type Action = Step;
+
+    fn init_states(&self) -> Vec<LockState> {
+        vec![LockState {
+            pc: vec![0; self.threads.len()],
+            held: vec![Vec::new(); self.threads.len()],
+            discipline_violated: false,
+        }]
+    }
+
+    fn actions(&self, s: &LockState, out: &mut Vec<Step>) {
+        for (t, (name, script)) in self.threads.iter().enumerate() {
+            let Some(op) = script.get(s.pc[t] as usize) else {
+                continue; // thread done
+            };
+            let enabled = match op {
+                LockOp::Acquire(r) => !s.held.iter().any(|h| h.contains(r)),
+                LockOp::Release(_) => true,
+            };
+            if enabled {
+                out.push(Step(t, name));
+            }
+        }
+    }
+
+    fn next_state(&self, s: &LockState, Step(t, _): &Step) -> Option<LockState> {
+        let mut n = s.clone();
+        let op = self.threads[*t].1[s.pc[*t] as usize];
+        match op {
+            LockOp::Acquire(r) => {
+                if s.held.iter().any(|h| h.contains(&r)) {
+                    return None; // blocked
+                }
+                if n.held[*t].iter().any(|&held| held >= r) {
+                    n.discipline_violated = true;
+                }
+                n.held[*t].push(r);
+            }
+            LockOp::Release(r) => {
+                n.held[*t].retain(|&h| h != r);
+            }
+        }
+        n.pc[*t] += 1;
+        Some(n)
+    }
+
+    fn is_terminal_ok(&self, s: &LockState) -> bool {
+        s.pc
+            .iter()
+            .zip(&self.threads)
+            .all(|(&pc, (_, script))| pc as usize == script.len())
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+fn lock_order_properties() -> Vec<Property<LockOrderModel>> {
+    vec![
+        Property::<LockOrderModel>::always("rank-discipline", |_, s| !s.discipline_violated),
+        Property::<LockOrderModel>::sometimes("max-nesting-reached", |_, s| {
+            s.held.iter().any(|h| h.len() >= 2)
+        }),
+    ]
+}
+
+#[test]
+fn transport_lock_scripts_are_deadlock_free() {
+    let model = LockOrderModel {
+        name: "lock-order-transport",
+        threads: locks::transport_threads(&Mutations::NONE),
+    };
+    let report = check(&model, &lock_order_properties(), &Options::default());
+    record(&report);
+    assert_proven(&report);
+}
+
+#[test]
+fn hub_lock_scripts_are_deadlock_free() {
+    let model = LockOrderModel {
+        name: "lock-order-hub",
+        threads: vec![
+            ("hub_rpc", locks::hub_rpc()),
+            ("hub_welcome_block", locks::hub_welcome_block()),
+            ("condemn", locks::condemn()),
+        ],
+    };
+    let report = check(&model, &lock_order_properties(), &Options::default());
+    record(&report);
+    assert_proven(&report);
+}
+
+/// Bug #3 regression: diagnosing a receive timeout while still holding
+/// the mailbox lock inverts `Link → Mail` and deadlocks against
+/// `register_link`. The checker must find both the rank-discipline
+/// breach and the deadlock schedule.
+#[test]
+fn mutated_lock_inversion_is_caught() {
+    let model = LockOrderModel {
+        name: "lock-order-mut-inversion",
+        threads: locks::transport_threads(&BUG_LOCK_INVERSION),
+    };
+    let report = check(&model, &lock_order_properties(), &Options::default());
+    record(&report);
+    report
+        .violation("rank-discipline")
+        .expect("the checker must flag the Mail→Link rank breach");
+    let v = report
+        .violation(DEADLOCK)
+        .expect("the checker must find the register_link deadlock");
+    // The deadlocked state really is stuck: no enabled actions, with
+    // both inverted threads mid-script.
+    let end = v.trace.last_state();
+    let mut enabled = Vec::new();
+    model.actions(end, &mut enabled);
+    assert!(enabled.is_empty(), "{}", v.trace.render());
+    assert!(!model.is_terminal_ok(end));
+}
+
+// =====================================================================
+// Dead-set model: survivor agreement on hub broadcasts
+// =====================================================================
+
+/// The hub appends detector events to an ordered broadcast log; each
+/// child consumes the log at its own pace through the real
+/// [`protocol::apply_control`]. Terminal states (log drained, event
+/// budget spent) must show every child's [`protocol::dead_set`] equal
+/// to the hub's.
+struct DeadSetModel {
+    name: &'static str,
+    m: Mutations,
+}
+
+const DS_RANKS: usize = 3;
+const DS_CHILDREN: usize = 2; // observers: ranks 0 and 2
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct DeadSetState {
+    /// Hub-side lifecycle per rank: 0 healthy, 1 declared, 2 rebuilding,
+    /// 3 recovered.
+    hub: [u8; DS_RANKS],
+    log: Vec<ControlEvent>,
+    consumed: [u8; DS_CHILDREN],
+    views: [[PeerView; DS_RANKS]; DS_CHILDREN],
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DeadSetAction {
+    Declare(usize),
+    Rebuild(usize),
+    Recover(usize),
+    /// Child `c`'s control loop applies the next broadcast.
+    DeliverTo(usize),
+}
+
+impl DeadSetModel {
+    fn hub_dead_set(s: &DeadSetState) -> Vec<(usize, u64)> {
+        s.hub
+            .iter()
+            .enumerate()
+            .filter(|&(_, &st)| st == 1 || st == 2)
+            .map(|(r, _)| (r, r as u64))
+            .collect()
+    }
+}
+
+impl Model for DeadSetModel {
+    type State = DeadSetState;
+    type Action = DeadSetAction;
+
+    fn init_states(&self) -> Vec<DeadSetState> {
+        vec![DeadSetState {
+            hub: [0; DS_RANKS],
+            log: Vec::new(),
+            consumed: [0; DS_CHILDREN],
+            views: [[PeerView::INITIAL; DS_RANKS]; DS_CHILDREN],
+        }]
+    }
+
+    fn actions(&self, s: &DeadSetState, out: &mut Vec<DeadSetAction>) {
+        // The hub may declare ranks 1 and 2; only rank 1's replacement
+        // completes the rebuild/recover cycle.
+        for r in [1, 2] {
+            if s.hub[r] == 0 {
+                out.push(DeadSetAction::Declare(r));
+            }
+        }
+        if s.hub[1] == 1 {
+            out.push(DeadSetAction::Rebuild(1));
+        }
+        if s.hub[1] == 2 {
+            out.push(DeadSetAction::Recover(1));
+        }
+        for c in 0..DS_CHILDREN {
+            if (s.consumed[c] as usize) < s.log.len() {
+                out.push(DeadSetAction::DeliverTo(c));
+            }
+        }
+    }
+
+    fn next_state(&self, s: &DeadSetState, a: &DeadSetAction) -> Option<DeadSetState> {
+        let mut n = s.clone();
+        match *a {
+            DeadSetAction::Declare(r) => {
+                n.hub[r] = 1;
+                // failed_epoch = rank, so agreement is on (rank, epoch)
+                // pairs, not just membership.
+                n.log.push(ControlEvent::Declared {
+                    rank: r,
+                    failed_epoch: r as u64,
+                });
+            }
+            DeadSetAction::Rebuild(r) => {
+                n.hub[r] = 2;
+                n.log.push(ControlEvent::Rebuilding { rank: r });
+            }
+            DeadSetAction::Recover(r) => {
+                n.hub[r] = 3;
+                n.log.push(ControlEvent::Recovered { rank: r, epoch: 5 });
+            }
+            DeadSetAction::DeliverTo(c) => {
+                let ev = n.log[n.consumed[c] as usize];
+                let _ = protocol::apply_control(&mut n.views[c], ev, &self.m);
+                n.consumed[c] += 1;
+            }
+        }
+        Some(n)
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[test]
+fn survivors_agree_on_the_dead_set() {
+    let model = DeadSetModel {
+        name: "dead-set",
+        m: Mutations::NONE,
+    };
+    let props = vec![
+        // Terminal = log drained + hub lifecycle exhausted: every
+        // child's mirror must equal the hub's authoritative view.
+        Property::<DeadSetModel>::eventually("survivors-agree", |_, s| {
+            let hub = DeadSetModel::hub_dead_set(s);
+            s.views.iter().all(|v| protocol::dead_set(v) == hub)
+        }),
+        // Mid-flight, a child lags the hub but never invents a death
+        // the hub did not broadcast.
+        Property::<DeadSetModel>::always("no-invented-deaths", |_, s| {
+            s.views.iter().all(|v| {
+                protocol::dead_set(v).iter().all(|&(r, _)| {
+                    s.log.iter().any(
+                        |ev| matches!(ev, ControlEvent::Declared { rank, .. } if *rank == r),
+                    )
+                })
+            })
+        }),
+        Property::<DeadSetModel>::sometimes("children-disagree-in-flight", |_, s| {
+            protocol::dead_set(&s.views[0]) != protocol::dead_set(&s.views[1])
+        }),
+        Property::<DeadSetModel>::sometimes("double-fault-reached", |_, s| s.hub[1] >= 1 && s.hub[2] >= 1),
+        Property::<DeadSetModel>::sometimes("recovery-reached", |_, s| s.hub[1] == 3),
+    ];
+    let report = check(&model, &props, &Options::default());
+    record(&report);
+    assert_proven(&report);
+}
+
+// =====================================================================
+// Committed counterexample fixtures for the two PR 6 review bugs
+// =====================================================================
+
+fn fixture(name: &str) -> Vec<String> {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {path}: {e}"));
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(String::from)
+        .collect()
+}
+
+/// The recorded counterexample for the precedence bug replays through
+/// the mutated model to the exact bad state — and the same schedule is
+/// healthy under the shipping configuration.
+#[test]
+fn pr6_precedence_fixture_replays() {
+    let actions: Vec<PrecAction> = fixture("pr6_precedence.trace")
+        .iter()
+        .map(|l| match l.as_str() {
+            "Enqueue" => PrecAction::Enqueue,
+            "CondemnLink" => PrecAction::CondemnLink,
+            "HubDeclare" => PrecAction::HubDeclare,
+            "HubRebuild" => PrecAction::HubRebuild,
+            "HubRecover" => PrecAction::HubRecover,
+            "Poison" => PrecAction::Poison,
+            "Recv" => PrecAction::Recv,
+            other => panic!("unknown action {other:?} in fixture"),
+        })
+        .collect();
+    let buggy = PrecedenceModel {
+        name: "precedence-mut-bug1",
+        m: BUG_PRECEDENCE,
+    };
+    let states = replay(&buggy, 0, &actions);
+    assert!(
+        states.last().unwrap().corrupt_while_declared,
+        "fixture no longer reproduces bug #1"
+    );
+    // The shipping machine survives the identical schedule: the recv
+    // sees RankFailed, never Corrupt.
+    let fixed = PrecedenceModel {
+        name: "precedence",
+        m: Mutations::NONE,
+    };
+    let states = replay(&fixed, 0, &actions);
+    let end = states.last().unwrap();
+    assert!(!end.corrupt_while_declared);
+    assert!(end.saw_rank_failed);
+}
+
+/// The recorded lock-inversion schedule deadlocks the mutated scripts
+/// — and runs to completion under the shipping ones.
+#[test]
+fn pr6_lock_inversion_fixture_replays() {
+    let steps: Vec<(usize, String)> = fixture("pr6_lock_inversion.trace")
+        .iter()
+        .map(|l| {
+            let body = l
+                .strip_prefix("Step(")
+                .and_then(|s| s.strip_suffix(')'))
+                .unwrap_or_else(|| panic!("malformed fixture line {l:?}"));
+            let (idx, name) = body.split_once(',').expect("Step(<idx>, <name>)");
+            (
+                idx.trim().parse().expect("thread index"),
+                name.trim().trim_matches('"').to_string(),
+            )
+        })
+        .collect();
+    let buggy = LockOrderModel {
+        name: "lock-order-mut-inversion",
+        threads: locks::transport_threads(&BUG_LOCK_INVERSION),
+    };
+    let actions: Vec<Step> = steps
+        .iter()
+        .map(|(t, name)| {
+            assert_eq!(
+                buggy.threads[*t].0, name,
+                "fixture thread name drifted from protocol::locks"
+            );
+            Step(*t, buggy.threads[*t].0)
+        })
+        .collect();
+    let states = replay(&buggy, 0, &actions);
+    let end = states.last().unwrap();
+    let mut enabled = Vec::new();
+    buggy.actions(end, &mut enabled);
+    assert!(
+        enabled.is_empty() && !buggy.is_terminal_ok(end),
+        "fixture schedule no longer deadlocks the mutated scripts"
+    );
+    // The shipping scripts run the same schedule without sticking, and
+    // every thread can still finish from wherever it ends up.
+    let fixed = LockOrderModel {
+        name: "lock-order-transport",
+        threads: locks::transport_threads(&Mutations::NONE),
+    };
+    let actions: Vec<Step> = steps
+        .iter()
+        .map(|(t, _)| Step(*t, fixed.threads[*t].0))
+        .collect();
+    let states = replay(&fixed, 0, &actions);
+    let mut enabled = Vec::new();
+    fixed.actions(states.last().unwrap(), &mut enabled);
+    assert!(
+        !enabled.is_empty() || fixed.is_terminal_ok(states.last().unwrap()),
+        "shipping scripts must not deadlock on the fixture schedule"
+    );
+}

@@ -20,6 +20,7 @@
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
+use std::time::Instant;
 
 /// Licenses acceptable for anything this workspace links. Everything in
 /// the repo (workspace crates and the vendored stand-ins) is dual
@@ -48,28 +49,98 @@ enum Outcome {
 }
 
 struct Report {
-    steps: Vec<(String, Outcome)>,
+    steps: Vec<(String, Outcome, f64)>,
+    /// Wall clock at construction / last `record` — each step's
+    /// duration is the time since the previous step finished, which is
+    /// exact because all work happens inside the step functions.
+    last: Instant,
+    /// When set (the `verify` command), `exit` writes the machine-
+    /// readable per-pass report here.
+    json_out: Option<PathBuf>,
 }
 
 impl Report {
     fn new() -> Self {
-        Self { steps: Vec::new() }
+        Self {
+            steps: Vec::new(),
+            last: Instant::now(),
+            json_out: None,
+        }
     }
 
     fn record(&mut self, name: &str, outcome: Outcome) {
+        let secs = self.last.elapsed().as_secs_f64();
+        self.last = Instant::now();
         let tag = match &outcome {
             Outcome::Pass => "PASS".to_string(),
             Outcome::Fail(why) => format!("FAIL ({why})"),
             Outcome::Skip(why) => format!("SKIPPED ({why})"),
         };
-        println!("xtask: {name}: {tag}");
-        self.steps.push((name.to_string(), outcome));
+        println!("xtask: {name}: {tag} [{secs:.1}s]");
+        self.steps.push((name.to_string(), outcome, secs));
+    }
+
+    /// Serialize the run to `out/verify/VERIFY.json`: per-pass status,
+    /// detail, and timing, plus the per-model state counts the protocol
+    /// step collected under `out/verify/models/`.
+    fn write_json(&self, path: &Path) {
+        let mut steps_json: Vec<String> = Vec::new();
+        for (name, outcome, secs) in &self.steps {
+            let (status, detail) = match outcome {
+                Outcome::Pass => ("pass", String::new()),
+                Outcome::Fail(why) => ("fail", why.clone()),
+                Outcome::Skip(why) => ("skipped", why.clone()),
+            };
+            steps_json.push(format!(
+                "    {{\"name\": {}, \"status\": \"{status}\", \"detail\": {}, \"seconds\": {secs:.3}}}",
+                json_string(name),
+                json_string(&detail),
+            ));
+        }
+        // The protocol step leaves one JSON object per model; embed
+        // them verbatim so state counts travel with the pass results.
+        let mut models: Vec<String> = Vec::new();
+        if let Some(dir) = path.parent() {
+            let mut entries: Vec<PathBuf> = std::fs::read_dir(dir.join("models"))
+                .map(|it| {
+                    it.flatten()
+                        .map(|e| e.path())
+                        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+                        .collect()
+                })
+                .unwrap_or_default();
+            entries.sort();
+            for p in entries {
+                if let Ok(text) = std::fs::read_to_string(&p) {
+                    models.push(format!("    {}", text.trim()));
+                }
+            }
+        }
+        let ok = !self
+            .steps
+            .iter()
+            .any(|(_, o, _)| matches!(o, Outcome::Fail(_)));
+        let body = format!(
+            "{{\n  \"ok\": {ok},\n  \"steps\": [\n{}\n  ],\n  \"models\": [\n{}\n  ]\n}}\n",
+            steps_json.join(",\n"),
+            models.join(",\n"),
+        );
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(path, body) {
+            Ok(()) => println!("xtask: wrote {}", path.display()),
+            Err(e) => println!("xtask: could not write {}: {e}", path.display()),
+        }
     }
 
     fn exit(self) -> ExitCode {
+        if let Some(path) = &self.json_out {
+            self.write_json(path);
+        }
         println!("\nxtask summary:");
         let mut failed = false;
-        for (name, outcome) in &self.steps {
+        for (name, outcome, secs) in &self.steps {
             let tag = match outcome {
                 Outcome::Pass => "PASS",
                 Outcome::Fail(_) => {
@@ -78,7 +149,7 @@ impl Report {
                 }
                 Outcome::Skip(_) => "SKIPPED",
             };
-            println!("  {tag:<8} {name}");
+            println!("  {tag:<8} {name} [{secs:.1}s]");
         }
         if failed {
             ExitCode::FAILURE
@@ -86,6 +157,25 @@ impl Report {
             ExitCode::SUCCESS
         }
     }
+}
+
+/// Minimal JSON string encoder (quotes, backslashes, control bytes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn repo_root() -> PathBuf {
@@ -174,6 +264,175 @@ fn step_loom(report: &mut Report) {
             .env("RUSTFLAGS", loom_rustflags()),
     );
     report.record("loom model suite (hacc-comm)", outcome);
+}
+
+/// Source pass enforcing the lock-order discipline *syntactically*:
+/// every `.lock(` call site in `crates/comm/src` must name its
+/// `LockRank::` inline, so the runtime rank checker (and a human
+/// reader) can see the intended order at the acquisition site. The
+/// rank-free primitives live only in `sync.rs`, which is exempt.
+fn builtin_lockorder() -> Outcome {
+    let root = repo_root();
+    let src = root.join("crates/comm/src");
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut stack = vec![src.clone()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            return Outcome::Fail(format!("cannot read {}", dir.display()));
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|x| x == "rs")
+                && p.file_name().is_some_and(|n| n != "sync.rs")
+            {
+                files.push(p);
+            }
+        }
+    }
+    files.sort();
+    let mut sites = 0usize;
+    let mut problems: Vec<String> = Vec::new();
+    for file in &files {
+        let Ok(text) = std::fs::read_to_string(file) else {
+            problems.push(format!("cannot read {}", file.display()));
+            continue;
+        };
+        for (i, line) in text.lines().enumerate() {
+            let code = line.trim_start();
+            if code.starts_with("//") {
+                continue;
+            }
+            if code.contains(".lock(") {
+                sites += 1;
+                if !code.contains("LockRank::") {
+                    let rel = file.strip_prefix(&root).unwrap_or(file);
+                    problems.push(format!(
+                        "{}:{}: `.lock(` without a `LockRank::` annotation",
+                        rel.display(),
+                        i + 1
+                    ));
+                }
+            }
+        }
+    }
+    if problems.is_empty() {
+        println!(
+            "xtask: lockorder: {} `.lock(` sites across {} files, all rank-annotated",
+            sites,
+            files.len()
+        );
+        Outcome::Pass
+    } else {
+        for p in &problems {
+            println!("xtask: lockorder: {p}");
+        }
+        Outcome::Fail(format!("{} unranked lock site(s)", problems.len()))
+    }
+}
+
+fn step_lockorder(report: &mut Report) {
+    report.record("lockorder (source pass, crates/comm)", builtin_lockorder());
+}
+
+/// Pull `"key":<integer>` out of the single-line JSON objects the model
+/// suite emits. Enough for our own stats files; not a JSON parser.
+fn json_int_field(text: &str, key: &str) -> Option<u64> {
+    let idx = text.find(&format!("\"{key}\":"))?;
+    let rest = &text[idx + key.len() + 3..];
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// The protocol model-checking gate: the vendored checker's own suite,
+/// then the transport protocol models + runtime lock-order tests, with
+/// per-model state counts captured under `out/verify/models/` for
+/// `VERIFY.json`. A model that did not *complete* its exploration
+/// (budget exhausted) fails the step even if no property tripped —
+/// the theorems are only theorems if the state space was exhausted.
+fn step_protocol(report: &mut Report) {
+    let outcome = run(
+        "modelcheck self-tests",
+        Command::new("cargo").args([
+            "test",
+            "-q",
+            "--manifest-path",
+            "vendor/modelcheck/Cargo.toml",
+        ]),
+    );
+    report.record("modelcheck self-tests", outcome);
+
+    let stats_dir = repo_root().join("out/verify/models");
+    let _ = std::fs::remove_dir_all(&stats_dir);
+    let _ = std::fs::create_dir_all(&stats_dir);
+    // Debug profile on purpose: the runtime lock-rank checker (and the
+    // lock_order suite) compile in under debug_assertions only.
+    let outcome = run(
+        "protocol model suite",
+        Command::new("cargo")
+            .args([
+                "test",
+                "-q",
+                "-p",
+                "hacc-comm",
+                "--test",
+                "protocol_models",
+                "--test",
+                "lock_order",
+            ])
+            .env("HACC_MODEL_STATS_DIR", &stats_dir),
+    );
+    let outcome = match outcome {
+        Outcome::Pass => summarize_models(&stats_dir),
+        other => other,
+    };
+    report.record("protocol models + lock order (hacc-comm)", outcome);
+}
+
+fn summarize_models(stats_dir: &Path) -> Outcome {
+    let mut entries: Vec<PathBuf> = match std::fs::read_dir(stats_dir) {
+        Ok(it) => it
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect(),
+        Err(e) => return Outcome::Fail(format!("no model stats emitted: {e}")),
+    };
+    entries.sort();
+    if entries.is_empty() {
+        return Outcome::Fail("model suite wrote no state-count stats".into());
+    }
+    let mut total_states = 0u64;
+    let mut incomplete: Vec<String> = Vec::new();
+    for p in &entries {
+        let Ok(text) = std::fs::read_to_string(p) else {
+            continue;
+        };
+        let model = p
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let states = json_int_field(&text, "states").unwrap_or(0);
+        let transitions = json_int_field(&text, "transitions").unwrap_or(0);
+        total_states += states;
+        println!("xtask: model {model}: {states} states, {transitions} transitions");
+        if !text.contains("\"complete\":true") {
+            incomplete.push(model);
+        }
+    }
+    if incomplete.is_empty() {
+        println!(
+            "xtask: protocol: {} models, {} states, all explored exhaustively",
+            entries.len(),
+            total_states
+        );
+        Outcome::Pass
+    } else {
+        Outcome::Fail(format!(
+            "state budget exhausted before full exploration: {incomplete:?}"
+        ))
+    }
 }
 
 fn step_miri(report: &mut Report) {
@@ -271,6 +530,31 @@ fn step_tsan(report: &mut Report) {
             .env("TSAN_OPTIONS", "halt_on_error=1"),
     );
     report.record("tsan (hacc-pm, hacc-short)", outcome);
+
+    // The socket transport's wall-clock suites: real threads over
+    // loopback TCP — the schedules loom cannot model (actual kernel
+    // buffering, reader/control/tick thread interleavings).
+    let outcome = run(
+        "tsan socket wall-clock",
+        Command::new("cargo")
+            .args([
+                "+nightly",
+                "test",
+                "-Zbuild-std",
+                "--target",
+                &triple,
+                "-p",
+                "hacc-comm",
+                "--release",
+                "--test",
+                "fault_recovery",
+                "--test",
+                "protocol_differential",
+            ])
+            .env("RUSTFLAGS", "-Zsanitizer=thread")
+            .env("TSAN_OPTIONS", "halt_on_error=1"),
+    );
+    report.record("tsan (hacc-comm socket wall-clock)", outcome);
 }
 
 /// Extract the value of a simple `key = "value"` TOML line. Enough for
@@ -397,15 +681,18 @@ fn step_test(report: &mut Report) {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cargo xtask <verify|lint|deny|loom|miri|tsan|test>\n\
+        "usage: cargo xtask <verify|lint|deny|lockorder|protocol|loom|miri|tsan|test>\n\
          \n\
-         verify   run lint + deny + loom, plus miri/tsan when installed\n\
-         lint     clippy --workspace --all-targets with -D warnings\n\
-         deny     cargo-deny check, or the built-in duplicate/advisory/license check\n\
-         loom     vendored-loom self-tests + the hacc-comm model suite (--cfg loom)\n\
-         miri     cargo miri test -p hacc-pm -p hacc-short -p hacc-fft (tiny sizes)\n\
-         tsan     ThreadSanitizer run of the rayon-parallel kernels (nightly + rust-src)\n\
-         test     cargo test -q --workspace"
+         verify    run lint + deny + lockorder + protocol + loom (+ miri/tsan when\n\
+         \u{20}         installed) and write out/verify/VERIFY.json\n\
+         lint      clippy --workspace --all-targets with -D warnings\n\
+         deny      cargo-deny check, or the built-in duplicate/advisory/license check\n\
+         lockorder source pass: every `.lock(` in crates/comm/src names its LockRank\n\
+         protocol  exhaustive protocol model suite + runtime lock-order tests\n\
+         loom      vendored-loom self-tests + the hacc-comm model suite (--cfg loom)\n\
+         miri      cargo miri test -p hacc-pm -p hacc-short -p hacc-fft (tiny sizes)\n\
+         tsan      ThreadSanitizer: rayon kernels + socket wall-clock suites\n\
+         test      cargo test -q --workspace"
     );
     ExitCode::FAILURE
 }
@@ -417,14 +704,19 @@ fn main() -> ExitCode {
     let mut report = Report::new();
     match cmd.as_str() {
         "verify" => {
+            report.json_out = Some(repo_root().join("out/verify/VERIFY.json"));
             step_lint(&mut report);
             step_deny(&mut report);
+            step_lockorder(&mut report);
+            step_protocol(&mut report);
             step_loom(&mut report);
             step_miri(&mut report);
             step_tsan(&mut report);
         }
         "lint" => step_lint(&mut report),
         "deny" => step_deny(&mut report),
+        "lockorder" => step_lockorder(&mut report),
+        "protocol" => step_protocol(&mut report),
         "loom" => step_loom(&mut report),
         "miri" => step_miri(&mut report),
         "tsan" => step_tsan(&mut report),

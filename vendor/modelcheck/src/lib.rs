@@ -1,0 +1,708 @@
+//! Explicit-state model checker for protocol state machines.
+//!
+//! This is the process-level sibling of `vendor/loom`: where loom
+//! exhaustively explores *thread interleavings* of the in-process
+//! backend, this crate exhaustively explores *event schedules* (deliver,
+//! drop, duplicate, reorder, tear, kill, reconnect, …) of a pure
+//! protocol model, in the tradition of `stateright`.
+//!
+//! A [`Model`] describes a nondeterministic transition system: initial
+//! states, the actions enabled in each state, and the successor each
+//! action produces. [`check`] walks the reachable state space (BFS by
+//! default, so counterexamples are shortest-possible; DFS available for
+//! deep-and-narrow spaces), deduplicating states by hash, and evaluates
+//! three kinds of [`Property`]:
+//!
+//! - **Always** (safety): must hold in *every* reachable state. A
+//!   violation yields the action trace from an initial state.
+//! - **Eventually** (terminal liveness): must hold in every *terminal*
+//!   state (no enabled actions). Catches protocols that stop in a bad
+//!   place without deadlocking.
+//! - **Sometimes** (coverage): must hold in *at least one* reachable
+//!   state. Guards the other properties against vacuity — an invariant
+//!   over states that are never reached proves nothing.
+//!
+//! Deadlocks are first-class: a state with no enabled actions that the
+//! model does not bless via [`Model::is_terminal_ok`] is reported with
+//! its trace, exactly like a safety violation.
+//!
+//! Every search is deterministic (iteration order depends only on the
+//! model's own action ordering), so a reported [`Trace`] can be written
+//! down, committed as a fixture, and re-run later with [`replay`] — the
+//! counterexample-replay workflow the comm protocol suite uses for its
+//! regression-guard fixtures.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A nondeterministic transition system to explore.
+pub trait Model {
+    /// Global state of the system. Cheap to clone and hash; keep it
+    /// small — the checker stores every unique state it has seen.
+    type State: Clone + Eq + Hash + Debug;
+    /// One schedulable event.
+    type Action: Clone + Debug;
+
+    /// The initial state(s).
+    fn init_states(&self) -> Vec<Self::State>;
+
+    /// Append every action enabled in `state` to `out`. The order is
+    /// the tie-break order of counterexamples, so keep it stable.
+    fn actions(&self, state: &Self::State, out: &mut Vec<Self::Action>);
+
+    /// The successor of `state` under `action`, or `None` if the action
+    /// turns out to be a no-op/disabled (the checker just skips it).
+    fn next_state(&self, state: &Self::State, action: &Self::Action) -> Option<Self::State>;
+
+    /// Is a state with no enabled actions an acceptable end state?
+    /// Return `false` for states that should count as deadlocks.
+    fn is_terminal_ok(&self, _state: &Self::State) -> bool {
+        true
+    }
+
+    /// Short human name for the model (used in reports).
+    fn name(&self) -> &'static str {
+        "model"
+    }
+}
+
+/// What a property claims about the reachable state space.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Expectation {
+    /// Holds in every reachable state.
+    Always,
+    /// Holds in every terminal (no enabled action) state.
+    Eventually,
+    /// Holds in at least one reachable state (anti-vacuity coverage).
+    Sometimes,
+}
+
+/// A named claim evaluated over reachable states.
+pub struct Property<M: Model + ?Sized> {
+    pub name: &'static str,
+    pub expect: Expectation,
+    pub check: fn(&M, &M::State) -> bool,
+}
+
+impl<M: Model + ?Sized> Property<M> {
+    pub fn always(name: &'static str, check: fn(&M, &M::State) -> bool) -> Self {
+        Property {
+            name,
+            expect: Expectation::Always,
+            check,
+        }
+    }
+
+    pub fn eventually(name: &'static str, check: fn(&M, &M::State) -> bool) -> Self {
+        Property {
+            name,
+            expect: Expectation::Eventually,
+            check,
+        }
+    }
+
+    pub fn sometimes(name: &'static str, check: fn(&M, &M::State) -> bool) -> Self {
+        Property {
+            name,
+            expect: Expectation::Sometimes,
+            check,
+        }
+    }
+}
+
+/// Search order. BFS reports shortest counterexamples and is the
+/// default; DFS uses less frontier memory on deep, narrow spaces.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Search {
+    #[default]
+    Bfs,
+    Dfs,
+}
+
+/// Exploration bounds. The checker *proves* a property only when the
+/// report says `complete == true`: every reachable state (within
+/// `max_depth`, if set) was visited without hitting `max_states`.
+#[derive(Clone, Copy, Debug)]
+pub struct Options {
+    /// Hard cap on unique states stored. Exceeding it aborts the search
+    /// with `complete = false`.
+    pub max_states: usize,
+    /// Optional cap on schedule length (`None` = unbounded).
+    pub max_depth: Option<usize>,
+    pub search: Search,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            max_states: 1_000_000,
+            max_depth: None,
+            search: Search::Bfs,
+        }
+    }
+}
+
+/// A reproducible path: the initial state plus the actions (and the
+/// states they produced) leading to the final state.
+#[derive(Clone, Debug)]
+pub struct Trace<M: Model + ?Sized> {
+    pub init: M::State,
+    pub steps: Vec<(M::Action, M::State)>,
+}
+
+impl<M: Model + ?Sized> Trace<M> {
+    /// The state at the end of the trace.
+    pub fn last_state(&self) -> &M::State {
+        self.steps.last().map_or(&self.init, |(_, s)| s)
+    }
+
+    /// Render the trace as numbered lines — the format written into
+    /// counterexample artifacts and fixtures.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("init: {:?}\n", self.init));
+        for (i, (action, state)) in self.steps.iter().enumerate() {
+            out.push_str(&format!("{i:3}. {action:?}\n     => {state:?}\n"));
+        }
+        out
+    }
+
+    /// Just the action schedule, one `Debug` line per action — the
+    /// machine-readable half of a fixture (re-parsed by the replay
+    /// tests via the model's own action parser).
+    pub fn action_lines(&self) -> String {
+        let mut out = String::new();
+        for (action, _) in &self.steps {
+            out.push_str(&format!("{action:?}\n"));
+        }
+        out
+    }
+}
+
+/// One discovered defect: which property failed and the trace to the
+/// offending state. Deadlocks use the reserved property name
+/// `"no-deadlock"`.
+pub struct Violation<M: Model + ?Sized> {
+    pub property: &'static str,
+    pub trace: Trace<M>,
+}
+
+/// Outcome of one [`check`] run.
+pub struct Report<M: Model + ?Sized> {
+    pub model: &'static str,
+    /// Unique states visited (== stored).
+    pub states: usize,
+    /// State→state transitions evaluated.
+    pub transitions: usize,
+    /// Longest schedule expanded.
+    pub max_depth_seen: usize,
+    /// Did the search exhaust the reachable space within bounds? Only a
+    /// complete search is a proof for Always/Eventually properties.
+    pub complete: bool,
+    /// First violation found for each failed property (incl. deadlock).
+    pub violations: Vec<Violation<M>>,
+    /// `Sometimes` properties that no reachable state satisfied.
+    pub unreached: Vec<&'static str>,
+}
+
+impl<M: Model + ?Sized> Report<M> {
+    /// Did every property hold (and the search complete)?
+    pub fn proven(&self) -> bool {
+        self.complete && self.violations.is_empty() && self.unreached.is_empty()
+    }
+
+    /// Violation for `property`, if one was found.
+    pub fn violation(&self, property: &str) -> Option<&Violation<M>> {
+        self.violations.iter().find(|v| v.property == property)
+    }
+
+    /// One-line summary for logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} states, {} transitions, depth {}, complete={}, violations={}, unreached={}",
+            self.model,
+            self.states,
+            self.transitions,
+            self.max_depth_seen,
+            self.complete,
+            self.violations.len(),
+            self.unreached.len(),
+        )
+    }
+}
+
+/// Node bookkeeping for trace reconstruction: how each state was first
+/// reached.
+struct Node<M: Model> {
+    state: M::State,
+    /// `usize::MAX` for initial states.
+    parent: usize,
+    /// Action that led here from `parent` (`None` for initial states).
+    action: Option<M::Action>,
+    depth: usize,
+}
+
+/// Rebuild the action trace from the node table.
+fn trace_to<M: Model>(nodes: &[Node<M>], mut idx: usize) -> Trace<M> {
+    let mut rev: Vec<(M::Action, M::State)> = Vec::new();
+    while nodes[idx].parent != usize::MAX {
+        let node = &nodes[idx];
+        rev.push((
+            node.action.clone().expect("non-root node has an action"),
+            node.state.clone(),
+        ));
+        idx = node.parent;
+    }
+    rev.reverse();
+    Trace {
+        init: nodes[idx].state.clone(),
+        steps: rev,
+    }
+}
+
+/// Exhaustively explore `model` and evaluate `properties`.
+///
+/// For each failed property the report carries the *first* trace found
+/// (shortest, under BFS). `Sometimes` properties are satisfied by any
+/// reachable state; the ones never satisfied are listed in
+/// [`Report::unreached`].
+pub fn check<M: Model>(model: &M, properties: &[Property<M>], opts: &Options) -> Report<M> {
+    let mut nodes: Vec<Node<M>> = Vec::new();
+    let mut seen: HashMap<M::State, usize> = HashMap::new();
+    // BFS queue / DFS stack of node indices still to expand.
+    let mut frontier: VecDeque<usize> = VecDeque::new();
+
+    let mut violated: Vec<Violation<M>> = Vec::new();
+    let mut violated_names: Vec<&'static str> = Vec::new();
+    let mut sometimes_hit: Vec<bool> = properties
+        .iter()
+        .map(|p| p.expect != Expectation::Sometimes)
+        .collect();
+
+    let mut complete = true;
+    let mut transitions = 0usize;
+    let mut max_depth_seen = 0usize;
+
+    let visit = |nodes: &[Node<M>],
+                     idx: usize,
+                     terminal: bool,
+                     violated: &mut Vec<Violation<M>>,
+                     violated_names: &mut Vec<&'static str>,
+                     sometimes_hit: &mut Vec<bool>| {
+        let state = &nodes[idx].state;
+        for (pi, prop) in properties.iter().enumerate() {
+            match prop.expect {
+                Expectation::Always => {
+                    if !violated_names.contains(&prop.name) && !(prop.check)(model, state) {
+                        violated_names.push(prop.name);
+                        violated.push(Violation {
+                            property: prop.name,
+                            trace: trace_to(nodes, idx),
+                        });
+                    }
+                }
+                Expectation::Eventually => {
+                    if terminal
+                        && !violated_names.contains(&prop.name)
+                        && !(prop.check)(model, state)
+                    {
+                        violated_names.push(prop.name);
+                        violated.push(Violation {
+                            property: prop.name,
+                            trace: trace_to(nodes, idx),
+                        });
+                    }
+                }
+                Expectation::Sometimes => {
+                    if !sometimes_hit[pi] && (prop.check)(model, state) {
+                        sometimes_hit[pi] = true;
+                    }
+                }
+            }
+        }
+    };
+
+    for init in model.init_states() {
+        if let Entry::Vacant(e) = seen.entry(init.clone()) {
+            let idx = nodes.len();
+            e.insert(idx);
+            nodes.push(Node {
+                state: init,
+                parent: usize::MAX,
+                action: None,
+                depth: 0,
+            });
+            frontier.push_back(idx);
+        }
+    }
+
+    let mut action_buf: Vec<M::Action> = Vec::new();
+    while let Some(idx) = match opts.search {
+        Search::Bfs => frontier.pop_front(),
+        Search::Dfs => frontier.pop_back(),
+    } {
+        let depth = nodes[idx].depth;
+        max_depth_seen = max_depth_seen.max(depth);
+
+        action_buf.clear();
+        model.actions(&nodes[idx].state, &mut action_buf);
+        let depth_capped = opts.max_depth.is_some_and(|cap| depth >= cap);
+        if depth_capped && !action_buf.is_empty() {
+            // Actions exist past the depth bound: the search is no
+            // longer a full proof.
+            complete = false;
+        }
+
+        let mut successors = 0usize;
+        if !depth_capped {
+            let enabled = std::mem::take(&mut action_buf);
+            for action in &enabled {
+                let Some(next) = model.next_state(&nodes[idx].state, action) else {
+                    continue;
+                };
+                transitions += 1;
+                successors += 1;
+                match seen.entry(next) {
+                    Entry::Occupied(_) => {}
+                    Entry::Vacant(e) => {
+                        if nodes.len() >= opts.max_states {
+                            complete = false;
+                            continue;
+                        }
+                        let nidx = nodes.len();
+                        let state = e.key().clone();
+                        e.insert(nidx);
+                        nodes.push(Node {
+                            state,
+                            parent: idx,
+                            action: Some(action.clone()),
+                            depth: depth + 1,
+                        });
+                        frontier.push_back(nidx);
+                        visit(
+                            &nodes,
+                            nidx,
+                            false,
+                            &mut violated,
+                            &mut violated_names,
+                            &mut sometimes_hit,
+                        );
+                    }
+                }
+            }
+            action_buf = enabled;
+        }
+
+        let terminal = successors == 0 && !depth_capped;
+        if idx < nodes.len() {
+            // (Re-)visit for terminal-only checks; Always/Sometimes on
+            // this state already ran when it was discovered (or below
+            // for initial states).
+            if nodes[idx].parent == usize::MAX {
+                visit(
+                    &nodes,
+                    idx,
+                    terminal,
+                    &mut violated,
+                    &mut violated_names,
+                    &mut sometimes_hit,
+                );
+            } else if terminal {
+                visit(
+                    &nodes,
+                    idx,
+                    true,
+                    &mut violated,
+                    &mut violated_names,
+                    &mut sometimes_hit,
+                );
+            }
+        }
+        if terminal && !model.is_terminal_ok(&nodes[idx].state) {
+            // Deadlock: quiescent state the model does not accept.
+            if !violated_names.contains(&DEADLOCK) {
+                violated_names.push(DEADLOCK);
+                violated.push(Violation {
+                    property: DEADLOCK,
+                    trace: trace_to(&nodes, idx),
+                });
+            }
+        }
+    }
+
+    let unreached = properties
+        .iter()
+        .zip(&sometimes_hit)
+        .filter(|(p, &hit)| p.expect == Expectation::Sometimes && !hit)
+        .map(|(p, _)| p.name)
+        .collect();
+
+    Report {
+        model: model.name(),
+        states: nodes.len(),
+        transitions,
+        max_depth_seen,
+        complete,
+        violations: violated,
+        unreached,
+    }
+}
+
+/// Reserved property name under which deadlocks are reported.
+pub const DEADLOCK: &str = "no-deadlock";
+
+/// Re-run a recorded action schedule from the model's `init_index`-th
+/// initial state. Returns every intermediate state (initial state
+/// first). Panics with a diagnostic if an action is not applicable at
+/// its position — a fixture that drifted from the model fails loudly,
+/// not silently.
+pub fn replay<M: Model>(model: &M, init_index: usize, actions: &[M::Action]) -> Vec<M::State> {
+    let inits = model.init_states();
+    let mut state = inits
+        .get(init_index)
+        .unwrap_or_else(|| panic!("replay: no initial state #{init_index}"))
+        .clone();
+    let mut states = vec![state.clone()];
+    for (i, action) in actions.iter().enumerate() {
+        state = model.next_state(&state, action).unwrap_or_else(|| {
+            panic!("replay: step {i} ({action:?}) not applicable in {state:?}")
+        });
+        states.push(state.clone());
+    }
+    states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two counters, each incremented to 2; exercises interleaving
+    /// dedup: 9 unique states, diamond-shaped space.
+    struct TwoCounters;
+
+    impl Model for TwoCounters {
+        type State = (u8, u8);
+        type Action = usize;
+
+        fn init_states(&self) -> Vec<Self::State> {
+            vec![(0, 0)]
+        }
+
+        fn actions(&self, s: &Self::State, out: &mut Vec<usize>) {
+            if s.0 < 2 {
+                out.push(0);
+            }
+            if s.1 < 2 {
+                out.push(1);
+            }
+        }
+
+        fn next_state(&self, s: &Self::State, a: &usize) -> Option<Self::State> {
+            let mut n = *s;
+            if *a == 0 {
+                n.0 += 1;
+            } else {
+                n.1 += 1;
+            }
+            Some(n)
+        }
+
+        fn name(&self) -> &'static str {
+            "two-counters"
+        }
+    }
+
+    #[test]
+    fn dedups_interleavings() {
+        let report = check(&TwoCounters, &[], &Options::default());
+        assert_eq!(report.states, 9);
+        assert!(report.complete);
+        assert_eq!(report.max_depth_seen, 4);
+    }
+
+    #[test]
+    fn always_violation_has_shortest_trace() {
+        let props = [Property::<TwoCounters>::always("sum<3", |_, s| {
+            s.0 + s.1 < 3
+        })];
+        let report = check(&TwoCounters, &props, &Options::default());
+        let v = report.violation("sum<3").expect("must be violated");
+        // BFS: the first sum==3 state is exactly 3 actions deep.
+        assert_eq!(v.trace.steps.len(), 3);
+        let last = v.trace.last_state();
+        assert_eq!(last.0 + last.1, 3);
+    }
+
+    #[test]
+    fn eventually_checks_terminal_states_only() {
+        // Terminal state is (2,2); sum==4 holds there but nowhere else.
+        let props = [Property::<TwoCounters>::eventually("ends-at-4", |_, s| {
+            s.0 + s.1 == 4
+        })];
+        let report = check(&TwoCounters, &props, &Options::default());
+        assert!(report.proven(), "{}", report.summary());
+    }
+
+    #[test]
+    fn sometimes_guards_vacuity() {
+        let props = [
+            Property::<TwoCounters>::sometimes("reaches-diag", |_, s| s.0 == 2 && s.1 == 2),
+            Property::<TwoCounters>::sometimes("never-happens", |_, s| s.0 > 2),
+        ];
+        let report = check(&TwoCounters, &props, &Options::default());
+        assert!(report.violations.is_empty());
+        assert_eq!(report.unreached, vec!["never-happens"]);
+    }
+
+    #[test]
+    fn state_budget_marks_incomplete() {
+        let report = check(
+            &TwoCounters,
+            &[],
+            &Options {
+                max_states: 4,
+                ..Options::default()
+            },
+        );
+        assert!(!report.complete);
+        assert!(report.states <= 4);
+    }
+
+    #[test]
+    fn depth_bound_marks_incomplete() {
+        let report = check(
+            &TwoCounters,
+            &[],
+            &Options {
+                max_depth: Some(2),
+                ..Options::default()
+            },
+        );
+        assert!(!report.complete);
+        assert_eq!(report.max_depth_seen, 2);
+    }
+
+    /// Classic two-lock deadlock: thread A takes lock 0 then 1, thread
+    /// B takes 1 then 0.
+    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    struct LockState {
+        pc: [u8; 2],
+        holder: [Option<u8>; 2],
+    }
+
+    struct DeadlockModel;
+
+    impl DeadlockModel {
+        /// Acquisition order per thread: thread 0 wants lock 0 then 1;
+        /// thread 1 wants lock 1 then 0.
+        fn wants(thread: usize, pc: u8) -> Option<usize> {
+            match (thread, pc) {
+                (0, 0) => Some(0),
+                (0, 1) => Some(1),
+                (1, 0) => Some(1),
+                (1, 1) => Some(0),
+                _ => None,
+            }
+        }
+    }
+
+    impl Model for DeadlockModel {
+        type State = LockState;
+        type Action = usize; // which thread steps
+
+        fn init_states(&self) -> Vec<LockState> {
+            vec![LockState {
+                pc: [0, 0],
+                holder: [None, None],
+            }]
+        }
+
+        fn actions(&self, s: &LockState, out: &mut Vec<usize>) {
+            for t in 0..2 {
+                match Self::wants(t, s.pc[t]) {
+                    Some(lock) if s.holder[lock].is_none() => out.push(t),
+                    Some(_) => {} // blocked
+                    None if s.pc[t] < 4 => out.push(t), // releasing
+                    None => {}
+                }
+            }
+        }
+
+        fn next_state(&self, s: &LockState, t: &usize) -> Option<LockState> {
+            let mut n = s.clone();
+            let t = *t;
+            match s.pc[t] {
+                0 | 1 => {
+                    let lock = Self::wants(t, s.pc[t]).unwrap();
+                    if s.holder[lock].is_some() {
+                        return None;
+                    }
+                    n.holder[lock] = Some(t as u8);
+                }
+                2 | 3 => {
+                    // Release in reverse order.
+                    let lock = Self::wants(t, 3 - s.pc[t]).unwrap();
+                    n.holder[lock] = None;
+                }
+                _ => return None,
+            }
+            n.pc[t] += 1;
+            Some(n)
+        }
+
+        fn is_terminal_ok(&self, s: &LockState) -> bool {
+            s.pc == [4, 4]
+        }
+
+        fn name(&self) -> &'static str {
+            "two-lock-deadlock"
+        }
+    }
+
+    #[test]
+    fn finds_deadlock_with_trace() {
+        let report = check(&DeadlockModel, &[], &Options::default());
+        let v = report.violation(DEADLOCK).expect("deadlock must be found");
+        // Shortest deadlock: each thread takes its first lock.
+        assert_eq!(v.trace.steps.len(), 2);
+        let end = v.trace.last_state();
+        assert_eq!(end.holder, [Some(0), Some(1)]);
+        // And the trace replays to the same state.
+        let actions: Vec<usize> = v.trace.steps.iter().map(|(a, _)| *a).collect();
+        let states = replay(&DeadlockModel, 0, &actions);
+        assert_eq!(states.last().unwrap(), end);
+    }
+
+    #[test]
+    fn dfs_finds_same_violations() {
+        let report = check(
+            &DeadlockModel,
+            &[],
+            &Options {
+                search: Search::Dfs,
+                ..Options::default()
+            },
+        );
+        assert!(report.violation(DEADLOCK).is_some());
+    }
+
+    #[test]
+    fn replay_rejects_stale_fixture() {
+        let result = std::panic::catch_unwind(|| {
+            // Thread 0 stepping 5 times walks past its program.
+            replay(&DeadlockModel, 0, &[0, 0, 0, 0, 0]);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn trace_render_is_stable() {
+        let props = [Property::<TwoCounters>::always("sum<1", |_, s| s.0 + s.1 < 1)];
+        let report = check(&TwoCounters, &props, &Options::default());
+        let text = report.violation("sum<1").unwrap().trace.render();
+        assert!(text.starts_with("init: (0, 0)"));
+        assert!(text.contains("=> (1, 0)"));
+    }
+}
