@@ -66,6 +66,7 @@ fn main() {
         subcycles: 1,
         solver: SolverKind::PmOnly,
         spectral: hacc_pm::SpectralParams::default(),
+        two_level: None,
         tree: hacc_short::TreeParams::default(),
         rcut_cells: 3.0,
         skin_cells: 0.25,

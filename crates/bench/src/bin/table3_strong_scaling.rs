@@ -33,6 +33,7 @@ fn main() {
         subcycles: 3,
         solver: SolverKind::TreePm,
         spectral: hacc_pm::SpectralParams::default(),
+        two_level: None,
         tree: hacc_short::TreeParams::default(),
         rcut_cells: 3.0,
         skin_cells: 0.25,

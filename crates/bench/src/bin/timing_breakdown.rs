@@ -40,6 +40,7 @@ fn main() {
         subcycles: 4,
         solver: SolverKind::TreePm,
         spectral: hacc_pm::SpectralParams::default(),
+        two_level: None,
         tree: hacc_short::TreeParams::default(),
         rcut_cells: 3.0,
         skin_cells: 0.25,
@@ -76,6 +77,20 @@ fn main() {
         tot.flops(),
         tsp
     );
+    // Communication accounting: the same workload across a 2-rank
+    // in-process machine, with payload volume split by tag class so
+    // the FFT's alltoallv share is a measured number.
+    let dist_ics = hacc_ics::zeldovich(np, box_len, &power, cfg.a_init, 303);
+    let (_, traffic) = hacc_comm::Machine::new(2).run(move |comm| {
+        let mut sim = hacc_core::DistSimulation::new(&comm, cfg, &dist_ics);
+        sim.step(0.2);
+    });
+    let by = traffic.by_class;
+    println!(
+        "\ncomm volume by tag class (2 ranks, 1 step): \
+         p2p {} B / {} msgs, a2a {} B / {} msgs, control {} B / {} msgs",
+        by.p2p.bytes, by.p2p.msgs, by.a2a.bytes, by.a2a.msgs, by.control.bytes, by.control.msgs
+    );
     if let Some(path) = &json_path {
         let p = |d: std::time::Duration| 100.0 * d.as_secs_f64() / t;
         let json = format!(
@@ -84,7 +99,8 @@ fn main() {
              \"fft_pct\": {:.2},\n  \"build_pct\": {:.2},\n  \"cic_pct\": {:.2},\n  \
              \"other_pct\": {:.2},\n  \"interactions\": {},\n  \
              \"pair_interactions\": {},\n  \"symmetry_factor\": {:.3},\n  \
-             \"time_per_substep_per_particle_s\": {tsp:.6e}\n}}",
+             \"time_per_substep_per_particle_s\": {tsp:.6e},\n  \
+             \"traffic\": {}\n}}",
             sim.stats.steps.len(),
             p(tot.kernel),
             p(tot.walk),
@@ -95,6 +111,7 @@ fn main() {
             tot.interactions,
             tot.pair_interactions,
             tot.symmetry_factor(),
+            traffic.to_json(),
         );
         if let Some(dir) = std::path::Path::new(path).parent() {
             std::fs::create_dir_all(dir).expect("create json dir");

@@ -31,6 +31,7 @@ pub fn science_config(np: usize, box_len: f64, steps: usize, solver: SolverKind)
         subcycles: 3,
         solver,
         spectral: hacc_pm::SpectralParams::default(),
+        two_level: None,
         tree: hacc_short::TreeParams::default(),
         rcut_cells: 3.0,
         skin_cells: 0.25,

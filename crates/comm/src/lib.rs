@@ -44,7 +44,7 @@ pub mod wire;
 
 pub use fault::{FaultAction, FaultPlan, FaultStats, SlowRank};
 pub use health::{EpochReport, HealthState, HeartbeatConfig, RankStatus};
-pub use stats::{TrafficStats, WireStats};
+pub use stats::{ClassVolume, TagClassVolumes, TrafficStats, WireStats};
 pub use topology::{dims_create, CartComm};
 pub use transport::{Transport, WirePayload};
 pub use wire::WireMsg;
@@ -378,6 +378,8 @@ struct Shared {
     boxes: Vec<Mailbox>,
     bytes_sent: Vec<AtomicU64>,
     msgs_sent: Vec<AtomicU64>,
+    /// Machine-wide per-tag-class volume tallies.
+    class: ClassCounters,
     /// Set when any rank panics so ranks blocked in `recv` abort instead
     /// of waiting forever on messages that will never come.
     poisoned: AtomicBool,
@@ -473,6 +475,7 @@ impl Transport for Shared {
         // under them; read exactly after join (FaultCounters audit).
         self.bytes_sent[src].fetch_add(bytes, Ordering::Relaxed);
         self.msgs_sent[src].fetch_add(1, Ordering::Relaxed);
+        self.class.count(tag, bytes);
         // Every send doubles as a heartbeat (no-op without a monitor).
         self.health.tick(src);
         let plan = &self.plan;
@@ -517,6 +520,7 @@ impl Transport for Shared {
                 // Retransmission re-sends the payload bytes.
                 self.bytes_sent[src].fetch_add(bytes, Ordering::Relaxed);
                 self.msgs_sent[src].fetch_add(1, Ordering::Relaxed);
+                self.class.count(tag, bytes);
                 st.deliver(ctrs, key, seq, &wire, Some(data));
                 // The ghost carries only the duplicate sequence number;
                 // the receiver's dedup discards it by seq alone.
@@ -644,6 +648,7 @@ impl Transport for Shared {
                 .iter()
                 .map(|a| a.load(Ordering::Relaxed))
                 .collect(),
+            by_class: self.class.snapshot(),
             faults: self.counters.snapshot(),
             wire: WireStats::default(),
         }
@@ -852,6 +857,7 @@ impl Machine {
             boxes: (0..self.ranks).map(|_| Mailbox::default()).collect(),
             bytes_sent: (0..self.ranks).map(|_| AtomicU64::new(0)).collect(),
             msgs_sent: (0..self.ranks).map(|_| AtomicU64::new(0)).collect(),
+            class: ClassCounters::default(),
             poisoned: AtomicBool::new(false),
             plan: self.plan.clone(),
             watchdog: self.watchdog,
@@ -1657,6 +1663,66 @@ const TAG_A2A: u64 = u64::MAX - 6_000_000;
 /// `TAG_A2A` by the chunk-count assertion in `alltoallv_chunked_start`.
 const TAG_A2AC: u64 = u64::MAX - 7_000_000;
 
+/// Coarse class of a message tag, for communication-volume accounting.
+///
+/// The reserved tag bands above carve the tag space into three regimes:
+/// everything below [`TAG_A2AC`] is a user-issued point-to-point tag,
+/// the `[TAG_A2AC, TAG_AGATHER)` window carries alltoallv payloads
+/// (plain steps and the chunked transpose variant), and the remaining
+/// reserved bands are control-plane collectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagClass {
+    /// User point-to-point traffic (halo exchanges, particle refresh).
+    P2p = 0,
+    /// Alltoallv payload traffic (the FFT transposes live here).
+    A2a = 1,
+    /// Control collectives: barrier, bcast, reduce, gather, allgather.
+    Control = 2,
+}
+
+/// Classify a wire tag into its [`TagClass`] band.
+#[must_use]
+pub fn tag_class(tag: u64) -> TagClass {
+    if tag < TAG_A2AC {
+        TagClass::P2p
+    } else if tag < TAG_AGATHER {
+        TagClass::A2a
+    } else {
+        TagClass::Control
+    }
+}
+
+/// Atomic per-class byte/message tallies, shared by both transport
+/// backends. Indexed by `TagClass as usize`.
+#[derive(Default)]
+pub(crate) struct ClassCounters {
+    bytes: [AtomicU64; 3],
+    msgs: [AtomicU64; 3],
+}
+
+impl ClassCounters {
+    /// Charge one sent message to its tag's class.
+    // Relaxed: monotonic accounting counters, read exactly after join
+    // (same audit as the per-rank byte counters).
+    pub(crate) fn count(&self, tag: u64, bytes: u64) {
+        let i = tag_class(tag) as usize;
+        self.bytes[i].fetch_add(bytes, Ordering::Relaxed);
+        self.msgs[i].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> TagClassVolumes {
+        let v = |i: usize| ClassVolume {
+            bytes: self.bytes[i].load(Ordering::Relaxed),
+            msgs: self.msgs[i].load(Ordering::Relaxed),
+        };
+        TagClassVolumes {
+            p2p: v(TagClass::P2p as usize),
+            a2a: v(TagClass::A2a as usize),
+            control: v(TagClass::Control as usize),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1682,6 +1748,45 @@ mod tests {
         });
         assert_eq!(res[1], 6.0);
         assert_eq!(stats.bytes_sent[0], 24);
+    }
+
+    #[test]
+    fn traffic_is_classified_by_tag() {
+        let (_, stats) = Machine::new(2).run(|c| {
+            // One p2p message of 24 payload bytes rank 0 → 1.
+            if c.rank() == 0 {
+                c.send(1, 7, vec![1.0f64, 2.0, 3.0]);
+            } else {
+                let _ = c.recv::<f64>(0, 7);
+            }
+            // One alltoallv (16 bytes per off-diagonal send), then a
+            // pure control-plane collective.
+            let parts: Vec<Vec<f64>> = (0..2).map(|r| vec![f64::from(r), 1.0]).collect();
+            let _ = c.alltoallv(parts);
+            let _ = c.allreduce_sum(1.0f64);
+            c.barrier();
+        });
+        let by = stats.by_class;
+        assert_eq!(by.p2p.bytes, 24);
+        assert_eq!(by.p2p.msgs, 1);
+        // Each rank ships one 2-element f64 chunk to the other.
+        assert_eq!(by.a2a.bytes, 32);
+        assert_eq!(by.a2a.msgs, 2);
+        assert!(by.control.msgs > 0);
+        // The class split partitions the totals exactly.
+        assert_eq!(
+            by.p2p.bytes + by.a2a.bytes + by.control.bytes,
+            stats.total_bytes()
+        );
+        assert_eq!(
+            by.p2p.msgs + by.a2a.msgs + by.control.msgs,
+            stats.total_msgs()
+        );
+        assert_eq!(tag_class(0), TagClass::P2p);
+        assert_eq!(tag_class(TAG_A2AC), TagClass::A2a);
+        assert_eq!(tag_class(TAG_A2A), TagClass::A2a);
+        assert_eq!(tag_class(TAG_AGATHER), TagClass::Control);
+        assert_eq!(tag_class(TAG_BARRIER), TagClass::Control);
     }
 
     #[test]

@@ -97,7 +97,7 @@ use crate::stats::WireStats;
 use crate::sync::{Condvar, LockRank, Mutex};
 use crate::transport::{Transport, WirePayload};
 use crate::wire::{self, FrameHeader, FRAME_HEADER, FRAME_TRAILER};
-use crate::{fault, CommError, EpochReport, FaultStats, RankStatus, TrafficStats};
+use crate::{fault, ClassCounters, CommError, EpochReport, FaultStats, RankStatus, TrafficStats};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -285,6 +285,7 @@ pub struct SocketTransport {
     counters: WireCounters,
     payload_bytes: AtomicU64,
     msgs_sent: AtomicU64,
+    class: ClassCounters,
     next_context: AtomicU64,
 }
 
@@ -403,6 +404,7 @@ impl SocketTransport {
             counters,
             payload_bytes: AtomicU64::new(0),
             msgs_sent: AtomicU64::new(0),
+            class: ClassCounters::default(),
             // Unlike the in-process backend (one shared counter), every
             // process allocates context bases locally — and any rank can
             // be the allocating root of a sub-communicator after split().
@@ -1021,6 +1023,7 @@ impl Transport for SocketTransport {
         };
         self.payload_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.class.count(tag, bytes);
         let dst_status = { self.mirror.state.lock(LockRank::Mirror)[dst].status };
         match protocol::send_route(src, dst, dst_status) {
             SendRoute::SelfDeliver => {
@@ -1186,6 +1189,7 @@ impl Transport for SocketTransport {
         TrafficStats {
             bytes_sent,
             msgs_sent,
+            by_class: self.class.snapshot(),
             faults: FaultStats::default(),
             wire: self.counters.snapshot(),
         }

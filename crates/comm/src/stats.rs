@@ -55,6 +55,52 @@ impl WireStats {
     }
 }
 
+/// Bytes/messages of one tag class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassVolume {
+    /// Payload bytes sent.
+    pub bytes: u64,
+    /// Messages sent.
+    pub msgs: u64,
+}
+
+impl ClassVolume {
+    /// One JSON object of the pair.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(r#"{{"bytes":{},"msgs":{}}}"#, self.bytes, self.msgs)
+    }
+}
+
+/// Communication volume broken down by tag class, so a transform's
+/// alltoallv traffic is a measured number rather than an inference from
+/// totals. Summed over ranks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TagClassVolumes {
+    /// Point-to-point sends under user tags (halo exchanges, spill
+    /// folds, particle refresh handoffs).
+    pub p2p: ClassVolume,
+    /// Alltoallv payloads — plain steps and the chunked variant the
+    /// pencil FFT transposes ride on.
+    pub a2a: ClassVolume,
+    /// Control-plane collectives: barrier, broadcast, reduce, gather,
+    /// allgather rings.
+    pub control: ClassVolume,
+}
+
+impl TagClassVolumes {
+    /// One JSON object keyed by class.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"p2p":{},"a2a":{},"control":{}}}"#,
+            self.p2p.to_json(),
+            self.a2a.to_json(),
+            self.control.to_json(),
+        )
+    }
+}
+
 /// Communication traffic observed during one [`crate::Machine::run`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TrafficStats {
@@ -62,6 +108,8 @@ pub struct TrafficStats {
     pub bytes_sent: Vec<u64>,
     /// Number of messages sent by each rank.
     pub msgs_sent: Vec<u64>,
+    /// The same volume broken down by tag class (summed over ranks).
+    pub by_class: TagClassVolumes,
     /// Fault-injection events observed during the run (all zero for a
     /// clean run).
     pub faults: FaultStats,
@@ -116,10 +164,11 @@ impl TrafficStats {
     #[must_use]
     pub fn to_json(&self) -> String {
         format!(
-            r#"{{"total_bytes":{},"total_msgs":{},"imbalance":{:.4},"wire":{}}}"#,
+            r#"{{"total_bytes":{},"total_msgs":{},"imbalance":{:.4},"by_class":{},"wire":{}}}"#,
             self.total_bytes(),
             self.total_msgs(),
             self.imbalance(),
+            self.by_class.to_json(),
             self.wire.to_json(),
         )
     }
@@ -134,6 +183,7 @@ mod tests {
         let s = TrafficStats {
             bytes_sent: vec![100, 300],
             msgs_sent: vec![1, 3],
+            by_class: TagClassVolumes::default(),
             faults: FaultStats::default(),
             wire: WireStats::default(),
         };
@@ -149,6 +199,7 @@ mod tests {
         let s = TrafficStats {
             bytes_sent: vec![],
             msgs_sent: vec![],
+            by_class: TagClassVolumes::default(),
             faults: FaultStats::default(),
             wire: WireStats::default(),
         };
@@ -157,6 +208,7 @@ mod tests {
         let z = TrafficStats {
             bytes_sent: vec![0, 0],
             msgs_sent: vec![0, 0],
+            by_class: TagClassVolumes::default(),
             faults: FaultStats::default(),
             wire: WireStats::default(),
         };

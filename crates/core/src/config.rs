@@ -1,7 +1,7 @@
 //! Simulation configuration.
 
 use hacc_cosmo::Cosmology;
-use hacc_pm::SpectralParams;
+use hacc_pm::{PmLevelConfig, SpectralParams};
 use hacc_short::TreeParams;
 
 /// Which short-range solver backs the force evaluation.
@@ -37,6 +37,11 @@ pub struct SimConfig {
     pub solver: SolverKind,
     /// Spectral solver parameters.
     pub spectral: SpectralParams,
+    /// Two-level PM mesh: `Some` splits the Poisson solve into a coarse
+    /// global FFT (grid side `ng/coarsening`) plus rank-local fine
+    /// complements, cutting the globally transposed volume by
+    /// `coarsening³`. `None` keeps the single-level global solve.
+    pub two_level: Option<PmLevelConfig>,
     /// Tree tuning (TreePm only).
     pub tree: TreeParams,
     /// Short/long force matching radius in grid cells (paper: 3).
@@ -64,6 +69,7 @@ impl SimConfig {
             subcycles: 5,
             solver: SolverKind::TreePm,
             spectral: SpectralParams::default(),
+            two_level: None,
             tree: TreeParams::default(),
             rcut_cells: 3.0,
             skin_cells: 0.25,

@@ -17,13 +17,35 @@
 use std::time::Instant;
 
 use hacc_comm::Comm;
-use hacc_domain::{refresh, Decomposition, Packed, Particles};
-use hacc_fft::SlabFft;
-use hacc_pm::{DistPoisson, GridForceFit};
+use hacc_domain::{gridhalo, refresh, Decomposition, Packed, Particles};
+use hacc_fft::{DistRealFft3, RealPencilFft, SlabFft};
+use hacc_pm::{
+    coarse_solve_forces, DistPoisson, ForceSplit, GridForceFit, LocalComplementSolver,
+};
 use hacc_short::{ForceKernel, RcbTree};
 
 use crate::config::{SimConfig, SolverKind};
 use crate::stats::{RunStats, StepBreakdown};
+
+/// Point-to-point tag pairs for the slab-grid exchanges; each call site
+/// gets its own pair so concurrent halos never cross.
+const TAGS_FINE_FOLD: (u64, u64) = (101, 102);
+const TAGS_FORCE_HALO: (u64, u64) = (201, 202);
+const TAGS_COARSE_FOLD: (u64, u64) = (111, 112);
+const TAGS_COARSE_FORCE_HALO: (u64, u64) = (211, 212);
+const TAGS_FINE_DENSITY_HALO: (u64, u64) = (221, 222);
+
+/// Rank-local machinery of the two-level PM mesh: the force split, the
+/// local complement solver on the ghost-padded slab, and the coarse
+/// global transform (a pencil FFT on a `p × 1` grid, whose real layout
+/// is exactly this rank's coarse slab).
+struct TwoLevelDist<'a> {
+    split: ForceSplit,
+    local: LocalComplementSolver,
+    coarse_fft: RealPencilFft<'a>,
+    /// Fine-complement kernel support in fine cells.
+    h_kernel: usize,
+}
 
 /// One rank's view of a distributed simulation.
 pub struct DistSimulation<'a> {
@@ -39,6 +61,54 @@ pub struct DistSimulation<'a> {
     pub stats: RunStats,
     /// Overload width in grid cells.
     w_cells: f64,
+    /// Two-level PM machinery when `cfg.two_level` is set.
+    tl: Option<TwoLevelDist<'a>>,
+}
+
+/// Build the per-rank two-level machinery, validating that the slab
+/// geometry can host the ghost depths the split requires.
+fn build_two_level<'a>(
+    comm: &'a Comm,
+    cfg: &SimConfig,
+    w_cells: f64,
+) -> Option<TwoLevelDist<'a>> {
+    let lv = cfg.two_level?;
+    let split = ForceSplit::new(cfg.ng, cfg.box_len, cfg.spectral, lv);
+    let p = comm.size();
+    let nc = split.nc();
+    assert_eq!(
+        nc % p,
+        0,
+        "coarse grid side {nc} must be divisible by the rank count {p}"
+    );
+    let lx = cfg.ng / p;
+    let h_int = (w_cells.ceil() as usize) + 1;
+    let h_kernel = split.ghost_width();
+    let hh = h_kernel + h_int;
+    assert!(
+        hh <= lx,
+        "slab too thin for the two-level ghost depth: \
+         kernel {h_kernel} + interpolation {h_int} planes vs {lx}-plane slab \
+         (use more grid per rank or a looser matching_tol)"
+    );
+    let lc = nc / p;
+    let h_c = ((w_cells / lv.coarsening as f64).ceil() as usize) + 1;
+    assert!(
+        h_c <= lc && lc >= 2,
+        "coarse slab too thin: {lc} planes vs halo {h_c}"
+    );
+    let coarse_fft = RealPencilFft::with_grid(comm, nc, p, 1);
+    // The p×1 pencil grid must hand this rank exactly its coarse slab,
+    // aligned with the particle decomposition.
+    let rl = coarse_fft.real_layout();
+    assert_eq!(rl.origin, [comm.rank() * lc, 0, 0], "coarse slab misaligned");
+    assert_eq!(rl.size, [lc, nc, nc], "coarse slab shape mismatch");
+    Some(TwoLevelDist {
+        local: LocalComplementSolver::new(&split, lx + 2 * hh),
+        coarse_fft,
+        split,
+        h_kernel,
+    })
 }
 
 impl<'a> DistSimulation<'a> {
@@ -80,6 +150,7 @@ impl<'a> DistSimulation<'a> {
             }
         }
         parts.n_active = parts.len();
+        let tl = build_two_level(comm, &cfg, w_cells);
         let mut sim = DistSimulation {
             comm,
             cfg,
@@ -90,6 +161,7 @@ impl<'a> DistSimulation<'a> {
             a: ics.a_init,
             stats: RunStats::default(),
             w_cells,
+            tl,
         };
         refresh(sim.comm, &sim.decomp, &mut sim.parts);
         sim
@@ -123,6 +195,7 @@ impl<'a> DistSimulation<'a> {
             cfg.rcut_cells as f32,
             fit.epsilon as f32,
         );
+        let tl = build_two_level(comm, &cfg, w_cells);
         DistSimulation {
             comm,
             cfg,
@@ -133,6 +206,7 @@ impl<'a> DistSimulation<'a> {
             a,
             stats: RunStats::default(),
             w_cells,
+            tl,
         }
     }
 
@@ -277,18 +351,22 @@ impl<'a> DistSimulation<'a> {
         (self.comm.rank() * lx, lx)
     }
 
-    /// Deposit active particles into this rank's slab rows with a
-    /// two-plane halo on each side, then fold the spill planes onto the
-    /// neighbors. Two planes cover both the CIC cloud (one cell) and the
-    /// sub-cycle drift of active particles between refreshes (well under
-    /// one cell per step at any sane time step).
-    fn deposit(&self, nbar: f64) -> Vec<f64> {
+    /// Deposit active particles into this rank's slab of an `n`-per-side
+    /// grid (`n` is the fine grid or the coarse `ng/c` grid; slab
+    /// boundaries coincide because both are divisible by the rank count)
+    /// with a two-plane halo on each side, then fold the spill planes
+    /// onto the neighbors. Two planes cover the CIC cloud (one cell),
+    /// the sub-cycle drift of active particles between refreshes (well
+    /// under one cell per step at any sane time step), and the
+    /// fine-to-coarse rounding of the slab boundary.
+    fn deposit(&self, n: usize, nbar: f64, tags: (u64, u64)) -> Vec<f64> {
         const HD: usize = 2;
-        let ng = self.cfg.ng;
-        let (x0, lx) = self.slab_range();
+        let p = self.comm.size();
+        let lx = n / p;
+        let x0 = self.comm.rank() * lx;
         assert!(lx >= HD, "slab thinner than the deposit halo");
-        let to_grid = ng as f64 / self.cfg.box_len;
-        let plane = ng * ng;
+        let to_grid = n as f64 / self.cfg.box_len;
+        let plane = n * n;
         // Extended grid: planes [x0-HD, x0+lx+HD).
         let mut ext = vec![0.0f64; (lx + 2 * HD) * plane];
         for i in 0..self.parts.n_active {
@@ -296,45 +374,27 @@ impl<'a> DistSimulation<'a> {
             let gy = f64::from(self.parts.y[i]) * to_grid;
             let gz = f64::from(self.parts.z[i]) * to_grid;
             let fx = gx.floor();
-            let (iy, dy) = wrap_cell(gy, ng);
-            let (iz, dz) = wrap_cell(gz, ng);
+            let (iy, dy) = wrap_cell(gy, n);
+            let (iz, dz) = wrap_cell(gz, n);
             let dx = gx - fx;
             let ix_ext = fx as i64 - (x0 as i64 - HD as i64);
             assert!(
                 ix_ext >= 0 && ix_ext + 1 < (lx + 2 * HD) as i64,
                 "active particle drifted outside the deposit halo"
             );
-            let iy1 = (iy + 1) % ng;
-            let iz1 = (iz + 1) % ng;
+            let iy1 = (iy + 1) % n;
+            let iz1 = (iz + 1) % n;
             let (tx, ty, tz) = (1.0 - dx, 1.0 - dy, 1.0 - dz);
             for (pofs, wx) in [(ix_ext as usize, tx), (ix_ext as usize + 1, dx)] {
                 let base = pofs * plane;
-                ext[base + iy * ng + iz] += wx * ty * tz;
-                ext[base + iy * ng + iz1] += wx * ty * dz;
-                ext[base + iy1 * ng + iz] += wx * dy * tz;
-                ext[base + iy1 * ng + iz1] += wx * dy * dz;
+                ext[base + iy * n + iz] += wx * ty * tz;
+                ext[base + iy * n + iz1] += wx * ty * dz;
+                ext[base + iy1 * n + iz] += wx * dy * tz;
+                ext[base + iy1 * n + iz1] += wx * dy * dz;
             }
         }
-        // Fold spill planes onto neighbors (periodic ring): our planes
-        // [x0+lx, x0+lx+HD) are next's [0, HD); our [x0-HD, x0) are
-        // prev's [lx-HD, lx).
-        let p = self.comm.size();
-        let next = (self.comm.rank() + 1) % p;
-        let prev = (self.comm.rank() + p - 1) % p;
-        let up_spill = ext[(lx + HD) * plane..].to_vec();
-        let down_spill = ext[..HD * plane].to_vec();
-        self.comm.send(next, 101, up_spill);
-        self.comm.send(prev, 102, down_spill);
-        let from_prev = self.comm.recv::<f64>(prev, 101);
-        let from_next = self.comm.recv::<f64>(next, 102);
-        let mut local = vec![0.0f64; lx * plane];
-        local.copy_from_slice(&ext[HD * plane..(lx + HD) * plane]);
-        for (d, s) in local[..HD * plane].iter_mut().zip(&from_prev) {
-            *d += s;
-        }
-        for (d, s) in local[(lx - HD) * plane..].iter_mut().zip(&from_next) {
-            *d += s;
-        }
+        // Fold spill planes onto the owning neighbors (periodic ring).
+        let mut local = gridhalo::fold_spill(self.comm, &ext, plane, HD, tags);
         // Density contrast.
         for v in local.iter_mut() {
             *v = *v / nbar - 1.0;
@@ -342,36 +402,22 @@ impl<'a> DistSimulation<'a> {
         local
     }
 
-    /// Exchange `h` halo planes of a local slab field in both x
-    /// directions; returns the extended field covering `[x0-h, x0+lx+h)`.
-    fn halo_exchange(&self, local: &[f64], h: usize) -> Vec<f64> {
-        let ng = self.cfg.ng;
-        let (_, lx) = self.slab_range();
-        assert!(h <= lx, "halo wider than slab");
-        let plane = ng * ng;
-        let p = self.comm.size();
-        let next = (self.comm.rank() + 1) % p;
-        let prev = (self.comm.rank() + p - 1) % p;
-        // Our top h planes go to next's bottom halo; bottom h to prev's top.
-        self.comm
-            .send(next, 201, local[(lx - h) * plane..].to_vec());
-        self.comm.send(prev, 202, local[..h * plane].to_vec());
-        let from_prev = self.comm.recv::<f64>(prev, 201);
-        let from_next = self.comm.recv::<f64>(next, 202);
-        let mut ext = vec![0.0f64; (lx + 2 * h) * plane];
-        ext[..h * plane].copy_from_slice(&from_prev);
-        ext[h * plane..(h + lx) * plane].copy_from_slice(local);
-        ext[(h + lx) * plane..].copy_from_slice(&from_next);
-        ext
+    /// Exchange `h` halo planes of a local slab field of an `n`-per-side
+    /// grid; returns the extended field covering `[x0-h, x0+lx+h)`.
+    fn halo_exchange(&self, local: &[f64], n: usize, h: usize, tags: (u64, u64)) -> Vec<f64> {
+        gridhalo::exchange_planes(self.comm, local, n * n, h, tags)
     }
 
-    /// Interpolate an extended (haloed) field at all local particles
-    /// (local-frame coordinates, possibly outside the box).
-    fn interpolate_ext(&self, ext: &[f64], h: usize) -> Vec<f32> {
-        let ng = self.cfg.ng;
-        let (x0, lx) = self.slab_range();
-        let to_grid = ng as f64 / self.cfg.box_len;
-        let plane = ng * ng;
+    /// Interpolate an extended (haloed) slab field of an `n`-per-side
+    /// grid at all local particles (local-frame coordinates, possibly
+    /// outside the box).
+    fn interpolate_ext(&self, ext: &[f64], n: usize, h: usize) -> Vec<f32> {
+        let ng = n;
+        let p = self.comm.size();
+        let lx = n / p;
+        let x0 = self.comm.rank() * lx;
+        let to_grid = n as f64 / self.cfg.box_len;
+        let plane = n * n;
         let mut out = Vec::with_capacity(self.parts.len());
         for i in 0..self.parts.len() {
             let gx = f64::from(self.parts.x[i]) * to_grid;
@@ -406,14 +452,17 @@ impl<'a> DistSimulation<'a> {
 
     /// Long-range acceleration for every local particle.
     fn pm_accel(&self, brk: &mut StepBreakdown) -> [Vec<f32>; 3] {
-        let nbar =
-            self.global_count() as f64 / (self.cfg.ng * self.cfg.ng * self.cfg.ng) as f64;
+        if self.tl.is_some() {
+            return self.pm_accel_two_level(brk);
+        }
+        let ng = self.cfg.ng;
+        let nbar = self.global_count() as f64 / (ng * ng * ng) as f64;
         let t0 = Instant::now();
-        let source = self.deposit(nbar);
+        let source = self.deposit(ng, nbar, TAGS_FINE_FOLD);
         brk.cic += t0.elapsed();
 
         let t1 = Instant::now();
-        let fft = SlabFft::new(self.comm, self.cfg.ng);
+        let fft = SlabFft::new(self.comm, ng);
         let solver = DistPoisson::new(&fft, self.cfg.box_len, self.cfg.spectral);
         let forces = solver.solve_forces(&source);
         brk.fft += t1.elapsed();
@@ -421,11 +470,79 @@ impl<'a> DistSimulation<'a> {
         let t2 = Instant::now();
         let h = (self.w_cells.ceil() as usize) + 1;
         let out = [
-            self.interpolate_ext(&self.halo_exchange(&forces[0], h), h),
-            self.interpolate_ext(&self.halo_exchange(&forces[1], h), h),
-            self.interpolate_ext(&self.halo_exchange(&forces[2], h), h),
+            self.interpolate_ext(&self.halo_exchange(&forces[0], ng, h, TAGS_FORCE_HALO), ng, h),
+            self.interpolate_ext(&self.halo_exchange(&forces[1], ng, h, TAGS_FORCE_HALO), ng, h),
+            self.interpolate_ext(&self.halo_exchange(&forces[2], ng, h, TAGS_FORCE_HALO), ng, h),
         ];
         brk.cic += t2.elapsed();
+        out
+    }
+
+    /// Two-level long-range acceleration: the only *global* transform is
+    /// the coarse `(ng/c)³` pencil FFT — its alltoallv volume is `~c³`
+    /// smaller than the single-level solve's. The fine complement is a
+    /// rank-local serial FFT over the slab padded with
+    /// `h_kernel + h_int` ghost density planes from the ring neighbors;
+    /// output planes within `h_int` of the slab (everything force
+    /// interpolation touches) sit at least `h_kernel` from the padded
+    /// boundary, so slab periodization never contaminates them beyond
+    /// the matching tolerance.
+    fn pm_accel_two_level(&self, brk: &mut StepBreakdown) -> [Vec<f32>; 3] {
+        let tl = self.tl.as_ref().expect("two-level machinery");
+        let ng = self.cfg.ng;
+        let (_, lx) = self.slab_range();
+        let np = self.global_count() as f64;
+        let nc = tl.split.nc();
+
+        // Both deposits (fine for the complement, coarse for the global
+        // solve) sample the same density-contrast field at their own
+        // resolution.
+        let t0 = Instant::now();
+        let nbar_f = np / (ng * ng * ng) as f64;
+        let fine_src = self.deposit(ng, nbar_f, TAGS_FINE_FOLD);
+        let nbar_c = np / (nc * nc * nc) as f64;
+        let coarse_src = self.deposit(nc, nbar_c, TAGS_COARSE_FOLD);
+        brk.cic += t0.elapsed();
+
+        // Coarse global solve: 1 r2c + 3 c2r on the (ng/c)³ grid.
+        let t1 = Instant::now();
+        let coarse_forces = coarse_solve_forces(&tl.coarse_fft, &tl.split, &coarse_src);
+        brk.coarse_fft += t1.elapsed();
+
+        // Fine complement: ghost-padded local solve, no global comm.
+        let h_int = (self.w_cells.ceil() as usize) + 1;
+        let hh = tl.h_kernel + h_int;
+        let t2 = Instant::now();
+        let ext_density =
+            self.halo_exchange(&fine_src, ng, hh, TAGS_FINE_DENSITY_HALO);
+        let mut fine_forces = [Vec::new(), Vec::new(), Vec::new()];
+        tl.local.solve_into(&ext_density, &mut fine_forces);
+        brk.fft += t2.elapsed();
+
+        let t3 = Instant::now();
+        let plane = ng * ng;
+        let h_c = ((self.w_cells / (ng / nc) as f64).ceil() as usize) + 1;
+        let mut out = [Vec::new(), Vec::new(), Vec::new()];
+        for (axis, slot) in out.iter_mut().enumerate() {
+            // Valid fine planes [x0-h_int, x0+lx+h_int) are the
+            // contiguous slice starting h_kernel planes into the padded
+            // output.
+            let fine_slice =
+                &fine_forces[axis][tl.h_kernel * plane..(tl.h_kernel + lx + 2 * h_int) * plane];
+            let mut f = self.interpolate_ext(fine_slice, ng, h_int);
+            let ext_c = self.halo_exchange(
+                &coarse_forces[axis],
+                nc,
+                h_c,
+                TAGS_COARSE_FORCE_HALO,
+            );
+            let fc = self.interpolate_ext(&ext_c, nc, h_c);
+            for (o, v) in f.iter_mut().zip(&fc) {
+                *o += v;
+            }
+            *slot = f;
+        }
+        brk.cic += t3.elapsed();
         out
     }
 
@@ -645,6 +762,57 @@ mod tests {
     #[test]
     fn pm_only_matches_serial_two_ranks() {
         check_matches_serial(SolverKind::PmOnly, 2);
+    }
+
+    /// Distributed two-level run must agree with the *serial two-level*
+    /// driver — the coarse pencil solve, the ghost-padded local
+    /// complement, and all four new halo paths reproduce the shared-
+    /// memory result to f32 summation noise.
+    #[test]
+    fn two_level_matches_serial_two_ranks() {
+        let a0 = 0.2;
+        let a1 = 0.22;
+        let power = LinearPower::new(&Cosmology::lcdm(), Transfer::EisensteinHuNoWiggle);
+        let realization = hacc_ics::zeldovich(16, 64.0, &power, a0, 99);
+        // ng=64 so each of 2 slabs (32 planes) can host the
+        // kernel+interpolation ghost depth of the default matching_tol.
+        let mk_cfg = || SimConfig {
+            ng: 64,
+            box_len: 64.0,
+            a_init: a0,
+            steps: 1,
+            subcycles: 2,
+            solver: SolverKind::PmOnly,
+            two_level: Some(hacc_pm::PmLevelConfig::default()),
+            ..SimConfig::small_lcdm()
+        };
+
+        let mut serial = Simulation::from_ics(mk_cfg(), &realization);
+        serial.step(a1);
+        let (sx, sy, sz) = serial.positions();
+
+        let r2 = realization.clone();
+        let (results, _) = Machine::new(2).run(move |comm| {
+            let mut sim = DistSimulation::new(&comm, mk_cfg(), &r2);
+            sim.step(a1);
+            let coarse_ns = sim.stats.total().coarse_fft.as_nanos();
+            (sim.gather_positions(), coarse_ns)
+        });
+        let (gathered, coarse_ns) = &results[0];
+        assert!(*coarse_ns > 0, "coarse solve not timed");
+        let gathered = gathered.as_ref().expect("rank 0 gathers");
+        assert_eq!(gathered.len(), realization.len(), "particles lost");
+        let l = 64.0f32;
+        let mut max_err: f32 = 0.0;
+        for &(id, p) in gathered {
+            let i = id as usize;
+            for (got, want) in [(p[0], sx[i]), (p[1], sy[i]), (p[2], sz[i])] {
+                let mut d = (got - want).abs();
+                d = d.min(l - d);
+                max_err = max_err.max(d);
+            }
+        }
+        assert!(max_err < 0.05, "two-level dist vs serial: max err {max_err}");
     }
 
     #[test]

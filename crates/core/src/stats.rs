@@ -16,8 +16,12 @@ pub struct StepBreakdown {
     pub walk: Duration,
     /// Tree build (partitioning) time.
     pub build: Duration,
-    /// Spectral solver time (FFTs + k-space kernels).
+    /// Spectral solver time (FFTs + k-space kernels). With the
+    /// two-level mesh this is the *fine* (rank-local) complement solve.
     pub fft: Duration,
+    /// Coarse-level spectral solve of the two-level mesh (the globally
+    /// communicated `(ng/c)³` transform). Zero on single-level runs.
+    pub coarse_fft: Duration,
     /// CIC deposit + interpolation time.
     pub cic: Duration,
     /// Stream/kick updates and bookkeeping.
@@ -38,7 +42,7 @@ impl StepBreakdown {
     /// Total wall-clock of the step.
     #[must_use] 
     pub fn total(&self) -> Duration {
-        self.kernel + self.walk + self.build + self.fft + self.cic + self.other
+        self.kernel + self.walk + self.build + self.fft + self.coarse_fft + self.cic + self.other
     }
 
     /// Fraction of time in the force kernel.
@@ -78,6 +82,7 @@ impl StepBreakdown {
         self.walk += o.walk;
         self.build += o.build;
         self.fft += o.fft;
+        self.coarse_fft += o.coarse_fft;
         self.cic += o.cic;
         self.other += o.other;
         self.interactions += o.interactions;
@@ -127,7 +132,8 @@ mod tests {
             kernel: Duration::from_millis(80),
             walk: Duration::from_millis(10),
             build: Duration::from_millis(2),
-            fft: Duration::from_millis(5),
+            fft: Duration::from_millis(4),
+            coarse_fft: Duration::from_millis(1),
             cic: Duration::from_millis(2),
             other: Duration::from_millis(1),
             interactions: 1000,

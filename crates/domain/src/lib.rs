@@ -548,6 +548,95 @@ pub fn dedup_by_id(recovered: Vec<Packed>) -> Vec<Packed> {
     out
 }
 
+/// Slab-grid ghost machinery: plane-halo exchange and spill folding for
+/// fields decomposed along x, one slab per rank on a periodic ring.
+///
+/// These are the grid-side counterparts of the particle overload shell:
+/// the two-level PM mesh uses [`gridhalo::exchange_planes`] to pad each
+/// rank's fine density slab with the ghost planes its local complement
+/// FFT needs, and [`gridhalo::fold_spill`] to push deposit spill from the
+/// halo back onto the owning neighbors. The distributed driver's
+/// single-level solve reuses the same primitives for force interpolation
+/// halos, so every slab-plane message in the code goes through one
+/// audited path.
+pub mod gridhalo {
+    use hacc_comm::Comm;
+
+    /// Exchange `h` halo planes of a slab field along the x ring.
+    ///
+    /// `local` holds `lx` whole planes of `plane` values each. The top
+    /// `h` planes go to the next rank, the bottom `h` to the previous;
+    /// returns the extended field of `lx + 2h` planes covering
+    /// `[x0 - h, x0 + lx + h)`. `tags` is a `(up, down)` pair that must
+    /// be unique per call site so concurrent exchanges never cross.
+    /// Collective over the ring; requires `h ≤ lx` (one-hop exchange).
+    #[must_use]
+    pub fn exchange_planes(
+        comm: &Comm,
+        local: &[f64],
+        plane: usize,
+        h: usize,
+        tags: (u64, u64),
+    ) -> Vec<f64> {
+        assert!(plane > 0 && local.len().is_multiple_of(plane), "not whole planes");
+        let lx = local.len() / plane;
+        assert!(h <= lx, "halo ({h} planes) wider than slab ({lx})");
+        let p = comm.size();
+        let next = (comm.rank() + 1) % p;
+        let prev = (comm.rank() + p - 1) % p;
+        comm.send(next, tags.0, local[(lx - h) * plane..].to_vec());
+        comm.send(prev, tags.1, local[..h * plane].to_vec());
+        let from_prev = comm.recv::<f64>(prev, tags.0);
+        let from_next = comm.recv::<f64>(next, tags.1);
+        let mut ext = vec![0.0f64; (lx + 2 * h) * plane];
+        ext[..h * plane].copy_from_slice(&from_prev);
+        ext[h * plane..(h + lx) * plane].copy_from_slice(local);
+        ext[(h + lx) * plane..].copy_from_slice(&from_next);
+        ext
+    }
+
+    /// Fold the spill planes of an extended deposit onto the ring
+    /// neighbors.
+    ///
+    /// `ext` holds `lx + 2·hd` planes covering `[x0 - hd, x0 + lx + hd)`
+    /// — a slab deposit whose clouds may have spilled up to `hd` planes
+    /// past either face. The spill is sent to the owning neighbor and
+    /// the neighbors' incoming spill is accumulated into this rank's
+    /// planes; returns the owned `lx`-plane field. Collective; requires
+    /// `hd ≤ lx` so the fold is one hop.
+    #[must_use]
+    pub fn fold_spill(
+        comm: &Comm,
+        ext: &[f64],
+        plane: usize,
+        hd: usize,
+        tags: (u64, u64),
+    ) -> Vec<f64> {
+        assert!(plane > 0 && ext.len().is_multiple_of(plane), "not whole planes");
+        let nx = ext.len() / plane;
+        assert!(nx > 2 * hd, "extended field smaller than its halos");
+        let lx = nx - 2 * hd;
+        assert!(hd <= lx, "spill ({hd} planes) wider than slab ({lx})");
+        let p = comm.size();
+        let next = (comm.rank() + 1) % p;
+        let prev = (comm.rank() + p - 1) % p;
+        // Our planes [x0+lx, x0+lx+hd) are next's [0, hd); our
+        // [x0-hd, x0) are prev's [lx-hd, lx).
+        comm.send(next, tags.0, ext[(lx + hd) * plane..].to_vec());
+        comm.send(prev, tags.1, ext[..hd * plane].to_vec());
+        let from_prev = comm.recv::<f64>(prev, tags.0);
+        let from_next = comm.recv::<f64>(next, tags.1);
+        let mut local = ext[hd * plane..(lx + hd) * plane].to_vec();
+        for (d, s) in local[..hd * plane].iter_mut().zip(&from_prev) {
+            *d += s;
+        }
+        for (d, s) in local[(lx - hd) * plane..].iter_mut().zip(&from_next) {
+            *d += s;
+        }
+        local
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -919,5 +1008,106 @@ mod tests {
         }
         p.n_active = 8;
         assert!((p.overload_fraction() - 0.25).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod gridhalo_tests {
+    use super::gridhalo::{exchange_planes, fold_spill};
+    use hacc_comm::Machine;
+
+    /// Global reference field: plane index → value.
+    fn plane_val(gx: usize) -> f64 {
+        gx as f64 * 10.0 + 1.0
+    }
+
+    #[test]
+    fn exchange_planes_wraps_ring() {
+        let (p, lx, plane, h) = (4usize, 4, 3, 2);
+        let (results, _) = Machine::new(p).run(move |comm| {
+            let x0 = comm.rank() * lx;
+            let local: Vec<f64> = (0..lx * plane)
+                .map(|i| plane_val(x0 + i / plane))
+                .collect();
+            exchange_planes(&comm, &local, plane, h, (901, 902))
+        });
+        let n = p * lx;
+        for (rank, ext) in results.iter().enumerate() {
+            assert_eq!(ext.len(), (lx + 2 * h) * plane);
+            let x0 = rank * lx;
+            for pl in 0..lx + 2 * h {
+                let gx = (x0 + n + pl - h) % n;
+                for j in 0..plane {
+                    assert_eq!(ext[pl * plane + j], plane_val(gx), "rank {rank} plane {pl}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fold_spill_accumulates_on_owners() {
+        // Each rank deposits 1.0 into every plane of its extended field
+        // (own slab + hd spill on each side). After folding, an owned
+        // plane holds 1.0 from its owner plus 1.0 per neighbor whose
+        // spill reaches it.
+        let (p, lx, plane, hd) = (4usize, 4, 2, 2);
+        let (results, _) = Machine::new(p).run(move |comm| {
+            let ext = vec![1.0f64; (lx + 2 * hd) * plane];
+            fold_spill(&comm, &ext, plane, hd, (903, 904))
+        });
+        for local in &results {
+            assert_eq!(local.len(), lx * plane);
+            for pl in 0..lx {
+                // Planes within hd of a face receive one neighbor spill.
+                let want = 1.0
+                    + f64::from(pl < hd)
+                    + f64::from(pl >= lx - hd);
+                for j in 0..plane {
+                    assert_eq!(local[pl * plane + j], want, "plane {pl}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fold_then_exchange_roundtrip() {
+        // Deposit mass only in the spill regions; after fold + exchange
+        // the halo planes seen by each rank equal what its neighbors own.
+        let (p, lx, plane, hd) = (3usize, 5, 4, 1);
+        let (results, _) = Machine::new(p).run(move |comm| {
+            let x0 = comm.rank() * lx;
+            let mut ext = vec![0.0f64; (lx + 2 * hd) * plane];
+            for pl in 0..lx + 2 * hd {
+                let gx = (x0 + p * lx + pl - hd) % (p * lx);
+                for j in 0..plane {
+                    ext[pl * plane + j] = plane_val(gx) * 0.5;
+                }
+            }
+            let local = fold_spill(&comm, &ext, plane, hd, (905, 906));
+            exchange_planes(&comm, &local, plane, hd, (907, 908))
+        });
+        let n = p * lx;
+        for (rank, ext) in results.iter().enumerate() {
+            let x0 = rank * lx;
+            for pl in 0..lx + 2 * hd {
+                let gx = (x0 + n + pl - hd) % n;
+                // Spill regions were deposited by the owner and both
+                // neighbors of the boundary — owner keeps its own value
+                // plus one folded copy at the faces.
+                let base = plane_val(gx) * 0.5;
+                let folded = if gx % lx < hd || gx % lx >= lx - hd {
+                    base * 2.0
+                } else {
+                    base
+                };
+                for j in 0..plane {
+                    assert!(
+                        (ext[pl * plane + j] - folded).abs() < 1e-12,
+                        "rank {rank} plane {pl} (gx {gx}): {} vs {folded}",
+                        ext[pl * plane + j]
+                    );
+                }
+            }
+        }
     }
 }

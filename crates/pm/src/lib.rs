@@ -16,6 +16,7 @@ pub mod dist;
 pub mod response;
 pub mod solver;
 pub mod spectral;
+pub mod twolevel;
 
 pub use cic::{
     deposit_cic, deposit_cic_par, deposit_cic_par_with, deposit_tsc, interpolate_cic,
@@ -25,3 +26,6 @@ pub use dist::{DistPoisson, DistRealPoisson};
 pub use response::GridForceFit;
 pub use solver::PmSolver;
 pub use spectral::SpectralParams;
+pub use twolevel::{
+    coarse_solve_forces, ForceSplit, LocalComplementSolver, PmLevelConfig, TwoLevelPmSolver,
+};

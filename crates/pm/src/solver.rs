@@ -88,6 +88,52 @@ impl PmSolver {
         }
     }
 
+    /// Create a solver with caller-supplied spectral tables: `gs` is the
+    /// scalar (influence×filter-like) half-spectrum table (`n·n·(n/2+1)`
+    /// entries) and `grad` the 1-D gradient multiplier (`n` entries,
+    /// already zeroed at Nyquist if Hermitian consistency requires it).
+    /// The two-level mesh uses this to run its coarse level — a low-pass
+    /// filtered, window-deconvolved variant of the standard kernel —
+    /// through the identical pooled, allocation-free solve path.
+    pub(crate) fn with_tables(
+        n: usize,
+        box_len: f64,
+        params: SpectralParams,
+        gs: Vec<f64>,
+        grad: Vec<f64>,
+    ) -> Self {
+        assert!(n > 1, "grid too small");
+        let nzh = n / 2 + 1;
+        assert_eq!(gs.len(), n * n * nzh, "scalar table size");
+        assert_eq!(grad.len(), n, "gradient table size");
+        PmSolver {
+            n,
+            nzh,
+            box_len,
+            params,
+            fft: Fft3::new_cubic(n),
+            rfft: RealFft3::new_cubic(n),
+            gs,
+            grad,
+            ws: Mutex::new(PmWorkspace::default()),
+        }
+    }
+
+    /// Scalar (influence×filter) half-spectrum table, `n·n·(n/2+1)`
+    /// row-major entries — exposed so the two-level split can verify
+    /// complementarity against the exact tables the solver applies.
+    #[must_use]
+    pub fn scalar_table(&self) -> &[f64] {
+        &self.gs
+    }
+
+    /// 1-D gradient multiplier table (`n` entries, Nyquist-zeroed for
+    /// even `n`).
+    #[must_use]
+    pub fn gradient_table(&self) -> &[f64] {
+        &self.grad
+    }
+
     /// Grid points per side.
     pub fn n(&self) -> usize {
         self.n

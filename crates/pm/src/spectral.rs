@@ -52,13 +52,22 @@ pub fn sinc(x: f64) -> f64 {
 impl SpectralParams {
     /// Spectral filter S(k) of Eq. 5 for grid indices `idx` on an `n³`
     /// grid with cell size `delta` (box length `L = n·delta`).
-    #[must_use] 
+    #[must_use]
     pub fn filter(&self, idx: [usize; 3], n: usize, delta: f64) -> f64 {
         let l = n as f64 * delta;
+        self.filter_k(idx.map(|i| k_of_index(i, n, l)), delta)
+    }
+
+    /// [`Self::filter`] at explicit wavenumbers — the two-level mesh
+    /// evaluates the same kernel on lattices (coarse grid, ghost-padded
+    /// rank-local grids) whose modes are not fine-grid indices. The
+    /// index form delegates here, so when an index pair on two grids
+    /// maps to the same physical `k` the values agree bitwise.
+    #[must_use]
+    pub fn filter_k(&self, ks: [f64; 3], delta: f64) -> f64 {
         let mut k2 = 0.0;
         let mut sinc_pow = 1.0;
-        for &i in idx.iter() {
-            let k = k_of_index(i, n, l);
+        for &k in ks.iter() {
             k2 += k * k;
             sinc_pow *= sinc(0.5 * k * delta).powi(self.ns);
         }
@@ -70,16 +79,25 @@ impl SpectralParams {
     /// Influence function G(k): the spectral inverse Laplacian, negative
     /// definite, with G(0) = 0 (mean-field gauge). Solving
     /// `φ(k) = G(k)·ρ(k)` realizes `∇²φ = ρ`.
-    #[must_use] 
+    #[must_use]
     pub fn influence(&self, idx: [usize; 3], n: usize, delta: f64) -> f64 {
         if idx.iter().all(|&i| i == 0) {
             return 0.0;
         }
         let l = n as f64 * delta;
+        self.influence_k(idx.map(|i| k_of_index(i, n, l)), delta)
+    }
+
+    /// [`Self::influence`] at explicit wavenumbers (see
+    /// [`Self::filter_k`]); returns 0 at the zero mode.
+    #[must_use]
+    pub fn influence_k(&self, ks: [f64; 3], delta: f64) -> f64 {
+        if ks.iter().all(|&k| k == 0.0) {
+            return 0.0;
+        }
         let k2_eff = if self.sixth_order_influence {
             let mut acc = 0.0;
-            for &i in idx.iter() {
-                let k = k_of_index(i, n, l);
+            for &k in ks.iter() {
                 let s = (0.5 * k * delta).sin();
                 let s2 = s * s;
                 acc += s2 * (1.0 + s2 / 3.0 + 8.0 / 45.0 * s2 * s2);
@@ -87,8 +105,7 @@ impl SpectralParams {
             acc * 4.0 / (delta * delta)
         } else {
             let mut acc = 0.0;
-            for &i in idx.iter() {
-                let k = k_of_index(i, n, l);
+            for &k in ks.iter() {
                 acc += k * k;
             }
             acc
@@ -98,10 +115,16 @@ impl SpectralParams {
 
     /// Gradient operator D(k) for one component: the transform multiplies
     /// by `i·D`, so this returns the real factor `D` (units 1/length).
-    #[must_use] 
+    #[must_use]
     pub fn gradient(&self, i: usize, n: usize, delta: f64) -> f64 {
         let l = n as f64 * delta;
-        let k = k_of_index(i, n, l);
+        self.gradient_k(k_of_index(i, n, l), delta)
+    }
+
+    /// [`Self::gradient`] at an explicit wavenumber (see
+    /// [`Self::filter_k`]).
+    #[must_use]
+    pub fn gradient_k(&self, k: f64, delta: f64) -> f64 {
         if self.super_lanczos_gradient {
             // 4th-order Super-Lanczos: (8 sin kΔ − sin 2kΔ) / (6Δ).
             (8.0 * (k * delta).sin() - (2.0 * k * delta).sin()) / (6.0 * delta)

@@ -22,6 +22,24 @@ struct CellGather {
     nm: Vec<f32>,
 }
 
+/// RAII return-to-pool guard for a [`CellGather`]: a panicking cell task
+/// (or any exit after the lease) still parks its buffer, so later passes
+/// stay on the warm, alloc-free path instead of silently re-allocating.
+struct CellLease<'a> {
+    pool: &'a Mutex<Vec<CellGather>>,
+    buf: CellGather,
+}
+
+impl Drop for CellLease<'_> {
+    fn drop(&mut self) {
+        // `if let`: during unwind the lock may be poisoned; dropping the
+        // buffer then is fine, aborting on a double panic is not.
+        if let Ok(mut pool) = self.pool.lock() {
+            pool.push(std::mem::take(&mut self.buf));
+        }
+    }
+}
+
 /// Reusable scratch for [`P3mSolver::forces_into`]: counting-sort bins
 /// and per-worker gather buffers. Steady-state force evaluation performs
 /// no heap allocation once the capacities are warm.
@@ -165,11 +183,15 @@ impl P3mSolver {
             if targets.is_empty() {
                 return;
             }
-            let mut g = pool
-                .lock()
-                .expect("p3m gather pool poisoned")
-                .pop()
-                .unwrap_or_default();
+            let mut lease = CellLease {
+                pool,
+                buf: pool
+                    .lock()
+                    .expect("p3m gather pool poisoned")
+                    .pop()
+                    .unwrap_or_default(),
+            };
+            let g = &mut lease.buf;
             let cz = cell % nc;
             let cy = (cell / nc) % nc;
             let cx = cell / (nc * nc);
@@ -233,7 +255,6 @@ impl P3mSolver {
                 }
             }
             inter.fetch_add(count, Ordering::Relaxed);
-            pool.lock().expect("p3m gather pool poisoned").push(g);
         });
         inter.load(Ordering::Relaxed)
     }

@@ -86,8 +86,11 @@ struct GatherLease<'a> {
 
 impl Drop for GatherLease<'_> {
     fn drop(&mut self) {
-        let buf = std::mem::take(&mut self.buf);
-        self.pool.bufs.lock().expect("gather pool poisoned").push(buf);
+        // `if let`: during unwind the lock may be poisoned; dropping the
+        // buffer then is fine, aborting on a double panic is not.
+        if let Ok(mut bufs) = self.pool.bufs.lock() {
+            bufs.push(std::mem::take(&mut self.buf));
+        }
     }
 }
 

@@ -22,6 +22,13 @@
 # out/bench/BENCH_pr7.json. The gate asserts at least MIN_PM_SPEEDUP
 # (default 2.0) on both the step median and the FFT phase.
 #
+# PR9 — two-level mesh: the comm_volume A/B (single-level vs two-level
+# distributed PM, per-tag-class transport counters) plus the socket
+# pencil_overlap run → out/bench/BENCH_pr9.json. The gates assert the
+# pm_step speedup held (no regression from the two-level plumbing) and
+# the measured alltoallv bytes dropped at least MIN_A2A_RATIO
+# (default 4) at coarsening 2.
+#
 # Usage: scripts/bench.sh [--quick]
 #   --quick  shrink the kernel-threading sweep (CI-friendly)
 set -euo pipefail
@@ -149,3 +156,46 @@ awk -v s="$fft_speedup" -v m="$MIN_PM_SPEEDUP" 'BEGIN { exit !(s >= m) }' || {
   exit 1
 }
 echo "==> PASS: pm_step ${pm_speedup}x and FFT ${fft_speedup}x >= ${MIN_PM_SPEEDUP}x"
+
+echo "==> comm_volume (two-level mesh alltoallv A/B at c=2)"
+./target/release/comm_volume --json "$OUT/comm_volume.json"
+
+echo "==> hacc-mprun pencil_overlap (socket transport, 4 OS processes)"
+cargo build --release --bin hacc-mprun
+./target/release/hacc-mprun --ranks 4 --scenario pencil_overlap --out "$OUT"
+
+# PR9 gates: (a) the two-level machinery must not regress the
+# single-level pm_step — judged against the same PR7 baseline and bar;
+# (b) the coarse global solve must cut measured alltoallv bytes by at
+# least MIN_A2A_RATIO (default 4) versus the single-level solve at the
+# same ng, from the per-tag-class transport counters.
+MIN_A2A_RATIO="${MIN_A2A_RATIO:-4.0}"
+a2a_ratio=$(sed -n 's/.*"a2a_ratio": \([0-9.]*\).*/\1/p' "$OUT/comm_volume.json")
+total_ratio=$(sed -n 's/.*"total_ratio": \([0-9.]*\).*/\1/p' "$OUT/comm_volume.json")
+
+{
+  echo '{'
+  echo '  "pm_step_current":'
+  sed 's/^/  /' "$OUT/pm_step_current.json" | sed '$ s/$/,/'
+  echo "  \"pm_speedup_vs_pr7_baseline\": $pm_speedup,"
+  echo "  \"min_pm_speedup\": $MIN_PM_SPEEDUP,"
+  echo "  \"min_a2a_ratio\": $MIN_A2A_RATIO,"
+  echo '  "comm_volume":'
+  sed 's/^/  /' "$OUT/comm_volume.json" | sed '$ s/$/,/'
+  echo '  "pencil_overlap_socket":'
+  sed 's/^/  /' "$OUT/pencil_overlap_socket.json"
+  echo '}'
+} > "$OUT/BENCH_pr9.json"
+
+echo "==> wrote $OUT/BENCH_pr9.json"
+echo "    pm_step vs PR7 baseline: ${pm_speedup}x, alltoallv reduction: ${a2a_ratio}x (total ${total_ratio}x)"
+
+awk -v s="$pm_speedup" -v m="$MIN_PM_SPEEDUP" 'BEGIN { exit !(s >= m) }' || {
+  echo "FAIL: pm_step speedup ${pm_speedup}x regressed below ${MIN_PM_SPEEDUP}x" >&2
+  exit 1
+}
+awk -v s="$a2a_ratio" -v m="$MIN_A2A_RATIO" 'BEGIN { exit !(s >= m) }' || {
+  echo "FAIL: alltoallv reduction ${a2a_ratio}x is below the required ${MIN_A2A_RATIO}x" >&2
+  exit 1
+}
+echo "==> PASS: pm_step ${pm_speedup}x held and alltoallv cut ${a2a_ratio}x >= ${MIN_A2A_RATIO}x"

@@ -69,9 +69,10 @@ fn assert_steady_state_alloc_free(solver: &str, warm: usize) {
     use hacc::cosmo::{Cosmology, LinearPower, Transfer};
 
     let _guard = TEST_LOCK.lock().expect("test lock");
-    let solver = match solver {
-        "pm" => SolverKind::PmOnly,
-        "p3m" => SolverKind::P3m,
+    let (solver, two_level) = match solver {
+        "pm" => (SolverKind::PmOnly, None),
+        "pm2" => (SolverKind::PmOnly, Some(hacc::pm::PmLevelConfig::default())),
+        "p3m" => (SolverKind::P3m, None),
         other => panic!("unknown solver {other}"),
     };
     let power = LinearPower::new(&Cosmology::lcdm(), Transfer::EisensteinHuNoWiggle);
@@ -84,6 +85,7 @@ fn assert_steady_state_alloc_free(solver: &str, warm: usize) {
         steps: 8,
         subcycles: 2,
         solver,
+        two_level,
         ..SimConfig::small_lcdm()
     };
     let mut sim = Simulation::from_ics(cfg, &ics);
@@ -176,4 +178,44 @@ fn steady_state_serial_fft_allocates_nothing() {
 #[test]
 fn steady_state_p3m_step_allocates_nothing() {
     assert_steady_state_alloc_free("p3m", 3);
+}
+
+/// The two-level PM path: both levels' density/force grids, the coarse
+/// CIC scratch and the coarse-position staging buffers all live in
+/// `StepScratch` / `PmWorkspace`, so a steady-state two-level step is
+/// as alloc-free as the single-level one.
+#[test]
+fn steady_state_two_level_step_allocates_nothing() {
+    assert_steady_state_alloc_free("pm2", 1);
+}
+
+/// The `TwoLevelPmSolver` itself, off the simulation loop: after one
+/// warm solve both spectrum workspaces and every FFT pool buffer are
+/// sized, and further solves must not touch the heap. Checked at a
+/// power-of-two grid and at 30³ (odd 15³ coarse grid), so the
+/// mixed-radix fine lines and the odd-Nyquist coarse path both run.
+#[test]
+fn steady_state_two_level_solver_allocates_nothing() {
+    use hacc::pm::{PmLevelConfig, SpectralParams, TwoLevelPmSolver};
+
+    let _guard = TEST_LOCK.lock().expect("test lock");
+    for n in [16usize, 30] {
+        let solver = TwoLevelPmSolver::new(n, 64.0, SpectralParams::default(), PmLevelConfig::default());
+        let nc = n / 2;
+        let fine: Vec<f64> = (0..n * n * n).map(|i| (i % 11) as f64 - 5.0).collect();
+        let coarse: Vec<f64> = (0..nc * nc * nc).map(|i| (i % 7) as f64 - 3.0).collect();
+        let mut fine_out: [Vec<f64>; 3] = Default::default();
+        let mut coarse_out: [Vec<f64>; 3] = Default::default();
+
+        // Warm-up sizes the workspaces and fills the FFT pools.
+        solver.solve_forces_into(&fine, &coarse, &mut fine_out, &mut coarse_out);
+
+        ALLOCS.store(0, Ordering::SeqCst);
+        ARMED.store(true, Ordering::SeqCst);
+        solver.solve_forces_into(&fine, &coarse, &mut fine_out, &mut coarse_out);
+        ARMED.store(false, Ordering::SeqCst);
+
+        let made = ALLOCS.load(Ordering::SeqCst);
+        assert_eq!(made, 0, "warm n={n} two-level solve made {made} allocations");
+    }
 }
