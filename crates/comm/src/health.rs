@@ -87,6 +87,12 @@ pub enum RankStatus {
     /// reconstructed; cleared to `Healthy` by
     /// [`HealthState::mark_recovered`].
     Rebuilding,
+    /// Deliberately outside the active world (elastic capacity held in
+    /// reserve, or retired by a shrink). Exempt from suspicion, skipped
+    /// by `epoch_sync`, and *never* part of the dead set — parking is
+    /// an administrative act, not a failure. Cleared to `Healthy` by
+    /// [`HealthState::activate`].
+    Parked,
 }
 
 /// Failures visible at an epoch boundary: the ranks every survivor must
@@ -185,8 +191,9 @@ impl HealthState {
         let h = &mut st[rank];
         match h.status {
             // Fenced: a heartbeat arriving after the declaration cannot
-            // resurrect the rank.
-            RankStatus::Failed | RankStatus::Rebuilding => h.status,
+            // resurrect the rank. A parked rank likewise stays parked —
+            // only an explicit `activate` admits it to the world.
+            RankStatus::Failed | RankStatus::Rebuilding | RankStatus::Parked => h.status,
             _ => {
                 h.status = RankStatus::Healthy;
                 h.stale_scans = 0;
@@ -241,7 +248,7 @@ impl HealthState {
                         }
                     }
                 }
-                RankStatus::Failed | RankStatus::Rebuilding => {}
+                RankStatus::Failed | RankStatus::Rebuilding | RankStatus::Parked => {}
             }
         }
         if !newly.is_empty() {
@@ -321,6 +328,9 @@ impl HealthState {
                     RankStatus::Failed | RankStatus::Rebuilding => {
                         failed.push((rank, h.failed_epoch));
                     }
+                    // Parked ranks are outside the world: nobody waits
+                    // for them and they are not reported as failed.
+                    RankStatus::Parked => {}
                     RankStatus::Healthy | RankStatus::Suspected => {
                         pending = Some(rank);
                         break;
@@ -442,6 +452,93 @@ impl HealthState {
         self.signal.notify_all();
     }
 
+    /// Administratively remove `rank` from the active world (elastic
+    /// reserve capacity, or a deliberate retire after a shrink). The
+    /// rank becomes exempt from suspicion and epoch waits; this is
+    /// *not* a failure declaration and the rank never enters the dead
+    /// set.
+    pub fn park(&self, rank: usize) {
+        if !self.enabled {
+            return;
+        }
+        {
+            let mut st = self.state.lock(LockRank::Health);
+            let h = &mut st[rank];
+            h.status = RankStatus::Parked;
+            h.stale_scans = 0;
+        }
+        self.signal.notify_all();
+    }
+
+    /// Admit a parked rank to the active world at `epoch` (a grow, or
+    /// the initial activation of reserve capacity). The rank rejoins
+    /// the healthy population at the frontier so the scans elapsed
+    /// while parked do not count against it.
+    pub fn activate(&self, rank: usize, epoch: u64) {
+        if !self.enabled {
+            return;
+        }
+        {
+            let mut st = self.state.lock(LockRank::Health);
+            let h = &mut st[rank];
+            if h.status != RankStatus::Parked {
+                return;
+            }
+            if epoch == u64::MAX {
+                // Run-over release: wake the parked waiter without
+                // readmitting the rank to the world. It stays `Parked`
+                // (inert to the scan, epoch waits, and the dead set) and
+                // its driver exits instead of stepping.
+                h.epoch = u64::MAX;
+            } else {
+                h.status = RankStatus::Healthy;
+                h.stale_scans = 0;
+                if epoch > h.epoch {
+                    h.epoch = epoch;
+                }
+                h.observed_tick = self.ticks[rank].load(Ordering::Relaxed);
+            }
+        }
+        self.signal.notify_all();
+    }
+
+    /// Block until `rank` leaves `Parked` (a grow admitted it), and
+    /// return the epoch it was activated at. Parked ranks sit in this
+    /// wait instead of participating in steps.
+    pub(crate) fn await_activation(
+        &self,
+        rank: usize,
+        poisoned: &AtomicBool,
+    ) -> Result<u64, CommError> {
+        let start = Instant::now();
+        let deadline = start + self.cfg.sync_timeout;
+        let mut st = self.state.lock(LockRank::Health);
+        loop {
+            if poisoned.load(Ordering::SeqCst) {
+                return Err(CommError::Poisoned);
+            }
+            if st[rank].status != RankStatus::Parked {
+                return Ok(st[rank].epoch);
+            }
+            if st[rank].epoch == u64::MAX {
+                // Released at end of run while still parked: the sentinel
+                // tells the driver to exit instead of joining a world.
+                return Ok(u64::MAX);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CommError::Timeout {
+                    context: 0,
+                    src: rank,
+                    tag: 0,
+                    waited: now - start,
+                    detail: format!("parked rank {rank} was never activated"),
+                });
+            }
+            let _ = self.signal.wait_for(&mut st, deadline - now);
+        }
+    }
+
     /// Wake all detector waiters (poison path).
     pub(crate) fn wake(&self) {
         let _guard = self.state.lock(LockRank::Health);
@@ -560,6 +657,83 @@ mod tests {
             }
             other => panic!("expected timeout, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parked_rank_is_never_suspected_and_never_in_dead_set() {
+        let h = HealthState::new(3, Some(cfg(1, 1)));
+        let poisoned = AtomicBool::new(false);
+        h.park(2);
+        h.beat(0, 5);
+        h.beat(1, 5);
+        // Parked rank is arbitrarily far behind the frontier and silent:
+        // must not be suspected, declared, or waited on.
+        for _ in 0..16 {
+            assert!(h.scan().is_empty());
+        }
+        assert_eq!(h.status(2), RankStatus::Parked);
+        assert!(h.dead_set().is_empty());
+        let report = h.epoch_sync(5, &poisoned).expect("parked rank skipped");
+        assert!(report.failed.is_empty());
+        // Beats while parked do not self-activate.
+        assert_eq!(h.beat(2, 5), RankStatus::Parked);
+        assert_eq!(h.status(2), RankStatus::Parked);
+    }
+
+    #[test]
+    fn activation_readmits_parked_rank_at_frontier() {
+        let h = HealthState::new(2, Some(cfg(1, 1)));
+        let poisoned = AtomicBool::new(false);
+        h.park(1);
+        h.beat(0, 7);
+        h.activate(1, 7);
+        assert_eq!(h.status(1), RankStatus::Healthy);
+        let epoch = h.await_activation(1, &poisoned).expect("activated");
+        assert_eq!(epoch, 7);
+        // At the frontier: silence after activation is not suspicious.
+        for _ in 0..8 {
+            assert!(h.scan().is_empty());
+        }
+        // Activate on a non-parked rank is a no-op (it cannot resurrect
+        // a failed rank).
+        h.scan();
+        h.beat(0, 8);
+        h.park(1);
+        h.activate(0, 8); // healthy: no-op
+        assert_eq!(h.status(0), RankStatus::Healthy);
+    }
+
+    #[test]
+    fn retire_then_reactivate_round_trips() {
+        let h = HealthState::new(2, Some(cfg(1, 1)));
+        h.beat(0, 3);
+        h.beat(1, 3);
+        h.park(1); // shrink retires rank 1
+        assert_eq!(h.status(1), RankStatus::Parked);
+        assert!(h.dead_set().is_empty(), "retired is not failed");
+        h.activate(1, 9); // later grow re-admits it
+        assert_eq!(h.status(1), RankStatus::Healthy);
+    }
+
+    #[test]
+    fn release_sentinel_wakes_parked_rank_without_unparking() {
+        let h = HealthState::new(2, Some(cfg(1, 1)));
+        let poisoned = AtomicBool::new(false);
+        h.park(1);
+        // End of run: the driver releases reserve capacity with the
+        // `u64::MAX` sentinel. The waiter wakes with the sentinel, but
+        // the rank stays parked — still invisible to the scan and the
+        // dead set, so a racing monitor pass cannot declare it.
+        h.activate(1, u64::MAX);
+        assert_eq!(h.status(1), RankStatus::Parked);
+        let epoch = h.await_activation(1, &poisoned).expect("released");
+        assert_eq!(epoch, u64::MAX);
+        h.beat(0, 1);
+        for _ in 0..8 {
+            h.tick(0);
+            assert!(h.scan().is_empty());
+        }
+        assert!(h.dead_set().is_empty());
     }
 
     #[test]

@@ -44,11 +44,16 @@ pub struct HubOptions {
     pub respawn: bool,
     /// Receive deadline handed to every child (its transport watchdog).
     pub watchdog: Duration,
+    /// Initially active world size (elastic runs): ranks `active..ranks`
+    /// are pre-parked in the detector *before* rendezvous, so a reserve
+    /// child's mirror is seeded `parked` by its WELCOME and it can never
+    /// be suspected while waiting for a grow. `None` = all active.
+    pub active: Option<usize>,
 }
 
 impl HubOptions {
     /// Defaults for `ranks` ranks: default heartbeat tuning, no faults,
-    /// respawn on, 10 s watchdog.
+    /// respawn on, 10 s watchdog, whole world active.
     #[must_use]
     pub fn new(ranks: usize) -> Self {
         HubOptions {
@@ -57,8 +62,26 @@ impl HubOptions {
             plan: FaultPlan::none(),
             respawn: true,
             watchdog: Duration::from_secs(10),
+            active: None,
         }
     }
+}
+
+/// One timestamped lifecycle event, in hub order. Soak artifacts use
+/// these to reconstruct what the world did; `tests/multiprocess.rs`
+/// asserts a detection-latency bound from the `killed → declared` gap.
+#[derive(Debug, Clone)]
+pub struct HubEvent {
+    /// `"killed"`, `"declared"`, `"respawned"`, `"parked"`, or
+    /// `"activated"`.
+    pub kind: &'static str,
+    /// The rank the event happened to.
+    pub rank: usize,
+    /// Step/epoch the event is tied to (last completed epoch for
+    /// `declared`; 0 where not applicable).
+    pub step: u64,
+    /// Wall-clock milliseconds since the hub started.
+    pub wall_ms: u64,
 }
 
 /// What happened to the world, as the hub saw it.
@@ -73,6 +96,9 @@ pub struct HubReport {
     /// `(rank, exit code)` for children that exited nonzero *without*
     /// having been killed by the hub.
     pub exit_failures: Vec<(usize, i32)>,
+    /// Timestamped lifecycle timeline (kills, declarations, respawns,
+    /// parks, activations) in the order the hub saw them.
+    pub timeline: Vec<HubEvent>,
 }
 
 impl HubReport {
@@ -116,9 +142,20 @@ struct HubState {
     ledger: Mutex<Vec<(u64, u64)>>, // (epoch, failed_epoch)
     report: Mutex<HubReport>,
     shutdown: AtomicBool,
+    started: Instant,
 }
 
 impl HubState {
+    /// Stamp one lifecycle event onto the report timeline.
+    fn stamp(&self, kind: &'static str, rank: usize, step: u64) {
+        let wall_ms = self.started.elapsed().as_millis() as u64;
+        self.report.lock(LockRank::HubReport).timeline.push(HubEvent {
+            kind,
+            rank,
+            step,
+            wall_ms,
+        });
+    }
     /// Write one line to rank `dst`'s control stream (best effort — a
     /// dead child's stream just errors and is dropped).
     fn send_to(&self, dst: usize, line: &str) {
@@ -186,6 +223,7 @@ impl HubState {
         }
         drop(children);
         self.report.lock(LockRank::HubReport).killed.push((rank, step));
+        self.stamp("killed", rank, step);
     }
 
     /// Serve one child's control stream until EOF. `incarnation` is the
@@ -243,6 +281,26 @@ impl HubState {
                     // A child panicked: poison the world like the
                     // in-process machine does.
                     self.broadcast(&ControlLine::Poison.render());
+                }
+                Some(ClientLine::Retire) => {
+                    // Deliberate shrink: park, never declare. The ledger
+                    // is untouched — parking is not a failure and must
+                    // not disturb the epoch record (protocol bug #4).
+                    self.health.park(rank);
+                    self.stamp("parked", rank, 0);
+                    self.broadcast_event(protocol::hub_park(rank));
+                }
+                Some(ClientLine::Activate { rank: target, epoch }) => {
+                    // Grow: readmit a parked rank at the current epoch
+                    // frontier. `health.activate` refuses non-parked
+                    // targets, so a failed rank cannot be resurrected.
+                    self.health.activate(target, epoch);
+                    let ev = {
+                        let mut ledger = self.ledger.lock(LockRank::HubLedger);
+                        protocol::hub_activate(&mut ledger, target, epoch)
+                    };
+                    self.stamp("activated", target, epoch);
+                    self.broadcast_event(ev);
                 }
                 Some(ClientLine::Goodbye) => return,
                 None => {}
@@ -354,8 +412,22 @@ pub fn run(
         ledger: Mutex::new(LockRank::HubLedger, vec![(0, 0); ranks]),
         report: Mutex::new(LockRank::HubReport, HubReport::default()),
         shutdown: AtomicBool::new(false),
+        started: Instant::now(),
         opts,
     };
+
+    // Elastic worlds: park the reserve before any child connects, so
+    // the WELCOME snapshot seeds every mirror with the parked set and
+    // the monitor can never suspect a rank that was never admitted.
+    if let Some(active) = state.opts.active {
+        assert!(
+            active >= 1 && active <= ranks,
+            "active world must be within [1, {ranks}]"
+        );
+        for rank in active..ranks {
+            state.health.park(rank);
+        }
+    }
 
     {
         let mut children = state.children.lock(LockRank::HubChildren);
@@ -460,6 +532,7 @@ pub fn run(
                         .lock(LockRank::HubReport)
                         .declared
                         .push((rank, failed_epoch));
+                    monitor_state.stamp("declared", rank, failed_epoch);
                     monitor_state.broadcast_event(ev);
                     if !monitor_state.opts.respawn {
                         continue;
@@ -497,6 +570,7 @@ pub fn run(
                                 .lock(LockRank::HubReport)
                                 .respawned
                                 .push(rank);
+                            monitor_state.stamp("respawned", rank, failed_epoch);
                         }
                         Err(_) => monitor_state.broadcast(&ControlLine::Poison.render()),
                     }

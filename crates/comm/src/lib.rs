@@ -689,6 +689,18 @@ impl Transport for Shared {
     fn rank_status(&self, rank: usize) -> RankStatus {
         self.health.status(rank)
     }
+
+    fn retire(&self, me: usize) {
+        self.health.park(me);
+    }
+
+    fn activate(&self, _me: usize, rank: usize, epoch: u64) {
+        self.health.activate(rank, epoch);
+    }
+
+    fn await_activation(&self, me: usize) -> Result<u64, CommError> {
+        self.health.await_activation(me, &self.poisoned)
+    }
 }
 
 /// A virtual parallel machine: `n` ranks running as threads in this process.
@@ -697,6 +709,7 @@ pub struct Machine {
     plan: FaultPlan,
     watchdog: Option<Duration>,
     heartbeat: Option<HeartbeatConfig>,
+    active: Option<usize>,
 }
 
 impl Machine {
@@ -709,7 +722,26 @@ impl Machine {
             plan: FaultPlan::none(),
             watchdog: None,
             heartbeat: None,
+            active: None,
         }
+    }
+
+    /// Allocate the machine at full capacity but admit only the first
+    /// `active` ranks to the initial world: the rest start `Parked`
+    /// (elastic reserve, blocked in [`Comm::await_activation`]) until a
+    /// grow activates them. Pre-parking happens before any rank thread
+    /// runs, so a reserve rank can never be suspected by the monitor
+    /// between startup and its own `retire` call. Requires
+    /// [`Machine::with_heartbeat`].
+    #[must_use]
+    pub fn with_active(mut self, active: usize) -> Self {
+        assert!(
+            active >= 1 && active <= self.ranks,
+            "active world must be within [1, {}]",
+            self.ranks
+        );
+        self.active = Some(active);
+        self
     }
 
     /// Inject faults according to `plan` (see [`FaultPlan`]).
@@ -853,7 +885,13 @@ impl Machine {
     }
 
     fn make_shared(&self) -> Arc<Shared> {
-        Arc::new(Shared {
+        if self.active.is_some() {
+            assert!(
+                self.heartbeat.is_some(),
+                "Machine::with_active requires with_heartbeat (parking lives in the detector)"
+            );
+        }
+        let shared = Arc::new(Shared {
             boxes: (0..self.ranks).map(|_| Mailbox::default()).collect(),
             bytes_sent: (0..self.ranks).map(|_| AtomicU64::new(0)).collect(),
             msgs_sent: (0..self.ranks).map(|_| AtomicU64::new(0)).collect(),
@@ -867,7 +905,13 @@ impl Machine {
                 .collect(),
             health: HealthState::new(self.ranks, self.heartbeat),
             next_context: AtomicU64::new(1),
-        })
+        });
+        if let Some(active) = self.active {
+            for rank in active..self.ranks {
+                shared.health.park(rank);
+            }
+        }
+        shared
     }
 
     /// Build the machine's shared state and one communicator handle per
@@ -1043,6 +1087,11 @@ impl Comm {
         }
         match t.beat(me, step) {
             RankStatus::Failed | RankStatus::Rebuilding => StepAdmission::Dead,
+            // A parked rank admitting a step is a driver bug: parked
+            // ranks block in `await_activation` until a grow readmits
+            // them, and a shrink only parks a rank *after* its last
+            // fenced step. Fail loudly rather than wedge the epoch.
+            RankStatus::Parked => panic!("parked rank {me} must await_activation, not admit_step"),
             RankStatus::Healthy | RankStatus::Suspected => match t.epoch_sync(me, step) {
                 Ok(report) => StepAdmission::Proceed(report),
                 Err(e) => panic!("{e}"),
@@ -1107,6 +1156,85 @@ impl Comm {
             return RankStatus::Healthy;
         }
         self.t().rank_status(self.global(rank))
+    }
+
+    /// Deliberately retire this rank from the active world (elastic
+    /// shrink). The detector parks it — exempt from suspicion, skipped
+    /// by epoch waits, never in the dead set — while its process or
+    /// thread stays alive as reserve capacity for a later grow. This is
+    /// an administrative act, not a failure declaration: the protocol
+    /// model (`protocol.rs` bug #4) proves the two cannot be confused.
+    pub fn retire(&self) {
+        let me = self.global(self.rank);
+        self.t().retire(me);
+    }
+
+    /// Admit parked communicator rank `rank` to the active world at
+    /// `epoch` (elastic grow). Called by the rank driving the resize;
+    /// a no-op if `rank` is not currently parked (activation cannot
+    /// resurrect a failed rank).
+    pub fn activate_rank(&self, rank: usize, epoch: u64) {
+        let me = self.global(self.rank);
+        self.t().activate(me, self.global(rank), epoch);
+    }
+
+    /// Block while this rank is parked, until a grow readmits it via
+    /// [`Comm::activate_rank`]; returns the epoch it was activated at.
+    /// Parked ranks may legitimately wait out an entire run, so the
+    /// detector's sync timeout is retried indefinitely — only poison
+    /// (another rank panicked) breaks the wait.
+    #[must_use]
+    pub fn await_activation(&self) -> u64 {
+        let me = self.global(self.rank);
+        loop {
+            match self.t().await_activation(me) {
+                Ok(epoch) => return epoch,
+                Err(CommError::Timeout { .. }) => {}
+                Err(e) => panic!("{e}"),
+            }
+        }
+    }
+
+    /// Number of ranks currently in the active world (everything not
+    /// `Parked` — dead ranks still count, since their replacements are
+    /// world members). Equals [`Comm::size`] on machines without a
+    /// monitor.
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        if !self.t().health_enabled() {
+            return self.size();
+        }
+        (0..self.size())
+            .filter(|&r| self.t().rank_status(self.global(r)) != RankStatus::Parked)
+            .count()
+    }
+
+    /// Sub-communicator over the active prefix `[0, active)` of this
+    /// communicator, with a context every member derives
+    /// *deterministically* from `(parent context, active, generation)` —
+    /// no collective involving parked ranks is needed to construct it
+    /// (the same trick as [`Comm::agree_failed`]'s survivor
+    /// communicator). `generation` is the scale-generation counter,
+    /// bumped on every committed resize, so traffic from a rolled-back
+    /// world can never alias the one that replaced it. The caller must
+    /// have rank `< active`.
+    #[must_use]
+    pub fn active_world(&self, active: usize, generation: u64) -> Comm {
+        assert!(
+            active <= self.size(),
+            "active_world: {active} exceeds capacity {}",
+            self.size()
+        );
+        assert!(
+            self.rank < active,
+            "active_world: caller rank {} is outside the active prefix {active}",
+            self.rank
+        );
+        let mut h = fault::mix64(self.context ^ 0xe1a5_71c0_5ca1_e000);
+        h = fault::mix64(h ^ active as u64);
+        h = fault::mix64(h ^ generation);
+        let members: Vec<usize> = (0..active).collect();
+        self.subset(&members, h)
     }
 
     /// Agreement collective over the survivors of `report`: every

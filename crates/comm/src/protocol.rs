@@ -57,6 +57,12 @@ pub struct Mutations {
     /// link lock while still holding the mailbox lock, inverting the
     /// `Link → Mail` order `register_link` relies on.
     pub diagnose_under_mailbox: bool,
+    /// Bug #4 (elasticity): a deliberate retire (`PARKED`) is applied
+    /// to the mirror as if it were a failure declaration — the retired
+    /// rank enters the dead set, survivors treat an administrative
+    /// shrink as a casualty, and recovery machinery fires for a rank
+    /// that was never lost.
+    pub retire_marks_failed: bool,
 }
 
 impl Mutations {
@@ -65,6 +71,7 @@ impl Mutations {
         corrupt_outranks_declared: false,
         reset_seq_on_reconnect: false,
         diagnose_under_mailbox: false,
+        retire_marks_failed: false,
     };
 }
 
@@ -318,6 +325,12 @@ pub enum ControlEvent {
     Rebuilding { rank: usize },
     /// `RECOVERED r e`: `r` rejoined at epoch `e`.
     Recovered { rank: usize, epoch: u64 },
+    /// `PARKED r`: `r` was deliberately retired from the active world
+    /// (elastic shrink, or held-in-reserve capacity). NOT a failure.
+    Parked { rank: usize },
+    /// `ACTIVATED r e`: parked rank `r` was admitted to the active
+    /// world at epoch `e` (elastic grow).
+    Activated { rank: usize, epoch: u64 },
 }
 
 /// Side effect a mirror update demands outside the mirror itself.
@@ -374,6 +387,42 @@ pub fn apply_control(view: &mut [PeerView], ev: ControlEvent, m: &Mutations) -> 
             }
             MirrorEffect::None
         }
+        ControlEvent::Parked { rank } => {
+            if let Some(p) = view.get_mut(rank) {
+                if m.retire_marks_failed {
+                    // Mutated: bug #4 — a deliberate retire lands in
+                    // the mirror as a death. The retired rank joins the
+                    // dead set and survivors launch recovery for a rank
+                    // that was never lost.
+                    p.status = RankStatus::Failed;
+                    p.failed_epoch = p.epoch;
+                } else {
+                    p.status = RankStatus::Parked;
+                }
+            }
+            MirrorEffect::None
+        }
+        ControlEvent::Activated { rank, epoch } => {
+            if let Some(p) = view.get_mut(rank) {
+                // Activation only admits parked capacity; it must not
+                // resurrect a failed rank (that is `RECOVERED`'s job,
+                // after certified reconstruction).
+                if p.status == RankStatus::Parked {
+                    if epoch == u64::MAX {
+                        // Run-over release sentinel: wake the parked
+                        // waiter but keep the rank parked (it exits
+                        // instead of joining a world).
+                        p.epoch = u64::MAX;
+                    } else {
+                        p.status = RankStatus::Healthy;
+                        if epoch > p.epoch {
+                            p.epoch = epoch;
+                        }
+                    }
+                }
+            }
+            MirrorEffect::None
+        }
     }
 }
 
@@ -413,6 +462,9 @@ pub fn epoch_gate(view: &[PeerView], me: usize, epoch: u64) -> EpochGate {
             RankStatus::Failed | RankStatus::Rebuilding => {
                 failed.push((rank, p.failed_epoch));
             }
+            // Parked ranks are outside the world: never waited on,
+            // never reported failed.
+            RankStatus::Parked => {}
             RankStatus::Healthy | RankStatus::Suspected => {
                 return EpochGate::Waiting { rank };
             }
@@ -431,6 +483,22 @@ pub fn rebirth_gate(view: &[PeerView], failed: &[usize]) -> Option<usize> {
         .find(|&r| view.get(r).is_some_and(|p| p.status == RankStatus::Failed))
 }
 
+/// `Some(epoch)` once parked `rank` has been admitted to the active
+/// world (its mirror entry left `Parked`); `None` while
+/// `await_activation` must keep waiting.
+#[must_use]
+pub fn activation_gate(view: &[PeerView], rank: usize) -> Option<u64> {
+    view.get(rank).and_then(|p| {
+        if p.status != RankStatus::Parked || p.epoch == u64::MAX {
+            // Either readmitted, or released at end of run while still
+            // parked (the `u64::MAX` sentinel the hub broadcasts).
+            Some(p.epoch)
+        } else {
+            None
+        }
+    })
+}
+
 // ---------------------------------------------------------------------
 // Wire control lines: one renderer/parser pair per direction
 // ---------------------------------------------------------------------
@@ -443,6 +511,7 @@ pub fn status_name(s: RankStatus) -> &'static str {
         RankStatus::Suspected => "suspected",
         RankStatus::Failed => "failed",
         RankStatus::Rebuilding => "rebuilding",
+        RankStatus::Parked => "parked",
     }
 }
 
@@ -454,6 +523,7 @@ pub fn parse_status(s: &str) -> RankStatus {
         "suspected" => RankStatus::Suspected,
         "failed" => RankStatus::Failed,
         "rebuilding" => RankStatus::Rebuilding,
+        "parked" => RankStatus::Parked,
         _ => RankStatus::Healthy,
     }
 }
@@ -492,6 +562,10 @@ impl ControlLine {
             ControlLine::Event(ControlEvent::Rebuilding { rank }) => format!("REBUILDING {rank}"),
             ControlLine::Event(ControlEvent::Recovered { rank, epoch }) => {
                 format!("RECOVERED {rank} {epoch}")
+            }
+            ControlLine::Event(ControlEvent::Parked { rank }) => format!("PARKED {rank}"),
+            ControlLine::Event(ControlEvent::Activated { rank, epoch }) => {
+                format!("ACTIVATED {rank} {epoch}")
             }
             ControlLine::Poison => "POISON".to_string(),
         }
@@ -535,6 +609,19 @@ impl ControlLine {
                     epoch,
                 }))
             }
+            "PARKED" => {
+                let rank = parse_arg(it.next())?;
+                Some(ControlLine::Event(ControlEvent::Parked {
+                    rank: rank as usize,
+                }))
+            }
+            "ACTIVATED" => {
+                let (rank, epoch) = (parse_arg(it.next())?, parse_arg(it.next())?);
+                Some(ControlLine::Event(ControlEvent::Activated {
+                    rank: rank as usize,
+                    epoch,
+                }))
+            }
             "POISON" => Some(ControlLine::Poison),
             _ => None,
         }
@@ -556,6 +643,13 @@ pub enum ClientLine {
     Poisoned,
     /// Clean shutdown.
     Goodbye,
+    /// `RETIRE`: this rank is deliberately leaving the active world
+    /// (elastic shrink). The hub must *park* it — never declare it
+    /// failed — and keep its process alive for a later grow.
+    Retire,
+    /// `ACTIVATE r e`: admit parked rank `r` to the active world at
+    /// epoch `e` (sent by the rank driving an elastic grow).
+    Activate { rank: usize, epoch: u64 },
 }
 
 impl ClientLine {
@@ -569,6 +663,8 @@ impl ClientLine {
             ClientLine::Recovered { epoch } => format!("RECOVERED {epoch}"),
             ClientLine::Poisoned => "POISONED".to_string(),
             ClientLine::Goodbye => "GOODBYE".to_string(),
+            ClientLine::Retire => "RETIRE".to_string(),
+            ClientLine::Activate { rank, epoch } => format!("ACTIVATE {rank} {epoch}"),
         }
     }
 
@@ -587,6 +683,14 @@ impl ClientLine {
             }),
             "POISONED" => Some(ClientLine::Poisoned),
             "GOODBYE" => Some(ClientLine::Goodbye),
+            "RETIRE" => Some(ClientLine::Retire),
+            "ACTIVATE" => {
+                let (rank, epoch) = (parse_arg(it.next())?, parse_arg(it.next())?);
+                Some(ClientLine::Activate {
+                    rank: rank as usize,
+                    epoch,
+                })
+            }
             _ => None,
         }
     }
@@ -627,6 +731,24 @@ pub fn hub_declare(ledger: &mut [(u64, u64)], rank: usize, failed_epoch: u64) ->
 pub fn hub_recover(ledger: &mut [(u64, u64)], rank: usize, epoch: u64) -> ControlEvent {
     ledger[rank].0 = epoch;
     ControlEvent::Recovered { rank, epoch }
+}
+
+/// `rank` deliberately retired (or was allocated as reserve capacity):
+/// produce the `PARKED` broadcast. Deliberately does NOT touch the
+/// failed-epoch column — parking is not a death, and the ledger must
+/// never let the two be confused.
+#[must_use]
+pub fn hub_park(rank: usize) -> ControlEvent {
+    ControlEvent::Parked { rank }
+}
+
+/// Parked `rank` was admitted to the world at `epoch`: record the
+/// epoch (it joins at the frontier) and produce the `ACTIVATED`
+/// broadcast.
+#[must_use]
+pub fn hub_activate(ledger: &mut [(u64, u64)], rank: usize, epoch: u64) -> ControlEvent {
+    ledger[rank].0 = epoch;
+    ControlEvent::Activated { rank, epoch }
 }
 
 // ---------------------------------------------------------------------
@@ -875,6 +997,9 @@ mod tests {
             }),
             ControlLine::Event(ControlEvent::Rebuilding { rank: 1 }),
             ControlLine::Event(ControlEvent::Recovered { rank: 1, epoch: 6 }),
+            ControlLine::Event(ControlEvent::Parked { rank: 4 }),
+            ControlLine::Event(ControlEvent::Activated { rank: 4, epoch: 8 }),
+            ControlLine::BeatAck(RankStatus::Parked),
             ControlLine::Poison,
         ];
         for line in lines {
@@ -891,10 +1016,68 @@ mod tests {
             ClientLine::Recovered { epoch: 12 },
             ClientLine::Poisoned,
             ClientLine::Goodbye,
+            ClientLine::Retire,
+            ClientLine::Activate { rank: 5, epoch: 3 },
         ];
         for line in lines {
             assert_eq!(ClientLine::parse(&line.render()), Some(line));
         }
+    }
+
+    #[test]
+    fn retire_is_never_confused_with_failure() {
+        let mut view = [PeerView::INITIAL; 3];
+        view[2].epoch = 6;
+        apply_control(&mut view, ControlEvent::Parked { rank: 2 }, &Mutations::NONE);
+        assert_eq!(view[2].status, RankStatus::Parked);
+        assert!(dead_set(&view).is_empty(), "retired is not dead");
+        // Nobody waits on a parked rank at an epoch barrier, and it is
+        // not reported as a casualty either.
+        let mut active = [PeerView::INITIAL; 3];
+        active[0].epoch = 9;
+        active[1].epoch = 9;
+        apply_control(&mut active, ControlEvent::Parked { rank: 2 }, &Mutations::NONE);
+        assert_eq!(epoch_gate(&active, 0, 9), EpochGate::Ready { failed: vec![] });
+        // The mutated protocol (bug #4) turns the retire into a death:
+        // the model run's counterexample.
+        let m = Mutations {
+            retire_marks_failed: true,
+            ..Mutations::NONE
+        };
+        let mut bad = [PeerView::INITIAL; 3];
+        bad[2].epoch = 6;
+        apply_control(&mut bad, ControlEvent::Parked { rank: 2 }, &m);
+        assert_eq!(bad[2].status, RankStatus::Failed);
+        assert_eq!(dead_set(&bad), vec![(2, 6)], "bug #4: retiree in the dead set");
+    }
+
+    #[test]
+    fn activation_admits_only_parked_ranks() {
+        let mut view = [PeerView::INITIAL; 2];
+        apply_control(&mut view, ControlEvent::Parked { rank: 1 }, &Mutations::NONE);
+        assert_eq!(activation_gate(&view, 1), None, "parked: keep waiting");
+        apply_control(
+            &mut view,
+            ControlEvent::Activated { rank: 1, epoch: 4 },
+            &Mutations::NONE,
+        );
+        assert_eq!(view[1].status, RankStatus::Healthy);
+        assert_eq!(activation_gate(&view, 1), Some(4));
+        // Activation must not resurrect a failed rank.
+        apply_control(
+            &mut view,
+            ControlEvent::Declared {
+                rank: 1,
+                failed_epoch: 4,
+            },
+            &Mutations::NONE,
+        );
+        apply_control(
+            &mut view,
+            ControlEvent::Activated { rank: 1, epoch: 9 },
+            &Mutations::NONE,
+        );
+        assert_eq!(view[1].status, RankStatus::Failed, "ACTIVATED cannot heal a death");
     }
 
     #[test]

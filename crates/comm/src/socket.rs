@@ -1329,4 +1329,44 @@ impl Transport for SocketTransport {
     fn rank_status(&self, rank: usize) -> RankStatus {
         self.mirror.state.lock(LockRank::Mirror)[rank].status
     }
+
+    fn retire(&self, me: usize) {
+        debug_assert_eq!(me, self.cfg.rank);
+        // Optimistic local apply; the hub parks us in its authoritative
+        // ledger and broadcasts PARKED to everyone (idempotent on us).
+        self.apply_control_event(ControlEvent::Parked { rank: me });
+        let _ = self.control_send(&ClientLine::Retire.render());
+    }
+
+    fn activate(&self, _me: usize, rank: usize, epoch: u64) {
+        // No optimistic apply here: the admission frontier must come
+        // from the hub's ledger, so wait for the ACTIVATED broadcast.
+        let _ = self.control_send(&ClientLine::Activate { rank, epoch }.render());
+    }
+
+    fn await_activation(&self, me: usize) -> Result<u64, CommError> {
+        debug_assert_eq!(me, self.cfg.rank);
+        let start = Instant::now();
+        let deadline = start + self.timing.sync_timeout;
+        let mut st = self.mirror.state.lock(LockRank::Mirror);
+        loop {
+            if self.poisoned.load(Ordering::SeqCst) {
+                return Err(CommError::Poisoned);
+            }
+            if let Some(epoch) = protocol::activation_gate(&st, me) {
+                return Ok(epoch);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CommError::Timeout {
+                    context: 0,
+                    src: me,
+                    tag: 0,
+                    waited: now - start,
+                    detail: format!("parked rank {me} was never activated"),
+                });
+            }
+            let _ = self.mirror.signal.wait_for(&mut st, deadline - now);
+        }
+    }
 }

@@ -141,4 +141,21 @@ pub trait Transport: Send + Sync {
 
     /// Detector status of global rank `rank`.
     fn rank_status(&self, rank: usize) -> RankStatus;
+
+    // ---- elastic world plumbing ---------------------------------------
+
+    /// Deliberately retire rank `me` from the active world (elastic
+    /// shrink): the detector parks it — exempt from suspicion, skipped
+    /// by epoch waits, never in the dead set. Its process/thread stays
+    /// alive for a later grow. This is an administrative act, NOT a
+    /// failure declaration.
+    fn retire(&self, me: usize);
+
+    /// Admit parked global rank `rank` to the active world at `epoch`
+    /// (elastic grow), called by the rank driving the resize.
+    fn activate(&self, me: usize, rank: usize, epoch: u64);
+
+    /// Block at parked rank `me` until a grow admits it; returns the
+    /// epoch it was activated at.
+    fn await_activation(&self, me: usize) -> Result<u64, CommError>;
 }

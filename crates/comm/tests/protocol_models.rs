@@ -54,6 +54,10 @@ const BUG_LOCK_INVERSION: Mutations = Mutations {
     diagnose_under_mailbox: true,
     ..Mutations::NONE
 };
+const BUG_RETIRE_AS_DEATH: Mutations = Mutations {
+    retire_marks_failed: true,
+    ..Mutations::NONE
+};
 
 /// Emit the report's state counts (and, for mutation runs, the
 /// counterexample trace) into `$HACC_MODEL_STATS_DIR` so `cargo xtask
@@ -721,7 +725,9 @@ fn mutated_lock_inversion_is_caught() {
 /// child consumes the log at its own pace through the real
 /// [`protocol::apply_control`]. Terminal states (log drained, event
 /// budget spent) must show every child's [`protocol::dead_set`] equal
-/// to the hub's.
+/// to the hub's. Rank 0 additionally exercises the elastic lifecycle
+/// (deliberate retire → re-activation) and must *never* be confused
+/// with a casualty.
 struct DeadSetModel {
     name: &'static str,
     m: Mutations,
@@ -733,7 +739,7 @@ const DS_CHILDREN: usize = 2; // observers: ranks 0 and 2
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 struct DeadSetState {
     /// Hub-side lifecycle per rank: 0 healthy, 1 declared, 2 rebuilding,
-    /// 3 recovered.
+    /// 3 recovered, 4 parked (deliberate retire), 5 re-activated.
     hub: [u8; DS_RANKS],
     log: Vec<ControlEvent>,
     consumed: [u8; DS_CHILDREN],
@@ -745,6 +751,10 @@ enum DeadSetAction {
     Declare(usize),
     Rebuild(usize),
     Recover(usize),
+    /// Deliberate elastic retire: the hub parks the rank.
+    Retire(usize),
+    /// Elastic grow: the hub re-admits a parked rank.
+    Activate(usize),
     /// Child `c`'s control loop applies the next broadcast.
     DeliverTo(usize),
 }
@@ -787,6 +797,14 @@ impl Model for DeadSetModel {
         if s.hub[1] == 2 {
             out.push(DeadSetAction::Recover(1));
         }
+        // Rank 0 is never declared: its only lifecycle is the elastic
+        // retire → activate round trip.
+        if s.hub[0] == 0 {
+            out.push(DeadSetAction::Retire(0));
+        }
+        if s.hub[0] == 4 {
+            out.push(DeadSetAction::Activate(0));
+        }
         for c in 0..DS_CHILDREN {
             if (s.consumed[c] as usize) < s.log.len() {
                 out.push(DeadSetAction::DeliverTo(c));
@@ -814,6 +832,14 @@ impl Model for DeadSetModel {
                 n.hub[r] = 3;
                 n.log.push(ControlEvent::Recovered { rank: r, epoch: 5 });
             }
+            DeadSetAction::Retire(r) => {
+                n.hub[r] = 4;
+                n.log.push(ControlEvent::Parked { rank: r });
+            }
+            DeadSetAction::Activate(r) => {
+                n.hub[r] = 5;
+                n.log.push(ControlEvent::Activated { rank: r, epoch: 7 });
+            }
             DeadSetAction::DeliverTo(c) => {
                 let ev = n.log[n.consumed[c] as usize];
                 let _ = protocol::apply_control(&mut n.views[c], ev, &self.m);
@@ -828,13 +854,8 @@ impl Model for DeadSetModel {
     }
 }
 
-#[test]
-fn survivors_agree_on_the_dead_set() {
-    let model = DeadSetModel {
-        name: "dead-set",
-        m: Mutations::NONE,
-    };
-    let props = vec![
+fn dead_set_properties() -> Vec<Property<DeadSetModel>> {
+    vec![
         // Terminal = log drained + hub lifecycle exhausted: every
         // child's mirror must equal the hub's authoritative view.
         Property::<DeadSetModel>::eventually("survivors-agree", |_, s| {
@@ -852,15 +873,70 @@ fn survivors_agree_on_the_dead_set() {
                 })
             })
         }),
+        // The elastic theorem: a rank whose only lifecycle is the
+        // deliberate retire/activate round trip (rank 0 here — the hub
+        // never declares it) can never appear in any child's dead set,
+        // no matter how the broadcast log interleaves.
+        Property::<DeadSetModel>::always("retired-is-never-dead", |_, s| {
+            s.views
+                .iter()
+                .all(|v| protocol::dead_set(v).iter().all(|&(r, _)| r != 0))
+        }),
         Property::<DeadSetModel>::sometimes("children-disagree-in-flight", |_, s| {
             protocol::dead_set(&s.views[0]) != protocol::dead_set(&s.views[1])
         }),
         Property::<DeadSetModel>::sometimes("double-fault-reached", |_, s| s.hub[1] >= 1 && s.hub[2] >= 1),
         Property::<DeadSetModel>::sometimes("recovery-reached", |_, s| s.hub[1] == 3),
-    ];
-    let report = check(&model, &props, &Options::default());
+        // A retire and a failure coexist in the same schedule, and the
+        // parked rank later rejoins — the exact grow-after-shrink shape
+        // the chaos soak drives.
+        Property::<DeadSetModel>::sometimes("retire-alongside-failure", |_, s| {
+            s.hub[0] >= 4 && s.hub[1] >= 1
+        }),
+        Property::<DeadSetModel>::sometimes("regrow-reached", |_, s| s.hub[0] == 5),
+    ]
+}
+
+#[test]
+fn survivors_agree_on_the_dead_set() {
+    let model = DeadSetModel {
+        name: "dead-set",
+        m: Mutations::NONE,
+    };
+    let report = check(&model, &dead_set_properties(), &Options::default());
     record(&report);
     assert_proven(&report);
+}
+
+/// Bug #4 regression: applying a deliberate retire to the mirror as a
+/// failure declaration puts the retiree in the dead set — survivors
+/// would launch recovery for a rank that was never lost. The checker
+/// must find the schedule, and it must involve a `Retire` (never a
+/// `Declare`) of the confused rank.
+#[test]
+fn mutated_retire_confused_with_failure_is_caught() {
+    let model = DeadSetModel {
+        name: "dead-set-mut-retire",
+        m: BUG_RETIRE_AS_DEATH,
+    };
+    let report = check(&model, &dead_set_properties(), &Options::default());
+    record(&report);
+    let v = report
+        .violation("retired-is-never-dead")
+        .expect("the checker must catch bug #4 (retire confused with failure)");
+    let actions: Vec<DeadSetAction> = v.trace.steps.iter().map(|(a, _)| *a).collect();
+    let states = replay(&model, 0, &actions);
+    let end = states.last().unwrap();
+    assert!(
+        end.views
+            .iter()
+            .any(|view| protocol::dead_set(view).iter().any(|&(r, _)| r == 0)),
+        "{}",
+        v.trace.render()
+    );
+    // The schedule's signature: rank 0 was retired, never declared.
+    assert!(actions.contains(&DeadSetAction::Retire(0)));
+    assert!(!actions.contains(&DeadSetAction::Declare(0)));
 }
 
 // =====================================================================

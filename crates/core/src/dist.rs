@@ -328,6 +328,15 @@ impl<'a> DistSimulation<'a> {
         &self.parts
     }
 
+    /// Tear the view down to its owned state `(a, particles)` — the
+    /// exact inverse of [`Self::from_checkpoint_state`]. The elastic
+    /// driver extracts this when a world resize retires the borrowed
+    /// communicator: the particles are re-sharded over the union
+    /// communicator and a fresh view is built on the new world.
+    pub(crate) fn into_state(self) -> (f64, Particles) {
+        (self.a, self.parts)
+    }
+
     /// The driver configuration.
     #[must_use] 
     pub fn config(&self) -> &SimConfig {

@@ -23,10 +23,15 @@
 //! [`checkpoint`] (per-rank restart records through the CRC-validated
 //! snapshot format) and [`resilient`] (a recovery driver that checkpoints
 //! every K steps and restarts failed attempts from the last good set).
+//! [`elastic`] builds planned world resizing on those same primitives:
+//! the run can grow into reserve ranks or shrink out of retiring ones
+//! at scheduled step boundaries, with every handover epoch-fenced,
+//! count-certified, and abortable back to a pre-resize checkpoint.
 
 pub mod checkpoint;
 pub mod config;
 pub mod dist;
+pub mod elastic;
 pub mod invariant;
 pub mod resilient;
 pub mod sim;
@@ -35,10 +40,11 @@ pub mod stats;
 pub use checkpoint::{config_fingerprint, CheckpointError};
 pub use config::{SimConfig, SolverKind};
 pub use dist::DistSimulation;
+pub use elastic::{run_attempt_elastic, run_elastic, ScalePlan, ScaleSchedule, WorldMeta};
 pub use invariant::{InvariantConfig, InvariantMonitor, InvariantSample, InvariantVerdict};
 pub use resilient::{
     run_attempt_online, run_resilient, write_timeline_json, AttemptOutput, RecoveryEvent,
-    ResilienceConfig, ResilienceError, ResilientRun,
+    ResilienceConfig, ResilienceError, ResilientRun, TimelineHeader,
 };
 pub use sim::Simulation;
 pub use stats::{RunStats, StepBreakdown};

@@ -97,7 +97,26 @@ impl ResilienceConfig {
         }
     }
 
-    fn pause_before_attempt(&self, attempt: u32) -> Duration {
+    /// Apply the per-run overrides a [`SimConfig`] carries: the retry
+    /// budget and backoff base are simulation-level policy (a long
+    /// campaign tolerates more relaunches than a smoke test), so the
+    /// config can tune them without the caller rebuilding the whole
+    /// `ResilienceConfig`. The chosen values are reported in the
+    /// timeline header ([`TimelineHeader`]) so an artifact records what
+    /// policy produced it.
+    #[must_use]
+    pub fn for_sim(&self, cfg: &SimConfig) -> Self {
+        let mut rc = self.clone();
+        if let Some(r) = cfg.max_retries {
+            rc.max_retries = r;
+        }
+        if let Some(ms) = cfg.backoff_base_ms {
+            rc.backoff = Duration::from_millis(ms);
+        }
+        rc
+    }
+
+    pub(crate) fn pause_before_attempt(&self, attempt: u32) -> Duration {
         // attempt 2 waits `backoff`, attempt 3 waits `backoff·factor`, …
         let exp = attempt.saturating_sub(2);
         self.backoff.mul_f64(self.backoff_factor.powi(exp as i32))
@@ -206,6 +225,47 @@ pub enum RecoveryEvent {
         /// Completed steps captured by the checkpoint.
         step: u64,
     },
+    /// An elastic resize was decided: the world will grow or shrink at
+    /// the next fence, priced by the `hacc-machine` resize model.
+    ScalePlanned {
+        /// Step after which the resize fences in.
+        step: u64,
+        /// Active ranks before.
+        from: usize,
+        /// Active ranks after.
+        to: usize,
+        /// Steps until the resize pays for itself (`None`: never — the
+        /// resize is mandated, e.g. releasing ranks to another job).
+        break_even: Option<u64>,
+        /// Why the plan was taken.
+        rationale: String,
+    },
+    /// An elastic resize committed: the new world is certified, its
+    /// checkpoint set is durable, and the old decomposition retired.
+    ScaleCommitted {
+        /// Step the resize fenced at.
+        step: u64,
+        /// Active ranks before.
+        from: usize,
+        /// Active ranks after.
+        to: usize,
+        /// Certified global particle count on the new world.
+        count: usize,
+        /// World generation after the commit.
+        generation: u64,
+    },
+    /// An elastic resize aborted: certification failed or a fault broke
+    /// the fence, and the run rolled back to the pre-resize world.
+    ScaleAborted {
+        /// Step the resize fenced at.
+        step: u64,
+        /// Active ranks before (the world the run rolls back to).
+        from: usize,
+        /// Active ranks the aborted resize was targeting.
+        to: usize,
+        /// Why the resize could not be certified.
+        reason: String,
+    },
 }
 
 impl fmt::Display for RecoveryEvent {
@@ -265,6 +325,44 @@ impl fmt::Display for RecoveryEvent {
             RecoveryEvent::ProactiveCheckpoint { step } => {
                 write!(f, "proactive checkpoint at step {step}")
             }
+            RecoveryEvent::ScalePlanned {
+                step,
+                from,
+                to,
+                break_even,
+                rationale,
+            } => match break_even {
+                Some(b) => write!(
+                    f,
+                    "step {step}: planned resize {from}→{to} ranks \
+                     (breaks even after {b} steps): {rationale}"
+                ),
+                None => write!(
+                    f,
+                    "step {step}: planned resize {from}→{to} ranks (mandated): {rationale}"
+                ),
+            },
+            RecoveryEvent::ScaleCommitted {
+                step,
+                from,
+                to,
+                count,
+                generation,
+            } => write!(
+                f,
+                "step {step}: resize {from}→{to} ranks committed \
+                 ({count} particles certified, generation {generation})"
+            ),
+            RecoveryEvent::ScaleAborted {
+                step,
+                from,
+                to,
+                reason,
+            } => write!(
+                f,
+                "step {step}: resize {from}→{to} ranks aborted, \
+                 rolled back to {from}-rank world: {reason}"
+            ),
         }
     }
 }
@@ -333,6 +431,37 @@ impl RecoveryEvent {
             RecoveryEvent::ProactiveCheckpoint { step } => {
                 format!(r#"{{"event":"proactive_checkpoint","step":{step}}}"#)
             }
+            RecoveryEvent::ScalePlanned {
+                step,
+                from,
+                to,
+                break_even,
+                rationale,
+            } => {
+                let be = break_even.map_or("null".into(), |b| b.to_string());
+                format!(
+                    r#"{{"event":"scale_planned","step":{step},"from":{from},"to":{to},"break_even":{be},"rationale":"{}"}}"#,
+                    json_escape(rationale)
+                )
+            }
+            RecoveryEvent::ScaleCommitted {
+                step,
+                from,
+                to,
+                count,
+                generation,
+            } => format!(
+                r#"{{"event":"scale_committed","step":{step},"from":{from},"to":{to},"count":{count},"generation":{generation}}}"#
+            ),
+            RecoveryEvent::ScaleAborted {
+                step,
+                from,
+                to,
+                reason,
+            } => format!(
+                r#"{{"event":"scale_aborted","step":{step},"from":{from},"to":{to},"reason":"{}"}}"#,
+                json_escape(reason)
+            ),
         }
     }
 }
@@ -352,14 +481,77 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// The recovery policy that produced a timeline, recorded in the
+/// artifact itself so a post-mortem never has to guess which retry
+/// budget or backoff was in force. Serialized as the *first* element of
+/// the timeline array (`{"header":{...}}`), keeping the array format
+/// that existing readers parse.
+#[derive(Debug, Clone)]
+pub struct TimelineHeader {
+    /// Ranks of the machine (capacity, for elastic runs).
+    pub ranks: usize,
+    /// Effective retry budget ([`ResilienceConfig::max_retries`], after
+    /// any [`SimConfig`] override).
+    pub max_retries: u32,
+    /// Effective backoff base, milliseconds.
+    pub backoff_base_ms: u64,
+    /// Backoff multiplier per failure.
+    pub backoff_factor: f64,
+    /// Checkpoint cadence in steps.
+    pub checkpoint_every: u64,
+    /// Fault-injection seed, when the run was driven by one.
+    pub fault_seed: Option<u64>,
+}
+
+impl TimelineHeader {
+    /// Capture the effective policy of `rc` (call *after*
+    /// [`ResilienceConfig::for_sim`] so overrides are included).
+    #[must_use]
+    pub fn for_config(rc: &ResilienceConfig, fault_seed: Option<u64>) -> Self {
+        TimelineHeader {
+            ranks: rc.ranks,
+            max_retries: rc.max_retries,
+            backoff_base_ms: rc.backoff.as_millis() as u64,
+            backoff_factor: rc.backoff_factor,
+            checkpoint_every: rc.checkpoint_every,
+            fault_seed,
+        }
+    }
+
+    /// The header's JSON object (manual serialization, no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let seed = self.fault_seed.map_or("null".into(), |s| s.to_string());
+        format!(
+            r#"{{"header":{{"ranks":{},"max_retries":{},"backoff_base_ms":{},"backoff_factor":{},"checkpoint_every":{},"fault_seed":{}}}}}"#,
+            self.ranks,
+            self.max_retries,
+            self.backoff_base_ms,
+            self.backoff_factor,
+            self.checkpoint_every,
+            seed
+        )
+    }
+}
+
 /// Write a recovery timeline as a JSON array (one event object per
-/// line), creating parent directories as needed. CI's fault-matrix job
-/// uploads these as artifacts.
-pub fn write_timeline_json(path: &Path, timeline: &[RecoveryEvent]) -> std::io::Result<()> {
+/// line), creating parent directories as needed. When `header` is given
+/// it becomes the first array element, recording the recovery policy
+/// alongside the events. CI's fault-matrix job uploads these as
+/// artifacts.
+pub fn write_timeline_json(
+    path: &Path,
+    header: Option<&TimelineHeader>,
+    timeline: &[RecoveryEvent],
+) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
-    let body: Vec<String> = timeline.iter().map(|e| format!("  {}", e.to_json())).collect();
+    let mut body: Vec<String> = Vec::with_capacity(timeline.len() + 1);
+    if let Some(h) = header {
+        body.push(format!("  {}", h.to_json()));
+    }
+    body.extend(timeline.iter().map(|e| format!("  {}", e.to_json())));
     std::fs::write(path, format!("[\n{}\n]\n", body.join(",\n")))
 }
 
@@ -426,6 +618,7 @@ pub fn run_resilient(
     rc: &ResilienceConfig,
     plan: &FaultPlan,
 ) -> Result<ResilientRun, ResilienceError> {
+    let rc = &rc.for_sim(&cfg);
     let mut timeline = Vec::new();
     let mut attempt = 1u32;
     loop {
@@ -706,7 +899,7 @@ pub fn run_attempt_online(
 /// rollbacks stop making progress. All ranks reach identical decisions
 /// (the triggers are allreduced quantities), so the `resume_from`
 /// collective and the abort are globally consistent.
-fn tier1_rollback<'a>(
+pub(crate) fn tier1_rollback<'a>(
     comm: &'a Comm,
     cfg: SimConfig,
     rc: &ResilienceConfig,
@@ -748,7 +941,7 @@ fn tier1_rollback<'a>(
 /// peers are still writing and conservatively spare an extra old set.
 /// Old sets themselves are dead weight, not write targets, so rank 0
 /// deletes them without further synchronization.
-fn maybe_gc(comm: &Comm, rc: &ResilienceConfig) {
+pub(crate) fn maybe_gc(comm: &Comm, rc: &ResilienceConfig) {
     if rc.retain.is_none() {
         return;
     }
@@ -826,7 +1019,7 @@ mod tests {
         ];
         let dir = std::env::temp_dir().join(format!("hacc_timeline_{}", std::process::id()));
         let path = dir.join("nested").join("timeline.json");
-        write_timeline_json(&path, &timeline).expect("write");
+        write_timeline_json(&path, None, &timeline).expect("write");
         let body = std::fs::read_to_string(&path).expect("read back");
         assert!(body.starts_with("[\n"));
         assert!(body.contains(r#""event":"rank_failure_detected","step":3,"rank":1"#));
@@ -834,6 +1027,68 @@ mod tests {
         // Parses as far as our own reader needs: balanced brackets, one
         // object per entry.
         assert_eq!(body.matches("{\"event\"").count(), timeline.len());
+
+        // With a header: still an array, header first, same event count.
+        let rc = ResilienceConfig::new(4, &dir);
+        let header = TimelineHeader::for_config(&rc, Some(9));
+        write_timeline_json(&path, Some(&header), &timeline).expect("write with header");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        assert!(body.starts_with("[\n"));
+        assert!(
+            body.contains(r#"{"header":{"ranks":4,"max_retries":3,"backoff_base_ms":10"#),
+            "header missing: {body}"
+        );
+        assert!(body.contains(r#""fault_seed":9"#));
+        assert_eq!(body.matches("{\"event\"").count(), timeline.len());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sim_config_overrides_retry_policy() {
+        let rc = ResilienceConfig::new(4, "/tmp/unused");
+        let mut cfg = SimConfig::small_lcdm();
+        assert_eq!(rc.for_sim(&cfg).max_retries, rc.max_retries);
+        cfg.max_retries = Some(7);
+        cfg.backoff_base_ms = Some(25);
+        let tuned = rc.for_sim(&cfg);
+        assert_eq!(tuned.max_retries, 7);
+        assert_eq!(tuned.backoff, Duration::from_millis(25));
+        // Untouched knobs survive.
+        assert_eq!(tuned.checkpoint_every, rc.checkpoint_every);
+        let header = TimelineHeader::for_config(&tuned, None);
+        assert_eq!(header.max_retries, 7);
+        assert_eq!(header.backoff_base_ms, 25);
+        assert!(header.to_json().contains(r#""fault_seed":null"#));
+    }
+
+    #[test]
+    fn scale_events_render_and_serialize() {
+        let planned = RecoveryEvent::ScalePlanned {
+            step: 3,
+            from: 4,
+            to: 6,
+            break_even: Some(12),
+            rationale: "hot slab at rank 2".into(),
+        };
+        assert!(format!("{planned}").contains("4→6"));
+        assert!(planned.to_json().contains(r#""event":"scale_planned""#));
+        assert!(planned.to_json().contains(r#""break_even":12"#));
+        let committed = RecoveryEvent::ScaleCommitted {
+            step: 3,
+            from: 4,
+            to: 6,
+            count: 5832,
+            generation: 1,
+        };
+        assert!(format!("{committed}").contains("certified"));
+        assert!(committed.to_json().contains(r#""count":5832"#));
+        let aborted = RecoveryEvent::ScaleAborted {
+            step: 7,
+            from: 6,
+            to: 3,
+            reason: "fence broken by rank 1 death".into(),
+        };
+        assert!(format!("{aborted}").contains("rolled back"));
+        assert!(aborted.to_json().contains(r#""event":"scale_aborted""#));
     }
 }

@@ -532,6 +532,67 @@ pub fn try_salvage_refresh(
     Ok(())
 }
 
+/// Re-shard the active partition onto a *different* decomposition
+/// (collective) — the particle-migration half of an elastic world
+/// resize.
+///
+/// Unlike [`refresh`]/[`salvage_refresh`], the communicator may be
+/// **larger** than the target decomposition: the exchange always runs
+/// over the union of the old and new worlds (a grow activates the new
+/// ranks first and reshards over the bigger new communicator; a shrink
+/// reshards over the still-bigger old communicator before the surplus
+/// ranks retire). Ranks at `new_decomp.ranks()..comm.size()` send
+/// everything they own and receive nothing — a grow's fresh ranks have
+/// nothing to send, a shrink's retiring ranks end up empty and can park.
+///
+/// Only active particles move (each is owned exactly once, so the
+/// exchange cannot duplicate); passive shells are dropped and left empty
+/// — run [`refresh`] on the new world's communicator afterwards to
+/// rebuild them. Adopted records are sorted by id, so the resharded
+/// store is identical however messages interleave.
+pub fn reshard(comm: &Comm, new_decomp: &Decomposition, particles: &mut Particles) {
+    try_reshard(comm, new_decomp, particles).unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// [`reshard`], but a rank death mid-exchange surfaces as an error so
+/// the resize driver can abort the resize and fall back to the
+/// pre-resize checkpoint. The particle store is untouched on error.
+pub fn try_reshard(
+    comm: &Comm,
+    new_decomp: &Decomposition,
+    particles: &mut Particles,
+) -> Result<(), hacc_comm::CommError> {
+    assert!(
+        comm.size() >= new_decomp.ranks(),
+        "reshard must run over the union communicator: {} ranks cannot cover {}",
+        comm.size(),
+        new_decomp.ranks()
+    );
+    let mut sends: Vec<Vec<Packed>> = (0..comm.size()).map(|_| Vec::new()).collect();
+    for i in 0..particles.n_active {
+        let mut p = particles.pack(i);
+        p.x = new_decomp.wrap(f64::from(p.x)) as f32;
+        p.y = new_decomp.wrap(f64::from(p.y)) as f32;
+        p.z = new_decomp.wrap(f64::from(p.z)) as f32;
+        let owner = new_decomp.owner_of([f64::from(p.x), f64::from(p.y), f64::from(p.z)]);
+        sends[owner].push(p);
+    }
+    let recvs = comm.try_alltoallv(sends)?;
+    let mut adopted: Vec<Packed> = recvs.into_iter().flatten().collect();
+    debug_assert!(
+        comm.rank() < new_decomp.ranks() || adopted.is_empty(),
+        "a rank outside the new decomposition received particles"
+    );
+    adopted.sort_by_key(|p| p.id);
+    let mut fresh = Particles::default();
+    for p in adopted {
+        fresh.push(p);
+    }
+    fresh.n_active = fresh.len();
+    *particles = fresh;
+    Ok(())
+}
+
 /// Deduplicate recovered particles by id. Callers concatenate donor
 /// contributions in rank order, so keeping the first occurrence makes
 /// the surviving copy deterministic (lowest donor rank wins); the result
@@ -971,6 +1032,89 @@ mod tests {
         for (rank, (passives, _, _)) in res.iter().enumerate() {
             assert_eq!(*passives, 0, "rank {rank} shell left for the follow-up refresh");
         }
+    }
+
+    #[test]
+    fn reshard_grow_spreads_partition_over_union_comm() {
+        // 2 slabs → 4 slabs over the union (= new, bigger) communicator:
+        // the two old ranks own everything going in; afterwards each of
+        // the four ranks owns exactly its quarter, actives only.
+        let (res, _) = Machine::new(4).run(|comm| {
+            let old = Decomposition::new([2, 1, 1], 16.0, 2.0);
+            let new = Decomposition::new([4, 1, 1], 16.0, 2.0);
+            let mut parts = Particles::default();
+            if comm.rank() < 2 {
+                let (lo, _) = old.domain_of(comm.rank());
+                for i in 0..8u64 {
+                    parts.push(Packed {
+                        x: (lo[0] + i as f64) as f32,
+                        y: 8.0,
+                        z: 8.0,
+                        vx: 0.0,
+                        vy: 0.0,
+                        vz: 0.0,
+                        id: comm.rank() as u64 * 100 + i,
+                    });
+                }
+                parts.n_active = 8;
+                // Stale passives must be dropped, not resharded.
+                parts.push(Packed {
+                    x: 15.0,
+                    y: 8.0,
+                    z: 8.0,
+                    vx: 0.0,
+                    vy: 0.0,
+                    vz: 0.0,
+                    id: 999,
+                });
+            }
+            reshard(&comm, &new, &mut parts);
+            (parts.n_active, parts.len(), parts.id.clone())
+        });
+        let total: usize = res.iter().map(|(a, _, _)| a).sum();
+        assert_eq!(total, 16, "every active owned exactly once");
+        for (rank, (a, len, ids)) in res.iter().enumerate() {
+            assert_eq!(a, len, "rank {rank}: shells empty until refresh");
+            assert_eq!(*a, 4, "rank {rank} owns its quarter: {ids:?}");
+            assert!(!ids.contains(&999), "stale passive must not survive");
+            let sorted = {
+                let mut s = ids.clone();
+                s.sort_unstable();
+                s
+            };
+            assert_eq!(ids, &sorted, "deterministic id order");
+        }
+    }
+
+    #[test]
+    fn reshard_shrink_empties_retiring_ranks() {
+        // 4 slabs → 2 slabs over the union (= old, bigger) communicator:
+        // ranks 2 and 3 send everything and end empty, ready to park.
+        let (res, _) = Machine::new(4).run(|comm| {
+            let old = Decomposition::new([4, 1, 1], 16.0, 2.0);
+            let new = Decomposition::new([2, 1, 1], 16.0, 2.0);
+            let (lo, _) = old.domain_of(comm.rank());
+            let mut parts = Particles::default();
+            for i in 0..4u64 {
+                parts.push(Packed {
+                    x: (lo[0] + i as f64) as f32,
+                    y: 8.0,
+                    z: 8.0,
+                    vx: 0.0,
+                    vy: 0.0,
+                    vz: 0.0,
+                    id: comm.rank() as u64 * 100 + i,
+                });
+            }
+            parts.n_active = 4;
+            reshard(&comm, &new, &mut parts);
+            (parts.n_active, parts.id.clone())
+        });
+        assert_eq!(res[0].0 + res[1].0, 16, "survivors own everything");
+        assert_eq!(res[2].0, 0, "retiring rank 2 empty");
+        assert_eq!(res[3].0, 0, "retiring rank 3 empty");
+        assert!(res[0].1.iter().all(|&id| id < 200), "rank 0 owns the low half");
+        assert!(res[1].1.iter().all(|&id| id >= 200), "rank 1 owns the high half");
     }
 
     #[test]

@@ -22,4 +22,4 @@ pub mod resilience;
 pub use bgq::{BgqPartition, BGQ_NODE};
 pub use model::{FftModel, FullCodeModel, ScalingRow};
 pub use peak::calibrate_peak_flops;
-pub use resilience::CheckpointModel;
+pub use resilience::{CheckpointModel, ResizeModel};

@@ -85,6 +85,68 @@ impl CheckpointModel {
     }
 }
 
+/// Cost model for an **elastic world resize** (grow or shrink), priced
+/// in the same break-even style as the checkpoint models above: a
+/// resize is an up-front investment — re-sharding every particle onto
+/// the new decomposition, plus a full-world re-admission barrier — that
+/// pays itself back through a cheaper per-step wall-clock on the new
+/// world. `hacc-core`'s `ScalePlan` consults this model before fencing
+/// a resize into the step pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct ResizeModel {
+    /// Bytes of particle state that must move to re-shard the world.
+    pub reshard_bytes: f64,
+    /// Aggregate re-shard bandwidth, bytes/second (alltoallv over the
+    /// union communicator).
+    pub reshard_bandwidth: f64,
+    /// Cost of the epoch-fenced re-admission barrier plus the
+    /// proactive checkpoint and certification pass, seconds.
+    pub barrier_time: f64,
+    /// Measured per-step wall-clock on the current world, seconds.
+    pub step_time_old: f64,
+    /// Projected per-step wall-clock on the resized world, seconds
+    /// (e.g. the max over re-binned per-slab costs).
+    pub step_time_new: f64,
+}
+
+impl ResizeModel {
+    /// One-off cost of executing the resize, seconds: moving the
+    /// particles plus fencing, checkpointing, and certifying the world.
+    #[must_use]
+    pub fn resize_cost(&self) -> f64 {
+        assert!(self.reshard_bandwidth > 0.0);
+        self.reshard_bytes / self.reshard_bandwidth + self.barrier_time
+    }
+
+    /// Per-step saving the new world buys, seconds (negative when the
+    /// resize would slow the run down — e.g. a shrink freeing ranks).
+    #[must_use]
+    pub fn step_saving(&self) -> f64 {
+        self.step_time_old - self.step_time_new
+    }
+
+    /// Steps until the resize has paid for itself: `cost / saving`,
+    /// rounded up. `None` when the new world is no faster — such a
+    /// resize can still be *mandated* (freeing ranks for another job)
+    /// but never pays back.
+    #[must_use]
+    pub fn break_even_steps(&self) -> Option<u64> {
+        let saving = self.step_saving();
+        if saving <= 0.0 {
+            return None;
+        }
+        Some((self.resize_cost() / saving).ceil() as u64)
+    }
+
+    /// Should the run take the resize, with `remaining` steps left?
+    /// True exactly when the investment amortizes before the run ends —
+    /// the elastic analogue of picking τ_opt from the failure rate.
+    #[must_use]
+    pub fn worth_it(&self, remaining: u64) -> bool {
+        self.break_even_steps().is_some_and(|b| b <= remaining)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +201,36 @@ mod tests {
             system_mtbf: 6000.0,
         };
         assert_eq!(m.daly_interval(), 6000.0);
+    }
+
+    #[test]
+    fn resize_break_even_matches_closed_form() {
+        // 8 GiB over 4 GiB/s = 2 s, plus a 3 s barrier: 5 s invested.
+        // Saving 0.25 s/step → break-even at ceil(5 / 0.25) = 20 steps.
+        let m = ResizeModel {
+            reshard_bytes: 8.0 * f64::from(1u32 << 30),
+            reshard_bandwidth: 4.0 * f64::from(1u32 << 30),
+            barrier_time: 3.0,
+            step_time_old: 1.0,
+            step_time_new: 0.75,
+        };
+        assert!((m.resize_cost() - 5.0).abs() < 1e-9);
+        assert_eq!(m.break_even_steps(), Some(20));
+        assert!(!m.worth_it(19));
+        assert!(m.worth_it(20));
+    }
+
+    #[test]
+    fn resize_that_slows_the_run_never_pays_back() {
+        let m = ResizeModel {
+            reshard_bytes: 1e9,
+            reshard_bandwidth: 1e9,
+            barrier_time: 1.0,
+            step_time_old: 0.5,
+            step_time_new: 0.8, // a shrink: fewer ranks, slower steps
+        };
+        assert_eq!(m.break_even_steps(), None);
+        assert!(!m.worth_it(u64::MAX));
     }
 
     #[test]

@@ -19,6 +19,13 @@
 //!   overload shells, and the respawned OS process rejoined as a blank
 //!   replacement. Rank 0 writes final positions; every rank writes its
 //!   recovery timeline and wire stats.
+//! - `elastic` — the chaos-soak acceptance run: a 36³ mesh over 10
+//!   steps on an elastic world. `--ranks` is the capacity, `--active`
+//!   the starting world, and `--scale` (e.g. `6@3,3@7`) schedules
+//!   grows into the parked reserve and shrinks back out, every resize
+//!   epoch-fenced and count-certified — all while `--kill` SIGKILLs
+//!   ranks per the fault plan. Artifacts match `sim` (timelines with
+//!   config headers, rank-0 positions).
 //! - `barrier` — a detection-latency probe: ranks run epoch barriers
 //!   until the victim dies, then verify a receive from the dead rank
 //!   fails with `RankFailed` (not a hang) and record how long detection
@@ -42,7 +49,8 @@ use hacc::comm::hub::{self, HubOptions};
 use hacc::comm::socket::{SocketConfig, SocketTransport};
 use hacc::comm::{Comm, CommError, FaultPlan, HeartbeatConfig, StepAdmission};
 use hacc::core::{
-    run_attempt_online, write_timeline_json, ResilienceConfig, SimConfig, SolverKind,
+    run_attempt_elastic, run_attempt_online, write_timeline_json, ResilienceConfig, ScaleSchedule,
+    SimConfig, SolverKind, TimelineHeader,
 };
 use hacc::cosmo::{Cosmology, LinearPower, Transfer};
 use std::path::{Path, PathBuf};
@@ -55,6 +63,10 @@ struct Options {
     seed: u64,
     kill: Option<(usize, u64)>,
     out: PathBuf,
+    /// Elastic scenario: initially active world size (rest start parked).
+    active: Option<usize>,
+    /// Elastic scenario: resize schedule spec, e.g. `6@3,3@7`.
+    scale: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -64,6 +76,8 @@ fn parse_args() -> Options {
         seed: 9,
         kill: None,
         out: PathBuf::from("out/mprun"),
+        active: None,
+        scale: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -84,11 +98,14 @@ fn parse_args() -> Options {
                 ));
             }
             "--out" => opts.out = PathBuf::from(value("--out")),
+            "--active" => opts.active = Some(value("--active").parse().expect("--active")),
+            "--scale" => opts.scale = Some(value("--scale")),
             "--help" | "-h" => {
                 println!(
                     "usage: hacc-mprun [--ranks N] \
-                     [--scenario sim|barrier|pencil|pencil_overlap] \
-                     [--seed S] [--kill RANK@STEP] [--out DIR]"
+                     [--scenario sim|elastic|barrier|pencil|pencil_overlap] \
+                     [--seed S] [--kill RANK@STEP] [--active N] \
+                     [--scale TARGET@STEP[,..]] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -119,6 +136,27 @@ fn sim_ics() -> hacc::ics::IcsRealization {
     hacc::ics::zeldovich(16, 64.0, &power, 0.2, 31)
 }
 
+/// The elastic acceptance geometry: a 36³ mesh (divisible by every
+/// world size the 4→6→3 chaos schedule visits) over 10 steps, identical
+/// to the in-process elastic scenario in tests/resilience.rs.
+fn elastic_config() -> SimConfig {
+    SimConfig {
+        ng: 36,
+        box_len: 64.0,
+        a_init: 0.2,
+        a_final: 0.32,
+        steps: 10,
+        subcycles: 2,
+        solver: SolverKind::TreePm,
+        ..SimConfig::small_lcdm()
+    }
+}
+
+fn elastic_ics() -> hacc::ics::IcsRealization {
+    let power = LinearPower::new(&Cosmology::lcdm(), Transfer::EisensteinHuNoWiggle);
+    hacc::ics::zeldovich(18, 64.0, &power, 0.2, 31)
+}
+
 fn main() {
     if std::env::var("HACC_HUB").is_ok() {
         child_main();
@@ -144,11 +182,22 @@ fn launcher_main() {
     hub_opts.plan = plan;
     // The barrier scenario measures detection, not recovery: dead stays
     // dead so survivors can probe the corpse.
-    hub_opts.respawn = opts.scenario == "sim";
+    hub_opts.respawn = matches!(opts.scenario.as_str(), "sim" | "elastic");
     hub_opts.heartbeat = HeartbeatConfig::default();
+    // Elastic runs start a prefix of the capacity world; the rest park
+    // in the detector as the reserve pool.
+    hub_opts.active = opts.active;
+    if let Some(a) = opts.active {
+        assert!(
+            a >= 1 && a <= opts.ranks,
+            "--active must be within [1, --ranks]"
+        );
+    }
 
     let exe = std::env::current_exe().expect("current exe");
     let scenario = opts.scenario.clone();
+    let scale = opts.scale.clone().unwrap_or_default();
+    let active = opts.active.unwrap_or(opts.ranks);
     let out = opts.out.clone();
     let started = Instant::now();
     let report = hub::run(hub_opts, move |rank, incarnation, hub_addr| {
@@ -159,6 +208,8 @@ fn launcher_main() {
             .env("HACC_INCARNATION", incarnation.to_string())
             .env("HACC_SCENARIO", &scenario)
             .env("HACC_SEED", opts.seed.to_string())
+            .env("HACC_SCALE", &scale)
+            .env("HACC_ACTIVE", active.to_string())
             .env("HACC_OUT", &out)
             .env("HACC_CKPT", &ckpt)
             .spawn()
@@ -178,10 +229,24 @@ fn launcher_main() {
         .iter()
         .map(|&(r, c)| format!(r#"{{"rank":{r},"code":{c}}}"#))
         .collect();
+    // The hub's timestamped lifecycle timeline: lets a harness assert
+    // detection latency (killed → declared) and respawn turnaround from
+    // the summary alone.
+    let timeline: Vec<String> = report
+        .timeline
+        .iter()
+        .map(|e| {
+            format!(
+                r#"{{"kind":"{}","rank":{},"step":{},"wall_ms":{}}}"#,
+                e.kind, e.rank, e.step, e.wall_ms
+            )
+        })
+        .collect();
     let summary = format!(
         concat!(
             r#"{{"ranks":{},"scenario":"{}","seed":{},"elapsed_ms":{},"#,
-            r#""killed":{},"declared":{},"respawned":[{}],"exit_failures":[{}]}}"#,
+            r#""killed":{},"declared":{},"respawned":[{}],"exit_failures":[{}],"#,
+            r#""timeline":[{}]}}"#,
             "\n"
         ),
         opts.ranks,
@@ -192,6 +257,7 @@ fn launcher_main() {
         pairs(&report.declared, "rank", "epoch"),
         respawned.join(","),
         failures.join(","),
+        timeline.join(","),
     );
     std::fs::write(opts.out.join("hub_report.json"), &summary).expect("hub report");
     print!("{summary}");
@@ -212,12 +278,17 @@ fn child_main() {
     let comm = Comm::over_socket(transport);
     match scenario.as_str() {
         "sim" => child_sim(&comm, replacement, &out),
+        "elastic" => child_elastic(&comm, replacement, &out),
         "barrier" => child_barrier(&comm, &out),
         "pencil" => child_pencil(&comm, &out),
         "pencil_overlap" => child_pencil_overlap(&comm, &out),
         other => panic!("unknown scenario {other}"),
     }
     comm.shutdown();
+}
+
+fn env_seed() -> u64 {
+    std::env::var("HACC_SEED").map_or(9, |s| s.parse().unwrap_or(9))
 }
 
 /// The acceptance scenario: the transport-generic online-recovery driver
@@ -231,13 +302,55 @@ fn child_sim(comm: &Comm, replacement: bool, out: &Path) {
     let (positions, events) = run_attempt_online(comm, sim_config(), &realization, &rc, replacement);
 
     let rank = comm.rank();
-    write_timeline_json(&out.join(format!("timeline_rank{rank}.json")), &events)
-        .expect("timeline artifact");
+    let header = TimelineHeader::for_config(&rc, Some(env_seed()));
+    write_timeline_json(
+        &out.join(format!("timeline_rank{rank}.json")),
+        Some(&header),
+        &events,
+    )
+    .expect("timeline artifact");
     std::fs::write(
         out.join(format!("wire_stats_rank{rank}.json")),
         format!("{}\n", comm.traffic_stats().to_json()),
     )
     .expect("wire stats artifact");
+    if let Some(positions) = positions {
+        let mut body = String::new();
+        for (id, [x, y, z]) in positions {
+            body.push_str(&format!("{id} {x} {y} {z}\n"));
+        }
+        std::fs::write(out.join("positions.txt"), body).expect("positions artifact");
+    }
+    comm.barrier();
+}
+
+/// The elastic chaos scenario: the full resize-capable driver over real
+/// sockets. `comm` is the capacity world; `HACC_ACTIVE` of it start
+/// active and `HACC_SCALE` drives the grows/shrinks, all while the hub
+/// SIGKILLs whatever the fault plan names.
+fn child_elastic(comm: &Comm, replacement: bool, out: &Path) {
+    let ckpt = PathBuf::from(std::env::var("HACC_CKPT").expect("HACC_CKPT"));
+    let schedule = ScaleSchedule::parse(&std::env::var("HACC_SCALE").unwrap_or_default());
+    let active: usize = std::env::var("HACC_ACTIVE")
+        .map_or_else(|_| comm.size(), |s| s.parse().expect("HACC_ACTIVE"));
+    let mut rc = ResilienceConfig::new(comm.size(), &ckpt);
+    rc.heartbeat = Some(HeartbeatConfig::default());
+    // Keep every checkpoint set: the harness reads both the old-size
+    // and new-size sets back to verify the handover.
+    rc.retain = None;
+    let cfg = elastic_config();
+    let realization = elastic_ics();
+    let (positions, events) =
+        run_attempt_elastic(comm, cfg, &realization, &rc, &schedule, active, replacement);
+
+    let rank = comm.rank();
+    let header = TimelineHeader::for_config(&rc, Some(env_seed()));
+    write_timeline_json(
+        &out.join(format!("timeline_rank{rank}.json")),
+        Some(&header),
+        &events,
+    )
+    .expect("timeline artifact");
     if let Some(positions) = positions {
         let mut body = String::new();
         for (id, [x, y, z]) in positions {

@@ -11,7 +11,7 @@ use std::process::Command;
 
 use hacc::analysis::PowerSpectrum;
 use hacc::comm::{FaultPlan, HeartbeatConfig};
-use hacc::core::checkpoint::checkpoint_path;
+use hacc::core::checkpoint::{checkpoint_path, complete_sets};
 use hacc::core::{run_resilient, InvariantConfig, ResilienceConfig, SimConfig, SolverKind};
 use hacc::cosmo::{Cosmology, LinearPower, Transfer};
 use hacc::genio::Snapshot;
@@ -348,5 +348,315 @@ fn pencil_schedules_bitwise_identical_over_sockets() {
             "rank {rank}: socket spectrum differs from in-process run: {body}"
         );
     }
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+// -- elastic rank scaling over real processes --------------------------
+
+fn cfg36() -> SimConfig {
+    SimConfig {
+        ng: 36,
+        box_len: 64.0,
+        a_init: 0.2,
+        a_final: 0.32,
+        steps: 10,
+        subcycles: 2,
+        solver: SolverKind::TreePm,
+        ..SimConfig::small_lcdm()
+    }
+}
+
+fn ics36() -> hacc::ics::IcsRealization {
+    let power = LinearPower::new(&Cosmology::lcdm(), Transfer::EisensteinHuNoWiggle);
+    hacc::ics::zeldovich(18, 64.0, &power, 0.2, 31)
+}
+
+fn parse_positions(path: &Path) -> Vec<(u64, [f32; 3])> {
+    read_json(path)
+        .lines()
+        .map(|line| {
+            let mut it = line.split_whitespace();
+            let id: u64 = it.next().unwrap().parse().unwrap();
+            let x: f32 = it.next().unwrap().parse().unwrap();
+            let y: f32 = it.next().unwrap().parse().unwrap();
+            let z: f32 = it.next().unwrap().parse().unwrap();
+            (id, [x, y, z])
+        })
+        .collect()
+}
+
+/// Wall-clock milliseconds of the first hub-timeline entry with the
+/// given kind and rank. The timeline array is flat JSON objects, so the
+/// first `wall_ms` after the matching prefix belongs to that entry.
+fn hub_event_wall_ms(hub: &str, kind: &str, rank: usize) -> u64 {
+    let pat = format!(r#"{{"kind":"{kind}","rank":{rank},"#);
+    let at = hub
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no '{kind}' timeline entry for rank {rank}: {hub}"));
+    json_u64(&hub[at..], "wall_ms")
+}
+
+/// Acceptance for elastic scaling over sockets: six OS processes, four
+/// active at launch and two parked. The schedule grows the world 4→6 at
+/// step 3 (the hub activates the parked processes on demand) and shrinks
+/// it 6→3 at step 7 (retirees park again). A seeded SIGKILL lands inside
+/// the six-rank era and must resolve via online Tier-0 reconstruction
+/// without disturbing either resize. The run must certify the global
+/// particle count at every handover and land within the fault-free
+/// fixed-world tolerances for momentum and P(k).
+#[test]
+fn elastic_world_resizes_across_processes_under_chaos() {
+    const CAPACITY: usize = 6;
+    let seed = fault_seed();
+    let victim = (seed as usize) % CAPACITY; // any rank is active in the 6-rank era
+    let kill_step = 6; // inside the grown era, after the step-3 resize commit
+
+    // Fault-free fixed-world reference on the in-process backend: the
+    // trajectory is a property of the physics, not of the world size.
+    let dir_ref = scratch("elastic_ref");
+    let realization = ics36();
+    let expected = realization.len();
+    let mut rc = ResilienceConfig::new(4, &dir_ref);
+    rc.heartbeat = Some(HeartbeatConfig::default());
+    rc.invariants = Some(InvariantConfig::default());
+    rc.retain = Some(2);
+    let reference =
+        run_resilient(cfg36(), &realization, &rc, &FaultPlan::none()).expect("reference run");
+    assert_eq!(reference.attempts, 1);
+
+    let out = scratch("elastic_chaos");
+    let status = Command::new(MPRUN)
+        .args([
+            "--ranks".into(), CAPACITY.to_string(),
+            "--active".into(), "4".into(),
+            "--scale".into(), "6@3,3@7".into(),
+            "--scenario".into(), "elastic".into(),
+            "--seed".into(), seed.to_string(),
+            "--kill".into(), format!("{victim}@{kill_step}"),
+            "--out".into(), out.display().to_string(),
+        ])
+        .status()
+        .expect("launch mprun");
+    assert!(status.success(), "mprun elastic run failed: {status:?}");
+
+    // The hub killed exactly the planned victim, respawned it, and every
+    // child exited clean.
+    let hub = read_json(&out.join("hub_report.json"));
+    assert!(
+        hub.contains(&format!(r#""killed":[{{"rank":{victim},"step":{kill_step}}}]"#)),
+        "hub kill record wrong: {hub}"
+    );
+    assert!(
+        hub.contains(&format!(r#""respawned":[{victim}]"#)),
+        "victim was not respawned: {hub}"
+    );
+    assert!(hub.contains(r#""exit_failures":[]"#), "children failed: {hub}");
+
+    // The parked reserves were activated for the grow; the shrink parked
+    // the retirees again.
+    for reserve in 4..CAPACITY {
+        assert!(
+            hub.contains(&format!(r#"{{"kind":"activated","rank":{reserve},"#)),
+            "reserve rank {reserve} never activated: {hub}"
+        );
+    }
+
+    // Detection latency is visible in the hub timeline: the kill, the
+    // heartbeat declaration, and the respawn are stamped in order, and
+    // declaration follows the kill within the heartbeat budget (~200 ms
+    // at default config; 10 s means "detected promptly", with CI slack).
+    let killed_ms = hub_event_wall_ms(&hub, "killed", victim);
+    let declared_ms = hub_event_wall_ms(&hub, "declared", victim);
+    let respawned_ms = hub_event_wall_ms(&hub, "respawned", victim);
+    assert!(
+        declared_ms >= killed_ms,
+        "declared before killed: {declared_ms} < {killed_ms}"
+    );
+    assert!(
+        declared_ms - killed_ms < 10_000,
+        "heartbeat declaration too slow: {} ms",
+        declared_ms - killed_ms
+    );
+    assert!(
+        respawned_ms >= declared_ms,
+        "respawned before declared: {respawned_ms} < {declared_ms}"
+    );
+
+    // A reporter rank that lived through the kill and stays active in
+    // every era (ranks 0 and 1 both survive the shrink to 3): its
+    // timeline must show both resizes certified and committed, the
+    // in-era kill absorbed by Tier-0, and no rollback attributable to
+    // scaling.
+    let reporter = usize::from(victim == 0);
+    let timeline = read_json(&out.join(format!("timeline_rank{reporter}.json")));
+    assert!(
+        timeline.contains(r#""event":"scale_planned","step":3,"from":4,"to":6"#),
+        "grow was not planned: {timeline}"
+    );
+    assert!(
+        timeline.contains(&format!(
+            r#""event":"scale_committed","step":3,"from":4,"to":6,"count":{expected},"generation":1"#
+        )),
+        "grow did not certify+commit: {timeline}"
+    );
+    assert!(
+        timeline.contains(&format!(
+            r#""event":"scale_committed","step":7,"from":6,"to":3,"count":{expected},"generation":2"#
+        )),
+        "shrink did not certify+commit: {timeline}"
+    );
+    assert!(
+        timeline.contains(&format!(
+            r#""event":"rank_failure_detected","step":{kill_step},"rank":{victim}"#
+        )),
+        "in-era kill not detected: {timeline}"
+    );
+    assert!(
+        timeline.contains(&format!(r#""event":"tier0_reconstructed","step":{kill_step}"#)),
+        "in-era kill not Tier-0 reconstructed: {timeline}"
+    );
+    assert!(
+        !timeline.contains(r#""event":"scale_aborted"#)
+            && !timeline.contains(r#""event":"tier1_rollback"#),
+        "chaos run must not roll back or abort a resize: {timeline}"
+    );
+    // Satellite: the retry budget is recorded in the timeline header.
+    assert!(
+        timeline.contains(r#""max_retries":"#) && timeline.contains(r#""backoff_base_ms":"#),
+        "timeline header must carry the retry budget: {timeline}"
+    );
+
+    // Every particle accounted for, by id, after two migrations + a kill.
+    let positions = parse_positions(&out.join("positions.txt"));
+    assert_eq!(positions.len(), expected, "particles lost across resizes");
+    for (i, &(id, _)) in positions.iter().enumerate() {
+        assert_eq!(id, i as u64, "particle ids must be gapless after resizes");
+    }
+
+    // The run finished at the shrunken size with a complete final set.
+    let ckpt = out.join("ckpt");
+    assert!(
+        complete_sets(&ckpt, 3).contains(&10),
+        "no complete 3-rank set at the final step"
+    );
+    let meta = read_json(&ckpt.join("world_meta.json"));
+    assert!(
+        meta.contains(r#""active":3"#) && meta.contains(r#""resizing":null"#),
+        "world metadata not settled at the final size: {meta}"
+    );
+
+    // Physics within fixed-world tolerances: momentum per axis and P(k)
+    // bin by bin against the 4-rank fault-free reference.
+    let (p_ref, ke_ref) = momentum_and_ke(&dir_ref, 10, 4);
+    let (p_elastic, _) = momentum_and_ke(&ckpt, 10, 3);
+    let scale = (2.0 * ke_ref * expected as f64).sqrt();
+    for a in 0..3 {
+        assert!(
+            (p_elastic[a] - p_ref[a]).abs() < 0.02 * scale,
+            "momentum[{a}] drifted across resizes: {} vs {} (scale {scale})",
+            p_elastic[a],
+            p_ref[a]
+        );
+    }
+    let pk_ref = measure_pk(&reference.positions);
+    let pk_elastic = measure_pk(&positions);
+    for i in 0..pk_ref.p.len() {
+        if pk_ref.count[i] > 0 && pk_ref.p[i] > 0.0 {
+            let rel = (pk_elastic.p[i] - pk_ref.p[i]).abs() / pk_ref.p[i];
+            assert!(
+                rel < 0.02,
+                "P(k) bin {i} off by {rel}: {} vs {}",
+                pk_elastic.p[i],
+                pk_ref.p[i]
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir_ref);
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+/// A SIGKILL at the resize fence itself: the victim dies at its step-4
+/// beat, which is the certification step right after the grow is
+/// announced. The grow must abort cleanly — one Tier-1 rollback to the
+/// pre-resize checkpoint, no commit, no retry of the resize — and the
+/// run must still finish at the original four ranks with every particle
+/// accounted for.
+#[test]
+fn sigkill_at_resize_fence_aborts_grow_across_processes() {
+    const CAPACITY: usize = 6;
+    const VICTIM: usize = 1;
+    let out = scratch("elastic_abort");
+    let expected = ics36().len();
+    let status = Command::new(MPRUN)
+        .args([
+            "--ranks".into(), CAPACITY.to_string(),
+            "--active".into(), "4".into(),
+            "--scale".into(), "6@3".into(),
+            "--scenario".into(), "elastic".into(),
+            "--seed".into(), "9".into(),
+            "--kill".into(), format!("{VICTIM}@4"),
+            "--out".into(), out.display().to_string(),
+        ])
+        .status()
+        .expect("launch mprun");
+    assert!(status.success(), "mprun fence-kill run failed: {status:?}");
+
+    let hub = read_json(&out.join("hub_report.json"));
+    assert!(
+        hub.contains(&format!(r#""killed":[{{"rank":{VICTIM},"step":4}}]"#)),
+        "hub kill record wrong: {hub}"
+    );
+    assert!(
+        hub.contains(&format!(r#""respawned":[{VICTIM}]"#)),
+        "victim was not respawned: {hub}"
+    );
+    assert!(hub.contains(r#""exit_failures":[]"#), "children failed: {hub}");
+
+    // Rank 0's timeline: the grow was planned, the fence broke, the
+    // resize aborted and rolled back exactly once — and was not retried.
+    let timeline = read_json(&out.join("timeline_rank0.json"));
+    assert!(
+        timeline.contains(r#""event":"scale_planned","step":3,"from":4,"to":6"#),
+        "grow was not planned: {timeline}"
+    );
+    assert!(
+        timeline.contains(r#""event":"scale_aborted","step":3,"from":4,"to":6"#),
+        "fence kill must abort the grow: {timeline}"
+    );
+    assert!(
+        !timeline.contains(r#""event":"scale_committed"#),
+        "broken fence must not commit: {timeline}"
+    );
+    assert!(
+        timeline.contains(r#""event":"tier1_rollback","step":4,"resume_step":3"#),
+        "abort must roll back to the pre-resize set: {timeline}"
+    );
+    assert_eq!(
+        timeline.matches(r#""event":"scale_planned"#).count(),
+        1,
+        "aborted resize must not be retried: {timeline}"
+    );
+    assert_eq!(
+        timeline.matches(r#""event":"tier1_rollback"#).count(),
+        1,
+        "exactly one rollback may be attributed to the fence kill: {timeline}"
+    );
+
+    // The run still completes at the original size, losing nothing.
+    let positions = parse_positions(&out.join("positions.txt"));
+    assert_eq!(positions.len(), expected, "particles lost across the abort");
+    for (i, &(id, _)) in positions.iter().enumerate() {
+        assert_eq!(id, i as u64, "particle ids must be gapless after the abort");
+    }
+    let ckpt = out.join("ckpt");
+    assert!(
+        complete_sets(&ckpt, 4).contains(&10),
+        "no complete 4-rank set at the final step"
+    );
+    let meta = read_json(&ckpt.join("world_meta.json"));
+    assert!(
+        meta.contains(r#""active":4"#) && meta.contains(r#""resizing":null"#),
+        "world metadata must settle back at four ranks: {meta}"
+    );
     let _ = std::fs::remove_dir_all(&out);
 }

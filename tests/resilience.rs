@@ -10,7 +10,7 @@ use hacc::comm::{CommError, FaultPlan, HeartbeatConfig, Machine};
 use hacc::core::checkpoint::{checkpoint_path, complete_sets};
 use hacc::core::{
     run_resilient, write_timeline_json, DistSimulation, InvariantConfig, RecoveryEvent,
-    ResilienceConfig, ResilienceError, SimConfig, SolverKind,
+    ResilienceConfig, ResilienceError, SimConfig, SolverKind, TimelineHeader,
 };
 use hacc::cosmo::{Cosmology, LinearPower, Transfer};
 use hacc::genio::Snapshot;
@@ -405,6 +405,7 @@ fn heartbeat_kill_recovers_online_without_rollback() {
     .expect("online tier-0 recovery");
     write_timeline_json(
         Path::new(&format!("out/resilience/tier0_seed{seed}.json")),
+        Some(&TimelineHeader::for_config(&online_rc(R4, &dir_faulty), Some(seed))),
         &run.timeline,
     )
     .expect("timeline artifact");
@@ -520,6 +521,7 @@ fn overload_shortfall_escalates_to_tier1_rollback() {
     .expect("tier-1 recovery");
     write_timeline_json(
         Path::new(&format!("out/resilience/tier1_seed{seed}.json")),
+        Some(&TimelineHeader::for_config(&online_rc(R2, &dir_faulty), Some(seed))),
         &run.timeline,
     )
     .expect("timeline artifact");
@@ -581,5 +583,319 @@ fn timeline_renders() {
     assert!(rendered.iter().any(|l| l.contains("cold start")));
     assert!(rendered.iter().any(|l| l.contains("failed")));
     assert!(rendered.iter().any(|l| l.contains("completed step 4")));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Elastic rank scaling (grow/shrink on the recovery path)
+// ---------------------------------------------------------------------
+
+use hacc::core::checkpoint::gc_checkpoints;
+use hacc::core::{run_elastic, ScaleSchedule, WorldMeta};
+
+/// Geometry for the elastic tests: a 36³ mesh divides evenly by every
+/// world size the 4→6→3 schedule visits, and at 6 ranks the 6-cell slab
+/// is still wider than the 5.5-cell tree halo. At 6 ranks the two
+/// 4.5-cell overload shells cover the whole slab, so a mid-era kill
+/// recovers at Tier 0.
+fn cfg36() -> SimConfig {
+    SimConfig {
+        ng: 36,
+        box_len: 64.0,
+        a_init: 0.2,
+        a_final: 0.32,
+        steps: 10,
+        subcycles: 2,
+        solver: SolverKind::TreePm,
+        ..SimConfig::small_lcdm()
+    }
+}
+
+fn ics36() -> hacc::ics::IcsRealization {
+    let power = LinearPower::new(&Cosmology::lcdm(), Transfer::EisensteinHuNoWiggle);
+    hacc::ics::zeldovich(18, 64.0, &power, 0.2, 31)
+}
+
+/// Elastic runs keep every checkpoint set: the assertions below read
+/// old-size and new-size sets back after the run.
+fn elastic_rc(capacity: usize, dir: &Path) -> ResilienceConfig {
+    let mut rc = ResilienceConfig::new(capacity, dir);
+    rc.heartbeat = Some(HeartbeatConfig::default());
+    rc.invariants = Some(InvariantConfig::default());
+    rc.retain = None;
+    rc
+}
+
+fn count_events(timeline: &[RecoveryEvent], pred: impl Fn(&RecoveryEvent) -> bool) -> usize {
+    timeline.iter().filter(|e| pred(e)).count()
+}
+
+/// The elastic acceptance test: a 4-rank world grows to 6 and shrinks
+/// to 3 mid-run (fault-free, then again while sustaining a seeded
+/// SIGKILL mid-era), and both runs end with every particle id
+/// accounted for and momentum + P(k) within tolerance of a fault-free
+/// fixed-world reference. Scaling itself must cause no rollbacks.
+#[test]
+fn elastic_grow_shrink_survives_chaos() {
+    const CAPACITY: usize = 6;
+    let seed = fault_seed();
+    let dir_ref = scratch("elastic_ref");
+    let dir_clean = scratch("elastic_clean");
+    let dir_chaos = scratch("elastic_chaos");
+    let realization = ics36();
+    let expected = realization.len();
+    let schedule = ScaleSchedule::parse("6@3,3@7");
+
+    // Fault-free fixed-world reference at the starting size.
+    let reference = run_resilient(
+        cfg36(),
+        &realization,
+        &online_rc(4, &dir_ref),
+        &FaultPlan::none(),
+    )
+    .expect("fixed-world reference");
+    let (p_ref, ke_ref) = momentum_and_ke(&dir_ref, 10, 4);
+    let pk_ref = measure_pk(&reference.positions);
+    let scale = (2.0 * ke_ref * expected as f64).sqrt();
+
+    let check = |run: &hacc::core::ResilientRun, dir: &Path, label: &str| {
+        assert_eq!(run.attempts, 1, "{label}: must finish in one attempt");
+        assert_eq!(run.final_step, 10);
+        // Both resizes committed, at the right steps and generations.
+        for (step, from, to, generation) in [(3, 4, 6, 1), (7, 6, 3, 2)] {
+            assert!(
+                run.timeline.iter().any(|e| matches!(
+                    e,
+                    RecoveryEvent::ScaleCommitted { step: s, from: f, to: t, count, generation: g }
+                        if *s == step && *f == from && *t == to
+                            && *count == expected && *g == generation
+                )),
+                "{label}: missing commit {from}->{to} at step {step}: {:?}",
+                run.timeline
+            );
+        }
+        assert_eq!(
+            count_events(&run.timeline, |e| matches!(e, RecoveryEvent::ScalePlanned { .. })),
+            2,
+            "{label}: exactly the two scheduled resizes are planned"
+        );
+        // Scaling itself causes no aborts and no rollbacks.
+        assert_eq!(
+            count_events(&run.timeline, |e| matches!(e, RecoveryEvent::ScaleAborted { .. })),
+            0,
+            "{label}: no resize may abort: {:?}",
+            run.timeline
+        );
+        assert_eq!(
+            count_events(&run.timeline, |e| matches!(e, RecoveryEvent::Tier1Rollback { .. })),
+            0,
+            "{label}: no rollback attributable to scaling: {:?}",
+            run.timeline
+        );
+        // Gapless ids: every particle certified into the final world.
+        assert_eq!(run.positions.len(), expected, "{label}: particle count");
+        for (i, &(id, _)) in run.positions.iter().enumerate() {
+            assert_eq!(id, i as u64, "{label}: particle ids must be gapless");
+        }
+        // The final world committed at 3 ranks, durably.
+        let meta = WorldMeta::read(dir).expect("world meta");
+        assert_eq!((meta.active, meta.generation, meta.resizing), (3, 2, None), "{label}");
+        assert!(
+            complete_sets(dir, 3).contains(&10),
+            "{label}: final checkpoint set must be at the 3-rank size"
+        );
+        // Physics within tolerance of the fixed-world reference.
+        let (p, _) = momentum_and_ke(dir, 10, 3);
+        for a in 0..3 {
+            assert!(
+                (p[a] - p_ref[a]).abs() < 0.02 * scale,
+                "{label}: momentum[{a}] drifted: {} vs {} (scale {scale})",
+                p[a],
+                p_ref[a]
+            );
+        }
+        let pk = measure_pk(&run.positions);
+        for i in 0..pk_ref.p.len() {
+            if pk_ref.count[i] > 0 && pk_ref.p[i] > 0.0 {
+                let rel = (pk.p[i] - pk_ref.p[i]).abs() / pk_ref.p[i];
+                assert!(
+                    rel < 0.02,
+                    "{label}: P(k) bin {i} off by {rel}: {} vs {}",
+                    pk.p[i],
+                    pk_ref.p[i]
+                );
+            }
+        }
+    };
+
+    // Fault-free elastic run.
+    let clean = run_elastic(
+        cfg36(),
+        &realization,
+        &elastic_rc(CAPACITY, &dir_clean),
+        4,
+        &schedule,
+        &FaultPlan::none(),
+    )
+    .expect("fault-free elastic run");
+    check(&clean, &dir_clean, "clean");
+
+    // Chaos: a seeded kill at step 5, inside the 6-rank era. The 6-cell
+    // slab is fully covered by overload shells, so recovery is Tier 0 —
+    // in-run, no rollback — and both resizes still commit.
+    let victim = (seed as usize) % CAPACITY;
+    let chaos = run_elastic(
+        cfg36(),
+        &realization,
+        &elastic_rc(CAPACITY, &dir_chaos),
+        4,
+        &schedule,
+        &FaultPlan::seeded(seed).kill_rank_at_step(victim, 5),
+    )
+    .expect("chaos elastic run");
+    write_timeline_json(
+        Path::new(&format!("out/resilience/elastic_chaos_seed{seed}.json")),
+        Some(&TimelineHeader::for_config(&elastic_rc(CAPACITY, &dir_chaos), Some(seed))),
+        &chaos.timeline,
+    )
+    .expect("timeline artifact");
+    check(&chaos, &dir_chaos, "chaos");
+    assert!(
+        chaos.timeline.iter().any(|e| matches!(
+            e,
+            RecoveryEvent::RankFailureDetected { step: 5, rank, .. } if *rank == victim
+        )),
+        "chaos: the kill must be detected at step 5: {:?}",
+        chaos.timeline
+    );
+    assert!(
+        chaos.timeline.iter().any(|e| matches!(
+            e,
+            RecoveryEvent::Tier0Reconstructed { count, .. } if *count == expected
+        )),
+        "chaos: tier-0 must rebuild the victim in-run: {:?}",
+        chaos.timeline
+    );
+
+    let _ = std::fs::remove_dir_all(&dir_ref);
+    let _ = std::fs::remove_dir_all(&dir_clean);
+    let _ = std::fs::remove_dir_all(&dir_chaos);
+}
+
+/// A kill landing exactly on the resize fence must abort the grow —
+/// cleanly, through the existing tiers: the old world rolls back to the
+/// pre-resize checkpoint, the doomed resize is not retried, and the run
+/// completes at the old size.
+#[test]
+fn kill_at_resize_fence_aborts_grow_cleanly() {
+    const CAPACITY: usize = 6;
+    let dir = scratch("elastic_abort");
+    let realization = ics36();
+    let expected = realization.len();
+
+    // The grow after step 3 fences by admitting step 4; kill an old-world
+    // member on that very beat.
+    let run = run_elastic(
+        cfg36(),
+        &realization,
+        &elastic_rc(CAPACITY, &dir),
+        4,
+        &ScaleSchedule::parse("6@3"),
+        &FaultPlan::seeded(fault_seed()).kill_rank_at_step(1, 4),
+    )
+    .expect("fence-kill run completes");
+
+    assert_eq!(run.attempts, 1, "abort resolves in-run: {:?}", run.timeline);
+    assert!(
+        run.timeline
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::ScalePlanned { step: 3, from: 4, to: 6, .. })),
+        "the grow must be planned before it can abort: {:?}",
+        run.timeline
+    );
+    assert!(
+        run.timeline
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::ScaleAborted { step: 3, from: 4, to: 6, .. })),
+        "fence kill must abort the grow: {:?}",
+        run.timeline
+    );
+    assert_eq!(
+        count_events(&run.timeline, |e| matches!(e, RecoveryEvent::ScaleCommitted { .. })),
+        0,
+        "nothing may commit: {:?}",
+        run.timeline
+    );
+    // Rolled back through the ordinary tier-1 path, exactly once, to the
+    // pre-resize checkpoint at step 3.
+    assert_eq!(
+        count_events(&run.timeline, |e| matches!(
+            e,
+            RecoveryEvent::Tier1Rollback { step: 4, resume_step: 3 }
+        )),
+        1,
+        "exactly one rollback, to the pre-fence set: {:?}",
+        run.timeline
+    );
+    // Not retried: one plan, one abort.
+    assert_eq!(
+        count_events(&run.timeline, |e| matches!(e, RecoveryEvent::ScalePlanned { .. })),
+        1,
+        "an aborted resize must not be retried: {:?}",
+        run.timeline
+    );
+    // The run finished on the old 4-rank world with every particle.
+    assert_eq!(run.positions.len(), expected);
+    for (i, &(id, _)) in run.positions.iter().enumerate() {
+        assert_eq!(id, i as u64, "particle ids must be gapless after the abort");
+    }
+    let meta = WorldMeta::read(&dir).expect("world meta");
+    assert_eq!((meta.active, meta.resizing), (4, None));
+    assert!(complete_sets(&dir, 4).contains(&10));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Retention must never count an in-flight checkpoint set: a failure
+/// between a rank's write-temp and its rename leaves the newest set
+/// incomplete, and the trim has to spare the last *complete* set (it is
+/// still the only valid restart point) and leave the partial files
+/// alone for the rename to finish.
+#[test]
+fn gc_spares_last_complete_set_when_newest_is_mid_rename() {
+    let dir = scratch("gc_race");
+    uninterrupted(&dir); // complete sets at steps 1..=4, RANKS ranks
+    assert_eq!(complete_sets(&dir, RANKS), vec![1, 2, 3, 4]);
+
+    // Simulate rank 1 dying between write-temp and rename: its step-4
+    // file is still a temp, so the step-4 set is incomplete.
+    let final_path = checkpoint_path(&dir, 4, 1, RANKS);
+    let tmp_path = final_path.with_extension("gio.tmp");
+    std::fs::rename(&final_path, &tmp_path).unwrap();
+    assert_eq!(complete_sets(&dir, RANKS), vec![1, 2, 3]);
+
+    // The fenced trim with keep=1 must retain step 3 (the last complete
+    // set) and must not touch the partial step-4 files.
+    let removed = gc_checkpoints(&dir, RANKS, 1);
+    assert_eq!(removed, 2 * RANKS, "steps 1 and 2 are trimmed, per-rank");
+    assert_eq!(complete_sets(&dir, RANKS), vec![3]);
+    assert!(
+        checkpoint_path(&dir, 4, 0, RANKS).exists(),
+        "partial set's finished files must survive the trim"
+    );
+    assert!(tmp_path.exists(), "in-flight temp file must survive the trim");
+
+    // The rename completes (rank recovered / replayed): step 4 becomes
+    // complete, and only now may the trim retire step 3.
+    std::fs::rename(&tmp_path, &final_path).unwrap();
+    assert_eq!(complete_sets(&dir, RANKS), vec![3, 4]);
+    assert_eq!(gc_checkpoints(&dir, RANKS, 1), RANKS);
+    assert_eq!(complete_sets(&dir, RANKS), vec![4]);
+
+    // And the spared set is genuinely restartable.
+    let (res, _) = Machine::new(RANKS).run(|comm| {
+        let (_, done) = DistSimulation::resume_from(&comm, cfg(), &dir).expect("resume");
+        done
+    });
+    assert!(res.iter().all(|&d| d == 4));
     let _ = std::fs::remove_dir_all(&dir);
 }
